@@ -1,0 +1,353 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (section 6):
+
+     fig3     end-to-end verification time per model
+     fig4     scalability in parallelism degree and layer count
+     fig5     lemma-corpus statistics (operators, lemmas, LoC CDF)
+     fig6     lemma-application heatmap
+     table3   the nine bug case studies
+     ablation the section 4.3 optimizations on/off
+     extensions  strategies beyond the paper (DP, PP, autodiff backward)
+     perf     Bechamel micro-benchmarks (one Test.make per experiment)
+
+   Run a single experiment with `dune exec bench/main.exe -- fig3`, or
+   everything (except perf) with no argument. Absolute numbers differ
+   from the paper's CloudLab testbed; the shapes are what reproduce. *)
+
+open Entangle_models
+
+let hr () = Fmt.pr "%s@." (String.make 74 '-')
+
+let section title =
+  Fmt.pr "@.";
+  hr ();
+  Fmt.pr "%s@." title;
+  hr ()
+
+let time_check ?config ?hit_counter inst =
+  let t0 = Unix.gettimeofday () in
+  let result = Instance.check ?config ?hit_counter inst in
+  (Unix.gettimeofday () -. t0, result)
+
+(* --- Figure 3 --------------------------------------------------------- *)
+
+let fig3 () =
+  section
+    "Figure 3: end-to-end verification time (1 layer, parallelism 2)";
+  Fmt.pr "%-28s %10s %12s %s@." "model" "operators" "time (s)" "verdict";
+  List.iter
+    (fun inst ->
+      let secs, result = time_check inst in
+      Fmt.pr "%-28s %10d %12.2f %s@." inst.Instance.name
+        (Instance.operator_count inst)
+        secs
+        (match result with
+        | Ok _ -> "refines"
+        | Error f ->
+            Fmt.str "FAILED at %a" Entangle_ir.Node.pp f.operator))
+    (Zoo.fig3_instances ());
+  Fmt.pr
+    "@.(The regression model is the sub-second case of section 6.3; \
+     ByteDance appears as separate forward and backward passes.)@."
+
+(* --- Figure 4 --------------------------------------------------------- *)
+
+let fig4_model name build degrees layers_list =
+  Fmt.pr "@.%s:@." name;
+  Fmt.pr "%12s" "layers\\par";
+  List.iter (fun d -> Fmt.pr "%10d" d) degrees;
+  Fmt.pr "@.";
+  List.iter
+    (fun layers ->
+      Fmt.pr "%12d" layers;
+      List.iter
+        (fun degree ->
+          match build ~layers ~degree with
+          | exception Invalid_argument _ -> Fmt.pr "%10s" "n/a"
+          | inst ->
+              let secs, result = time_check inst in
+              (match result with
+              | Ok _ -> Fmt.pr "%9.2fs" secs
+              | Error _ -> Fmt.pr "%10s" "FAIL"))
+        degrees;
+      Fmt.pr "@.")
+    layers_list
+
+let fig4 () =
+  section "Figure 4: scalability in parallelism size and layers";
+  fig4_model "GPT (TP+SP+VP)"
+    (fun ~layers ~degree -> Gpt.build ~layers ~degree ~heads:8 ())
+    [ 2; 4; 8 ] [ 1; 2; 4 ];
+  fig4_model "Llama-3 (TP)"
+    (fun ~layers ~degree -> Llama.build ~layers ~degree ~heads:8 ())
+    [ 2; 4; 6; 8 ] [ 1; 2; 4 ];
+  Fmt.pr
+    "@.(Llama-3 has no data point at parallelism 6: 8 heads cannot be \
+     evenly partitioned, as in the paper.)@."
+
+(* --- Figure 5 --------------------------------------------------------- *)
+
+let distinct_op_families inst =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun n -> Hashtbl.replace tbl (Entangle_ir.Op.name (Entangle_ir.Node.op n)) ())
+        (Entangle_ir.Graph.nodes g))
+    [ inst.Instance.gs; inst.Instance.gd ];
+  Hashtbl.length tbl
+
+let fig5 () =
+  section "Figure 5a: operators, lemmas and lemma complexity per model";
+  Fmt.pr "%-14s %10s %14s %16s@." "model" "op kinds" "lemmas used"
+    "avg ops/lemma";
+  let configs =
+    [
+      ("GPT", Gpt.build ~layers:1 ~degree:2 ());
+      ("Qwen2", Qwen2.build ~layers:1 ~degree:2 ());
+      ("Llama", Llama.build ~layers:1 ~degree:2 ());
+      ("Bytedance", Moe.build ~degree:2 ());
+    ]
+  in
+  List.iter
+    (fun (name, inst) ->
+      let hits = Hashtbl.create 64 in
+      let _ = time_check ~hit_counter:hits inst in
+      let used =
+        Hashtbl.fold (fun k v acc -> if v > 0 then k :: acc else acc) hits []
+      in
+      let complexities =
+        List.filter_map
+          (fun n ->
+            Option.map
+              (fun (l : Entangle_lemmas.Lemma.t) -> l.complexity)
+              (Entangle_lemmas.Registry.find n))
+          used
+      in
+      let avg =
+        match complexities with
+        | [] -> 0.
+        | cs ->
+            float_of_int (List.fold_left ( + ) 0 cs)
+            /. float_of_int (List.length cs)
+      in
+      Fmt.pr "%-14s %10d %14d %16.1f@." name (distinct_op_families inst)
+        (List.length used) avg)
+    configs;
+  section "Figure 5b: CDF of lines of code per lemma";
+  let locs =
+    List.map
+      (fun (l : Entangle_lemmas.Lemma.t) -> l.loc)
+      Entangle_lemmas.Registry.all
+    |> List.sort compare
+  in
+  let n = List.length locs in
+  Fmt.pr "%8s %8s@." "LoC <=" "CDF";
+  List.iter
+    (fun pct ->
+      let idx = min (n - 1) (pct * n / 100) in
+      Fmt.pr "%8d %7d%%@." (List.nth locs idx) pct)
+    [ 10; 25; 50; 75; 90; 100 ];
+  Fmt.pr "(%d lemmas; universal lemmas take ~2 lines, conditioned ones more)@."
+    n
+
+(* --- Figure 6 --------------------------------------------------------- *)
+
+let fig6 () =
+  section "Figure 6: lemma application counts (log2 buckets)";
+  let corpus = Entangle_lemmas.Registry.all in
+  let rows =
+    [
+      ("GPT(2)", fun () -> Gpt.build ~layers:1 ~degree:2 ~heads:8 ());
+      ("GPT(4)", fun () -> Gpt.build ~layers:1 ~degree:4 ~heads:8 ());
+      ("GPT(8)", fun () -> Gpt.build ~layers:1 ~degree:8 ~heads:8 ());
+      ("Qwen2(4)", fun () -> Qwen2.build ~layers:1 ~degree:4 ());
+      ("Llama-3(4)", fun () -> Llama.build ~layers:1 ~degree:4 ());
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, build) ->
+        let hits = Hashtbl.create 64 in
+        let _ = time_check ~hit_counter:hits (build ()) in
+        (name, hits))
+      rows
+  in
+  (* Columns: lemmas that were applied at least once by some model. *)
+  let applied =
+    List.filteri
+      (fun _ (l : Entangle_lemmas.Lemma.t) ->
+        List.exists
+          (fun (_, hits) ->
+            Option.value (Hashtbl.find_opt hits l.name) ~default:0 > 0)
+          results)
+      corpus
+  in
+  Fmt.pr "%-12s" "";
+  List.iteri (fun i _ -> Fmt.pr "%3d" i) applied;
+  Fmt.pr "@.";
+  List.iter
+    (fun (name, hits) ->
+      Fmt.pr "%-12s" name;
+      List.iter
+        (fun (l : Entangle_lemmas.Lemma.t) ->
+          let c = Option.value (Hashtbl.find_opt hits l.name) ~default:0 in
+          if c = 0 then Fmt.pr "  ."
+          else
+            let bucket =
+              int_of_float (Float.log2 (float_of_int (c + 1)))
+            in
+            Fmt.pr "%3d" (min 9 bucket))
+        applied;
+      Fmt.pr "@.")
+    results;
+  Fmt.pr "%-12s" "class";
+  List.iter
+    (fun (l : Entangle_lemmas.Lemma.t) ->
+      Fmt.pr "%3s" (Entangle_lemmas.Lemma.klass_letter l.klass))
+    applied;
+  Fmt.pr "@.@.Lemma ids:@.";
+  List.iteri
+    (fun i (l : Entangle_lemmas.Lemma.t) ->
+      Fmt.pr "  %2d [%s] %s@." i
+        (Entangle_lemmas.Lemma.klass_letter l.klass)
+        l.name)
+    applied
+
+(* --- Table 3 ----------------------------------------------------------- *)
+
+let table3 () =
+  section "Table 3: bug case studies";
+  Fmt.pr "%3s %-26s %-52s %s@." "id" "framework" "description" "result";
+  List.iter
+    (fun case ->
+      let t0 = Unix.gettimeofday () in
+      let outcome = Bugs.run case in
+      let secs = Unix.gettimeofday () -. t0 in
+      Fmt.pr "%3d %-26s %-52s %s (%.1fs)@." case.Bugs.id case.Bugs.framework
+        case.Bugs.description
+        (match outcome with
+        | Bugs.Detected _ -> "detected"
+        | Bugs.Missed -> "MISSED")
+        secs)
+    (Bugs.all ())
+
+(* --- Ablation ---------------------------------------------------------- *)
+
+let ablation () =
+  section "Ablation: the optimizations of section 4.3";
+  let build () = Gpt.build ~layers:1 ~degree:2 ~heads:4 () in
+  Fmt.pr "%-22s %10s %16s %s@." "configuration" "time (s)" "peak e-graph"
+    "verdict";
+  List.iter
+    (fun (name, config) ->
+      let inst = build () in
+      let secs, result = time_check ~config inst in
+      let peak, verdict =
+        match result with
+        | Ok s -> (s.stats.egraph_nodes_peak, "refines")
+        | Error f -> (f.stats.egraph_nodes_peak, "FAILED")
+      in
+      Fmt.pr "%-22s %10.2f %16d %s@." name secs peak verdict)
+    [
+      ("default", Entangle.Config.default);
+      ("no frontier (4.3.1)", Entangle.Config.no_frontier);
+      ("no pruning (4.3.2)", Entangle.Config.no_pruning);
+    ]
+
+(* --- Extensions beyond the paper's evaluation --------------------------- *)
+
+let extensions () =
+  section
+    "Extensions: strategies the paper could not capture (section 6.1)";
+  Fmt.pr "%-46s %10s %12s %s@." "instance" "operators" "time (s)" "verdict";
+  List.iter
+    (fun inst ->
+      let secs, result = time_check inst in
+      Fmt.pr "%-46s %10d %12.2f %s@." inst.Instance.name
+        (Instance.operator_count inst)
+        secs
+        (match result with
+        | Ok _ -> "refines"
+        | Error f -> Fmt.str "FAILED at %a" Entangle_ir.Node.pp f.operator))
+    [
+      Train.data_parallel ();
+      Train.data_parallel ~replicas:4 ();
+      Train.pipeline ();
+      Train.pipeline ~microbatches:4 ~layers:3 ();
+      Train.linear_backward ();
+      Train.linear_backward ~degree:4 ();
+    ];
+  Fmt.pr
+    "@.(Backward graphs are produced by Entangle_ir.Autodiff, playing      TorchDynamo's role; DP gradient sync and PP microbatch accumulation      verify with the same lemma corpus.)@."
+
+(* --- Bechamel micro-benchmarks ----------------------------------------- *)
+
+let perf () =
+  section "Bechamel samples (one benchmark per experiment)";
+  let open Bechamel in
+  let benchmarks =
+    [
+      Test.make ~name:"fig3-regression" (Staged.stage (fun () ->
+          ignore (Instance.check (Regression.build ()))));
+      Test.make ~name:"fig3-gpt" (Staged.stage (fun () ->
+          ignore (Instance.check (Gpt.build ~layers:1 ~degree:2 ()))));
+      Test.make ~name:"fig4-gpt-degree4" (Staged.stage (fun () ->
+          ignore (Instance.check (Gpt.build ~layers:1 ~degree:4 ~heads:4 ()))));
+      Test.make ~name:"fig6-lemma-hits" (Staged.stage (fun () ->
+          let hits = Hashtbl.create 64 in
+          ignore (Instance.check ~hit_counter:hits (Qwen2.build ()))));
+      Test.make ~name:"table3-bug6" (Staged.stage (fun () ->
+          ignore (Bugs.run (Bugs.case 6))));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 2.0) ~kde:None () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test
+      in
+      Hashtbl.iter
+        (fun name wall ->
+          let stats =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              Toolkit.Instance.monotonic_clock wall
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> Fmt.pr "%-24s %12.0f ns/run@." name est
+          | _ -> Fmt.pr "%-24s (no estimate)@." name)
+        results)
+    benchmarks
+
+(* --- main -------------------------------------------------------------- *)
+
+let () =
+  let experiments =
+    [
+      ("fig3", fig3);
+      ("fig4", fig4);
+      ("fig5", fig5);
+      ("fig6", fig6);
+      ("table3", table3);
+      ("ablation", ablation);
+      ("extensions", extensions);
+      ("perf", perf);
+    ]
+  in
+  match Array.to_list Sys.argv with
+  | _ :: name :: _ -> (
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Fmt.epr "unknown experiment %s; one of: %a@." name
+            Fmt.(list ~sep:comma string)
+            (List.map fst experiments);
+          exit 124)
+  | _ ->
+      (* Everything except the sampling run, which takes minutes. *)
+      List.iter
+        (fun (name, f) -> if name <> "perf" then f ())
+        experiments

@@ -1,0 +1,231 @@
+(* Command-line interface: verify built-in models, reproduce the bug
+   case studies, and inspect the lemma corpus. *)
+
+open Cmdliner
+open Entangle_models
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose =
+  let doc = "Print equality-saturation debug output." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let check_instance inst =
+  Fmt.pr "Checking %a@." Instance.pp inst;
+  match Instance.check inst with
+  | Ok success ->
+      Fmt.pr "%a@." (Entangle.Report.pp_success inst.Instance.gs) success;
+      (match
+         Entangle.Certify.replay ~env:inst.Instance.env ~gs:inst.Instance.gs
+           ~gd:inst.Instance.gd ~input_relation:inst.Instance.input_relation
+           ~output_relation:success.output_relation ()
+       with
+      | Ok () ->
+          Fmt.pr "Certificate replay on concrete data: OK@.";
+          0
+      | Error e ->
+          Fmt.pr "Certificate replay FAILED: %s@." e;
+          2)
+  | Error failure ->
+      Fmt.pr "%a@." (Entangle.Report.pp_failure inst.Instance.gs) failure;
+      1
+
+(* --- verify ------------------------------------------------------------ *)
+
+let model_arg =
+  let doc =
+    Fmt.str "Model to verify: one of %a."
+      Fmt.(list ~sep:comma string)
+      Zoo.names
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
+
+let degree_arg =
+  Arg.(value & opt int 2 & info [ "d"; "degree" ] ~doc:"Parallelism degree.")
+
+let layers_arg =
+  Arg.(value & opt int 1 & info [ "l"; "layers" ] ~doc:"Number of layers.")
+
+let verify_cmd =
+  let run verbose model degree layers =
+    setup_logs verbose;
+    let inst =
+      match String.lowercase_ascii model with
+      | "gpt" -> Some (Gpt.build ~layers ~degree ())
+      | "llama" | "llama-3" | "llama3" -> Some (Llama.build ~layers ~degree ())
+      | "qwen2" | "qwen" -> Some (Qwen2.build ~layers ~degree ())
+      | "bytedance" | "moe" -> Some (Moe.build ~degree ~layers ())
+      | "bytedance-bwd" | "moe-bwd" -> Some (Moe.build_backward ~degree ())
+      | "regression" -> Some (Regression.build ~microbatches:degree ())
+      | "linear-bwd" -> Some (Train.linear_backward ~degree ())
+      | "dp" | "data-parallel" -> Some (Train.data_parallel ~replicas:degree ())
+      | "pipeline" | "pp" ->
+          Some (Train.pipeline ~microbatches:degree ~layers:layers ())
+      | _ -> None
+    in
+    match inst with
+    | Some inst -> check_instance inst
+    | None ->
+        Fmt.epr "unknown model %s; try: %a@." model
+          Fmt.(list ~sep:comma string)
+          Zoo.names;
+        124
+  in
+  let info =
+    Cmd.info "verify" ~doc:"Check that a distributed model refines its spec."
+  in
+  Cmd.v info Term.(const run $ verbose $ model_arg $ degree_arg $ layers_arg)
+
+(* --- localize ----------------------------------------------------------- *)
+
+let bug_arg =
+  Arg.(required & pos 0 (some int) None & info [] ~docv:"BUG" ~doc:"Bug id, 1-9.")
+
+let localize_cmd =
+  let run verbose id =
+    setup_logs verbose;
+    match Bugs.case id with
+    | exception Invalid_argument e ->
+        Fmt.epr "%s@." e;
+        124
+    | case -> (
+        Fmt.pr "Bug %d (%s): %s@.@." case.Bugs.id case.Bugs.framework
+          case.Bugs.description;
+        match Bugs.run case with
+        | Bugs.Detected report ->
+            Fmt.pr "%s@." report;
+            0
+        | Bugs.Missed ->
+            Fmt.pr "NOT DETECTED: the checker accepted the implementation@.";
+            1)
+  in
+  let info =
+    Cmd.info "localize" ~doc:"Reproduce and localize one of the 9 case-study bugs."
+  in
+  Cmd.v info Term.(const run $ verbose $ bug_arg)
+
+(* --- check-files: verify graphs loaded from disk ------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let file_arg name doc = Arg.(required & opt (some file) None & info [ name ] ~doc)
+
+let check_files_cmd =
+  let run verbose gs_path gd_path rel_path =
+    setup_logs verbose;
+    let ( let* ) = Result.bind in
+    let outcome =
+      let* gs = Entangle_ir.Serial.graph_of_string (read_file gs_path) in
+      let* gd = Entangle_ir.Serial.graph_of_string (read_file gd_path) in
+      let* input_relation =
+        Entangle.Relation_io.of_string ~gs ~gd (read_file rel_path)
+      in
+      Ok (gs, gd, input_relation)
+    in
+    match outcome with
+    | Error e ->
+        Fmt.epr "error loading inputs: %s@." e;
+        124
+    | Ok (gs, gd, input_relation) -> (
+        match Entangle.Refine.check ~gs ~gd ~input_relation () with
+        | Ok success ->
+            Fmt.pr "%a@." (Entangle.Report.pp_success gs) success;
+            0
+        | Error failure ->
+            Fmt.pr "%a@." (Entangle.Report.pp_failure gs) failure;
+            1)
+  in
+  let info =
+    Cmd.info "check-files"
+      ~doc:
+        "Check refinement between graphs loaded from .ent files (see the \
+         format in lib/ir/serial.mli)."
+  in
+  Cmd.v info
+    Term.(
+      const run $ verbose
+      $ file_arg "gs" "Sequential graph file."
+      $ file_arg "gd" "Distributed graph file."
+      $ file_arg "rel" "Input relation file.")
+
+let export_cmd =
+  let run model dir dot =
+    match Zoo.by_name model with
+    | None ->
+        Fmt.epr "unknown model %s@." model;
+        124
+    | Some inst ->
+        let write name contents =
+          let path = Filename.concat dir name in
+          let oc = open_out path in
+          output_string oc contents;
+          output_string oc "\n";
+          close_out oc;
+          Fmt.pr "wrote %s@." path
+        in
+        write (model ^ "-seq.ent")
+          (Entangle_ir.Serial.graph_to_string inst.Instance.gs);
+        write (model ^ "-dist.ent")
+          (Entangle_ir.Serial.graph_to_string inst.Instance.gd);
+        write (model ^ "-rel.ent")
+          (Entangle.Relation_io.to_string inst.Instance.input_relation);
+        if dot then begin
+          write (model ^ "-seq.dot") (Entangle_ir.Dot.to_dot inst.Instance.gs);
+          write (model ^ "-dist.dot") (Entangle_ir.Dot.to_dot inst.Instance.gd)
+        end;
+        0
+  in
+  let info =
+    Cmd.info "export" ~doc:"Write a built-in model's graphs and relation to .ent files."
+  in
+  Cmd.v info
+    Term.(
+      const run $ model_arg
+      $ Arg.(value & opt dir "." & info [ "o"; "output" ] ~doc:"Output directory.")
+      $ Arg.(value & flag & info [ "dot" ] ~doc:"Also write Graphviz .dot renderings."))
+
+(* --- list / lemmas ------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "Models:@.";
+    List.iter (fun n -> Fmt.pr "  %s@." n) Zoo.names;
+    Fmt.pr "@.Bugs:@.";
+    List.iter
+      (fun c ->
+        Fmt.pr "  %d: [%s] %s@." c.Bugs.id c.Bugs.framework c.Bugs.description)
+      (Bugs.all ());
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in models and bug cases.")
+    Term.(const run $ const ())
+
+let lemmas_cmd =
+  let run () =
+    let all = Entangle_lemmas.Registry.all in
+    Fmt.pr "%d lemmas, %d rules:@." (List.length all)
+      (List.length (Entangle_lemmas.Lemma.rules all));
+    List.iteri
+      (fun i l -> Fmt.pr "  %2d %a@." i Entangle_lemmas.Lemma.pp l)
+      all;
+    0
+  in
+  Cmd.v (Cmd.info "lemmas" ~doc:"Show the lemma corpus.")
+    Term.(const run $ const ())
+
+let main =
+  let info =
+    Cmd.info "entangle" ~version:"1.0.0"
+      ~doc:"Static refinement checking for distributed ML models."
+  in
+  Cmd.group info
+    [ verify_cmd; check_files_cmd; export_cmd; localize_cmd; list_cmd; lemmas_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/bug_localization.ml: Bugs Entangle Entangle_models Fmt Instance Regression

@@ -1,0 +1,1 @@
+examples/custom_lemma.ml: Entangle Entangle_dist Entangle_egraph Entangle_ir Entangle_lemmas Entangle_symbolic Fmt Graph List Lower Node Op Pattern Rule Symdim

@@ -1,0 +1,1 @@
+examples/expectation_check.ml: Bugs Entangle Entangle_ir Entangle_models Fmt Instance Option

@@ -1,0 +1,1 @@
+examples/expectation_check.mli:

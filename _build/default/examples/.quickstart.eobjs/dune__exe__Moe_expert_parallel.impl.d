@@ -1,0 +1,1 @@
+examples/moe_expert_parallel.ml: Entangle Entangle_ir Entangle_models Fmt Instance List Moe

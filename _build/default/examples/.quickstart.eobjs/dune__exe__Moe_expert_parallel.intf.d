@@ -1,0 +1,1 @@
+examples/moe_expert_parallel.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Entangle Entangle_ir Entangle_symbolic Expr Fmt Graph Interp List Op Symdim

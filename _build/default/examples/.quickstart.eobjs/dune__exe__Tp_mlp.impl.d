@@ -1,0 +1,1 @@
+examples/tp_mlp.ml: Constraint_store Entangle Entangle_dist Entangle_ir Entangle_symbolic Fmt Graph Interp List Lower Op Symdim

@@ -1,0 +1,1 @@
+examples/tp_mlp.mli:

@@ -1,0 +1,1 @@
+examples/training_step.ml: Entangle Entangle_ir Entangle_models Fmt Instance List Option Train

@@ -1,0 +1,37 @@
+(* Bug localization: what an ENTANGLE failure report looks like.
+
+   Reproduces two of the paper's case-study bugs and prints the
+   actionable reports: the gradient-accumulation scaling bug from
+   HuggingFace transformers (bug 6) and the expert-sharding
+   configuration bug from the ByteDance framework (bug 4). In both, the
+   operator where the relation search terminated, together with its
+   input relations, points at the mistake.
+
+   Run with: dune exec examples/bug_localization.exe *)
+
+open Entangle_models
+
+let show case =
+  Fmt.pr "==============================================================@.";
+  Fmt.pr "Bug %d [%s]: %s@.@." case.Bugs.id case.Bugs.framework
+    case.Bugs.description;
+  match Bugs.run case with
+  | Bugs.Detected report -> Fmt.pr "%s@.@." report
+  | Bugs.Missed ->
+      Fmt.pr "NOT DETECTED — this would be a checker bug.@.";
+      exit 1
+
+let () =
+  show (Bugs.case 6);
+  show (Bugs.case 4);
+  (* And the fixed gradient-accumulation model, for contrast: *)
+  let fixed = Regression.build () in
+  match Instance.check fixed with
+  | Ok success ->
+      Fmt.pr "==============================================================@.";
+      Fmt.pr "Fixed gradient accumulation, for contrast:@.@.%a@."
+        (Entangle.Report.pp_success fixed.Instance.gs)
+        success
+  | Error _ ->
+      Fmt.pr "unexpected failure on the fixed model@.";
+      exit 1

@@ -1,0 +1,73 @@
+(* Adding operators and lemmas (the workflow of the paper's section 6.5).
+
+   A model uses a fused kernel — in both the sequential specification
+   and the distributed implementation, per the paper's same-optimizations
+   assumption — that the base ATen corpus knows nothing about. Out of
+   the box the checker cannot push the sharding through the opaque
+   kernel and fails. The user writes a one-lemma bridge giving the
+   kernel its mathematical meaning (two lines per direction, matching
+   the paper's observation that universal lemmas take one or two lines
+   of code), appends it to the rule set, and the check passes: the
+   bridge lets the whole existing corpus apply to the new operator.
+
+   Run with: dune exec examples/custom_lemma.exe *)
+
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_dist
+open Entangle_egraph
+module B = Graph.Builder
+
+let sd = Symdim.of_int
+
+let () =
+  (* Sequential specification, using the fused kernel. *)
+  let bs = B.create "swiglu-seq" in
+  let g = B.input bs "g" [ sd 4; sd 8 ] in
+  let u = B.input bs "u" [ sd 4; sd 8 ] in
+  let out = B.add bs ~name:"out" Op.Swiglu_fused [ g; u ] in
+  B.output bs out;
+  let gs = B.finish bs in
+  (* Distributed implementation: sequence-sharded fused kernel. *)
+  let ctx = Lower.create ~name:"swiglu-dist" ~degree:2 () in
+  let gsh = Lower.shard_input ctx g ~dim:0 in
+  let ush = Lower.shard_input ctx u ~dim:0 in
+  let outs =
+    List.map2 (fun g_r u_r -> Lower.add ctx Op.Swiglu_fused [ g_r; u_r ]) gsh ush
+  in
+  Lower.outputs ctx outs;
+  let gd, input_relation = Lower.finish ctx in
+
+  (* 1. With only the base ATen corpus (no vLLM lemmas), the fused
+        kernel is opaque and the check fails at the silu operator. *)
+  let base_rules =
+    Entangle_lemmas.Registry.rules_for_model Entangle_lemmas.Registry.Gpt
+  in
+  (match Entangle.Refine.check ~rules:base_rules ~gs ~gd ~input_relation () with
+  | Ok _ -> Fmt.pr "unexpected success without the custom lemma@."
+  | Error f ->
+      Fmt.pr "Without a lemma for the fused kernel:@.  FAILED at %a@.@."
+        Node.pp f.operator);
+
+  (* 2. The user-provided lemma: swiglu_fused(g, u) = mul(silu(g), u). *)
+  let v = Pattern.v and p = Pattern.p in
+  let custom =
+    Entangle_lemmas.Lemma.make ~klass:Entangle_lemmas.Lemma.Vllm
+      "my-swiglu-bridge"
+      [
+        Rule.make "my-swiglu-bridge"
+          (p Op.Swiglu_fused [ v "g"; v "u" ])
+          (p Op.Mul [ p Op.Silu [ v "g" ]; v "u" ]);
+        Rule.make "my-swiglu-bridge"
+          (p Op.Mul [ p Op.Silu [ v "g" ]; v "u" ])
+          (p Op.Swiglu_fused [ v "g"; v "u" ]);
+      ]
+  in
+  Fmt.pr "User lemma: %a@.@." Entangle_lemmas.Lemma.pp custom;
+  let rules = base_rules @ Entangle_lemmas.Lemma.rules [ custom ] in
+  match Entangle.Refine.check ~rules ~gs ~gd ~input_relation () with
+  | Ok success ->
+      Fmt.pr "With the lemma:@.%a@." (Entangle.Report.pp_success gs) success
+  | Error f ->
+      Fmt.pr "still failing: %s@." f.reason;
+      exit 1

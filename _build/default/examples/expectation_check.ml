@@ -1,0 +1,38 @@
+(* User-expectation checking (paper section 4.4).
+
+   Some bugs do not break refinement: the sequential value can still be
+   reconstructed from the distributed tensors — just not the way the
+   implementation assumes. Bug 9 (TransformerEngine) is such a case:
+   under sequence parallelism each rank holds a partial layernorm weight
+   gradient, the optimizer forgot the all-reduce, and the developer's
+   expectation "the full gradient equals my local tensor" is violated
+   even though "the full gradient equals the SUM of the local tensors"
+   holds.
+
+   Run with: dune exec examples/expectation_check.exe *)
+
+open Entangle_models
+
+let () =
+  let case = Bugs.case 9 in
+  Fmt.pr "Bug %d [%s]: %s@.@." case.Bugs.id case.Bugs.framework
+    case.Bugs.description;
+  let inst = case.Bugs.instance in
+  let fs, fd = Option.get case.Bugs.expectation in
+  Fmt.pr "Expectation: f_s = %a should equal f_d = %a@.@." Entangle_ir.Expr.pp
+    fs Entangle_ir.Expr.pp fd;
+  (* First: plain refinement succeeds — the value IS reconstructible. *)
+  (match
+     Entangle.Refine.check ~gs:inst.Instance.gs ~gd:inst.Instance.gd
+       ~input_relation:inst.Instance.input_relation ()
+   with
+  | Ok success ->
+      Fmt.pr "Plain refinement holds; the actual relation is:@.%a@.@."
+        Entangle.Relation.pp success.output_relation
+  | Error _ -> Fmt.pr "unexpected: plain refinement failed@.");
+  (* Second: the user's expectation is violated. *)
+  match Bugs.run case with
+  | Bugs.Detected reason -> Fmt.pr "Expectation check: %s@." reason
+  | Bugs.Missed ->
+      Fmt.pr "NOT DETECTED — this would be a checker bug.@.";
+      exit 1

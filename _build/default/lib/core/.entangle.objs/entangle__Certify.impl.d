@@ -1,0 +1,1 @@
+lib/core/certify.ml: Dtype Entangle_ir Expr Fmt Graph Hashtbl Interp List Ndarray Random Relation Result Shape Tensor

@@ -1,0 +1,1 @@
+lib/core/certify.mli: Entangle_ir Graph Interp Relation

@@ -1,0 +1,1 @@
+lib/core/config.mli: Entangle_egraph Runner

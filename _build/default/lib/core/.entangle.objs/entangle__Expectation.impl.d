@@ -1,0 +1,1 @@
+lib/core/expectation.ml: Entangle_ir Expr Fmt Graph List Node Refine Relation Tensor

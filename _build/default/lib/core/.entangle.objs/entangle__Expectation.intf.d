@@ -1,0 +1,1 @@
+lib/core/expectation.mli: Config Entangle_egraph Entangle_ir Expr Graph Hashtbl Refine Relation Rule

@@ -1,0 +1,1 @@
+lib/core/node_rel.ml: Config Egraph Enode Entangle_egraph Entangle_ir Expr Extract Fmt Graph Hashtbl Id List Node Op Option Relation Runner Tensor

@@ -1,0 +1,1 @@
+lib/core/node_rel.mli: Config Entangle_egraph Entangle_ir Expr Graph Hashtbl Node Relation Rule Runner

@@ -1,0 +1,1 @@
+lib/core/refine.ml: Config Entangle_egraph Entangle_ir Entangle_lemmas Expr Fmt Graph Hashtbl List Node Node_rel Op Relation Runner String Tensor Unix

@@ -1,0 +1,1 @@
+lib/core/refine.mli: Config Entangle_egraph Entangle_ir Expr Graph Hashtbl Node Relation Rule Tensor

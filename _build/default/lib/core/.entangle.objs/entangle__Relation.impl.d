@@ -1,0 +1,1 @@
+lib/core/relation.ml: Entangle_ir Expr Fmt Int List Option Tensor

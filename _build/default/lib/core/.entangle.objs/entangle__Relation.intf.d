@@ -1,0 +1,1 @@
+lib/core/relation.mli: Entangle_ir Expr Fmt Tensor

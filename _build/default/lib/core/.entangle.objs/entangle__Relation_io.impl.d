@@ -1,0 +1,1 @@
+lib/core/relation_io.ml: Entangle_ir Expr Fmt List Relation Result Serial Sexp Tensor

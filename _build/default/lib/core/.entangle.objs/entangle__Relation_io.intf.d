@@ -1,0 +1,1 @@
+lib/core/relation_io.mli: Entangle_ir Expr Graph Relation Sexp Tensor

@@ -1,0 +1,1 @@
+lib/core/report.ml: Entangle_ir Expr Fmt Graph List Node Refine Relation Tensor

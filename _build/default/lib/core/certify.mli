@@ -1,0 +1,25 @@
+(** Executable certification of a refinement result.
+
+    The paper argues (section 3.3) that the relation ENTANGLE returns is
+    a certificate of soundness. This module makes that operational: it
+    draws random concrete inputs for the distributed graph (unifying
+    replicated inputs as dictated by the input relation), derives the
+    sequential inputs by evaluating the input relation, runs both graphs
+    with the reference interpreter, and replays every output-relation
+    expression on the distributed outputs, checking numeric equality
+    with the sequential outputs. *)
+
+open Entangle_ir
+
+val replay :
+  ?tol:float ->
+  ?seed:int ->
+  env:Interp.env ->
+  gs:Graph.t ->
+  gd:Graph.t ->
+  input_relation:Relation.t ->
+  output_relation:Relation.t ->
+  unit ->
+  (unit, string) result
+(** [Ok ()] when every mapped sequential output is reconstructed within
+    [tol] (default 1e-3); [Error] describes the first mismatch. *)

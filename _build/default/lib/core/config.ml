@@ -1,0 +1,19 @@
+open Entangle_egraph
+
+type t = {
+  frontier_optimization : bool;
+  prune_equivalent : bool;
+  max_alternates : int;
+  limits : Runner.limits;
+}
+
+let default =
+  {
+    frontier_optimization = true;
+    prune_equivalent = true;
+    max_alternates = 4;
+    limits = Runner.default_limits;
+  }
+
+let no_frontier = { default with frontier_optimization = false }
+let no_pruning = { default with prune_equivalent = false; max_alternates = 8 }

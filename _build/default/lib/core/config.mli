@@ -1,0 +1,23 @@
+(** Checker configuration.
+
+    The two optimization toggles correspond to the paper's section 4.3
+    and exist so the ablation benchmarks can quantify each one. *)
+
+open Entangle_egraph
+
+type t = {
+  frontier_optimization : bool;
+      (** Section 4.3.1: iteratively grow the related subgraph of the
+          distributed graph instead of loading all of it. *)
+  prune_equivalent : bool;
+      (** Section 4.3.2: keep only the simplest expression per
+          equivalence class when recording relations. *)
+  max_alternates : int;
+      (** Maximum number of alternative mappings recorded per tensor
+          when pruning is off. *)
+  limits : Runner.limits;  (** saturation budget per operator *)
+}
+
+val default : t
+val no_frontier : t
+val no_pruning : t

@@ -1,0 +1,60 @@
+open Entangle_ir
+
+type violation = {
+  reason : string;
+  refinement : (Refine.success, Refine.failure) result;
+}
+
+let extend graph expr what =
+  match Graph.append_expr graph ~name:("%" ^ what) expr with
+  | Ok (g, t) -> (g, t)
+  | Error e -> invalid_arg (Fmt.str "Expectation.check: %s: %s" what e)
+
+let check ?config ?rules ?hit_counter ~gs ~gd ~input_relation ~fs ~fd () =
+  let gs', fs_t = extend gs fs "fs" in
+  let gd', fd_t = extend gd fd "fd" in
+  (* Narrow the outputs to the expectation values so that the output
+     relation speaks about exactly f_s and f_d. *)
+  let gs' =
+    match Graph.with_outputs gs' [ fs_t ] with
+    | Ok g -> g
+    | Error e -> invalid_arg e
+  in
+  let gd' =
+    match Graph.with_outputs gd' [ fd_t ] with
+    | Ok g -> g
+    | Error e -> invalid_arg e
+  in
+  match
+    Refine.check ?config ?rules ?hit_counter ~gs:gs' ~gd:gd'
+      ~input_relation ()
+  with
+  | Error failure ->
+      Error
+        {
+          reason =
+            Fmt.str
+              "user expectation violated: refinement of the expectation \
+               value failed at operator %a (%s)"
+              Node.pp failure.operator failure.reason;
+          refinement = Error failure;
+        }
+  | Ok success ->
+      let identity =
+        List.exists
+          (Expr.equal (Expr.leaf fd_t))
+          (Relation.find success.output_relation fs_t)
+      in
+      if identity then Ok success
+      else
+        Error
+          {
+            reason =
+              Fmt.str
+                "user expectation violated: f_s relates to the distributed \
+                 graph as %a, not as the expected f_d (%a)"
+                (Fmt.list ~sep:(Fmt.any " | ") Expr.pp)
+                (Relation.find success.output_relation fs_t)
+                Tensor.pp_name fd_t;
+            refinement = Ok success;
+          }

@@ -1,0 +1,33 @@
+(** User-expectation checking (paper section 4.4).
+
+    Sometimes a refinement exists but is not the one the implementation
+    relies on (bugs 5, 8 and 9 of the evaluation). The user states the
+    expected correspondence as a pair of expressions [f_s] over the
+    sequential outputs and [f_d] over the distributed outputs; the check
+    reduces to model refinement on graphs extended with those
+    expressions, followed by testing that the resulting relation maps
+    [f_s]'s value to exactly [f_d]'s value (the identity relation). *)
+
+open Entangle_ir
+open Entangle_egraph
+
+type violation = {
+  reason : string;
+  refinement : (Refine.success, Refine.failure) result;
+      (** the underlying refinement run, for diagnosis *)
+}
+
+val check :
+  ?config:Config.t ->
+  ?rules:Rule.t list ->
+  ?hit_counter:(string, int) Hashtbl.t ->
+  gs:Graph.t ->
+  gd:Graph.t ->
+  input_relation:Relation.t ->
+  fs:Expr.t ->
+  fd:Expr.t ->
+  unit ->
+  (Refine.success, violation) result
+(** [fs] must be an expression over tensors of [gs], [fd] over tensors
+    of [gd]. Raises [Invalid_argument] when they reference unknown
+    tensors. *)

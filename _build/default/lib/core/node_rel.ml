@@ -1,0 +1,219 @@
+open Entangle_ir
+open Entangle_egraph
+
+type outcome = {
+  mappings : Expr.t list;
+  output_mappings : Expr.t list;
+  reports : Runner.report list;
+  egraph_nodes : int;
+}
+
+(* Load one distributed node's defining equation into the e-graph:
+   leaf(output) = op(leaf(inputs)). *)
+let load_definition g node =
+  let out = Egraph.add_leaf g (Node.output node) in
+  let def =
+    Egraph.add_op g (Node.op node)
+      (List.map (Egraph.add_leaf g) (Node.inputs node))
+  in
+  ignore (Egraph.union g out def)
+
+let compute ~config ?hit_counter ~rules ~gs ~gd ~relation v =
+  let store = Graph.constraints gd in
+  let g = Egraph.create ~constraints:store () in
+  let limits = config.Config.limits in
+  let reports = ref [] in
+  (* Base expression: v applied to its (sequential) input tensors. *)
+  let input_ids = List.map (Egraph.add_leaf g) (Node.inputs v) in
+  let base = Egraph.add_op g (Node.op v) input_ids in
+  (* Seed the e-graph with the relation's mappings for v's inputs. *)
+  let missing =
+    List.filter (fun t -> Relation.find relation t = []) (Node.inputs v)
+  in
+  match missing with
+  | t :: _ ->
+      Error
+        (Fmt.str "input %a of operator %a has no mapping in the relation"
+           Tensor.pp_name t Node.pp v)
+  | [] ->
+      (* Seed the mappings of v's inputs plus those of every sequential
+         graph input (weights and activations): entries with several
+         mappings (replicated tensors) carry equivalences between
+         distributed tensors that are otherwise only derivable through
+         the sequential tensor, and replicated weights are referenced by
+         operators arbitrarily far downstream. Mappings of unrelated
+         intermediates are skipped, keeping the per-operator e-graph
+         size independent of how much of the model was already
+         processed. *)
+      let is_seed =
+        let inputs = Node.inputs v in
+        fun t ->
+          List.exists (Tensor.equal t) inputs || Graph.is_input gs t
+      in
+      List.iter
+        (fun (t, exprs) ->
+          if is_seed t then begin
+            let leaf = Egraph.add_leaf g t in
+            List.iter
+              (fun expr ->
+                ignore (Egraph.union g leaf (Egraph.add_expr g expr)))
+              exprs
+          end)
+        (Relation.bindings relation);
+      Egraph.rebuild g;
+      let gd_tensors =
+        List.fold_left
+          (fun acc t -> Tensor.Set.add t acc)
+          Tensor.Set.empty (Graph.tensors gd)
+      in
+      let is_gd t = Tensor.Set.mem t gd_tensors in
+      let round_limits =
+        { limits with Runner.max_iterations = 1 }
+      in
+      let rounds_used = ref 0 in
+      let one_round () =
+        incr rounds_used;
+        let report = Runner.run ~limits:round_limits ?hit_counter g rules in
+        reports := report :: !reports;
+        report
+      in
+      let have_mapping () =
+        Option.is_some (Extract.best_clean g ~leaf_ok:is_gd base)
+      in
+      if config.Config.frontier_optimization then begin
+        (* Listing 3: iteratively load the distributed subgraph related
+           to v. T_rel starts from the tensors appearing in the
+           relation's mappings for v's inputs (the cone anchors) and
+           grows through each loaded node's output, so exploration is
+           bounded by the downstream cone of v's inputs rather than the
+           whole distributed graph. *)
+        let t_rel =
+          ref
+            (List.fold_left
+               (fun acc t ->
+                 List.fold_left
+                   (fun acc expr ->
+                     List.fold_left
+                       (fun acc leaf ->
+                         if is_gd leaf then Tensor.Set.add leaf acc else acc)
+                       acc (Expr.leaves expr))
+                   acc (Relation.find relation t))
+               Tensor.Set.empty (Node.inputs v))
+        in
+        let explored = Hashtbl.create 64 in
+        let continue = ref true in
+        while !continue do
+          let frontier =
+            List.filter
+              (fun n ->
+                (not (Hashtbl.mem explored (Node.id n)))
+                && List.for_all (fun t -> Tensor.Set.mem t !t_rel) (Node.inputs n))
+              (Graph.nodes gd)
+          in
+          if frontier = [] then continue := false
+          else
+            List.iter
+              (fun n ->
+                Hashtbl.replace explored (Node.id n) ();
+                load_definition g n;
+                t_rel := Tensor.Set.add (Node.output n) !t_rel)
+              frontier
+        done;
+        Egraph.rebuild g
+      end
+      else begin
+        (* Unoptimized Listing 2: load the whole distributed graph. *)
+        List.iter (load_definition g) (Graph.nodes gd);
+        Egraph.rebuild g
+      end;
+      (* Saturate round by round, stopping shortly after a clean mapping
+         for v's output exists. Running to full saturation is wasted
+         work once the relation entry is derivable, and the extra
+         rounds mostly manufacture alternative decompositions whose
+         number can grow combinatorially. The two settling rounds let
+         simpler or output-grounded forms appear. *)
+      let rec saturate_rounds settling =
+        if !rounds_used >= limits.Runner.max_iterations then ()
+        else if Egraph.num_nodes g > limits.Runner.max_nodes then ()
+        else begin
+          let report = one_round () in
+          let mapped = have_mapping () in
+          if report.Runner.saturated then ()
+          else if mapped && settling <= 0 then ()
+          else saturate_rounds (if mapped then settling - 1 else settling)
+        end
+      in
+      saturate_rounds 2;
+      (* Step 4: extract clean expressions for v's output. Every
+         distributed leaf in the class is itself a (cost-zero) clean
+         mapping; recording them all keeps replicated values visible to
+         later operators (a relation may map a tensor several times,
+         section 3.2). *)
+      let leaf_mappings =
+        List.filter_map
+          (fun n ->
+            match Enode.sym n with
+            | Enode.Leaf t when is_gd t -> Some (Expr.leaf t)
+            | _ -> None)
+          (Egraph.nodes_of g base)
+      in
+      let best_any = Extract.best_clean g ~leaf_ok:is_gd base in
+      let best_output =
+        Extract.best_clean g ~leaf_ok:(fun t -> Graph.is_output gd t) base
+      in
+      (* Alternative canonical forms: a rearrangement-only expression
+         (concat of shards rather than a sum of partials) and a
+         structured expression that avoids leaves of the class itself.
+         Recording several forms is what lets later operators choose the
+         one their lemma needs — the C |-> sum(C1,C2) versus
+         C |-> concat(D1,D2) situation of the paper's running example. *)
+      let rearrange_only op =
+        Op.is_clean op
+        && match op with Op.Sum_n | Op.All_reduce -> false | _ -> true
+      in
+      let best_rearrange =
+        Extract.best_filtered g ~node_ok:rearrange_only ~leaf_ok:is_gd base
+      in
+      let base_cls = Egraph.find g base in
+      let non_self t =
+        is_gd t
+        &&
+        match Egraph.leaf_id g t with
+        | Some cls -> not (Id.equal (Egraph.find g cls) base_cls)
+        | None -> true
+      in
+      let best_structured = Extract.best_clean g ~leaf_ok:non_self base in
+      let best_structured_rearrange =
+        Extract.best_filtered g ~node_ok:rearrange_only ~leaf_ok:non_self base
+      in
+      let dedup exprs =
+        List.fold_left
+          (fun acc e ->
+            if List.exists (Expr.equal e) acc then acc else acc @ [ e ])
+          [] exprs
+      in
+      let mappings =
+        dedup
+          (leaf_mappings @ Option.to_list best_any
+          @ Option.to_list best_rearrange
+          @ Option.to_list best_structured
+          @ Option.to_list best_structured_rearrange
+          @ Option.to_list best_output)
+      in
+      let mappings =
+        if config.Config.prune_equivalent then mappings
+        else
+          (* Without pruning, also record clean expressions over strict
+             subsets of leaves, up to the alternate budget. *)
+          let alternates =
+            List.filteri (fun i _ -> i < config.Config.max_alternates) mappings
+          in
+          alternates
+      in
+      Ok
+        {
+          mappings;
+          output_mappings = dedup (Option.to_list best_output);
+          reports = List.rev !reports;
+          egraph_nodes = Egraph.num_nodes g;
+        }

@@ -1,0 +1,34 @@
+(** Per-operator relation inference: [compute_node_out_rel] of the
+    paper's Listing 2, with the frontier optimization of Listing 3.
+
+    Given one sequential operator [v], the distributed graph and the
+    relation accumulated so far, builds an e-graph seeded with [v]'s
+    base expression and the relation's mappings, iteratively loads the
+    related subgraph of the distributed graph, saturates with the lemma
+    rules, and extracts clean expressions for [v]'s output. *)
+
+open Entangle_ir
+open Entangle_egraph
+
+type outcome = {
+  mappings : Expr.t list;
+      (** clean expressions over any distributed tensors, simplest
+          first; empty means [v]'s output could not be mapped *)
+  output_mappings : Expr.t list;
+      (** clean expressions over distributed {e graph outputs} only *)
+  reports : Runner.report list;  (** one per saturation round *)
+  egraph_nodes : int;
+}
+
+val compute :
+  config:Config.t ->
+  ?hit_counter:(string, int) Hashtbl.t ->
+  rules:Rule.t list ->
+  gs:Graph.t ->
+  gd:Graph.t ->
+  relation:Relation.t ->
+  Node.t ->
+  (outcome, string) result
+(** [Error] signals a malformed query (an input of [v] has no mapping in
+    the relation), not a refinement failure — the latter is an [Ok] with
+    empty [mappings]. *)

@@ -1,0 +1,120 @@
+open Entangle_ir
+open Entangle_egraph
+
+type stats = {
+  operators_processed : int;
+  saturation_iterations : int;
+  egraph_nodes_peak : int;
+  rule_hits : (string * int) list;
+  wall_time_s : float;
+}
+
+type success = {
+  output_relation : Relation.t;
+  full_relation : Relation.t;
+  stats : stats;
+}
+
+type failure = {
+  operator : Node.t;
+  reason : string;
+  partial_relation : Relation.t;
+  input_mappings : (Tensor.t * Expr.t list) list;
+  stats : stats;
+}
+
+let check ?(config = Config.default) ?rules ?hit_counter ~gs ~gd
+    ~input_relation () =
+  if not (Relation.is_clean input_relation) then
+    invalid_arg "Refine.check: input relation contains non-clean expressions";
+  let rules =
+    match rules with
+    | Some r -> r
+    | None -> Entangle_lemmas.Lemma.rules Entangle_lemmas.Registry.all
+  in
+  let hit_counter =
+    match hit_counter with Some c -> c | None -> Hashtbl.create 64
+  in
+  let t0 = Unix.gettimeofday () in
+  let iters = ref 0 and peak = ref 0 and processed = ref 0 in
+  let stats () =
+    {
+      operators_processed = !processed;
+      saturation_iterations = !iters;
+      egraph_nodes_peak = !peak;
+      rule_hits =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) hit_counter []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+      wall_time_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  let fail operator reason relation =
+    Error
+      {
+        operator;
+        reason;
+        partial_relation = relation;
+        input_mappings =
+          List.map (fun t -> (t, Relation.find relation t)) (Node.inputs operator);
+        stats = stats ();
+      }
+  in
+  (* Listing 1: process operators in topological order, accumulating R. *)
+  let rec go relation output_relation = function
+    | [] ->
+        Ok
+          {
+            output_relation;
+            full_relation = relation;
+            stats = stats ();
+          }
+    | v :: rest -> (
+        match
+          Node_rel.compute ~config ~hit_counter ~rules ~gs ~gd ~relation v
+        with
+        | Error reason -> fail v reason relation
+        | Ok outcome -> (
+            iters :=
+              !iters
+              + List.fold_left
+                  (fun acc (r : Runner.report) -> acc + r.iterations)
+                  0 outcome.reports;
+            peak := max !peak outcome.egraph_nodes;
+            incr processed;
+            match outcome.mappings with
+            | [] ->
+                fail v
+                  (Fmt.str
+                     "could not map outputs for operator %s: no clean \
+                      expression over the distributed graph reconstructs %a"
+                     (Op.name (Node.op v)) Tensor.pp_name (Node.output v))
+                  relation
+            | mappings ->
+                let out = Node.output v in
+                let relation = Relation.add_all relation out mappings in
+                if Graph.is_output gs out then
+                  match outcome.output_mappings with
+                  | [] ->
+                      fail v
+                        (Fmt.str
+                           "graph output %a maps into the distributed graph \
+                            but not to its outputs: the value is computed \
+                            yet never exposed"
+                           Tensor.pp_name out)
+                        relation
+                  | out_maps ->
+                      go relation
+                        (Relation.add_all output_relation out out_maps)
+                        rest
+                else go relation output_relation rest))
+  in
+  (* Sequential inputs that are also outputs pass through via identity. *)
+  let output_relation0 =
+    List.fold_left
+      (fun acc t ->
+        if Graph.is_input gs t then
+          Relation.add_all acc t (Relation.find input_relation t)
+        else acc)
+      Relation.empty (Graph.outputs gs)
+  in
+  go input_relation output_relation0 (Graph.nodes gs)

@@ -1,0 +1,50 @@
+(** The model-refinement checker (paper Listing 1).
+
+    Processes every operator of the sequential graph in topological
+    order, inferring a clean output relation for each; the first
+    operator whose outputs cannot be mapped is reported, which is what
+    localizes the bug. On success the result carries the complete clean
+    output relation — the certificate of soundness (section 3.3). *)
+
+open Entangle_ir
+open Entangle_egraph
+
+type stats = {
+  operators_processed : int;
+  saturation_iterations : int;
+  egraph_nodes_peak : int;
+  rule_hits : (string * int) list;  (** per-lemma application counts *)
+  wall_time_s : float;
+}
+
+type success = {
+  output_relation : Relation.t;
+      (** maps every sequential output to clean expressions over
+          distributed outputs *)
+  full_relation : Relation.t;
+      (** maps every sequential tensor (the accumulated R) *)
+  stats : stats;
+}
+
+type failure = {
+  operator : Node.t;  (** where the search terminated *)
+  reason : string;
+  partial_relation : Relation.t;  (** R accumulated before the failure *)
+  input_mappings : (Tensor.t * Expr.t list) list;
+      (** the failing operator's input relations, for localization *)
+  stats : stats;
+}
+
+val check :
+  ?config:Config.t ->
+  ?rules:Rule.t list ->
+  ?hit_counter:(string, int) Hashtbl.t ->
+  gs:Graph.t ->
+  gd:Graph.t ->
+  input_relation:Relation.t ->
+  unit ->
+  (success, failure) result
+(** [rules] defaults to the full ATen corpus
+    ({!Entangle_lemmas.Registry.all}). Raises [Invalid_argument] when
+    the input relation is not clean or does not cover the sequential
+    graph's inputs that are actually used. *)

@@ -1,0 +1,39 @@
+(** Relations: sets of tensor-expression pairs (paper section 3.2).
+
+    A relation from graph [G] to graph [G'] maps tensors of [G] to
+    expressions over tensors of [G']. A tensor may have several
+    mappings, which models replicated inputs. *)
+
+open Entangle_ir
+
+type t
+
+val empty : t
+
+val add : t -> Tensor.t -> Expr.t -> t
+(** Add a mapping, deduplicating identical expressions. *)
+
+val add_all : t -> Tensor.t -> Expr.t list -> t
+val singleton : Tensor.t -> Expr.t -> t
+val of_list : (Tensor.t * Expr.t) list -> t
+
+val find : t -> Tensor.t -> Expr.t list
+(** All mappings for a tensor, simplest first; [] when unmapped. *)
+
+val mem : t -> Tensor.t -> bool
+val union : t -> t -> t
+val bindings : t -> (Tensor.t * Expr.t list) list
+val cardinal : t -> int
+
+val tensors_in_range : t -> Tensor.Set.t
+(** Every tensor appearing as a leaf of some mapped expression: the
+    initial [T_rel] of the frontier optimization (Listing 3, line 15). *)
+
+val restrict : t -> (Tensor.t -> bool) -> t
+
+val complete_for : t -> Tensor.t list -> bool
+(** Does the relation contain at least one mapping for every tensor in
+    the list? (The completeness condition of section 3.2.) *)
+
+val is_clean : t -> bool
+val pp : t Fmt.t

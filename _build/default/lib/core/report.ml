@@ -1,0 +1,37 @@
+open Entangle_ir
+
+let pp_stats ppf (s : Refine.stats) =
+  Fmt.pf ppf
+    "%d operators, %d saturation iterations, peak e-graph %d nodes, %.3fs"
+    s.operators_processed s.saturation_iterations s.egraph_nodes_peak
+    s.wall_time_s
+
+let pp_success gs ppf (s : Refine.success) =
+  Fmt.pf ppf
+    "@[<v>Refinement verification succeeded for %s.@,@,\
+     Clean output relation R_o:@,%a@,@,(%a)@]"
+    (Graph.name gs) Relation.pp s.output_relation pp_stats s.stats
+
+let pp_failure gs ppf (f : Refine.failure) =
+  let upstream =
+    List.filter_map (Graph.producer gs) (Node.inputs f.operator)
+  in
+  Fmt.pf ppf
+    "@[<v>Refinement FAILED for %s.@,@,\
+     Could not map outputs for operator:@,  %a@,@,Reason: %s@,@,\
+     Input relations of the operator (inspect these to localize):@,%a@,@,\
+     Upstream operators:@,%a@,@,(%a)@]"
+    (Graph.name gs) Node.pp f.operator f.reason
+    (Fmt.list ~sep:Fmt.cut (fun ppf (t, exprs) ->
+         match exprs with
+         | [] -> Fmt.pf ppf "  %a -> (no clean mapping)" Tensor.pp_name t
+         | _ ->
+             Fmt.pf ppf "  %a -> %a" Tensor.pp_name t
+               (Fmt.list ~sep:(Fmt.any " | ") Expr.pp)
+               exprs))
+    f.input_mappings
+    (Fmt.list ~sep:Fmt.cut (fun ppf n -> Fmt.pf ppf "  %a" Node.pp n))
+    upstream pp_stats f.stats
+
+let success_to_string gs s = Fmt.str "%a" (pp_success gs) s
+let failure_to_string gs f = Fmt.str "%a" (pp_failure gs) f

@@ -1,0 +1,1 @@
+lib/dist/lower.ml: Entangle Entangle_ir Expr Fmt Graph List Op Partition Tensor

@@ -1,0 +1,1 @@
+lib/dist/lower.mli: Constraint_store Dtype Entangle Entangle_ir Entangle_symbolic Expr Graph Op Shape Tensor

@@ -1,0 +1,1 @@
+lib/dist/partition.ml: Entangle_ir Entangle_symbolic Fmt List Result Shape Symdim

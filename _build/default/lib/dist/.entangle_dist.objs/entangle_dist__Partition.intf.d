@@ -1,0 +1,1 @@
+lib/dist/partition.mli: Entangle_ir Entangle_symbolic Shape Symdim

@@ -1,0 +1,1 @@
+lib/dist/strategy.ml: Fmt String

@@ -1,0 +1,1 @@
+lib/dist/strategy.mli: Fmt

@@ -1,0 +1,23 @@
+open Entangle_symbolic
+open Entangle_ir
+
+let chunk size ~parts =
+  match Symdim.div_int size parts with
+  | Some c -> Ok c
+  | None ->
+      Error
+        (Fmt.str "dimension %a cannot be evenly partitioned by %d" Symdim.pp
+           size parts)
+
+let split_dim shape ~dim ~parts =
+  let d = Shape.normalize_axis ~rank:(Shape.rank shape) dim in
+  Result.map
+    (fun c -> List.init parts (fun _ -> Shape.set_dim shape d c))
+    (chunk (Shape.dim shape d) ~parts)
+
+let offsets size ~parts =
+  match chunk size ~parts with
+  | Error e -> invalid_arg e
+  | Ok c ->
+      List.init parts (fun i ->
+          (Symdim.mul_int i c, Symdim.mul_int (i + 1) c))

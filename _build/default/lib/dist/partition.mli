@@ -1,0 +1,15 @@
+(** Shape partitioning helpers. *)
+
+open Entangle_symbolic
+open Entangle_ir
+
+val split_dim : Shape.t -> dim:int -> parts:int -> (Shape.t list, string) result
+(** Equal split of one dimension; fails when the size is not evenly
+    divisible (matching the paper's note that Llama-3 cannot be
+    partitioned 6 ways). *)
+
+val chunk : Symdim.t -> parts:int -> (Symdim.t, string) result
+
+val offsets : Symdim.t -> parts:int -> (Symdim.t * Symdim.t) list
+(** [(start, stop)] of each chunk of an evenly divisible size. Raises
+    [Invalid_argument] when not divisible. *)

@@ -1,0 +1,50 @@
+type t =
+  | Tensor_parallel
+  | Sequence_parallel
+  | Vocab_parallel
+  | Expert_parallel
+  | Data_parallel
+  | Pipeline_parallel
+  | Gradient_accumulation
+
+let to_string = function
+  | Tensor_parallel -> "tensor-parallel"
+  | Sequence_parallel -> "sequence-parallel"
+  | Vocab_parallel -> "vocab-parallel"
+  | Expert_parallel -> "expert-parallel"
+  | Data_parallel -> "data-parallel"
+  | Pipeline_parallel -> "pipeline-parallel"
+  | Gradient_accumulation -> "gradient-accumulation"
+
+let abbreviation = function
+  | Tensor_parallel -> "TP"
+  | Sequence_parallel -> "SP"
+  | Vocab_parallel -> "VP"
+  | Expert_parallel -> "EP"
+  | Data_parallel -> "DP"
+  | Pipeline_parallel -> "PP"
+  | Gradient_accumulation -> "GA"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "tp" | "tensor-parallel" -> Some Tensor_parallel
+  | "sp" | "sequence-parallel" -> Some Sequence_parallel
+  | "vp" | "vocab-parallel" -> Some Vocab_parallel
+  | "ep" | "expert-parallel" -> Some Expert_parallel
+  | "dp" | "data-parallel" -> Some Data_parallel
+  | "pp" | "pipeline-parallel" -> Some Pipeline_parallel
+  | "ga" | "gradient-accumulation" -> Some Gradient_accumulation
+  | _ -> None
+
+let all =
+  [
+    Tensor_parallel;
+    Sequence_parallel;
+    Vocab_parallel;
+    Expert_parallel;
+    Data_parallel;
+    Pipeline_parallel;
+    Gradient_accumulation;
+  ]
+
+let pp ppf t = Fmt.string ppf (abbreviation t)

@@ -1,0 +1,21 @@
+(** Distribution-strategy descriptors (paper section 2.1).
+
+    The descriptors are bookkeeping: actual lowering is performed by the
+    {!Lower} combinators, which the model zoo composes per strategy,
+    the same way training frameworks implement parallel layers out of
+    sharding plus collectives. *)
+
+type t =
+  | Tensor_parallel  (** TP: partition operator weights across ranks *)
+  | Sequence_parallel  (** SP: partition activations along the sequence *)
+  | Vocab_parallel  (** VP: partition the LM head along the vocabulary *)
+  | Expert_parallel  (** EP: partition mixture-of-experts experts *)
+  | Data_parallel  (** DP: partition the batch; gradients all-reduced *)
+  | Pipeline_parallel  (** PP: partition layers; microbatch accumulation *)
+  | Gradient_accumulation  (** microbatched loss accumulation *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val abbreviation : t -> string
+val all : t list
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/egraph/egraph.ml: Constraint_store Enode Entangle_ir Entangle_symbolic Expr Fmt Hashtbl Id List Op Option Shape Tensor Union_find

@@ -1,0 +1,1 @@
+lib/egraph/egraph.mli: Constraint_store Enode Entangle_ir Entangle_symbolic Expr Fmt Id Op Shape Tensor

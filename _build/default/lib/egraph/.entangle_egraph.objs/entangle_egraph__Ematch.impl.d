@@ -1,0 +1,1 @@
+lib/egraph/ematch.ml: Egraph Enode Entangle_ir Id List Op Pattern String Subst

@@ -1,0 +1,1 @@
+lib/egraph/ematch.mli: Egraph Id Pattern Subst

@@ -1,0 +1,1 @@
+lib/egraph/enode.ml: Entangle_ir Fmt Hashtbl Id List Map Op Tensor

@@ -1,0 +1,1 @@
+lib/egraph/enode.mli: Entangle_ir Fmt Hashtbl Id Map Op Tensor

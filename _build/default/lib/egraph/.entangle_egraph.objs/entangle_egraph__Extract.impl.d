@@ -1,0 +1,1 @@
+lib/egraph/extract.ml: Egraph Enode Entangle_ir Expr Id Int List Op Option

@@ -1,0 +1,1 @@
+lib/egraph/extract.mli: Egraph Entangle_ir Expr Id Op Tensor

@@ -1,0 +1,1 @@
+lib/egraph/id.ml: Fmt Hashtbl Int Map Set

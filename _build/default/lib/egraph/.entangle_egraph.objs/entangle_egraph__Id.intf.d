@@ -1,0 +1,1 @@
+lib/egraph/id.mli: Fmt Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/egraph/pattern.ml: Entangle_ir Fmt Id List Op

@@ -1,0 +1,1 @@
+lib/egraph/pattern.mli: Entangle_ir Fmt Id Op

@@ -1,0 +1,1 @@
+lib/egraph/rule.ml: Egraph Ematch Id List Pattern Subst

@@ -1,0 +1,1 @@
+lib/egraph/rule.mli: Egraph Id Pattern Subst

@@ -1,0 +1,1 @@
+lib/egraph/runner.ml: Egraph Ematch Enode Entangle_ir Hashtbl Id List Logs Option Pattern Rule

@@ -1,0 +1,1 @@
+lib/egraph/runner.mli: Egraph Hashtbl Rule

@@ -1,0 +1,1 @@
+lib/egraph/subst.ml: Entangle_ir Fmt Id Map Op String

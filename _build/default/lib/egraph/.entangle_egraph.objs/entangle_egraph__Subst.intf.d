@@ -1,0 +1,1 @@
+lib/egraph/subst.mli: Entangle_ir Fmt Id Op

@@ -1,0 +1,1 @@
+lib/egraph/union_find.mli: Id

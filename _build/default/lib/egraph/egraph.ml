@@ -1,0 +1,198 @@
+open Entangle_symbolic
+open Entangle_ir
+
+type eclass = {
+  mutable nodes : Enode.t list;
+  mutable parents : (Enode.t * Id.t) list;
+  mutable shape : Shape.t option;
+}
+
+type t = {
+  uf : Union_find.t;
+  memo : Id.t Enode.Tbl.t;
+  classes : eclass Id.Tbl.t;
+  leaves : (int, Id.t) Hashtbl.t;  (* Tensor.id -> class *)
+  mutable pending : Id.t list;
+  constrs : Constraint_store.t;
+}
+
+let create ?(constraints = Constraint_store.empty) () =
+  {
+    uf = Union_find.create ();
+    memo = Enode.Tbl.create 256;
+    classes = Id.Tbl.create 256;
+    leaves = Hashtbl.create 64;
+    pending = [];
+    constrs = constraints;
+  }
+
+let constraints t = t.constrs
+let find t id = Union_find.find t.uf id
+
+let canonicalize t n = Enode.map_children (find t) n
+
+let eclass_of t id =
+  match Id.Tbl.find_opt t.classes (find t id) with
+  | Some c -> c
+  | None -> invalid_arg "Egraph: unknown class id"
+
+let infer_shape t (n : Enode.t) =
+  match Enode.sym n with
+  | Enode.Leaf tensor -> Some (Tensor.shape tensor)
+  | Enode.Op op -> (
+      let child_shapes =
+        List.map (fun c -> (eclass_of t c).shape) (Enode.children n)
+      in
+      if List.exists Option.is_none child_shapes then None
+      else
+        let shapes = List.map Option.get child_shapes in
+        match Op.infer_shape t.constrs op shapes with
+        | Ok s -> Some s
+        | Error _ -> None)
+
+let lookup t n =
+  let n = canonicalize t n in
+  Option.map (find t) (Enode.Tbl.find_opt t.memo n)
+
+let add t n =
+  let n = canonicalize t n in
+  match Enode.Tbl.find_opt t.memo n with
+  | Some id -> find t id
+  | None ->
+      let id = Union_find.fresh t.uf in
+      let cls = { nodes = [ n ]; parents = []; shape = None } in
+      Id.Tbl.replace t.classes id cls;
+      List.iter
+        (fun child ->
+          let c = eclass_of t child in
+          c.parents <- (n, id) :: c.parents)
+        (Enode.children n);
+      Enode.Tbl.replace t.memo n id;
+      cls.shape <- infer_shape t n;
+      (match Enode.sym n with
+      | Enode.Leaf tensor -> Hashtbl.replace t.leaves (Tensor.id tensor :> int) id
+      | Enode.Op _ -> ());
+      id
+
+let add_leaf t tensor = add t (Enode.leaf tensor)
+let add_op t op children = add t (Enode.op op children)
+
+let rec add_expr t = function
+  | Expr.Leaf tensor -> add_leaf t tensor
+  | Expr.App (op, args) -> add_op t op (List.map (add_expr t) args)
+
+let leaf_id t tensor =
+  Option.map (find t) (Hashtbl.find_opt t.leaves (Tensor.id tensor :> int))
+
+let equiv t a b = Id.equal (find t a) (find t b)
+
+let union t a b =
+  let fa = find t a and fb = find t b in
+  if Id.equal fa fb then false
+  else begin
+    let ca = eclass_of t fa and cb = eclass_of t fb in
+    let root = Union_find.union t.uf fa fb in
+    let winner, loser_id, loser =
+      if Id.equal root fa then (ca, fb, cb) else (cb, fa, ca)
+    in
+    winner.nodes <- List.rev_append loser.nodes winner.nodes;
+    winner.parents <- List.rev_append loser.parents winner.parents;
+    (match (winner.shape, loser.shape) with
+    | None, Some s -> winner.shape <- Some s
+    | _ -> ());
+    Id.Tbl.remove t.classes loser_id;
+    t.pending <- root :: t.pending;
+    true
+  end
+
+let rebuild t =
+  let rec go () =
+    match t.pending with
+    | [] -> ()
+    | pending ->
+        t.pending <- [];
+        let seen = ref Id.Set.empty in
+        List.iter
+          (fun id ->
+            let root = find t id in
+            if not (Id.Set.mem root !seen) then begin
+              seen := Id.Set.add root !seen;
+              let cls = eclass_of t root in
+              (* Re-canonicalize parents, merging congruent ones. *)
+              let parents = cls.parents in
+              cls.parents <- [];
+              let fresh = Hashtbl.create (List.length parents) in
+              List.iter
+                (fun (pnode, pid) ->
+                  Enode.Tbl.remove t.memo pnode;
+                  let pnode = canonicalize t pnode in
+                  let pid = find t pid in
+                  (match Enode.Tbl.find_opt t.memo pnode with
+                  | Some other -> ignore (union t pid other)
+                  | None -> Enode.Tbl.replace t.memo pnode pid);
+                  let key = Enode.hash pnode in
+                  if not (Hashtbl.mem fresh (key, pnode)) then begin
+                    Hashtbl.replace fresh (key, pnode) ();
+                    let cls = eclass_of t root in
+                    cls.parents <- (pnode, find t pid) :: cls.parents
+                  end)
+                parents;
+              (* Deduplicate and re-canonicalize the class's own nodes. *)
+              let cls = eclass_of t root in
+              let tbl = Enode.Tbl.create (List.length cls.nodes) in
+              List.iter
+                (fun n -> Enode.Tbl.replace tbl (canonicalize t n) ())
+                cls.nodes;
+              cls.nodes <- Enode.Tbl.fold (fun n () acc -> n :: acc) tbl []
+            end)
+          pending;
+        go ()
+  in
+  go ()
+
+let nodes_of t id = List.map (canonicalize t) (eclass_of t id).nodes
+let shape_of t id = (eclass_of t id).shape
+let class_ids t = Id.Tbl.fold (fun id _ acc -> id :: acc) t.classes []
+let num_classes t = Id.Tbl.length t.classes
+
+let num_nodes t =
+  Id.Tbl.fold (fun _ c acc -> acc + List.length c.nodes) t.classes 0
+
+let reachable t roots =
+  let visited = ref Id.Set.empty in
+  let rec visit id =
+    let id = find t id in
+    if not (Id.Set.mem id !visited) then begin
+      visited := Id.Set.add id !visited;
+      List.iter
+        (fun n -> List.iter visit (Enode.children n))
+        (nodes_of t id)
+    end
+  in
+  List.iter visit roots;
+  !visited
+
+let contains_leaf t id pred =
+  List.exists
+    (fun n ->
+      match Enode.sym n with
+      | Enode.Leaf tensor -> pred tensor
+      | Enode.Op _ -> false)
+    (nodes_of t id)
+
+let iter_nodes t f =
+  Id.Tbl.iter
+    (fun id cls ->
+      List.iter (fun n -> f id (canonicalize t n)) cls.nodes)
+    t.classes
+
+let pp ppf t =
+  Id.Tbl.iter
+    (fun id cls ->
+      Fmt.pf ppf "@[<h>class %a:%a %a@]@."
+        Id.pp id
+        Fmt.(option (any ":" ++ Shape.pp))
+        cls.shape
+        (Fmt.list ~sep:(Fmt.any " | ") Enode.pp)
+        cls.nodes)
+    t.classes

@@ -1,0 +1,66 @@
+(** The e-graph: a congruence-closed set of equivalence classes of terms.
+
+    A re-implementation of the core of egg (Willsey et al., POPL 2021),
+    which the paper uses for expression rewriting: terms are added as
+    hash-consed e-nodes; [union] asserts equality; [rebuild] restores
+    congruence after a batch of unions. An e-class analysis tracks the
+    symbolic shape of every class, which conditioned lemmas consult. *)
+
+open Entangle_symbolic
+open Entangle_ir
+
+type t
+
+val create : ?constraints:Constraint_store.t -> unit -> t
+
+val constraints : t -> Constraint_store.t
+
+(** {1 Adding terms} *)
+
+val add : t -> Enode.t -> Id.t
+val add_leaf : t -> Tensor.t -> Id.t
+val add_op : t -> Op.t -> Id.t list -> Id.t
+val add_expr : t -> Expr.t -> Id.t
+
+val lookup : t -> Enode.t -> Id.t option
+(** Like {!add} but never inserts; [None] when the (canonicalized) node
+    is not present. Implements the "constrained lemmas" optimization
+    (paper section 4.3.2): a conditioned rule may require its target to
+    already exist. *)
+
+val leaf_id : t -> Tensor.t -> Id.t option
+
+(** {1 Equivalences} *)
+
+val find : t -> Id.t -> Id.t
+val equiv : t -> Id.t -> Id.t -> bool
+
+val union : t -> Id.t -> Id.t -> bool
+(** [true] when the two classes were distinct and have been merged.
+    Requires a subsequent {!rebuild} before matching again. *)
+
+val rebuild : t -> unit
+(** Restore the congruence invariant; processes all pending unions. *)
+
+(** {1 Inspection} *)
+
+val nodes_of : t -> Id.t -> Enode.t list
+(** Canonicalized nodes of the class of the given id. *)
+
+val shape_of : t -> Id.t -> Shape.t option
+val class_ids : t -> Id.t list
+val num_classes : t -> int
+val num_nodes : t -> int
+
+val reachable : t -> Id.t list -> Id.Set.t
+(** Classes reachable from the given roots through e-node children. *)
+
+val contains_leaf : t -> Id.t -> (Tensor.t -> bool) -> bool
+(** Does the class of the id contain a leaf satisfying the predicate? *)
+
+val iter_nodes : t -> (Id.t -> Enode.t -> unit) -> unit
+(** Iterate over every canonicalized node of every class. Used by rules
+    that need to scan for existing nodes (the constrained-lemma
+    optimization of section 4.3.2). *)
+
+val pp : t Fmt.t

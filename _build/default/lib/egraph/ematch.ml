@@ -1,0 +1,98 @@
+open Entangle_ir
+
+type mode = Insert | Check_only
+
+(* Hard bound on the substitutions produced while matching one pattern
+   against one class. Classes that accumulate many equivalent variadic
+   nodes (nested sums, regrouped concats) otherwise yield quadratically
+   many matches; truncation loses completeness of a single iteration
+   only — later iterations rediscover anything still missing. *)
+let per_class_budget = 2048
+
+let truncate l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  if List.compare_length_with l per_class_budget > 0 then
+    go per_class_budget l
+  else l
+
+let sel_matches sel (op : Op.t) subst =
+  match sel with
+  | Pattern.Fixed o -> if Op.equal o op then Some subst else None
+  | Pattern.Family { family; bind } ->
+      if String.equal (Op.name op) family then Subst.bind_op subst bind op
+      else None
+  | Pattern.Bound name -> (
+      match Subst.op_opt subst name with
+      | Some o when Op.equal o op -> Some subst
+      | _ -> None)
+
+let rec match_pat g pat cls subst =
+  let cls = Egraph.find g cls in
+  match pat with
+  | Pattern.V x -> (
+      match Subst.bind_var subst x cls with
+      | Some s -> [ s ]
+      | None -> [])
+  | Pattern.C id -> if Id.equal (Egraph.find g id) cls then [ subst ] else []
+  | Pattern.P (sel, args) ->
+      let n_args = List.length args in
+      List.concat_map
+        (fun enode ->
+          match Enode.sym enode with
+          | Enode.Leaf _ -> []
+          | Enode.Op op ->
+              if List.length (Enode.children enode) <> n_args then []
+              else begin
+                match sel_matches sel op subst with
+                | None -> []
+                | Some subst ->
+                    List.fold_left2
+                      (fun substs arg child ->
+                        truncate
+                          (List.concat_map
+                             (fun s -> match_pat g arg child s)
+                             substs))
+                      [ subst ] args (Enode.children enode)
+              end)
+        (Egraph.nodes_of g cls)
+      |> truncate
+
+let match_class g pat cls = match_pat g pat cls Subst.empty
+
+let match_all g pat =
+  List.concat_map
+    (fun cls ->
+      List.map (fun s -> (cls, s)) (match_class g pat cls))
+    (Egraph.class_ids g)
+
+let rec instantiate ~mode g subst = function
+  | Pattern.V x -> Subst.var_opt subst x
+  | Pattern.C id -> Some (Egraph.find g id)
+  | Pattern.P (sel, args) -> (
+      let op =
+        match sel with
+        | Pattern.Fixed o -> Some o
+        | Pattern.Bound name -> Subst.op_opt subst name
+        | Pattern.Family _ -> None
+      in
+      match op with
+      | None -> None
+      | Some op ->
+          let rec build acc = function
+            | [] -> Some (List.rev acc)
+            | a :: rest -> (
+                match instantiate ~mode g subst a with
+                | Some id -> build (id :: acc) rest
+                | None -> None)
+          in
+          (match build [] args with
+          | None -> None
+          | Some children -> (
+              let node = Enode.op op children in
+              match mode with
+              | Insert -> Some (Egraph.add g node)
+              | Check_only -> Egraph.lookup g node)))

@@ -1,0 +1,19 @@
+(** E-matching: finding all substitutions under which a pattern matches
+    an e-class, and instantiating right-hand sides. *)
+
+type mode = Insert | Check_only
+(** [Check_only] implements the constrained-lemma optimization (paper
+    section 4.3.2): instantiation succeeds only when every operator node
+    of the right-hand side already exists in the e-graph. *)
+
+val match_class : Egraph.t -> Pattern.t -> Id.t -> Subst.t list
+(** All substitutions matching the pattern at the given class. *)
+
+val match_all : Egraph.t -> Pattern.t -> (Id.t * Subst.t) list
+(** Matches across every class of the e-graph. *)
+
+val instantiate :
+  mode:mode -> Egraph.t -> Subst.t -> Pattern.t -> Id.t option
+(** Build the pattern under the substitution. [None] if the pattern
+    references an unbound variable/operator or, in [Check_only] mode,
+    when a node does not already exist. *)

@@ -1,0 +1,33 @@
+(** Term extraction from e-classes.
+
+    [best] extracts the smallest term of a class ("the expression with
+    the smallest number of nested expressions", paper section 4.3.2).
+    [best_clean] restricts both the operators (to clean ones) and the
+    admissible leaves; it is how the checker turns a saturated e-graph
+    into a clean relation entry. *)
+
+open Entangle_ir
+
+val best : Egraph.t -> Id.t -> Expr.t option
+(** Smallest term of the class, over any leaves. [None] only when the
+    class contains no term grounded in leaves. *)
+
+val best_clean :
+  Egraph.t -> leaf_ok:(Tensor.t -> bool) -> Id.t -> Expr.t option
+(** Smallest term of the class whose operators all satisfy
+    {!Op.is_clean} and whose leaves all satisfy [leaf_ok]. *)
+
+val best_filtered :
+  Egraph.t ->
+  node_ok:(Op.t -> bool) ->
+  leaf_ok:(Tensor.t -> bool) ->
+  Id.t ->
+  Expr.t option
+(** Like {!best_clean} with a caller-supplied operator filter; used to
+    extract alternative canonical forms (for instance rearrangement-only
+    expressions alongside reduction expressions). *)
+
+val clean_cost_table :
+  Egraph.t -> leaf_ok:(Tensor.t -> bool) -> (Id.t -> int option)
+(** Precomputed clean-extraction costs for every class; useful when
+    querying many classes of one e-graph. *)

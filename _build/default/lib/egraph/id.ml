@@ -1,0 +1,18 @@
+type t = int
+
+let of_int i = i
+let to_int i = i
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp = Fmt.int
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+module Tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)

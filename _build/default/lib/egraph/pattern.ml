@@ -1,0 +1,37 @@
+open Entangle_ir
+
+type op_sel =
+  | Fixed of Op.t
+  | Family of { family : string; bind : string }
+  | Bound of string
+
+type t = V of string | P of op_sel * t list | C of Id.t
+
+let v name = V name
+let p op args = P (Fixed op, args)
+let fam family ~bind args = P (Family { family; bind }, args)
+let bound name args = P (Bound name, args)
+let c id = C id
+
+let vars pat =
+  let rec go acc = function
+    | V x -> if List.mem x acc then acc else x :: acc
+    | C _ -> acc
+    | P (_, args) -> List.fold_left go acc args
+  in
+  List.rev (go [] pat)
+
+let rec size = function
+  | V _ | C _ -> 0
+  | P (_, args) -> 1 + List.fold_left (fun acc a -> acc + size a) 0 args
+
+let pp_sel ppf = function
+  | Fixed op -> Op.pp ppf op
+  | Family { family; bind } -> Fmt.pf ppf "?%s:%s" bind family
+  | Bound name -> Fmt.pf ppf "!%s" name
+
+let rec pp ppf = function
+  | V x -> Fmt.pf ppf "?%s" x
+  | C id -> Fmt.pf ppf "#%a" Id.pp id
+  | P (sel, args) ->
+      Fmt.pf ppf "(%a %a)" pp_sel sel (Fmt.list ~sep:(Fmt.any " ") pp) args

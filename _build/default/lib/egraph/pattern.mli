@@ -1,0 +1,35 @@
+(** Patterns over e-graph terms.
+
+    Used both as left-hand sides (matched against e-classes, binding
+    variables) and right-hand sides (instantiated under a substitution).
+    Operators with attributes can be matched exactly ([Fixed]) or by
+    family name with the concrete operator captured in the substitution
+    ([Family]), mirroring egg's conditioned rewrites (paper Listing 4). *)
+
+open Entangle_ir
+
+type op_sel =
+  | Fixed of Op.t  (** exact operator, attributes included *)
+  | Family of { family : string; bind : string }
+      (** any operator with this {!Op.name}; bound under [bind] *)
+  | Bound of string  (** RHS only: re-use an operator bound on the LHS *)
+
+type t =
+  | V of string  (** pattern variable over e-classes *)
+  | P of op_sel * t list
+  | C of Id.t  (** direct reference to an e-class (RHS of scan-based rules) *)
+
+val v : string -> t
+val p : Op.t -> t list -> t
+val fam : string -> bind:string -> t list -> t
+val bound : string -> t list -> t
+val c : Id.t -> t
+
+val vars : t -> string list
+(** Distinct pattern variables in first-occurrence order. *)
+
+val size : t -> int
+(** Number of operator applications; used as the lemma-complexity metric
+    of the paper's Figure 5a (operators on both sides of a lemma). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,47 @@
+type applier =
+  | Syntactic of Pattern.t
+  | Conditional of
+      (Egraph.t -> Id.t -> Subst.t -> (Pattern.t * Pattern.t) list)
+
+type t = {
+  name : string;
+  lhs : Pattern.t;
+  applier : applier;
+  constrained : bool;
+}
+
+let make ?(constrained = false) name lhs rhs =
+  { name; lhs; applier = Syntactic rhs; constrained }
+
+let make_dyn ?(constrained = false) name lhs f =
+  { name; lhs; applier = Conditional f; constrained }
+
+let rewrite_to ?constrained name lhs f =
+  let applier g root subst =
+    match f g root subst with
+    | Some rhs -> [ (Pattern.c root, rhs) ]
+    | None -> []
+  in
+  make_dyn ?constrained name lhs applier
+
+let apply_matches rule g matches =
+  let mode = if rule.constrained then Ematch.Check_only else Ematch.Insert in
+  let hits = ref 0 in
+  List.iter
+    (fun (cls, subst) ->
+      let equations =
+        match rule.applier with
+        | Syntactic rhs -> [ (Pattern.c cls, rhs) ]
+        | Conditional f -> f g cls subst
+      in
+      List.iter
+        (fun (lhs, rhs) ->
+          match
+            ( Ematch.instantiate ~mode g subst lhs,
+              Ematch.instantiate ~mode g subst rhs )
+          with
+          | Some a, Some b -> if Egraph.union g a b then incr hits
+          | _ -> ())
+        equations)
+    matches;
+  !hits

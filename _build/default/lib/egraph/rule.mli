@@ -1,0 +1,52 @@
+(** Rewrite rules.
+
+    A rule is the executable form of a lemma (paper section 4.2.1):
+    a left-hand pattern plus either a syntactic right-hand pattern
+    (universal lemma) or a function computing right-hand patterns from
+    the match (conditioned lemma, mirroring egg's closure appliers in
+    Listing 4 of the paper). *)
+
+type applier =
+  | Syntactic of Pattern.t
+  | Conditional of
+      (Egraph.t -> Id.t -> Subst.t -> (Pattern.t * Pattern.t) list)
+      (** Given the e-graph, the matched root class and the substitution,
+          return equations to assert: each pair of patterns is
+          instantiated and the two sides unioned. Return [[]] when the
+          condition fails. Use [Pattern.c root] to refer to the matched
+          class itself. *)
+
+type t = {
+  name : string;
+  lhs : Pattern.t;
+  applier : applier;
+  constrained : bool;
+      (** When true, right-hand sides are instantiated in
+          {!Ematch.Check_only} mode: the rewrite fires only if the target
+          already exists (paper section 4.3.2, "Constrained Lemmas"). *)
+}
+
+val make : ?constrained:bool -> string -> Pattern.t -> Pattern.t -> t
+(** Universal lemma [make name lhs rhs]. *)
+
+val make_dyn :
+  ?constrained:bool ->
+  string ->
+  Pattern.t ->
+  (Egraph.t -> Id.t -> Subst.t -> (Pattern.t * Pattern.t) list) ->
+  t
+(** Conditioned lemma. *)
+
+val rewrite_to :
+  ?constrained:bool ->
+  string ->
+  Pattern.t ->
+  (Egraph.t -> Id.t -> Subst.t -> Pattern.t option) ->
+  t
+(** Conditioned lemma whose right-hand side replaces the matched class:
+    convenience wrapper around {!make_dyn}. *)
+
+val apply_matches : t -> Egraph.t -> (Id.t * Subst.t) list -> int
+(** Apply the rule to pre-collected matches; returns the number of
+    applications that merged two previously distinct classes. The caller
+    must {!Egraph.rebuild} afterwards. *)

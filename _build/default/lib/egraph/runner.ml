@@ -1,0 +1,157 @@
+type limits = { max_iterations : int; max_nodes : int; max_classes : int }
+
+let default_limits =
+  { max_iterations = 30; max_nodes = 20_000; max_classes = 10_000 }
+
+type report = {
+  iterations : int;
+  saturated : bool;
+  nodes : int;
+  classes : int;
+}
+
+let bump counter name n =
+  if n > 0 then
+    let prev = Option.value (Hashtbl.find_opt counter name) ~default:0 in
+    Hashtbl.replace counter name (prev + n)
+
+let log_src = Logs.Src.create "entangle.runner" ~doc:"Equality saturation"
+
+module Log = (val Logs.src_log log_src)
+
+(* Applying one rule's pre-collected matches, stopping early if the
+   e-graph outgrows the node budget mid-iteration. *)
+let apply_bounded ~limits rule g matches =
+  let mode =
+    if rule.Rule.constrained then Ematch.Check_only else Ematch.Insert
+  in
+  let hits = ref 0 in
+  (try
+     List.iter
+       (fun (cls, subst) ->
+         if Egraph.num_nodes g > limits.max_nodes then raise Exit;
+         let equations =
+           match rule.Rule.applier with
+           | Rule.Syntactic rhs -> [ (Pattern.c cls, rhs) ]
+           | Rule.Conditional f -> f g cls subst
+         in
+         List.iter
+           (fun (lhs, rhs) ->
+             match
+               ( Ematch.instantiate ~mode g subst lhs,
+                 Ematch.instantiate ~mode g subst rhs )
+             with
+             | Some a, Some b -> if Egraph.union g a b then incr hits
+             | _ -> ())
+           equations)
+       matches
+   with Exit -> ());
+  !hits
+
+(* Root operator family of a rule's left-hand side, used to index rules
+   so matching skips classes that contain no node of that family. *)
+let root_family (rule : Rule.t) =
+  match rule.lhs with
+  | Pattern.P (Pattern.Fixed op, _) -> Some (Entangle_ir.Op.name op)
+  | Pattern.P (Pattern.Family { family; _ }, _) -> Some family
+  | Pattern.P (Pattern.Bound _, _) | Pattern.V _ | Pattern.C _ -> None
+
+let run ?(limits = default_limits) ?hit_counter g rules =
+  let counter =
+    match hit_counter with Some c -> c | None -> Hashtbl.create 16
+  in
+  let indexed = List.map (fun r -> (root_family r, r)) rules in
+  let rec go iter =
+    if
+      iter >= limits.max_iterations
+      || Egraph.num_nodes g > limits.max_nodes
+      || Egraph.num_classes g > limits.max_classes
+    then
+      { iterations = iter; saturated = false;
+        nodes = Egraph.num_nodes g; classes = Egraph.num_classes g }
+    else begin
+      (* Index the classes by the operator families they contain. *)
+      let by_family : (string, Id.t list ref) Hashtbl.t = Hashtbl.create 64 in
+      let all_classes = Egraph.class_ids g in
+      List.iter
+        (fun cls ->
+          let seen = Hashtbl.create 8 in
+          List.iter
+            (fun n ->
+              match Enode.sym n with
+              | Enode.Op op ->
+                  let fam = Entangle_ir.Op.name op in
+                  if not (Hashtbl.mem seen fam) then begin
+                    Hashtbl.replace seen fam ();
+                    match Hashtbl.find_opt by_family fam with
+                    | Some l -> l := cls :: !l
+                    | None -> Hashtbl.replace by_family fam (ref [ cls ])
+                  end
+              | Enode.Leaf _ -> ())
+            (Egraph.nodes_of g cls))
+        all_classes;
+      let candidates = function
+        | None -> all_classes
+        | Some fam -> (
+            match Hashtbl.find_opt by_family fam with
+            | Some l -> !l
+            | None -> [])
+      in
+      (* Rules are processed one at a time: matches for a rule are
+         collected against the current e-graph and applied before the
+         next rule is matched. Holding every rule's matches at once (as
+         a literal reading of egg's iteration would) retains
+         multiplicatively many substitutions on large classes. A
+         per-rule cap bounds the pathological cases; the runner simply
+         takes another iteration to finish the work. *)
+      let max_matches_per_rule = 20_000 in
+      let total_matches = ref 0 in
+      (* Collect a rule's matches class by class, stopping once the cap
+         is reached so pathological classes cannot materialize millions
+         of substitutions. *)
+      let collect rule classes =
+        let acc = ref [] and count = ref 0 in
+        (try
+           List.iter
+             (fun cls ->
+               if !count >= max_matches_per_rule then raise Exit;
+               List.iter
+                 (fun s ->
+                   if !count < max_matches_per_rule then begin
+                     acc := (cls, s) :: !acc;
+                     incr count
+                   end)
+                 (Ematch.match_class g rule.Rule.lhs cls))
+             classes
+         with Exit -> ());
+        !acc
+      in
+      let total_hits =
+        List.fold_left
+          (fun acc (fam, rule) ->
+            let ms = collect rule (candidates fam) in
+            total_matches := !total_matches + List.length ms;
+            let hits = apply_bounded ~limits rule g ms in
+            bump counter rule.Rule.name hits;
+            acc + hits)
+          0 indexed
+      in
+      let total_matches = !total_matches in
+      Egraph.rebuild g;
+      Log.debug (fun m ->
+          m "iteration %d: %d matches, %d unions, %d nodes, %d classes" iter
+            total_matches total_hits (Egraph.num_nodes g)
+            (Egraph.num_classes g));
+      let over_budget =
+        Egraph.num_nodes g > limits.max_nodes
+        || Egraph.num_classes g > limits.max_classes
+      in
+      if total_hits = 0 then
+        (* No unions: a genuine fixpoint unless application was cut
+           short by the node budget. *)
+        { iterations = iter + 1; saturated = not over_budget;
+          nodes = Egraph.num_nodes g; classes = Egraph.num_classes g }
+      else go (iter + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,30 @@
+(** Equality-saturation runner.
+
+    Repeatedly matches every rule against the e-graph, applies all
+    matches, and rebuilds, until a fixpoint or a resource limit. Per-rule
+    application counts are recorded (the paper's Figure 6 heatmap). *)
+
+type limits = {
+  max_iterations : int;
+  max_nodes : int;
+  max_classes : int;
+}
+
+val default_limits : limits
+
+type report = {
+  iterations : int;
+  saturated : bool;  (** reached a fixpoint before hitting a limit *)
+  nodes : int;
+  classes : int;
+}
+
+val run :
+  ?limits:limits ->
+  ?hit_counter:(string, int) Hashtbl.t ->
+  Egraph.t ->
+  Rule.t list ->
+  report
+(** [hit_counter] accumulates, per rule name, the number of applications
+    that merged classes; pass the same table across runs to aggregate
+    counts over a whole verification. *)

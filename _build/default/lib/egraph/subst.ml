@@ -1,0 +1,28 @@
+open Entangle_ir
+module Smap = Map.Make (String)
+
+type t = { vars : Id.t Smap.t; ops : Op.t Smap.t }
+
+let empty = { vars = Smap.empty; ops = Smap.empty }
+
+let bind_var t x id =
+  match Smap.find_opt x t.vars with
+  | Some existing -> if Id.equal existing id then Some t else None
+  | None -> Some { t with vars = Smap.add x id t.vars }
+
+let bind_op t x op =
+  match Smap.find_opt x t.ops with
+  | Some existing -> if Op.equal existing op then Some t else None
+  | None -> Some { t with ops = Smap.add x op t.ops }
+
+let var t x = Smap.find x t.vars
+let var_opt t x = Smap.find_opt x t.vars
+let op t x = Smap.find x t.ops
+let op_opt t x = Smap.find_opt x t.ops
+
+let pp ppf t =
+  Fmt.pf ppf "{%a%a}"
+    (Fmt.iter_bindings Smap.iter (fun ppf (k, v) -> Fmt.pf ppf "?%s=%a " k Id.pp v))
+    t.vars
+    (Fmt.iter_bindings Smap.iter (fun ppf (k, v) -> Fmt.pf ppf "!%s=%a " k Op.pp v))
+    t.ops

@@ -1,0 +1,20 @@
+(** Substitutions produced by e-matching. *)
+
+open Entangle_ir
+
+type t
+
+val empty : t
+
+val bind_var : t -> string -> Id.t -> t option
+(** [None] when the variable is already bound to a different class. *)
+
+val bind_op : t -> string -> Op.t -> t option
+
+val var : t -> string -> Id.t
+(** Raises [Not_found]. *)
+
+val var_opt : t -> string -> Id.t option
+val op : t -> string -> Op.t
+val op_opt : t -> string -> Op.t option
+val pp : t Fmt.t

@@ -1,0 +1,48 @@
+type t = {
+  mutable parent : int array;
+  mutable rank : int array;
+  mutable len : int;
+}
+
+let create () = { parent = Array.make 64 0; rank = Array.make 64 0; len = 0 }
+
+let grow t =
+  let cap = Array.length t.parent in
+  if t.len >= cap then begin
+    let parent = Array.make (2 * cap) 0 in
+    let rank = Array.make (2 * cap) 0 in
+    Array.blit t.parent 0 parent 0 cap;
+    Array.blit t.rank 0 rank 0 cap;
+    t.parent <- parent;
+    t.rank <- rank
+  end
+
+let fresh t =
+  grow t;
+  let i = t.len in
+  t.parent.(i) <- i;
+  t.len <- t.len + 1;
+  Id.of_int i
+
+let rec find_int t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find_int t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let find t i = Id.of_int (find_int t (Id.to_int i))
+
+let union t a b =
+  let ra = find_int t (Id.to_int a) and rb = find_int t (Id.to_int b) in
+  if ra = rb then Id.of_int ra
+  else begin
+    let ra, rb = if t.rank.(ra) >= t.rank.(rb) then (ra, rb) else (rb, ra) in
+    t.parent.(rb) <- ra;
+    if t.rank.(ra) = t.rank.(rb) then t.rank.(ra) <- t.rank.(ra) + 1;
+    Id.of_int ra
+  end
+
+let size t = t.len

@@ -1,0 +1,16 @@
+(** Union-find over e-class ids with path compression and union by rank. *)
+
+type t
+
+val create : unit -> t
+
+val fresh : t -> Id.t
+(** Allocate a new singleton class. *)
+
+val find : t -> Id.t -> Id.t
+
+val union : t -> Id.t -> Id.t -> Id.t
+(** Merge two classes; returns the surviving representative. *)
+
+val size : t -> int
+(** Number of ids allocated so far. *)

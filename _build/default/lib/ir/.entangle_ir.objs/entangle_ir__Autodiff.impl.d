@@ -1,0 +1,1 @@
+lib/ir/autodiff.ml: Entangle_symbolic Fmt Graph Hashtbl List Node Op Option Rat Shape Symdim Tensor

@@ -1,0 +1,1 @@
+lib/ir/autodiff.mli: Graph Op Tensor

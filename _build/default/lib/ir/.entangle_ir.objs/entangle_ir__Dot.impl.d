@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Buffer Fmt Graph List Node Op Shape String Tensor

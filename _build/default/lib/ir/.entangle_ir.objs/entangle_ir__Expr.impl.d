@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Fmt List Op Result Tensor

@@ -1,0 +1,1 @@
+lib/ir/expr.mli: Constraint_store Entangle_symbolic Fmt Op Shape Tensor

@@ -1,0 +1,1 @@
+lib/ir/graph.ml: Constraint_store Dtype Entangle_symbolic Expr Fmt List Node Op Result Shape Tensor

@@ -1,0 +1,1 @@
+lib/ir/graph.mli: Constraint_store Dtype Entangle_symbolic Expr Fmt Node Op Shape Tensor

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Dtype Dump Entangle_symbolic Expr Fmt Fun Graph List Map Ndarray Node Op Option Printf Rat Shape String Symdim Tensor

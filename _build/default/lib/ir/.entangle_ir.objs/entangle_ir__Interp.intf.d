@@ -1,0 +1,1 @@
+lib/ir/interp.mli: Expr Graph Ndarray Op Random Stdlib String Tensor

@@ -1,0 +1,1 @@
+lib/ir/ndarray.ml: Array Float Fmt List Random

@@ -1,0 +1,1 @@
+lib/ir/ndarray.mli: Fmt Random

@@ -1,0 +1,1 @@
+lib/ir/node.ml: Fmt Op Tensor

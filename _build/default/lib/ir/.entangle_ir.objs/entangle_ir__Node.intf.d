@@ -1,0 +1,1 @@
+lib/ir/node.mli: Fmt Op Tensor

@@ -1,0 +1,1 @@
+lib/ir/op.ml: Decide Dtype Entangle_symbolic Fmt Fun Hashtbl List Rat Result Shape String Symdim

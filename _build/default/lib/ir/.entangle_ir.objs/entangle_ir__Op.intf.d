@@ -1,0 +1,1 @@
+lib/ir/op.mli: Constraint_store Dtype Entangle_symbolic Fmt Rat Shape Symdim

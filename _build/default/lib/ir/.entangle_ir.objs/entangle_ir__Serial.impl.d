@@ -1,0 +1,1 @@
+lib/ir/serial.ml: Constraint_store Dtype Entangle_symbolic Fmt Graph Hashtbl List Node Op Printf Rat Result Sexp String Symdim Tensor

@@ -1,0 +1,1 @@
+lib/ir/serial.mli: Entangle_symbolic Graph Op Sexp Symdim Tensor

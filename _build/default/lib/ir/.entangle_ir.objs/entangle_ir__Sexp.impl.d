@@ -1,0 +1,1 @@
+lib/ir/sexp.ml: Buffer Fmt List Result String

@@ -1,0 +1,1 @@
+lib/ir/shape.ml: Decide Entangle_symbolic Fmt List Printf Symdim

@@ -1,0 +1,1 @@
+lib/ir/shape.mli: Constraint_store Entangle_symbolic Fmt Symdim

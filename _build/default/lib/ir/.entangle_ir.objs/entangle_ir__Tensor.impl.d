@@ -1,0 +1,1 @@
+lib/ir/tensor.ml: Dtype Fmt Hashtbl Int Map Set Shape

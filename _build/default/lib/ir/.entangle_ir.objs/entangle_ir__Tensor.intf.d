@@ -1,0 +1,1 @@
+lib/ir/tensor.mli: Dtype Fmt Map Set Shape

@@ -1,0 +1,270 @@
+open Entangle_symbolic
+module B = Graph.Builder
+
+type outcome = {
+  graph : Graph.t;
+  seed_of : (Tensor.t * Tensor.t) list;
+  mirror_of : (Tensor.t * Tensor.t) list;
+  grad_of : (Tensor.t * Tensor.t) list;
+}
+
+let supported (op : Op.t) =
+  match op with
+  | Op.Matmul | Op.Add | Op.Sub | Op.Mul | Op.Neg | Op.Scale _ | Op.Identity
+  | Op.Sum_n | Op.Concat _ | Op.Slice _ | Op.Transpose _ | Op.Pad _
+  | Op.Silu | Op.Sigmoid | Op.Square | Op.Mse_loss | Op.All_reduce
+  | Op.All_gather _ | Op.Reduce_scatter _ ->
+      true
+  | _ -> false
+
+exception Unsupported of string
+
+let transpose01 = Op.Transpose { dim0 = 0; dim1 = 1 }
+
+(* Gradient of a broadcast operand: reduce the incoming gradient over
+   the axes the operand was broadcast along, so shapes match again. *)
+let debroadcast b dy ~from_shape ~to_shape =
+  let rank_from = Shape.rank from_shape and rank_to = Shape.rank to_shape in
+  (* Sum out leading axes absent in the operand. *)
+  let g = ref dy in
+  for _ = 1 to rank_from - rank_to do
+    g := B.add b (Op.Reduce_sum { dim = 0; keepdim = false }) [ !g ]
+  done;
+  (* Sum (keeping dims) over axes where the operand had size one. *)
+  List.iteri
+    (fun i d ->
+      if Symdim.equal d Symdim.one then
+        g := B.add b (Op.Reduce_sum { dim = i; keepdim = true }) [ !g ])
+    to_shape;
+  !g
+
+let backward ?(tie = []) ?name fwd ~wrt =
+  let bname =
+    match name with Some n -> n | None -> Graph.name fwd ^ "-bwd"
+  in
+  let b = B.create ~constraints:(Graph.constraints fwd) bname in
+  (* Mirrors of forward tensors, created lazily when a gradient formula
+     references the forward value. *)
+  let mirrors : (int, Tensor.t) Hashtbl.t = Hashtbl.create 16 in
+  let mirror_list = ref [] in
+  let mirror t =
+    let key = (Tensor.id t :> int) in
+    match Hashtbl.find_opt mirrors key with
+    | Some m -> m
+    | None ->
+        let m =
+          B.input b ~dtype:(Tensor.dtype t) (Tensor.name t) (Tensor.shape t)
+        in
+        Hashtbl.replace mirrors key m;
+        mirror_list := (t, m) :: !mirror_list;
+        m
+  in
+  (* Accumulated gradient of each forward tensor. *)
+  let grads : (int, Tensor.t) Hashtbl.t = Hashtbl.create 16 in
+  let grad_opt t = Hashtbl.find_opt grads (Tensor.id t :> int) in
+  let accumulate t dg =
+    let key = (Tensor.id t :> int) in
+    match Hashtbl.find_opt grads key with
+    | None -> Hashtbl.replace grads key dg
+    | Some existing -> Hashtbl.replace grads key (B.add b Op.Add [ existing; dg ])
+  in
+  (* Seeds for every forward output. *)
+  let seeds =
+    List.map
+      (fun o ->
+        let seed =
+          B.input b ~dtype:(Tensor.dtype o)
+            ("d_" ^ Tensor.name o)
+            (Tensor.shape o)
+        in
+        accumulate o seed;
+        (o, seed))
+      (Graph.outputs fwd)
+  in
+  let chunk_bounds shape dim count index =
+    let size = Shape.dim shape dim in
+    match Symdim.div_int size count with
+    | None -> raise (Unsupported "collective chunk not divisible")
+    | Some chunk ->
+        (Symdim.mul_int index chunk, Symdim.mul_int (index + 1) chunk)
+  in
+  let node_grad node dy =
+    let open Op in
+    let inputs = Node.inputs node in
+    let shape_of t = Tensor.shape t in
+    match (Node.op node, inputs) with
+    | Matmul, [ a; bb ] ->
+        if Shape.rank (shape_of a) <> 2 || Shape.rank (shape_of bb) <> 2 then
+          raise (Unsupported "matmul gradient requires rank 2");
+        accumulate a (B.add b Matmul [ dy; B.add b transpose01 [ mirror bb ] ]);
+        accumulate bb (B.add b Matmul [ B.add b transpose01 [ mirror a ]; dy ])
+    | Add, [ x; y ] ->
+        accumulate x (debroadcast b dy ~from_shape:(Tensor.shape (Node.output node)) ~to_shape:(shape_of x));
+        accumulate y (debroadcast b dy ~from_shape:(Tensor.shape (Node.output node)) ~to_shape:(shape_of y))
+    | Sub, [ x; y ] ->
+        accumulate x (debroadcast b dy ~from_shape:(Tensor.shape (Node.output node)) ~to_shape:(shape_of x));
+        accumulate y
+          (debroadcast b (B.add b Neg [ dy ])
+             ~from_shape:(Tensor.shape (Node.output node))
+             ~to_shape:(shape_of y))
+    | Mul, [ x; y ] ->
+        accumulate x
+          (debroadcast b (B.add b Mul [ dy; mirror y ])
+             ~from_shape:(Tensor.shape (Node.output node))
+             ~to_shape:(shape_of x));
+        accumulate y
+          (debroadcast b (B.add b Mul [ dy; mirror x ])
+             ~from_shape:(Tensor.shape (Node.output node))
+             ~to_shape:(shape_of y))
+    | Neg, [ x ] -> accumulate x (B.add b Neg [ dy ])
+    | Scale r, [ x ] -> accumulate x (B.add b (Scale r) [ dy ])
+    | Identity, [ x ] -> accumulate x dy
+    | Sum_n, xs -> List.iter (fun x -> accumulate x dy) xs
+    | Concat { dim }, xs ->
+        let off = ref Symdim.zero in
+        List.iter
+          (fun x ->
+            let size = Shape.dim (shape_of x) dim in
+            let stop = Symdim.add !off size in
+            accumulate x
+              (B.add b (Slice { dim; start = !off; stop }) [ dy ]);
+            off := stop)
+          xs
+    | Slice { dim; start; stop }, [ x ] ->
+        let size = Shape.dim (shape_of x) dim in
+        accumulate x
+          (B.add b
+             (Pad { dim; before = start; after = Symdim.sub size stop })
+             [ dy ])
+    | Transpose { dim0; dim1 }, [ x ] ->
+        accumulate x (B.add b (Transpose { dim0; dim1 }) [ dy ])
+    | Pad { dim; before; after = _ }, [ x ] ->
+        let size = Shape.dim (shape_of x) dim in
+        accumulate x
+          (B.add b
+             (Slice { dim; start = before; stop = Symdim.add before size })
+             [ dy ])
+    | Silu, [ x ] ->
+        (* d silu = s + x * s * (1 - s), with 1 - s = sigmoid(-x). *)
+        let xm = mirror x in
+        let s = B.add b Sigmoid [ xm ] in
+        let s_neg = B.add b Sigmoid [ B.add b Neg [ xm ] ] in
+        let deriv =
+          B.add b Add [ s; B.add b Mul [ B.add b Mul [ xm; s ]; s_neg ] ]
+        in
+        accumulate x (B.add b Mul [ dy; deriv ])
+    | Sigmoid, [ x ] ->
+        let xm = mirror x in
+        let s = B.add b Sigmoid [ xm ] in
+        let s_neg = B.add b Sigmoid [ B.add b Neg [ xm ] ] in
+        accumulate x (B.add b Mul [ dy; B.add b Mul [ s; s_neg ] ])
+    | Square, [ x ] ->
+        accumulate x (B.add b (Scale (Rat.of_int 2)) [ B.add b Mul [ dy; mirror x ] ])
+    | Mse_loss, [ p; t ] -> (
+        match Shape.numel (shape_of p) with
+        | Some n when Symdim.to_int n <> None ->
+            let n = Option.get (Symdim.to_int n) in
+            let diff = B.add b Sub [ mirror p; mirror t ] in
+            let base = B.add b (Scale (Rat.make 2 n)) [ B.add b Mul [ dy; diff ] ] in
+            accumulate p base;
+            accumulate t (B.add b Neg [ base ])
+        | _ -> raise (Unsupported "mse gradient requires a concrete size"))
+    | All_reduce, xs -> List.iter (fun x -> accumulate x dy) xs
+    | All_gather { dim }, xs ->
+        let count = List.length xs in
+        List.iteri
+          (fun i x ->
+            let start, stop =
+              chunk_bounds (Tensor.shape (Node.output node)) dim count i
+            in
+            accumulate x (B.add b (Slice { dim; start; stop }) [ dy ]))
+          xs
+    | Reduce_scatter { dim; index; count }, xs ->
+        (* out = chunk(sum xs): every contributor's gradient is the seed
+           embedded at the chunk's offset. *)
+        List.iter
+          (fun x ->
+            let size = Shape.dim (shape_of x) dim in
+            let chunk =
+              match Symdim.div_int size count with
+              | Some c -> c
+              | None -> raise (Unsupported "reduce_scatter chunk")
+            in
+            let before = Symdim.mul_int index chunk in
+            let after = Symdim.sub size (Symdim.mul_int (index + 1) chunk) in
+            accumulate x (B.add b (Pad { dim; before; after }) [ dy ]))
+          xs
+    | op, _ ->
+        raise (Unsupported (Fmt.str "no gradient for operator %s" (Op.name op)))
+  in
+  match
+    (* Reverse topological sweep. *)
+    List.iter
+      (fun node ->
+        match grad_opt (Node.output node) with
+        | None -> () (* does not influence any output *)
+        | Some dy -> node_grad node dy)
+      (List.rev (Graph.nodes fwd));
+    ()
+  with
+  | exception Unsupported reason -> Error ("Autodiff.backward: " ^ reason)
+  | () -> (
+      (* Tie replica groups with an all-reduce over their gradients. *)
+      let tied : (int, Tensor.t) Hashtbl.t = Hashtbl.create 8 in
+      let tie_ok =
+        List.for_all
+          (fun group ->
+            let member_grads = List.filter_map grad_opt group in
+            if List.length member_grads <> List.length group then false
+            else begin
+              List.iteri
+                (fun i t ->
+                  let reduced =
+                    B.add b
+                      ~name:(Fmt.str "grad_sync_%s_%d" (Tensor.name t) i)
+                      Op.All_reduce member_grads
+                  in
+                  Hashtbl.replace tied (Tensor.id t :> int) reduced)
+                group;
+              true
+            end)
+          tie
+      in
+      if not tie_ok then
+        Error "Autodiff.backward: a tied tensor received no gradient"
+      else
+        let missing =
+          List.filter
+            (fun t ->
+              grad_opt t = None
+              && not (Hashtbl.mem tied (Tensor.id t :> int)))
+            wrt
+        in
+        match missing with
+        | t :: _ ->
+            Error
+              (Fmt.str "Autodiff.backward: %s receives no gradient"
+                 (Tensor.name t))
+        | [] ->
+            let grad_of =
+              List.map
+                (fun t ->
+                  let g =
+                    match Hashtbl.find_opt tied (Tensor.id t :> int) with
+                    | Some g -> g
+                    | None -> Option.get (grad_opt t)
+                  in
+                  let named =
+                    B.add b ~name:("grad_" ^ Tensor.name t) Op.Identity [ g ]
+                  in
+                  B.output b named;
+                  (t, named))
+                wrt
+            in
+            Ok
+              {
+                graph = B.finish b;
+                seed_of = seeds;
+                mirror_of = List.rev !mirror_list;
+                grad_of;
+              })

@@ -1,0 +1,37 @@
+(** Reverse-mode differentiation of computation graphs.
+
+    Produces a separate backward graph in the style TorchDynamo captures
+    them (the paper, section 6.1): the backward graph's inputs are seed
+    gradients (one per forward output) plus mirrors of the forward
+    tensors the gradient formulas reference; its outputs are gradients
+    of the requested tensors.
+
+    [tie] declares groups of forward tensors that are replicas of one
+    logical value (for instance one weight replicated across ranks);
+    their gradients are combined with an all-reduce, exactly what
+    Megatron-style optimizers do — and exactly what the bugs 5/8/9 of
+    the paper forgot. Omitting a group reproduces that class of bug. *)
+
+type outcome = {
+  graph : Graph.t;
+  seed_of : (Tensor.t * Tensor.t) list;
+      (** forward output -> seed-gradient input of the backward graph *)
+  mirror_of : (Tensor.t * Tensor.t) list;
+      (** forward tensor -> activation input of the backward graph *)
+  grad_of : (Tensor.t * Tensor.t) list;
+      (** requested tensor -> gradient output of the backward graph *)
+}
+
+val backward :
+  ?tie:Tensor.t list list ->
+  ?name:string ->
+  Graph.t ->
+  wrt:Tensor.t list ->
+  (outcome, string) result
+(** [Error] when the forward graph uses an operator whose derivative is
+    not supported (softmax, norms, embedding, rope, losses other than
+    MSE, max-based reductions) or when a requested tensor receives no
+    gradient. *)
+
+val supported : Op.t -> bool
+(** Whether {!backward} can differentiate through the operator. *)

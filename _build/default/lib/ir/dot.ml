@@ -1,0 +1,60 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_dot ?(highlight = []) g =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  let is_hl t = List.exists (Tensor.equal t) highlight in
+  let input_id t = Fmt.str "in_%d" (Tensor.id t :> int) in
+  let node_id n = Fmt.str "op_%d" (Node.id n) in
+  pr "digraph %S {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n"
+    (Graph.name g);
+  List.iter
+    (fun t ->
+      pr "  %s [shape=ellipse, label=\"%s\\n%s\"];\n" (input_id t)
+        (escape (Tensor.name t))
+        (escape (Shape.to_string (Tensor.shape t))))
+    (Graph.inputs g);
+  List.iter
+    (fun n ->
+      let out = Node.output n in
+      let color =
+        if is_hl out then ", style=filled, fillcolor=\"#f4cccc\""
+        else if Graph.is_output g out then ", style=filled, fillcolor=\"#d9ead3\""
+        else ""
+      in
+      pr "  %s [shape=box, label=\"%s\"%s];\n" (node_id n)
+        (escape (Op.key (Node.op n)))
+        color)
+    (Graph.nodes g);
+  (* Edges follow tensors from producer (or input) to consumer. *)
+  let source t =
+    match Graph.producer g t with
+    | Some n -> node_id n
+    | None -> input_id t
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun t ->
+          pr "  %s -> %s [label=\"%s\\n%s\"];\n" (source t) (node_id n)
+            (escape (Tensor.name t))
+            (escape (Shape.to_string (Tensor.shape t))))
+        (Node.inputs n))
+    (Graph.nodes g);
+  (* Mark graph outputs. *)
+  List.iteri
+    (fun i t ->
+      pr "  result_%d [shape=doublecircle, label=\"output\"];\n" i;
+      pr "  %s -> result_%d [label=\"%s\"];\n" (source t) i
+        (escape (Tensor.name t)))
+    (Graph.outputs g);
+  pr "}\n";
+  Buffer.contents buf

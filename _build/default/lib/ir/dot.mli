@@ -1,0 +1,8 @@
+(** Graphviz DOT rendering of computation graphs, for visualizing the
+    operator the checker localized a bug to and its surroundings. *)
+
+val to_dot : ?highlight:Tensor.t list -> Graph.t -> string
+(** DOT source: operators are boxes, graph inputs are ellipses, edges
+    are labeled with tensor name and shape. Tensors in [highlight] (for
+    instance the output of the operator a failure report names) are
+    drawn with a highlighted producer. *)

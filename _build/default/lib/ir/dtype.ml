@@ -1,0 +1,24 @@
+type t = F32 | F16 | BF16 | I64 | Bool
+
+let equal = ( = )
+let compare = Stdlib.compare
+let is_float = function F32 | F16 | BF16 -> true | I64 | Bool -> false
+let is_integer = function I64 -> true | F32 | F16 | BF16 | Bool -> false
+
+let rank = function Bool -> 0 | I64 -> 1 | F16 -> 2 | BF16 -> 2 | F32 -> 3
+
+let promote a b =
+  match (a, b) with
+  | Bool, Bool -> Some Bool
+  | (Bool | I64), (Bool | I64) -> Some I64
+  | (F16, BF16 | BF16, F16) -> Some F32
+  | x, y -> if rank x >= rank y then Some x else Some y
+
+let to_string = function
+  | F32 -> "f32"
+  | F16 -> "f16"
+  | BF16 -> "bf16"
+  | I64 -> "i64"
+  | Bool -> "bool"
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,20 @@
+(** Element types of tensors.
+
+    The checker is static and never inspects element values, but dtypes
+    participate in lemma validation (the paper validates lemmas "by
+    checking correct shapes and types"). *)
+
+type t = F32 | F16 | BF16 | I64 | Bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val is_float : t -> bool
+val is_integer : t -> bool
+
+val promote : t -> t -> t option
+(** Result dtype of a binary arithmetic op, [None] when incompatible
+    (for instance float with bool). *)
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,204 @@
+open Entangle_symbolic
+
+type t = {
+  name : string;
+  inputs : Tensor.t list;
+  outputs : Tensor.t list;
+  nodes : Node.t list;
+  constraints : Constraint_store.t;
+  producers : Node.t Tensor.Map.t;
+}
+
+let name g = g.name
+let inputs g = g.inputs
+let outputs g = g.outputs
+let nodes g = g.nodes
+let constraints g = g.constraints
+let num_nodes g = List.length g.nodes
+
+let tensors g =
+  let add set t = Tensor.Set.add t set in
+  let set = List.fold_left add Tensor.Set.empty g.inputs in
+  let set =
+    List.fold_left (fun s n -> add s (Node.output n)) set g.nodes
+  in
+  Tensor.Set.elements set
+
+let producer g t = Tensor.Map.find_opt t g.producers
+
+let consumers g t =
+  List.filter (fun n -> List.exists (Tensor.equal t) (Node.inputs n)) g.nodes
+
+let is_input g t = List.exists (Tensor.equal t) g.inputs
+let is_output g t = List.exists (Tensor.equal t) g.outputs
+
+let mem_tensor g t =
+  is_input g t || Tensor.Map.mem t g.producers
+
+let append_expr g ?(name = "%expect") expr =
+  let ( let* ) = Result.bind in
+  let next_node_id = ref (List.length g.nodes) in
+  let fresh = ref 0 in
+  let rec build g = function
+    | Expr.Leaf t ->
+        if mem_tensor g t then Ok (g, t)
+        else Error (Fmt.str "append_expr: tensor %a not in graph" Tensor.pp t)
+    | Expr.App (op, args) ->
+        let* g, inputs =
+          List.fold_left
+            (fun acc e ->
+              let* g, ins = acc in
+              let* g, t = build g e in
+              Ok (g, ins @ [ t ]))
+            (Ok (g, [])) args
+        in
+        let shapes = List.map Tensor.shape inputs in
+        let dtypes = List.map Tensor.dtype inputs in
+        let* shape = Op.infer_shape g.constraints op shapes in
+        let* dtype = Op.infer_dtype op dtypes in
+        incr fresh;
+        let output =
+          Tensor.create ~dtype ~name:(Fmt.str "%s_%d" name !fresh) shape
+        in
+        let node = { Node.id = !next_node_id; op; inputs; output } in
+        incr next_node_id;
+        Ok
+          ( {
+              g with
+              nodes = g.nodes @ [ node ];
+              producers = Tensor.Map.add output node g.producers;
+            },
+            output )
+  in
+  let* g, t = build g expr in
+  Ok ({ g with outputs = g.outputs @ [ t ] }, t)
+
+let with_outputs g outputs =
+  let bad = List.filter (fun t -> not (mem_tensor g t)) outputs in
+  match bad with
+  | [] -> Ok { g with outputs }
+  | t :: _ -> Error (Fmt.str "with_outputs: tensor %a not in graph" Tensor.pp t)
+
+let validate g =
+  let ( let* ) = Result.bind in
+  let check_node n =
+    let shapes = List.map Tensor.shape (Node.inputs n) in
+    let dtypes = List.map Tensor.dtype (Node.inputs n) in
+    let* shape = Op.infer_shape g.constraints (Node.op n) shapes in
+    let* dtype = Op.infer_dtype (Node.op n) dtypes in
+    if not (Shape.equal g.constraints shape (Tensor.shape (Node.output n)))
+    then Error (Fmt.str "node %a: recorded shape differs" Node.pp n)
+    else if not (Dtype.equal dtype (Tensor.dtype (Node.output n))) then
+      Error (Fmt.str "node %a: recorded dtype differs" Node.pp n)
+    else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc n ->
+        let* () = acc in
+        check_node n)
+      (Ok ()) g.nodes
+  in
+  let* () =
+    List.fold_left
+      (fun acc o ->
+        let* () = acc in
+        if mem_tensor g o then Ok ()
+        else Error (Fmt.str "output %a has no producer" Tensor.pp o))
+      (Ok ()) g.outputs
+  in
+  Ok ()
+
+let pp ppf g =
+  Fmt.pf ppf "@[<v>graph %s@,inputs: %a@,%a@,outputs: %a@]" g.name
+    (Fmt.list ~sep:(Fmt.any ", ") Tensor.pp)
+    g.inputs
+    (Fmt.list ~sep:Fmt.cut Node.pp)
+    g.nodes
+    (Fmt.list ~sep:(Fmt.any ", ") Tensor.pp_name)
+    g.outputs
+
+module Builder = struct
+
+
+  type t = {
+    b_name : string;
+    b_constraints : Constraint_store.t;
+    mutable b_inputs : Tensor.t list;
+    mutable b_outputs : Tensor.t list;
+    mutable b_nodes : Node.t list;  (* reverse order *)
+    mutable b_producers : Node.t Tensor.Map.t;
+    mutable b_known : Tensor.Set.t;
+    mutable b_next_id : int;
+    mutable b_fresh : int;
+  }
+
+  let create ?(constraints = Constraint_store.empty) name =
+    {
+      b_name = name;
+      b_constraints = constraints;
+      b_inputs = [];
+      b_outputs = [];
+      b_nodes = [];
+      b_producers = Tensor.Map.empty;
+      b_known = Tensor.Set.empty;
+      b_next_id = 0;
+      b_fresh = 0;
+    }
+
+  let input b ?dtype name shape =
+    let t = Tensor.create ?dtype ~name shape in
+    b.b_inputs <- b.b_inputs @ [ t ];
+    b.b_known <- Tensor.Set.add t b.b_known;
+    t
+
+  let add b ?name op inputs =
+    List.iter
+      (fun t ->
+        if not (Tensor.Set.mem t b.b_known) then
+          invalid_arg
+            (Fmt.str "Graph.Builder.add(%s): tensor %a is not in graph %s"
+               (Op.name op) Tensor.pp t b.b_name))
+      inputs;
+    let shapes = List.map Tensor.shape inputs in
+    let dtypes = List.map Tensor.dtype inputs in
+    let shape =
+      match Op.infer_shape b.b_constraints op shapes with
+      | Ok s -> s
+      | Error e -> invalid_arg (Fmt.str "Graph.Builder.add: %s" e)
+    in
+    let dtype =
+      match Op.infer_dtype op dtypes with
+      | Ok d -> d
+      | Error e -> invalid_arg (Fmt.str "Graph.Builder.add: %s" e)
+    in
+    let name =
+      match name with
+      | Some n -> n
+      | None ->
+          b.b_fresh <- b.b_fresh + 1;
+          Fmt.str "%%%s_%d" (Op.name op) b.b_fresh
+    in
+    let output = Tensor.create ~dtype ~name shape in
+    let node = { Node.id = b.b_next_id; op; inputs; output } in
+    b.b_next_id <- b.b_next_id + 1;
+    b.b_nodes <- node :: b.b_nodes;
+    b.b_producers <- Tensor.Map.add output node b.b_producers;
+    b.b_known <- Tensor.Set.add output b.b_known;
+    output
+
+  let output b t =
+    if not (Tensor.Set.mem t b.b_known) then
+      invalid_arg (Fmt.str "Graph.Builder.output: unknown tensor %a" Tensor.pp t);
+    b.b_outputs <- b.b_outputs @ [ t ]
+
+  let finish b =
+    {
+      name = b.b_name;
+      inputs = b.b_inputs;
+      outputs = b.b_outputs;
+      nodes = List.rev b.b_nodes;
+      constraints = b.b_constraints;
+      producers = b.b_producers;
+    }
+end

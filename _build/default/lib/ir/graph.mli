@@ -1,0 +1,66 @@
+(** Computation graphs.
+
+    A directed acyclic graph whose vertices are operators and whose edges
+    are tensors (paper section 3.2). Graphs are immutable once built; use
+    {!Builder} to construct them. Nodes are stored in the order they were
+    added, which is a valid topological order by construction and is also
+    the order [compute_out_rel] processes operators in. *)
+
+open Entangle_symbolic
+
+type t
+
+val name : t -> string
+val inputs : t -> Tensor.t list
+val outputs : t -> Tensor.t list
+val nodes : t -> Node.t list
+val constraints : t -> Constraint_store.t
+
+val num_nodes : t -> int
+val tensors : t -> Tensor.t list
+(** Every tensor appearing in the graph: inputs, intermediates, outputs. *)
+
+val producer : t -> Tensor.t -> Node.t option
+(** The node producing a tensor; [None] for graph inputs. *)
+
+val consumers : t -> Tensor.t -> Node.t list
+val is_input : t -> Tensor.t -> bool
+val is_output : t -> Tensor.t -> bool
+val mem_tensor : t -> Tensor.t -> bool
+
+val append_expr : t -> ?name:string -> Expr.t -> (t * Tensor.t, string) result
+(** Append operator nodes computing the expression (whose leaves must
+    already be tensors of the graph) and add its result to the outputs.
+    Used by user-expectation checking (paper section 4.4) to graft
+    [f_s(O(G_s))] / [f_d(O(G_d))] onto the graphs. *)
+
+val with_outputs : t -> Tensor.t list -> (t, string) result
+(** Replace the output list; each tensor must belong to the graph. *)
+
+val validate : t -> (unit, string) result
+(** Re-run shape and dtype inference on every node and check that graph
+    outputs are produced or are inputs. *)
+
+val pp : t Fmt.t
+
+(** Imperative construction of a graph in topological order. *)
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : ?constraints:Constraint_store.t -> string -> t
+
+  val input : t -> ?dtype:Dtype.t -> string -> Shape.t -> Tensor.t
+  (** Declare a graph input. *)
+
+  val add : t -> ?name:string -> Op.t -> Tensor.t list -> Tensor.t
+  (** [add b op inputs] appends a node applying [op]; the output tensor's
+      shape and dtype are inferred. Raises [Invalid_argument] on shape or
+      arity errors and when an input tensor is not yet part of the
+      graph. *)
+
+  val output : t -> Tensor.t -> unit
+  (** Mark a tensor as a graph output. *)
+
+  val finish : t -> graph
+end

@@ -1,0 +1,38 @@
+(** Reference interpreter for graphs and expressions.
+
+    Executes operators on {!Ndarray} values under a concrete assignment
+    of shape symbols. Used by the test suite to validate lemmas and by
+    the soundness check that replays a relation on distributed outputs. *)
+
+
+type env = int Stdlib.Map.Make(String).t
+(** Concrete values for shape symbols. *)
+
+val env_of_list : (string * int) list -> env
+val lookup : env -> string -> int
+
+val eval_op : env -> Op.t -> Ndarray.t list -> Ndarray.t
+(** Raises [Invalid_argument] on malformed applications. *)
+
+val eval_expr : env -> (Tensor.t -> Ndarray.t) -> Expr.t -> Ndarray.t
+
+type valuation = Ndarray.t Tensor.Map.t
+
+val run :
+  env -> Graph.t -> inputs:(Tensor.t * Ndarray.t) list -> valuation
+(** Execute every node of the graph in order; the result maps every
+    tensor of the graph (inputs included) to its value. Raises
+    [Invalid_argument] when an input is missing or has wrong dims. *)
+
+val outputs : Graph.t -> valuation -> (Tensor.t * Ndarray.t) list
+
+val random_inputs :
+  ?int_like:(Tensor.t -> int option) ->
+  Random.State.t ->
+  env ->
+  Graph.t ->
+  (Tensor.t * Ndarray.t) list
+(** Random concrete values matching each graph input's shape under
+    [env]. [int_like t = Some hi] makes that input integer-valued in
+    [0, hi) (for embedding ids / targets); by default tensors with an
+    integer dtype of rank >= 1 draw from [0, 8). *)

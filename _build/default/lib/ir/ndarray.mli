@@ -1,0 +1,76 @@
+(** Dense n-dimensional float arrays.
+
+    The checker itself is static; this module exists so the test suite
+    can {e execute} graphs, expressions and lemmas on concrete data and
+    check that rewrites are semantics-preserving and that relations
+    produced by the checker really reconstruct sequential outputs. *)
+
+type t
+
+val create : int list -> float -> t
+val init : int list -> (int list -> float) -> t
+val scalar : float -> t
+val of_list : int list -> float list -> t
+
+val dims : t -> int list
+val rank : t -> int
+val numel : t -> int
+val get : t -> int list -> float
+val set : t -> int list -> float -> unit
+val to_flat_list : t -> float list
+
+val random : Random.State.t -> int list -> t
+(** Uniform in [-1, 1). *)
+
+val random_ints : Random.State.t -> hi:int -> int list -> t
+(** Integer-valued entries drawn from [0, hi). *)
+
+(** {1 Elementwise} *)
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** NumPy broadcasting. Raises [Invalid_argument] on incompatible dims. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val scale : float -> t -> t
+val sum_list : t list -> t
+
+(** {1 Contraction and rearrangement} *)
+
+val matmul : t -> t -> t
+(** 2-D x 2-D, batched x batched (equal batch dims), or batched x 2-D. *)
+
+val concat : dim:int -> t list -> t
+val slice : dim:int -> start:int -> stop:int -> t -> t
+val transpose : dim0:int -> dim1:int -> t -> t
+val reshape : int list -> t -> t
+val pad : dim:int -> before:int -> after:int -> t -> t
+(** Zero padding along one dimension. *)
+
+(** {1 Reductions} *)
+
+val reduce_sum : dim:int -> keepdim:bool -> t -> t
+val reduce_mean : dim:int -> keepdim:bool -> t -> t
+val reduce_max : dim:int -> keepdim:bool -> t -> t
+
+(** {1 Neural-network kernels} *)
+
+val softmax : dim:int -> t -> t
+val layernorm : eps:float -> t -> t -> t -> t
+val rmsnorm : eps:float -> t -> t -> t
+val embedding : t -> t -> t
+val rope : t -> t -> t -> t
+val mse_loss : t -> t -> t
+val cross_entropy : t -> t -> t
+val silu : t -> t
+val gelu : t -> t
+
+(** {1 Comparison} *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+val max_abs_diff : t -> t -> float
+val pp : t Fmt.t

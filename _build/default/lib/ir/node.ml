@@ -1,0 +1,11 @@
+type t = { id : int; op : Op.t; inputs : Tensor.t list; output : Tensor.t }
+
+let id t = t.id
+let op t = t.op
+let inputs t = t.inputs
+let output t = t.output
+
+let pp ppf t =
+  Fmt.pf ppf "%a = %a(%a)" Tensor.pp_name t.output Op.pp t.op
+    (Fmt.list ~sep:(Fmt.any ", ") Tensor.pp_name)
+    t.inputs

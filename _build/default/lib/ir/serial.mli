@@ -1,0 +1,40 @@
+(** On-disk text format for computation graphs.
+
+    The format plays the role of the artifact's shipped torch.fx graph
+    files: users can hand the checker a sequential graph and a
+    distributed graph captured elsewhere. Example:
+
+    {v
+    (graph my-model
+      (symbols (s (ge 1)))
+      (inputs
+        (x (shape s 8) f32)
+        (w (shape 8 4) f32))
+      (nodes
+        (y (matmul) (x w)))
+      (outputs y))
+    v}
+
+    Operator attributes are rendered structurally, e.g.
+    [(concat 1)], [(slice 0 0 (mul 2 s))], [(reduce_sum 0 false)],
+    [(scale 1/2)]. Dimensions are integers, symbols, or affine
+    expressions: [(+ t1 t2 ...)] for sums and [(mul k x)]-style
+    products, written with the star operator in the concrete syntax. *)
+
+open Entangle_symbolic
+
+val symdim_to_sexp : Symdim.t -> Sexp.t
+val symdim_of_sexp : Sexp.t -> (Symdim.t, string) result
+val op_to_sexp : Op.t -> Sexp.t
+val op_of_sexp : Sexp.t -> (Op.t, string) result
+
+val graph_to_sexp : Graph.t -> Sexp.t
+val graph_to_string : Graph.t -> string
+
+val graph_of_sexp : Sexp.t -> (Graph.t, string) result
+val graph_of_string : string -> (Graph.t, string) result
+
+val tensor_by_name : Graph.t -> string -> Tensor.t option
+(** Lookup used when resolving relation files against parsed graphs;
+    graph serialization fails on duplicate tensor names, so the lookup
+    is unambiguous for graphs that round-tripped. *)

@@ -1,0 +1,98 @@
+type t = Atom of string | List of t list
+
+let atom s = Atom s
+let list l = List l
+
+let needs_quotes s =
+  s = ""
+  || String.exists
+       (fun c -> c = ' ' || c = '(' || c = ')' || c = '"' || c = '\n' || c = ';')
+       s
+
+let rec pp ppf = function
+  | Atom s -> if needs_quotes s then Fmt.pf ppf "%S" s else Fmt.string ppf s
+  | List l -> Fmt.pf ppf "@[<hov 1>(%a)@]" (Fmt.list ~sep:Fmt.sp pp) l
+
+let to_string t = Fmt.str "%a" pp t
+
+(* --- parsing ------------------------------------------------------- *)
+
+type token = Lparen | Rparen | Tatom of string
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let error = ref None in
+  while !i < n && !error = None do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = ';' then begin
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' then begin
+      tokens := Lparen :: !tokens;
+      incr i
+    end
+    else if c = ')' then begin
+      tokens := Rparen :: !tokens;
+      incr i
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while !i < n && not !closed do
+        if input.[!i] = '"' then closed := true
+        else if input.[!i] = '\\' && !i + 1 < n then begin
+          Buffer.add_char buf input.[!i + 1];
+          incr i
+        end
+        else Buffer.add_char buf input.[!i];
+        incr i
+      done;
+      if not !closed then error := Some "unterminated string"
+      else tokens := Tatom (Buffer.contents buf) :: !tokens
+    end
+    else begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let c = input.[!i] in
+        not
+          (c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '(' || c = ')'
+         || c = '"' || c = ';')
+      do
+        incr i
+      done;
+      tokens := Tatom (String.sub input start (!i - start)) :: !tokens
+    end
+  done;
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (List.rev !tokens)
+
+let of_string input =
+  let ( let* ) = Result.bind in
+  let* tokens = tokenize input in
+  let rec parse_one = function
+    | [] -> Error "unexpected end of input"
+    | Tatom a :: rest -> Ok (Atom a, rest)
+    | Lparen :: rest ->
+        let rec items acc = function
+          | Rparen :: rest -> Ok (List (List.rev acc), rest)
+          | [] -> Error "missing closing parenthesis"
+          | tokens ->
+              let* item, rest = parse_one tokens in
+              items (item :: acc) rest
+        in
+        items [] rest
+    | Rparen :: _ -> Error "unexpected closing parenthesis"
+  in
+  let* sexp, rest = parse_one tokens in
+  match rest with
+  | [] -> Ok sexp
+  | _ -> Error "trailing input after S-expression"

@@ -1,0 +1,16 @@
+(** Minimal S-expressions: the concrete syntax of the on-disk graph and
+    relation format ({!Serial}). *)
+
+type t = Atom of string | List of t list
+
+val atom : string -> t
+val list : t list -> t
+
+val to_string : t -> string
+(** Pretty-printed with indentation. *)
+
+val of_string : string -> (t, string) result
+(** Parses one S-expression; comments run from [;] to end of line.
+    Atoms may be quoted with double quotes to include spaces. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,39 @@
+(** Tensor shapes as lists of symbolic dimensions. *)
+
+open Entangle_symbolic
+
+type t = Symdim.t list
+
+val scalar : t
+val of_ints : int list -> t
+val rank : t -> int
+
+val dim : t -> int -> Symdim.t
+(** [dim s i] is dimension [i]; negative indices count from the end as in
+    PyTorch. Raises [Invalid_argument] when out of range. *)
+
+val set_dim : t -> int -> Symdim.t -> t
+
+val normalize_axis : rank:int -> int -> int
+(** Resolve a possibly negative axis against [rank]. *)
+
+val numel : t -> Symdim.t option
+(** Product of dimensions when affine (i.e. at most one symbolic factor
+    per partial product); [None] otherwise. *)
+
+val equal : Constraint_store.t -> t -> t -> bool
+(** Provable element-wise equality of two shapes under constraints. *)
+
+val equal_syntactic : t -> t -> bool
+
+val broadcast :
+  Constraint_store.t -> t -> t -> t option
+(** NumPy-style broadcasting of two shapes; [None] if provably
+    incompatible or not provably compatible. A dimension broadcasts when
+    it is the constant 1 or provably equal to its counterpart. *)
+
+val concrete : (string -> int) -> t -> int list
+(** Evaluate every dimension under a symbol assignment. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

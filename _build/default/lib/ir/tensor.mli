@@ -1,0 +1,30 @@
+(** Tensors: the edges of computation graphs.
+
+    A tensor carries only metadata — name, symbolic shape, dtype — never
+    data (the checker is static). Identifiers are globally unique so that
+    tensors from a sequential graph and a distributed graph can coexist
+    inside one relation or e-graph without ambiguity. *)
+
+type id = private int
+
+type t = { id : id; name : string; shape : Shape.t; dtype : Dtype.t }
+
+val create : ?dtype:Dtype.t -> name:string -> Shape.t -> t
+(** Fresh tensor with a new unique id. [dtype] defaults to [F32]. *)
+
+val id : t -> id
+val name : t -> string
+val shape : t -> Shape.t
+val dtype : t -> Dtype.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : t Fmt.t
+(** Prints ["name:[shape]"] . *)
+
+val pp_name : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/lemmas/aten_ewise.ml: Entangle_egraph Entangle_ir Entangle_symbolic Helpers Lemma List Op Printf Rule Shape Subst Symdim

@@ -1,0 +1,1 @@
+lib/lemmas/aten_linalg.ml: Array Egraph Enode Entangle_egraph Entangle_ir Entangle_symbolic Fun Helpers Id Lemma List Op Option Pattern Printf Rat Rule Subst

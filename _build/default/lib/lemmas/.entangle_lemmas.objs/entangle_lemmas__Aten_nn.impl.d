@@ -1,0 +1,1 @@
+lib/lemmas/aten_nn.ml: Entangle_egraph Entangle_ir Entangle_symbolic Helpers Lemma List Op Printf Rat Rule Subst Symdim

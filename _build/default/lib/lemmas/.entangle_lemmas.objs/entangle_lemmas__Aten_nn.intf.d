@@ -1,0 +1,1 @@
+lib/lemmas/aten_nn.mli: Lemma

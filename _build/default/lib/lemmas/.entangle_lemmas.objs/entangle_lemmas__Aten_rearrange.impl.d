@@ -1,0 +1,1 @@
+lib/lemmas/aten_rearrange.ml: Array Egraph Enode Entangle_egraph Entangle_ir Entangle_symbolic Helpers Id Lemma List Op Option Pattern Printf Rule Shape Subst Symdim

@@ -1,0 +1,1 @@
+lib/lemmas/collective.ml: Entangle_egraph Entangle_ir Entangle_symbolic Helpers Lemma Op Rule Subst Symdim

@@ -1,0 +1,1 @@
+lib/lemmas/collective.mli: Lemma

@@ -1,0 +1,1 @@
+lib/lemmas/helpers.ml: Decide Egraph Entangle_egraph Entangle_ir Entangle_symbolic List Op Option Pattern Printf Shape Subst

@@ -1,0 +1,1 @@
+lib/lemmas/helpers.mli: Egraph Entangle_egraph Entangle_ir Entangle_symbolic Op Pattern Rat Rule Shape Subst Symdim

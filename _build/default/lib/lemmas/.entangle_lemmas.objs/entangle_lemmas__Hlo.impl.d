@@ -1,0 +1,1 @@
+lib/lemmas/hlo.ml: Entangle_egraph Entangle_ir Helpers Lemma Op Rule Subst

@@ -1,0 +1,1 @@
+lib/lemmas/hlo.mli: Lemma

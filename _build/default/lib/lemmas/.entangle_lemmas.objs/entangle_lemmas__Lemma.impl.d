@@ -1,0 +1,1 @@
+lib/lemmas/lemma.ml: Entangle_egraph Fmt List Pattern Rule

@@ -1,0 +1,1 @@
+lib/lemmas/lemma.mli: Entangle_egraph Fmt Rule

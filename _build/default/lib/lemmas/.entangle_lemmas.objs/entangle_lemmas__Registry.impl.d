@@ -1,0 +1,1 @@
+lib/lemmas/registry.ml: Aten_ewise Aten_linalg Aten_nn Aten_rearrange Aten_reduce Collective Hlo Lemma List String Vllm

@@ -1,0 +1,1 @@
+lib/lemmas/registry.mli: Entangle_egraph Lemma Rule

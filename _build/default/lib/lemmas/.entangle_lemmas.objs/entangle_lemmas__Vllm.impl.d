@@ -1,0 +1,1 @@
+lib/lemmas/vllm.ml: Entangle_egraph Entangle_ir Helpers Lemma List Op Printf Rule Subst

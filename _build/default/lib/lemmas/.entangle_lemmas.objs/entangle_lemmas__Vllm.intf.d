@@ -1,0 +1,1 @@
+lib/lemmas/vllm.mli: Lemma

@@ -1,0 +1,225 @@
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_egraph
+open Helpers
+
+let lo, hi = collective_arities
+
+let unary_ops : (string * Op.t) list =
+  [
+    ("neg", Op.Neg);
+    ("exp", Op.Exp);
+    ("log", Op.Log);
+    ("sqrt", Op.Sqrt);
+    ("rsqrt", Op.Rsqrt);
+    ("relu", Op.Relu);
+    ("gelu", Op.Gelu);
+    ("silu", Op.Silu);
+    ("tanh", Op.Tanh);
+    ("sigmoid", Op.Sigmoid);
+    ("square", Op.Square);
+  ]
+
+let binary_ops : (string * Op.t) list =
+  [
+    ("add", Op.Add);
+    ("sub", Op.Sub);
+    ("mul", Op.Mul);
+    ("div", Op.Div);
+    ("maximum", Op.Maximum);
+    ("pow", Op.Pow);
+  ]
+
+(* f(concat(x_i, d)) = concat(f(x_i), d), both directions. *)
+let unary_concat (name, op) =
+  let gen n =
+    Rule.rewrite_to (name ^ "-concat")
+      (p op [ fam "concat" ~bind:"cc" (vars n) ])
+      (fun _g _root subst ->
+        let* dim = concat_dim (Subst.op subst "cc") in
+        Some
+          (p (Op.Concat { dim }) (List.map (fun x -> p op [ x ]) (vars n))))
+  and gen_rev n =
+    Rule.rewrite_to ~constrained:true (name ^ "-concat")
+      (fam "concat" ~bind:"cc" (List.map (fun x -> p op [ x ]) (vars n)))
+      (fun _g _root subst ->
+        let* dim = concat_dim (Subst.op subst "cc") in
+        Some (p op [ p (Op.Concat { dim }) (vars n) ]))
+  in
+  Lemma.make ~complexity:3 (name ^ "-concat")
+    (for_arities lo hi gen @ for_arities lo hi gen_rev)
+
+(* slice(f(x)) = f(slice(x)), both directions. *)
+let unary_slice (name, op) =
+  Lemma.make ~complexity:2 (name ^ "-slice")
+    [
+      Rule.rewrite_to ~constrained:true (name ^ "-slice")
+        (fam "slice" ~bind:"sl" [ p op [ v "x" ] ])
+        (fun _g _root subst ->
+          let* dim, start, stop = slice_attrs (Subst.op subst "sl") in
+          Some (p op [ p (Op.Slice { dim; start; stop }) [ v "x" ] ]));
+      Rule.rewrite_to (name ^ "-slice")
+        (p op [ fam "slice" ~bind:"sl" [ v "x" ] ])
+        (fun _g _root subst ->
+          let* dim, start, stop = slice_attrs (Subst.op subst "sl") in
+          Some (p (Op.Slice { dim; start; stop }) [ p op [ v "x" ] ]));
+    ]
+
+(* The same two commutations for [scale], whose factor is an attribute. *)
+let scale_concat =
+  let gen n =
+    Rule.rewrite_to "scale-concat"
+      (fam "scale" ~bind:"s" [ fam "concat" ~bind:"cc" (vars n) ])
+      (fun _g _root subst ->
+        let* dim = concat_dim (Subst.op subst "cc") in
+        let* r = scale_factor (Subst.op subst "s") in
+        Some
+          (p (Op.Concat { dim })
+             (List.map (fun x -> p (Op.Scale r) [ x ]) (vars n))))
+  and gen_rev n =
+    Rule.rewrite_to ~constrained:true "scale-concat"
+      (fam "concat" ~bind:"cc"
+         (List.map (fun x -> fam "scale" ~bind:"s" [ x ]) (vars n)))
+      (fun _g _root subst ->
+        let* dim = concat_dim (Subst.op subst "cc") in
+        let* r = scale_factor (Subst.op subst "s") in
+        Some (p (Op.Scale r) [ p (Op.Concat { dim }) (vars n) ]))
+  in
+  Lemma.make ~complexity:3 "scale-concat"
+    (for_arities lo hi gen @ for_arities lo hi gen_rev)
+
+let scale_slice =
+  Lemma.make ~complexity:2 "scale-slice"
+    [
+      Rule.rewrite_to ~constrained:true "scale-slice"
+        (fam "slice" ~bind:"sl" [ fam "scale" ~bind:"s" [ v "x" ] ])
+        (fun _g _root subst ->
+          let* dim, start, stop = slice_attrs (Subst.op subst "sl") in
+          let* r = scale_factor (Subst.op subst "s") in
+          Some
+            (p (Op.Scale r) [ p (Op.Slice { dim; start; stop }) [ v "x" ] ]));
+      Rule.rewrite_to "scale-slice"
+        (fam "scale" ~bind:"s" [ fam "slice" ~bind:"sl" [ v "x" ] ])
+        (fun _g _root subst ->
+          let* dim, start, stop = slice_attrs (Subst.op subst "sl") in
+          let* r = scale_factor (Subst.op subst "s") in
+          Some
+            (p (Op.Slice { dim; start; stop }) [ p (Op.Scale r) [ v "x" ] ]));
+    ]
+
+(* Chunk shapes of the two concats must agree pairwise so the binary op
+   applies without broadcasting surprises. *)
+let chunks_match g subst n =
+  let rec go i =
+    if i = n then Some ()
+    else
+      let* sx = shape_of_var g subst (Printf.sprintf "x%d" i) in
+      let* sy = shape_of_var g subst (Printf.sprintf "y%d" i) in
+      let* () = guard (shapes_equal g sx sy) in
+      go (i + 1)
+  in
+  go 0
+
+(* g(concat(x_i, d), concat(y_i, d)) = concat(g(x_i, y_i), d). *)
+let binary_concat (name, op) =
+  let gen n =
+    let xs = vars n and ys = vars_y n in
+    Rule.rewrite_to (name ^ "-concat")
+      (p op [ fam "concat" ~bind:"ccx" xs; fam "concat" ~bind:"ccy" ys ])
+      (fun g _root subst ->
+        let* dx = concat_dim (Subst.op subst "ccx") in
+        let* dy = concat_dim (Subst.op subst "ccy") in
+        let* () = guard (dx = dy) in
+        let* () = chunks_match g subst n in
+        Some
+          (p (Op.Concat { dim = dx })
+             (List.map2 (fun x y -> p op [ x; y ]) xs ys)))
+  and gen_rev n =
+    let xs = vars n and ys = vars_y n in
+    Rule.rewrite_to ~constrained:true (name ^ "-concat")
+      (fam "concat" ~bind:"cc" (List.map2 (fun x y -> p op [ x; y ]) xs ys))
+      (fun g _root subst ->
+        let* dim = concat_dim (Subst.op subst "cc") in
+        let* () = chunks_match g subst n in
+        Some
+          (p op
+             [ p (Op.Concat { dim }) xs; p (Op.Concat { dim }) ys ]))
+  in
+  Lemma.make ~complexity:4 (name ^ "-concat")
+    (for_arities lo hi gen @ for_arities lo hi gen_rev)
+
+(* g(concat(x_i, d), y) = concat(g(x_i, y), d) when y does not vary
+   along d: y's aligned dimension is 1 or absent (broadcast). *)
+let broadcast_invariant g subst yvar dim rank_x =
+  let* sy = shape_of_var g subst yvar in
+  let ry = Shape.rank sy in
+  let aligned = dim - (rank_x - ry) in
+  if aligned < 0 then Some () (* axis broadcast away entirely *)
+  else
+    let dy = Shape.dim sy aligned in
+    guard (deq g dy Symdim.one)
+
+let binary_concat_broadcast (name, op) =
+  let gen_left n =
+    Rule.rewrite_to (name ^ "-concat-broadcast")
+      (p op [ fam "concat" ~bind:"cc" (vars n); v "y" ])
+      (fun g _root subst ->
+        let* dim = concat_dim (Subst.op subst "cc") in
+        let* rank_x = rank_of_var g subst "x0" in
+        let* () = broadcast_invariant g subst "y" dim rank_x in
+        Some
+          (p (Op.Concat { dim })
+             (List.map (fun x -> p op [ x; v "y" ]) (vars n))))
+  and gen_right n =
+    Rule.rewrite_to (name ^ "-concat-broadcast")
+      (p op [ v "y"; fam "concat" ~bind:"cc" (vars n) ])
+      (fun g _root subst ->
+        let* dim = concat_dim (Subst.op subst "cc") in
+        let* rank_x = rank_of_var g subst "x0" in
+        let* () = broadcast_invariant g subst "y" dim rank_x in
+        Some
+          (p (Op.Concat { dim })
+             (List.map (fun x -> p op [ v "y"; x ]) (vars n))))
+  in
+  Lemma.make ~complexity:3
+    (name ^ "-concat-broadcast")
+    (for_arities lo hi gen_left @ for_arities lo hi gen_right)
+
+(* slice(g(x, y)) = g(slice(x), slice(y)) for equal-shape operands. *)
+let binary_slice (name, op) =
+  Lemma.make ~complexity:3 (name ^ "-slice")
+    [
+      Rule.rewrite_to ~constrained:true (name ^ "-slice")
+        (fam "slice" ~bind:"sl" [ p op [ v "x"; v "y" ] ])
+        (fun g _root subst ->
+          let* dim, start, stop = slice_attrs (Subst.op subst "sl") in
+          let* sx = shape_of_var g subst "x" in
+          let* sy = shape_of_var g subst "y" in
+          let* () = guard (shapes_equal g sx sy) in
+          let sl = Op.Slice { dim; start; stop } in
+          Some (p op [ p sl [ v "x" ]; p sl [ v "y" ] ]));
+      Rule.rewrite_to (name ^ "-slice")
+        (p op
+           [ fam "slice" ~bind:"slx" [ v "x" ]; fam "slice" ~bind:"sly" [ v "y" ] ])
+        (fun g _root subst ->
+          let* dx, sx_, ex = slice_attrs (Subst.op subst "slx") in
+          let* dy, sy_, ey = slice_attrs (Subst.op subst "sly") in
+          let* () =
+            guard (dx = dy && Symdim.equal sx_ sy_ && Symdim.equal ex ey)
+          in
+          let* sx = shape_of_var g subst "x" in
+          let* sy = shape_of_var g subst "y" in
+          let* () = guard (shapes_equal g sx sy) in
+          Some
+            (p
+               (Op.Slice { dim = dx; start = sx_; stop = ex })
+               [ p op [ v "x"; v "y" ] ]));
+    ]
+
+let lemmas =
+  List.map unary_concat unary_ops
+  @ List.map unary_slice unary_ops
+  @ [ scale_concat; scale_slice ]
+  @ List.map binary_concat binary_ops
+  @ List.map binary_concat_broadcast [ ("add", Op.Add); ("mul", Op.Mul); ("div", Op.Div) ]
+  @ List.map binary_slice binary_ops

@@ -1,0 +1,9 @@
+(** Distribution of elementwise operators over concat and slice.
+
+    One lemma per operator family, generated from a template: unary
+    elementwise ops commute with any concat or slice; binary elementwise
+    ops distribute over concats along the same axis with matching chunk
+    shapes, including the broadcast case where one operand does not vary
+    along the concatenated axis. *)
+
+val lemmas : Lemma.t list

@@ -1,0 +1,6 @@
+(** Lemmas about contractions and linear algebra: block-matrix
+    distribution of matmul over concat (the lemma driving tensor
+    parallelism proofs), and the scale / sum algebra used by gradient
+    accumulation and auxiliary-loss scaling. *)
+
+val lemmas : Lemma.t list

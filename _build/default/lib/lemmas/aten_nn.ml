@@ -1,0 +1,173 @@
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_egraph
+open Helpers
+
+let lo, hi = collective_arities
+
+(* softmax(concat(x_i, d), ds) with ds <> d maps over the chunks. *)
+let softmax_concat_offaxis =
+  let gen n =
+    Rule.rewrite_to "softmax-concat-offaxis"
+      (fam "softmax" ~bind:"sm" [ fam "concat" ~bind:"cc" (vars n) ])
+      (fun _g _root subst ->
+        let op = Subst.op subst "sm" in
+        let* sdim = match op with Op.Softmax { dim } -> Some dim | _ -> None in
+        let* cdim = concat_dim (Subst.op subst "cc") in
+        let* () = guard (sdim <> cdim) in
+        Some
+          (p (Op.Concat { dim = cdim })
+             (List.map (fun x -> p op [ x ]) (vars n))))
+  in
+  Lemma.make ~complexity:3 "softmax-concat-offaxis" (for_arities lo hi gen)
+
+(* softmax commutes with slicing along a non-softmax axis. *)
+let softmax_slice =
+  Lemma.make ~complexity:2 "softmax-slice"
+    [
+      Rule.rewrite_to ~constrained:true "softmax-slice"
+        (fam "slice" ~bind:"sl" [ fam "softmax" ~bind:"sm" [ v "x" ] ])
+        (fun _g _root subst ->
+          let op = Subst.op subst "sm" in
+          let* sdim = match op with Op.Softmax { dim } -> Some dim | _ -> None in
+          let* dim, start, stop = slice_attrs (Subst.op subst "sl") in
+          let* () = guard (dim <> sdim) in
+          Some (p op [ p (Op.Slice { dim; start; stop }) [ v "x" ] ]));
+    ]
+
+(* Normalization over the last axis maps over chunks of any other axis.
+   The rmsnorm instance is the example lemma of the paper's section 6.5
+   (complexity 5 for the binary form). *)
+let norm_concat_rows family n_extra_inputs =
+  let gen n =
+    let extras =
+      List.init n_extra_inputs (fun i -> v (Printf.sprintf "w%d" i))
+    in
+    Rule.rewrite_to (family ^ "-concat-rows")
+      (fam family ~bind:"nm" (fam "concat" ~bind:"cc" (vars n) :: extras))
+      (fun g _root subst ->
+        let op = Subst.op subst "nm" in
+        let* cdim = concat_dim (Subst.op subst "cc") in
+        let* rank = rank_of_var g subst "x0" in
+        let* () = guard (cdim <> rank - 1) in
+        Some
+          (p (Op.Concat { dim = cdim })
+             (List.map (fun x -> p op (x :: extras)) (vars n))))
+  in
+  Lemma.make ~complexity:5 (family ^ "-concat-rows") (for_arities lo hi gen)
+
+let norm_slice_rows family n_extra_inputs =
+  let extras =
+    List.init n_extra_inputs (fun i -> v (Printf.sprintf "w%d" i))
+  in
+  Lemma.make ~complexity:2 (family ^ "-slice-rows")
+    [
+      Rule.rewrite_to ~constrained:true (family ^ "-slice-rows")
+        (fam "slice" ~bind:"sl" [ fam family ~bind:"nm" (v "x" :: extras) ])
+        (fun g _root subst ->
+          let op = Subst.op subst "nm" in
+          let* dim, start, stop = slice_attrs (Subst.op subst "sl") in
+          let* rank = rank_of_var g subst "x" in
+          let* () = guard (dim <> rank - 1) in
+          Some
+            (p op (p (Op.Slice { dim; start; stop }) [ v "x" ] :: extras)));
+    ]
+
+(* embedding(w, concat(ids_i, d)) = concat(embedding(w, ids_i), d). *)
+let embedding_concat_ids =
+  let gen n =
+    Rule.rewrite_to "embedding-concat-ids"
+      (p Op.Embedding [ v "w"; fam "concat" ~bind:"cc" (vars n) ])
+      (fun _g _root subst ->
+        let* dim = concat_dim (Subst.op subst "cc") in
+        Some
+          (p (Op.Concat { dim })
+             (List.map (fun ids -> p Op.Embedding [ v "w"; ids ]) (vars n))))
+  in
+  Lemma.make ~complexity:3 "embedding-concat-ids" (for_arities lo hi gen)
+
+let embedding_slice_ids =
+  Lemma.make ~complexity:2 "embedding-slice-ids"
+    [
+      Rule.rewrite_to ~constrained:true "embedding-slice-ids"
+        (fam "slice" ~bind:"sl" [ p Op.Embedding [ v "w"; v "ids" ] ])
+        (fun g _root subst ->
+          let* dim, start, stop = slice_attrs (Subst.op subst "sl") in
+          let* rank_ids = rank_of_var g subst "ids" in
+          (* Only slicing over ids axes commutes, not the feature axis. *)
+          let* () = guard (dim < rank_ids) in
+          Some
+            (p Op.Embedding
+               [ v "w"; p (Op.Slice { dim; start; stop }) [ v "ids" ] ]));
+    ]
+
+(* Rotary embedding on row chunks: each chunk uses the matching slice of
+   the precomputed cos/sin tables (the paper's RoPE bug, Figure 7, is a
+   wrong offset into exactly these slices). *)
+let rope_concat_rows =
+  let gen n =
+    Rule.rewrite_to "rope-concat-rows"
+      (p Op.Rope [ fam "concat" ~bind:"cc" (vars n); v "cos"; v "sin" ])
+      (fun g _root subst ->
+        let* cdim = concat_dim (Subst.op subst "cc") in
+        let* () = guard (cdim = 0) in
+        let rec offsets i off acc =
+          if i = n then Some (List.rev acc)
+          else
+            let* size = dim_of_var g subst (Printf.sprintf "x%d" i) 0 in
+            offsets (i + 1) (Symdim.add off size) ((off, size) :: acc)
+        in
+        let* offs = offsets 0 Symdim.zero [] in
+        let chunk x (off, size) =
+          let sl t =
+            p (Op.Slice { dim = 0; start = off; stop = Symdim.add off size })
+              [ t ]
+          in
+          p Op.Rope [ x; sl (v "cos"); sl (v "sin") ]
+        in
+        Some (p (Op.Concat { dim = 0 }) (List.map2 chunk (vars n) offs)))
+  in
+  Lemma.make ~complexity:6 "rope-concat-rows" (for_arities lo hi gen)
+
+(* Loss over a row-partitioned batch with equal chunks is the average of
+   the per-chunk losses: the gradient-accumulation lemma (paper bug 6). *)
+let loss_concat op_name op =
+  let gen n =
+    let xs = vars n and ys = vars_y n in
+    Rule.rewrite_to (op_name ^ "-concat")
+      (p op [ fam "concat" ~bind:"ccx" xs; fam "concat" ~bind:"ccy" ys ])
+      (fun g _root subst ->
+        let* dx = concat_dim (Subst.op subst "ccx") in
+        let* dy = concat_dim (Subst.op subst "ccy") in
+        let* () = guard (dx = 0 && dy = 0) in
+        let* first = dim_of_var g subst "x0" 0 in
+        let rec check i =
+          if i = n then Some ()
+          else
+            let* sx = dim_of_var g subst (Printf.sprintf "x%d" i) 0 in
+            let* sy = dim_of_var g subst (Printf.sprintf "y%d" i) 0 in
+            let* () = guard (deq g sx first && deq g sy first) in
+            check (i + 1)
+        in
+        let* () = check 0 in
+        Some
+          (p
+             (Op.Scale (Rat.make 1 n))
+             [ p Op.Sum_n (List.map2 (fun x y -> p op [ x; y ]) xs ys) ]))
+  in
+  Lemma.make ~complexity:5 (op_name ^ "-concat") (for_arities lo hi gen)
+
+let lemmas =
+  [
+    softmax_concat_offaxis;
+    softmax_slice;
+    norm_concat_rows "layernorm" 2;
+    norm_concat_rows "rmsnorm" 1;
+    norm_slice_rows "layernorm" 2;
+    norm_slice_rows "rmsnorm" 1;
+    embedding_concat_ids;
+    embedding_slice_ids;
+    rope_concat_rows;
+    loss_concat "mse_loss" Op.Mse_loss;
+    loss_concat "cross_entropy" Op.Cross_entropy;
+  ]

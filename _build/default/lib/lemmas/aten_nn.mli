@@ -1,0 +1,6 @@
+(** Lemmas about neural-network kernels: softmax, layernorm, rmsnorm,
+    embedding, rotary embedding, and the loss operators. These encode
+    how each kernel distributes over a partitioned input, which is what
+    sequence parallelism and gradient accumulation rely on. *)
+
+val lemmas : Lemma.t list

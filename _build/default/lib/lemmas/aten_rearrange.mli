@@ -1,0 +1,7 @@
+(** Structural lemmas about the rearrangement operators that can appear
+    in clean expressions: slice, concat, transpose, pad, reshape.
+    Includes the slice/concat commutation lemma of the paper's Listing 4
+    and the constrained "slices cover" lemma (section 4.3.2) that
+    reassembles a tensor from already-materialized adjacent slices. *)
+
+val lemmas : Lemma.t list

@@ -1,0 +1,126 @@
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_egraph
+open Helpers
+
+let lo, hi = collective_arities
+
+let reduce_attrs = function
+  | Op.Reduce_sum { dim; keepdim }
+  | Op.Reduce_mean { dim; keepdim }
+  | Op.Reduce_max { dim; keepdim } ->
+      Some (dim, keepdim)
+  | _ -> None
+
+(* Concat axis as seen after a reduction removed [rdim]. *)
+let adjust_axis ~rdim ~keepdim dim =
+  if keepdim || dim < rdim then dim else dim - 1
+
+(* reduce(concat(x_i, d), d') with d' <> d: the reduction maps over the
+   chunks and the concat axis shifts if the reduced axis is dropped. *)
+let reduce_concat_offaxis family =
+  let gen n =
+    Rule.rewrite_to (family ^ "-concat-offaxis")
+      (fam family ~bind:"rd" [ fam "concat" ~bind:"cc" (vars n) ])
+      (fun _g _root subst ->
+        let op = Subst.op subst "rd" in
+        let* rdim, keepdim = reduce_attrs op in
+        let* cdim = concat_dim (Subst.op subst "cc") in
+        let* () = guard (rdim <> cdim) in
+        let out_dim = adjust_axis ~rdim ~keepdim cdim in
+        Some
+          (p
+             (Op.Concat { dim = out_dim })
+             (List.map (fun x -> p op [ x ]) (vars n))))
+  in
+  Lemma.make ~complexity:3 (family ^ "-concat-offaxis") (for_arities lo hi gen)
+
+(* reduce_sum(concat(x_i, d), d) = sum(reduce_sum(x_i, d)). *)
+let reduce_sum_concat_onaxis =
+  let gen n =
+    Rule.rewrite_to "reduce-sum-concat-onaxis"
+      (fam "reduce_sum" ~bind:"rd" [ fam "concat" ~bind:"cc" (vars n) ])
+      (fun _g _root subst ->
+        let op = Subst.op subst "rd" in
+        let* rdim, _ = reduce_attrs op in
+        let* cdim = concat_dim (Subst.op subst "cc") in
+        let* () = guard (rdim = cdim) in
+        Some (p Op.Sum_n (List.map (fun x -> p op [ x ]) (vars n))))
+  in
+  Lemma.make ~complexity:3 "reduce-sum-concat-onaxis" (for_arities lo hi gen)
+
+(* reduce_max(concat(x_i, d), d) = maximum of the chunk maxima. *)
+let reduce_max_concat_onaxis =
+  let gen n =
+    Rule.rewrite_to "reduce-max-concat-onaxis"
+      (fam "reduce_max" ~bind:"rd" [ fam "concat" ~bind:"cc" (vars n) ])
+      (fun _g _root subst ->
+        let op = Subst.op subst "rd" in
+        let* rdim, _ = reduce_attrs op in
+        let* cdim = concat_dim (Subst.op subst "cc") in
+        let* () = guard (rdim = cdim) in
+        let maxima = List.map (fun x -> p op [ x ]) (vars n) in
+        let rec fold = function
+          | [ one ] -> one
+          | a :: rest -> p Op.Maximum [ a; fold rest ]
+          | [] -> assert false
+        in
+        Some (fold maxima))
+  in
+  Lemma.make ~complexity:4 "reduce-max-concat-onaxis" (for_arities lo hi gen)
+
+(* reduce_mean(concat(x_i, d), d) over provably equal chunks is the
+   average of the chunk means. *)
+let reduce_mean_concat_onaxis =
+  let gen n =
+    Rule.rewrite_to "reduce-mean-concat-onaxis"
+      (fam "reduce_mean" ~bind:"rd" [ fam "concat" ~bind:"cc" (vars n) ])
+      (fun g _root subst ->
+        let op = Subst.op subst "rd" in
+        let* rdim, _ = reduce_attrs op in
+        let* cdim = concat_dim (Subst.op subst "cc") in
+        let* () = guard (rdim = cdim) in
+        let* first = dim_of_var g subst "x0" cdim in
+        let rec equal_chunks i =
+          if i = n then Some ()
+          else
+            let* size = dim_of_var g subst (Printf.sprintf "x%d" i) cdim in
+            let* () = guard (deq g size first) in
+            equal_chunks (i + 1)
+        in
+        let* () = equal_chunks 1 in
+        Some
+          (p
+             (Op.Scale (Rat.make 1 n))
+             [ p Op.Sum_n (List.map (fun x -> p op [ x ]) (vars n)) ]))
+  in
+  Lemma.make ~complexity:4 "reduce-mean-concat-onaxis" (for_arities lo hi gen)
+
+(* slice(reduce(x, rd), d) = reduce(slice(x, d'), rd) when the sliced
+   axis is not the reduced one. *)
+let reduce_slice_commute family =
+  Lemma.make ~complexity:2 (family ^ "-slice")
+    [
+      Rule.rewrite_to ~constrained:true (family ^ "-slice")
+        (fam "slice" ~bind:"sl" [ fam family ~bind:"rd" [ v "x" ] ])
+        (fun _g _root subst ->
+          let op = Subst.op subst "rd" in
+          let* rdim, keepdim = reduce_attrs op in
+          let* sdim, start, stop = slice_attrs (Subst.op subst "sl") in
+          (* Axis of x corresponding to the sliced output axis. *)
+          let xdim = if keepdim || sdim < rdim then sdim else sdim + 1 in
+          let* () = guard (xdim <> rdim) in
+          Some (p op [ p (Op.Slice { dim = xdim; start; stop }) [ v "x" ] ]));
+    ]
+
+let lemmas =
+  [
+    reduce_concat_offaxis "reduce_sum";
+    reduce_concat_offaxis "reduce_mean";
+    reduce_concat_offaxis "reduce_max";
+    reduce_sum_concat_onaxis;
+    reduce_max_concat_onaxis;
+    reduce_mean_concat_onaxis;
+    reduce_slice_commute "reduce_sum";
+    reduce_slice_commute "reduce_mean";
+  ]

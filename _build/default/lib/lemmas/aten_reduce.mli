@@ -1,0 +1,4 @@
+(** Lemmas about reduction operators (sum / mean / max along an axis)
+    and their interaction with concat. *)
+
+val lemmas : Lemma.t list

@@ -1,0 +1,58 @@
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_egraph
+open Helpers
+
+let lo, hi = collective_arities
+
+(* all_reduce(x1..xn) = sum(x1..xn), both directions. *)
+let all_reduce_is_sum =
+  let gen n =
+    Rule.make "all-reduce-is-sum"
+      (p Op.All_reduce (vars n))
+      (p Op.Sum_n (vars n))
+  and gen_rev n =
+    Rule.make ~constrained:true "all-reduce-is-sum"
+      (p Op.Sum_n (vars n))
+      (p Op.All_reduce (vars n))
+  in
+  Lemma.make ~klass:Lemma.Clean "all-reduce-is-sum"
+    (for_arities lo hi gen @ for_arities lo hi gen_rev)
+
+(* reduce_scatter[dim, i, c](x1..xn)
+     = slice(sum(x1..xn), dim, i*chunk, (i+1)*chunk). *)
+let reduce_scatter_is_slice_of_sum =
+  let gen n =
+    Rule.rewrite_to "reduce-scatter-is-slice-of-sum"
+      (fam "reduce_scatter" ~bind:"rs" (vars n))
+      (fun g _root subst ->
+        let* dim, index, count = reduce_scatter_attrs (Subst.op subst "rs") in
+        let* size = dim_of_var g subst "x0" dim in
+        let* chunk = Symdim.div_int size count in
+        let start = Symdim.mul_int index chunk in
+        let stop = Symdim.mul_int (index + 1) chunk in
+        Some (p (Op.Slice { dim; start; stop }) [ p Op.Sum_n (vars n) ]))
+  in
+  Lemma.make ~klass:Lemma.Clean ~complexity:3 "reduce-scatter-is-slice-of-sum"
+    (for_arities lo hi gen)
+
+(* all_gather[dim](x1..xn) = concat(x1..xn, dim), both directions. *)
+let all_gather_is_concat =
+  let gen n =
+    Rule.rewrite_to "all-gather-is-concat"
+      (fam "all_gather" ~bind:"ag" (vars n))
+      (fun _g _root subst ->
+        let* dim = all_gather_dim (Subst.op subst "ag") in
+        Some (p (Op.Concat { dim }) (vars n)))
+  and gen_rev n =
+    Rule.rewrite_to ~constrained:true "all-gather-is-concat"
+      (fam "concat" ~bind:"cc" (vars n))
+      (fun _g _root subst ->
+        let* dim = concat_dim (Subst.op subst "cc") in
+        Some (p (Op.All_gather { dim }) (vars n)))
+  in
+  Lemma.make ~klass:Lemma.Clean ~complexity:2 "all-gather-is-concat"
+    (for_arities lo hi gen @ for_arities lo hi gen_rev)
+
+let lemmas =
+  [ all_reduce_is_sum; reduce_scatter_is_slice_of_sum; all_gather_is_concat ]

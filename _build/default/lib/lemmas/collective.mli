@@ -1,0 +1,7 @@
+(** Lemmas giving collective-communication kernels their mathematical
+    meaning: all-reduce is an elementwise sum over rank contributions,
+    reduce-scatter a slice of that sum, all-gather a concatenation.
+    These are class-[Clean] lemmas — the collectives themselves may
+    appear in clean expressions. *)
+
+val lemmas : Lemma.t list

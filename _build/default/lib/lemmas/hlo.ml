@@ -1,0 +1,50 @@
+open Entangle_ir
+open Entangle_egraph
+open Helpers
+
+let lo, hi = collective_arities
+
+let dot_is_matmul =
+  Lemma.make ~klass:Lemma.Hlo "hlo-dot-is-matmul"
+    [
+      Rule.make "hlo-dot-is-matmul"
+        (p Op.Hlo_dot [ v "x"; v "y" ])
+        (p Op.Matmul [ v "x"; v "y" ]);
+      Rule.make ~constrained:true "hlo-dot-is-matmul"
+        (p Op.Matmul [ v "x"; v "y" ])
+        (p Op.Hlo_dot [ v "x"; v "y" ]);
+    ]
+
+let slice_is_slice =
+  Lemma.make ~klass:Lemma.Hlo "hlo-slice-is-slice"
+    [
+      Rule.rewrite_to "hlo-slice-is-slice"
+        (fam "hlo_slice" ~bind:"sl" [ v "x" ])
+        (fun _g _root subst ->
+          let* dim, start, stop = slice_attrs (Subst.op subst "sl") in
+          Some (p (Op.Slice { dim; start; stop }) [ v "x" ]));
+      Rule.rewrite_to ~constrained:true "hlo-slice-is-slice"
+        (fam "slice" ~bind:"sl" [ v "x" ])
+        (fun _g _root subst ->
+          let* dim, start, stop = slice_attrs (Subst.op subst "sl") in
+          Some (p (Op.Hlo_slice { dim; start; stop }) [ v "x" ]));
+    ]
+
+let concatenate_is_concat =
+  let gen n =
+    Rule.rewrite_to "hlo-concatenate-is-concat"
+      (fam "hlo_concatenate" ~bind:"cc" (vars n))
+      (fun _g _root subst ->
+        let* dim = concat_dim (Subst.op subst "cc") in
+        Some (p (Op.Concat { dim }) (vars n)))
+  and gen_rev n =
+    Rule.rewrite_to ~constrained:true "hlo-concatenate-is-concat"
+      (fam "concat" ~bind:"cc" (vars n))
+      (fun _g _root subst ->
+        let* dim = concat_dim (Subst.op subst "cc") in
+        Some (p (Op.Hlo_concatenate { dim }) (vars n)))
+  in
+  Lemma.make ~klass:Lemma.Hlo ~complexity:2 "hlo-concatenate-is-concat"
+    (for_arities lo hi gen @ for_arities lo hi gen_rev)
+
+let lemmas = [ dot_is_matmul; slice_is_slice; concatenate_is_concat ]

@@ -1,0 +1,6 @@
+(** Lemmas bridging HLO / XLA operators (heatmap class "h") to their
+    ATen counterparts, letting HLO-captured models (Llama-3 via NeuronX)
+    reuse the whole ATen lemma corpus — the paper's observation in
+    section 6.6. *)
+
+val lemmas : Lemma.t list

@@ -1,0 +1,71 @@
+open Entangle_egraph
+
+type klass = Clean | Aten | Vllm | Hlo
+
+type t = {
+  name : string;
+  klass : klass;
+  loc : int;
+  complexity : int;
+  conditioned : bool;
+  rules : Rule.t list;
+}
+
+let derived_complexity rules =
+  match
+    List.find_map
+      (fun (r : Rule.t) ->
+        match r.applier with
+        | Rule.Syntactic rhs -> Some (Pattern.size r.lhs + Pattern.size rhs)
+        | Rule.Conditional _ -> None)
+      rules
+  with
+  | Some c -> c
+  | None -> (
+      match rules with
+      | r :: _ -> Pattern.size r.lhs + 2
+      | [] -> 0)
+
+let derived_loc rules =
+  List.fold_left
+    (fun acc (r : Rule.t) ->
+      acc
+      + match r.applier with Rule.Syntactic _ -> 2 | Rule.Conditional _ -> 12)
+    0 rules
+
+let make ?(klass = Aten) ?loc ?complexity ?conditioned name rules =
+  let rules = List.map (fun (r : Rule.t) -> { r with Rule.name }) rules in
+  let conditioned =
+    match conditioned with
+    | Some c -> c
+    | None ->
+        List.exists
+          (fun (r : Rule.t) ->
+            match r.applier with
+            | Rule.Conditional _ -> true
+            | Rule.Syntactic _ -> false)
+          rules
+  in
+  {
+    name;
+    klass;
+    loc = (match loc with Some l -> l | None -> derived_loc rules);
+    complexity =
+      (match complexity with
+      | Some c -> c
+      | None -> derived_complexity rules);
+    conditioned;
+    rules;
+  }
+
+let rules lemmas = List.concat_map (fun l -> l.rules) lemmas
+
+let klass_letter = function
+  | Clean -> "c"
+  | Aten -> "a"
+  | Vllm -> "v"
+  | Hlo -> "h"
+
+let pp ppf l =
+  Fmt.pf ppf "%s [%s] (%d rules, complexity %d, %d loc)" l.name
+    (klass_letter l.klass) (List.length l.rules) l.complexity l.loc

@@ -1,0 +1,44 @@
+(** Lemmas: named, classified bundles of rewrite rules.
+
+    A lemma (paper section 4.2.1) states conditions under which one
+    expression can be rewritten to another; operationally it is one or
+    more {!Entangle_egraph.Rule.t} values (typically the two directions,
+    and one rule per collective arity for variadic operators). Metadata
+    mirrors what the paper's evaluation reports: the class used in the
+    Figure 6 heatmap, the operator-count complexity of Figure 5a, and
+    the lines of code of Figure 5b. *)
+
+open Entangle_egraph
+
+type klass =
+  | Clean  (** lemmas about operators that may appear in clean expressions *)
+  | Aten  (** general ATen operator lemmas *)
+  | Vllm  (** lemmas for vLLM fused kernels *)
+  | Hlo  (** lemmas for HLO / XLA operators *)
+
+type t = {
+  name : string;
+  klass : klass;
+  loc : int;  (** lines of code of the lemma's definition *)
+  complexity : int;  (** operators appearing on both sides (Figure 5a) *)
+  conditioned : bool;
+  rules : Rule.t list;
+}
+
+val make :
+  ?klass:klass ->
+  ?loc:int ->
+  ?complexity:int ->
+  ?conditioned:bool ->
+  string ->
+  Rule.t list ->
+  t
+(** Rules inherit the lemma's [name] so that runner hit counters
+    aggregate per lemma. When [complexity] is omitted it is derived from
+    the first syntactic rule's patterns; [loc] defaults by rule form
+    (2 per universal rule, 12 per conditioned rule), matching the
+    paper's observation that universal lemmas take one or two lines. *)
+
+val rules : t list -> Rule.t list
+val klass_letter : klass -> string
+val pp : t Fmt.t

@@ -1,0 +1,40 @@
+type model_family = Gpt | Llama | Qwen2 | Bytedance | Regression
+
+let aten =
+  Aten_rearrange.lemmas @ Aten_linalg.lemmas @ Aten_ewise.lemmas
+  @ Aten_reduce.lemmas @ Aten_nn.lemmas @ Collective.lemmas
+
+let all = aten @ Vllm.lemmas @ Hlo.lemmas
+
+let find name = List.find_opt (fun (l : Lemma.t) -> String.equal l.name name) all
+
+let id_of name =
+  let rec go i = function
+    | [] -> None
+    | (l : Lemma.t) :: rest ->
+        if String.equal l.name name then Some i else go (i + 1) rest
+  in
+  go 0 all
+
+let for_model = function
+  | Gpt | Bytedance | Regression -> aten
+  | Qwen2 -> aten @ Vllm.lemmas
+  | Llama -> aten @ Hlo.lemmas
+
+let rules_for_model family = Lemma.rules (for_model family)
+
+let family_name = function
+  | Gpt -> "GPT"
+  | Llama -> "Llama-3"
+  | Qwen2 -> "Qwen2"
+  | Bytedance -> "ByteDance"
+  | Regression -> "Regression"
+
+let family_of_string s =
+  match String.lowercase_ascii s with
+  | "gpt" -> Some Gpt
+  | "llama" | "llama-3" | "llama3" -> Some Llama
+  | "qwen2" | "qwen" -> Some Qwen2
+  | "bytedance" -> Some Bytedance
+  | "regression" -> Some Regression
+  | _ -> None

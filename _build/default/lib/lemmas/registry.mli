@@ -1,0 +1,22 @@
+(** The lemma registry: the full corpus with stable identifiers, plus
+    per-model lemma sets mirroring the paper's setup (the base corpus
+    covers ATen; vLLM and HLO models add their operator lemmas). *)
+
+open Entangle_egraph
+
+type model_family = Gpt | Llama | Qwen2 | Bytedance | Regression
+
+val all : Lemma.t list
+(** The full corpus, in stable order; a lemma's position is its id on
+    the Figure 6 x-axis. *)
+
+val find : string -> Lemma.t option
+val id_of : string -> int option
+(** Index of a lemma name in {!all}. *)
+
+val for_model : model_family -> Lemma.t list
+(** ATen corpus plus any vLLM / HLO lemmas the model family needs. *)
+
+val rules_for_model : model_family -> Rule.t list
+val family_name : model_family -> string
+val family_of_string : string -> model_family option

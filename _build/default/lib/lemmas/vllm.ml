@@ -1,0 +1,62 @@
+open Entangle_ir
+open Entangle_egraph
+open Helpers
+
+let lo, hi = collective_arities
+
+(* swiglu_fused(g, u) = mul(silu(g), u). *)
+let swiglu_unfuse =
+  Lemma.make ~klass:Lemma.Vllm "swiglu-unfuse"
+    [
+      Rule.make "swiglu-unfuse"
+        (p Op.Swiglu_fused [ v "g"; v "u" ])
+        (p Op.Mul [ p Op.Silu [ v "g" ]; v "u" ]);
+      Rule.make "swiglu-unfuse"
+        (p Op.Mul [ p Op.Silu [ v "g" ]; v "u" ])
+        (p Op.Swiglu_fused [ v "g"; v "u" ]);
+    ]
+
+(* swiglu distributes over matching concats, chunk-wise. *)
+let swiglu_concat =
+  let gen n =
+    let xs = vars n and ys = vars_y n in
+    Rule.rewrite_to "swiglu-concat"
+      (p Op.Swiglu_fused
+         [ fam "concat" ~bind:"ccx" xs; fam "concat" ~bind:"ccy" ys ])
+      (fun g _root subst ->
+        let* dx = concat_dim (Subst.op subst "ccx") in
+        let* dy = concat_dim (Subst.op subst "ccy") in
+        let* () = guard (dx = dy) in
+        let rec chunks_ok i =
+          if i = n then Some ()
+          else
+            let* sx = shape_of_var g subst (Printf.sprintf "x%d" i) in
+            let* sy = shape_of_var g subst (Printf.sprintf "y%d" i) in
+            let* () = guard (shapes_equal g sx sy) in
+            chunks_ok (i + 1)
+        in
+        let* () = chunks_ok 0 in
+        Some
+          (p (Op.Concat { dim = dx })
+             (List.map2 (fun x y -> p Op.Swiglu_fused [ x; y ]) xs ys)))
+  in
+  Lemma.make ~klass:Lemma.Vllm ~complexity:4 "swiglu-concat"
+    (for_arities lo hi gen)
+
+(* swiglu over a fused gate-up projection: the gate and up halves are
+   adjacent slices of one matmul output, as vLLM materializes them. *)
+let swiglu_slice =
+  Lemma.make ~klass:Lemma.Vllm ~complexity:3 "swiglu-slice"
+    [
+      Rule.rewrite_to ~constrained:true "swiglu-slice"
+        (fam "slice" ~bind:"sl" [ p Op.Swiglu_fused [ v "g"; v "u" ] ])
+        (fun g _root subst ->
+          let* dim, start, stop = slice_attrs (Subst.op subst "sl") in
+          let* sg = shape_of_var g subst "g" in
+          let* su = shape_of_var g subst "u" in
+          let* () = guard (shapes_equal g sg su) in
+          let sl t = p (Op.Slice { dim; start; stop }) [ t ] in
+          Some (p Op.Swiglu_fused [ sl (v "g"); sl (v "u") ]));
+    ]
+
+let lemmas = [ swiglu_unfuse; swiglu_concat; swiglu_slice ]

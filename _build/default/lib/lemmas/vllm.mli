@@ -1,0 +1,4 @@
+(** Lemmas for vLLM fused kernels (heatmap class "v"): the fused SwiGLU
+    activation used by the Qwen2 model. *)
+
+val lemmas : Lemma.t list

@@ -1,0 +1,1 @@
+lib/models/bugs.mli: Entangle Entangle_ir Expr Instance

@@ -1,0 +1,1 @@
+lib/models/gpt.ml: Entangle_lemmas Fmt Transformer

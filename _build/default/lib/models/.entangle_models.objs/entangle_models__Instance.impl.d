@@ -1,0 +1,1 @@
+lib/models/instance.ml: Entangle Entangle_dist Entangle_ir Entangle_lemmas Fmt Graph Interp Strategy

@@ -1,0 +1,1 @@
+lib/models/instance.mli: Entangle Entangle_dist Entangle_ir Entangle_lemmas Fmt Graph Hashtbl Interp Strategy

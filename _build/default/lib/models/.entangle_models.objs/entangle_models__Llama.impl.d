@@ -1,0 +1,1 @@
+lib/models/llama.ml: Entangle_lemmas Fmt Transformer

@@ -1,0 +1,1 @@
+lib/models/llama.mli: Instance

@@ -1,0 +1,1 @@
+lib/models/moe.ml: Array Constraint_store Entangle_dist Entangle_ir Entangle_lemmas Entangle_symbolic Fmt Graph Instance Interp List Lower Op Rat Shape Strategy Symdim Tensor

@@ -1,0 +1,1 @@
+lib/models/qwen2.ml: Entangle_lemmas Fmt Transformer

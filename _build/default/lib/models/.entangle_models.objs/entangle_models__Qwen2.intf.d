@@ -1,0 +1,1 @@
+lib/models/qwen2.mli: Instance

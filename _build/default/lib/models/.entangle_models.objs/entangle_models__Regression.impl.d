@@ -1,0 +1,1 @@
+lib/models/regression.ml: Entangle_dist Entangle_ir Entangle_lemmas Entangle_symbolic Graph Instance Interp List Lower Op Rat Strategy Symdim

@@ -1,0 +1,1 @@
+lib/models/train.ml: Autodiff Entangle Entangle_dist Entangle_ir Entangle_lemmas Entangle_symbolic Expr Fmt Graph Instance Interp List Lower Op Rat Strategy Symdim Tensor

@@ -1,0 +1,1 @@
+lib/models/transformer.ml: Array Dtype Entangle_dist Entangle_ir Entangle_symbolic Fmt Graph Instance Interp List Lower Op Option Strategy Symdim Tensor

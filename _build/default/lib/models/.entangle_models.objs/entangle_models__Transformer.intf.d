@@ -1,0 +1,1 @@
+lib/models/transformer.mli: Entangle_lemmas Entangle_symbolic Instance Symdim

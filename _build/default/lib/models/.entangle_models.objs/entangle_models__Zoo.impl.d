@@ -1,0 +1,1 @@
+lib/models/zoo.ml: Gpt Llama Moe Qwen2 Regression String Train

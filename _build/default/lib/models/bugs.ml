@@ -1,0 +1,294 @@
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_dist
+module B = Graph.Builder
+
+type kind = Refinement_failure | Expectation_violation
+
+type case = {
+  id : int;
+  framework : string;
+  description : string;
+  kind : kind;
+  instance : Instance.t;
+  expectation : (Expr.t * Expr.t) option;
+}
+
+let sd = Symdim.of_int
+let constraints = Constraint_store.add_positive Constraint_store.empty "sc"
+let seq () = Symdim.mul_int 24 (Symdim.sym "sc")
+
+(* --- Bug 3: mismatched padding and slicing ---------------------------- *)
+
+(* All-gather requires equally shaped inputs, so SP shards are padded
+   before gathering and the padding sliced off afterwards; the bug uses
+   an off-by-one slice offset, dropping a real element and keeping a
+   padded one. *)
+let pad_slice_case ~buggy =
+  let s = seq () in
+  let d = 8 and pad = 2 in
+  let bs = B.create ~constraints "pad-slice-seq" in
+  let x = B.input bs "x" [ s; sd d ] in
+  let w = B.input bs "w" [ sd d; sd d ] in
+  let z = B.add bs ~name:"z" Op.Matmul [ x; w ] in
+  B.output bs z;
+  let gs = B.finish bs in
+  let degree = 2 in
+  let ctx =
+    Lower.create ~constraints
+      ~name:(if buggy then "pad-slice-buggy" else "pad-slice") ~degree ()
+  in
+  let xs = Lower.shard_input ctx x ~dim:0 in
+  let ws = Lower.replicate_input ctx w in
+  let chunk = Option.get (Symdim.div_int s degree) in
+  let padded =
+    List.map
+      (fun x_r ->
+        Lower.add ctx (Op.Pad { dim = 0; before = Symdim.zero; after = sd pad })
+          [ x_r ])
+      xs
+  in
+  let gathered = Lower.all_gather ctx ~dim:0 padded in
+  let outs =
+    List.mapi
+      (fun r g ->
+        (* Drop the padding: piece i of the gather lives at offset
+           i * (chunk + pad). The bug shifts the second offset by one. *)
+        let shift = if buggy then -1 else 0 in
+        let piece i =
+          let base = Symdim.mul_int i (Symdim.add chunk (sd pad)) in
+          let base = if i > 0 then Symdim.add base (sd shift) else base in
+          Lower.add ctx
+            (Op.Slice { dim = 0; start = base; stop = Symdim.add base chunk })
+            [ g ]
+        in
+        let full =
+          Lower.add ctx (Op.Concat { dim = 0 })
+            (List.init degree piece)
+        in
+        Lower.add ctx
+          ~name:(Fmt.str "z_%d" r)
+          Op.Matmul
+          [ full; List.nth ws r ])
+      gathered
+  in
+  Lower.output ctx (List.hd outs);
+  let gd, input_relation = Lower.finish ctx in
+  Instance.make
+    ~name:(if buggy then "pad-slice (buggy)" else "pad-slice")
+    ~family:Entangle_lemmas.Registry.Bytedance
+    ~strategies:[ Strategy.Sequence_parallel ] ~degree ~layers:1 ~gs ~gd
+    ~input_relation
+    ~env:(Interp.env_of_list [ ("sc", 1) ])
+
+(* --- Bugs 5 / 8 / 9: missing gradient aggregation (section 4.4) ------- *)
+
+(* Weight-gradient graphs under sequence parallelism: each rank holds a
+   partial gradient over its sequence shard; a correct optimizer
+   all-reduces them. The buggy implementations registered only the local
+   partial, which the user states as the expectation f_d = gw_rank0. *)
+type grad_flavor = Layernorm_weight | Router_weight | Rmsnorm_weight
+
+let grad_case flavor =
+  let s = seq () in
+  let d = 8 and e = 4 in
+  let bs = B.create ~constraints "grad-seq" in
+  let x = B.input bs "x" [ s; sd d ] in
+  let dy_shape =
+    match flavor with Router_weight -> [ s; sd e ] | _ -> [ s; sd d ]
+  in
+  let dy = B.input bs "dy" dy_shape in
+  let wn = B.input bs "wn" [ sd d ] in
+  let gw =
+    match flavor with
+    | Layernorm_weight ->
+        (* d/dw of layernorm: reduce over the sequence. *)
+        B.add bs ~name:"gw"
+          (Op.Reduce_sum { dim = 0; keepdim = false })
+          [ B.add bs Op.Mul [ dy; x ] ]
+    | Rmsnorm_weight ->
+        let nx = B.add bs (Op.Rmsnorm { eps = 1e-5 }) [ x; wn ] in
+        B.add bs ~name:"gw"
+          (Op.Reduce_sum { dim = 0; keepdim = false })
+          [ B.add bs Op.Mul [ dy; nx ] ]
+    | Router_weight ->
+        B.add bs ~name:"gw" Op.Matmul
+          [ B.add bs (Op.Transpose { dim0 = 0; dim1 = 1 }) [ x ]; dy ]
+  in
+  B.output bs gw;
+  let gs = B.finish bs in
+  let degree = 2 in
+  let ctx = Lower.create ~constraints ~name:"grad-dist" ~degree () in
+  let xs = Lower.shard_input ctx x ~dim:0 in
+  let dys = Lower.shard_input ctx dy ~dim:0 in
+  let wns = Lower.replicate_input ctx wn in
+  let partials =
+    List.mapi
+      (fun r x_r ->
+        let dy_r = List.nth dys r in
+        match flavor with
+        | Layernorm_weight ->
+            Lower.add ctx
+              ~name:(Fmt.str "gw_%d" r)
+              (Op.Reduce_sum { dim = 0; keepdim = false })
+              [ Lower.add ctx Op.Mul [ dy_r; x_r ] ]
+        | Rmsnorm_weight ->
+            let nx =
+              Lower.add ctx (Op.Rmsnorm { eps = 1e-5 }) [ x_r; List.nth wns r ]
+            in
+            Lower.add ctx
+              ~name:(Fmt.str "gw_%d" r)
+              (Op.Reduce_sum { dim = 0; keepdim = false })
+              [ Lower.add ctx Op.Mul [ dy_r; nx ] ]
+        | Router_weight ->
+            Lower.add ctx
+              ~name:(Fmt.str "gw_%d" r)
+              Op.Matmul
+              [
+                Lower.add ctx (Op.Transpose { dim0 = 0; dim1 = 1 }) [ x_r ];
+                dy_r;
+              ])
+      xs
+  in
+  (* The bug: no all-reduce; every rank's partial is exposed as if it
+     were the full gradient. *)
+  List.iter (Lower.output ctx) partials;
+  let gd, input_relation = Lower.finish ctx in
+  let name =
+    match flavor with
+    | Layernorm_weight -> "layernorm weight grad (SP)"
+    | Router_weight -> "MoE router weight grad (TP+SP)"
+    | Rmsnorm_weight -> "rmsnorm weight grad (SP)"
+  in
+  let strategies =
+    match flavor with
+    | Router_weight -> Strategy.[ Tensor_parallel; Sequence_parallel ]
+    | _ -> [ Strategy.Sequence_parallel ]
+  in
+  let instance =
+    Instance.make ~name ~family:Entangle_lemmas.Registry.Bytedance ~strategies
+      ~degree ~layers:1 ~gs ~gd ~input_relation
+      ~env:(Interp.env_of_list [ ("sc", 1) ])
+  in
+  (* The user expects the sequential gradient to equal rank 0's value. *)
+  let fs = Expr.leaf gw in
+  let fd = Expr.leaf (List.hd partials) in
+  (instance, (fs, fd))
+
+let pad_slice_model ~buggy = pad_slice_case ~buggy
+
+(* --- catalog ----------------------------------------------------------- *)
+
+let all () =
+  let b5, e5 = grad_case Layernorm_weight in
+  let b8, e8 = grad_case Router_weight in
+  let b9, e9 = grad_case Rmsnorm_weight in
+  [
+    {
+      id = 1;
+      framework = "ByteDance";
+      description = "Incorrect offset in RoPE with SP";
+      kind = Refinement_failure;
+      instance = Moe.build ~bug:Moe.Rope_wrong_offset ();
+      expectation = None;
+    };
+    {
+      id = 2;
+      framework = "ByteDance";
+      description = "Incorrect scaling for auxiliary loss with TP";
+      kind = Refinement_failure;
+      instance = Moe.build ~bug:Moe.Aux_loss_unscaled ();
+      expectation = None;
+    };
+    {
+      id = 3;
+      framework = "ByteDance";
+      description = "Mismatched padding and slicing in data processing";
+      kind = Refinement_failure;
+      instance = pad_slice_case ~buggy:true;
+      expectation = None;
+    };
+    {
+      id = 4;
+      framework = "ByteDance";
+      description = "Incompatible configurations for model components";
+      kind = Refinement_failure;
+      instance = Moe.build ~bug:Moe.Experts_sharded ();
+      expectation = None;
+    };
+    {
+      id = 5;
+      framework = "ByteDance";
+      description = "Missing aggregation for a layernorm weight";
+      kind = Expectation_violation;
+      instance = b5;
+      expectation = Some e5;
+    };
+    {
+      id = 6;
+      framework = "Huggingface transformers";
+      description = "Wrong scaling in gradient accumulation";
+      kind = Refinement_failure;
+      instance = Regression.build ~buggy:true ();
+      expectation = None;
+    };
+    {
+      id = 7;
+      framework = "Megatron-LM";
+      description =
+        "Missing all-reduce in parallel linear layer due to \
+         mis-configuration";
+      kind = Refinement_failure;
+      instance =
+        Transformer.build
+          ~arch:(Transformer.gpt_arch ~heads:2 ~vocab:None ())
+          ~layers:1 ~degree:2 ~bug:Transformer.Missing_allreduce
+          ~name:"GPT (missing all-reduce)"
+          ~family:Entangle_lemmas.Registry.Gpt ();
+      expectation = None;
+    };
+    {
+      id = 8;
+      framework = "Megatron-LM";
+      description =
+        "Missing all-reduce in optimizer for MoE router with TP+SP";
+      kind = Expectation_violation;
+      instance = b8;
+      expectation = Some e8;
+    };
+    {
+      id = 9;
+      framework = "Transformer-Engine";
+      description = "Missing all-reduce in optimizer for layernorm with SP";
+      kind = Expectation_violation;
+      instance = b9;
+      expectation = Some e9;
+    };
+  ]
+
+let case n =
+  match List.find_opt (fun c -> c.id = n) (all ()) with
+  | Some c -> c
+  | None -> invalid_arg "Bugs.case: id must be in 1..9"
+
+type outcome = Detected of string | Missed
+
+let run ?config case =
+  let inst = case.instance in
+  let rules = Entangle_lemmas.Registry.rules_for_model inst.Instance.family in
+  match case.expectation with
+  | Some (fs, fd) -> (
+      match
+        Entangle.Expectation.check ?config ~rules ~gs:inst.Instance.gs
+          ~gd:inst.Instance.gd ~input_relation:inst.Instance.input_relation
+          ~fs ~fd ()
+      with
+      | Error v -> Detected v.Entangle.Expectation.reason
+      | Ok _ -> Missed)
+  | None -> (
+      match
+        Entangle.Refine.check ?config ~rules ~gs:inst.Instance.gs
+          ~gd:inst.Instance.gd ~input_relation:inst.Instance.input_relation ()
+      with
+      | Error f -> Detected (Entangle.Report.failure_to_string inst.Instance.gs f)
+      | Ok _ -> Missed)

@@ -1,0 +1,40 @@
+(** The nine real-world bugs of the paper's case study (Table 3 and
+    Appendix A), reproduced as buggy distributed lowerings.
+
+    Bugs 1-5 are from the ByteDance framework, 6 from HuggingFace
+    transformers, 7-8 from Megatron-LM, 9 from TransformerEngine.
+    Bugs 5, 8 and 9 are user-expectation cases (section 4.4): a
+    refinement exists but differs from the one the implementation
+    assumed. *)
+
+open Entangle_ir
+
+type kind =
+  | Refinement_failure  (** the checker cannot find a clean relation *)
+  | Expectation_violation  (** section 4.4: f_s does not equal f_d *)
+
+type case = {
+  id : int;
+  framework : string;
+  description : string;
+  kind : kind;
+  instance : Instance.t;
+  expectation : (Expr.t * Expr.t) option;
+      (** (f_s, f_d) for expectation cases *)
+}
+
+val all : unit -> case list
+(** The nine cases, freshly built. *)
+
+val case : int -> case
+(** [case n] for [n] in 1..9. *)
+
+val pad_slice_model : buggy:bool -> Instance.t
+(** The padding/slicing model underlying bug 3; [buggy:false] is the
+    fixed implementation, which refines. *)
+
+type outcome =
+  | Detected of string  (** the report shown to the user *)
+  | Missed  (** the checker accepted the buggy implementation *)
+
+val run : ?config:Entangle.Config.t -> case -> outcome

@@ -1,0 +1,8 @@
+let build ?(layers = 1) ?(degree = 2) ?heads ?(sp = true) ?(vp = true) () =
+  let heads = match heads with Some h -> h | None -> max 2 degree in
+  let arch =
+    Transformer.gpt_arch ~heads ~vocab:(if vp then Some 16 else None) ()
+  in
+  Transformer.build ~arch ~layers ~degree ~sp ~vp
+    ~name:(Fmt.str "GPT (TP%s, %dx)" (if sp then "+SP" else "") degree)
+    ~family:Entangle_lemmas.Registry.Gpt ()

@@ -1,0 +1,15 @@
+(** The GPT model of the paper's evaluation (the Megatron-LM example
+    training script): a layernorm/GELU transformer distributed with
+    tensor parallelism, optionally sequence parallelism and a
+    vocabulary-parallel LM head. *)
+
+val build :
+  ?layers:int ->
+  ?degree:int ->
+  ?heads:int ->
+  ?sp:bool ->
+  ?vp:bool ->
+  unit ->
+  Instance.t
+(** Defaults: 1 layer, degree 2, [heads = max 2 degree], SP and VP on
+    (the Megatron configuration: TP, SP and the parallel LM head). *)

@@ -1,0 +1,32 @@
+open Entangle_ir
+open Entangle_dist
+
+type t = {
+  name : string;
+  family : Entangle_lemmas.Registry.model_family;
+  strategies : Strategy.t list;
+  degree : int;
+  layers : int;
+  gs : Graph.t;
+  gd : Graph.t;
+  input_relation : Entangle.Relation.t;
+  env : Interp.env;
+}
+
+let make ~name ~family ~strategies ~degree ~layers ~gs ~gd ~input_relation
+    ~env =
+  { name; family; strategies; degree; layers; gs; gd; input_relation; env }
+
+let operator_count t = Graph.num_nodes t.gs + Graph.num_nodes t.gd
+
+let check ?config ?hit_counter t =
+  let rules = Entangle_lemmas.Registry.rules_for_model t.family in
+  Entangle.Refine.check ?config ~rules ?hit_counter ~gs:t.gs ~gd:t.gd
+    ~input_relation:t.input_relation ()
+
+let pp ppf t =
+  Fmt.pf ppf "%s (%a, degree %d, %d layer%s, %d ops)" t.name
+    (Fmt.list ~sep:(Fmt.any "+") Strategy.pp)
+    t.strategies t.degree t.layers
+    (if t.layers = 1 then "" else "s")
+    (operator_count t)

@@ -1,0 +1,43 @@
+(** A verification instance: a sequential specification, a distributed
+    implementation, the clean input relation connecting them, and the
+    metadata the benchmarks report. *)
+
+open Entangle_ir
+open Entangle_dist
+
+type t = {
+  name : string;
+  family : Entangle_lemmas.Registry.model_family;
+  strategies : Strategy.t list;
+  degree : int;
+  layers : int;
+  gs : Graph.t;
+  gd : Graph.t;
+  input_relation : Entangle.Relation.t;
+  env : Interp.env;  (** concrete symbol assignment for execution *)
+}
+
+val make :
+  name:string ->
+  family:Entangle_lemmas.Registry.model_family ->
+  strategies:Strategy.t list ->
+  degree:int ->
+  layers:int ->
+  gs:Graph.t ->
+  gd:Graph.t ->
+  input_relation:Entangle.Relation.t ->
+  env:Interp.env ->
+  t
+
+val operator_count : t -> int
+(** Total operators in both graphs (the number Figure 3 annotates). *)
+
+val check :
+  ?config:Entangle.Config.t ->
+  ?hit_counter:(string, int) Hashtbl.t ->
+  t ->
+  (Entangle.Refine.success, Entangle.Refine.failure) result
+(** Run the refinement checker with the instance's model-family lemma
+    set. *)
+
+val pp : t Fmt.t

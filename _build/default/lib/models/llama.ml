@@ -1,0 +1,10 @@
+let build ?(layers = 1) ?(degree = 2) ?heads () =
+  let heads =
+    match heads with
+    | Some h -> h
+    | None -> if 4 mod degree = 0 then 4 else degree
+  in
+  let arch = Transformer.llama_arch ~heads () in
+  Transformer.build ~arch ~layers ~degree
+    ~name:(Fmt.str "Llama-3 (TP, %dx)" degree)
+    ~family:Entangle_lemmas.Registry.Llama ()

@@ -1,0 +1,10 @@
+(** The Llama-3 model of the paper's evaluation, as captured through
+    AWS NeuronX / XLA: an rmsnorm/SwiGLU/RoPE transformer whose
+    contractions are HLO operators, distributed with tensor
+    parallelism. Degrees that do not divide the head count raise
+    [Invalid_argument] (the paper's missing data point at parallelism
+    size 6). *)
+
+val build : ?layers:int -> ?degree:int -> ?heads:int -> unit -> Instance.t
+(** Defaults: 1 layer, degree 2, [heads] the smallest multiple of 4
+    divisible by [degree]. *)

@@ -1,0 +1,364 @@
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_dist
+module B = Graph.Builder
+
+type bug = Aux_loss_unscaled | Rope_wrong_offset | Experts_sharded
+
+let sd = Symdim.of_int
+let transpose01 = Op.Transpose { dim0 = 0; dim1 = 1 }
+let eps = 1e-5
+
+let constraints =
+  Constraint_store.add_positive Constraint_store.empty "sc"
+
+(* Sequential per-layer tensors the lowering must reference. *)
+type layer_weights = {
+  w_ln : Tensor.t;
+  wq : Tensor.t;
+  wk : Tensor.t;
+  wv : Tensor.t;
+  wo : Tensor.t;
+  wg : Tensor.t;
+  w1 : Tensor.t array;  (* per expert [d; f] *)
+  w2 : Tensor.t array;  (* per expert [f; d] *)
+  w_aux : Tensor.t;  (* auxiliary-loss weight, scalar-like [1] *)
+}
+
+type seq_model = {
+  gs : Graph.t;
+  x : Tensor.t;
+  cos : Tensor.t;
+  sin : Tensor.t;
+  weights : layer_weights list;
+}
+
+let d_model = 8
+let d_ff = 8
+
+let build_seq ~experts ~layers =
+  let b = B.create ~constraints "moe-seq" in
+  let seq = Symdim.mul_int 24 (Symdim.sym "sc") in
+  let d = d_model and f = d_ff in
+  let x0 = B.input b "x" [ seq; sd d ] in
+  let cos = B.input b "cos" [ seq; sd d ] in
+  let sin = B.input b "sin" [ seq; sd d ] in
+  let weights = ref [] in
+  let x = ref x0 in
+  for l = 0 to layers - 1 do
+    let pre = Fmt.str "l%d" l in
+    let inp name shape = B.input b (Fmt.str "%s_%s" pre name) shape in
+    let lw =
+      {
+        w_ln = inp "w_ln" [ sd d ];
+        wq = inp "wq" [ sd d; sd d ];
+        wk = inp "wk" [ sd d; sd d ];
+        wv = inp "wv" [ sd d; sd d ];
+        wo = inp "wo" [ sd d; sd d ];
+        wg = inp "wg" [ sd d; sd experts ];
+        w1 = Array.init experts (fun e -> inp (Fmt.str "w1_e%d" e) [ sd d; sd f ]);
+        w2 = Array.init experts (fun e -> inp (Fmt.str "w2_e%d" e) [ sd f; sd d ]);
+        w_aux = inp "w_aux" [ sd 1 ];
+      }
+    in
+    weights := !weights @ [ lw ];
+    let add op ins = B.add b op ins in
+    (* Rotary position encoding applied to the layer input. *)
+    let xr = add Op.Rope [ !x; cos; sin ] in
+    let ln = add (Op.Rmsnorm { eps }) [ xr; lw.w_ln ] in
+    (* Single-head attention (head-dimension TP in the lowering). *)
+    let q = add Op.Matmul [ ln; lw.wq ] in
+    let k = add Op.Matmul [ ln; lw.wk ] in
+    let v = add Op.Matmul [ ln; lw.wv ] in
+    let scores = add Op.Matmul [ q; add transpose01 [ k ] ] in
+    let probs = add (Op.Softmax { dim = 1 }) [ scores ] in
+    let ctx = add Op.Matmul [ probs; v ] in
+    let proj = add Op.Matmul [ ctx; lw.wo ] in
+    let r1 = add Op.Add [ !x; proj ] in
+    (* Dense mixture-of-experts FFN. *)
+    let gate_logits = add Op.Matmul [ r1; lw.wg ] in
+    let gate = add (Op.Softmax { dim = 1 }) [ gate_logits ] in
+    let weighted e =
+      let h = add Op.Silu [ add Op.Matmul [ r1; lw.w1.(e) ] ] in
+      let o = add Op.Matmul [ h; lw.w2.(e) ] in
+      let ge =
+        add (Op.Slice { dim = 1; start = sd e; stop = sd (e + 1) }) [ gate ]
+      in
+      add Op.Mul [ o; ge ]
+    in
+    let y = add Op.Sum_n (List.init experts weighted) in
+    x := add Op.Add [ r1; y ];
+    (* Auxiliary load-balancing loss (squared importance). *)
+    let imp = add (Op.Reduce_mean { dim = 0; keepdim = false }) [ gate ] in
+    let aux =
+      add (Op.Reduce_sum { dim = 0; keepdim = true }) [ add Op.Mul [ imp; imp ] ]
+    in
+    let aux_weighted = B.add b ~name:(pre ^ "_aux") Op.Mul [ aux; lw.w_aux ] in
+    B.output b aux_weighted
+  done;
+  B.output b !x;
+  { gs = B.finish b; x = x0; cos; sin; weights = !weights }
+
+let nth = List.nth
+
+let build_dist sm ~experts ~degree ~layers ~bug =
+  if experts mod degree <> 0 then
+    invalid_arg "Moe.build: experts must divide by degree";
+  if d_model mod degree <> 0 then
+    invalid_arg "Moe.build: model dim must divide by degree";
+  let ctx = Lower.create ~constraints ~name:"moe-dist" ~degree () in
+  let add op ins = Lower.add ctx op ins in
+  let experts_per_rank = experts / degree in
+  let xs = ref (Lower.shard_input ctx sm.x ~dim:0) in
+  let coss = Lower.replicate_input ctx sm.cos in
+  let sins = Lower.replicate_input ctx sm.sin in
+  let seq = Shape.dim (Tensor.shape sm.x) 0 in
+  let chunk =
+    match Symdim.div_int seq degree with
+    | Some c -> c
+    | None -> invalid_arg "Moe.build: sequence must divide by degree"
+  in
+  List.iteri
+    (fun l lw ->
+      let w_lns = Lower.replicate_input ctx lw.w_ln in
+      let shard w dim = Lower.shard_input ctx w ~dim in
+      let wqs = shard lw.wq 1 and wks = shard lw.wk 1 and wvs = shard lw.wv 1 in
+      let wos = shard lw.wo 0 in
+      let wgs = Lower.replicate_input ctx lw.wg in
+      let w_auxs = Lower.replicate_input ctx lw.w_aux in
+      (* Expert weights: replicated-on-owner under EP (each expert's
+         weights live whole on one rank); the Experts_sharded bug keeps
+         them sharded instead. *)
+      let w1s, w2s =
+        match bug with
+        | Some Experts_sharded ->
+            ( Array.map (fun w -> `Sharded (shard w 1)) lw.w1,
+              Array.map (fun w -> `Sharded (shard w 0)) lw.w2 )
+        | _ ->
+            ( Array.map (fun w -> `Whole (Lower.whole_input ctx w)) lw.w1,
+              Array.map (fun w -> `Whole (Lower.whole_input ctx w)) lw.w2 )
+      in
+      (* SP rope on sequence shards with per-rank cos/sin slices. *)
+      let rope_sharded =
+        Lower.map_ranks ctx (fun r ->
+            let off =
+              match bug with
+              | Some Rope_wrong_offset -> Symdim.zero
+              | _ -> Symdim.mul_int r chunk
+            in
+            let sl t =
+              add
+                (Op.Slice { dim = 0; start = off; stop = Symdim.add off chunk })
+                [ t ]
+            in
+            add Op.Rope [ nth !xs r; sl (nth coss r); sl (nth sins r) ])
+      in
+      let ln_sharded =
+        List.mapi
+          (fun r xr -> add (Op.Rmsnorm { eps }) [ xr; nth w_lns r ])
+          rope_sharded
+      in
+      let gathered = Lower.all_gather ctx ~dim:0 ln_sharded in
+      (* Head-dimension tensor-parallel attention. *)
+      let score_parts =
+        List.mapi
+          (fun r g ->
+            let q = add Op.Matmul [ g; nth wqs r ] in
+            let k = add Op.Matmul [ g; nth wks r ] in
+            add Op.Matmul [ q; add transpose01 [ k ] ])
+          gathered
+      in
+      let scores = Lower.all_reduce ctx score_parts in
+      let proj_parts =
+        List.mapi
+          (fun r s ->
+            let probs = add (Op.Softmax { dim = 1 }) [ s ] in
+            let v = add Op.Matmul [ nth gathered r; nth wvs r ] in
+            let c = add Op.Matmul [ probs; v ] in
+            add Op.Matmul [ c; nth wos r ])
+          scores
+      in
+      let proj_sharded = Lower.reduce_scatter ctx ~dim:0 proj_parts in
+      let r1_sharded =
+        List.map2 (fun x p -> add Op.Add [ x; p ]) !xs proj_sharded
+      in
+      let r1_full = Lower.all_gather ctx ~dim:0 r1_sharded in
+      (* Gate, replicated per rank. *)
+      let gates =
+        List.mapi
+          (fun r rf ->
+            add (Op.Softmax { dim = 1 }) [ add Op.Matmul [ rf; nth wgs r ] ])
+          r1_full
+      in
+      (* Expert-parallel FFN. *)
+      let weighted_of rank e =
+        let rf = nth r1_full rank and gate = nth gates rank in
+        let ge =
+          add (Op.Slice { dim = 1; start = sd e; stop = sd (e + 1) }) [ gate ]
+        in
+        match (w1s.(e), w2s.(e)) with
+        | `Whole w1, `Whole w2 ->
+            let h = add Op.Silu [ add Op.Matmul [ rf; w1 ] ] in
+            let o = add Op.Matmul [ h; w2 ] in
+            add Op.Mul [ o; ge ]
+        | `Sharded w1, `Sharded w2 ->
+            (* The bug: each rank multiplies its token shard by its
+               weight shard, never computing the off-diagonal blocks. *)
+            let rs = nth r1_sharded rank in
+            let h = add Op.Silu [ add Op.Matmul [ rs; nth w1 rank ] ] in
+            let o = add Op.Matmul [ h; nth w2 rank ] in
+            let ge_local =
+              add
+                (Op.Slice
+                   {
+                     dim = 0;
+                     start = Symdim.mul_int rank chunk;
+                     stop = Symdim.mul_int (rank + 1) chunk;
+                   })
+                [ ge ]
+            in
+            add Op.Mul [ o; ge_local ]
+        | _ -> assert false
+      in
+      let y_sharded =
+        match bug with
+        | Some Experts_sharded ->
+            (* Every expert replicated-but-sharded: each rank sums all
+               experts over its token shard. *)
+            Lower.map_ranks ctx (fun r ->
+                add Op.Sum_n (List.init experts (weighted_of r)))
+        | _ ->
+            let partials =
+              Lower.map_ranks ctx (fun r ->
+                  match
+                    List.init experts_per_rank (fun i ->
+                        weighted_of r ((r * experts_per_rank) + i))
+                  with
+                  | [ one ] -> one
+                  | many -> add Op.Sum_n many)
+            in
+            Lower.reduce_scatter ctx ~dim:0 partials
+      in
+      let out_sharded =
+        List.map2 (fun r y -> add Op.Add [ r; y ]) r1_sharded y_sharded
+      in
+      xs := out_sharded;
+      (* Auxiliary loss, computed redundantly on every TP rank and
+         aggregated; a correct implementation pre-scales by 1/degree. *)
+      let aux_parts =
+        List.map
+          (fun gate ->
+            let imp =
+              add (Op.Reduce_mean { dim = 0; keepdim = false }) [ gate ]
+            in
+            let aux =
+              add
+                (Op.Reduce_sum { dim = 0; keepdim = true })
+                [ add Op.Mul [ imp; imp ] ]
+            in
+            match bug with
+            | Some Aux_loss_unscaled -> aux
+            | _ -> add (Op.Scale (Rat.make 1 degree)) [ aux ])
+          gates
+      in
+      let aux_agg = Lower.all_reduce ctx aux_parts in
+      let aux_weighted =
+        Lower.add ctx ~name:(Fmt.str "l%d_aux_d" l) Op.Mul
+          [ List.hd aux_agg; List.hd w_auxs ]
+      in
+      Lower.output ctx aux_weighted)
+    (List.filteri (fun i _ -> i < layers) sm.weights);
+  Lower.outputs ctx !xs;
+  Lower.finish ctx
+
+let strategies =
+  Strategy.[ Tensor_parallel; Sequence_parallel; Expert_parallel ]
+
+let build ?(experts = 4) ?(degree = 2) ?(layers = 1) ?bug () =
+  let sm = build_seq ~experts ~layers in
+  let gd, input_relation = build_dist sm ~experts ~degree ~layers ~bug in
+  let name =
+    match bug with
+    | None -> Fmt.str "ByteDance-MoE (%dx)" degree
+    | Some Aux_loss_unscaled -> "ByteDance-MoE (buggy aux loss)"
+    | Some Rope_wrong_offset -> "ByteDance-MoE (buggy RoPE offset)"
+    | Some Experts_sharded -> "ByteDance-MoE (buggy expert sharding)"
+  in
+  Instance.make ~name ~family:Entangle_lemmas.Registry.Bytedance ~strategies
+    ~degree ~layers ~gs:sm.gs ~gd ~input_relation
+    ~env:(Interp.env_of_list [ ("sc", 1) ])
+
+(* ------------------------------------------------------------------ *)
+(* Backward pass of the expert FFN                                    *)
+(* ------------------------------------------------------------------ *)
+
+let build_backward ?(experts = 4) ?(degree = 2) () =
+  if experts mod degree <> 0 then
+    invalid_arg "Moe.build_backward: experts must divide by degree";
+  let seq = Symdim.mul_int 24 (Symdim.sym "sc") in
+  let d = d_model and f = d_ff in
+  (* Sequential backward graph: activations are inputs, as captured. *)
+  let b = B.create ~constraints "moe-bwd-seq" in
+  let dy = B.input b "dy" [ seq; sd d ] in
+  let r1 = B.input b "r1" [ seq; sd d ] in
+  let per_expert name shape =
+    Array.init experts (fun e -> B.input b (Fmt.str "%s_e%d" name e) shape)
+  in
+  let h = per_expert "h" [ seq; sd f ] in
+  let pre = per_expert "pre" [ seq; sd f ] in
+  let ge = per_expert "ge" [ seq; sd 1 ] in
+  let w1 = per_expert "w1" [ sd d; sd f ] in
+  let w2 = per_expert "w2" [ sd f; sd d ] in
+  let add op ins = B.add b op ins in
+  let dxs =
+    List.init experts (fun e ->
+        let dout = add Op.Mul [ dy; ge.(e) ] in
+        let dw2 = add Op.Matmul [ add transpose01 [ h.(e) ]; dout ] in
+        B.output b dw2;
+        let dh = add Op.Matmul [ dout; add transpose01 [ w2.(e) ] ] in
+        let ds = add Op.Mul [ dh; add Op.Sigmoid [ pre.(e) ] ] in
+        let dw1 = add Op.Matmul [ add transpose01 [ r1 ]; ds ] in
+        B.output b dw1;
+        add Op.Matmul [ ds; add transpose01 [ w1.(e) ] ])
+  in
+  let dx = B.add b ~name:"dx" Op.Sum_n dxs in
+  B.output b dx;
+  let gs = B.finish b in
+  (* Distributed backward: expert parallel; dx partials all-reduced. *)
+  let ctx = Lower.create ~constraints ~name:"moe-bwd-dist" ~degree () in
+  let addd op ins = Lower.add ctx op ins in
+  let dys = Lower.replicate_input ctx dy in
+  let r1s = Lower.replicate_input ctx r1 in
+  let whole = Lower.whole_input ctx in
+  let hs = Array.map whole h in
+  let pres = Array.map whole pre in
+  let ges = Array.map whole ge in
+  let w1s = Array.map whole w1 in
+  let w2s = Array.map whole w2 in
+  let per_rank = experts / degree in
+  let partials =
+    Lower.map_ranks ctx (fun r ->
+        let dx_of i =
+          let e = (r * per_rank) + i in
+          let dout = addd Op.Mul [ nth dys r; ges.(e) ] in
+          let dw2 = addd Op.Matmul [ addd transpose01 [ hs.(e) ]; dout ] in
+          Lower.output ctx dw2;
+          let dh = addd Op.Matmul [ dout; addd transpose01 [ w2s.(e) ] ] in
+          let ds = addd Op.Mul [ dh; addd Op.Sigmoid [ pres.(e) ] ] in
+          let dw1 = addd Op.Matmul [ addd transpose01 [ nth r1s r ]; ds ] in
+          Lower.output ctx dw1;
+          addd Op.Matmul [ ds; addd transpose01 [ w1s.(e) ] ]
+        in
+        match List.init per_rank dx_of with
+        | [ one ] -> one
+        | many -> addd Op.Sum_n many)
+  in
+  let dx_out = Lower.all_reduce ctx partials in
+  Lower.output ctx (List.hd dx_out);
+  let gd, input_relation = Lower.finish ctx in
+  Instance.make
+    ~name:(Fmt.str "ByteDance-MoE-Bwd (%dx)" degree)
+    ~family:Entangle_lemmas.Registry.Bytedance
+    ~strategies:[ Strategy.Expert_parallel ] ~degree ~layers:1 ~gs ~gd
+    ~input_relation
+    ~env:(Interp.env_of_list [ ("sc", 1) ])

@@ -1,0 +1,25 @@
+(** The ByteDance-style internal model: a mixture-of-experts transformer
+    layer with rotary embeddings, distributed with sequence parallelism
+    (rope + rmsnorm on sequence shards), head-dimension tensor
+    parallelism for attention, expert parallelism for the MoE FFN, and a
+    TP-scaled auxiliary load-balancing loss.
+
+    [build_backward] produces the backward-pass graphs of the expert
+    FFN (activations enter as graph inputs, as TorchDynamo captures
+    backward graphs), giving the ByteDance-Bwd column of Figure 3. *)
+
+type bug =
+  | Aux_loss_unscaled
+      (** paper bug 2: the auxiliary loss is not divided by the TP size *)
+  | Rope_wrong_offset
+      (** paper bug 1: every rank slices the cos/sin tables at offset 0 *)
+  | Experts_sharded
+      (** paper bug 4: expert weights sharded under SP instead of
+          replicated, losing the off-diagonal blocks *)
+
+val build :
+  ?experts:int -> ?degree:int -> ?layers:int -> ?bug:bug -> unit -> Instance.t
+(** Defaults: 4 experts, degree 2, 1 layer, bug-free. Requires
+    [degree] to divide both [experts] and the model dimension. *)
+
+val build_backward : ?experts:int -> ?degree:int -> unit -> Instance.t

@@ -1,0 +1,6 @@
+let build ?(layers = 1) ?(degree = 2) ?heads () =
+  let heads = match heads with Some h -> h | None -> max 2 degree in
+  let arch = Transformer.qwen2_arch ~heads () in
+  Transformer.build ~arch ~layers ~degree
+    ~name:(Fmt.str "Qwen2 (TP, %dx)" degree)
+    ~family:Entangle_lemmas.Registry.Qwen2 ()

@@ -1,0 +1,6 @@
+(** The Qwen2 model of the paper's evaluation, as served by vLLM: an
+    rmsnorm/RoPE transformer using the fused SwiGLU kernel, distributed
+    with tensor parallelism. *)
+
+val build : ?layers:int -> ?degree:int -> ?heads:int -> unit -> Instance.t
+(** Defaults: 1 layer, degree 2, [heads = max 2 degree]. *)

@@ -1,0 +1,50 @@
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_dist
+module B = Graph.Builder
+
+let sd = Symdim.of_int
+
+let build ?(microbatches = 2) ?(batch = 8) ?(features = 4) ?(buggy = false)
+    () =
+  if batch mod microbatches <> 0 then
+    invalid_arg "Regression.build: batch must divide by microbatches";
+  (* Sequential model: loss = mse(matmul(x, w), y) over the full batch. *)
+  let bs = B.create "regression-seq" in
+  let x = B.input bs "x" [ sd batch; sd features ] in
+  let w = B.input bs "w" [ sd features; sd 1 ] in
+  let y = B.input bs "y" [ sd batch; sd 1 ] in
+  let pred = B.add bs ~name:"pred" Op.Matmul [ x; w ] in
+  let loss = B.add bs ~name:"loss" Op.Mse_loss [ pred; y ] in
+  B.output bs loss;
+  let gs = B.finish bs in
+  (* Gradient accumulation: the batch is split into microbatches whose
+     losses are scaled and accumulated on a single device. *)
+  let ctx =
+    Lower.create
+      ~name:
+        (if buggy then "regression-grad-accum-buggy"
+         else "regression-grad-accum")
+      ~degree:microbatches ()
+  in
+  let xs = Lower.shard_input ctx x ~dim:0 in
+  let w_d = Lower.whole_input ctx w in
+  let ys = Lower.shard_input ctx y ~dim:0 in
+  let micro_losses =
+    List.map2
+      (fun x_i y_i ->
+        let pred_i = Lower.add ctx Op.Matmul [ x_i; w_d ] in
+        let l_i = Lower.add ctx Op.Mse_loss [ pred_i; y_i ] in
+        if buggy then l_i
+        else Lower.add ctx (Op.Scale (Rat.make 1 microbatches)) [ l_i ])
+      xs ys
+  in
+  let total = Lower.add ctx ~name:"accumulated_loss" Op.Sum_n micro_losses in
+  Lower.output ctx total;
+  let gd, input_relation = Lower.finish ctx in
+  Instance.make
+    ~name:(if buggy then "Regression (buggy grad-accum)" else "Regression")
+    ~family:Entangle_lemmas.Registry.Regression
+    ~strategies:[ Strategy.Gradient_accumulation ]
+    ~degree:microbatches ~layers:1 ~gs ~gd ~input_relation
+    ~env:(Interp.env_of_list [])

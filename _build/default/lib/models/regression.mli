@@ -1,0 +1,16 @@
+(** The HuggingFace-transformers regression test model: a linear model
+    with MSE loss, distributed by gradient accumulation over
+    microbatches (paper Table 2 and bug 6).
+
+    The correct lowering scales every microbatch loss by the reciprocal
+    number of microbatches before accumulating; the buggy variant omits
+    the scaling, which was the widely reported transformers issue. *)
+
+val build :
+  ?microbatches:int ->
+  ?batch:int ->
+  ?features:int ->
+  ?buggy:bool ->
+  unit ->
+  Instance.t
+(** Defaults: 2 microbatches, batch 8, 4 features, bug-free. *)

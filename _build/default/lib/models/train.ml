@@ -1,0 +1,210 @@
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_dist
+module B = Graph.Builder
+
+let sd = Symdim.of_int
+
+(* Build the input relation of a backward pair from the forward pair's
+   (checked) relation: every mirror input of the sequential backward
+   graph inherits the forward tensor's mappings with distributed-forward
+   leaves rewritten to their backward mirrors, and every seed input
+   inherits the output relation with leaves rewritten to seeds. *)
+let backward_relation ~forward_relation ~output_relation
+    ~(gs_bwd : Autodiff.outcome) ~(gd_bwd : Autodiff.outcome) =
+  let rewrite assoc expr =
+    let exception Missing in
+    let lookup t =
+      match List.find_opt (fun (u, _) -> Tensor.equal t u) assoc with
+      | Some (_, m) -> Some (Expr.leaf m)
+      | None -> raise Missing
+    in
+    match Expr.subst lookup expr with
+    | e -> Some e
+    | exception Missing -> None
+  in
+  let mirror_assoc = gd_bwd.Autodiff.mirror_of in
+  let seed_assoc = gd_bwd.Autodiff.seed_of in
+  let relation = ref Entangle.Relation.empty in
+  List.iter
+    (fun (fwd_t, gs_mirror) ->
+      let exprs =
+        List.filter_map (rewrite mirror_assoc)
+          (Entangle.Relation.find forward_relation fwd_t)
+      in
+      if exprs = [] then
+        invalid_arg
+          (Fmt.str "Train: no backward mapping for mirrored tensor %a"
+             Tensor.pp_name fwd_t);
+      relation := Entangle.Relation.add_all !relation gs_mirror exprs)
+    gs_bwd.Autodiff.mirror_of;
+  List.iter
+    (fun (gs_out, gs_seed) ->
+      let exprs =
+        List.filter_map (rewrite seed_assoc)
+          (Entangle.Relation.find output_relation gs_out)
+      in
+      if exprs = [] then
+        invalid_arg
+          (Fmt.str "Train: no backward mapping for seed of %a" Tensor.pp_name
+             gs_out);
+      relation := Entangle.Relation.add_all !relation gs_seed exprs)
+    gs_bwd.Autodiff.seed_of;
+  !relation
+
+let forward_check_exn ~family ~gs ~gd ~input_relation =
+  let rules = Entangle_lemmas.Registry.rules_for_model family in
+  match Entangle.Refine.check ~rules ~gs ~gd ~input_relation () with
+  | Ok s -> s
+  | Error f ->
+      invalid_arg
+        (Fmt.str "Train: forward pair does not refine: %s" f.Entangle.Refine.reason)
+
+let backward_exn ?tie ?name g ~wrt =
+  match Autodiff.backward ?tie ?name g ~wrt with
+  | Ok o -> o
+  | Error e -> invalid_arg e
+
+(* --- column-parallel linear backward ----------------------------------- *)
+
+let linear_backward ?(degree = 2) ?(missing_sync = false) () =
+  let batch = 6 and k = 4 and n = 8 in
+  (* Forward. *)
+  let bs = B.create "linear-seq" in
+  let x = B.input bs "x" [ sd batch; sd k ] in
+  let w = B.input bs "w" [ sd k; sd n ] in
+  let y = B.add bs ~name:"y" Op.Matmul [ x; w ] in
+  B.output bs y;
+  let gs_fwd = B.finish bs in
+  let ctx = Lower.create ~name:"linear-dist" ~degree () in
+  let xs = Lower.replicate_input ctx x in
+  let ws = Lower.shard_input ctx w ~dim:1 in
+  let ys =
+    List.map2 (fun x_r w_r -> Lower.add ctx Op.Matmul [ x_r; w_r ]) xs ws
+  in
+  let gathered = Lower.all_gather ctx ~dim:1 ys in
+  Lower.output ctx (List.hd gathered);
+  let gd_fwd, fwd_rel = Lower.finish ctx in
+  let fwd =
+    forward_check_exn ~family:Entangle_lemmas.Registry.Gpt ~gs:gs_fwd
+      ~gd:gd_fwd ~input_relation:fwd_rel
+  in
+  (* Backward. *)
+  let gs_bwd = backward_exn gs_fwd ~wrt:[ x; w ] in
+  let tie = if missing_sync then [] else [ xs ] in
+  let wrt = (if missing_sync then xs else xs) @ ws in
+  let gd_bwd = backward_exn ~tie gd_fwd ~wrt in
+  let input_relation =
+    backward_relation
+      ~forward_relation:
+        (Entangle.Relation.union fwd.Entangle.Refine.full_relation fwd_rel)
+      ~output_relation:fwd.Entangle.Refine.output_relation ~gs_bwd ~gd_bwd
+  in
+  Instance.make
+    ~name:
+      (if missing_sync then "Linear backward (missing grad sync)"
+       else Fmt.str "Linear backward (TP, %dx)" degree)
+    ~family:Entangle_lemmas.Registry.Gpt
+    ~strategies:[ Strategy.Tensor_parallel ]
+    ~degree ~layers:1 ~gs:gs_bwd.Autodiff.graph ~gd:gd_bwd.Autodiff.graph
+    ~input_relation
+    ~env:(Interp.env_of_list [])
+
+(* --- data parallelism --------------------------------------------------- *)
+
+let data_parallel ?(replicas = 2) () =
+  let batch = 8 and k = 4 in
+  if batch mod replicas <> 0 then
+    invalid_arg "Train.data_parallel: batch must divide by replicas";
+  (* Forward with an elementwise (sum-reduction style) loss: a
+     mean-reduction loss scales gradients by the replica count inside
+     the backward chain, which is the grad-accumulation bug pattern
+     rather than the DP one. *)
+  let bs = B.create "dp-seq" in
+  let x = B.input bs "x" [ sd batch; sd k ] in
+  let w = B.input bs "w" [ sd k; sd 1 ] in
+  let t = B.input bs "t" [ sd batch; sd 1 ] in
+  let pred = B.add bs ~name:"pred" Op.Matmul [ x; w ] in
+  let loss =
+    B.add bs ~name:"loss" Op.Square [ B.add bs Op.Sub [ pred; t ] ]
+  in
+  B.output bs loss;
+  let gs_fwd = B.finish bs in
+  let ctx = Lower.create ~name:"dp-dist" ~degree:replicas () in
+  let xs = Lower.shard_input ctx x ~dim:0 in
+  let ws = Lower.replicate_input ctx w in
+  let ts = Lower.shard_input ctx t ~dim:0 in
+  let losses =
+    List.mapi
+      (fun r x_r ->
+        let pred_r = Lower.add ctx Op.Matmul [ x_r; List.nth ws r ] in
+        Lower.add ctx Op.Square
+          [ Lower.add ctx Op.Sub [ pred_r; List.nth ts r ] ])
+      xs
+  in
+  List.iter (Lower.output ctx) losses;
+  let gd_fwd, fwd_rel = Lower.finish ctx in
+  let fwd =
+    forward_check_exn ~family:Entangle_lemmas.Registry.Regression ~gs:gs_fwd
+      ~gd:gd_fwd ~input_relation:fwd_rel
+  in
+  (* Backward, gradients of the replicated weights all-reduced. *)
+  let gs_bwd = backward_exn gs_fwd ~wrt:[ x; w ] in
+  let gd_bwd = backward_exn ~tie:[ ws ] gd_fwd ~wrt:(xs @ ws) in
+  let input_relation =
+    backward_relation
+      ~forward_relation:
+        (Entangle.Relation.union fwd.Entangle.Refine.full_relation fwd_rel)
+      ~output_relation:fwd.Entangle.Refine.output_relation ~gs_bwd ~gd_bwd
+  in
+  Instance.make
+    ~name:(Fmt.str "Data-parallel step (%dx)" replicas)
+    ~family:Entangle_lemmas.Registry.Regression
+    ~strategies:[ Strategy.Data_parallel ]
+    ~degree:replicas ~layers:1 ~gs:gs_bwd.Autodiff.graph
+    ~gd:gd_bwd.Autodiff.graph ~input_relation
+    ~env:(Interp.env_of_list [])
+
+(* --- pipeline-style microbatching --------------------------------------- *)
+
+let pipeline ?(microbatches = 2) ?(layers = 2) () =
+  let batch = 8 and d = 4 in
+  if batch mod microbatches <> 0 then
+    invalid_arg "Train.pipeline: batch must divide by microbatches";
+  let bs = B.create "pipeline-seq" in
+  let x = B.input bs "x" [ sd batch; sd d ] in
+  let ws =
+    List.init layers (fun l -> B.input bs (Fmt.str "w%d" l) [ sd d; sd d ])
+  in
+  let t = B.input bs "t" [ sd batch; sd d ] in
+  let run_stages add_fn x0 ws =
+    List.fold_left
+      (fun h w -> add_fn Op.Silu [ add_fn Op.Matmul [ h; w ] ])
+      x0 ws
+  in
+  let out = run_stages (fun op ins -> B.add bs op ins) x ws in
+  let loss = B.add bs ~name:"loss" Op.Mse_loss [ out; t ] in
+  B.output bs loss;
+  let gs = B.finish bs in
+  let ctx = Lower.create ~name:"pipeline-dist" ~degree:microbatches () in
+  let xs = Lower.shard_input ctx x ~dim:0 in
+  (* Stage weights live once (the stages are placed, not replicated). *)
+  let wds = List.map (Lower.whole_input ctx) ws in
+  let tsh = Lower.shard_input ctx t ~dim:0 in
+  let micro_losses =
+    List.mapi
+      (fun i x_i ->
+        let out_i = run_stages (fun op ins -> Lower.add ctx op ins) x_i wds in
+        let l_i = Lower.add ctx Op.Mse_loss [ out_i; List.nth tsh i ] in
+        Lower.add ctx (Op.Scale (Rat.make 1 microbatches)) [ l_i ])
+      xs
+  in
+  let total = Lower.add ctx ~name:"pp_loss" Op.Sum_n micro_losses in
+  Lower.output ctx total;
+  let gd, input_relation = Lower.finish ctx in
+  Instance.make
+    ~name:(Fmt.str "Pipeline microbatching (%d stages, %d microbatches)" layers microbatches)
+    ~family:Entangle_lemmas.Registry.Regression
+    ~strategies:[ Strategy.Pipeline_parallel; Strategy.Gradient_accumulation ]
+    ~degree:microbatches ~layers ~gs ~gd ~input_relation
+    ~env:(Interp.env_of_list [])

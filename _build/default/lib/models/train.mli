@@ -1,0 +1,26 @@
+(** Training-step models built with {!Entangle_ir.Autodiff}: backward
+    graphs are captured mechanically from forward graphs, the way
+    TorchDynamo captures them, and then checked for refinement like any
+    other pair.
+
+    These cover the strategies the paper could not evaluate because of
+    graph-capture limitations (section 6.1): data parallelism, whose
+    gradient synchronization is an optimizer-level all-reduce, and
+    pipeline-style microbatch accumulation. *)
+
+val linear_backward : ?degree:int -> ?missing_sync:bool -> unit -> Instance.t
+(** Backward pass of a column-parallel linear layer: per-rank weight
+    gradients stay sharded; the replicated input's gradient partials
+    must be all-reduced. [missing_sync] omits that all-reduce — the
+    optimizer-bug pattern of the paper's bugs 5/8/9 — and must be
+    detected. *)
+
+val data_parallel : ?replicas:int -> unit -> Instance.t
+(** A data-parallel training step of a linear+MSE model: inputs sharded
+    over replicas, weights replicated, per-replica losses averaged, and
+    weight-gradient partials all-reduced. *)
+
+val pipeline : ?microbatches:int -> ?layers:int -> unit -> Instance.t
+(** Microbatched (pipeline-style) execution of a multi-layer MLP with a
+    scaled accumulated loss. Placement across stages does not change the
+    dataflow, so refinement checking sees exactly the microbatching. *)

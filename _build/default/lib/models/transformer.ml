@@ -1,0 +1,429 @@
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_dist
+module B = Graph.Builder
+
+type norm_kind = Layernorm | Rmsnorm
+type mlp_kind = Gelu_mlp | Swiglu | Swiglu_fused
+
+type arch = {
+  seq : Symdim.t;
+  d_model : int;
+  heads : int;
+  d_head : int;
+  d_ff : int;
+  vocab : int option;
+  embed : bool;
+  kv_heads : int;  (** grouped-query attention; divides [heads] *)
+  norm : norm_kind;
+  mlp : mlp_kind;
+  rope : bool;
+  hlo : bool;
+  eps : float;
+}
+
+(* Default symbolic sequence: 24 * sc, evenly divisible by every
+   parallelism degree the paper evaluates (2..8 except 5 and 7). *)
+let default_seq = Symdim.mul_int 24 (Symdim.sym "sc")
+
+let base_arch ~heads ~seq =
+  {
+    seq;
+    d_model = heads * 4;
+    heads;
+    d_head = 4;
+    d_ff = heads * 8;
+    vocab = None;
+    embed = false;
+    kv_heads = heads;
+    norm = Layernorm;
+    mlp = Gelu_mlp;
+    rope = false;
+    hlo = false;
+    eps = 1e-5;
+  }
+
+let gpt_arch ?(seq = default_seq) ?(heads = 2) ?(vocab = Some 16) () =
+  { (base_arch ~heads ~seq) with vocab; embed = vocab <> None }
+
+let llama_arch ?(seq = default_seq) ?(heads = 2) () =
+  {
+    (base_arch ~heads ~seq) with
+    kv_heads = max 1 (heads / 2);
+    norm = Rmsnorm;
+    mlp = Swiglu;
+    rope = true;
+    hlo = true;
+  }
+
+let qwen2_arch ?(seq = default_seq) ?(heads = 2) () =
+  {
+    (base_arch ~heads ~seq) with
+    kv_heads = max 1 (heads / 2);
+    norm = Rmsnorm;
+    mlp = Swiglu_fused;
+    rope = true;
+  }
+
+type bug = Missing_allreduce
+
+let sd = Symdim.of_int
+
+let dot arch = if arch.hlo then Op.Hlo_dot else Op.Matmul
+let transpose01 = Op.Transpose { dim0 = 0; dim1 = 1 }
+
+(* Weight tensors of one sequential layer, referenced by the lowering
+   when constructing the input relation. *)
+type layer_weights = {
+  n1_w : Tensor.t;
+  n1_b : Tensor.t option;
+  wq : Tensor.t array;
+  wk : Tensor.t array;
+  wv : Tensor.t array;
+  wo : Tensor.t;
+  n2_w : Tensor.t;
+  n2_b : Tensor.t option;
+  w1 : Tensor.t;
+  w3 : Tensor.t option;
+  w2 : Tensor.t;
+}
+
+type seq_model = {
+  gs : Graph.t;
+  x : Tensor.t;  (** token ids when the arch embeds, activations otherwise *)
+  wte : Tensor.t option;
+  targets : Tensor.t option;
+  cos : Tensor.t option;
+  sin : Tensor.t option;
+  weights : layer_weights list;
+  lm_w : Tensor.t option;
+}
+
+let norm_inputs arch b ~prefix =
+  let d = arch.d_model in
+  match arch.norm with
+  | Layernorm ->
+      let w = B.input b (prefix ^ "_w") [ sd d ] in
+      let bias = B.input b (prefix ^ "_b") [ sd d ] in
+      (w, Some bias)
+  | Rmsnorm -> (B.input b (prefix ^ "_w") [ sd d ], None)
+
+let apply_norm arch add_fn x (w, bias) =
+  match (arch.norm, bias) with
+  | Layernorm, Some bias -> add_fn (Op.Layernorm { eps = arch.eps }) [ x; w; bias ]
+  | Rmsnorm, _ -> add_fn (Op.Rmsnorm { eps = arch.eps }) [ x; w ]
+  | Layernorm, None -> invalid_arg "transformer: layernorm without bias"
+
+(* One attention head given inputs that are already in the graph. *)
+let head_ctx arch add_fn ~hidden ~wq ~wk ~wv ~cos_sin =
+  let dot = dot arch in
+  let project w = add_fn dot [ hidden; w ] in
+  let q = project wq and k = project wk and v = project wv in
+  let q, k =
+    match cos_sin with
+    | Some (cos, sin) ->
+        (add_fn Op.Rope [ q; cos; sin ], add_fn Op.Rope [ k; cos; sin ])
+    | None -> (q, k)
+  in
+  let scores = add_fn dot [ q; add_fn transpose01 [ k ] ] in
+  let probs = add_fn (Op.Softmax { dim = 1 }) [ scores ] in
+  add_fn dot [ probs; v ]
+
+let mlp_out arch add_fn ~hidden ~w1 ~w3 ~w2 =
+  let dot = dot arch in
+  let inner =
+    match (arch.mlp, w3) with
+    | Gelu_mlp, _ -> add_fn Op.Gelu [ add_fn dot [ hidden; w1 ] ]
+    | Swiglu, Some w3 ->
+        let gate = add_fn Op.Silu [ add_fn dot [ hidden; w1 ] ] in
+        let up = add_fn dot [ hidden; w3 ] in
+        add_fn Op.Mul [ gate; up ]
+    | Swiglu_fused, Some w3 ->
+        let gate = add_fn dot [ hidden; w1 ] in
+        let up = add_fn dot [ hidden; w3 ] in
+        add_fn Op.Swiglu_fused [ gate; up ]
+    | (Swiglu | Swiglu_fused), None ->
+        invalid_arg "transformer: swiglu requires w3"
+  in
+  add_fn dot [ inner; w2 ]
+
+let build_seq arch ~layers ~name =
+  let constraints =
+    Entangle_symbolic.Constraint_store.add_positive
+      Entangle_symbolic.Constraint_store.empty "sc"
+  in
+  let b = B.create ~constraints name in
+  let d = arch.d_model and dh = arch.d_head and ff = arch.d_ff in
+  (* Either raw activations or an embedding front end over token ids. *)
+  let x0, wte, h0 =
+    if arch.embed then begin
+      let vocab =
+        match arch.vocab with
+        | Some v -> v
+        | None -> invalid_arg "transformer: embed requires a vocabulary size"
+      in
+      let ids = B.input b ~dtype:Dtype.I64 "ids" [ arch.seq ] in
+      let wte = B.input b "wte" [ sd vocab; sd d ] in
+      let h = B.add b ~name:"embedded" Op.Embedding [ wte; ids ] in
+      (ids, Some wte, h)
+    end
+    else
+      let x = B.input b "x" [ arch.seq; sd d ] in
+      (x, None, x)
+  in
+  let cos, sin =
+    if arch.rope then
+      ( Some (B.input b "cos" [ arch.seq; sd dh ]),
+        Some (B.input b "sin" [ arch.seq; sd dh ]) )
+    else (None, None)
+  in
+  let cos_sin = match (cos, sin) with Some c, Some s -> Some (c, s) | _ -> None in
+  let weights = ref [] in
+  let x = ref h0 in
+  for l = 0 to layers - 1 do
+    let pre = Fmt.str "l%d" l in
+    let n1_w, n1_b = norm_inputs arch b ~prefix:(pre ^ "_n1") in
+    let per what count =
+      Array.init count (fun j ->
+          B.input b (Fmt.str "%s_%s%d" pre what j) [ sd d; sd dh ])
+    in
+    let wq = per "wq" arch.heads in
+    let wk = per "wk" arch.kv_heads and wv = per "wv" arch.kv_heads in
+    let wo = B.input b (pre ^ "_wo") [ sd d; sd d ] in
+    let n2_w, n2_b = norm_inputs arch b ~prefix:(pre ^ "_n2") in
+    let w1 = B.input b (pre ^ "_w1") [ sd d; sd ff ] in
+    let w3 =
+      match arch.mlp with
+      | Gelu_mlp -> None
+      | Swiglu | Swiglu_fused -> Some (B.input b (pre ^ "_w3") [ sd d; sd ff ])
+    in
+    let w2 = B.input b (pre ^ "_w2") [ sd ff; sd d ] in
+    let lw = { n1_w; n1_b; wq; wk; wv; wo; n2_w; n2_b; w1; w3; w2 } in
+    weights := !weights @ [ lw ];
+    (* layer body *)
+    let add_fn op ins = B.add b op ins in
+    let hidden = apply_norm arch add_fn !x (n1_w, n1_b) in
+    let kv_of j = j * arch.kv_heads / arch.heads in
+    let ctxs =
+      List.init arch.heads (fun j ->
+          head_ctx arch add_fn ~hidden ~wq:wq.(j) ~wk:wk.(kv_of j)
+            ~wv:wv.(kv_of j) ~cos_sin)
+    in
+    let attn =
+      match ctxs with
+      | [ one ] -> one
+      | many -> add_fn (Op.Concat { dim = 1 }) many
+    in
+    let proj = add_fn (dot arch) [ attn; wo ] in
+    let r1 = add_fn Op.Add [ !x; proj ] in
+    let hidden2 = apply_norm arch add_fn r1 (n2_w, n2_b) in
+    let y = mlp_out arch add_fn ~hidden:hidden2 ~w1 ~w3 ~w2 in
+    x := add_fn Op.Add [ r1; y ]
+  done;
+  let lm_w =
+    Option.map (fun v -> B.input b "lm_w" [ sd d; sd v ]) arch.vocab
+  in
+  B.output b !x;
+  let targets =
+    Option.map
+      (fun w ->
+        let logits = B.add b ~name:"logits" (dot arch) [ !x; w ] in
+        B.output b logits;
+        (* Language-model loss, as in the Megatron training script. *)
+        let targets = B.input b ~dtype:Dtype.I64 "targets" [ arch.seq ] in
+        let loss =
+          B.add b ~name:"lm_loss" Op.Cross_entropy [ logits; targets ]
+        in
+        B.output b loss;
+        targets)
+      lm_w
+  in
+  {
+    gs = B.finish b;
+    x = x0;
+    wte;
+    targets;
+    cos;
+    sin;
+    weights = !weights;
+    lm_w;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Distributed lowering                                                *)
+(* ------------------------------------------------------------------ *)
+
+let build_dist arch sm ~layers ~degree ~sp ~vp ~bug ~name =
+  if arch.heads mod degree <> 0 then
+    invalid_arg
+      (Fmt.str "transformer: %d heads cannot be partitioned %d ways"
+         arch.heads degree);
+  if arch.heads mod arch.kv_heads <> 0 then
+    invalid_arg "transformer: kv_heads must divide heads";
+  let constraints =
+    Entangle_symbolic.Constraint_store.add_positive
+      Entangle_symbolic.Constraint_store.empty "sc"
+  in
+  let ctx = Lower.create ~constraints ~name ~degree () in
+  let dot = dot arch in
+  let heads_per_rank = arch.heads / degree in
+  (* Activations entering the layer stack: when the model embeds, the
+     token ids are sharded (SP) or replicated (TP) and every rank runs
+     the embedding against a replicated table. *)
+  let acts =
+    let front =
+      if sp then Lower.shard_input ctx sm.x ~dim:0
+      else Lower.replicate_input ctx sm.x
+    in
+    match sm.wte with
+    | None -> front
+    | Some wte ->
+        let wtes = Lower.replicate_input ctx wte in
+        List.map2
+          (fun ids_r wte_r -> Lower.add ctx Op.Embedding [ wte_r; ids_r ])
+          front wtes
+  in
+  let cos_sin =
+    match (sm.cos, sm.sin) with
+    | Some cos, Some sin ->
+        let cs = Lower.replicate_input ctx cos in
+        let ss = Lower.replicate_input ctx sin in
+        Some (List.combine cs ss)
+    | _ -> None
+  in
+  let acts = ref acts in
+  List.iteri
+    (fun l lw ->
+      let pre = Fmt.str "l%d" l in
+      (* Replicated norm weights (one replica per rank). *)
+      let n1_ws = Lower.replicate_input ctx lw.n1_w in
+      let n1_bs = Option.map (Lower.replicate_input ctx) lw.n1_b in
+      let n2_ws = Lower.replicate_input ctx lw.n2_w in
+      let n2_bs = Option.map (Lower.replicate_input ctx) lw.n2_b in
+      (* Per-head projection weights live on the rank owning the head. *)
+      let whole = Lower.whole_input ctx in
+      let wqs = Array.map whole lw.wq in
+      (* Grouped-query attention: a kv head may serve query heads on
+         several ranks; its weights live once and are shared. *)
+      let wks = Array.map whole lw.wk in
+      let wvs = Array.map whole lw.wv in
+      let kv_of j = j * arch.kv_heads / arch.heads in
+      (* Row-sharded attention output projection, column-sharded MLP
+         up-projections, row-sharded MLP down-projection. *)
+      let wos = Lower.shard_input ctx lw.wo ~dim:0 in
+      let w1s = Lower.shard_input ctx lw.w1 ~dim:1 in
+      let w3s = Option.map (fun w -> Lower.shard_input ctx w ~dim:1) lw.w3 in
+      let w2s = Lower.shard_input ctx lw.w2 ~dim:0 in
+      let norm_of r x w bs =
+        let bias = Option.map (fun l -> List.nth l r) bs in
+        apply_norm arch (fun op ins -> Lower.add ctx op ins) x
+          (List.nth w r, bias)
+      in
+      let normed =
+        List.mapi (fun r x -> norm_of r x n1_ws n1_bs) !acts
+      in
+      (* Under SP the attention needs the full sequence. *)
+      let hidden_full =
+        if sp then Lower.all_gather ctx ~dim:0 normed else normed
+      in
+      let partials =
+        List.mapi
+          (fun r hidden ->
+            let cs =
+              Option.map (fun l -> List.nth l r) cos_sin
+            in
+            let ctxs =
+              List.init heads_per_rank (fun i ->
+                  let j = (r * heads_per_rank) + i in
+                  head_ctx arch
+                    (fun op ins -> Lower.add ctx op ins)
+                    ~hidden ~wq:wqs.(j) ~wk:wks.(kv_of j) ~wv:wvs.(kv_of j)
+                    ~cos_sin:cs)
+            in
+            let attn =
+              match ctxs with
+              | [ one ] -> one
+              | many ->
+                  Lower.add ctx
+                    ~name:(Fmt.str "%s_attn_r%d" pre r)
+                    (Op.Concat { dim = 1 })
+                    many
+            in
+            Lower.add ctx dot [ attn; List.nth wos r ])
+          hidden_full
+      in
+      let proj =
+        if sp then Lower.reduce_scatter ctx ~dim:0 partials
+        else Lower.all_reduce ctx partials
+      in
+      let r1 = List.map2 (fun x p -> Lower.add ctx Op.Add [ x; p ]) !acts proj in
+      let normed2 = List.mapi (fun r x -> norm_of r x n2_ws n2_bs) r1 in
+      let hidden2_full =
+        if sp then Lower.all_gather ctx ~dim:0 normed2 else normed2
+      in
+      let y_partials =
+        List.mapi
+          (fun r hidden ->
+            mlp_out arch
+              (fun op ins -> Lower.add ctx op ins)
+              ~hidden ~w1:(List.nth w1s r)
+              ~w3:(Option.map (fun l -> List.nth l r) w3s)
+              ~w2:(List.nth w2s r))
+          hidden2_full
+      in
+      let y =
+        match bug with
+        | Some Missing_allreduce -> y_partials
+        | None ->
+            if sp then Lower.reduce_scatter ctx ~dim:0 y_partials
+            else Lower.all_reduce ctx y_partials
+      in
+      acts := List.map2 (fun x y -> Lower.add ctx Op.Add [ x; y ]) r1 y)
+    (List.filteri (fun i _ -> i < layers) sm.weights);
+  (* Outputs. *)
+  let final_full =
+    if sp then Lower.all_gather ctx ~dim:0 !acts else !acts
+  in
+  if sp then Lower.outputs ctx !acts else Lower.output ctx (List.hd !acts);
+  Option.iter
+    (fun lm_w ->
+      let logits =
+        if vp then begin
+          let lmws = Lower.shard_input ctx lm_w ~dim:1 in
+          let parts =
+            List.map2 (fun h w -> Lower.add ctx dot [ h; w ]) final_full lmws
+          in
+          Lower.all_gather ctx ~dim:1 parts
+        end
+        else
+          let lmws = Lower.replicate_input ctx lm_w in
+          List.map2 (fun h w -> Lower.add ctx dot [ h; w ]) final_full lmws
+      in
+      Lower.output ctx (List.hd logits);
+      Option.iter
+        (fun targets ->
+          let tgt = Lower.replicate_input ctx targets in
+          let losses =
+            List.map2
+              (fun l t -> Lower.add ctx Op.Cross_entropy [ l; t ])
+              logits tgt
+          in
+          Lower.output ctx (List.hd losses))
+        sm.targets)
+    sm.lm_w;
+  Lower.finish ctx
+
+let build ~arch ~layers ~degree ?(sp = false) ?(vp = false) ?bug ~name
+    ~family () =
+  let sm = build_seq arch ~layers ~name:(name ^ "-seq") in
+  let gd, input_relation =
+    build_dist arch sm ~layers ~degree ~sp ~vp ~bug ~name:(name ^ "-dist")
+  in
+  let strategies =
+    [ Strategy.Tensor_parallel ]
+    @ (if sp then [ Strategy.Sequence_parallel ] else [])
+    @ if vp then [ Strategy.Vocab_parallel ] else []
+  in
+  Instance.make ~name ~family ~strategies ~degree ~layers ~gs:sm.gs ~gd
+    ~input_relation
+    ~env:(Interp.env_of_list [ ("sc", 1) ])

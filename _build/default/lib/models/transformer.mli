@@ -1,0 +1,55 @@
+(** Generic transformer builder shared by the GPT, Llama-3 and Qwen2
+    models: a sequential specification plus a tensor- / sequence- /
+    vocabulary-parallel lowering in the Megatron style.
+
+    Architecture knobs select the dialect: norm kind (layernorm vs
+    rmsnorm), MLP kind (GELU vs SwiGLU vs the vLLM fused SwiGLU), rotary
+    embeddings, and the contraction operator (ATen matmul vs HLO dot for
+    NeuronX-captured graphs). *)
+
+open Entangle_symbolic
+
+type norm_kind = Layernorm | Rmsnorm
+type mlp_kind = Gelu_mlp | Swiglu | Swiglu_fused
+
+type arch = {
+  seq : Symdim.t;
+  d_model : int;
+  heads : int;
+  d_head : int;  (** [d_model = heads * d_head] *)
+  d_ff : int;
+  vocab : int option;  (** [Some v] appends an LM head *)
+  embed : bool;  (** token-id embedding front end (requires [vocab]) *)
+  kv_heads : int;  (** grouped-query attention; must divide [heads] *)
+  norm : norm_kind;
+  mlp : mlp_kind;
+  rope : bool;
+  hlo : bool;  (** use HLO operators for contractions and slices *)
+  eps : float;
+}
+
+val gpt_arch : ?seq:Symdim.t -> ?heads:int -> ?vocab:int option -> unit -> arch
+val llama_arch : ?seq:Symdim.t -> ?heads:int -> unit -> arch
+val qwen2_arch : ?seq:Symdim.t -> ?heads:int -> unit -> arch
+
+type bug =
+  | Missing_allreduce
+      (** skip the all-reduce after the row-parallel MLP projection
+          (paper bug 7) *)
+
+val build :
+  arch:arch ->
+  layers:int ->
+  degree:int ->
+  ?sp:bool ->
+  ?vp:bool ->
+  ?bug:bug ->
+  name:string ->
+  family:Entangle_lemmas.Registry.model_family ->
+  unit ->
+  Instance.t
+(** Raises [Invalid_argument] when [heads] or the sequence length cannot
+    be evenly partitioned by [degree] (the paper's missing Llama-3 data
+    point at parallelism 6). [sp] adds sequence parallelism (requires
+    the symbolic sequence built by the default arches to be divisible);
+    [vp] shards the LM head over the vocabulary. *)

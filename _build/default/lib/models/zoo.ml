@@ -1,0 +1,28 @@
+let fig3_instances () =
+  [
+    Gpt.build ~layers:1 ~degree:2 ();
+    Qwen2.build ~layers:1 ~degree:2 ();
+    Llama.build ~layers:1 ~degree:2 ();
+    Moe.build ~degree:2 ~layers:1 ();
+    Moe.build_backward ~degree:2 ();
+    Regression.build ();
+  ]
+
+let by_name name =
+  match String.lowercase_ascii name with
+  | "gpt" -> Some (Gpt.build ())
+  | "linear-bwd" -> Some (Train.linear_backward ())
+  | "dp" | "data-parallel" -> Some (Train.data_parallel ())
+  | "pipeline" | "pp" -> Some (Train.pipeline ())
+  | "llama" | "llama-3" | "llama3" -> Some (Llama.build ())
+  | "qwen2" | "qwen" -> Some (Qwen2.build ())
+  | "bytedance" | "moe" -> Some (Moe.build ())
+  | "bytedance-bwd" | "moe-bwd" -> Some (Moe.build_backward ())
+  | "regression" -> Some (Regression.build ())
+  | _ -> None
+
+let names =
+  [
+    "gpt"; "llama"; "qwen2"; "bytedance"; "bytedance-bwd"; "regression";
+    "linear-bwd"; "dp"; "pipeline";
+  ]

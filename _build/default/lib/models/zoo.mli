@@ -1,0 +1,14 @@
+(** The catalog of verification instances used by the benchmarks, the
+    CLI and the examples — the workload of the paper's Table 2. *)
+
+val fig3_instances : unit -> Instance.t list
+(** The end-to-end verification workload of Figure 3: GPT (TP+SP),
+    Qwen2 (TP), Llama-3 (TP), ByteDance forward and backward, all at
+    parallelism 2 with one layer, plus the sub-second HuggingFace
+    regression model mentioned in section 6.3. *)
+
+val by_name : string -> Instance.t option
+(** Lookup by short name: "gpt", "llama", "qwen2", "bytedance",
+    "bytedance-bwd", "regression". *)
+
+val names : string list

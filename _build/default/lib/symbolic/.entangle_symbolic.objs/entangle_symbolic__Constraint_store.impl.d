@@ -1,0 +1,1 @@
+lib/symbolic/constraint_store.ml: Fmt List Symdim

@@ -1,0 +1,1 @@
+lib/symbolic/constraint_store.mli: Fmt Symdim

@@ -1,0 +1,1 @@
+lib/symbolic/decide.ml: Constraint_store List Map Rat String Symdim

@@ -1,0 +1,1 @@
+lib/symbolic/decide.mli: Constraint_store Symdim

@@ -1,0 +1,1 @@
+lib/symbolic/rat.ml: Fmt Stdlib

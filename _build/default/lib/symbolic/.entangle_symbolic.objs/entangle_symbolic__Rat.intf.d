@@ -1,0 +1,1 @@
+lib/symbolic/rat.mli: Fmt

@@ -1,0 +1,1 @@
+lib/symbolic/symdim.ml: Fmt Hashtbl Int List Map String

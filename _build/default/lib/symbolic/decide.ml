@@ -1,0 +1,118 @@
+type verdict = Proved | Unknown
+
+module Smap = Map.Make (String)
+
+(* A row represents [sum coeffs*vars + const >= 0] with rational
+   coefficients. *)
+type row = { coeffs : Rat.t Smap.t; const : Rat.t }
+
+let row_budget = 4000
+
+let row_of_symdim e =
+  let coeffs =
+    List.fold_left
+      (fun m s -> Smap.add s (Rat.of_int (Symdim.coeff e s)) m)
+      Smap.empty (Symdim.symbols e)
+  in
+  { coeffs; const = Rat.of_int (Symdim.const_part e) }
+
+let row_vars row = Smap.bindings row.coeffs |> List.map fst
+
+(* Combine a row with positive coefficient [cp] on [v] and one with
+   negative coefficient [cn], eliminating [v]. The combination
+   [(-cn) * pos + cp * neg] has coefficient 0 on [v] and remains a valid
+   consequence because both multipliers are positive. *)
+let combine v pos neg =
+  let cp = Smap.find v pos.coeffs and cn = Smap.find v neg.coeffs in
+  let a = Rat.neg cn and b = cp in
+  let scale k row =
+    {
+      coeffs = Smap.map (Rat.mul k) row.coeffs;
+      const = Rat.mul k row.const;
+    }
+  in
+  let p = scale a pos and n = scale b neg in
+  let coeffs =
+    Smap.union
+      (fun _ x y ->
+        let s = Rat.add x y in
+        if Rat.equal s Rat.zero then None else Some s)
+      p.coeffs n.coeffs
+  in
+  let coeffs = Smap.remove v coeffs in
+  { coeffs; const = Rat.add p.const n.const }
+
+exception Budget_exceeded
+
+(* Fourier-Motzkin elimination: returns [true] when the system of rows is
+   feasible over the rationals. Raises [Budget_exceeded] when the
+   intermediate system grows past [row_budget]. *)
+let rec fm_feasible rows =
+  (* Drop variable-free rows, failing if any is violated. *)
+  let ground_ok = ref true in
+  let rows =
+    List.filter
+      (fun r ->
+        if Smap.is_empty r.coeffs then begin
+          if Rat.sign r.const < 0 then ground_ok := false;
+          false
+        end
+        else true)
+      rows
+  in
+  if not !ground_ok then false
+  else
+    match rows with
+    | [] -> true
+    | r :: _ ->
+        let v = List.hd (row_vars r) in
+        let pos, neg, zero =
+          List.fold_left
+            (fun (p, n, z) row ->
+              match Smap.find_opt v row.coeffs with
+              | None -> (p, n, row :: z)
+              | Some c when Rat.sign c > 0 -> (row :: p, n, z)
+              | Some c when Rat.sign c < 0 -> (p, row :: n, z)
+              | Some _ -> (p, n, { row with coeffs = Smap.remove v row.coeffs } :: z))
+            ([], [], []) rows
+        in
+        (* Check the product size before materializing the combined
+           rows; Fourier-Motzkin's blowup is pos * neg. *)
+        if List.length pos * List.length neg + List.length zero > row_budget
+        then raise Budget_exceeded;
+        let combined =
+          List.concat_map (fun p -> List.map (fun n -> combine v p n) neg) pos
+        in
+        fm_feasible (combined @ zero)
+
+let feasible ges =
+  match fm_feasible (List.map row_of_symdim ges) with
+  | ok -> ok
+  | exception Budget_exceeded -> true
+
+let implies_ge store e =
+  if Symdim.is_const e then
+    if Symdim.const_part e >= 0 then Proved else Unknown
+  else begin
+    (* store /\ (e <= -1) infeasible  ==>  store |= e >= 0. *)
+    let negated = Symdim.sub (Symdim.neg e) Symdim.one in
+    let system = negated :: Constraint_store.inequalities store in
+    match fm_feasible (List.map row_of_symdim system) with
+    | false -> Proved
+    | true -> Unknown
+    | exception Budget_exceeded -> Unknown
+  end
+
+let prove_le store a b = implies_ge store (Symdim.sub b a) = Proved
+let prove_lt store a b = implies_ge store (Symdim.sub (Symdim.sub b a) Symdim.one) = Proved
+
+let prove_eq store a b =
+  Symdim.equal a b || (prove_le store a b && prove_le store b a)
+
+let prove_ne store a b = prove_lt store a b || prove_lt store b a
+
+let compare_known store a b =
+  if prove_eq store a b then `Eq
+  else if prove_lt store a b then `Lt
+  else if prove_lt store b a then `Gt
+  else `Unknown

@@ -1,0 +1,34 @@
+(** Decision procedures over symbolic dimensions.
+
+    Implements the role the paper delegates to an SMT solver (section 5,
+    "Handling Symbolic Scalars"): deciding equalities and inequalities
+    between affine expressions under user-provided constraints.
+
+    The engine is Fourier-Motzkin elimination over the rationals.
+    Soundness: a proved fact holds for every integer assignment satisfying
+    the store. Completeness holds for the rational relaxation, which is
+    exact for the affine comparisons arising from shape arithmetic. A row
+    budget bounds elimination; exceeding it yields "not proved". *)
+
+type verdict = Proved | Unknown
+
+val implies_ge : Constraint_store.t -> Symdim.t -> verdict
+(** [implies_ge store e]: does the store imply [e >= 0]? *)
+
+val prove_eq : Constraint_store.t -> Symdim.t -> Symdim.t -> bool
+(** [prove_eq store a b]: structural normal-form equality, falling back to
+    proving both [a - b >= 0] and [b - a >= 0]. *)
+
+val prove_ne : Constraint_store.t -> Symdim.t -> Symdim.t -> bool
+(** [prove_ne store a b]: provably different, i.e. [a < b] or [a > b]. *)
+
+val prove_le : Constraint_store.t -> Symdim.t -> Symdim.t -> bool
+val prove_lt : Constraint_store.t -> Symdim.t -> Symdim.t -> bool
+
+val compare_known :
+  Constraint_store.t -> Symdim.t -> Symdim.t -> [ `Eq | `Lt | `Gt | `Unknown ]
+(** Three-way comparison when provable, [`Unknown] otherwise. *)
+
+val feasible : Symdim.t list -> bool
+(** [feasible ges]: is the system [{ e >= 0 | e in ges }] satisfiable over
+    the rationals? Exposed for testing. *)

@@ -1,0 +1,32 @@
+type t = { num : int; den : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let norm num den =
+  if den = 0 then invalid_arg "Rat.make: zero denominator";
+  let s = if den < 0 then -1 else 1 in
+  let num = s * num and den = s * den in
+  let g = gcd (abs num) den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let make num den = norm num den
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let num t = t.num
+let den t = t.den
+let add a b = norm ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let neg a = { a with num = -a.num }
+let sub a b = add a (neg b)
+let mul a b = norm (a.num * b.num) (a.den * b.den)
+let div a b = norm (a.num * b.den) (a.den * b.num)
+let abs a = { a with num = Stdlib.abs a.num }
+let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
+let equal a b = compare a b = 0
+let sign a = Stdlib.compare a.num 0
+let is_integer a = a.den = 1
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let pp ppf a =
+  if a.den = 1 then Fmt.int ppf a.num else Fmt.pf ppf "%d/%d" a.num a.den

@@ -1,0 +1,36 @@
+(** Exact rational arithmetic over native integers.
+
+    Used by the Fourier-Motzkin elimination in {!Decide}. Coefficients in
+    shape constraints are small, so native [int] numerators and
+    denominators are sufficient; all values are kept in lowest terms with
+    a positive denominator. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+
+val make : int -> int -> t
+(** [make num den] is the rational [num/den]. Raises [Invalid_argument]
+    if [den = 0]. *)
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+
+val is_integer : t -> bool
+val to_float : t -> float
+val pp : t Fmt.t

@@ -1,0 +1,88 @@
+module Smap = Map.Make (String)
+
+(* Invariant: no zero coefficients in [terms]. *)
+type t = { const : int; terms : int Smap.t }
+
+let of_int n = { const = n; terms = Smap.empty }
+let zero = of_int 0
+let one = of_int 1
+let sym name = { const = 0; terms = Smap.singleton name 1 }
+
+let add a b =
+  let terms =
+    Smap.union (fun _ ca cb -> if ca + cb = 0 then None else Some (ca + cb))
+      a.terms b.terms
+  in
+  { const = a.const + b.const; terms }
+
+let neg a = { const = -a.const; terms = Smap.map (fun c -> -c) a.terms }
+let sub a b = add a (neg b)
+
+let mul_int k a =
+  if k = 0 then zero
+  else { const = k * a.const; terms = Smap.map (fun c -> k * c) a.terms }
+
+let is_const a = Smap.is_empty a.terms
+let to_int a = if is_const a then Some a.const else None
+
+let mul a b =
+  match (to_int a, to_int b) with
+  | Some ka, _ -> Some (mul_int ka b)
+  | _, Some kb -> Some (mul_int kb a)
+  | None, None -> None
+
+let div_int a k =
+  if k = 0 then None
+  else if a.const mod k <> 0 then None
+  else
+    let exception Not_exact in
+    match
+      Smap.map (fun c -> if c mod k = 0 then c / k else raise Not_exact) a.terms
+    with
+    | terms -> Some { const = a.const / k; terms }
+    | exception Not_exact -> None
+
+let const_part a = a.const
+let symbols a = Smap.bindings a.terms |> List.map fst
+let coeff a s = match Smap.find_opt s a.terms with Some c -> c | None -> 0
+
+let compare a b =
+  match Int.compare a.const b.const with
+  | 0 -> Smap.compare Int.compare a.terms b.terms
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let hash a =
+  Smap.fold
+    (fun s c acc -> (acc * 31) + Hashtbl.hash (s, c))
+    a.terms (Hashtbl.hash a.const)
+
+let eval env a =
+  Smap.fold (fun s c acc -> acc + (c * env s)) a.terms a.const
+
+let subst f a =
+  Smap.fold
+    (fun s c acc ->
+      match f s with
+      | Some e -> add acc (mul_int c e)
+      | None -> add acc (mul_int c (sym s)))
+    a.terms (of_int a.const)
+
+let pp ppf a =
+  if is_const a then Fmt.int ppf a.const
+  else begin
+    let first = ref true in
+    let pp_term s c =
+      let sep = if !first then (if c < 0 then "-" else "") else if c < 0 then " - " else " + " in
+      first := false;
+      let c = abs c in
+      if c = 1 then Fmt.pf ppf "%s%s" sep s else Fmt.pf ppf "%s%d%s" sep c s
+    in
+    Smap.iter (fun s c -> pp_term s c) a.terms;
+    if a.const <> 0 then
+      if a.const > 0 then Fmt.pf ppf " + %d" a.const
+      else Fmt.pf ppf " - %d" (-a.const)
+  end
+
+let to_string a = Fmt.str "%a" pp a

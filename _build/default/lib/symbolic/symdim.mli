@@ -1,0 +1,60 @@
+(** Symbolic integer dimensions.
+
+    TorchDynamo-style graph capture produces tensors whose shapes may
+    contain {e symbolic scalars} (the paper, section 5, "Handling Symbolic
+    Scalars"). Only affine arithmetic is ever applied to them, so a
+    symbolic dimension is represented exactly as an affine expression
+    [c0 + c1*s1 + ... + cn*sn] over named integer symbols, kept in a
+    canonical normal form so that structural equality coincides with
+    semantic equality of affine forms. *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+
+val sym : string -> t
+(** [sym name] is the symbolic variable [name] with coefficient 1. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul_int : int -> t -> t
+
+val mul : t -> t -> t option
+(** [mul a b] multiplies two affine forms; [None] when the product is not
+    affine (both operands mention symbols). *)
+
+val div_int : t -> int -> t option
+(** [div_int a k] divides every coefficient by [k] when exact. *)
+
+(** {1 Inspection} *)
+
+val is_const : t -> bool
+val to_int : t -> int option
+val const_part : t -> int
+val symbols : t -> string list
+val coeff : t -> string -> int
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+(** Structural equality of normal forms; sound and complete for affine
+    expressions with no extra constraints. *)
+
+val compare : t -> t -> int
+val hash : t -> int
+
+(** {1 Evaluation} *)
+
+val eval : (string -> int) -> t -> int
+(** [eval env t] evaluates under a concrete assignment of symbols. *)
+
+val subst : (string -> t option) -> t -> t
+(** [subst f t] replaces each symbol [s] by [f s] when defined. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_autodiff.ml: Alcotest Array Autodiff Entangle Entangle_ir Entangle_models Entangle_symbolic Graph Instance Interp List Ndarray Op Random Rat Shape String Symdim Tensor Train

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Entangle Entangle_ir Entangle_symbolic Expr Graph Interp List Node Op String Symdim Tensor

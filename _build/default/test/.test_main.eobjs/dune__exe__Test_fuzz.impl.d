@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Entangle Entangle_dist Entangle_ir Entangle_models Entangle_symbolic Expr Fmt Graph Instance Interp List Lower Ndarray Op Option QCheck QCheck_alcotest Random Serial Symdim Tensor

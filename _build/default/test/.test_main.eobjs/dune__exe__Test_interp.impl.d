@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Dtype Entangle_ir Entangle_symbolic Expr Float Graph Interp List Ndarray Op Random Rat Symdim Tensor

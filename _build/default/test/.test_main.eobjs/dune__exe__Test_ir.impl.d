@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Constraint_store Dtype Entangle_ir Entangle_symbolic Expr Graph List Node Op Rat Result Shape Symdim Tensor

@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Dtype Egraph Entangle_egraph Entangle_ir Entangle_lemmas Entangle_symbolic Expr Hashtbl Interp List Ndarray Op Option Random Rat Runner Shape Symdim Tensor

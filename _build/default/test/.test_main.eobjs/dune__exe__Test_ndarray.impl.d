@@ -1,0 +1,1 @@
+test/test_ndarray.ml: Alcotest Entangle_ir Float Ndarray QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Dot Entangle Entangle_ir Entangle_lemmas Entangle_models Gpt Hashtbl Instance List Node Option Regression String Transformer

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Constraint_store Decide Entangle_symbolic Fmt Fun Gen List Option Printf QCheck QCheck_alcotest Rat Symdim

@@ -1,0 +1,246 @@
+(* Tests for reverse-mode differentiation: backward graphs are checked
+   against finite-difference numerical gradients through the reference
+   interpreter, and the training-step models (data parallelism, pipeline
+   microbatching, tensor-parallel backward) are verified end to end. *)
+
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_models
+module B = Graph.Builder
+
+let check = Alcotest.check
+let sd = Symdim.of_int
+let env = Interp.env_of_list []
+
+(* Run a forward graph and its autodiff backward graph, returning the
+   gradient of (sum of all outputs weighted by the seeds) with respect
+   to [target]. *)
+let autodiff_grad fwd (outcome : Autodiff.outcome) ~inputs ~seeds ~target =
+  let fwd_vals = Interp.run env fwd ~inputs in
+  let bwd_inputs =
+    List.map
+      (fun t ->
+        let name = Tensor.name t in
+        match
+          List.find_opt (fun (_, m) -> Tensor.equal m t) outcome.mirror_of
+        with
+        | Some (fwd_t, _) -> (t, Tensor.Map.find fwd_t fwd_vals)
+        | None -> (
+            match
+              List.find_opt (fun (_, s) -> Tensor.equal s t) outcome.seed_of
+            with
+            | Some (fwd_out, _) ->
+                (t, List.assq fwd_out seeds)
+            | None -> Alcotest.failf "unbound backward input %s" name))
+      (Graph.inputs outcome.graph)
+  in
+  let bwd_vals = Interp.run env outcome.graph ~inputs:bwd_inputs in
+  let _, grad_out =
+    List.find (fun (t, _) -> Tensor.equal t target) outcome.grad_of
+  in
+  Tensor.Map.find grad_out bwd_vals
+
+(* Central finite differences of (sum of seeded outputs) wrt [target]. *)
+let numeric_grad fwd ~inputs ~seeds ~target =
+  let h = 1e-4 in
+  let base_dims =
+    Ndarray.dims (List.assq target (List.map (fun (t, v) -> (t, v)) inputs))
+  in
+  let objective inputs =
+    let vals = Interp.run env fwd ~inputs in
+    List.fold_left
+      (fun acc (out, seed) ->
+        let v = Tensor.Map.find out vals in
+        let weighted = Ndarray.mul v seed in
+        acc
+        +. List.fold_left ( +. ) 0. (Ndarray.to_flat_list weighted))
+      0. seeds
+  in
+  let grad = Ndarray.create base_dims 0. in
+  let original = List.assq target inputs in
+  let n = Ndarray.numel original in
+  let flat = Array.of_list (Ndarray.to_flat_list original) in
+  for i = 0 to n - 1 do
+    let perturbed delta =
+      let data = Array.copy flat in
+      data.(i) <- data.(i) +. delta;
+      let nd = Ndarray.of_list base_dims (Array.to_list data) in
+      List.map (fun (t, v) -> if Tensor.equal t target then (t, nd) else (t, v)) inputs
+    in
+    let plus = objective (perturbed h) and minus = objective (perturbed (-.h)) in
+    let g = (plus -. minus) /. (2. *. h) in
+    let idx =
+      (* unflatten i *)
+      let rec go i dims acc =
+        match dims with
+        | [] -> List.rev acc
+        | _ :: rest ->
+            let stride = List.fold_left ( * ) 1 rest in
+            go (i mod stride) rest ((i / stride) :: acc)
+      in
+      go i base_dims []
+    in
+    Ndarray.set grad idx g
+  done;
+  grad
+
+let grad_check_case name build_fwd =
+  Alcotest.test_case name `Quick (fun () ->
+      let fwd, wrt = build_fwd () in
+      match Autodiff.backward fwd ~wrt with
+      | Error e -> Alcotest.fail e
+      | Ok outcome ->
+          let st = Random.State.make [| 11 |] in
+          let inputs = Interp.random_inputs st env fwd in
+          let seeds =
+            List.map
+              (fun o ->
+                ( o,
+                  Ndarray.random st
+                    (Shape.concrete (Interp.lookup env) (Tensor.shape o)) ))
+              (Graph.outputs fwd)
+          in
+          List.iter
+            (fun target ->
+              let symbolic =
+                autodiff_grad fwd outcome ~inputs ~seeds ~target
+              in
+              let numeric = numeric_grad fwd ~inputs ~seeds ~target in
+              if not (Ndarray.approx_equal ~tol:5e-3 symbolic numeric) then
+                Alcotest.failf "%s: gradient of %s differs by %g" name
+                  (Tensor.name target)
+                  (Ndarray.max_abs_diff symbolic numeric))
+            wrt)
+
+let gradient_tests =
+  [
+    grad_check_case "matmul gradients" (fun () ->
+        let b = B.create "f" in
+        let x = B.input b "x" [ sd 3; sd 4 ] in
+        let w = B.input b "w" [ sd 4; sd 2 ] in
+        B.output b (B.add b Op.Matmul [ x; w ]);
+        (B.finish b, [ x; w ]));
+    grad_check_case "elementwise chain" (fun () ->
+        let b = B.create "f" in
+        let x = B.input b "x" [ sd 3; sd 3 ] in
+        let y = B.input b "y" [ sd 3; sd 3 ] in
+        let z = B.add b Op.Mul [ B.add b Op.Sub [ x; y ]; x ] in
+        B.output b (B.add b Op.Square [ z ]);
+        (B.finish b, [ x; y ]));
+    grad_check_case "silu and sigmoid" (fun () ->
+        let b = B.create "f" in
+        let x = B.input b "x" [ sd 2; sd 5 ] in
+        B.output b (B.add b Op.Silu [ x ]);
+        B.output b (B.add b Op.Sigmoid [ x ]);
+        (B.finish b, [ x ]));
+    grad_check_case "concat and slice" (fun () ->
+        let b = B.create "f" in
+        let x = B.input b "x" [ sd 2; sd 3 ] in
+        let y = B.input b "y" [ sd 2; sd 3 ] in
+        let c = B.add b (Op.Concat { dim = 0 }) [ x; y ] in
+        B.output b
+          (B.add b (Op.Slice { dim = 0; start = sd 1; stop = sd 3 }) [ c ]);
+        (B.finish b, [ x; y ]));
+    grad_check_case "scale, neg, sum, transpose" (fun () ->
+        let b = B.create "f" in
+        let x = B.input b "x" [ sd 3; sd 2 ] in
+        let t = B.add b (Op.Transpose { dim0 = 0; dim1 = 1 }) [ x ] in
+        let s = B.add b (Op.Scale (Rat.make 3 2)) [ t ] in
+        B.output b (B.add b Op.Sum_n [ s; B.add b Op.Neg [ s ]; s ]);
+        (B.finish b, [ x ]));
+    grad_check_case "mse loss" (fun () ->
+        let b = B.create "f" in
+        let p = B.input b "p" [ sd 4; sd 2 ] in
+        let t = B.input b "t" [ sd 4; sd 2 ] in
+        B.output b (B.add b Op.Mse_loss [ p; t ]);
+        (B.finish b, [ p; t ]));
+    Alcotest.test_case "unsupported operators are reported" `Quick (fun () ->
+        let b = B.create "f" in
+        let x = B.input b "x" [ sd 2; sd 4 ] in
+        B.output b (B.add b (Op.Softmax { dim = 1 }) [ x ]);
+        let g = B.finish b in
+        match Autodiff.backward g ~wrt:[ x ] with
+        | Error e ->
+            check Alcotest.bool "mentions softmax" true
+              (String.length e > 0)
+        | Ok _ -> Alcotest.fail "softmax gradient should be unsupported");
+    Alcotest.test_case "tensor without gradient is reported" `Quick (fun () ->
+        let b = B.create "f" in
+        let x = B.input b "x" [ sd 2 ] in
+        let unused = B.input b "unused" [ sd 2 ] in
+        B.output b (B.add b Op.Neg [ x ]);
+        let g = B.finish b in
+        match Autodiff.backward g ~wrt:[ unused ] with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected a missing-gradient error");
+  ]
+
+(* --- training-step instances ------------------------------------------- *)
+
+let assert_refines inst =
+  match Instance.check inst with
+  | Error f -> Alcotest.failf "%s: %s" inst.Instance.name f.reason
+  | Ok s -> (
+      match
+        Entangle.Certify.replay ~env:inst.Instance.env ~gs:inst.Instance.gs
+          ~gd:inst.Instance.gd ~input_relation:inst.Instance.input_relation
+          ~output_relation:s.output_relation ()
+      with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s replay: %s" inst.Instance.name e)
+
+let train_tests =
+  [
+    Alcotest.test_case "tensor-parallel linear backward refines" `Quick
+      (fun () -> assert_refines (Train.linear_backward ()));
+    Alcotest.test_case "data-parallel step refines" `Quick (fun () ->
+        assert_refines (Train.data_parallel ()));
+    Alcotest.test_case "data-parallel with 4 replicas" `Quick (fun () ->
+        assert_refines (Train.data_parallel ~replicas:4 ()));
+    Alcotest.test_case "pipeline microbatching refines" `Quick (fun () ->
+        assert_refines (Train.pipeline ()));
+    Alcotest.test_case "pipeline 4 microbatches, 3 stages" `Quick (fun () ->
+        assert_refines (Train.pipeline ~microbatches:4 ~layers:3 ()));
+    Alcotest.test_case "missing grad sync violates the user expectation" `Quick
+      (fun () ->
+        let inst = Train.linear_backward ~missing_sync:true () in
+        (* The per-replica input-gradient partials are all exposed, so a
+           sum-combination still refines; but the optimizer consumed
+           rank 0's tensor as if it were the full gradient. *)
+        let find g name =
+          match Entangle_ir.Serial.tensor_by_name g name with
+          | Some t -> t
+          | None -> Alcotest.failf "tensor %s missing" name
+        in
+        let fs =
+          Entangle_ir.Expr.leaf (find inst.Instance.gs "grad_x")
+        in
+        let fd =
+          Entangle_ir.Expr.leaf (find inst.Instance.gd "grad_x_0")
+        in
+        match
+          Entangle.Expectation.check ~gs:inst.Instance.gs ~gd:inst.Instance.gd
+            ~input_relation:inst.Instance.input_relation ~fs ~fd ()
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "missing sync accepted");
+    Alcotest.test_case "synced backward meets the same expectation" `Quick
+      (fun () ->
+        let inst = Train.linear_backward () in
+        let find g name =
+          match Entangle_ir.Serial.tensor_by_name g name with
+          | Some t -> t
+          | None -> Alcotest.failf "tensor %s missing" name
+        in
+        let fs = Entangle_ir.Expr.leaf (find inst.Instance.gs "grad_x") in
+        let fd = Entangle_ir.Expr.leaf (find inst.Instance.gd "grad_x_0") in
+        match
+          Entangle.Expectation.check ~gs:inst.Instance.gs ~gd:inst.Instance.gd
+            ~input_relation:inst.Instance.input_relation ~fs ~fd ()
+        with
+        | Ok _ -> ()
+        | Error v -> Alcotest.fail v.reason);
+  ]
+
+let suite =
+  [ ("autodiff.gradients", gradient_tests); ("autodiff.training", train_tests) ]

@@ -1,0 +1,302 @@
+(* Tests for the e-graph engine: union-find, congruence closure,
+   e-matching, rule application, saturation, and extraction. *)
+
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_egraph
+
+let check = Alcotest.check
+let sd = Symdim.of_int
+let tensor name = Tensor.create ~name [ sd 4; sd 4 ]
+
+let union_find_tests =
+  [
+    Alcotest.test_case "fresh singletons" `Quick (fun () ->
+        let uf = Union_find.create () in
+        let a = Union_find.fresh uf and b = Union_find.fresh uf in
+        check Alcotest.bool "distinct" false (Id.equal (Union_find.find uf a) (Union_find.find uf b)));
+    Alcotest.test_case "union then find" `Quick (fun () ->
+        let uf = Union_find.create () in
+        let ids = List.init 100 (fun _ -> Union_find.fresh uf) in
+        List.iter (fun i -> ignore (Union_find.union uf (List.hd ids) i)) ids;
+        let root = Union_find.find uf (List.hd ids) in
+        check Alcotest.bool "all same" true
+          (List.for_all (fun i -> Id.equal root (Union_find.find uf i)) ids));
+    Alcotest.test_case "growth beyond initial capacity" `Quick (fun () ->
+        let uf = Union_find.create () in
+        let ids = List.init 1000 (fun _ -> Union_find.fresh uf) in
+        check Alcotest.int "size" 1000 (Union_find.size uf);
+        check Alcotest.bool "find works" true
+          (Id.equal (Union_find.find uf (List.nth ids 999)) (List.nth ids 999)));
+  ]
+
+let congruence_tests =
+  [
+    Alcotest.test_case "hashconsing dedups" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let x = Egraph.add_op g Op.Neg [ a ] in
+        let y = Egraph.add_op g Op.Neg [ a ] in
+        check Alcotest.bool "same class" true (Egraph.equiv g x y));
+    Alcotest.test_case "congruence after union" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let b = Egraph.add_leaf g (tensor "b") in
+        let fa = Egraph.add_op g Op.Neg [ a ] in
+        let fb = Egraph.add_op g Op.Neg [ b ] in
+        check Alcotest.bool "initially distinct" false (Egraph.equiv g fa fb);
+        ignore (Egraph.union g a b);
+        Egraph.rebuild g;
+        check Alcotest.bool "congruent" true (Egraph.equiv g fa fb));
+    Alcotest.test_case "congruence cascades" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let b = Egraph.add_leaf g (tensor "b") in
+        let fa = Egraph.add_op g Op.Neg [ a ] in
+        let fb = Egraph.add_op g Op.Neg [ b ] in
+        let gfa = Egraph.add_op g Op.Exp [ fa ] in
+        let gfb = Egraph.add_op g Op.Exp [ fb ] in
+        ignore (Egraph.union g a b);
+        Egraph.rebuild g;
+        check Alcotest.bool "two levels" true (Egraph.equiv g gfa gfb));
+    Alcotest.test_case "shape analysis" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (Tensor.create ~name:"a" [ sd 2; sd 3 ]) in
+        let b = Egraph.add_leaf g (Tensor.create ~name:"b" [ sd 3; sd 5 ]) in
+        let m = Egraph.add_op g Op.Matmul [ a; b ] in
+        check Alcotest.bool "matmul shape" true
+          (match Egraph.shape_of g m with
+          | Some sh -> Shape.equal_syntactic sh [ sd 2; sd 5 ]
+          | None -> false));
+    Alcotest.test_case "leaf_id and contains_leaf" `Quick (fun () ->
+        let g = Egraph.create () in
+        let t = tensor "t" in
+        let id = Egraph.add_leaf g t in
+        check Alcotest.bool "leaf_id" true
+          (match Egraph.leaf_id g t with
+          | Some c -> Id.equal (Egraph.find g c) (Egraph.find g id)
+          | None -> false);
+        check Alcotest.bool "contains" true
+          (Egraph.contains_leaf g id (Tensor.equal t)));
+    Alcotest.test_case "lookup does not insert" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let before = Egraph.num_nodes g in
+        check Alcotest.bool "absent" true (Egraph.lookup g (Enode.op Op.Neg [ a ]) = None);
+        check Alcotest.int "unchanged" before (Egraph.num_nodes g);
+        let n = Egraph.add_op g Op.Neg [ a ] in
+        check Alcotest.bool "present now" true
+          (match Egraph.lookup g (Enode.op Op.Neg [ a ]) with
+          | Some id -> Egraph.equiv g id n
+          | None -> false));
+    Alcotest.test_case "reachable" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let b = Egraph.add_leaf g (tensor "b") in
+        let fa = Egraph.add_op g Op.Neg [ a ] in
+        let _fb = Egraph.add_op g Op.Neg [ b ] in
+        let r = Egraph.reachable g [ fa ] in
+        check Alcotest.bool "a reachable" true (Id.Set.mem (Egraph.find g a) r);
+        check Alcotest.bool "b not reachable" false (Id.Set.mem (Egraph.find g b) r));
+  ]
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Random unions preserve the invariant that canonical nodes of merged
+   classes remain findable through the hashcons. *)
+let congruence_property =
+  qtest
+    (QCheck.Test.make ~name:"random unions keep find idempotent" ~count:60
+       QCheck.(list_of_size (Gen.int_range 0 20) (pair (int_range 0 9) (int_range 0 9)))
+       (fun pairs ->
+         let g = Egraph.create () in
+         let leaves =
+           Array.init 10 (fun i -> Egraph.add_leaf g (tensor (Printf.sprintf "t%d" i)))
+         in
+         let apps = Array.map (fun l -> Egraph.add_op g Op.Neg [ l ]) leaves in
+         List.iter (fun (i, j) -> ignore (Egraph.union g leaves.(i) leaves.(j))) pairs;
+         Egraph.rebuild g;
+         (* find is idempotent and unioned leaves have congruent apps *)
+         Array.for_all
+           (fun id -> Id.equal (Egraph.find g id) (Egraph.find g (Egraph.find g id)))
+           leaves
+         && List.for_all
+              (fun (i, j) -> Egraph.equiv g apps.(i) apps.(j))
+              pairs))
+
+let ematch_tests =
+  [
+    Alcotest.test_case "fixed op pattern" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let _ = Egraph.add_op g Op.Neg [ a ] in
+        let pat = Pattern.p Op.Neg [ Pattern.v "x" ] in
+        let matches = Ematch.match_all g pat in
+        check Alcotest.int "one match" 1 (List.length matches);
+        let _, subst = List.hd matches in
+        check Alcotest.bool "binds x to a" true
+          (Id.equal (Egraph.find g (Subst.var subst "x")) (Egraph.find g a)));
+    Alcotest.test_case "family pattern binds operator" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let _ = Egraph.add_op g (Op.Concat { dim = 1 }) [ a; a ] in
+        let pat = Pattern.fam "concat" ~bind:"cc" [ Pattern.v "x"; Pattern.v "y" ] in
+        match Ematch.match_all g pat with
+        | [ (_, subst) ] ->
+            check Alcotest.bool "bound op" true
+              (Op.equal (Subst.op subst "cc") (Op.Concat { dim = 1 }))
+        | ms -> Alcotest.failf "expected 1 match, got %d" (List.length ms));
+    Alcotest.test_case "nonlinear variables must agree" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let b = Egraph.add_leaf g (tensor "b") in
+        let _ = Egraph.add_op g Op.Add [ a; a ] in
+        let _ = Egraph.add_op g Op.Add [ a; b ] in
+        let pat = Pattern.p Op.Add [ Pattern.v "x"; Pattern.v "x" ] in
+        check Alcotest.int "only the aa node" 1
+          (List.length (Ematch.match_all g pat)));
+    Alcotest.test_case "arity must match" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let _ = Egraph.add_op g Op.Sum_n [ a; a; a ] in
+        let pat = Pattern.p Op.Sum_n [ Pattern.v "x"; Pattern.v "y" ] in
+        check Alcotest.int "no binary match on ternary sum" 0
+          (List.length (Ematch.match_all g pat)));
+    Alcotest.test_case "matching through class membership" `Quick (fun () ->
+        (* A pattern matches a node contained anywhere in the class, not
+           just the syntactic term that was queried. *)
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let neg = Egraph.add_op g Op.Neg [ a ] in
+        ignore (Egraph.union g neg a);
+        Egraph.rebuild g;
+        let outer = Egraph.add_op g Op.Exp [ a ] in
+        let pat = Pattern.p Op.Exp [ Pattern.p Op.Neg [ Pattern.v "x" ] ] in
+        let hits = List.filter (fun (c, _) -> Egraph.equiv g c outer) (Ematch.match_all g pat) in
+        check Alcotest.bool "found" true (hits <> []));
+    Alcotest.test_case "instantiate insert vs check-only" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let subst =
+          match Subst.bind_var Subst.empty "x" a with Some st -> st | None -> assert false
+        in
+        let rhs = Pattern.p Op.Exp [ Pattern.v "x" ] in
+        check Alcotest.bool "check-only fails on absent" true
+          (Ematch.instantiate ~mode:Ematch.Check_only g subst rhs = None);
+        check Alcotest.bool "insert succeeds" true
+          (Ematch.instantiate ~mode:Ematch.Insert g subst rhs <> None);
+        check Alcotest.bool "check-only succeeds now" true
+          (Ematch.instantiate ~mode:Ematch.Check_only g subst rhs <> None));
+  ]
+
+let runner_tests =
+  [
+    Alcotest.test_case "saturation applies rule and counts hits" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let id = Egraph.add_op g Op.Identity [ a ] in
+        let rule =
+          Rule.make "identity-elim" (Pattern.p Op.Identity [ Pattern.v "x" ]) (Pattern.v "x")
+        in
+        let hits = Hashtbl.create 4 in
+        let report = Runner.run ~hit_counter:hits g [ rule ] in
+        check Alcotest.bool "saturated" true report.Runner.saturated;
+        check Alcotest.bool "identity = a" true (Egraph.equiv g id a);
+        check Alcotest.int "hit counted" 1 (Hashtbl.find hits "identity-elim"));
+    Alcotest.test_case "node limit stops runaway rules" `Quick (fun () ->
+        (* x -> neg(exp(x)) keeps creating fresh exp classes (the
+           self-union of the rewrite never collapses the new subterm),
+           so the runner must stop at the node cap. *)
+        let g = Egraph.create () in
+        let _ = Egraph.add_leaf g (tensor "a") in
+        let rule =
+          Rule.make "grow" (Pattern.v "x")
+            (Pattern.p Op.Neg [ Pattern.p Op.Exp [ Pattern.v "x" ] ])
+        in
+        let limits = { Runner.default_limits with Runner.max_nodes = 50 } in
+        let report = Runner.run ~limits g [ rule ] in
+        check Alcotest.bool "not saturated" false report.Runner.saturated;
+        check Alcotest.bool "bounded" true (report.Runner.nodes < 500));
+    Alcotest.test_case "conditional rule with shape condition" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (Tensor.create ~name:"a" [ sd 2; sd 3 ]) in
+        let sl =
+          Egraph.add_op g (Op.Slice { dim = 0; start = sd 0; stop = sd 2 }) [ a ]
+        in
+        let rules =
+          Entangle_lemmas.Lemma.rules
+            [ List.find (fun (l : Entangle_lemmas.Lemma.t) ->
+                  l.name = "slice-full-range")
+                Entangle_lemmas.Registry.all ]
+        in
+        ignore (Runner.run g rules);
+        check Alcotest.bool "full slice collapsed" true (Egraph.equiv g sl a));
+  ]
+
+let extract_tests =
+  [
+    Alcotest.test_case "best picks smallest member" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let deep = Egraph.add_op g Op.Neg [ Egraph.add_op g Op.Neg [ a ] ] in
+        ignore (Egraph.union g deep a);
+        Egraph.rebuild g;
+        match Extract.best g deep with
+        | Some e -> check Alcotest.int "leaf wins" 0 (Expr.size e)
+        | None -> Alcotest.fail "no extraction");
+    Alcotest.test_case "best_clean rejects dirty-only classes" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let b = Egraph.add_leaf g (tensor "b") in
+        let m = Egraph.add_op g Op.Matmul [ a; b ] in
+        check Alcotest.bool "no clean form" true
+          (Extract.best_clean g ~leaf_ok:(fun _ -> true) m = None));
+    Alcotest.test_case "best_clean respects leaf filter" `Quick (fun () ->
+        let g = Egraph.create () in
+        let ta = tensor "a" and tb = tensor "b" in
+        let a = Egraph.add_leaf g ta in
+        let b = Egraph.add_leaf g tb in
+        ignore (Egraph.union g a b);
+        Egraph.rebuild g;
+        (match Extract.best_clean g ~leaf_ok:(Tensor.equal tb) a with
+        | Some (Expr.Leaf t) -> check Alcotest.bool "picked b" true (Tensor.equal t tb)
+        | _ -> Alcotest.fail "expected leaf b");
+        check Alcotest.bool "empty filter" true
+          (Extract.best_clean g ~leaf_ok:(fun _ -> false) a = None));
+    Alcotest.test_case "best_filtered excludes operators" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let b = Egraph.add_leaf g (tensor "b") in
+        let s = Egraph.add_op g Op.Sum_n [ a; b ] in
+        let c = Egraph.add_op g (Op.Concat { dim = 0 }) [ a; b ] in
+        ignore (Egraph.union g s c);
+        Egraph.rebuild g;
+        match
+          Extract.best_filtered g
+            ~node_ok:(fun op -> Op.is_clean op && not (Op.equal op Op.Sum_n))
+            ~leaf_ok:(fun _ -> true) s
+        with
+        | Some (Expr.App (op, _)) ->
+            check Alcotest.bool "picked concat" true (Op.equal op (Op.Concat { dim = 0 }))
+        | _ -> Alcotest.fail "expected concat extraction");
+    Alcotest.test_case "extraction avoids cycles" `Quick (fun () ->
+        (* a = neg(a) creates a cyclic class; extraction must still
+           terminate and return the leaf. *)
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let na = Egraph.add_op g Op.Neg [ a ] in
+        ignore (Egraph.union g na a);
+        Egraph.rebuild g;
+        match Extract.best g a with
+        | Some e -> check Alcotest.int "leaf" 0 (Expr.size e)
+        | None -> Alcotest.fail "no extraction");
+  ]
+
+let suite =
+  [
+    ("egraph.union-find", union_find_tests);
+    ("egraph.congruence", congruence_tests @ [ congruence_property ]);
+    ("egraph.ematch", ematch_tests);
+    ("egraph.runner", runner_tests);
+    ("egraph.extract", extract_tests);
+  ]

@@ -1,0 +1,257 @@
+(* Differential fuzzing of the whole pipeline.
+
+   Random sequential models (chains of row-distributable operators) are
+   lowered mechanically to sequence-sharded implementations; the checker
+   must prove refinement, and the returned relation must replay
+   numerically (positive family). The negative family corrupts one
+   operator of the distributed graph and the checker must reject.
+
+   This is the fuzz-testing methodology of the related work (NNSmith
+   et al.) turned on the checker itself: soundness violations would show
+   up as a corrupted model accepted, completeness regressions as a
+   correct lowering rejected. *)
+
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_dist
+open Entangle_models
+module B = Graph.Builder
+
+let sd = Symdim.of_int
+let d_model = 4
+let batch = 8
+
+(* The operator menu: everything here distributes over row sharding. *)
+type step =
+  | Unary of Op.t
+  | Binary_fresh of Op.t  (** new sharded input as second operand *)
+  | Linear  (** matmul with a fresh replicated square weight *)
+  | Norm  (** layernorm with fresh replicated weights *)
+  | Row_softmax
+
+let step_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun i -> Unary (List.nth [ Op.Gelu; Op.Silu; Op.Relu; Op.Tanh ] i)) (int_range 0 3));
+        (3, map (fun i -> Binary_fresh (List.nth [ Op.Add; Op.Sub; Op.Mul ] i)) (int_range 0 2));
+        (2, return Linear);
+        (1, return Norm);
+        (1, return Row_softmax);
+      ])
+
+let steps_gen = QCheck.Gen.(list_size (int_range 1 6) step_gen)
+
+let arbitrary_steps =
+  QCheck.make ~print:(fun steps -> string_of_int (List.length steps)) steps_gen
+
+(* Build the sequential model and a degree-[p] sharded lowering for a
+   list of steps, optionally corrupting the distributed op at
+   [corrupt]. *)
+let build_pair ?corrupt steps ~degree =
+  let bs = B.create "fuzz-seq" in
+  let x0 = B.input bs "x" [ sd batch; sd d_model ] in
+  let ctx = Lower.create ~name:"fuzz-dist" ~degree () in
+  let xs0 = Lower.shard_input ctx x0 ~dim:0 in
+  let fresh = ref 0 in
+  let corrupt_op idx op =
+    match corrupt with
+    | Some c when c = idx -> (
+        (* Swap the activation function: a wrong-kernel bug. *)
+        match op with
+        | Op.Gelu -> Op.Silu
+        | Op.Silu -> Op.Gelu
+        | Op.Relu -> Op.Tanh
+        | Op.Tanh -> Op.Relu
+        | other -> other)
+    | _ -> op
+  in
+  let seq = ref x0 and dist = ref xs0 in
+  List.iteri
+    (fun idx step ->
+      incr fresh;
+      let name what = Fmt.str "%s%d" what !fresh in
+      match step with
+      | Unary op ->
+          seq := B.add bs op [ !seq ];
+          dist :=
+            List.map (fun x -> Lower.add ctx (corrupt_op idx op) [ x ]) !dist
+      | Binary_fresh op ->
+          let other = B.input bs (name "b") [ sd batch; sd d_model ] in
+          let others = Lower.shard_input ctx other ~dim:0 in
+          seq := B.add bs op [ !seq; other ];
+          dist := List.map2 (fun x o -> Lower.add ctx op [ x; o ]) !dist others
+      | Linear ->
+          let w = B.input bs (name "w") [ sd d_model; sd d_model ] in
+          let ws = Lower.replicate_input ctx w in
+          seq := B.add bs Op.Matmul [ !seq; w ];
+          dist :=
+            List.mapi
+              (fun r x -> Lower.add ctx Op.Matmul [ x; List.nth ws r ])
+              !dist
+      | Norm ->
+          let w = B.input bs (name "nw") [ sd d_model ] in
+          let bias = B.input bs (name "nb") [ sd d_model ] in
+          let ws = Lower.replicate_input ctx w in
+          let bsr = Lower.replicate_input ctx bias in
+          seq := B.add bs (Op.Layernorm { eps = 1e-5 }) [ !seq; w; bias ];
+          dist :=
+            List.mapi
+              (fun r x ->
+                Lower.add ctx (Op.Layernorm { eps = 1e-5 })
+                  [ x; List.nth ws r; List.nth bsr r ])
+              !dist
+      | Row_softmax ->
+          seq := B.add bs (Op.Softmax { dim = 1 }) [ !seq ];
+          dist := List.map (fun x -> Lower.add ctx (Op.Softmax { dim = 1 }) [ x ]) !dist)
+    steps;
+  B.output bs !seq;
+  List.iter (Lower.output ctx) !dist;
+  let gd, input_relation = Lower.finish ctx in
+  (B.finish bs, gd, input_relation)
+
+let has_swappable steps =
+  List.exists
+    (function
+      | Unary (Op.Gelu | Op.Silu | Op.Relu | Op.Tanh) -> true | _ -> false)
+    steps
+
+let swappable_index steps =
+  let rec go i = function
+    | [] -> None
+    | Unary (Op.Gelu | Op.Silu | Op.Relu | Op.Tanh) :: _ -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 steps
+
+let positive =
+  QCheck.Test.make ~name:"random sharded lowerings refine and replay"
+    ~count:25 arbitrary_steps (fun steps ->
+      let gs, gd, input_relation = build_pair steps ~degree:2 in
+      match Entangle.Refine.check ~gs ~gd ~input_relation () with
+      | Error f ->
+          QCheck.Test.fail_reportf "rejected a correct lowering: %s"
+            f.Entangle.Refine.reason
+      | Ok s -> (
+          match
+            Entangle.Certify.replay
+              ~env:(Interp.env_of_list [])
+              ~gs ~gd ~input_relation ~output_relation:s.output_relation ()
+          with
+          | Ok () -> true
+          | Error e -> QCheck.Test.fail_reportf "replay failed: %s" e))
+
+let positive_degree4 =
+  QCheck.Test.make ~name:"random lowerings at degree 4" ~count:10
+    arbitrary_steps (fun steps ->
+      let gs, gd, input_relation = build_pair steps ~degree:4 in
+      match Entangle.Refine.check ~gs ~gd ~input_relation () with
+      | Ok _ -> true
+      | Error f ->
+          QCheck.Test.fail_reportf "rejected a correct lowering: %s"
+            f.Entangle.Refine.reason)
+
+let negative =
+  QCheck.Test.make ~name:"corrupted kernels are rejected" ~count:25
+    arbitrary_steps (fun steps ->
+      QCheck.assume (has_swappable steps);
+      let corrupt = Option.get (swappable_index steps) in
+      let gs, gd, input_relation = build_pair ~corrupt steps ~degree:2 in
+      match Entangle.Refine.check ~gs ~gd ~input_relation () with
+      | Error _ -> true
+      | Ok _ -> QCheck.Test.fail_report "accepted a corrupted lowering")
+
+(* Serialization fuzz: a random pair survives the text format and still
+   verifies afterwards. *)
+let roundtrip =
+  QCheck.Test.make ~name:"random pairs survive serialization" ~count:10
+    arbitrary_steps (fun steps ->
+      let gs, gd, input_relation = build_pair steps ~degree:2 in
+      let reload g =
+        match Serial.graph_of_string (Serial.graph_to_string g) with
+        | Ok g -> g
+        | Error e -> QCheck.Test.fail_reportf "graph reload: %s" e
+      in
+      let gs = reload gs and gd = reload gd in
+      match
+        Entangle.Relation_io.of_string ~gs ~gd
+          (Entangle.Relation_io.to_string input_relation)
+      with
+      | Error e -> QCheck.Test.fail_reportf "relation reload: %s" e
+      | Ok input_relation -> (
+          match Entangle.Refine.check ~gs ~gd ~input_relation () with
+          | Ok _ -> true
+          | Error f ->
+              QCheck.Test.fail_reportf "reloaded pair rejected: %s"
+                f.Entangle.Refine.reason))
+
+(* Extraction soundness: whatever the checker extracts for an output
+   evaluates to the same values as the sequential graph itself — checked
+   independently of Certify by evaluating the full relation's entries on
+   every sequential tensor, not only outputs. *)
+let full_relation_sound =
+  QCheck.Test.make ~name:"every relation entry is semantically faithful"
+    ~count:10 arbitrary_steps (fun steps ->
+      let gs, gd, input_relation = build_pair steps ~degree:2 in
+      match Entangle.Refine.check ~gs ~gd ~input_relation () with
+      | Error f -> QCheck.Test.fail_reportf "rejected: %s" f.Entangle.Refine.reason
+      | Ok s ->
+          let env = Interp.env_of_list [] in
+          let st = Random.State.make [| 5 |] in
+          let gd_inputs = Interp.random_inputs st env gd in
+          (* Replicated inputs (several leaf mappings for one sequential
+             tensor) must hold equal values, as in Certify.replay. *)
+          let gd_inputs =
+            List.fold_left
+              (fun inputs (_, exprs) ->
+                let leaves =
+                  List.filter_map
+                    (function Expr.Leaf t -> Some t | _ -> None)
+                    exprs
+                in
+                match leaves with
+                | first :: rest ->
+                    let v = List.assq first inputs in
+                    List.map
+                      (fun (t, old) ->
+                        if List.exists (Tensor.equal t) rest then (t, v)
+                        else (t, old))
+                      inputs
+                | [] -> inputs)
+              gd_inputs
+              (Entangle.Relation.bindings input_relation)
+          in
+          let lookup_in t = List.assq t gd_inputs in
+          let gs_inputs =
+            List.map
+              (fun t ->
+                match Entangle.Relation.find input_relation t with
+                | e :: _ -> (t, Interp.eval_expr env lookup_in e)
+                | [] -> QCheck.Test.fail_reportf "missing input mapping")
+              (Graph.inputs gs)
+          in
+          let vs = Interp.run env gs ~inputs:gs_inputs in
+          let vd = Interp.run env gd ~inputs:gd_inputs in
+          let lookup_gd t = Tensor.Map.find t vd in
+          List.for_all
+            (fun (t, exprs) ->
+              match Tensor.Map.find_opt t vs with
+              | None -> true
+              | Some expected ->
+                  List.for_all
+                    (fun e ->
+                      Ndarray.approx_equal ~tol:1e-3 expected
+                        (Interp.eval_expr env lookup_gd e))
+                    exprs)
+            (Entangle.Relation.bindings s.full_relation))
+
+let suite =
+  [
+    ( "fuzz.differential",
+      List.map QCheck_alcotest.to_alcotest
+        [ positive; positive_degree4; negative; roundtrip; full_relation_sound ]
+    );
+  ]
+
+(* Silence unused-module warnings for shared helpers. *)
+let _ = Instance.operator_count

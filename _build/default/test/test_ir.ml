@@ -1,0 +1,310 @@
+(* Tests for the tensor IR: dtypes, shapes, operator shape/dtype
+   inference, tensors, graphs, and expressions. *)
+
+open Entangle_symbolic
+open Entangle_ir
+
+let check = Alcotest.check
+let sd = Symdim.of_int
+let store = Constraint_store.add_positive Constraint_store.empty "s"
+let s = Symdim.sym "s"
+
+let shape_eq = Alcotest.testable Shape.pp Shape.equal_syntactic
+
+let infer op shapes =
+  match Op.infer_shape store op shapes with
+  | Ok sh -> sh
+  | Error e -> Alcotest.failf "unexpected shape error: %s" e
+
+let infer_fails op shapes =
+  match Op.infer_shape store op shapes with
+  | Ok sh -> Alcotest.failf "expected error, got %a" Shape.pp sh
+  | Error _ -> ()
+
+(* --- dtype -------------------------------------------------------------- *)
+
+let dtype_tests =
+  [
+    Alcotest.test_case "promotion" `Quick (fun () ->
+        let open Dtype in
+        check Alcotest.bool "f32+f16" true (promote F32 F16 = Some F32);
+        check Alcotest.bool "f16+bf16 widens" true (promote F16 BF16 = Some F32);
+        check Alcotest.bool "i64+bool" true (promote I64 Bool = Some I64);
+        check Alcotest.bool "bool+bool" true (promote Bool Bool = Some Bool));
+    Alcotest.test_case "predicates" `Quick (fun () ->
+        check Alcotest.bool "f32 float" true (Dtype.is_float Dtype.F32);
+        check Alcotest.bool "i64 int" true (Dtype.is_integer Dtype.I64);
+        check Alcotest.bool "bool not int" false (Dtype.is_integer Dtype.Bool));
+  ]
+
+(* --- shape -------------------------------------------------------------- *)
+
+let shape_tests =
+  [
+    Alcotest.test_case "dim with negative axis" `Quick (fun () ->
+        let sh = [ s; sd 4; sd 8 ] in
+        check Alcotest.bool "dim -1" true (Symdim.equal (Shape.dim sh (-1)) (sd 8));
+        check Alcotest.bool "dim 0" true (Symdim.equal (Shape.dim sh 0) s);
+        Alcotest.check_raises "out of range"
+          (Invalid_argument "Shape: axis 3 out of range for rank 3") (fun () ->
+            ignore (Shape.dim sh 3)));
+    Alcotest.test_case "numel" `Quick (fun () ->
+        check Alcotest.bool "symbolic numel" true
+          (match Shape.numel [ s; sd 4 ] with
+          | Some n -> Symdim.equal n (Symdim.mul_int 4 s)
+          | None -> false);
+        check Alcotest.bool "two symbols not affine" true
+          (Shape.numel [ s; Symdim.sym "t" ] = None));
+    Alcotest.test_case "broadcast" `Quick (fun () ->
+        check (Alcotest.option shape_eq) "[s;4] with [4]"
+          (Some [ s; sd 4 ])
+          (Shape.broadcast store [ s; sd 4 ] [ sd 4 ]);
+        check (Alcotest.option shape_eq) "[s;1] with [s;4]"
+          (Some [ s; sd 4 ])
+          (Shape.broadcast store [ s; sd 1 ] [ s; sd 4 ]);
+        check (Alcotest.option shape_eq) "incompatible" None
+          (Shape.broadcast store [ sd 3 ] [ sd 4 ]));
+    Alcotest.test_case "concrete" `Quick (fun () ->
+        check (Alcotest.list Alcotest.int) "eval" [ 6; 4 ]
+          (Shape.concrete (fun _ -> 6) [ s; sd 4 ]));
+  ]
+
+(* --- operator shape inference ------------------------------------------- *)
+
+let op_shape_tests =
+  [
+    Alcotest.test_case "elementwise broadcasting" `Quick (fun () ->
+        check shape_eq "add" [ s; sd 4 ] (infer Op.Add [ [ s; sd 4 ]; [ sd 4 ] ]);
+        infer_fails Op.Add [ [ sd 3 ]; [ sd 4 ] ]);
+    Alcotest.test_case "matmul shapes" `Quick (fun () ->
+        check shape_eq "2d" [ s; sd 8 ] (infer Op.Matmul [ [ s; sd 4 ]; [ sd 4; sd 8 ] ]);
+        check shape_eq "batched x 2d" [ sd 2; s; sd 8 ]
+          (infer Op.Matmul [ [ sd 2; s; sd 4 ]; [ sd 4; sd 8 ] ]);
+        check shape_eq "batched x batched" [ sd 2; sd 3; sd 8 ]
+          (infer Op.Matmul [ [ sd 2; sd 3; sd 4 ]; [ sd 2; sd 4; sd 8 ] ]);
+        infer_fails Op.Matmul [ [ s; sd 4 ]; [ sd 5; sd 8 ] ];
+        infer_fails Op.Matmul [ [ sd 4 ]; [ sd 4; sd 8 ] ]);
+    Alcotest.test_case "concat" `Quick (fun () ->
+        check shape_eq "same dim sums" [ Symdim.mul_int 2 s; sd 4 ]
+          (infer (Op.Concat { dim = 0 }) [ [ s; sd 4 ]; [ s; sd 4 ] ]);
+        infer_fails (Op.Concat { dim = 0 }) [ [ s; sd 4 ]; [ s; sd 5 ] ]);
+    Alcotest.test_case "slice" `Quick (fun () ->
+        check shape_eq "basic" [ sd 3; sd 4 ]
+          (infer (Op.Slice { dim = 0; start = sd 1; stop = sd 4 }) [ [ sd 8; sd 4 ] ]);
+        check shape_eq "symbolic width" [ s; sd 4 ]
+          (infer
+             (Op.Slice { dim = 0; start = s; stop = Symdim.mul_int 2 s })
+             [ [ Symdim.mul_int 2 s; sd 4 ] ]);
+        infer_fails (Op.Slice { dim = 0; start = sd 5; stop = sd 3 }) [ [ sd 8 ] ];
+        infer_fails (Op.Slice { dim = 0; start = sd 0; stop = sd 9 }) [ [ sd 8 ] ]);
+    Alcotest.test_case "transpose / reshape / pad" `Quick (fun () ->
+        check shape_eq "transpose" [ sd 4; s ]
+          (infer (Op.Transpose { dim0 = 0; dim1 = 1 }) [ [ s; sd 4 ] ]);
+        check shape_eq "reshape" [ sd 2; sd 6 ]
+          (infer (Op.Reshape { shape = [ sd 2; sd 6 ] }) [ [ sd 3; sd 4 ] ]);
+        infer_fails (Op.Reshape { shape = [ sd 5 ] }) [ [ sd 3; sd 4 ] ];
+        check shape_eq "pad" [ Symdim.add s (sd 3); sd 4 ]
+          (infer (Op.Pad { dim = 0; before = sd 1; after = sd 2 }) [ [ s; sd 4 ] ]));
+    Alcotest.test_case "reductions" `Quick (fun () ->
+        check shape_eq "keepdim" [ s; sd 1 ]
+          (infer (Op.Reduce_sum { dim = 1; keepdim = true }) [ [ s; sd 4 ] ]);
+        check shape_eq "dropdim" [ sd 4 ]
+          (infer (Op.Reduce_mean { dim = 0; keepdim = false }) [ [ s; sd 4 ] ]));
+    Alcotest.test_case "collectives" `Quick (fun () ->
+        check shape_eq "all_reduce" [ s; sd 4 ]
+          (infer Op.All_reduce [ [ s; sd 4 ]; [ s; sd 4 ] ]);
+        check shape_eq "all_gather" [ Symdim.mul_int 2 s; sd 4 ]
+          (infer (Op.All_gather { dim = 0 }) [ [ s; sd 4 ]; [ s; sd 4 ] ]);
+        check shape_eq "reduce_scatter" [ s; sd 4 ]
+          (infer
+             (Op.Reduce_scatter { dim = 0; index = 1; count = 2 })
+             [ [ Symdim.mul_int 2 s; sd 4 ]; [ Symdim.mul_int 2 s; sd 4 ] ]);
+        infer_fails (Op.Reduce_scatter { dim = 0; index = 2; count = 2 })
+          [ [ s; sd 4 ] ]);
+    Alcotest.test_case "nn kernels" `Quick (fun () ->
+        check shape_eq "layernorm" [ s; sd 4 ]
+          (infer (Op.Layernorm { eps = 1e-5 }) [ [ s; sd 4 ]; [ sd 4 ]; [ sd 4 ] ]);
+        infer_fails (Op.Layernorm { eps = 1e-5 }) [ [ s; sd 4 ]; [ sd 3 ]; [ sd 4 ] ];
+        check shape_eq "rmsnorm" [ s; sd 4 ]
+          (infer (Op.Rmsnorm { eps = 1e-5 }) [ [ s; sd 4 ]; [ sd 4 ] ]);
+        check shape_eq "embedding" [ s; sd 8 ]
+          (infer Op.Embedding [ [ sd 100; sd 8 ]; [ s ] ]);
+        check shape_eq "rope" [ s; sd 8 ]
+          (infer Op.Rope [ [ s; sd 8 ]; [ s; sd 8 ]; [ s; sd 8 ] ]);
+        check shape_eq "mse scalar" [] (infer Op.Mse_loss [ [ s; sd 1 ]; [ s; sd 1 ] ]);
+        check shape_eq "cross entropy" []
+          (infer Op.Cross_entropy [ [ s; sd 16 ]; [ s ] ]));
+    Alcotest.test_case "arity checking" `Quick (fun () ->
+        infer_fails Op.Add [ [ sd 4 ] ];
+        infer_fails Op.Neg [ [ sd 4 ]; [ sd 4 ] ];
+        check Alcotest.bool "variadic ok" true (Op.arity_ok Op.Sum_n 5);
+        check Alcotest.bool "variadic min" false (Op.arity_ok Op.Sum_n 0));
+    Alcotest.test_case "dtype inference" `Quick (fun () ->
+        check Alcotest.bool "embedding needs int ids" true
+          (Op.infer_dtype Op.Embedding [ Dtype.F32; Dtype.F32 ] |> Result.is_error);
+        check Alcotest.bool "embedding ok" true
+          (Op.infer_dtype Op.Embedding [ Dtype.F32; Dtype.I64 ] = Ok Dtype.F32));
+  ]
+
+(* --- operator identity --------------------------------------------------- *)
+
+let op_identity_tests =
+  [
+    Alcotest.test_case "key distinguishes attributes" `Quick (fun () ->
+        check Alcotest.bool "concat dims" false
+          (Op.equal (Op.Concat { dim = 0 }) (Op.Concat { dim = 1 }));
+        check Alcotest.bool "slice bounds" false
+          (Op.equal
+             (Op.Slice { dim = 0; start = sd 0; stop = sd 1 })
+             (Op.Slice { dim = 0; start = sd 0; stop = sd 2 }));
+        check Alcotest.bool "same symbolic slice" true
+          (Op.equal
+             (Op.Slice { dim = 0; start = Symdim.add s s; stop = sd 2 })
+             (Op.Slice { dim = 0; start = Symdim.mul_int 2 s; stop = sd 2 })));
+    Alcotest.test_case "cleanliness classification" `Quick (fun () ->
+        List.iter
+          (fun op -> check Alcotest.bool (Op.name op) true (Op.is_clean op))
+          [
+            Op.Identity; Op.Concat { dim = 0 };
+            Op.Slice { dim = 0; start = sd 0; stop = sd 1 };
+            Op.Transpose { dim0 = 0; dim1 = 1 }; Op.Sum_n; Op.All_reduce;
+            Op.All_gather { dim = 0 };
+            Op.Reduce_scatter { dim = 0; index = 0; count = 2 };
+          ];
+        List.iter
+          (fun op -> check Alcotest.bool (Op.name op) false (Op.is_clean op))
+          [
+            Op.Add; Op.Matmul; Op.Scale (Rat.make 1 2); Op.Softmax { dim = 1 };
+            Op.Mse_loss; Op.Gelu; Op.Reduce_sum { dim = 0; keepdim = false };
+          ]);
+  ]
+
+(* --- tensors, graphs ------------------------------------------------------ *)
+
+let graph_tests =
+  let module B = Graph.Builder in
+  [
+    Alcotest.test_case "tensor ids unique" `Quick (fun () ->
+        let a = Tensor.create ~name:"a" [ sd 1 ] in
+        let b = Tensor.create ~name:"a" [ sd 1 ] in
+        check Alcotest.bool "distinct" false (Tensor.equal a b));
+    Alcotest.test_case "builder infers shapes" `Quick (fun () ->
+        let b = B.create "g" in
+        let x = B.input b "x" [ s; sd 4 ] in
+        let w = B.input b "w" [ sd 4; sd 2 ] in
+        let y = B.add b Op.Matmul [ x; w ] in
+        B.output b y;
+        let g = B.finish b in
+        check shape_eq "inferred" [ s; sd 2 ] (Tensor.shape y);
+        check Alcotest.int "nodes" 1 (Graph.num_nodes g);
+        check Alcotest.bool "validates" true (Graph.validate g = Ok ()));
+    Alcotest.test_case "builder rejects foreign tensors" `Quick (fun () ->
+        let b = B.create "g" in
+        let foreign = Tensor.create ~name:"foreign" [ sd 4 ] in
+        Alcotest.check_raises "foreign"
+          (Invalid_argument
+             "Graph.Builder.add(neg): tensor foreign:[4] is not in graph g")
+          (fun () -> ignore (B.add b Op.Neg [ foreign ])));
+    Alcotest.test_case "builder rejects shape errors" `Quick (fun () ->
+        let b = B.create "g" in
+        let x = B.input b "x" [ sd 3 ] in
+        let y = B.input b "y" [ sd 4 ] in
+        check Alcotest.bool "raises" true
+          (try ignore (B.add b Op.Add [ x; y ]); false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "producer and consumers" `Quick (fun () ->
+        let b = B.create "g" in
+        let x = B.input b "x" [ sd 4 ] in
+        let y = B.add b Op.Neg [ x ] in
+        let z = B.add b Op.Exp [ y ] in
+        B.output b z;
+        let g = B.finish b in
+        check Alcotest.bool "input has no producer" true (Graph.producer g x = None);
+        check Alcotest.bool "y produced by neg" true
+          (match Graph.producer g y with
+          | Some n -> Op.equal (Node.op n) Op.Neg
+          | None -> false);
+        check Alcotest.int "x consumed once" 1 (List.length (Graph.consumers g x));
+        check Alcotest.bool "is_output" true (Graph.is_output g z));
+    Alcotest.test_case "append_expr" `Quick (fun () ->
+        let b = B.create "g" in
+        let x = B.input b "x" [ sd 4 ] in
+        let y = B.add b Op.Neg [ x ] in
+        B.output b y;
+        let g = B.finish b in
+        match Graph.append_expr g (Expr.app Op.Exp [ Expr.leaf y ]) with
+        | Error e -> Alcotest.failf "append failed: %s" e
+        | Ok (g', t) ->
+            check Alcotest.int "one more node" 2 (Graph.num_nodes g');
+            check Alcotest.bool "new output" true (Graph.is_output g' t);
+            check Alcotest.bool "validates" true (Graph.validate g' = Ok ()));
+    Alcotest.test_case "append_expr rejects foreign leaves" `Quick (fun () ->
+        let b = B.create "g" in
+        let x = B.input b "x" [ sd 4 ] in
+        B.output b x;
+        let g = B.finish b in
+        let foreign = Tensor.create ~name:"zz" [ sd 4 ] in
+        check Alcotest.bool "error" true
+          (Result.is_error (Graph.append_expr g (Expr.leaf foreign))));
+    Alcotest.test_case "with_outputs" `Quick (fun () ->
+        let b = B.create "g" in
+        let x = B.input b "x" [ sd 4 ] in
+        let y = B.add b Op.Neg [ x ] in
+        B.output b y;
+        let g = B.finish b in
+        (match Graph.with_outputs g [ x ] with
+        | Ok g' -> check Alcotest.bool "outputs replaced" true (Graph.is_output g' x)
+        | Error e -> Alcotest.fail e);
+        check Alcotest.bool "foreign rejected" true
+          (Result.is_error
+             (Graph.with_outputs g [ Tensor.create ~name:"f" [ sd 1 ] ])));
+  ]
+
+(* --- expressions ----------------------------------------------------------- *)
+
+let expr_tests =
+  let a = Tensor.create ~name:"a" [ s; sd 4 ] in
+  let b = Tensor.create ~name:"b" [ s; sd 4 ] in
+  [
+    Alcotest.test_case "size, depth, leaves" `Quick (fun () ->
+        let e = Expr.app Op.Add [ Expr.leaf a; Expr.app Op.Neg [ Expr.leaf b ] ] in
+        check Alcotest.int "size" 2 (Expr.size e);
+        check Alcotest.int "depth" 2 (Expr.depth e);
+        check Alcotest.int "leaves" 2 (List.length (Expr.leaves e));
+        check Alcotest.bool "mem" true (Expr.mem_leaf a e));
+    Alcotest.test_case "leaves dedup in order" `Quick (fun () ->
+        let e = Expr.app Op.Add [ Expr.leaf a; Expr.leaf a ] in
+        check Alcotest.int "dedup" 1 (List.length (Expr.leaves e)));
+    Alcotest.test_case "clean predicate" `Quick (fun () ->
+        let clean = Expr.app (Op.Concat { dim = 0 }) [ Expr.leaf a; Expr.leaf b ] in
+        let dirty = Expr.app Op.Add [ Expr.leaf a; Expr.leaf b ] in
+        check Alcotest.bool "concat clean" true (Expr.is_clean clean);
+        check Alcotest.bool "add dirty" false (Expr.is_clean dirty);
+        check Alcotest.bool "nested dirty" false
+          (Expr.is_clean (Expr.app (Op.Concat { dim = 0 }) [ dirty; Expr.leaf b ])));
+    Alcotest.test_case "subst" `Quick (fun () ->
+        let e = Expr.app Op.Neg [ Expr.leaf a ] in
+        let e' = Expr.subst (fun t -> if Tensor.equal t a then Some (Expr.leaf b) else None) e in
+        check Alcotest.bool "substituted" true
+          (Expr.equal e' (Expr.app Op.Neg [ Expr.leaf b ])));
+    Alcotest.test_case "infer_shape" `Quick (fun () ->
+        let e =
+          Expr.app (Op.Concat { dim = 0 }) [ Expr.leaf a; Expr.leaf b ]
+        in
+        match Expr.infer_shape store e with
+        | Ok sh -> check shape_eq "concat" [ Symdim.mul_int 2 s; sd 4 ] sh
+        | Error err -> Alcotest.fail err);
+    Alcotest.test_case "infer_shape propagates errors" `Quick (fun () ->
+        let bad = Expr.app Op.Matmul [ Expr.leaf a; Expr.leaf b ] in
+        check Alcotest.bool "error" true (Result.is_error (Expr.infer_shape store bad)));
+  ]
+
+let suite =
+  [
+    ("ir.dtype", dtype_tests);
+    ("ir.shape", shape_tests);
+    ("ir.op-shape", op_shape_tests);
+    ("ir.op-identity", op_identity_tests);
+    ("ir.graph", graph_tests);
+    ("ir.expr", expr_tests);
+  ]

@@ -1,0 +1,169 @@
+(* Tests for the S-expression layer and the graph / relation file
+   format: unit round trips, error reporting, and a full round trip of
+   every zoo model through text followed by a re-verification. *)
+
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_models
+
+let check = Alcotest.check
+let sd = Symdim.of_int
+
+let sexp_tests =
+  [
+    Alcotest.test_case "parse and print round trip" `Quick (fun () ->
+        let cases =
+          [ "(a b c)"; "(a (b c) d)"; "atom"; "(nested (deeply (very ())))" ]
+        in
+        List.iter
+          (fun input ->
+            match Sexp.of_string input with
+            | Error e -> Alcotest.failf "%s: %s" input e
+            | Ok s -> (
+                match Sexp.of_string (Sexp.to_string s) with
+                | Ok s' ->
+                    check Alcotest.string input (Sexp.to_string s) (Sexp.to_string s')
+                | Error e -> Alcotest.failf "reparse: %s" e))
+          cases);
+    Alcotest.test_case "comments and quoted atoms" `Quick (fun () ->
+        match Sexp.of_string "; header\n(a \"b c\" ; trailing\n d)" with
+        | Ok (Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b c"; Sexp.Atom "d" ]) -> ()
+        | Ok s -> Alcotest.failf "unexpected parse: %s" (Sexp.to_string s)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "parse errors" `Quick (fun () ->
+        List.iter
+          (fun bad ->
+            check Alcotest.bool bad true (Result.is_error (Sexp.of_string bad)))
+          [ "(a b"; ")"; "(a) trailing"; "\"unterminated" ]);
+  ]
+
+let symdim_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"symdim serialization round trips" ~count:200
+       QCheck.(triple (int_range (-20) 20) (int_range (-9) 9) (int_range (-9) 9))
+       (fun (c, ca, cb) ->
+         let d =
+           Symdim.(
+             add (of_int c)
+               (add (mul_int ca (sym "a")) (mul_int cb (sym "b"))))
+         in
+         match Serial.symdim_of_sexp (Serial.symdim_to_sexp d) with
+         | Ok d' -> Symdim.equal d d'
+         | Error _ -> false))
+
+let op_roundtrip_tests =
+  let ops =
+    [
+      Op.Add; Op.Matmul; Op.Gelu; Op.Sum_n; Op.All_reduce;
+      Op.Scale (Rat.make 1 2);
+      Op.Concat { dim = 1 };
+      Op.Slice { dim = 0; start = sd 0; stop = Symdim.mul_int 2 (Symdim.sym "s") };
+      Op.Transpose { dim0 = 0; dim1 = 1 };
+      Op.Reshape { shape = [ sd 2; Symdim.sym "s" ] };
+      Op.Pad { dim = 1; before = sd 1; after = sd 2 };
+      Op.Reduce_sum { dim = 0; keepdim = true };
+      Op.Reduce_mean { dim = 1; keepdim = false };
+      Op.Softmax { dim = 1 };
+      Op.Layernorm { eps = 1e-5 };
+      Op.Rmsnorm { eps = 1e-6 };
+      Op.Reduce_scatter { dim = 0; index = 1; count = 4 };
+      Op.All_gather { dim = 1 };
+      Op.Swiglu_fused; Op.Hlo_dot;
+      Op.Hlo_slice { dim = 0; start = sd 1; stop = sd 2 };
+      Op.Hlo_concatenate { dim = 0 };
+      Op.Embedding; Op.Rope; Op.Mse_loss; Op.Cross_entropy;
+    ]
+  in
+  [
+    Alcotest.test_case "operator serialization round trips" `Quick (fun () ->
+        List.iter
+          (fun op ->
+            match Serial.op_of_sexp (Serial.op_to_sexp op) with
+            | Ok op' ->
+                check Alcotest.bool (Op.key op) true (Op.equal op op')
+            | Error e -> Alcotest.failf "%s: %s" (Op.key op) e)
+          ops);
+  ]
+
+let graph_roundtrip name inst =
+  Alcotest.test_case (name ^ " round trips through text") `Slow (fun () ->
+      let reload g =
+        match Serial.graph_of_string (Serial.graph_to_string g) with
+        | Ok g' -> g'
+        | Error e -> Alcotest.failf "%s: %s" (Graph.name g) e
+      in
+      let gs = reload inst.Instance.gs in
+      let gd = reload inst.Instance.gd in
+      check Alcotest.int "node count gs" (Graph.num_nodes inst.Instance.gs)
+        (Graph.num_nodes gs);
+      check Alcotest.int "node count gd" (Graph.num_nodes inst.Instance.gd)
+        (Graph.num_nodes gd);
+      check Alcotest.bool "gs validates" true (Graph.validate gs = Ok ());
+      check Alcotest.bool "gd validates" true (Graph.validate gd = Ok ());
+      (* Relation round trip against the reloaded graphs. *)
+      let rel_text = Entangle.Relation_io.to_string inst.Instance.input_relation in
+      match Entangle.Relation_io.of_string ~gs ~gd rel_text with
+      | Error e -> Alcotest.fail e
+      | Ok input_relation -> (
+          check Alcotest.int "relation cardinality"
+            (Entangle.Relation.cardinal inst.Instance.input_relation)
+            (Entangle.Relation.cardinal input_relation);
+          (* And the reloaded triple still verifies. *)
+          let rules =
+            Entangle_lemmas.Registry.rules_for_model inst.Instance.family
+          in
+          match Entangle.Refine.check ~rules ~gs ~gd ~input_relation () with
+          | Ok _ -> ()
+          | Error f ->
+              Alcotest.failf "reloaded check failed: %s" f.Entangle.Refine.reason))
+
+let graph_error_tests =
+  [
+    Alcotest.test_case "unknown operator is reported" `Quick (fun () ->
+        let text =
+          "(graph g (constraints) (inputs (x (shape 2) f32)) (nodes (y \
+           (frobnicate) (x))) (outputs y))"
+        in
+        check Alcotest.bool "error" true
+          (Result.is_error (Serial.graph_of_string text)));
+    Alcotest.test_case "unknown tensor reference is reported" `Quick (fun () ->
+        let text =
+          "(graph g (constraints) (inputs (x (shape 2) f32)) (nodes (y (neg) \
+           (zz))) (outputs y))"
+        in
+        check Alcotest.bool "error" true
+          (Result.is_error (Serial.graph_of_string text)));
+    Alcotest.test_case "shape errors surface through parsing" `Quick (fun () ->
+        let text =
+          "(graph g (constraints) (inputs (x (shape 2) f32) (w (shape 3) \
+           f32)) (nodes (y (add) (x w))) (outputs y))"
+        in
+        check Alcotest.bool "error" true
+          (Result.is_error (Serial.graph_of_string text)));
+    Alcotest.test_case "duplicate tensor names rejected on write" `Quick
+      (fun () ->
+        let module B = Graph.Builder in
+        let b = B.create "dup" in
+        let _ = B.input b "x" [ sd 2 ] in
+        let x2 = B.input b "x" [ sd 2 ] in
+        B.output b x2;
+        let g = B.finish b in
+        check Alcotest.bool "raises" true
+          (try ignore (Serial.graph_to_string g); false
+           with Invalid_argument _ -> true));
+  ]
+
+let suite =
+  [
+    ("serial.sexp", sexp_tests);
+    ("serial.roundtrip", [ symdim_roundtrip ] @ op_roundtrip_tests);
+    ( "serial.graphs",
+      [
+        graph_roundtrip "regression" (Regression.build ());
+        graph_roundtrip "gpt" (Gpt.build ());
+        graph_roundtrip "llama" (Llama.build ());
+        graph_roundtrip "moe" (Moe.build ());
+        graph_roundtrip "data-parallel" (Train.data_parallel ());
+      ] );
+    ("serial.errors", graph_error_tests);
+  ]
