@@ -220,12 +220,73 @@ let lemmas_cmd =
   Cmd.v (Cmd.info "lemmas" ~doc:"Show the lemma corpus.")
     Term.(const run $ const ())
 
+(* --- lint --------------------------------------------------------------- *)
+
+let lint_cmd =
+  let module A = Entangle_analysis in
+  let run verbose json seed =
+    setup_logs verbose;
+    let named =
+      List.concat_map
+        (fun name ->
+          match Zoo.by_name name with
+          | None -> []
+          | Some inst ->
+              [
+                (name ^ "/seq", inst.Instance.gs);
+                (name ^ "/dist", inst.Instance.gd);
+              ])
+        Zoo.names
+    in
+    let graph_diags = A.Lint.graphs named in
+    let corpus_diags, stats = A.Lint.corpus ~seed () in
+    let diags = graph_diags @ corpus_diags in
+    if json then print_endline (A.Diagnostic.report_to_json diags)
+    else begin
+      Fmt.pr "Linted %d graphs; audited %d lemmas (%d exercised, %d \
+              differential comparisons).@."
+        (List.length named) stats.A.Lemma_check.lemmas_audited
+        stats.A.Lemma_check.lemmas_exercised stats.A.Lemma_check.comparisons;
+      if stats.A.Lemma_check.unexercised <> [] then
+        Fmt.pr "Unexercised lemmas: %a@."
+          Fmt.(list ~sep:comma string)
+          stats.A.Lemma_check.unexercised;
+      Fmt.pr "%a@." A.Diagnostic.pp_report diags
+    end;
+    A.Lint.exit_code diags
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~doc:"Random seed for the differential lemma audit.")
+  in
+  let info =
+    Cmd.info "lint"
+      ~doc:
+        "Statically analyze the built-in model graphs and the lemma corpus: \
+         graph well-formedness, lemma structural checks and a differential \
+         soundness audit. Exits non-zero when any error-severity diagnostic \
+         is found."
+  in
+  Cmd.v info Term.(const run $ verbose $ json $ seed)
+
 let main =
   let info =
     Cmd.info "entangle" ~version:"1.0.0"
       ~doc:"Static refinement checking for distributed ML models."
   in
   Cmd.group info
-    [ verify_cmd; check_files_cmd; export_cmd; localize_cmd; list_cmd; lemmas_cmd ]
+    [
+      verify_cmd;
+      check_files_cmd;
+      export_cmd;
+      localize_cmd;
+      list_cmd;
+      lemmas_cmd;
+      lint_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,124 @@
+type severity = Error | Warning | Info
+
+type location =
+  | Graph of { graph : string; node : int option; tensor : string option }
+  | Lemma of { lemma : string; rule : int option; seed : int option }
+  | Eclass of int
+  | Egraph
+  | Corpus
+
+type t = {
+  severity : severity;
+  code : string;
+  loc : location;
+  message : string;
+}
+
+let make severity ~code loc message = { severity; code; loc; message }
+
+let error ~code loc fmt =
+  Fmt.kstr (fun message -> make Error ~code loc message) fmt
+
+let warning ~code loc fmt =
+  Fmt.kstr (fun message -> make Warning ~code loc message) fmt
+
+let info ~code loc fmt =
+  Fmt.kstr (fun message -> make Info ~code loc message) fmt
+
+let is_error d = d.severity = Error
+let count_errors ds = List.length (List.filter is_error ds)
+
+let count_warnings ds =
+  List.length (List.filter (fun d -> d.severity = Warning) ds)
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let sort ds =
+  List.stable_sort
+    (fun a b -> compare (severity_rank a.severity) (severity_rank b.severity))
+    ds
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pp_location ppf = function
+  | Graph { graph; node; tensor } ->
+      Fmt.pf ppf "graph %s" graph;
+      Option.iter (Fmt.pf ppf "/node %d") node;
+      Option.iter (Fmt.pf ppf "/tensor %s") tensor
+  | Lemma { lemma; rule; seed } ->
+      Fmt.pf ppf "lemma %s" lemma;
+      Option.iter (Fmt.pf ppf "/rule %d") rule;
+      Option.iter (Fmt.pf ppf " (seed %d)") seed
+  | Eclass id -> Fmt.pf ppf "e-class %d" id
+  | Egraph -> Fmt.string ppf "e-graph"
+  | Corpus -> Fmt.string ppf "lemma corpus"
+
+let pp ppf d =
+  Fmt.pf ppf "%s[%s] %a: %s"
+    (severity_to_string d.severity)
+    d.code pp_location d.loc d.message
+
+let pp_report ppf ds =
+  let ds = sort ds in
+  List.iter (fun d -> Fmt.pf ppf "%a@." pp d) ds;
+  Fmt.pf ppf "%d error(s), %d warning(s)" (count_errors ds)
+    (count_warnings ds)
+
+(* --- JSON (hand-rolled; the project carries no JSON dependency) ------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_opt_int name = function
+  | None -> ""
+  | Some i -> Printf.sprintf ", \"%s\": %d" name i
+
+let json_opt_str name = function
+  | None -> ""
+  | Some s -> Printf.sprintf ", \"%s\": %s" name (json_str s)
+
+let location_to_json = function
+  | Graph { graph; node; tensor } ->
+      Printf.sprintf "{\"kind\": \"graph\", \"graph\": %s%s%s}" (json_str graph)
+        (json_opt_int "node" node)
+        (json_opt_str "tensor" tensor)
+  | Lemma { lemma; rule; seed } ->
+      Printf.sprintf "{\"kind\": \"lemma\", \"lemma\": %s%s%s}" (json_str lemma)
+        (json_opt_int "rule" rule)
+        (json_opt_int "seed" seed)
+  | Eclass id -> Printf.sprintf "{\"kind\": \"eclass\", \"id\": %d}" id
+  | Egraph -> "{\"kind\": \"egraph\"}"
+  | Corpus -> "{\"kind\": \"corpus\"}"
+
+let to_json d =
+  Printf.sprintf
+    "{\"severity\": %s, \"code\": %s, \"location\": %s, \"message\": %s}"
+    (json_str (severity_to_string d.severity))
+    (json_str d.code)
+    (location_to_json d.loc)
+    (json_str d.message)
+
+let report_to_json ds =
+  let ds = sort ds in
+  Printf.sprintf
+    "{\"errors\": %d, \"warnings\": %d, \"diagnostics\": [%s]}"
+    (count_errors ds) (count_warnings ds)
+    (String.concat ", " (List.map to_json ds))

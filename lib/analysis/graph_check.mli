@@ -1,0 +1,32 @@
+(** Well-formedness analysis of computation graphs.
+
+    The refinement checker assumes its input graphs are in SSA-like
+    topological order with accurate per-tensor metadata; a malformed
+    graph silently poisons every verdict downstream. This pass re-checks
+    everything from first principles:
+
+    - [GRAPH001] a node input is neither a graph input nor produced by an
+      {e earlier} node (def-before-use / dangling reference);
+    - [GRAPH002] SSA discipline: duplicate node ids, or one tensor
+      produced by two nodes;
+    - [GRAPH003] the producer index disagrees with the node list;
+    - [GRAPH004] a cycle through producer references;
+    - [GRAPH005] dead node: output unreachable from the graph outputs
+      (warning);
+    - [GRAPH006] unused graph input (warning);
+    - [GRAPH007] stored output shape differs from re-running
+      [Op.infer_shape] on the node;
+    - [GRAPH008] stored output dtype differs from [Op.infer_dtype];
+    - [GRAPH009] a graph output is neither an input nor produced;
+    - [GRAPH010] operator arity violation;
+    - [GRAPH011] shape or dtype inference itself fails on a node. *)
+
+open Entangle_ir
+
+val check : Graph.t -> Diagnostic.t list
+(** All findings for one graph, errors first. *)
+
+val check_named : ?name:string -> Graph.t -> Diagnostic.t list
+(** Like {!check} but reported under the given display name instead of
+    the graph's own (distinguishes the sequential and distributed graph
+    of one model). *)

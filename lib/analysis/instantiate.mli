@@ -1,0 +1,33 @@
+(** Random concrete instantiation of rewrite patterns.
+
+    The differential lemma audit needs ground terms: every pattern
+    variable becomes a fresh concrete tensor and every operator-family
+    binder becomes a concrete operator with randomly sampled attributes.
+    Sampling is rejection-based — the caller retries until the
+    instantiated left-hand side passes shape {e and} dtype inference. *)
+
+open Entangle_ir
+open Entangle_egraph
+
+type assignment = {
+  ops : (string * Op.t) list;  (** binder name -> sampled operator *)
+  tensors : (string * Tensor.t) list;  (** variable name -> fresh tensor *)
+}
+
+val sample :
+  Random.State.t -> Pattern.t -> (Expr.t * assignment) option
+(** One attempt: sample an assignment for the pattern's binders and
+    variables, build the expression, and type-check it (shape and dtype
+    inference under an empty constraint store, so every dimension is
+    concrete). [None] when a family is unknown, the pattern contains a
+    class reference, or inference rejects the sampled term. *)
+
+val sample_retry :
+  ?attempts:int ->
+  Random.State.t ->
+  Pattern.t ->
+  (Expr.t * assignment) option
+(** Repeated {!sample} until success; [attempts] defaults to 40. *)
+
+val infer : Expr.t -> (Shape.t * Dtype.t, string) result
+(** Shape and dtype of a ground expression under no constraints. *)

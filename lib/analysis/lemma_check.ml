@@ -1,0 +1,275 @@
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_egraph
+open Entangle_lemmas
+
+type config = {
+  eval_seeds : int list;
+  attempts : int;
+  per_lemma_target : int;
+  tol : float;
+}
+
+let default_config =
+  { eval_seeds = [ 1; 2; 3 ]; attempts = 150; per_lemma_target = 3; tol = 1e-4 }
+
+type stats = {
+  lemmas_audited : int;
+  lemmas_exercised : int;
+  comparisons : int;
+  unexercised : string list;
+}
+
+let ( let* ) = Option.bind
+
+let all_some opts =
+  List.fold_right
+    (fun o acc ->
+      match (o, acc) with Some x, Some xs -> Some (x :: xs) | _ -> None)
+    opts (Some [])
+
+(* --- structural checks ------------------------------------------------- *)
+
+let rec pattern_equal a b =
+  match (a, b) with
+  | Pattern.V x, Pattern.V y -> String.equal x y
+  | Pattern.C i, Pattern.C j -> Id.equal i j
+  | Pattern.P (sa, xs), Pattern.P (sb, ys) ->
+      List.length xs = List.length ys
+      && List.for_all2 pattern_equal xs ys
+      && (match (sa, sb) with
+         | Pattern.Fixed oa, Pattern.Fixed ob -> Op.equal oa ob
+         | Pattern.Family fa, Pattern.Family fb ->
+             String.equal fa.family fb.family && String.equal fa.bind fb.bind
+         | Pattern.Bound na, Pattern.Bound nb -> String.equal na nb
+         | _ -> false)
+  | _ -> false
+
+let structural_lemma (l : Lemma.t) =
+  let loc ?rule () = Diagnostic.Lemma { lemma = l.name; rule; seed = None } in
+  let per_rule ri (r : Rule.t) =
+    let ds = ref [] in
+    (match r.lhs with
+    | Pattern.V _ | Pattern.C _ ->
+        ds :=
+          Diagnostic.error ~code:"LEMMA004" (loc ~rule:ri ())
+            "left-hand side is a bare variable: it matches every e-class"
+          :: !ds
+    | Pattern.P _ -> ());
+    (match r.applier with
+    | Rule.Syntactic rhs ->
+        let bound = Pattern.vars r.lhs in
+        let missing =
+          List.filter (fun x -> not (List.mem x bound)) (Pattern.vars rhs)
+        in
+        if missing <> [] then
+          ds :=
+            Diagnostic.error ~code:"LEMMA002" (loc ~rule:ri ())
+              "right-hand side uses variable(s) %s not bound on the left"
+              (String.concat ", " missing)
+            :: !ds;
+        if pattern_equal r.lhs rhs then
+          ds :=
+            Diagnostic.warning ~code:"LEMMA003" (loc ~rule:ri ())
+              "identity rule: both sides are the same pattern"
+            :: !ds
+    | Rule.Conditional _ -> ());
+    List.rev !ds
+  in
+  let rule_diags = List.concat (List.mapi per_rule l.rules) in
+  if l.rules = [] then
+    [
+      Diagnostic.error ~code:"LEMMA001" (loc ())
+        "lemma ships no rewrite rules";
+    ]
+  else rule_diags
+
+let structural lemmas = List.concat_map structural_lemma lemmas
+
+(* --- differential evaluation ------------------------------------------- *)
+
+(* Turn a (possibly rewritten) pattern back into a ground expression
+   under an e-matching substitution. The e-graph holds only the
+   instantiated left-hand side plus a few seeded context terms and no
+   unions have happened, so extraction per class is exact. *)
+let rec expr_of g subst = function
+  | Pattern.V x -> Option.bind (Subst.var_opt subst x) (Extract.best g)
+  | Pattern.C id -> Extract.best g id
+  | Pattern.P (sel, args) ->
+      let* op =
+        match sel with
+        | Pattern.Fixed op -> Some op
+        | Pattern.Family { bind; _ } | Pattern.Bound bind ->
+            Subst.op_opt subst bind
+      in
+      let* args = all_some (List.map (expr_of g subst) args) in
+      Some (Expr.app op args)
+
+(* Concrete size of one dimension of a ground expression. *)
+let concrete_dim expr d =
+  match Instantiate.infer expr with
+  | Ok (shape, _) when d < Shape.rank shape -> Symdim.to_int (Shape.dim shape d)
+  | _ -> None
+
+(* Conditioned lemmas of the "constrained" flavor (section 4.3.2) fire
+   only when helper terms already exist in the e-graph; a lone left-hand
+   side never triggers them. Seed the context they look for: the
+   complementary slice (for slices-cover) and every contiguous
+   sub-concat (for concat-group). *)
+let seed_context g expr =
+  match expr with
+  | Expr.App (((Op.Concat _ | Op.Sum_n) as op), args) when List.length args >= 3
+    ->
+      let n = List.length args in
+      let arr = Array.of_list args in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if j - i + 1 < n then
+            ignore
+              (Egraph.add_expr g
+                 (Expr.app op (Array.to_list (Array.sub arr i (j - i + 1)))))
+        done
+      done
+  | Expr.App (Op.Slice { dim; start; stop }, [ child ]) -> (
+      match (Symdim.to_int start, Symdim.to_int stop, concrete_dim child dim) with
+      | Some 0, Some stop, Some size when stop < size ->
+          ignore
+            (Egraph.add_expr g
+               (Expr.app
+                  (Op.Slice
+                     {
+                       dim;
+                       start = Symdim.of_int stop;
+                       stop = Symdim.of_int size;
+                     })
+                  [ child ]))
+      | _ -> ())
+  | _ -> ()
+
+let is_finite v = List.for_all Float.is_finite (Ndarray.to_flat_list v)
+
+(* Evaluate the two sides on shared random leaves. Float leaves are kept
+   positive and away from zero so [log]/[sqrt]/[div] stay finite; seeds
+   with a non-finite side are skipped rather than compared. *)
+let eval_pair data_seed ea eb =
+  let st = Random.State.make [| 0x5eed; data_seed |] in
+  let values = Hashtbl.create 8 in
+  let lookup tensor =
+    let key = (Tensor.id tensor :> int) in
+    match Hashtbl.find_opt values key with
+    | Some v -> v
+    | None ->
+        let dims = Shape.concrete (fun _ -> 0) (Tensor.shape tensor) in
+        let v =
+          if Dtype.is_integer (Tensor.dtype tensor) then
+            Ndarray.random_ints st ~hi:4 dims
+          else
+            Ndarray.map (fun x -> Float.abs x +. 0.125) (Ndarray.random st dims)
+        in
+        Hashtbl.replace values key v;
+        v
+  in
+  let env = Interp.env_of_list [] in
+  match
+    let va = Interp.eval_expr env lookup ea in
+    let vb = Interp.eval_expr env lookup eb in
+    Some (va, vb)
+  with
+  | Some (va, vb) when is_finite va && is_finite vb -> Some (va, vb)
+  | _ | (exception Invalid_argument _) | (exception Not_found) -> None
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let audit_lemma ?(config = default_config) st (l : Lemma.t) =
+  let diags = ref [] and compares = ref 0 in
+  (* One shot per rule is not enough: most appliers are guarded on
+     attributes (matching dims, zero starts, equal chunk shapes) that a
+     random instantiation only sometimes satisfies, and produce no
+     equation otherwise. Retry the whole sample-match-apply-evaluate
+     pipeline until the lemma has been compared often enough. *)
+  let one_try ri (r : Rule.t) =
+    match Instantiate.sample_retry ~attempts:5 st r.lhs with
+    | None -> ()
+    | Some (lhs_expr, _) ->
+        let g = Egraph.create () in
+        let root = Egraph.add_expr g lhs_expr in
+        seed_context g lhs_expr;
+        let matches = take 4 (Ematch.match_class g r.lhs root) in
+        List.iter
+          (fun subst ->
+            let equations =
+              match r.applier with
+              | Rule.Syntactic rhs -> [ (Pattern.c root, rhs) ]
+              | Rule.Conditional f -> (
+                  try f g root subst
+                  with Invalid_argument _ | Not_found | Failure _ -> [])
+            in
+            List.iter
+              (fun (lp, rp) ->
+                match (expr_of g subst lp, expr_of g subst rp) with
+                | Some el, Some er ->
+                    List.iter
+                      (fun data_seed ->
+                        match eval_pair data_seed el er with
+                        | None -> ()
+                        | Some (va, vb) ->
+                            incr compares;
+                            if
+                              not (Ndarray.approx_equal ~tol:config.tol va vb)
+                            then
+                              diags :=
+                                Diagnostic.error ~code:"LEMMA100"
+                                  (Diagnostic.Lemma
+                                     {
+                                       lemma = l.name;
+                                       rule = Some ri;
+                                       seed = Some data_seed;
+                                     })
+                                  "unsound rewrite (max deviation %g): %s  =/=  %s"
+                                  (Ndarray.max_abs_diff va vb)
+                                  (Expr.to_string el) (Expr.to_string er)
+                                :: !diags)
+                      config.eval_seeds
+                | _ -> ())
+              (take 4 equations))
+          matches
+  in
+  let tries = ref 0 in
+  while !compares < config.per_lemma_target && !tries < config.attempts do
+    incr tries;
+    List.iteri
+      (fun ri r -> if !compares < config.per_lemma_target then one_try ri r)
+      l.rules
+  done;
+  if !compares = 0 then
+    diags :=
+      Diagnostic.warning ~code:"LEMMA101"
+        (Diagnostic.Lemma { lemma = l.name; rule = None; seed = None })
+        "no sampled instantiation exercised this lemma; it was not \
+         differentially validated"
+      :: !diags;
+  (List.rev !diags, !compares)
+
+let audit ?(config = default_config) ~seed lemmas =
+  let st = Random.State.make [| 0xa0d17; seed |] in
+  let structural_diags = structural lemmas in
+  let diags = ref [] in
+  let lemmas_exercised = ref 0 and comparisons = ref 0 in
+  let unexercised = ref [] in
+  List.iter
+    (fun (l : Lemma.t) ->
+      let ds, n = audit_lemma ~config st l in
+      diags := ds :: !diags;
+      comparisons := !comparisons + n;
+      if n > 0 then incr lemmas_exercised
+      else unexercised := l.name :: !unexercised)
+    lemmas;
+  let stats =
+    {
+      lemmas_audited = List.length lemmas;
+      lemmas_exercised = !lemmas_exercised;
+      comparisons = !comparisons;
+      unexercised = List.rev !unexercised;
+    }
+  in
+  (structural_diags @ List.concat (List.rev !diags), stats)

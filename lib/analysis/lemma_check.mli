@@ -1,0 +1,56 @@
+(** Soundness audit of the rewrite-lemma corpus.
+
+    An unsound lemma makes the refinement checker accept buggy models,
+    silently. Two layers of defence:
+
+    {b Structural} checks per rule:
+    - [LEMMA001] a lemma ships no rules;
+    - [LEMMA002] a syntactic right-hand side uses variables the left-hand
+      side does not bind (instantiation would always fail);
+    - [LEMMA003] a syntactic identity rule (left = right), which burns
+      saturation iterations for nothing (warning);
+    - [LEMMA004] the left-hand side is a bare variable or class
+      reference, i.e. it matches every e-class.
+
+    {b Differential} evaluation per rule: the left-hand side is
+    instantiated with random concrete tensors ({!Instantiate}), the rule
+    is run through the real e-matching machinery against an e-graph
+    holding just that term, and every equation the rule emits is
+    evaluated on concrete data with the reference interpreter. Sides
+    that disagree beyond tolerance are reported as
+    - [LEMMA100] unsound rewrite, with the offending lemma, rule index,
+      random seed and the two expressions;
+    - [LEMMA101] (warning) a lemma that no sampled instantiation managed
+      to exercise — i.e. the audit proved nothing about it. *)
+
+open Entangle_lemmas
+
+type config = {
+  eval_seeds : int list;  (** data seeds per instantiated equation *)
+  attempts : int;
+      (** full sample-match-apply-evaluate rounds per lemma before the
+          audit gives up on exercising it *)
+  per_lemma_target : int;  (** stop a lemma's audit after this many comparisons *)
+  tol : float;  (** max elementwise deviation before a rewrite is unsound *)
+}
+
+val default_config : config
+
+type stats = {
+  lemmas_audited : int;
+  lemmas_exercised : int;  (** lemmas with at least one comparison *)
+  comparisons : int;  (** total differential evaluations *)
+  unexercised : string list;  (** lemmas with zero comparisons *)
+}
+
+val structural : Lemma.t list -> Diagnostic.t list
+
+val audit_lemma :
+  ?config:config -> Random.State.t -> Lemma.t -> Diagnostic.t list * int
+(** Differential audit of one lemma; also returns the number of
+    comparisons performed. *)
+
+val audit :
+  ?config:config -> seed:int -> Lemma.t list -> Diagnostic.t list * stats
+(** Structural plus differential audit of a corpus, deterministically
+    seeded. *)

@@ -1,0 +1,20 @@
+open Entangle_lemmas
+
+let graphs named =
+  Diagnostic.sort
+    (List.concat_map
+       (fun (name, g) -> Graph_check.check_named ~name g)
+       named)
+
+let corpus ?config ~seed () =
+  let dup_diags =
+    List.map
+      (fun name ->
+        Diagnostic.warning ~code:"LEMMA005" Diagnostic.Corpus
+          "duplicate lemma name %S: only the first definition is kept" name)
+      Registry.duplicates
+  in
+  let diags, stats = Lemma_check.audit ?config ~seed Registry.all in
+  (Diagnostic.sort (dup_diags @ diags), stats)
+
+let exit_code ds = if Diagnostic.count_errors ds > 0 then 1 else 0

@@ -1,0 +1,23 @@
+(** Top-level lint driver: composes the per-artifact passes and owns the
+    exit-code policy used by [entangle_cli lint] and the [@lint] alias.
+
+    The caller supplies the graphs (the zoo lives above this library in
+    the dependency order); the lemma corpus is taken from
+    {!Entangle_lemmas.Registry} directly. A [LEMMA005] warning is
+    emitted per duplicated lemma name the registry deduplicated away. *)
+
+open Entangle_ir
+
+val graphs : (string * Graph.t) list -> Diagnostic.t list
+(** Well-formedness of every named graph ({!Graph_check}). *)
+
+val corpus :
+  ?config:Lemma_check.config ->
+  seed:int ->
+  unit ->
+  Diagnostic.t list * Lemma_check.stats
+(** Structural + differential audit of [Registry.all], plus duplicate
+    lemma names from [Registry.duplicates]. *)
+
+val exit_code : Diagnostic.t list -> int
+(** [0] when no diagnostic has error severity, [1] otherwise. *)

@@ -5,6 +5,8 @@ type t = {
   prune_equivalent : bool;
   max_alternates : int;
   limits : Runner.limits;
+  lint_graphs : bool;
+  check_egraph_invariants : bool;
 }
 
 let default =
@@ -13,6 +15,8 @@ let default =
     prune_equivalent = true;
     max_alternates = 4;
     limits = Runner.default_limits;
+    lint_graphs = true;
+    check_egraph_invariants = false;
   }
 
 let no_frontier = { default with frontier_optimization = false }

@@ -16,6 +16,14 @@ type t = {
       (** Maximum number of alternative mappings recorded per tensor
           when pruning is off. *)
   limits : Runner.limits;  (** saturation budget per operator *)
+  lint_graphs : bool;
+      (** Run the {!Entangle_analysis.Graph_check} well-formedness pass
+          over both graphs before checking; [Refine.check] raises
+          [Invalid_argument] with the rendered diagnostics when either
+          graph is malformed. On by default. *)
+  check_egraph_invariants : bool;
+      (** Audit e-graph invariants ({!Entangle_analysis.Egraph_check})
+          after every saturation iteration. Expensive; debug only. *)
 }
 
 val default : t

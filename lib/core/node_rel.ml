@@ -70,10 +70,18 @@ let compute ~config ?hit_counter ~rules ~gs ~gd ~relation v =
       let round_limits =
         { limits with Runner.max_iterations = 1 }
       in
+      let invariant_check =
+        if config.Config.check_egraph_invariants then
+          Some Entangle_analysis.Egraph_check.runner_hook
+        else None
+      in
       let rounds_used = ref 0 in
       let one_round () =
         incr rounds_used;
-        let report = Runner.run ~limits:round_limits ?hit_counter g rules in
+        let report =
+          Runner.run ~limits:round_limits ?invariant_check ?hit_counter g
+            rules
+        in
         reports := report :: !reports;
         report
       in

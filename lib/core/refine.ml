@@ -27,6 +27,20 @@ let check ?(config = Config.default) ?rules ?hit_counter ~gs ~gd
     ~input_relation () =
   if not (Relation.is_clean input_relation) then
     invalid_arg "Refine.check: input relation contains non-clean expressions";
+  if config.Config.lint_graphs then begin
+    let module A = Entangle_analysis in
+    let lint which g =
+      let errors =
+        List.filter A.Diagnostic.is_error (A.Graph_check.check g)
+      in
+      if errors <> [] then
+        invalid_arg
+          (Fmt.str "Refine.check: %s graph %s is malformed:@.%a" which
+             (Graph.name g) A.Diagnostic.pp_report errors)
+    in
+    lint "sequential" gs;
+    lint "distributed" gd
+  end;
   let rules =
     match rules with
     | Some r -> r

@@ -186,6 +186,13 @@ let iter_nodes t f =
       List.iter (fun n -> f id (canonicalize t n)) cls.nodes)
     t.classes
 
+module Debug = struct
+  let memo_entries t = Enode.Tbl.fold (fun n id acc -> (n, id) :: acc) t.memo []
+  let pending_count t = List.length t.pending
+  let uf_size t = Union_find.size t.uf
+  let uf_check_acyclic t = Union_find.check_acyclic t.uf
+end
+
 let pp ppf t =
   Id.Tbl.iter
     (fun id cls ->

@@ -64,3 +64,19 @@ val iter_nodes : t -> (Id.t -> Enode.t -> unit) -> unit
     optimization of section 4.3.2). *)
 
 val pp : t Fmt.t
+
+(** {1 Introspection for invariant checking}
+
+    Raw views of internal state consumed by the static-analysis pass
+    ([Entangle_analysis.Egraph_check]); not meant for normal clients. *)
+module Debug : sig
+  val memo_entries : t -> (Enode.t * Id.t) list
+  (** Every hashcons entry (node key, class id) as stored — keys and
+      values are {e not} canonicalized, so staleness is observable. *)
+
+  val pending_count : t -> int
+  (** Unions recorded since the last {!rebuild}. *)
+
+  val uf_size : t -> int
+  val uf_check_acyclic : t -> (unit, Id.t) result
+end

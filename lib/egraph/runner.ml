@@ -56,7 +56,7 @@ let root_family (rule : Rule.t) =
   | Pattern.P (Pattern.Family { family; _ }, _) -> Some family
   | Pattern.P (Pattern.Bound _, _) | Pattern.V _ | Pattern.C _ -> None
 
-let run ?(limits = default_limits) ?hit_counter g rules =
+let run ?(limits = default_limits) ?hit_counter ?invariant_check g rules =
   let counter =
     match hit_counter with Some c -> c | None -> Hashtbl.create 16
   in
@@ -138,6 +138,7 @@ let run ?(limits = default_limits) ?hit_counter g rules =
       in
       let total_matches = !total_matches in
       Egraph.rebuild g;
+      (match invariant_check with Some f -> f g | None -> ());
       Log.debug (fun m ->
           m "iteration %d: %d matches, %d unions, %d nodes, %d classes" iter
             total_matches total_hits (Egraph.num_nodes g)

@@ -22,9 +22,16 @@ type report = {
 val run :
   ?limits:limits ->
   ?hit_counter:(string, int) Hashtbl.t ->
+  ?invariant_check:(Egraph.t -> unit) ->
   Egraph.t ->
   Rule.t list ->
   report
 (** [hit_counter] accumulates, per rule name, the number of applications
     that merged classes; pass the same table across runs to aggregate
-    counts over a whole verification. *)
+    counts over a whole verification.
+
+    [invariant_check] is a debug hook invoked on the e-graph after every
+    {!Egraph.rebuild} (i.e. once per iteration, when the congruence
+    invariant is supposed to hold). The static-analysis subsystem
+    provides one that raises on any violated e-graph invariant
+    ([Entangle_analysis.Egraph_check.runner_hook]). *)

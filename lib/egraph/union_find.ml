@@ -46,3 +46,22 @@ let union t a b =
   end
 
 let size t = t.len
+
+let parent t i = Id.of_int t.parent.(Id.to_int i)
+
+let check_acyclic t =
+  let ok = ref (Ok ()) in
+  (try
+     for i = 0 to t.len - 1 do
+       let steps = ref 0 and j = ref i in
+       while t.parent.(!j) <> !j do
+         incr steps;
+         if !steps > t.len then begin
+           ok := Error (Id.of_int i);
+           raise Exit
+         end;
+         j := t.parent.(!j)
+       done
+     done
+   with Exit -> ());
+  !ok

@@ -14,3 +14,12 @@ val union : t -> Id.t -> Id.t -> Id.t
 
 val size : t -> int
 (** Number of ids allocated so far. *)
+
+val parent : t -> Id.t -> Id.t
+(** Raw parent pointer (no path compression); equals the argument at a
+    root. For invariant checking only. *)
+
+val check_acyclic : t -> (unit, Id.t) result
+(** Walk every parent chain without path compression; [Error id] names
+    an id whose chain does not reach a root within [size t] steps (a
+    corrupted, cyclic forest). *)

@@ -7,7 +7,29 @@ type t = {
   nodes : Node.t list;
   constraints : Constraint_store.t;
   producers : Node.t Tensor.Map.t;
+  consumers : Node.t list Tensor.Map.t;  (* graph order, one entry per use site *)
 }
+
+(* The consumers index, rebuilt whenever the node list changes. A node
+   using the same tensor twice appears once. *)
+let consumers_of_nodes nodes =
+  let add_use map t n =
+    let prev = Option.value (Tensor.Map.find_opt t map) ~default:[] in
+    Tensor.Map.add t (n :: prev) map
+  in
+  let map =
+    List.fold_left
+      (fun map n ->
+        let distinct =
+          List.fold_left
+            (fun acc t ->
+              if List.exists (Tensor.equal t) acc then acc else t :: acc)
+            [] (Node.inputs n)
+        in
+        List.fold_left (fun map t -> add_use map t n) map distinct)
+      Tensor.Map.empty nodes
+  in
+  Tensor.Map.map List.rev map
 
 let name g = g.name
 let inputs g = g.inputs
@@ -27,7 +49,7 @@ let tensors g =
 let producer g t = Tensor.Map.find_opt t g.producers
 
 let consumers g t =
-  List.filter (fun n -> List.exists (Tensor.equal t) (Node.inputs n)) g.nodes
+  Option.value (Tensor.Map.find_opt t g.consumers) ~default:[]
 
 let is_input g t = List.exists (Tensor.equal t) g.inputs
 let is_output g t = List.exists (Tensor.equal t) g.outputs
@@ -71,7 +93,10 @@ let append_expr g ?(name = "%expect") expr =
             output )
   in
   let* g, t = build g expr in
-  Ok ({ g with outputs = g.outputs @ [ t ] }, t)
+  Ok
+    ( { g with outputs = g.outputs @ [ t ];
+        consumers = consumers_of_nodes g.nodes },
+      t )
 
 let with_outputs g outputs =
   let bad = List.filter (fun t -> not (mem_tensor g t)) outputs in
@@ -193,12 +218,31 @@ module Builder = struct
     b.b_outputs <- b.b_outputs @ [ t ]
 
   let finish b =
+    let nodes = List.rev b.b_nodes in
     {
       name = b.b_name;
       inputs = b.b_inputs;
       outputs = b.b_outputs;
-      nodes = List.rev b.b_nodes;
+      nodes;
       constraints = b.b_constraints;
       producers = b.b_producers;
+      consumers = consumers_of_nodes nodes;
     }
 end
+
+let unsafe_make ?(constraints = Constraint_store.empty) ~name ~inputs ~outputs
+    nodes =
+  let producers =
+    List.fold_left
+      (fun map n -> Tensor.Map.add (Node.output n) n map)
+      Tensor.Map.empty nodes
+  in
+  {
+    name;
+    inputs;
+    outputs;
+    nodes;
+    constraints;
+    producers;
+    consumers = consumers_of_nodes nodes;
+  }

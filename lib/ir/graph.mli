@@ -24,6 +24,10 @@ val producer : t -> Tensor.t -> Node.t option
 (** The node producing a tensor; [None] for graph inputs. *)
 
 val consumers : t -> Tensor.t -> Node.t list
+(** Nodes using a tensor as an input, in graph order. Backed by an index
+    precomputed at construction time — O(log n) per query, not a scan of
+    the node list. *)
+
 val is_input : t -> Tensor.t -> bool
 val is_output : t -> Tensor.t -> bool
 val mem_tensor : t -> Tensor.t -> bool
@@ -40,6 +44,20 @@ val with_outputs : t -> Tensor.t list -> (t, string) result
 val validate : t -> (unit, string) result
 (** Re-run shape and dtype inference on every node and check that graph
     outputs are produced or are inputs. *)
+
+val unsafe_make :
+  ?constraints:Constraint_store.t ->
+  name:string ->
+  inputs:Tensor.t list ->
+  outputs:Tensor.t list ->
+  Node.t list ->
+  t
+(** Assemble a graph from raw parts {e without} any well-formedness
+    checking: the node list is taken as given (even if out of order,
+    cyclic through producer references, or carrying stale tensor
+    metadata). Exists so the static-analysis test fixtures can build
+    deliberately malformed graphs; everything else should go through
+    {!Builder}. *)
 
 val pp : t Fmt.t
 

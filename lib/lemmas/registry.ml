@@ -1,10 +1,36 @@
 type model_family = Gpt | Llama | Qwen2 | Bytedance | Regression
 
-let aten =
+(* Concatenating corpora must tolerate a lemma name appearing in more
+   than one file (e.g. a dialect corpus re-shipping an ATen lemma):
+   [find]/[id_of] would silently resolve to whichever copy came first
+   while saturation ran both. Deduplicate on name, keeping the first
+   occurrence, and remember what was dropped so the lint pass can report
+   it. *)
+let dedup lemmas =
+  let seen = Hashtbl.create 64 in
+  let dropped = ref [] in
+  let kept =
+    List.filter
+      (fun (l : Lemma.t) ->
+        if Hashtbl.mem seen l.name then begin
+          dropped := l.name :: !dropped;
+          false
+        end
+        else begin
+          Hashtbl.replace seen l.name ();
+          true
+        end)
+      lemmas
+  in
+  (kept, List.rev !dropped)
+
+let aten_raw =
   Aten_rearrange.lemmas @ Aten_linalg.lemmas @ Aten_ewise.lemmas
   @ Aten_reduce.lemmas @ Aten_nn.lemmas @ Collective.lemmas
 
-let all = aten @ Vllm.lemmas @ Hlo.lemmas
+let all_raw = aten_raw @ Vllm.lemmas @ Hlo.lemmas
+let aten = fst (dedup aten_raw)
+let all, duplicates = dedup all_raw
 
 let find name = List.find_opt (fun (l : Lemma.t) -> String.equal l.name name) all
 
@@ -16,10 +42,13 @@ let id_of name =
   in
   go 0 all
 
-let for_model = function
-  | Gpt | Bytedance | Regression -> aten
-  | Qwen2 -> aten @ Vllm.lemmas
-  | Llama -> aten @ Hlo.lemmas
+let for_model family =
+  fst
+    (dedup
+       (match family with
+       | Gpt | Bytedance | Regression -> aten
+       | Qwen2 -> aten @ Vllm.lemmas
+       | Llama -> aten @ Hlo.lemmas))
 
 let rules_for_model family = Lemma.rules (for_model family)
 

@@ -14,6 +14,12 @@ val find : string -> Lemma.t option
 val id_of : string -> int option
 (** Index of a lemma name in {!all}. *)
 
+val duplicates : string list
+(** Lemma names that appeared more than once when concatenating the
+    corpora (one entry per dropped copy). {!all} keeps only the first
+    occurrence of each name, so [find] and [id_of] are unambiguous; a
+    non-empty list here is reported by [entangle_cli lint]. *)
+
 val for_model : model_family -> Lemma.t list
 (** ATen corpus plus any vLLM / HLO lemmas the model family needs. *)
 
