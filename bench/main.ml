@@ -234,26 +234,222 @@ let table3 () =
 
 (* --- Ablation ---------------------------------------------------------- *)
 
+let result_stats = function
+  | Ok (s : Entangle.Refine.success) -> s.stats
+  | Error (f : Entangle.Refine.failure) -> f.stats
+
+let verdict_str = function Ok _ -> "refines" | Error _ -> "FAILED"
+
+(* The saturation-runner configurations the scheduler ablation compares.
+   "simple" is the pre-backoff runner (full re-match of every rule every
+   iteration); the two intermediate rows isolate each half of the
+   optimization. *)
+let scheduler_configs =
+  [
+    ("incremental+backoff", Entangle.Config.default);
+    ("backoff only", Entangle.Config.{ default with incremental_matching = false });
+    ("incremental only", Entangle.Config.{ default with scheduler = Entangle_egraph.Runner.Simple });
+    ("simple", Entangle.Config.simple_runner);
+  ]
+
+(* Hand-rolled JSON emission: the harness deliberately has no JSON
+   dependency, and the schema (documented in DESIGN.md) is flat. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_record ?name inst config_name secs result =
+  let s = result_stats result in
+  Fmt.str
+    "{\"model\": %S, \"config\": %S, \"time_s\": %.4f, \"verdict\": %S, \
+     \"operators\": %d, \"iterations\": %d, \"matches\": %d, \"unions\": \
+     %d, \"nodes_peak\": %d, \"classes_peak\": %d}"
+    (json_escape (Option.value name ~default:inst.Instance.name))
+    (json_escape config_name)
+    secs (verdict_str result)
+    (Instance.operator_count inst)
+    s.Entangle.Refine.saturation_iterations s.Entangle.Refine.matches_examined
+    s.Entangle.Refine.unions_applied s.Entangle.Refine.egraph_nodes_peak
+    s.Entangle.Refine.egraph_classes_peak
+
+let bench_egraph_json = "BENCH_egraph.json"
+
 let ablation () =
   section "Ablation: the optimizations of section 4.3";
   let build () = Gpt.build ~layers:1 ~degree:2 ~heads:4 () in
-  Fmt.pr "%-22s %10s %16s %s@." "configuration" "time (s)" "peak e-graph"
-    "verdict";
+  Fmt.pr "%-22s %10s %16s %10s %s@." "configuration" "time (s)"
+    "peak e-graph" "matches" "verdict";
   List.iter
     (fun (name, config) ->
       let inst = build () in
       let secs, result = time_check ~config inst in
-      let peak, verdict =
-        match result with
-        | Ok s -> (s.stats.egraph_nodes_peak, "refines")
-        | Error f -> (f.stats.egraph_nodes_peak, "FAILED")
+      let s = result_stats result in
+      Fmt.pr "%-22s %10.2f %16d %10d %s@." name secs
+        s.Entangle.Refine.egraph_nodes_peak
+        s.Entangle.Refine.matches_examined (verdict_str result))
+    ([
+       ("default", Entangle.Config.default);
+       ("no frontier (4.3.1)", Entangle.Config.no_frontier);
+       ("no pruning (4.3.2)", Entangle.Config.no_pruning);
+     ]
+    @ List.tl scheduler_configs);
+  let json_records = ref [] in
+  let push r = json_records := r :: !json_records in
+
+  section "Scheduler ablation: verdict equivalence across the zoo";
+  Fmt.pr "%-18s %12s %12s %10s %10s %s@." "instance" "simple" "incr+backoff"
+    "matches" "matches" "agree";
+  let zoo_agree = ref true in
+  List.iter
+    (fun name ->
+      match Zoo.by_name name with
+      | None -> ()
+      | Some _ ->
+          let run config_name config =
+            let inst = Option.get (Zoo.by_name name) in
+            let secs, result = time_check ~config inst in
+            push (json_record inst config_name secs result);
+            result
+          in
+          let simple = run "simple" Entangle.Config.simple_runner in
+          let incr = run "incremental_backoff" Entangle.Config.default in
+          let agree = verdict_str simple = verdict_str incr in
+          if not agree then zoo_agree := false;
+          Fmt.pr "%-18s %12s %12s %10d %10d %s@." name (verdict_str simple)
+            (verdict_str incr)
+            (result_stats simple).Entangle.Refine.matches_examined
+            (result_stats incr).Entangle.Refine.matches_examined
+            (if agree then "yes" else "NO"))
+    Zoo.names;
+
+  section
+    "Figure-4 scaling sweep: matches examined, simple vs incremental+backoff";
+  Fmt.pr "%-14s %12s %14s %8s %s@." "GPT cell" "simple" "incr+backoff"
+    "ratio" "verdicts";
+  let total_simple = ref 0 and total_incr = ref 0 in
+  let sweep_agree = ref true in
+  List.iter
+    (fun (layers, degree) ->
+      let cell = Fmt.str "gpt-d%dl%d" degree layers in
+      let run config_name config =
+        let inst = Gpt.build ~layers ~degree ~heads:8 () in
+        let secs, result = time_check ~config inst in
+        push (json_record ~name:cell inst config_name secs result);
+        result
       in
-      Fmt.pr "%-22s %10.2f %16d %s@." name secs peak verdict)
-    [
-      ("default", Entangle.Config.default);
-      ("no frontier (4.3.1)", Entangle.Config.no_frontier);
-      ("no pruning (4.3.2)", Entangle.Config.no_pruning);
-    ]
+      let simple = run "simple" Entangle.Config.simple_runner in
+      let incr = run "incremental_backoff" Entangle.Config.default in
+      let ms = (result_stats simple).Entangle.Refine.matches_examined in
+      let mi = (result_stats incr).Entangle.Refine.matches_examined in
+      total_simple := !total_simple + ms;
+      total_incr := !total_incr + mi;
+      let agree = verdict_str simple = verdict_str incr in
+      if not agree then sweep_agree := false;
+      Fmt.pr "%-14s %12d %14d %7.2fx %s@." cell ms mi
+        (float_of_int ms /. float_of_int (max 1 mi))
+        (if agree then "agree" else "DISAGREE"))
+    (List.concat_map
+       (fun layers -> List.map (fun degree -> (layers, degree)) [ 2; 4; 8 ])
+       [ 1; 2; 4 ]);
+  let ratio = float_of_int !total_simple /. float_of_int (max 1 !total_incr) in
+  Fmt.pr "%-14s %12d %14d %7.2fx@." "total" !total_simple !total_incr ratio;
+  Fmt.pr "@.verdict equivalence: %s;  match reduction: %.2fx (target >= 2x: %s)@."
+    (if !zoo_agree && !sweep_agree then "every instance agrees"
+     else "DISAGREEMENT — see tables above")
+    ratio
+    (if ratio >= 2.0 then "met" else "NOT met");
+
+  let oc = open_out bench_egraph_json in
+  let records = List.rev !json_records in
+  Printf.fprintf oc "{\n  \"schema\": \"entangle-bench-egraph/1\",\n";
+  Printf.fprintf oc "  \"sweep_total_matches_simple\": %d,\n" !total_simple;
+  Printf.fprintf oc "  \"sweep_total_matches_incremental\": %d,\n" !total_incr;
+  Printf.fprintf oc "  \"sweep_match_reduction\": %.4f,\n" ratio;
+  Printf.fprintf oc "  \"all_verdicts_agree\": %b,\n"
+    (!zoo_agree && !sweep_agree);
+  Printf.fprintf oc "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "    %s%s\n" r
+        (if i = List.length records - 1 then "" else ","))
+    records;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Fmt.pr "wrote %s (%d runs)@." bench_egraph_json (List.length records)
+
+(* --- Smoke: scheduler verdict equivalence as a build gate --------------- *)
+
+(* Fast enough for the @bench-smoke dune alias: the regression model and
+   one bug case under every scheduler configuration. Exits non-zero when
+   any configuration changes a verdict, so `dune build @bench-smoke`
+   fails if a scheduler change breaks soundness or completeness. *)
+let smoke () =
+  section "Bench smoke: scheduler verdict equivalence";
+  let failures = ref 0 in
+  let expect name config_name expected actual =
+    let ok = String.equal actual expected in
+    if not ok then incr failures;
+    Fmt.pr "%-16s %-20s %-10s (expected %s)  %s@." name config_name actual
+      expected
+      (if ok then "ok" else "FAIL")
+  in
+  List.iter
+    (fun (config_name, config) ->
+      expect "regression" config_name "refines"
+        (verdict_str (Instance.check ~config (Regression.build ())));
+      expect "bug-6" config_name "detected"
+        (match Bugs.run ~config (Bugs.case 6) with
+        | Bugs.Detected _ -> "detected"
+        | Bugs.Missed -> "MISSED"))
+    scheduler_configs;
+  if !failures > 0 then begin
+    Fmt.epr "bench smoke: %d verdict change(s)@." !failures;
+    exit 1
+  end;
+  Fmt.pr "all verdicts stable@."
+
+(* --- Counter micro-benchmark ------------------------------------------- *)
+
+(* Satellite check for the O(1) cached node counter: time [num_nodes]
+   (cached) against [Debug.recompute_num_nodes] (O(graph)) on a
+   saturated GPT e-graph, and verify they agree. *)
+let counters () =
+  section "Micro-benchmark: cached num_nodes vs recomputation";
+  let module E = Entangle_egraph.Egraph in
+  let g = E.create () in
+  (* Populate with a few thousand nodes: a deep chain of sums. *)
+  let sd = Entangle_symbolic.Symdim.of_int in
+  let x = E.add_leaf g (Entangle_ir.Tensor.create ~name:"x" [ sd 4; sd 4 ]) in
+  let acc = ref x in
+  for _ = 1 to 3000 do
+    acc := E.add_op g Entangle_ir.Op.Add [ !acc; x ]
+  done;
+  E.rebuild g;
+  let time_loop f =
+    let t0 = Unix.gettimeofday () in
+    let r = ref 0 in
+    for _ = 1 to 10_000 do
+      r := f g
+    done;
+    (Unix.gettimeofday () -. t0, !r)
+  in
+  let cached_t, cached = time_loop E.num_nodes in
+  let recomputed_t, recomputed = time_loop E.Debug.recompute_num_nodes in
+  Fmt.pr "%-28s %12.6f s  (10k calls, %d nodes)@." "cached num_nodes"
+    cached_t cached;
+  Fmt.pr "%-28s %12.6f s  (10k calls, %d nodes)@." "recompute_num_nodes"
+    recomputed_t recomputed;
+  Fmt.pr "agreement: %s;  speedup: %.0fx@."
+    (if cached = recomputed then "exact" else "MISMATCH")
+    (recomputed_t /. Float.max 1e-9 cached_t);
+  if cached <> recomputed then exit 1
 
 (* --- Extensions beyond the paper's evaluation --------------------------- *)
 
@@ -334,6 +530,8 @@ let () =
       ("table3", table3);
       ("ablation", ablation);
       ("extensions", extensions);
+      ("smoke", smoke);
+      ("counters", counters);
       ("perf", perf);
     ]
   in

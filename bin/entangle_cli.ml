@@ -12,9 +12,9 @@ let verbose =
   let doc = "Print equality-saturation debug output." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
-let check_instance inst =
+let check_instance ?config inst =
   Fmt.pr "Checking %a@." Instance.pp inst;
-  match Instance.check inst with
+  match Instance.check ?config inst with
   | Ok success ->
       Fmt.pr "%a@." (Entangle.Report.pp_success inst.Instance.gs) success;
       (match
@@ -48,9 +48,41 @@ let degree_arg =
 let layers_arg =
   Arg.(value & opt int 1 & info [ "l"; "layers" ] ~doc:"Number of layers.")
 
+let scheduler_arg =
+  let sched =
+    Arg.enum
+      [
+        ("backoff", Entangle_egraph.Runner.Backoff);
+        ("simple", Entangle_egraph.Runner.Simple);
+      ]
+  in
+  Arg.(
+    value
+    & opt sched Entangle.Config.default.Entangle.Config.scheduler
+    & info [ "scheduler" ]
+        ~doc:
+          "Saturation rule scheduler: $(b,backoff) (egg-style match-budget \
+           bans, the default) or $(b,simple) (every rule every iteration).")
+
+let full_match_arg =
+  Arg.(
+    value & flag
+    & info [ "full-match" ]
+        ~doc:
+          "Disable incremental e-matching: re-match every rule against \
+           every candidate class each iteration instead of only classes \
+           modified since the rule's last search.")
+
 let verify_cmd =
-  let run verbose model degree layers =
+  let run verbose model degree layers scheduler full_match =
     setup_logs verbose;
+    let config =
+      {
+        Entangle.Config.default with
+        Entangle.Config.scheduler;
+        incremental_matching = not full_match;
+      }
+    in
     let inst =
       match String.lowercase_ascii model with
       | "gpt" -> Some (Gpt.build ~layers ~degree ())
@@ -66,7 +98,7 @@ let verify_cmd =
       | _ -> None
     in
     match inst with
-    | Some inst -> check_instance inst
+    | Some inst -> check_instance ~config inst
     | None ->
         Fmt.epr "unknown model %s; try: %a@." model
           Fmt.(list ~sep:comma string)
@@ -76,7 +108,10 @@ let verify_cmd =
   let info =
     Cmd.info "verify" ~doc:"Check that a distributed model refines its spec."
   in
-  Cmd.v info Term.(const run $ verbose $ model_arg $ degree_arg $ layers_arg)
+  Cmd.v info
+    Term.(
+      const run $ verbose $ model_arg $ degree_arg $ layers_arg
+      $ scheduler_arg $ full_match_arg)
 
 (* --- localize ----------------------------------------------------------- *)
 

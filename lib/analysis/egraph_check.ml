@@ -140,6 +140,75 @@ let check g =
                               else " (equality unprovable)")))
                 (Egraph.nodes_of g id))
         class_ids;
+      (* Union-time shape conflicts: [Egraph.union] keeps the winner's
+         shape when both classes carry one, but records the dropped
+         disagreement. Severity mirrors EGRAPH006: an error only when
+         both shapes are concrete (a provable contradiction in the
+         equality being asserted); a warning when symbolic dimensions
+         make the disagreement unprovable. *)
+      List.iter
+        (fun (id, kept, dropped) ->
+          let concrete = shape_is_concrete kept && shape_is_concrete dropped in
+          let mk = if concrete then Diagnostic.error else Diagnostic.warning in
+          emit
+            (mk ~code:"EGRAPH007"
+               (Diagnostic.Eclass (Id.to_int (Egraph.find g id)))
+               "union merged classes with disagreeing shapes: kept %s, \
+                dropped %s%s"
+               (Shape.to_string kept) (Shape.to_string dropped)
+               (if concrete then "" else " (equality unprovable)")))
+        (Egraph.Debug.shape_conflicts g);
+      (* Cached node counter vs. ground truth. *)
+      let recomputed = Egraph.Debug.recompute_num_nodes g in
+      if Egraph.num_nodes g <> recomputed then
+        emit
+          (Diagnostic.error ~code:"EGRAPH008" Diagnostic.Egraph
+             "cached num_nodes = %d but recounting the class node lists \
+              gives %d"
+             (Egraph.num_nodes g) recomputed);
+      (* Operator-family index: complete (every class listed under every
+         family it contains) and sound after compaction (no family
+         claims a class with no node of that family). Raw entries may
+         hold stale non-canonical ids from absorbed classes — those are
+         compacted lazily on query, so completeness is checked through
+         the querying API and soundness only over live canonical ids. *)
+      let class_families id =
+        List.fold_left
+          (fun acc node ->
+            match Enode.sym node with
+            | Enode.Op op ->
+                let f = Op.name op in
+                if List.mem f acc then acc else f :: acc
+            | Enode.Leaf _ -> acc)
+          [] (Egraph.nodes_of g id)
+      in
+      List.iter
+        (fun id ->
+          List.iter
+            (fun f ->
+              if not (List.exists (Id.equal id) (Egraph.classes_with_family g f))
+              then
+                emit
+                  (Diagnostic.error ~code:"EGRAPH009"
+                     (Diagnostic.Eclass (Id.to_int id))
+                     "family index is missing class %d under family %S"
+                     (Id.to_int id) f))
+            (class_families id))
+        class_ids;
+      List.iter
+        (fun (f, ids) ->
+          List.iter
+            (fun id ->
+              if Id.equal (Egraph.find g id) id && not (List.mem f (class_families id))
+              then
+                emit
+                  (Diagnostic.error ~code:"EGRAPH009"
+                     (Diagnostic.Eclass (Id.to_int id))
+                     "family index lists class %d under family %S but the \
+                      class has no such node"
+                     (Id.to_int id) f))
+            ids)
+        (Egraph.Debug.family_entries g);
       Diagnostic.sort (List.rev !diags)
 
 exception Violation of Diagnostic.t list

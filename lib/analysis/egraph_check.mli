@@ -14,7 +14,14 @@
       same canonical node;
     - [EGRAPH006] shape-analysis disagreement inside a class — an error
       when the shapes are concrete and provably different, a warning
-      when equality is merely unprovable. *)
+      when equality is merely unprovable;
+    - [EGRAPH007] a union merged two classes whose shapes provably
+      disagreed ({!Egraph.Debug.shape_conflicts}); severity as for
+      EGRAPH006;
+    - [EGRAPH008] the cached O(1) {!Egraph.num_nodes} counter disagrees
+      with an O(graph) recount;
+    - [EGRAPH009] the incrementally maintained operator-family index is
+      incomplete or, over canonical ids, unsound. *)
 
 open Entangle_egraph
 

@@ -7,6 +7,8 @@ type t = {
   limits : Runner.limits;
   lint_graphs : bool;
   check_egraph_invariants : bool;
+  scheduler : Runner.scheduler_kind;
+  incremental_matching : bool;
 }
 
 let default =
@@ -17,7 +19,12 @@ let default =
     limits = Runner.default_limits;
     lint_graphs = true;
     check_egraph_invariants = false;
+    scheduler = Runner.Backoff;
+    incremental_matching = true;
   }
 
 let no_frontier = { default with frontier_optimization = false }
 let no_pruning = { default with prune_equivalent = false; max_alternates = 8 }
+
+let simple_runner =
+  { default with scheduler = Runner.Simple; incremental_matching = false }

@@ -24,8 +24,23 @@ type t = {
   check_egraph_invariants : bool;
       (** Audit e-graph invariants ({!Entangle_analysis.Egraph_check})
           after every saturation iteration. Expensive; debug only. *)
+  scheduler : Runner.scheduler_kind;
+      (** Rule scheduler for the saturation runner: [Simple] matches
+          every rule every iteration; [Backoff] (default) bans rules
+          that overflow their match budget, egg-style. Saturation
+          verdicts are unaffected (the runner re-matches everything in
+          full before declaring a fixpoint). *)
+  incremental_matching : bool;
+      (** Re-match each rule only against e-classes modified since that
+          rule's last search (default). Off = re-match every candidate
+          class every iteration. *)
 }
 
 val default : t
 val no_frontier : t
 val no_pruning : t
+
+val simple_runner : t
+(** The pre-incremental runner: [Simple] scheduling and exhaustive
+    re-matching every iteration. The baseline of the scheduler
+    ablation. *)

@@ -6,6 +6,7 @@ type outcome = {
   output_mappings : Expr.t list;
   reports : Runner.report list;
   egraph_nodes : int;
+  egraph_classes : int;
 }
 
 (* Load one distributed node's defining equation into the e-graph:
@@ -75,12 +76,21 @@ let compute ~config ?hit_counter ~rules ~gs ~gd ~relation v =
           Some Entangle_analysis.Egraph_check.runner_hook
         else None
       in
+      (* One scheduler state for all of this operator's rounds: the
+         per-rule last-search generations survive across the
+         one-iteration [Runner.run] calls below, so every round after
+         the first re-matches only classes dirtied since the rule's
+         previous search. *)
+      let state =
+        Runner.create_state ~scheduler:config.Config.scheduler
+          ~incremental:config.Config.incremental_matching ()
+      in
       let rounds_used = ref 0 in
-      let one_round () =
+      let one_round ~confirm =
         incr rounds_used;
         let report =
-          Runner.run ~limits:round_limits ?invariant_check ?hit_counter g
-            rules
+          Runner.run ~limits:round_limits ~confirm_saturation:confirm
+            ?invariant_check ?hit_counter ~state g rules
         in
         reports := report :: !reports;
         report
@@ -144,10 +154,28 @@ let compute ~config ?hit_counter ~rules ~gs ~gd ~relation v =
         if !rounds_used >= limits.Runner.max_iterations then ()
         else if Egraph.num_nodes g > limits.Runner.max_nodes then ()
         else begin
-          let report = one_round () in
+          let report = one_round ~confirm:false in
           let mapped = have_mapping () in
           if report.Runner.saturated then ()
           else if mapped && settling <= 0 then ()
+          else if report.Runner.unions = 0 then begin
+            (* Fixpoint candidate handed back unconfirmed (see
+               {!Runner.run} [confirm_saturation]). With a clean mapping
+               already in hand, the deferred constrained rules could
+               only ratify equalities between existing terms — more
+               alternative forms, not new reachability — so stop here
+               and keep the cool-down unpaid. Without a mapping, ask
+               for confirmation: the constrained rules may be exactly
+               what unblocks the derivation, and only a confirmed
+               [saturated] justifies reporting failure. *)
+            if mapped then ()
+            else begin
+              let report2 = one_round ~confirm:true in
+              if report2.Runner.saturated || report2.Runner.unions = 0
+              then ()
+              else saturate_rounds settling
+            end
+          end
           else saturate_rounds (if mapped then settling - 1 else settling)
         end
       in
@@ -224,4 +252,5 @@ let compute ~config ?hit_counter ~rules ~gs ~gd ~relation v =
           output_mappings = dedup (Option.to_list best_output);
           reports = List.rev !reports;
           egraph_nodes = Egraph.num_nodes g;
+          egraph_classes = Egraph.num_classes g;
         }

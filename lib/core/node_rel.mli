@@ -18,6 +18,7 @@ type outcome = {
       (** clean expressions over distributed {e graph outputs} only *)
   reports : Runner.report list;  (** one per saturation round *)
   egraph_nodes : int;
+  egraph_classes : int;
 }
 
 val compute :

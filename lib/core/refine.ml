@@ -5,6 +5,9 @@ type stats = {
   operators_processed : int;
   saturation_iterations : int;
   egraph_nodes_peak : int;
+  egraph_classes_peak : int;
+  matches_examined : int;
+  unions_applied : int;
   rule_hits : (string * int) list;
   wall_time_s : float;
 }
@@ -51,11 +54,15 @@ let check ?(config = Config.default) ?rules ?hit_counter ~gs ~gd
   in
   let t0 = Unix.gettimeofday () in
   let iters = ref 0 and peak = ref 0 and processed = ref 0 in
+  let classes_peak = ref 0 and matches = ref 0 and unions = ref 0 in
   let stats () =
     {
       operators_processed = !processed;
       saturation_iterations = !iters;
       egraph_nodes_peak = !peak;
+      egraph_classes_peak = !classes_peak;
+      matches_examined = !matches;
+      unions_applied = !unions;
       rule_hits =
         Hashtbl.fold (fun k v acc -> (k, v) :: acc) hit_counter []
         |> List.sort (fun (a, _) (b, _) -> String.compare a b);
@@ -88,12 +95,14 @@ let check ?(config = Config.default) ?rules ?hit_counter ~gs ~gd
         with
         | Error reason -> fail v reason relation
         | Ok outcome -> (
-            iters :=
-              !iters
-              + List.fold_left
-                  (fun acc (r : Runner.report) -> acc + r.iterations)
-                  0 outcome.reports;
+            List.iter
+              (fun (r : Runner.report) ->
+                iters := !iters + r.iterations;
+                matches := !matches + r.matches;
+                unions := !unions + r.unions)
+              outcome.reports;
             peak := max !peak outcome.egraph_nodes;
+            classes_peak := max !classes_peak outcome.egraph_classes;
             incr processed;
             match outcome.mappings with
             | [] ->

@@ -13,6 +13,11 @@ type stats = {
   operators_processed : int;
   saturation_iterations : int;
   egraph_nodes_peak : int;
+  egraph_classes_peak : int;
+  matches_examined : int;
+      (** substitutions collected by e-matching across all saturations;
+          the work the incremental runner saves *)
+  unions_applied : int;  (** rule applications that merged classes *)
   rule_hits : (string * int) list;  (** per-lemma application counts *)
   wall_time_s : float;
 }

@@ -2,9 +2,10 @@ open Entangle_ir
 
 let pp_stats ppf (s : Refine.stats) =
   Fmt.pf ppf
-    "%d operators, %d saturation iterations, peak e-graph %d nodes, %.3fs"
-    s.operators_processed s.saturation_iterations s.egraph_nodes_peak
-    s.wall_time_s
+    "%d operators, %d saturation iterations, %d matches, %d unions, peak \
+     e-graph %d nodes / %d classes, %.3fs"
+    s.operators_processed s.saturation_iterations s.matches_examined
+    s.unions_applied s.egraph_nodes_peak s.egraph_classes_peak s.wall_time_s
 
 let pp_success gs ppf (s : Refine.success) =
   Fmt.pf ppf

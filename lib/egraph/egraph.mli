@@ -37,20 +37,80 @@ val equiv : t -> Id.t -> Id.t -> bool
 
 val union : t -> Id.t -> Id.t -> bool
 (** [true] when the two classes were distinct and have been merged.
-    Requires a subsequent {!rebuild} before matching again. *)
+    Requires a subsequent {!rebuild} before matching again. When both
+    classes carry a shape and the shapes provably disagree, the
+    winner's shape is kept and the conflict is recorded for the
+    invariant checker ({!Debug.shape_conflicts}, EGRAPH007). *)
 
 val rebuild : t -> unit
-(** Restore the congruence invariant; processes all pending unions. *)
+(** Restore the congruence invariant; processes all pending unions.
+    Also propagates modification marks upward: every class transitively
+    reachable from a merged class through parent edges is stamped with a
+    fresh generation, so {!classes_modified_since} over-approximates the
+    classes whose match sets may have changed. *)
+
+(** {1 Modification generations}
+
+    Every structural change (node addition, union, congruence repair)
+    advances a monotonic counter and stamps the touched class with it.
+    The saturation runner snapshots {!generation} when a rule is
+    matched and later re-matches only {!classes_modified_since} that
+    snapshot. Accurate only after {!rebuild} (upward propagation of
+    union marks is deferred to it). *)
+
+val generation : t -> int
+(** Current value of the modification counter. *)
+
+val modified_at : t -> Id.t -> int
+(** Generation at which the (canonical) class of the id last changed. *)
+
+val structural_at : t -> Id.t -> int
+(** Generation at which the (canonical) class's own node set last
+    changed: class creation or a union merging nodes in. Unlike
+    {!modified_at} it is {e not} bumped by dirtiness propagated up from
+    descendants, so [structural_at t id <= modified_at t id] always.
+    Delta e-matching ({!Ematch.match_class_delta}) keys on this stamp. *)
+
+val shape_at : t -> Id.t -> int
+(** Generation at which the (canonical) class's shape analysis last
+    changed. Shapes only change at class creation and at merges, so
+    [shape_at t id <= structural_at t id] always. *)
+
+val classes_modified_since : t -> int -> Id.t list
+(** Canonical ids of every class stamped strictly after the given
+    generation: the dirty set for incremental e-matching. *)
+
+val classes_with_family : t -> string -> Id.t list
+(** Canonical ids of every class containing at least one node whose
+    operator family ({!Entangle_ir.Op.name}) is the given one. The
+    index is maintained incrementally on add/union (classes only ever
+    gain families); stale entries from absorbed classes are compacted
+    lazily on query. *)
 
 (** {1 Inspection} *)
 
 val nodes_of : t -> Id.t -> Enode.t list
 (** Canonicalized nodes of the class of the given id. *)
 
+val nodes_with_stamps : t -> Id.t -> (Enode.t * int) list
+(** Canonicalized nodes paired with the generation at which each was
+    first added. Stamps survive merges: a node absorbed from a losing
+    class keeps its original stamp, because every substitution rooted
+    through it was already collected at the losing class and its
+    application outcome is unchanged by the merge. Delta e-matching
+    skips root nodes whose stamp predates a rule's last search. *)
+
 val shape_of : t -> Id.t -> Shape.t option
 val class_ids : t -> Id.t list
 val num_classes : t -> int
+(** O(1): the class table's size. *)
+
 val num_nodes : t -> int
+(** O(1): a cached counter maintained on add/union/rebuild, mirroring
+    the sum of per-class node-list lengths exactly (duplicates created
+    by unions count until {!rebuild} deduplicates them). Audited
+    against recomputation by [Entangle_analysis.Egraph_check]
+    (EGRAPH008). *)
 
 val reachable : t -> Id.t list -> Id.Set.t
 (** Classes reachable from the given roots through e-node children. *)
@@ -79,4 +139,16 @@ module Debug : sig
 
   val uf_size : t -> int
   val uf_check_acyclic : t -> (unit, Id.t) result
+
+  val recompute_num_nodes : t -> int
+  (** O(graph) recount of every class's node list; the ground truth the
+      cached {!num_nodes} counter is audited against. *)
+
+  val family_entries : t -> (string * Id.t list) list
+  (** Raw operator-family index as stored — ids are {e not}
+      canonicalized, so staleness is observable. *)
+
+  val shape_conflicts : t -> (Id.t * Shape.t * Shape.t) list
+  (** Unions that merged two classes with provably disagreeing shapes:
+      (surviving root, winner shape kept, loser shape dropped). *)
 end

@@ -21,6 +21,14 @@ let vars pat =
   in
   List.rev (go [] pat)
 
+let linear pat =
+  let rec occurrences = function
+    | V _ -> 1
+    | C _ -> 0
+    | P (_, args) -> List.fold_left (fun a p -> a + occurrences p) 0 args
+  in
+  occurrences pat = List.length (vars pat)
+
 let rec size = function
   | V _ | C _ -> 0
   | P (_, args) -> 1 + List.fold_left (fun acc a -> acc + size a) 0 args

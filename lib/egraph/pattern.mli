@@ -28,6 +28,13 @@ val c : Id.t -> t
 val vars : t -> string list
 (** Distinct pattern variables in first-occurrence order. *)
 
+val linear : t -> bool
+(** No pattern variable occurs twice. Matching a non-linear pattern
+    imposes equality constraints between bound classes, so a union can
+    create matches that touch no new node; delta e-matching
+    ({!Ematch.match_class_delta}) must treat such patterns
+    conservatively. *)
+
 val size : t -> int
 (** Number of operator applications; used as the lemma-complexity metric
     of the paper's Figure 5a (operators on both sides of a lemma). *)

@@ -8,21 +8,22 @@ type t = {
   lhs : Pattern.t;
   applier : applier;
   constrained : bool;
+  nonlocal : bool;
 }
 
-let make ?(constrained = false) name lhs rhs =
-  { name; lhs; applier = Syntactic rhs; constrained }
+let make ?(constrained = false) ?(nonlocal = false) name lhs rhs =
+  { name; lhs; applier = Syntactic rhs; constrained; nonlocal }
 
-let make_dyn ?(constrained = false) name lhs f =
-  { name; lhs; applier = Conditional f; constrained }
+let make_dyn ?(constrained = false) ?(nonlocal = false) name lhs f =
+  { name; lhs; applier = Conditional f; constrained; nonlocal }
 
-let rewrite_to ?constrained name lhs f =
+let rewrite_to ?constrained ?nonlocal name lhs f =
   let applier g root subst =
     match f g root subst with
     | Some rhs -> [ (Pattern.c root, rhs) ]
     | None -> []
   in
-  make_dyn ?constrained name lhs applier
+  make_dyn ?constrained ?nonlocal name lhs applier
 
 let apply_matches rule g matches =
   let mode = if rule.constrained then Ematch.Check_only else Ematch.Insert in

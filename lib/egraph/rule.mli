@@ -14,7 +14,21 @@ type applier =
           return equations to assert: each pair of patterns is
           instantiated and the two sides unioned. Return [[]] when the
           condition fails. Use [Pattern.c root] to refer to the matched
-          class itself. *)
+          class itself.
+
+          {b Contract}: appliers must be {e match-local} — they may
+          inspect only the substitution, structure and shapes of
+          classes reachable from the match, and the e-graph's
+          (immutable) constraint store. The incremental runner relies
+          on this: a match-local condition can only change outcome when
+          some reachable class changes, which dirties the matched class
+          via parent-edge propagation, so unconstrained rules are never
+          re-searched at clean classes. An applier that reads global
+          e-graph state ({!Egraph.lookup}, {!Egraph.iter_nodes}) must
+          declare it by setting [nonlocal]; the runner then re-applies
+          every substitution collected so far whenever it claims
+          completeness, so the condition is re-evaluated even on
+          matches whose reachable classes never changed. *)
 
 type t = {
   name : string;
@@ -24,13 +38,20 @@ type t = {
       (** When true, right-hand sides are instantiated in
           {!Ematch.Check_only} mode: the rewrite fires only if the target
           already exists (paper section 4.3.2, "Constrained Lemmas"). *)
+  nonlocal : bool;
+      (** When true, the applier reads e-graph state beyond the classes
+          reachable from the match (see the {!applier} contract) and the
+          incremental runner must not assume its outcome is stable on
+          unchanged matches. *)
 }
 
-val make : ?constrained:bool -> string -> Pattern.t -> Pattern.t -> t
+val make :
+  ?constrained:bool -> ?nonlocal:bool -> string -> Pattern.t -> Pattern.t -> t
 (** Universal lemma [make name lhs rhs]. *)
 
 val make_dyn :
   ?constrained:bool ->
+  ?nonlocal:bool ->
   string ->
   Pattern.t ->
   (Egraph.t -> Id.t -> Subst.t -> (Pattern.t * Pattern.t) list) ->
@@ -39,6 +60,7 @@ val make_dyn :
 
 val rewrite_to :
   ?constrained:bool ->
+  ?nonlocal:bool ->
   string ->
   Pattern.t ->
   (Egraph.t -> Id.t -> Subst.t -> Pattern.t option) ->

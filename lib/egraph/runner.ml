@@ -8,7 +8,96 @@ type report = {
   saturated : bool;
   nodes : int;
   classes : int;
+  matches : int;
+  unions : int;
 }
+
+type scheduler_kind = Simple | Backoff
+
+(* Per-rule scheduling state, persistent across [run] calls so drivers
+   that saturate one iteration at a time (Node_rel) still match
+   incrementally between rounds. *)
+type rule_state = {
+  mutable last_gen : int;  (** e-graph generation of the last search; -1 = never searched *)
+  mutable times_banned : int;
+  mutable banned_until : int;  (** first iteration the rule may run again *)
+  mutable cached_matches : (Id.t * Subst.t) list;
+      (** Constrained rules only, incremental mode only: every
+          substitution collected so far. Match sets are monotone (the
+          e-graph only grows and merges, and bindings canonicalize
+          through the union-find), so cache + fresh delta = the full
+          current match set. Re-applying the cache under [Check_only]
+          makes an incremental search of a constrained rule equivalent
+          to a full one: the application is what is global (the target
+          may have materialized anywhere since), not the matching. *)
+}
+
+type state = {
+  scheduler : scheduler_kind;
+  incremental : bool;
+  match_limit : int;
+  ban_length : int;
+  (* Keyed by the rule's position in the rule list, NOT its name: rule
+     names are shared across a lemma's arity variants and directions,
+     and aliasing their scheduling state would make every variant after
+     the first see an empty dirty set on its (supposedly full) first
+     search. *)
+  rule_states : (int, rule_state) Hashtbl.t;
+  mutable iteration : int;  (** global iteration counter across runs *)
+  mutable matches_examined : int;
+  mutable unions_applied : int;
+  mutable full_searches : int;
+  mutable incremental_searches : int;
+  mutable bans : int;
+}
+
+type stats = {
+  matches_examined : int;
+  unions_applied : int;
+  full_searches : int;
+  incremental_searches : int;
+  bans : int;
+}
+
+let create_state ?(scheduler = Simple) ?(incremental = false)
+    ?(match_limit = 1000) ?(ban_length = 5) () =
+  {
+    scheduler;
+    incremental;
+    match_limit;
+    ban_length;
+    rule_states = Hashtbl.create 64;
+    iteration = 0;
+    matches_examined = 0;
+    unions_applied = 0;
+    full_searches = 0;
+    incremental_searches = 0;
+    bans = 0;
+  }
+
+let state_stats (st : state) : stats =
+  {
+    matches_examined = st.matches_examined;
+    unions_applied = st.unions_applied;
+    full_searches = st.full_searches;
+    incremental_searches = st.incremental_searches;
+    bans = st.bans;
+  }
+
+let rule_state st idx =
+  match Hashtbl.find_opt st.rule_states idx with
+  | Some rs -> rs
+  | None ->
+      let rs =
+        {
+          last_gen = -1;
+          times_banned = 0;
+          banned_until = 0;
+          cached_matches = [];
+        }
+      in
+      Hashtbl.replace st.rule_states idx rs;
+      rs
 
 let bump counter name n =
   if n > 0 then
@@ -20,7 +109,8 @@ let log_src = Logs.Src.create "entangle.runner" ~doc:"Equality saturation"
 module Log = (val Logs.src_log log_src)
 
 (* Applying one rule's pre-collected matches, stopping early if the
-   e-graph outgrows the node budget mid-iteration. *)
+   e-graph outgrows the node budget mid-iteration. [Egraph.num_nodes]
+   is a cached O(1) counter, so the per-match budget check is free. *)
 let apply_bounded ~limits rule g matches =
   let mode =
     if rule.Rule.constrained then Ematch.Check_only else Ematch.Insert
@@ -56,103 +146,299 @@ let root_family (rule : Rule.t) =
   | Pattern.P (Pattern.Family { family; _ }, _) -> Some family
   | Pattern.P (Pattern.Bound _, _) | Pattern.V _ | Pattern.C _ -> None
 
-let run ?(limits = default_limits) ?hit_counter ?invariant_check g rules =
+(* Candidate classes for one rule's search, plus whether the search was
+   full. A full search consults the e-graph's incrementally maintained
+   family index (or every class when the rule's root is not
+   family-headed); an incremental search restricts to classes modified
+   since the rule's last search. *)
+let candidates st g fam rs ~full =
+  if full || (not st.incremental) || rs.last_gen < 0 then begin
+    st.full_searches <- st.full_searches + 1;
+    let cs =
+      match fam with
+      | None -> Egraph.class_ids g
+      | Some f -> Egraph.classes_with_family g f
+    in
+    (cs, true)
+  end
+  else begin
+    st.incremental_searches <- st.incremental_searches + 1;
+    let cs =
+      match fam with
+      | None -> Egraph.classes_modified_since g rs.last_gen
+      | Some f ->
+          List.filter
+            (fun cls -> Egraph.modified_at g cls > rs.last_gen)
+            (Egraph.classes_with_family g f)
+    in
+    (cs, false)
+  end
+
+(* Collect a rule's matches class by class, stopping once the cap is
+   reached so pathological classes cannot materialize millions of
+   substitutions. [since = Some gen] switches to delta matching: only
+   substitutions whose derivation crosses a class structurally changed
+   after [gen] are collected (the rest were applied at the rule's
+   previous search). Also reports whether any class may have hit the
+   per-class match budget — truncation drops substitutions silently, so
+   the caller must not advance the rule's generation past them. *)
+let collect rule classes ~cap ~since ~conditional g =
+  let acc = ref [] and count = ref 0 and truncated = ref false in
+  (try
+     List.iter
+       (fun cls ->
+         if !count >= cap then raise Exit;
+         let ms =
+           match since with
+           | None -> Ematch.match_class g rule.Rule.lhs cls
+           | Some gen ->
+               Ematch.match_class_delta g ~since:gen ~conditional
+                 rule.Rule.lhs cls
+         in
+         let k = ref 0 in
+         List.iter
+           (fun s ->
+             incr k;
+             if !count < cap then begin
+               acc := (cls, s) :: !acc;
+               incr count
+             end)
+           ms;
+         if !k >= Ematch.per_class_budget then truncated := true)
+       classes
+   with Exit -> ());
+  (!acc, !truncated)
+
+(* Rules are processed one at a time: matches for a rule are collected
+   against the current e-graph and applied before the next rule is
+   matched. Holding every rule's matches at once (as a literal reading
+   of egg's iteration would) retains multiplicatively many
+   substitutions on large classes. A per-rule cap bounds the
+   pathological cases; the runner simply takes another iteration to
+   finish the work. *)
+let max_matches_per_rule = 20_000
+
+(* One pass over the rule list. With [full] bans are ignored (the
+   caller lifts them first) and constrained rules are applied over
+   their complete match set — the cool-down that makes the scheduler
+   complete. Only constrained rules need it: their Check_only targets
+   can come into existence anywhere in the e-graph without the matched
+   class ever being dirtied. Unconstrained rules (syntactic or
+   conditional) are match-local — their matches and conditions depend
+   only on structure and shapes reachable from the matched class, all
+   of which dirty the class through parent-edge propagation — so they
+   keep searching incrementally even during cool-down. Constrained
+   rules reach their complete match set cheaply too when incremental
+   matching is on: matching is as local as anyone's, so the cool-down
+   delta-collects fresh substitutions and re-applies the accumulated
+   cache ([cached_matches]) instead of re-matching from scratch. *)
+let pass ~limits ~counter st g indexed ~full =
+  let total_matches = ref 0 and total_hits = ref 0 in
+  (* [complete]: this pass left no candidate unexamined that could
+     reveal new work — a zero-hit complete pass is a genuine fixpoint.
+     Incremental searches only break completeness for constrained
+     rules (see above); bans and capped collects always do. *)
+  let complete = ref true in
+  List.iter
+    (fun (idx, fam, rule) ->
+      let rs = rule_state st idx in
+      let banned =
+        (not full) && st.scheduler = Backoff && st.iteration < rs.banned_until
+      in
+      (* Rules whose application outcome depends on global e-graph
+         state: constrained rules ([Check_only] targets can materialize
+         anywhere) and rules whose applier declares itself [nonlocal].
+         Both re-apply their whole accumulated match cache whenever they
+         run (below), so their global conditions are re-evaluated on old
+         matches too. Constrained rules are additionally deferred to
+         cool-down passes under the backoff scheduler: their Check_only
+         applications only ratify equalities between existing terms, so
+         firing them once per fixpoint candidate reaches the same
+         saturated e-graph as firing them every iteration, without
+         paying their match collection each pass. Nonlocal rules are
+         NOT deferred — they build terms that can unblock drivers which
+         declare failure between iterations, before any cool-down. *)
+      let global = rule.Rule.constrained || rule.Rule.nonlocal in
+      let deferred =
+        (not full) && st.scheduler = Backoff && rule.Rule.constrained
+      in
+      if banned || deferred then complete := false
+      else begin
+        (* Globally-dependent rules in incremental mode search their
+           delta and re-apply [cached_matches] (see {!rule_state}):
+           equivalent to a full search, so no full candidate set is
+           forced even at cool-down. Without incremental matching they
+           must re-match everything whenever completeness is claimed. *)
+        let use_cache = st.incremental && global in
+        let classes, was_full =
+          candidates st g fam rs ~full:(full && global && not st.incremental)
+        in
+        if (not was_full) && global && not use_cache then complete := false;
+        let threshold =
+          match st.scheduler with
+          | Simple -> max_matches_per_rule
+          | Backoff ->
+              min max_matches_per_rule
+                (st.match_limit lsl min rs.times_banned 20)
+        in
+        let cap =
+          (* Backoff needs one extra slot to observe the overflow. *)
+          match st.scheduler with
+          | Simple -> threshold
+          | Backoff -> threshold + 1
+        in
+        let since = if was_full then None else Some rs.last_gen in
+        (* Class-level blanket re-admission (see
+           {!Ematch.match_class_delta}) is needed when a conditional
+           applier's old outcomes are neither syntactically determined
+           nor re-applied from the cache — and always for non-linear
+           patterns, where a union of two bound classes creates
+           genuinely new substitutions (never cached, touching no new
+           node) out of the repeated-variable constraint. *)
+        let conditional =
+          ((match rule.Rule.applier with
+           | Rule.Conditional _ -> true
+           | Rule.Syntactic _ -> false)
+          && not use_cache)
+          || not (Pattern.linear rule.Rule.lhs)
+        in
+        let ms, class_truncated =
+          collect rule classes ~cap ~since ~conditional g
+        in
+        let n = List.length ms in
+        total_matches := !total_matches + n;
+        st.matches_examined <- st.matches_examined + n;
+        if (not full) && st.scheduler = Backoff && n > threshold then begin
+          (* egg-style backoff: the rule overflowed its match budget;
+             ban it for a ban length that doubles with every overflow
+             and discard the matches. Its [last_gen] is left untouched
+             so the skipped dirty classes are revisited on unban. *)
+          rs.times_banned <- rs.times_banned + 1;
+          rs.banned_until <-
+            st.iteration + (st.ban_length lsl min (rs.times_banned - 1) 20);
+          st.bans <- st.bans + 1;
+          complete := false;
+          Log.debug (fun m ->
+              m "rule %s banned until iteration %d (%d matches > %d)"
+                rule.Rule.name rs.banned_until n threshold)
+        end
+        else begin
+          (* A collect that hit its cap (or a class that hit the
+             per-class match budget) may have dropped matches: apply
+             what was gathered but leave [last_gen] untouched so the
+             remainder is revisited, and refuse to call the pass
+             complete. *)
+          if n >= cap || class_truncated then complete := false
+          else rs.last_gen <- Egraph.generation g;
+          let to_apply =
+            if use_cache then begin
+              (* A full collect is the complete current match set, so it
+                 replaces the cache (a truncated one is replaced too —
+                 [last_gen] stayed at -1, so the next search is again
+                 full). A delta collect appends; a truncated delta may
+                 append the same substitution twice on the retry, which
+                 only wastes an idempotent re-application. *)
+              if was_full then rs.cached_matches <- ms
+              else rs.cached_matches <- List.rev_append ms rs.cached_matches;
+              rs.cached_matches
+            end
+            else ms
+          in
+          let hits = apply_bounded ~limits rule g to_apply in
+          total_hits := !total_hits + hits;
+          st.unions_applied <- st.unions_applied + hits;
+          bump counter rule.Rule.name hits
+        end
+      end)
+    indexed;
+  (!total_matches, !total_hits, !complete)
+
+let unban_all st =
+  Hashtbl.iter (fun _ rs -> rs.banned_until <- 0) st.rule_states
+
+let run ?(limits = default_limits) ?(confirm_saturation = true) ?hit_counter
+    ?invariant_check ?state g rules =
   let counter =
     match hit_counter with Some c -> c | None -> Hashtbl.create 16
   in
-  let indexed = List.map (fun r -> (root_family r, r)) rules in
+  let st = match state with Some s -> s | None -> create_state () in
+  let indexed = List.mapi (fun i r -> (i, root_family r, r)) rules in
+  let matches_total = ref 0 and unions_total = ref 0 in
+  let finish iter saturated =
+    {
+      iterations = iter;
+      saturated;
+      nodes = Egraph.num_nodes g;
+      classes = Egraph.num_classes g;
+      matches = !matches_total;
+      unions = !unions_total;
+    }
+  in
+  let settle () =
+    Egraph.rebuild g;
+    match invariant_check with Some f -> f g | None -> ()
+  in
   let rec go iter =
     if
       iter >= limits.max_iterations
       || Egraph.num_nodes g > limits.max_nodes
       || Egraph.num_classes g > limits.max_classes
-    then
-      { iterations = iter; saturated = false;
-        nodes = Egraph.num_nodes g; classes = Egraph.num_classes g }
+    then finish iter false
     else begin
-      (* Index the classes by the operator families they contain. *)
-      let by_family : (string, Id.t list ref) Hashtbl.t = Hashtbl.create 64 in
-      let all_classes = Egraph.class_ids g in
-      List.iter
-        (fun cls ->
-          let seen = Hashtbl.create 8 in
-          List.iter
-            (fun n ->
-              match Enode.sym n with
-              | Enode.Op op ->
-                  let fam = Entangle_ir.Op.name op in
-                  if not (Hashtbl.mem seen fam) then begin
-                    Hashtbl.replace seen fam ();
-                    match Hashtbl.find_opt by_family fam with
-                    | Some l -> l := cls :: !l
-                    | None -> Hashtbl.replace by_family fam (ref [ cls ])
-                  end
-              | Enode.Leaf _ -> ())
-            (Egraph.nodes_of g cls))
-        all_classes;
-      let candidates = function
-        | None -> all_classes
-        | Some fam -> (
-            match Hashtbl.find_opt by_family fam with
-            | Some l -> !l
-            | None -> [])
+      let matches, hits, complete =
+        pass ~limits ~counter st g indexed ~full:false
       in
-      (* Rules are processed one at a time: matches for a rule are
-         collected against the current e-graph and applied before the
-         next rule is matched. Holding every rule's matches at once (as
-         a literal reading of egg's iteration would) retains
-         multiplicatively many substitutions on large classes. A
-         per-rule cap bounds the pathological cases; the runner simply
-         takes another iteration to finish the work. *)
-      let max_matches_per_rule = 20_000 in
-      let total_matches = ref 0 in
-      (* Collect a rule's matches class by class, stopping once the cap
-         is reached so pathological classes cannot materialize millions
-         of substitutions. *)
-      let collect rule classes =
-        let acc = ref [] and count = ref 0 in
-        (try
-           List.iter
-             (fun cls ->
-               if !count >= max_matches_per_rule then raise Exit;
-               List.iter
-                 (fun s ->
-                   if !count < max_matches_per_rule then begin
-                     acc := (cls, s) :: !acc;
-                     incr count
-                   end)
-                 (Ematch.match_class g rule.Rule.lhs cls))
-             classes
-         with Exit -> ());
-        !acc
-      in
-      let total_hits =
-        List.fold_left
-          (fun acc (fam, rule) ->
-            let ms = collect rule (candidates fam) in
-            total_matches := !total_matches + List.length ms;
-            let hits = apply_bounded ~limits rule g ms in
-            bump counter rule.Rule.name hits;
-            acc + hits)
-          0 indexed
-      in
-      let total_matches = !total_matches in
-      Egraph.rebuild g;
-      (match invariant_check with Some f -> f g | None -> ());
+      settle ();
+      matches_total := !matches_total + matches;
+      unions_total := !unions_total + hits;
       Log.debug (fun m ->
-          m "iteration %d: %d matches, %d unions, %d nodes, %d classes" iter
-            total_matches total_hits (Egraph.num_nodes g)
+          m "iteration %d: %d matches, %d unions, %d nodes, %d classes"
+            st.iteration matches hits (Egraph.num_nodes g)
             (Egraph.num_classes g));
-      let over_budget =
+      let over_budget () =
         Egraph.num_nodes g > limits.max_nodes
         || Egraph.num_classes g > limits.max_classes
       in
-      if total_hits = 0 then
-        (* No unions: a genuine fixpoint unless application was cut
-           short by the node budget. *)
-        { iterations = iter + 1; saturated = not over_budget;
-          nodes = Egraph.num_nodes g; classes = Egraph.num_classes g }
-      else go (iter + 1)
+      st.iteration <- st.iteration + 1;
+      if hits > 0 then go (iter + 1)
+      else if over_budget () then finish (iter + 1) false
+      else if complete then
+        (* Every rule searched every candidate class and nothing
+           merged: a genuine fixpoint. *)
+        finish (iter + 1) true
+      else if not confirm_saturation then
+        (* Fixpoint candidate, but the caller declined to pay for
+           confirmation: deferred constrained rules and banned rules
+           have not had their full pass, so report [saturated = false]
+           and hand the candidate back. A union-free non-saturated
+           report is the driver's cue to either stop (it already has
+           the answer it was saturating for) or call again with
+           confirmation on. *)
+        finish (iter + 1) false
+      else begin
+        (* No unions from the scheduled (incremental and/or
+           ban-throttled) pass: a fixpoint candidate. Before declaring
+           saturation, lift every ban and run a cool-down pass — a full
+           re-match of the constrained rules (whose Check_only targets
+           can appear anywhere without dirtying the matched class) plus
+           an incremental catch-up of everything else. Only an empty
+           complete cool-down is a genuine fixpoint. *)
+        unban_all st;
+        let matches2, hits2, complete2 =
+          pass ~limits ~counter st g indexed ~full:true
+        in
+        settle ();
+        matches_total := !matches_total + matches2;
+        unions_total := !unions_total + hits2;
+        Log.debug (fun m ->
+            m "iteration %d (cool-down): %d matches, %d unions"
+              st.iteration matches2 hits2);
+        st.iteration <- st.iteration + 1;
+        if hits2 = 0 then
+          finish (iter + 1) (complete2 && not (over_budget ()))
+        else if over_budget () then finish (iter + 1) false
+        else go (iter + 1)
+      end
     end
   in
   go 0

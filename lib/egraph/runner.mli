@@ -1,8 +1,35 @@
 (** Equality-saturation runner.
 
-    Repeatedly matches every rule against the e-graph, applies all
-    matches, and rebuilds, until a fixpoint or a resource limit. Per-rule
-    application counts are recorded (the paper's Figure 6 heatmap). *)
+    Repeatedly matches rules against the e-graph, applies all matches,
+    and rebuilds, until a fixpoint or a resource limit. Per-rule
+    application counts are recorded (the paper's Figure 6 heatmap).
+
+    Two schedulers and an incremental-matching mode rework the hot path
+    (both are egg's headline optimizations):
+
+    - {b Incremental e-matching}: the runner records, per rule, the
+      e-graph {!Egraph.generation} at which it last searched and
+      re-matches only {!Egraph.classes_modified_since} that snapshot
+      (intersected with the e-graph's operator-family index). A rule's
+      first search is always full.
+    - {b Backoff scheduling} ({!scheduler_kind} [Backoff]): a rule that
+      produces more matches than its budget ([match_limit] doubled per
+      overflow) is banned for a number of iterations that doubles with
+      every overflow, keeping explosive rules from dominating early
+      iterations.
+
+    Both are completeness-preserving. For unconstrained rules
+    (syntactic or conditional) incremental matching is already exact:
+    matches and applier conditions are match-local (see {!Rule}), and
+    every structural or shape change dirties the affected class and —
+    through parent-edge propagation at {!Egraph.rebuild} — all of its
+    ancestors. Constrained rules are the exception: a [Check_only]
+    target can come into existence anywhere in the e-graph without the
+    matched class being dirtied. So before the runner declares
+    saturation it runs a {e cool-down} pass: every ban is lifted,
+    constrained rules re-match in full, everything else catches up
+    incrementally; only an empty complete cool-down reports
+    [saturated = true]. *)
 
 type limits = {
   max_iterations : int;
@@ -17,16 +44,63 @@ type report = {
   saturated : bool;  (** reached a fixpoint before hitting a limit *)
   nodes : int;
   classes : int;
+  matches : int;  (** substitutions examined during this run *)
+  unions : int;  (** applications that merged two classes *)
 }
+
+type scheduler_kind = Simple | Backoff
+
+type state
+(** Scheduler and incremental-matching state: per-rule last-search
+    generations and ban status, a global iteration counter, and
+    cumulative search statistics. Persistent across {!run} calls so
+    drivers that saturate one iteration at a time (the checker's
+    round-by-round loop) still match incrementally between rounds.
+    A state is tied to one e-graph and one rule set; do not reuse it
+    across e-graphs (generations are per-graph). *)
+
+val create_state :
+  ?scheduler:scheduler_kind ->
+  ?incremental:bool ->
+  ?match_limit:int ->
+  ?ban_length:int ->
+  unit ->
+  state
+(** Defaults: [scheduler = Simple], [incremental = false] (the legacy
+    exhaustive behavior), [match_limit = 1000], [ban_length = 5] (egg's
+    defaults for the backoff scheduler). *)
+
+type stats = {
+  matches_examined : int;  (** substitutions collected across all runs *)
+  unions_applied : int;
+  full_searches : int;  (** rule searches over all candidate classes *)
+  incremental_searches : int;  (** rule searches over dirty classes only *)
+  bans : int;  (** backoff bans issued *)
+}
+
+val state_stats : state -> stats
 
 val run :
   ?limits:limits ->
+  ?confirm_saturation:bool ->
   ?hit_counter:(string, int) Hashtbl.t ->
   ?invariant_check:(Egraph.t -> unit) ->
+  ?state:state ->
   Egraph.t ->
   Rule.t list ->
   report
-(** [hit_counter] accumulates, per rule name, the number of applications
+(** [confirm_saturation] (default [true]) controls the cool-down: with
+    [false], a run that reaches a fixpoint candidate (a scheduled pass
+    with zero unions) returns immediately with [saturated = false]
+    instead of paying the cool-down pass that would confirm or refute
+    it. Drivers that often stop before saturation (the checker stops as
+    soon as a mapping is extractable) use this to skip the cool-down on
+    operators that never need a trustworthy [saturated], calling again
+    with confirmation on only when they are about to give up. A report
+    with [unions = 0] and [saturated = false] under
+    [confirm_saturation:false] is exactly such an unconfirmed candidate.
+
+    [hit_counter] accumulates, per rule name, the number of applications
     that merged classes; pass the same table across runs to aggregate
     counts over a whole verification.
 
@@ -34,4 +108,7 @@ val run :
     {!Egraph.rebuild} (i.e. once per iteration, when the congruence
     invariant is supposed to hold). The static-analysis subsystem
     provides one that raises on any violated e-graph invariant
-    ([Entangle_analysis.Egraph_check.runner_hook]). *)
+    ([Entangle_analysis.Egraph_check.runner_hook]).
+
+    [state] carries scheduling decisions across calls; omitting it
+    creates a fresh legacy ([Simple], exhaustive) state per call. *)

@@ -255,7 +255,7 @@ let sum_group =
         Option.is_some (Egraph.lookup g (Enode.op Op.Sum_n ids))
   in
   let gen (n, groups) =
-    Rule.rewrite_to "sum-group"
+    Rule.rewrite_to ~nonlocal:true "sum-group"
       (p Op.Sum_n (vars n))
       (fun g _root subst ->
         let per = n / groups in

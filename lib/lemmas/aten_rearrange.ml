@@ -126,7 +126,7 @@ let slice_full_range =
    existing slice nodes over the same class. *)
 let slices_cover =
   let rule =
-    Rule.make_dyn "slices-cover"
+    Rule.make_dyn ~nonlocal:true "slices-cover"
       (fam "slice" ~bind:"sl" [ v "x" ])
       (fun g root subst ->
         match slice_attrs (Subst.op subst "sl") with
@@ -238,7 +238,7 @@ let concat_group =
         Option.is_some (Egraph.lookup g (Enode.op (Op.Concat { dim }) ids))
   in
   let gen (n, k) =
-    Rule.rewrite_to "concat-group"
+    Rule.rewrite_to ~nonlocal:true "concat-group"
       (fam "concat" ~bind:"cc" (vars n))
       (fun g _root subst ->
         let* dim = concat_dim (Subst.op subst "cc") in
@@ -258,7 +258,7 @@ let concat_group =
   in
   (* Equal regrouping into [groups] sub-concats. *)
   let gen_equal (n, groups) =
-    Rule.rewrite_to "concat-group"
+    Rule.rewrite_to ~nonlocal:true "concat-group"
       (fam "concat" ~bind:"cc" (vars n))
       (fun g _root subst ->
         let* dim = concat_dim (Subst.op subst "cc") in

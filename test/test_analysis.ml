@@ -282,6 +282,40 @@ let egraph_tests =
         let ds = Egraph_check.check g in
         check Alcotest.bool "EGRAPH006" true (has_code "EGRAPH006" ds);
         check Alcotest.int "nonzero exit" 1 (Lint.exit_code ds));
+    Alcotest.test_case "union-time shape conflict is EGRAPH007" `Quick
+      (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "ca") in
+        let b =
+          Egraph.add_leaf g (tensor ~shape:(Shape.of_ints [ 2; 3 ]) "cb")
+        in
+        check Alcotest.bool "clean before union" false
+          (has_code "EGRAPH007" (Egraph_check.check g));
+        ignore (Egraph.union g a b);
+        Egraph.rebuild g;
+        let ds = Egraph_check.check g in
+        check Alcotest.bool "EGRAPH007" true (has_code "EGRAPH007" ds);
+        (* Both shapes are concrete, so the dropped disagreement is an
+           error, not a warning. *)
+        check Alcotest.bool "error severity" true
+          (List.exists
+             (fun d ->
+               d.Diagnostic.code = "EGRAPH007"
+               && d.Diagnostic.severity = Diagnostic.Error)
+             ds));
+    Alcotest.test_case "counter or index drift is EGRAPH008/9-clean on a \
+                        healthy graph" `Quick (fun () ->
+        (* A saturating run over real lemmas must never trip the cached
+           num_nodes audit or the family-index audit. *)
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "ha") in
+        let n = Egraph.add_op g Op.Neg [ a ] in
+        ignore (Egraph.add_op g Op.Exp [ n ]);
+        ignore (Egraph.union g n a);
+        Egraph.rebuild g;
+        let ds = Egraph_check.check g in
+        check Alcotest.bool "no EGRAPH008" false (has_code "EGRAPH008" ds);
+        check Alcotest.bool "no EGRAPH009" false (has_code "EGRAPH009" ds));
     Alcotest.test_case "runner accepts the invariant hook" `Quick (fun () ->
         let g = Egraph.create () in
         let a = Egraph.add_leaf g (tensor "ra") in

@@ -174,6 +174,97 @@ let ematch_tests =
         let pat = Pattern.p Op.Exp [ Pattern.p Op.Neg [ Pattern.v "x" ] ] in
         let hits = List.filter (fun (c, _) -> Egraph.equiv g c outer) (Ematch.match_all g pat) in
         check Alcotest.bool "found" true (hits <> []));
+    Alcotest.test_case "truncate at the budget boundary" `Quick (fun () ->
+        let exact = List.init Ematch.per_class_budget Fun.id in
+        check Alcotest.bool "exact fit returned physically" true
+          (Ematch.truncate exact == exact);
+        let over = List.init (Ematch.per_class_budget + 1) Fun.id in
+        let t = Ematch.truncate over in
+        check Alcotest.int "cut to budget" Ematch.per_class_budget
+          (List.length t);
+        check Alcotest.bool "prefix preserved in order" true
+          (List.for_all2 ( = ) t (List.init Ematch.per_class_budget Fun.id));
+        check Alcotest.bool "short list untouched" true
+          (let l = [ 1; 2; 3 ] in
+           Ematch.truncate l == l));
+    Alcotest.test_case "delta matching: since -1 equals full" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let n = Egraph.add_op g Op.Neg [ a ] in
+        let pat = Pattern.p Op.Neg [ Pattern.v "x" ] in
+        check Alcotest.int "same count"
+          (List.length (Ematch.match_class g pat n))
+          (List.length
+             (Ematch.match_class_delta g ~since:(-1) ~conditional:false pat n)));
+    Alcotest.test_case "delta matching: clean classes yield nothing" `Quick
+      (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let n = Egraph.add_op g Op.Neg [ a ] in
+        Egraph.rebuild g;
+        let gen = Egraph.generation g in
+        let pat = Pattern.p Op.Neg [ Pattern.v "x" ] in
+        check Alcotest.int "no fresh matches" 0
+          (List.length
+             (Ematch.match_class_delta g ~since:gen ~conditional:false pat n)));
+    Alcotest.test_case "delta matching: only nodes added since" `Quick
+      (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let b = Egraph.add_leaf g (tensor "b") in
+        let k = Egraph.add_op g Op.Add [ a; b ] in
+        Egraph.rebuild g;
+        let gen = Egraph.generation g in
+        let c = Egraph.add_leaf g (tensor "c") in
+        let d = Egraph.add_leaf g (tensor "d") in
+        let k2 = Egraph.add_op g Op.Add [ c; d ] in
+        ignore (Egraph.union g k k2);
+        Egraph.rebuild g;
+        let pat = Pattern.p Op.Add [ Pattern.v "x"; Pattern.v "y" ] in
+        check Alcotest.int "full sees both" 2
+          (List.length (Ematch.match_class g pat k));
+        check Alcotest.int "delta sees the new node only" 1
+          (List.length
+             (Ematch.match_class_delta g ~since:gen ~conditional:false pat k)));
+    Alcotest.test_case "delta matching: merge below the root re-admits" `Quick
+      (fun () ->
+        let g = Egraph.create () in
+        let d = Egraph.add_leaf g (tensor "d") in
+        let e = Egraph.add_op g Op.Exp [ d ] in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let na = Egraph.add_op g Op.Neg [ a ] in
+        Egraph.rebuild g;
+        let gen = Egraph.generation g in
+        let pat = Pattern.p Op.Exp [ Pattern.p Op.Neg [ Pattern.v "x" ] ] in
+        check Alcotest.int "no match yet" 0
+          (List.length
+             (Ematch.match_class_delta g ~since:gen ~conditional:false pat e));
+        ignore (Egraph.union g d na);
+        Egraph.rebuild g;
+        check Alcotest.int "merge exposed the inner neg" 1
+          (List.length
+             (Ematch.match_class_delta g ~since:gen ~conditional:false pat e)));
+    Alcotest.test_case "delta matching: variable bindings skip unless \
+                        conditional" `Quick (fun () ->
+        (* A structural change inside a variable-bound class yields the
+           same substitution with the same syntactic outcome, so it is
+           skipped — unless the rule's applier may inspect the bound
+           class, which [conditional:true] declares. *)
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let e = Egraph.add_op g Op.Exp [ Egraph.add_op g Op.Neg [ a ] ] in
+        Egraph.rebuild g;
+        let gen = Egraph.generation g in
+        let c = Egraph.add_leaf g (tensor "c") in
+        ignore (Egraph.union g a c);
+        Egraph.rebuild g;
+        let pat = Pattern.p Op.Exp [ Pattern.p Op.Neg [ Pattern.v "x" ] ] in
+        check Alcotest.int "syntactic outcome unchanged: skipped" 0
+          (List.length
+             (Ematch.match_class_delta g ~since:gen ~conditional:false pat e));
+        check Alcotest.int "conditional applier: re-admitted" 1
+          (List.length
+             (Ematch.match_class_delta g ~since:gen ~conditional:true pat e)));
     Alcotest.test_case "instantiate insert vs check-only" `Quick (fun () ->
         let g = Egraph.create () in
         let a = Egraph.add_leaf g (tensor "a") in
@@ -187,6 +278,104 @@ let ematch_tests =
           (Ematch.instantiate ~mode:Ematch.Insert g subst rhs <> None);
         check Alcotest.bool "check-only succeeds now" true
           (Ematch.instantiate ~mode:Ematch.Check_only g subst rhs <> None));
+  ]
+
+let incremental_tests =
+  [
+    Alcotest.test_case "cached counters match recomputation" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let b = Egraph.add_leaf g (tensor "b") in
+        let na = Egraph.add_op g Op.Neg [ a ] in
+        let _nb = Egraph.add_op g Op.Neg [ b ] in
+        check Alcotest.int "after adds" (Egraph.Debug.recompute_num_nodes g)
+          (Egraph.num_nodes g);
+        ignore (Egraph.union g a b);
+        ignore (Egraph.union g na a);
+        check Alcotest.int "after unions" (Egraph.Debug.recompute_num_nodes g)
+          (Egraph.num_nodes g);
+        Egraph.rebuild g;
+        (* Rebuild deduplicates the congruent neg nodes; the counter
+           must track the removal. *)
+        check Alcotest.int "after rebuild" (Egraph.Debug.recompute_num_nodes g)
+          (Egraph.num_nodes g);
+        check Alcotest.int "num_classes" (List.length (Egraph.class_ids g))
+          (Egraph.num_classes g));
+    Alcotest.test_case "generations advance and stamp dirty classes" `Quick
+      (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        Egraph.rebuild g;
+        let gen = Egraph.generation g in
+        check Alcotest.int "nothing dirty" 0
+          (List.length (Egraph.classes_modified_since g gen));
+        let b = Egraph.add_leaf g (tensor "b") in
+        check Alcotest.bool "add advances the counter" true
+          (Egraph.generation g > gen);
+        let dirty = Egraph.classes_modified_since g gen in
+        check Alcotest.bool "new class dirty" true
+          (List.exists (Id.equal (Egraph.find g b)) dirty);
+        check Alcotest.bool "old class clean" false
+          (List.exists (Id.equal (Egraph.find g a)) dirty));
+    Alcotest.test_case "union dirt propagates to ancestors on rebuild" `Quick
+      (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let n = Egraph.add_op g Op.Neg [ a ] in
+        let e = Egraph.add_op g Op.Exp [ n ] in
+        Egraph.rebuild g;
+        let gen = Egraph.generation g in
+        let c = Egraph.add_leaf g (tensor "c") in
+        ignore (Egraph.union g a c);
+        Egraph.rebuild g;
+        let dirty = Egraph.classes_modified_since g gen in
+        let mem id = List.exists (Id.equal (Egraph.find g id)) dirty in
+        check Alcotest.bool "merged class dirty" true (mem a);
+        check Alcotest.bool "parent dirty" true (mem n);
+        check Alcotest.bool "grandparent dirty" true (mem e);
+        (* Propagated dirt is modification-only: the ancestors' own node
+           sets did not change. *)
+        check Alcotest.bool "grandparent structurally clean" true
+          (Egraph.structural_at g (Egraph.find g e) <= gen);
+        check Alcotest.bool "stamps ordered" true
+          (Egraph.structural_at g (Egraph.find g e)
+          <= Egraph.modified_at g (Egraph.find g e)));
+    Alcotest.test_case "family index tracks adds and unions" `Quick (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let n = Egraph.add_op g Op.Neg [ a ] in
+        let e = Egraph.add_op g Op.Exp [ a ] in
+        let mem fam id =
+          List.exists
+            (Id.equal (Egraph.find g id))
+            (Egraph.classes_with_family g fam)
+        in
+        check Alcotest.bool "neg indexed" true (mem "neg" n);
+        check Alcotest.bool "exp indexed" true (mem "exp" e);
+        check Alcotest.bool "leaf class has no neg" false (mem "neg" a);
+        ignore (Egraph.union g n e);
+        Egraph.rebuild g;
+        (* The merged class carries both families under its root. *)
+        check Alcotest.bool "merged root under neg" true (mem "neg" n);
+        check Alcotest.bool "merged root under exp" true (mem "exp" n));
+    Alcotest.test_case "union records dropped shape conflicts" `Quick
+      (fun () ->
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (Tensor.create ~name:"a" [ sd 4; sd 4 ]) in
+        let b = Egraph.add_leaf g (Tensor.create ~name:"b" [ sd 2; sd 3 ]) in
+        check Alcotest.int "none yet" 0
+          (List.length (Egraph.Debug.shape_conflicts g));
+        ignore (Egraph.union g a b);
+        Egraph.rebuild g;
+        match Egraph.Debug.shape_conflicts g with
+        | [ (root, kept, dropped) ] ->
+            check Alcotest.bool "root canonical" true
+              (Id.equal (Egraph.find g root) (Egraph.find g a));
+            let is44 s = Shape.equal_syntactic s [ sd 4; sd 4 ] in
+            let is23 s = Shape.equal_syntactic s [ sd 2; sd 3 ] in
+            check Alcotest.bool "both shapes recorded" true
+              ((is44 kept && is23 dropped) || (is23 kept && is44 dropped))
+        | l -> Alcotest.failf "expected 1 conflict, got %d" (List.length l));
   ]
 
 let runner_tests =
@@ -231,7 +420,121 @@ let runner_tests =
         in
         ignore (Runner.run g rules);
         check Alcotest.bool "full slice collapsed" true (Egraph.equiv g sl a));
+    Alcotest.test_case "backoff bans an overflowing rule, cool-down finishes"
+      `Quick (fun () ->
+        let g = Egraph.create () in
+        let leaves =
+          List.init 3 (fun i -> Egraph.add_leaf g (tensor (Printf.sprintf "t%d" i)))
+        in
+        let ids = List.map (fun l -> Egraph.add_op g Op.Identity [ l ]) leaves in
+        let rule =
+          Rule.make "identity-elim"
+            (Pattern.p Op.Identity [ Pattern.v "x" ])
+            (Pattern.v "x")
+        in
+        (* Three matches against a budget of two: the rule overflows and
+           gets banned; the cool-down pass must still reach the full
+           saturated e-graph. *)
+        let state =
+          Runner.create_state ~scheduler:Runner.Backoff ~incremental:true
+            ~match_limit:2 ~ban_length:1 ()
+        in
+        let report = Runner.run ~state g [ rule ] in
+        check Alcotest.bool "saturated" true report.Runner.saturated;
+        List.iter2
+          (fun id l ->
+            check Alcotest.bool "identity collapsed" true (Egraph.equiv g id l))
+          ids leaves;
+        check Alcotest.bool "a ban was issued" true
+          ((Runner.state_stats state).Runner.bans >= 1));
+    Alcotest.test_case "unconfirmed saturation defers the cool-down" `Quick
+      (fun () ->
+        (* A constrained rule is deferred to the cool-down under the
+           backoff scheduler, so with [confirm_saturation:false] the
+           runner hands back an unconfirmed candidate (zero unions, not
+           saturated) without firing it; asking again with confirmation
+           on fires it and reaches a genuine fixpoint. *)
+        let g = Egraph.create () in
+        let a = Egraph.add_leaf g (tensor "a") in
+        let na = Egraph.add_op g Op.Neg [ a ] in
+        let ea = Egraph.add_op g Op.Exp [ a ] in
+        let rule =
+          Rule.make ~constrained:true "ratify"
+            (Pattern.p Op.Neg [ Pattern.v "x" ])
+            (Pattern.p Op.Exp [ Pattern.v "x" ])
+        in
+        let state =
+          Runner.create_state ~scheduler:Runner.Backoff ~incremental:true ()
+        in
+        let r1 = Runner.run ~confirm_saturation:false ~state g [ rule ] in
+        check Alcotest.bool "candidate, not confirmed" false
+          r1.Runner.saturated;
+        check Alcotest.int "nothing applied" 0 r1.Runner.unions;
+        check Alcotest.bool "classes still apart" false (Egraph.equiv g na ea);
+        let r2 = Runner.run ~confirm_saturation:true ~state g [ rule ] in
+        check Alcotest.bool "confirmed" true r2.Runner.saturated;
+        check Alcotest.bool "constrained rule fired" true
+          (Egraph.equiv g na ea));
   ]
+
+(* Satellite: whatever the scheduler and matching mode, saturation must
+   reach the same equivalence closure. Random unions seed diverse
+   e-graph shapes; a tight match budget forces actual bans on the
+   backoff states so the cool-down path is exercised too. *)
+let scheduler_equivalence_property =
+  qtest
+    (QCheck.Test.make ~name:"schedulers reach identical equivalences" ~count:40
+       QCheck.(
+         list_of_size (Gen.int_range 0 15)
+           (pair (int_range 0 5) (int_range 0 5)))
+       (fun pairs ->
+         let rules =
+           [
+             Rule.make "double-neg"
+               (Pattern.p Op.Neg [ Pattern.p Op.Neg [ Pattern.v "x" ] ])
+               (Pattern.v "x");
+             Rule.make "identity-elim"
+               (Pattern.p Op.Identity [ Pattern.v "x" ])
+               (Pattern.v "x");
+           ]
+         in
+         let build scheduler incremental =
+           let g = Egraph.create () in
+           let leaves =
+             Array.init 6 (fun i ->
+                 Egraph.add_leaf g (tensor (Printf.sprintf "t%d" i)))
+           in
+           let wrap f = Array.to_list (Array.map f leaves) in
+           let terms =
+             Array.to_list leaves
+             @ wrap (fun l -> Egraph.add_op g Op.Neg [ l ])
+             @ wrap (fun l ->
+                   Egraph.add_op g Op.Neg [ Egraph.add_op g Op.Neg [ l ] ])
+             @ wrap (fun l -> Egraph.add_op g Op.Identity [ l ])
+           in
+           List.iter
+             (fun (i, j) -> ignore (Egraph.union g leaves.(i) leaves.(j)))
+             pairs;
+           Egraph.rebuild g;
+           let state =
+             Runner.create_state ~scheduler ~incremental ~match_limit:4
+               ~ban_length:1 ()
+           in
+           ignore (Runner.run ~state g rules);
+           (* Terms were created in the same order in every graph, so
+              positions correspond across configurations. *)
+           List.map
+             (fun x -> List.map (fun y -> Egraph.equiv g x y) terms)
+             terms
+         in
+         let reference = build Runner.Simple false in
+         List.for_all
+           (fun m -> m = reference)
+           [
+             build Runner.Simple true;
+             build Runner.Backoff false;
+             build Runner.Backoff true;
+           ]))
 
 let extract_tests =
   [
@@ -297,6 +600,7 @@ let suite =
     ("egraph.union-find", union_find_tests);
     ("egraph.congruence", congruence_tests @ [ congruence_property ]);
     ("egraph.ematch", ematch_tests);
-    ("egraph.runner", runner_tests);
+    ("egraph.incremental", incremental_tests);
+    ("egraph.runner", runner_tests @ [ scheduler_equivalence_property ]);
     ("egraph.extract", extract_tests);
   ]
