@@ -24,10 +24,21 @@ let section title =
   Fmt.pr "%s@." title;
   hr ()
 
-let time_check ?config ?hit_counter inst =
+let time_check ?config inst =
   let t0 = Unix.gettimeofday () in
-  let result = Instance.check ?config ?hit_counter inst in
+  let result = Instance.check ?config inst in
   (Unix.gettimeofday () -. t0, result)
+
+let result_stats = function
+  | Ok (s : Entangle.Refine.success) -> s.stats
+  | Error (f : Entangle.Refine.failure) -> f.stats
+
+(* Per-lemma application counts now come out of the checker's stats
+   (they are a fold over the trace event stream) instead of the old
+   [?hit_counter] hashtable side channel. *)
+let rule_hits result = (result_stats result).Entangle.Refine.rule_hits
+
+let hit_count hits name = Option.value (List.assoc_opt name hits) ~default:0
 
 (* --- Figure 3 --------------------------------------------------------- *)
 
@@ -111,10 +122,11 @@ let fig5 () =
   in
   List.iter
     (fun (name, inst) ->
-      let hits = Hashtbl.create 64 in
-      let _ = time_check ~hit_counter:hits inst in
+      let _, result = time_check inst in
       let used =
-        Hashtbl.fold (fun k v acc -> if v > 0 then k :: acc else acc) hits []
+        List.filter_map
+          (fun (k, v) -> if v > 0 then Some k else None)
+          (rule_hits result)
       in
       let complexities =
         List.filter_map
@@ -168,19 +180,15 @@ let fig6 () =
   let results =
     List.map
       (fun (name, build) ->
-        let hits = Hashtbl.create 64 in
-        let _ = time_check ~hit_counter:hits (build ()) in
-        (name, hits))
+        let _, result = time_check (build ()) in
+        (name, rule_hits result))
       rows
   in
   (* Columns: lemmas that were applied at least once by some model. *)
   let applied =
     List.filteri
       (fun _ (l : Entangle_lemmas.Lemma.t) ->
-        List.exists
-          (fun (_, hits) ->
-            Option.value (Hashtbl.find_opt hits l.name) ~default:0 > 0)
-          results)
+        List.exists (fun (_, hits) -> hit_count hits l.name > 0) results)
       corpus
   in
   Fmt.pr "%-12s" "";
@@ -191,7 +199,7 @@ let fig6 () =
       Fmt.pr "%-12s" name;
       List.iter
         (fun (l : Entangle_lemmas.Lemma.t) ->
-          let c = Option.value (Hashtbl.find_opt hits l.name) ~default:0 in
+          let c = hit_count hits l.name in
           if c = 0 then Fmt.pr "  ."
           else
             let bucket =
@@ -233,10 +241,6 @@ let table3 () =
     (Bugs.all ())
 
 (* --- Ablation ---------------------------------------------------------- *)
-
-let result_stats = function
-  | Ok (s : Entangle.Refine.success) -> s.stats
-  | Error (f : Entangle.Refine.failure) -> f.stats
 
 let verdict_str = function Ok _ -> "refines" | Error _ -> "FAILED"
 
@@ -280,6 +284,22 @@ let json_record ?name inst config_name secs result =
     s.Entangle.Refine.egraph_classes_peak
 
 let bench_egraph_json = "BENCH_egraph.json"
+let bench_trace_json = "BENCH_trace.json"
+
+(* A Chrome trace of one default-config GPT verification, emitted
+   alongside the numeric summary so regressions can be inspected
+   visually in Perfetto. *)
+let emit_reference_trace () =
+  let module Trace = Entangle_trace in
+  let oc = open_out bench_trace_json in
+  let ch = Trace.Chrome.create oc in
+  let config =
+    Entangle.Config.default |> Entangle.Config.with_trace (Trace.Chrome.sink ch)
+  in
+  let _ = Instance.check ~config (Gpt.build ~layers:1 ~degree:2 ~heads:4 ()) in
+  Trace.Chrome.close ch;
+  close_out oc;
+  Fmt.pr "wrote %s (%d events)@." bench_trace_json (Trace.Chrome.event_count ch)
 
 let ablation () =
   section "Ablation: the optimizations of section 4.3";
@@ -382,7 +402,8 @@ let ablation () =
     records;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
-  Fmt.pr "wrote %s (%d runs)@." bench_egraph_json (List.length records)
+  Fmt.pr "wrote %s (%d runs)@." bench_egraph_json (List.length records);
+  emit_reference_trace ()
 
 (* --- Smoke: scheduler verdict equivalence as a build gate --------------- *)
 
@@ -449,7 +470,47 @@ let counters () =
   Fmt.pr "agreement: %s;  speedup: %.0fx@."
     (if cached = recomputed then "exact" else "MISMATCH")
     (recomputed_t /. Float.max 1e-9 cached_t);
-  if cached <> recomputed then exit 1
+  if cached <> recomputed then exit 1;
+
+  (* The tracing API's zero-overhead claim: a disabled sink behind the
+     [Sink.enabled] guard used at every hot call site must not allocate.
+     Each loop iteration takes the same guarded path instrumented code
+     takes; with [Sink.null] the args list is never built, so minor-heap
+     words must stay flat. The enabled Collect sink is measured alongside
+     for contrast. *)
+  let module Trace = Entangle_trace in
+  section "Micro-benchmark: null-sink emission cost";
+  let iters = 1_000_000 in
+  let guarded_emits sink =
+    let module Sink = Trace.Sink in
+    let module Event = Trace.Event in
+    for i = 1 to iters do
+      if Sink.enabled sink then
+        Sink.instant sink ~cat:"bench" "tick" ~args:[ ("i", Event.Int i) ]
+    done
+  in
+  let words_during f =
+    let before = Gc.minor_words () in
+    f ();
+    Gc.minor_words () -. before
+  in
+  ignore (words_during (fun () -> guarded_emits Trace.Sink.null));
+  let null_words = words_during (fun () -> guarded_emits Trace.Sink.null) in
+  let collect = Trace.Collect.create () in
+  let collect_words =
+    words_during (fun () -> guarded_emits (Trace.Collect.sink collect))
+  in
+  Fmt.pr "%-28s %12.0f minor words  (%d guarded emits)@." "null sink"
+    null_words iters;
+  Fmt.pr "%-28s %12.0f minor words  (%d events collected)@." "collect sink"
+    collect_words
+    (Trace.Collect.length collect);
+  if null_words > 0. then begin
+    Fmt.epr "null sink allocated %.0f minor words; guard is not free@."
+      null_words;
+    exit 1
+  end;
+  Fmt.pr "null sink: zero allocation@."
 
 (* --- Extensions beyond the paper's evaluation --------------------------- *)
 
@@ -491,8 +552,7 @@ let perf () =
       Test.make ~name:"fig4-gpt-degree4" (Staged.stage (fun () ->
           ignore (Instance.check (Gpt.build ~layers:1 ~degree:4 ~heads:4 ()))));
       Test.make ~name:"fig6-lemma-hits" (Staged.stage (fun () ->
-          let hits = Hashtbl.create 64 in
-          ignore (Instance.check ~hit_counter:hits (Qwen2.build ()))));
+          ignore (rule_hits (Instance.check (Qwen2.build ())))));
       Test.make ~name:"table3-bug6" (Staged.stage (fun () ->
           ignore (Bugs.run (Bugs.case 6))));
     ]

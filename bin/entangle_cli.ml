@@ -3,14 +3,99 @@
 
 open Cmdliner
 open Entangle_models
+module Trace = Entangle_trace
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
 
-let verbose =
-  let doc = "Print equality-saturation debug output." in
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+(* --- shared output/diagnostics options ---------------------------------- *)
+
+(* One term for the flags every subcommand shares, instead of the
+   per-command copies that used to drift: verbosity, JSON output, and
+   the diagnostics sinks (--trace streams Chrome trace events to a
+   file, --profile collects events and prints a summary table). *)
+module Output_opts = struct
+  type t = {
+    verbose : bool;
+    json : bool;
+    trace : string option;
+    profile : bool;
+  }
+
+  let term =
+    let verbose =
+      let doc = "Print equality-saturation debug output." in
+      Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+    in
+    let json =
+      let doc = "Emit machine-readable JSON where the command supports it." in
+      Arg.(value & flag & info [ "json" ] ~doc)
+    in
+    let trace =
+      let doc =
+        "Write a Chrome trace-event JSON of the run to $(docv): \
+         per-operator spans, per-iteration saturation counters, per-rule \
+         hit events and e-graph growth samples. Load the file in \
+         chrome://tracing or https://ui.perfetto.dev."
+      in
+      Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+    in
+    let profile =
+      let doc =
+        "Collect trace events in memory and print a per-operator / \
+         per-rule profile summary after the run."
+      in
+      Arg.(value & flag & info [ "profile" ] ~doc)
+    in
+    let make verbose json trace profile = { verbose; json; trace; profile } in
+    Term.(const make $ verbose $ json $ trace $ profile)
+
+  (* Set up the sinks the options ask for, run [f] with the combined
+     sink, then finish the trace file and print the profile. The
+     Chrome file is closed even when [f] raises, so a crashed run
+     still leaves a loadable trace. *)
+  let with_sink o f =
+    setup_logs o.verbose;
+    let collector = if o.profile then Some (Trace.Collect.create ()) else None in
+    let chrome =
+      Option.map
+        (fun path ->
+          let oc = open_out path in
+          (path, oc, Trace.Chrome.create oc))
+        o.trace
+    in
+    let sink =
+      Trace.Sink.tee
+        (match collector with
+        | Some c -> Trace.Collect.sink c
+        | None -> Trace.Sink.null)
+        (match chrome with
+        | Some (_, _, ch) -> Trace.Chrome.sink ch
+        | None -> Trace.Sink.null)
+    in
+    let finally () =
+      Option.iter
+        (fun (path, oc, ch) ->
+          Trace.Chrome.close ch;
+          close_out oc;
+          Fmt.pr "wrote trace %s (%d events)@." path (Trace.Chrome.event_count ch))
+        chrome
+    in
+    Fun.protect ~finally (fun () ->
+        let code = f sink in
+        Option.iter
+          (fun c ->
+            Fmt.pr "@.%a@." Trace.Profile.pp
+              (Trace.Profile.of_events (Trace.Collect.events c)))
+          collector;
+        code)
+
+  (* The checker configuration the options imply, on top of [base]. *)
+  let config ?(base = Entangle.Config.default) o sink =
+    ignore o;
+    base |> Entangle.Config.with_trace sink
+end
 
 let check_instance ?config inst =
   Fmt.pr "Checking %a@." Instance.pp inst;
@@ -74,43 +159,44 @@ let full_match_arg =
            modified since the rule's last search.")
 
 let verify_cmd =
-  let run verbose model degree layers scheduler full_match =
-    setup_logs verbose;
-    let config =
-      {
-        Entangle.Config.default with
-        Entangle.Config.scheduler;
-        incremental_matching = not full_match;
-      }
-    in
-    let inst =
-      match String.lowercase_ascii model with
-      | "gpt" -> Some (Gpt.build ~layers ~degree ())
-      | "llama" | "llama-3" | "llama3" -> Some (Llama.build ~layers ~degree ())
-      | "qwen2" | "qwen" -> Some (Qwen2.build ~layers ~degree ())
-      | "bytedance" | "moe" -> Some (Moe.build ~degree ~layers ())
-      | "bytedance-bwd" | "moe-bwd" -> Some (Moe.build_backward ~degree ())
-      | "regression" -> Some (Regression.build ~microbatches:degree ())
-      | "linear-bwd" -> Some (Train.linear_backward ~degree ())
-      | "dp" | "data-parallel" -> Some (Train.data_parallel ~replicas:degree ())
-      | "pipeline" | "pp" ->
-          Some (Train.pipeline ~microbatches:degree ~layers:layers ())
-      | _ -> None
-    in
-    match inst with
-    | Some inst -> check_instance ~config inst
-    | None ->
-        Fmt.epr "unknown model %s; try: %a@." model
-          Fmt.(list ~sep:comma string)
-          Zoo.names;
-        124
+  let run opts model degree layers scheduler full_match =
+    Output_opts.with_sink opts (fun sink ->
+        let config =
+          Entangle.Config.default
+          |> Entangle.Config.with_scheduler scheduler
+          |> Entangle.Config.with_incremental_matching (not full_match)
+          |> Entangle.Config.with_trace sink
+        in
+        let inst =
+          match String.lowercase_ascii model with
+          | "gpt" -> Some (Gpt.build ~layers ~degree ())
+          | "llama" | "llama-3" | "llama3" ->
+              Some (Llama.build ~layers ~degree ())
+          | "qwen2" | "qwen" -> Some (Qwen2.build ~layers ~degree ())
+          | "bytedance" | "moe" -> Some (Moe.build ~degree ~layers ())
+          | "bytedance-bwd" | "moe-bwd" -> Some (Moe.build_backward ~degree ())
+          | "regression" -> Some (Regression.build ~microbatches:degree ())
+          | "linear-bwd" -> Some (Train.linear_backward ~degree ())
+          | "dp" | "data-parallel" ->
+              Some (Train.data_parallel ~replicas:degree ())
+          | "pipeline" | "pp" ->
+              Some (Train.pipeline ~microbatches:degree ~layers ())
+          | _ -> None
+        in
+        match inst with
+        | Some inst -> check_instance ~config inst
+        | None ->
+            Fmt.epr "unknown model %s; try: %a@." model
+              Fmt.(list ~sep:comma string)
+              Zoo.names;
+            124)
   in
   let info =
     Cmd.info "verify" ~doc:"Check that a distributed model refines its spec."
   in
   Cmd.v info
     Term.(
-      const run $ verbose $ model_arg $ degree_arg $ layers_arg
+      const run $ Output_opts.term $ model_arg $ degree_arg $ layers_arg
       $ scheduler_arg $ full_match_arg)
 
 (* --- localize ----------------------------------------------------------- *)
@@ -119,27 +205,29 @@ let bug_arg =
   Arg.(required & pos 0 (some int) None & info [] ~docv:"BUG" ~doc:"Bug id, 1-9.")
 
 let localize_cmd =
-  let run verbose id =
-    setup_logs verbose;
-    match Bugs.case id with
-    | exception Invalid_argument e ->
-        Fmt.epr "%s@." e;
-        124
-    | case -> (
-        Fmt.pr "Bug %d (%s): %s@.@." case.Bugs.id case.Bugs.framework
-          case.Bugs.description;
-        match Bugs.run case with
-        | Bugs.Detected report ->
-            Fmt.pr "%s@." report;
-            0
-        | Bugs.Missed ->
-            Fmt.pr "NOT DETECTED: the checker accepted the implementation@.";
-            1)
+  let run opts id =
+    Output_opts.with_sink opts (fun sink ->
+        let config = Output_opts.config opts sink in
+        match Bugs.case id with
+        | exception Invalid_argument e ->
+            Fmt.epr "%s@." e;
+            124
+        | case -> (
+            Fmt.pr "Bug %d (%s): %s@.@." case.Bugs.id case.Bugs.framework
+              case.Bugs.description;
+            match Bugs.run ~config case with
+            | Bugs.Detected report ->
+                Fmt.pr "%s@." report;
+                0
+            | Bugs.Missed ->
+                Fmt.pr "NOT DETECTED: the checker accepted the implementation@.";
+                1))
   in
   let info =
-    Cmd.info "localize" ~doc:"Reproduce and localize one of the 9 case-study bugs."
+    Cmd.info "localize"
+      ~doc:"Reproduce and localize one of the 9 case-study bugs."
   in
-  Cmd.v info Term.(const run $ verbose $ bug_arg)
+  Cmd.v info Term.(const run $ Output_opts.term $ bug_arg)
 
 (* --- check-files: verify graphs loaded from disk ------------------------ *)
 
@@ -153,29 +241,30 @@ let read_file path =
 let file_arg name doc = Arg.(required & opt (some file) None & info [ name ] ~doc)
 
 let check_files_cmd =
-  let run verbose gs_path gd_path rel_path =
-    setup_logs verbose;
-    let ( let* ) = Result.bind in
-    let outcome =
-      let* gs = Entangle_ir.Serial.graph_of_string (read_file gs_path) in
-      let* gd = Entangle_ir.Serial.graph_of_string (read_file gd_path) in
-      let* input_relation =
-        Entangle.Relation_io.of_string ~gs ~gd (read_file rel_path)
-      in
-      Ok (gs, gd, input_relation)
-    in
-    match outcome with
-    | Error e ->
-        Fmt.epr "error loading inputs: %s@." e;
-        124
-    | Ok (gs, gd, input_relation) -> (
-        match Entangle.Refine.check ~gs ~gd ~input_relation () with
-        | Ok success ->
-            Fmt.pr "%a@." (Entangle.Report.pp_success gs) success;
-            0
-        | Error failure ->
-            Fmt.pr "%a@." (Entangle.Report.pp_failure gs) failure;
-            1)
+  let run opts gs_path gd_path rel_path =
+    Output_opts.with_sink opts (fun sink ->
+        let config = Output_opts.config opts sink in
+        let ( let* ) = Result.bind in
+        let outcome =
+          let* gs = Entangle_ir.Serial.graph_of_string (read_file gs_path) in
+          let* gd = Entangle_ir.Serial.graph_of_string (read_file gd_path) in
+          let* input_relation =
+            Entangle.Relation_io.of_string ~gs ~gd (read_file rel_path)
+          in
+          Ok (gs, gd, input_relation)
+        in
+        match outcome with
+        | Error e ->
+            Fmt.epr "error loading inputs: %s@." e;
+            124
+        | Ok (gs, gd, input_relation) -> (
+            match Entangle.Refine.check ~config ~gs ~gd ~input_relation () with
+            | Ok success ->
+                Fmt.pr "%a@." (Entangle.Report.pp_success gs) success;
+                0
+            | Error failure ->
+                Fmt.pr "%a@." (Entangle.Report.pp_failure gs) failure;
+                1))
   in
   let info =
     Cmd.info "check-files"
@@ -185,113 +274,120 @@ let check_files_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ verbose
+      const run $ Output_opts.term
       $ file_arg "gs" "Sequential graph file."
       $ file_arg "gd" "Distributed graph file."
       $ file_arg "rel" "Input relation file.")
 
+(* --- export ------------------------------------------------------------- *)
+
 let export_cmd =
-  let run model dir dot =
-    match Zoo.by_name model with
-    | None ->
-        Fmt.epr "unknown model %s@." model;
-        124
-    | Some inst ->
-        let write name contents =
-          let path = Filename.concat dir name in
-          let oc = open_out path in
-          output_string oc contents;
-          output_string oc "\n";
-          close_out oc;
-          Fmt.pr "wrote %s@." path
-        in
-        write (model ^ "-seq.ent")
-          (Entangle_ir.Serial.graph_to_string inst.Instance.gs);
-        write (model ^ "-dist.ent")
-          (Entangle_ir.Serial.graph_to_string inst.Instance.gd);
-        write (model ^ "-rel.ent")
-          (Entangle.Relation_io.to_string inst.Instance.input_relation);
-        if dot then begin
-          write (model ^ "-seq.dot") (Entangle_ir.Dot.to_dot inst.Instance.gs);
-          write (model ^ "-dist.dot") (Entangle_ir.Dot.to_dot inst.Instance.gd)
-        end;
-        0
+  let run opts model dir dot =
+    Output_opts.with_sink opts (fun _sink ->
+        match Zoo.by_name model with
+        | None ->
+            Fmt.epr "unknown model %s@." model;
+            124
+        | Some inst ->
+            let write name contents =
+              let path = Filename.concat dir name in
+              let oc = open_out path in
+              output_string oc contents;
+              output_string oc "\n";
+              close_out oc;
+              Fmt.pr "wrote %s@." path
+            in
+            write (model ^ "-seq.ent")
+              (Entangle_ir.Serial.graph_to_string inst.Instance.gs);
+            write (model ^ "-dist.ent")
+              (Entangle_ir.Serial.graph_to_string inst.Instance.gd);
+            write (model ^ "-rel.ent")
+              (Entangle.Relation_io.to_string inst.Instance.input_relation);
+            if dot then begin
+              write (model ^ "-seq.dot")
+                (Entangle_ir.Dot.to_dot inst.Instance.gs);
+              write (model ^ "-dist.dot")
+                (Entangle_ir.Dot.to_dot inst.Instance.gd)
+            end;
+            0)
   in
   let info =
-    Cmd.info "export" ~doc:"Write a built-in model's graphs and relation to .ent files."
+    Cmd.info "export"
+      ~doc:"Write a built-in model's graphs and relation to .ent files."
   in
   Cmd.v info
     Term.(
-      const run $ model_arg
+      const run $ Output_opts.term $ model_arg
       $ Arg.(value & opt dir "." & info [ "o"; "output" ] ~doc:"Output directory.")
       $ Arg.(value & flag & info [ "dot" ] ~doc:"Also write Graphviz .dot renderings."))
 
 (* --- list / lemmas ------------------------------------------------------ *)
 
 let list_cmd =
-  let run () =
-    Fmt.pr "Models:@.";
-    List.iter (fun n -> Fmt.pr "  %s@." n) Zoo.names;
-    Fmt.pr "@.Bugs:@.";
-    List.iter
-      (fun c ->
-        Fmt.pr "  %d: [%s] %s@." c.Bugs.id c.Bugs.framework c.Bugs.description)
-      (Bugs.all ());
-    0
+  let run opts =
+    Output_opts.with_sink opts (fun _sink ->
+        Fmt.pr "Models:@.";
+        List.iter (fun n -> Fmt.pr "  %s@." n) Zoo.names;
+        Fmt.pr "@.Bugs:@.";
+        List.iter
+          (fun c ->
+            Fmt.pr "  %d: [%s] %s@." c.Bugs.id c.Bugs.framework
+              c.Bugs.description)
+          (Bugs.all ());
+        0)
   in
   Cmd.v (Cmd.info "list" ~doc:"List built-in models and bug cases.")
-    Term.(const run $ const ())
+    Term.(const run $ Output_opts.term)
 
 let lemmas_cmd =
-  let run () =
-    let all = Entangle_lemmas.Registry.all in
-    Fmt.pr "%d lemmas, %d rules:@." (List.length all)
-      (List.length (Entangle_lemmas.Lemma.rules all));
-    List.iteri
-      (fun i l -> Fmt.pr "  %2d %a@." i Entangle_lemmas.Lemma.pp l)
-      all;
-    0
+  let run opts =
+    Output_opts.with_sink opts (fun _sink ->
+        let all = Entangle_lemmas.Registry.all in
+        Fmt.pr "%d lemmas, %d rules:@." (List.length all)
+          (List.length (Entangle_lemmas.Lemma.rules all));
+        List.iteri
+          (fun i l -> Fmt.pr "  %2d %a@." i Entangle_lemmas.Lemma.pp l)
+          all;
+        0)
   in
   Cmd.v (Cmd.info "lemmas" ~doc:"Show the lemma corpus.")
-    Term.(const run $ const ())
+    Term.(const run $ Output_opts.term)
 
 (* --- lint --------------------------------------------------------------- *)
 
 let lint_cmd =
   let module A = Entangle_analysis in
-  let run verbose json seed =
-    setup_logs verbose;
-    let named =
-      List.concat_map
-        (fun name ->
-          match Zoo.by_name name with
-          | None -> []
-          | Some inst ->
-              [
-                (name ^ "/seq", inst.Instance.gs);
-                (name ^ "/dist", inst.Instance.gd);
-              ])
-        Zoo.names
-    in
-    let graph_diags = A.Lint.graphs named in
-    let corpus_diags, stats = A.Lint.corpus ~seed () in
-    let diags = graph_diags @ corpus_diags in
-    if json then print_endline (A.Diagnostic.report_to_json diags)
-    else begin
-      Fmt.pr "Linted %d graphs; audited %d lemmas (%d exercised, %d \
-              differential comparisons).@."
-        (List.length named) stats.A.Lemma_check.lemmas_audited
-        stats.A.Lemma_check.lemmas_exercised stats.A.Lemma_check.comparisons;
-      if stats.A.Lemma_check.unexercised <> [] then
-        Fmt.pr "Unexercised lemmas: %a@."
-          Fmt.(list ~sep:comma string)
-          stats.A.Lemma_check.unexercised;
-      Fmt.pr "%a@." A.Diagnostic.pp_report diags
-    end;
-    A.Lint.exit_code diags
-  in
-  let json =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  let run opts seed =
+    Output_opts.with_sink opts (fun _sink ->
+        let named =
+          List.concat_map
+            (fun name ->
+              match Zoo.by_name name with
+              | None -> []
+              | Some inst ->
+                  [
+                    (name ^ "/seq", inst.Instance.gs);
+                    (name ^ "/dist", inst.Instance.gd);
+                  ])
+            Zoo.names
+        in
+        let graph_diags = A.Lint.graphs named in
+        let corpus_diags, stats = A.Lint.corpus ~seed () in
+        let diags = graph_diags @ corpus_diags in
+        if opts.Output_opts.json then
+          print_endline (A.Diagnostic.report_to_json diags)
+        else begin
+          Fmt.pr "Linted %d graphs; audited %d lemmas (%d exercised, %d \
+                  differential comparisons).@."
+            (List.length named) stats.A.Lemma_check.lemmas_audited
+            stats.A.Lemma_check.lemmas_exercised stats.A.Lemma_check.comparisons;
+          if stats.A.Lemma_check.unexercised <> [] then
+            Fmt.pr "Unexercised lemmas: %a@."
+              Fmt.(list ~sep:comma string)
+              stats.A.Lemma_check.unexercised;
+          Fmt.pr "%a@." A.Diagnostic.pp_report diags
+        end;
+        A.Lint.exit_code diags)
   in
   let seed =
     Arg.(
@@ -306,7 +402,35 @@ let lint_cmd =
          soundness audit. Exits non-zero when any error-severity diagnostic \
          is found."
   in
-  Cmd.v info Term.(const run $ verbose $ json $ seed)
+  Cmd.v info Term.(const run $ Output_opts.term $ seed)
+
+(* --- trace-check: validate an emitted trace ------------------------------ *)
+
+let trace_check_cmd =
+  let run opts file =
+    Output_opts.with_sink opts (fun _sink ->
+        match Trace.Chrome.validate (read_file file) with
+        | Ok n ->
+            Fmt.pr "%s: valid Chrome trace (%d events)@." file n;
+            0
+        | Error e ->
+            Fmt.epr "%s: INVALID trace: %s@." file e;
+            1)
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file written by --trace.")
+  in
+  let info =
+    Cmd.info "trace-check"
+      ~doc:
+        "Validate a --trace output file: it must parse as Chrome trace-event \
+         JSON with balanced spans and contain every required event phase and \
+         category (the $(b,dune build @trace-smoke) gate)."
+  in
+  Cmd.v info Term.(const run $ Output_opts.term $ file)
 
 let main =
   let info =
@@ -322,6 +446,7 @@ let main =
       list_cmd;
       lemmas_cmd;
       lint_cmd;
+      trace_check_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

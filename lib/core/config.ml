@@ -9,6 +9,7 @@ type t = {
   check_egraph_invariants : bool;
   scheduler : Runner.scheduler_kind;
   incremental_matching : bool;
+  trace : Entangle_trace.Sink.t;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     check_egraph_invariants = false;
     scheduler = Runner.Backoff;
     incremental_matching = true;
+    trace = Entangle_trace.Sink.null;
   }
 
 let no_frontier = { default with frontier_optimization = false }
@@ -28,3 +30,12 @@ let no_pruning = { default with prune_equivalent = false; max_alternates = 8 }
 
 let simple_runner =
   { default with scheduler = Runner.Simple; incremental_matching = false }
+
+(* Builders: pipeline-friendly (`Config.default |> with_scheduler ...`)
+   so call sites stop open-coding record updates as the flag set
+   grows. *)
+let with_limits limits t = { t with limits }
+let with_scheduler scheduler t = { t with scheduler }
+let with_incremental_matching incremental_matching t =
+  { t with incremental_matching }
+let with_trace trace t = { t with trace }

@@ -1,7 +1,11 @@
 (** Checker configuration.
 
     The two optimization toggles correspond to the paper's section 4.3
-    and exist so the ablation benchmarks can quantify each one. *)
+    and exist so the ablation benchmarks can quantify each one. The
+    remaining fields have accumulated with the runner rework (PR 2) and
+    the diagnostics subsystem (PR 3); prefer the [with_*] builders over
+    open-coded record updates when deriving configurations from
+    {!default}. *)
 
 open Entangle_egraph
 
@@ -34,6 +38,15 @@ type t = {
       (** Re-match each rule only against e-classes modified since that
           rule's last search (default). Off = re-match every candidate
           class every iteration. *)
+  trace : Entangle_trace.Sink.t;
+      (** Where structured trace events go: per-operator spans,
+          per-iteration saturation counters, per-rule hit events and
+          e-graph growth samples (see {!Entangle_trace.Event} for the
+          vocabulary). Default {!Entangle_trace.Sink.null}, which
+          costs one branch per instrumentation point and allocates
+          nothing. The checker derives its [stats] from this event
+          stream whatever sink is installed, so statistics and traces
+          can never disagree. *)
 }
 
 val default : t
@@ -44,3 +57,13 @@ val simple_runner : t
 (** The pre-incremental runner: [Simple] scheduling and exhaustive
     re-matching every iteration. The baseline of the scheduler
     ablation. *)
+
+(** {1 Builders}
+
+    [Config.default |> with_scheduler Simple |> with_trace sink] — each
+    returns an updated copy, so they chain with [|>]. *)
+
+val with_limits : Runner.limits -> t -> t
+val with_scheduler : Runner.scheduler_kind -> t -> t
+val with_incremental_matching : bool -> t -> t
+val with_trace : Entangle_trace.Sink.t -> t -> t

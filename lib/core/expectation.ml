@@ -10,7 +10,7 @@ let extend graph expr what =
   | Ok (g, t) -> (g, t)
   | Error e -> invalid_arg (Fmt.str "Expectation.check: %s: %s" what e)
 
-let check ?config ?rules ?hit_counter ~gs ~gd ~input_relation ~fs ~fd () =
+let check ?config ?rules ~gs ~gd ~input_relation ~fs ~fd () =
   let gs', fs_t = extend gs fs "fs" in
   let gd', fd_t = extend gd fd "fd" in
   (* Narrow the outputs to the expectation values so that the output
@@ -25,10 +25,7 @@ let check ?config ?rules ?hit_counter ~gs ~gd ~input_relation ~fs ~fd () =
     | Ok g -> g
     | Error e -> invalid_arg e
   in
-  match
-    Refine.check ?config ?rules ?hit_counter ~gs:gs' ~gd:gd'
-      ~input_relation ()
-  with
+  match Refine.check ?config ?rules ~gs:gs' ~gd:gd' ~input_relation () with
   | Error failure ->
       Error
         {

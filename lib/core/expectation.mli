@@ -20,7 +20,6 @@ type violation = {
 val check :
   ?config:Config.t ->
   ?rules:Rule.t list ->
-  ?hit_counter:(string, int) Hashtbl.t ->
   gs:Graph.t ->
   gd:Graph.t ->
   input_relation:Relation.t ->

@@ -1,5 +1,7 @@
 open Entangle_ir
 open Entangle_egraph
+module Sink = Entangle_trace.Sink
+module Event = Entangle_trace.Event
 
 type outcome = {
   mappings : Expr.t list;
@@ -19,7 +21,7 @@ let load_definition g node =
   in
   ignore (Egraph.union g out def)
 
-let compute ~config ?hit_counter ~rules ~gs ~gd ~relation v =
+let compute ~config ~sink ~rules ~gs ~gd ~relation v =
   let store = Graph.constraints gd in
   let g = Egraph.create ~constraints:store () in
   let limits = config.Config.limits in
@@ -90,7 +92,7 @@ let compute ~config ?hit_counter ~rules ~gs ~gd ~relation v =
         incr rounds_used;
         let report =
           Runner.run ~limits:round_limits ~confirm_saturation:confirm
-            ?invariant_check ?hit_counter ~state g rules
+            ?invariant_check ~sink ~state g rules
         in
         reports := report :: !reports;
         report
@@ -98,52 +100,67 @@ let compute ~config ?hit_counter ~rules ~gs ~gd ~relation v =
       let have_mapping () =
         Option.is_some (Extract.best_clean g ~leaf_ok:is_gd base)
       in
-      if config.Config.frontier_optimization then begin
-        (* Listing 3: iteratively load the distributed subgraph related
-           to v. T_rel starts from the tensors appearing in the
-           relation's mappings for v's inputs (the cone anchors) and
-           grows through each loaded node's output, so exploration is
-           bounded by the downstream cone of v's inputs rather than the
-           whole distributed graph. *)
-        let t_rel =
-          ref
-            (List.fold_left
-               (fun acc t ->
-                 List.fold_left
-                   (fun acc expr ->
+      if config.Config.frontier_optimization then
+        Sink.span sink ~cat:"phase" "frontier" (fun () ->
+            (* Listing 3: iteratively load the distributed subgraph
+               related to v. T_rel starts from the tensors appearing in
+               the relation's mappings for v's inputs (the cone anchors)
+               and grows through each loaded node's output, so
+               exploration is bounded by the downstream cone of v's
+               inputs rather than the whole distributed graph. *)
+            let t_rel =
+              ref
+                (List.fold_left
+                   (fun acc t ->
                      List.fold_left
-                       (fun acc leaf ->
-                         if is_gd leaf then Tensor.Set.add leaf acc else acc)
-                       acc (Expr.leaves expr))
-                   acc (Relation.find relation t))
-               Tensor.Set.empty (Node.inputs v))
-        in
-        let explored = Hashtbl.create 64 in
-        let continue = ref true in
-        while !continue do
-          let frontier =
-            List.filter
-              (fun n ->
-                (not (Hashtbl.mem explored (Node.id n)))
-                && List.for_all (fun t -> Tensor.Set.mem t !t_rel) (Node.inputs n))
-              (Graph.nodes gd)
-          in
-          if frontier = [] then continue := false
-          else
-            List.iter
-              (fun n ->
-                Hashtbl.replace explored (Node.id n) ();
-                load_definition g n;
-                t_rel := Tensor.Set.add (Node.output n) !t_rel)
-              frontier
-        done;
-        Egraph.rebuild g
-      end
-      else begin
-        (* Unoptimized Listing 2: load the whole distributed graph. *)
-        List.iter (load_definition g) (Graph.nodes gd);
-        Egraph.rebuild g
-      end;
+                       (fun acc expr ->
+                         List.fold_left
+                           (fun acc leaf ->
+                             if is_gd leaf then Tensor.Set.add leaf acc
+                             else acc)
+                           acc (Expr.leaves expr))
+                       acc (Relation.find relation t))
+                   Tensor.Set.empty (Node.inputs v))
+            in
+            let explored = Hashtbl.create 64 in
+            let wave = ref 0 in
+            let continue = ref true in
+            while !continue do
+              let frontier =
+                List.filter
+                  (fun n ->
+                    (not (Hashtbl.mem explored (Node.id n)))
+                    && List.for_all
+                         (fun t -> Tensor.Set.mem t !t_rel)
+                         (Node.inputs n))
+                  (Graph.nodes gd)
+              in
+              if frontier = [] then continue := false
+              else begin
+                List.iter
+                  (fun n ->
+                    Hashtbl.replace explored (Node.id n) ();
+                    load_definition g n;
+                    t_rel := Tensor.Set.add (Node.output n) !t_rel)
+                  frontier;
+                incr wave;
+                if Sink.enabled sink then
+                  Sink.instant sink "frontier-wave" ~cat:"frontier"
+                    ~args:
+                      [
+                        ("wave", Event.Int !wave);
+                        ("loaded", Event.Int (List.length frontier));
+                        ("t_rel", Event.Int (Tensor.Set.cardinal !t_rel));
+                      ]
+              end
+            done;
+            Egraph.rebuild g)
+      else
+        Sink.span sink ~cat:"phase" "load" (fun () ->
+            (* Unoptimized Listing 2: load the whole distributed
+               graph. *)
+            List.iter (load_definition g) (Graph.nodes gd);
+            Egraph.rebuild g);
       (* Saturate round by round, stopping shortly after a clean mapping
          for v's output exists. Running to full saturation is wasted
          work once the relation entry is derivable, and the extra
@@ -179,7 +196,22 @@ let compute ~config ?hit_counter ~rules ~gs ~gd ~relation v =
           else saturate_rounds (if mapped then settling - 1 else settling)
         end
       in
+      Sink.span_begin sink ~cat:"phase" "saturate";
       saturate_rounds 2;
+      Sink.span_end sink ~cat:"phase" "saturate"
+        ~args:[ ("rounds", Event.Int !rounds_used) ];
+      (* A growth sample at the operator's final e-graph: num_nodes is
+         monotone, so this is the operator's node peak; classes can
+         shrink through merges, so mid-iteration samples (emitted by the
+         runner) may exceed it. *)
+      if Sink.enabled sink then
+        Sink.counter sink "egraph" ~cat:"egraph"
+          ~args:
+            [
+              ("nodes", Event.Int (Egraph.num_nodes g));
+              ("classes", Event.Int (Egraph.num_classes g));
+            ];
+      Sink.span_begin sink ~cat:"phase" "extract";
       (* Step 4: extract clean expressions for v's output. Every
          distributed leaf in the class is itself a (cost-zero) clean
          mapping; recording them all keeps replicated values visible to
@@ -246,10 +278,17 @@ let compute ~config ?hit_counter ~rules ~gs ~gd ~relation v =
           in
           alternates
       in
+      let output_mappings = dedup (Option.to_list best_output) in
+      Sink.span_end sink ~cat:"phase" "extract"
+        ~args:
+          [
+            ("mappings", Event.Int (List.length mappings));
+            ("output_mappings", Event.Int (List.length output_mappings));
+          ];
       Ok
         {
           mappings;
-          output_mappings = dedup (Option.to_list best_output);
+          output_mappings;
           reports = List.rev !reports;
           egraph_nodes = Egraph.num_nodes g;
           egraph_classes = Egraph.num_classes g;

@@ -23,7 +23,7 @@ type outcome = {
 
 val compute :
   config:Config.t ->
-  ?hit_counter:(string, int) Hashtbl.t ->
+  sink:Entangle_trace.Sink.t ->
   rules:Rule.t list ->
   gs:Graph.t ->
   gd:Graph.t ->
@@ -32,4 +32,13 @@ val compute :
   (outcome, string) result
 (** [Error] signals a malformed query (an input of [v] has no mapping in
     the relation), not a refinement failure — the latter is an [Ok] with
-    empty [mappings]. *)
+    empty [mappings].
+
+    [sink] receives the per-operator phase spans ([frontier]/[load],
+    [saturate], [extract]), per-wave frontier-growth instants and a
+    final e-graph growth sample, on top of whatever the saturation
+    runner emits; pass {!Entangle_trace.Sink.null} to disable. Note
+    [sink] is taken explicitly rather than read from
+    [config.Config.trace]: {!Refine.check} tees its own statistics
+    aggregator into the configured sink and hands the combined sink
+    down. *)

@@ -1,5 +1,7 @@
 open Entangle_ir
-open Entangle_egraph
+module Trace = Entangle_trace
+module Sink = Trace.Sink
+module Event = Trace.Event
 
 type stats = {
   operators_processed : int;
@@ -26,8 +28,25 @@ type failure = {
   stats : stats;
 }
 
-let check ?(config = Config.default) ?rules ?hit_counter ~gs ~gd
-    ~input_relation () =
+let stats_of_agg ~wall_time_s agg =
+  {
+    operators_processed = Trace.Agg.operators agg;
+    saturation_iterations = Trace.Agg.iterations agg;
+    egraph_nodes_peak = Trace.Agg.nodes_peak agg;
+    egraph_classes_peak = Trace.Agg.classes_peak agg;
+    matches_examined = Trace.Agg.matches agg;
+    unions_applied = Trace.Agg.unions agg;
+    rule_hits = Trace.Agg.rule_hits agg;
+    wall_time_s;
+  }
+
+let stats_of_events ?(wall_time_s = 0.) events =
+  let agg = Trace.Agg.create () in
+  let sink = Trace.Agg.sink agg in
+  List.iter (Sink.emit sink) events;
+  stats_of_agg ~wall_time_s agg
+
+let check ?(config = Config.default) ?rules ~gs ~gd ~input_relation () =
   if not (Relation.is_clean input_relation) then
     invalid_arg "Refine.check: input relation contains non-clean expressions";
   if config.Config.lint_graphs then begin
@@ -49,26 +68,14 @@ let check ?(config = Config.default) ?rules ?hit_counter ~gs ~gd
     | Some r -> r
     | None -> Entangle_lemmas.Lemma.rules Entangle_lemmas.Registry.all
   in
-  let hit_counter =
-    match hit_counter with Some c -> c | None -> Hashtbl.create 64
-  in
+  (* Statistics are a fold over the same event stream any configured
+     trace sink receives: the aggregator is itself a sink, teed with
+     [config.trace], so [stats] and a collected trace are projections
+     of identical events and cannot disagree. *)
+  let agg = Trace.Agg.create () in
+  let sink = Sink.tee (Trace.Agg.sink agg) config.Config.trace in
   let t0 = Unix.gettimeofday () in
-  let iters = ref 0 and peak = ref 0 and processed = ref 0 in
-  let classes_peak = ref 0 and matches = ref 0 and unions = ref 0 in
-  let stats () =
-    {
-      operators_processed = !processed;
-      saturation_iterations = !iters;
-      egraph_nodes_peak = !peak;
-      egraph_classes_peak = !classes_peak;
-      matches_examined = !matches;
-      unions_applied = !unions;
-      rule_hits =
-        Hashtbl.fold (fun k v acc -> (k, v) :: acc) hit_counter []
-        |> List.sort (fun (a, _) (b, _) -> String.compare a b);
-      wall_time_s = Unix.gettimeofday () -. t0;
-    }
-  in
+  let stats () = stats_of_agg ~wall_time_s:(Unix.gettimeofday () -. t0) agg in
   let fail operator reason relation =
     Error
       {
@@ -80,8 +87,28 @@ let check ?(config = Config.default) ?rules ?hit_counter ~gs ~gd
         stats = stats ();
       }
   in
+  let op_begin index v =
+    if Sink.enabled sink then
+      Sink.span_begin sink ~cat:"operator"
+        (Op.name (Node.op v))
+        ~args:
+          [
+            ("output", Event.Str (Fmt.str "%a" Tensor.pp_name (Node.output v)));
+            ("index", Event.Int index);
+          ]
+  in
+  let op_end ~processed ~mappings v =
+    if Sink.enabled sink then
+      Sink.span_end sink ~cat:"operator"
+        (Op.name (Node.op v))
+        ~args:
+          [
+            ("processed", Event.Bool processed);
+            ("mappings", Event.Int mappings);
+          ]
+  in
   (* Listing 1: process operators in topological order, accumulating R. *)
-  let rec go relation output_relation = function
+  let rec go index relation output_relation = function
     | [] ->
         Ok
           {
@@ -90,20 +117,17 @@ let check ?(config = Config.default) ?rules ?hit_counter ~gs ~gd
             stats = stats ();
           }
     | v :: rest -> (
+        op_begin index v;
         match
-          Node_rel.compute ~config ~hit_counter ~rules ~gs ~gd ~relation v
+          Node_rel.compute ~config ~sink ~rules ~gs ~gd ~relation v
         with
-        | Error reason -> fail v reason relation
+        | Error reason ->
+            op_end ~processed:false ~mappings:0 v;
+            fail v reason relation
         | Ok outcome -> (
-            List.iter
-              (fun (r : Runner.report) ->
-                iters := !iters + r.iterations;
-                matches := !matches + r.matches;
-                unions := !unions + r.unions)
-              outcome.reports;
-            peak := max !peak outcome.egraph_nodes;
-            classes_peak := max !classes_peak outcome.egraph_classes;
-            incr processed;
+            op_end ~processed:true
+              ~mappings:(List.length outcome.mappings)
+              v;
             match outcome.mappings with
             | [] ->
                 fail v
@@ -126,10 +150,10 @@ let check ?(config = Config.default) ?rules ?hit_counter ~gs ~gd
                            Tensor.pp_name out)
                         relation
                   | out_maps ->
-                      go relation
+                      go (index + 1) relation
                         (Relation.add_all output_relation out out_maps)
                         rest
-                else go relation output_relation rest))
+                else go (index + 1) relation output_relation rest))
   in
   (* Sequential inputs that are also outputs pass through via identity. *)
   let output_relation0 =
@@ -140,4 +164,6 @@ let check ?(config = Config.default) ?rules ?hit_counter ~gs ~gd
         else acc)
       Relation.empty (Graph.outputs gs)
   in
-  go input_relation output_relation0 (Graph.nodes gs)
+  let result = go 0 input_relation output_relation0 (Graph.nodes gs) in
+  Sink.flush config.Config.trace;
+  result

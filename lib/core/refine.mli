@@ -43,7 +43,6 @@ type failure = {
 val check :
   ?config:Config.t ->
   ?rules:Rule.t list ->
-  ?hit_counter:(string, int) Hashtbl.t ->
   gs:Graph.t ->
   gd:Graph.t ->
   input_relation:Relation.t ->
@@ -52,4 +51,21 @@ val check :
 (** [rules] defaults to the full ATen corpus
     ({!Entangle_lemmas.Registry.all}). Raises [Invalid_argument] when
     the input relation is not clean or does not cover the sequential
-    graph's inputs that are actually used. *)
+    graph's inputs that are actually used.
+
+    Diagnostics flow through [config.Config.trace]
+    ({!Entangle_trace.Sink}): per-operator spans with
+    frontier/saturate/extract phases, per-iteration saturation
+    counters, per-rule hit events and e-graph growth samples. The
+    [stats] of the result are a fold ({!Entangle_trace.Agg}) over that
+    same event stream — per-rule application counts, previously the
+    removed [?hit_counter] parameter, are in [stats.rule_hits] — so a
+    collected trace and the statistics can never disagree
+    ({!stats_of_events} performs the same fold over a collected event
+    list). *)
+
+val stats_of_events :
+  ?wall_time_s:float -> Entangle_trace.Event.t list -> stats
+(** Derive a [stats] record from a collected trace (the same fold
+    {!check} applies on the fly). [wall_time_s] defaults to [0.] —
+    wall time is a clock reading, not an event aggregate. *)

@@ -99,10 +99,8 @@ let rule_state st idx =
       Hashtbl.replace st.rule_states idx rs;
       rs
 
-let bump counter name n =
-  if n > 0 then
-    let prev = Option.value (Hashtbl.find_opt counter name) ~default:0 in
-    Hashtbl.replace counter name (prev + n)
+module Sink = Entangle_trace.Sink
+module Event = Entangle_trace.Event
 
 let log_src = Logs.Src.create "entangle.runner" ~doc:"Equality saturation"
 
@@ -218,6 +216,22 @@ let collect rule classes ~cap ~since ~conditional g =
    finish the work. *)
 let max_matches_per_rule = 20_000
 
+(* Per-pass observability: what one trip over the rule list did. The
+   totals feed the per-iteration trace span; [p_complete] is the
+   fixpoint argument (see below). *)
+type pass_info = {
+  p_matches : int;
+  p_hits : int;
+  p_complete : bool;
+  p_searched : int;  (** rules that actually ran a search *)
+  p_full : int;  (** of those, full (non-delta) searches *)
+  p_delta : int;  (** incremental (dirty-set) searches *)
+  p_truncated : int;  (** collects that hit a cap or per-class budget *)
+  p_banned : int;  (** rules skipped under an active ban *)
+  p_deferred : int;  (** constrained rules deferred to cool-down *)
+  p_new_bans : int;  (** bans issued during this pass *)
+}
+
 (* One pass over the rule list. With [full] bans are ignored (the
    caller lifts them first) and constrained rules are applied over
    their complete match set — the cool-down that makes the scheduler
@@ -232,13 +246,16 @@ let max_matches_per_rule = 20_000
    matching is on: matching is as local as anyone's, so the cool-down
    delta-collects fresh substitutions and re-applies the accumulated
    cache ([cached_matches]) instead of re-matching from scratch. *)
-let pass ~limits ~counter st g indexed ~full =
+let pass ~limits ~sink st g indexed ~full =
   let total_matches = ref 0 and total_hits = ref 0 in
   (* [complete]: this pass left no candidate unexamined that could
      reveal new work — a zero-hit complete pass is a genuine fixpoint.
      Incremental searches only break completeness for constrained
      rules (see above); bans and capped collects always do. *)
   let complete = ref true in
+  let searched = ref 0 and full_searches = ref 0 and delta_searches = ref 0 in
+  let truncations = ref 0 and banned_count = ref 0 and deferred_count = ref 0 in
+  let new_bans = ref 0 in
   List.iter
     (fun (idx, fam, rule) ->
       let rs = rule_state st idx in
@@ -262,7 +279,10 @@ let pass ~limits ~counter st g indexed ~full =
       let deferred =
         (not full) && st.scheduler = Backoff && rule.Rule.constrained
       in
-      if banned || deferred then complete := false
+      if banned || deferred then begin
+        if banned then incr banned_count else incr deferred_count;
+        complete := false
+      end
       else begin
         (* Globally-dependent rules in incremental mode search their
            delta and re-apply [cached_matches] (see {!rule_state}):
@@ -273,6 +293,8 @@ let pass ~limits ~counter st g indexed ~full =
         let classes, was_full =
           candidates st g fam rs ~full:(full && global && not st.incremental)
         in
+        incr searched;
+        if was_full then incr full_searches else incr delta_searches;
         if (not was_full) && global && not use_cache then complete := false;
         let threshold =
           match st.scheduler with
@@ -317,7 +339,17 @@ let pass ~limits ~counter st g indexed ~full =
           rs.banned_until <-
             st.iteration + (st.ban_length lsl min (rs.times_banned - 1) 20);
           st.bans <- st.bans + 1;
+          incr new_bans;
           complete := false;
+          if Sink.enabled sink then
+            Sink.instant sink "rule-ban" ~cat:"rule"
+              ~args:
+                [
+                  ("rule", Event.Str rule.Rule.name);
+                  ("banned_until", Event.Int rs.banned_until);
+                  ("matches", Event.Int n);
+                  ("threshold", Event.Int threshold);
+                ];
           Log.debug (fun m ->
               m "rule %s banned until iteration %d (%d matches > %d)"
                 rule.Rule.name rs.banned_until n threshold)
@@ -328,7 +360,10 @@ let pass ~limits ~counter st g indexed ~full =
              what was gathered but leave [last_gen] untouched so the
              remainder is revisited, and refuse to call the pass
              complete. *)
-          if n >= cap || class_truncated then complete := false
+          if n >= cap || class_truncated then begin
+            incr truncations;
+            complete := false
+          end
           else rs.last_gen <- Egraph.generation g;
           let to_apply =
             if use_cache then begin
@@ -347,20 +382,38 @@ let pass ~limits ~counter st g indexed ~full =
           let hits = apply_bounded ~limits rule g to_apply in
           total_hits := !total_hits + hits;
           st.unions_applied <- st.unions_applied + hits;
-          bump counter rule.Rule.name hits
+          (* The per-rule hit record the old [?hit_counter] hashtable
+             used to carry: one instant event per rule per pass that
+             actually merged classes. *)
+          if hits > 0 && Sink.enabled sink then
+            Sink.instant sink "rule-hit" ~cat:"rule"
+              ~args:
+                [
+                  ("rule", Event.Str rule.Rule.name);
+                  ("hits", Event.Int hits);
+                  ("matches", Event.Int n);
+                ]
         end
       end)
     indexed;
-  (!total_matches, !total_hits, !complete)
+  {
+    p_matches = !total_matches;
+    p_hits = !total_hits;
+    p_complete = !complete;
+    p_searched = !searched;
+    p_full = !full_searches;
+    p_delta = !delta_searches;
+    p_truncated = !truncations;
+    p_banned = !banned_count;
+    p_deferred = !deferred_count;
+    p_new_bans = !new_bans;
+  }
 
 let unban_all st =
   Hashtbl.iter (fun _ rs -> rs.banned_until <- 0) st.rule_states
 
-let run ?(limits = default_limits) ?(confirm_saturation = true) ?hit_counter
-    ?invariant_check ?state g rules =
-  let counter =
-    match hit_counter with Some c -> c | None -> Hashtbl.create 16
-  in
+let run ?(limits = default_limits) ?(confirm_saturation = true)
+    ?(sink = Sink.null) ?invariant_check ?state g rules =
   let st = match state with Some s -> s | None -> create_state () in
   let indexed = List.mapi (fun i r -> (i, root_family r, r)) rules in
   let matches_total = ref 0 and unions_total = ref 0 in
@@ -378,6 +431,34 @@ let run ?(limits = default_limits) ?(confirm_saturation = true) ?hit_counter
     Egraph.rebuild g;
     match invariant_check with Some f -> f g | None -> ()
   in
+  (* One span per iteration of the main loop (the scheduled pass plus,
+     when it produced a fixpoint candidate, the cool-down pass run in
+     the same iteration), closed with the iteration's totals plus an
+     e-graph growth sample — the trace counterpart of [report]. *)
+  let end_iteration ~cooldown p extra_matches extra_hits =
+    if Sink.enabled sink then begin
+      Sink.counter sink "egraph" ~cat:"egraph"
+        ~args:
+          [
+            ("nodes", Event.Int (Egraph.num_nodes g));
+            ("classes", Event.Int (Egraph.num_classes g));
+          ];
+      Sink.span_end sink "iteration" ~cat:"iteration"
+        ~args:
+          [
+            ("matches", Event.Int (p.p_matches + extra_matches));
+            ("unions", Event.Int (p.p_hits + extra_hits));
+            ("rules_searched", Event.Int p.p_searched);
+            ("full_searches", Event.Int p.p_full);
+            ("delta_searches", Event.Int p.p_delta);
+            ("truncated", Event.Int p.p_truncated);
+            ("banned", Event.Int p.p_banned);
+            ("deferred", Event.Int p.p_deferred);
+            ("new_bans", Event.Int p.p_new_bans);
+            ("cooldown", Event.Bool cooldown);
+          ]
+    end
+  in
   let rec go iter =
     if
       iter >= limits.max_iterations
@@ -385,28 +466,37 @@ let run ?(limits = default_limits) ?(confirm_saturation = true) ?hit_counter
       || Egraph.num_classes g > limits.max_classes
     then finish iter false
     else begin
-      let matches, hits, complete =
-        pass ~limits ~counter st g indexed ~full:false
-      in
+      if Sink.enabled sink then
+        Sink.span_begin sink "iteration" ~cat:"iteration"
+          ~args:[ ("iteration", Event.Int st.iteration) ];
+      let p = pass ~limits ~sink st g indexed ~full:false in
       settle ();
-      matches_total := !matches_total + matches;
-      unions_total := !unions_total + hits;
+      matches_total := !matches_total + p.p_matches;
+      unions_total := !unions_total + p.p_hits;
       Log.debug (fun m ->
           m "iteration %d: %d matches, %d unions, %d nodes, %d classes"
-            st.iteration matches hits (Egraph.num_nodes g)
+            st.iteration p.p_matches p.p_hits (Egraph.num_nodes g)
             (Egraph.num_classes g));
       let over_budget () =
         Egraph.num_nodes g > limits.max_nodes
         || Egraph.num_classes g > limits.max_classes
       in
       st.iteration <- st.iteration + 1;
-      if hits > 0 then go (iter + 1)
-      else if over_budget () then finish (iter + 1) false
-      else if complete then
+      if p.p_hits > 0 then begin
+        end_iteration ~cooldown:false p 0 0;
+        go (iter + 1)
+      end
+      else if over_budget () then begin
+        end_iteration ~cooldown:false p 0 0;
+        finish (iter + 1) false
+      end
+      else if p.p_complete then begin
         (* Every rule searched every candidate class and nothing
            merged: a genuine fixpoint. *)
+        end_iteration ~cooldown:false p 0 0;
         finish (iter + 1) true
-      else if not confirm_saturation then
+      end
+      else if not confirm_saturation then begin
         (* Fixpoint candidate, but the caller declined to pay for
            confirmation: deferred constrained rules and banned rules
            have not had their full pass, so report [saturated = false]
@@ -414,7 +504,9 @@ let run ?(limits = default_limits) ?(confirm_saturation = true) ?hit_counter
            report is the driver's cue to either stop (it already has
            the answer it was saturating for) or call again with
            confirmation on. *)
+        end_iteration ~cooldown:false p 0 0;
         finish (iter + 1) false
+      end
       else begin
         (* No unions from the scheduled (incremental and/or
            ban-throttled) pass: a fixpoint candidate. Before declaring
@@ -423,19 +515,19 @@ let run ?(limits = default_limits) ?(confirm_saturation = true) ?hit_counter
            can appear anywhere without dirtying the matched class) plus
            an incremental catch-up of everything else. Only an empty
            complete cool-down is a genuine fixpoint. *)
+        Sink.instant sink "cooldown" ~cat:"iteration";
         unban_all st;
-        let matches2, hits2, complete2 =
-          pass ~limits ~counter st g indexed ~full:true
-        in
+        let p2 = pass ~limits ~sink st g indexed ~full:true in
         settle ();
-        matches_total := !matches_total + matches2;
-        unions_total := !unions_total + hits2;
+        matches_total := !matches_total + p2.p_matches;
+        unions_total := !unions_total + p2.p_hits;
         Log.debug (fun m ->
             m "iteration %d (cool-down): %d matches, %d unions"
-              st.iteration matches2 hits2);
+              st.iteration p2.p_matches p2.p_hits);
         st.iteration <- st.iteration + 1;
-        if hits2 = 0 then
-          finish (iter + 1) (complete2 && not (over_budget ()))
+        end_iteration ~cooldown:true p2 p.p_matches p.p_hits;
+        if p2.p_hits = 0 then
+          finish (iter + 1) (p2.p_complete && not (over_budget ()))
         else if over_budget () then finish (iter + 1) false
         else go (iter + 1)
       end

@@ -18,6 +18,15 @@
       every overflow, keeping explosive rules from dominating early
       iterations.
 
+    The runner is instrumented for the structured tracing subsystem
+    ({!Entangle_trace}): pass a sink and it emits one span per
+    iteration (matches, unions, search-mode and truncation counters,
+    ban activity, cool-down markers), an e-graph growth sample per
+    iteration, and per-rule [rule-hit]/[rule-ban] instants — the event
+    vocabulary of {!Entangle_trace.Event}. With the default
+    {!Entangle_trace.Sink.null} the instrumentation is a dead branch:
+    no event, argument list or closure is allocated.
+
     Both are completeness-preserving. For unconstrained rules
     (syntactic or conditional) incremental matching is already exact:
     matches and applier conditions are match-local (see {!Rule}), and
@@ -83,7 +92,7 @@ val state_stats : state -> stats
 val run :
   ?limits:limits ->
   ?confirm_saturation:bool ->
-  ?hit_counter:(string, int) Hashtbl.t ->
+  ?sink:Entangle_trace.Sink.t ->
   ?invariant_check:(Egraph.t -> unit) ->
   ?state:state ->
   Egraph.t ->
@@ -100,9 +109,12 @@ val run :
     with [unions = 0] and [saturated = false] under
     [confirm_saturation:false] is exactly such an unconfirmed candidate.
 
-    [hit_counter] accumulates, per rule name, the number of applications
-    that merged classes; pass the same table across runs to aggregate
-    counts over a whole verification.
+    [sink] (default {!Entangle_trace.Sink.null}) receives the trace
+    events described above. Per-rule application counts — previously
+    the [?hit_counter] hashtable parameter — arrive as [rule-hit]
+    instants; collect them with {!Entangle_trace.Collect} or fold them
+    with {!Entangle_trace.Agg} to aggregate counts over a whole
+    verification.
 
     [invariant_check] is a debug hook invoked on the e-graph after every
     {!Egraph.rebuild} (i.e. once per iteration, when the congruence

@@ -19,9 +19,9 @@ let make ~name ~family ~strategies ~degree ~layers ~gs ~gd ~input_relation
 
 let operator_count t = Graph.num_nodes t.gs + Graph.num_nodes t.gd
 
-let check ?config ?hit_counter t =
+let check ?config t =
   let rules = Entangle_lemmas.Registry.rules_for_model t.family in
-  Entangle.Refine.check ?config ~rules ?hit_counter ~gs:t.gs ~gd:t.gd
+  Entangle.Refine.check ?config ~rules ~gs:t.gs ~gd:t.gd
     ~input_relation:t.input_relation ()
 
 let pp ppf t =

@@ -34,10 +34,11 @@ val operator_count : t -> int
 
 val check :
   ?config:Entangle.Config.t ->
-  ?hit_counter:(string, int) Hashtbl.t ->
   t ->
   (Entangle.Refine.success, Entangle.Refine.failure) result
 (** Run the refinement checker with the instance's model-family lemma
-    set. *)
+    set. Per-lemma application counts are in the result's
+    [stats.rule_hits]; richer diagnostics flow through the trace sink
+    carried by [config] ([Entangle.Config.with_trace]). *)
 
 val pp : t Fmt.t

@@ -1,0 +1,54 @@
+type t = {
+  mutable operators : int;
+  mutable iterations : int;
+  mutable matches : int;
+  mutable unions : int;
+  mutable nodes_peak : int;
+  mutable classes_peak : int;
+  hits : (string, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    operators = 0;
+    iterations = 0;
+    matches = 0;
+    unions = 0;
+    nodes_peak = 0;
+    classes_peak = 0;
+    hits = Hashtbl.create 64;
+  }
+
+let arg ev key = Option.value (Event.arg_int ev key) ~default:0
+
+let fold t (ev : Event.t) =
+  match (ev.phase, ev.cat) with
+  | Event.End, "operator" ->
+      if Event.arg_bool ev "processed" = Some true then
+        t.operators <- t.operators + 1
+  | Event.End, "iteration" ->
+      t.iterations <- t.iterations + 1;
+      t.matches <- t.matches + arg ev "matches";
+      t.unions <- t.unions + arg ev "unions"
+  | Event.Counter, "egraph" ->
+      t.nodes_peak <- max t.nodes_peak (arg ev "nodes");
+      t.classes_peak <- max t.classes_peak (arg ev "classes")
+  | Event.Instant, "rule" when ev.name = "rule-hit" -> (
+      match Event.arg_str ev "rule" with
+      | None -> ()
+      | Some rule ->
+          let prev = Option.value (Hashtbl.find_opt t.hits rule) ~default:0 in
+          Hashtbl.replace t.hits rule (prev + arg ev "hits"))
+  | _ -> ()
+
+let sink t = Sink.make (fold t)
+let operators t = t.operators
+let iterations t = t.iterations
+let matches t = t.matches
+let unions t = t.unions
+let nodes_peak t = t.nodes_peak
+let classes_peak t = t.classes_peak
+
+let rule_hits t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.hits []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

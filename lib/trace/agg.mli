@@ -1,0 +1,30 @@
+(** Aggregate-counters sink: the fold that derives checker statistics
+    from the event stream.
+
+    [Refine.check] installs one of these (teed with the user's sink)
+    and builds its [stats] record from it, so the statistics and any
+    collected trace are projections of the {e same} events and can
+    never disagree. The aggregator stores a handful of mutable
+    counters, not the events themselves, so it stays cheap even on
+    long runs. *)
+
+type t
+
+val create : unit -> t
+
+val sink : t -> Sink.t
+(** Folds the {!Event} vocabulary: ["operator"] span ends with
+    [processed=true] bump {!operators}; ["iteration"] span ends bump
+    {!iterations} and accumulate their [matches]/[unions] args;
+    ["egraph"] counter samples update the peaks; ["rule-hit"] instants
+    accumulate per-rule hit counts. *)
+
+val operators : t -> int
+val iterations : t -> int
+val matches : t -> int
+val unions : t -> int
+val nodes_peak : t -> int
+val classes_peak : t -> int
+
+val rule_hits : t -> (string * int) list
+(** Sorted by rule name. *)

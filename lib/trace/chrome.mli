@@ -1,0 +1,43 @@
+(** Streaming Chrome trace-event sink.
+
+    Writes the JSON-array flavor of the Chrome trace-event format:
+    one object per {!Event.t} with [name], [cat], [ph] ([B]/[E]/[C]/[i]),
+    [ts] (microseconds relative to the sink's creation), [pid], [tid]
+    and [args]. The resulting file loads directly into
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+
+    Events stream to the channel as they are emitted — nothing is
+    buffered beyond the [out_channel] — so a trace of a run that dies
+    mid-way is still loadable after {!close} is skipped (both viewers
+    tolerate a missing closing bracket). *)
+
+type t
+
+val create : out_channel -> t
+(** Writes the opening bracket immediately. The channel stays owned by
+    the caller; {!close} finishes the JSON but does not close it. *)
+
+val sink : t -> Sink.t
+(** [Sink.flush] flushes the underlying channel. *)
+
+val close : t -> unit
+(** Write the closing bracket and flush. Idempotent. Events emitted
+    after [close] are dropped. *)
+
+val event_count : t -> int
+
+val to_string : Event.t list -> string
+(** Render an already-collected event list as a complete trace
+    document, timestamps rebased to the first event. The pure
+    counterpart of the streaming sink ([--profile]'s collector and the
+    bench harness reuse it). *)
+
+val validate : string -> (int, string) result
+(** Check that a string is a loadable trace: parses as a JSON array of
+    objects, each carrying a string [name]/[cat]/[ph] and a numeric
+    [ts]; that span begins and ends balance; and that the phases [B],
+    [E], [C], [i] and the categories ["operator"], ["phase"],
+    ["iteration"], ["rule"] and ["egraph"] all occur (the event kinds a
+    full checker run must produce). Returns the event count. The
+    [@trace-smoke] build alias runs this over a freshly emitted
+    trace. *)

@@ -1,0 +1,15 @@
+type t = { mutable rev_events : Event.t list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let sink t =
+  Sink.make (fun ev ->
+      t.rev_events <- ev :: t.rev_events;
+      t.count <- t.count + 1)
+
+let events t = List.rev t.rev_events
+let length t = t.count
+
+let clear t =
+  t.rev_events <- [];
+  t.count <- 0

@@ -1,0 +1,13 @@
+(** In-memory collecting sink.
+
+    Buffers every event in emission order; the basis of [--profile]
+    summaries ({!Profile.of_events}) and of the golden trace tests. *)
+
+type t
+
+val create : unit -> t
+val sink : t -> Sink.t
+val events : t -> Event.t list  (** in emission order *)
+
+val length : t -> int
+val clear : t -> unit

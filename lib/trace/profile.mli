@@ -1,0 +1,26 @@
+(** Profile summaries: the [--profile] table.
+
+    Folds a collected event list into per-operator and per-rule
+    aggregates — where the wall time went (operator spans and their
+    frontier/saturate/extract phases) and which lemmas did the work
+    (rule-hit instants, the paper's Figure 6 data). *)
+
+type row = { label : string; count : int; total_s : float }
+
+type t = {
+  operators : row list;
+      (** per operator-span name (the op name), most expensive first *)
+  phases : row list;  (** frontier/load, saturate, extract *)
+  rules : (string * int * int) list;
+      (** rule name, unions applied, matches examined; most-applied
+          first *)
+  bans : (string * int) list;  (** backoff bans per rule *)
+  iterations : int;
+  matches : int;
+  unions : int;
+  nodes_peak : int;
+  classes_peak : int;
+}
+
+val of_events : Event.t list -> t
+val pp : t Fmt.t

@@ -1,0 +1,56 @@
+type t = {
+  enabled : bool;
+  send : Event.t -> unit;
+  flush_fn : unit -> unit;
+}
+
+let null = { enabled = false; send = ignore; flush_fn = ignore }
+let make ?(flush = ignore) send = { enabled = true; send; flush_fn = flush }
+let enabled t = t.enabled
+let emit t ev = if t.enabled then t.send ev
+let now () = Unix.gettimeofday ()
+
+let event name cat phase args = { Event.name; cat; phase; ts = now (); args }
+
+let span_begin t ?(args = []) ~cat name =
+  if t.enabled then t.send (event name cat Event.Begin args)
+
+let span_end t ?(args = []) ~cat name =
+  if t.enabled then t.send (event name cat Event.End args)
+
+let counter t ~args ~cat name =
+  if t.enabled then t.send (event name cat Event.Counter args)
+
+let instant t ?(args = []) ~cat name =
+  if t.enabled then t.send (event name cat Event.Instant args)
+
+let span t ~cat name f =
+  if not t.enabled then f ()
+  else begin
+    span_begin t ~cat name;
+    match f () with
+    | r ->
+        span_end t ~cat name;
+        r
+    | exception e ->
+        span_end t ~cat name;
+        raise e
+  end
+
+let tee a b =
+  if not a.enabled then b
+  else if not b.enabled then a
+  else
+    {
+      enabled = true;
+      send =
+        (fun ev ->
+          a.send ev;
+          b.send ev);
+      flush_fn =
+        (fun () ->
+          a.flush_fn ();
+          b.flush_fn ());
+    }
+
+let flush t = t.flush_fn ()

@@ -387,11 +387,29 @@ let runner_tests =
         let rule =
           Rule.make "identity-elim" (Pattern.p Op.Identity [ Pattern.v "x" ]) (Pattern.v "x")
         in
-        let hits = Hashtbl.create 4 in
-        let report = Runner.run ~hit_counter:hits g [ rule ] in
+        let c = Entangle_trace.Collect.create () in
+        let report =
+          Runner.run ~sink:(Entangle_trace.Collect.sink c) g [ rule ]
+        in
         check Alcotest.bool "saturated" true report.Runner.saturated;
         check Alcotest.bool "identity = a" true (Egraph.equiv g id a);
-        check Alcotest.int "hit counted" 1 (Hashtbl.find hits "identity-elim"));
+        (* Rule applications surface as rule-hit trace events now. *)
+        let hits =
+          List.fold_left
+            (fun acc (ev : Entangle_trace.Event.t) ->
+              if ev.name = "rule-hit" && ev.cat = "rule" then
+                match List.assoc_opt "rule" ev.args with
+                | Some (Entangle_trace.Event.Str "identity-elim") ->
+                    acc
+                    + (match List.assoc_opt "hits" ev.args with
+                      | Some (Entangle_trace.Event.Int n) -> n
+                      | _ -> 0)
+                | _ -> acc
+              else acc)
+            0
+            (Entangle_trace.Collect.events c)
+        in
+        check Alcotest.int "hit counted" 1 hits);
     Alcotest.test_case "node limit stops runaway rules" `Quick (fun () ->
         (* x -> neg(exp(x)) keeps creating fresh exp classes (the
            self-union of the rewrite never collapses the new subterm),
