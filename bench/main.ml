@@ -274,14 +274,16 @@ let json_record ?name inst config_name secs result =
   Fmt.str
     "{\"model\": %S, \"config\": %S, \"time_s\": %.4f, \"verdict\": %S, \
      \"operators\": %d, \"iterations\": %d, \"matches\": %d, \"unions\": \
-     %d, \"nodes_peak\": %d, \"classes_peak\": %d}"
+     %d, \"nodes_peak\": %d, \"classes_peak\": %d, \"retries\": %d, \
+     \"budget_trips\": %d}"
     (json_escape (Option.value name ~default:inst.Instance.name))
     (json_escape config_name)
     secs (verdict_str result)
     (Instance.operator_count inst)
     s.Entangle.Refine.saturation_iterations s.Entangle.Refine.matches_examined
     s.Entangle.Refine.unions_applied s.Entangle.Refine.egraph_nodes_peak
-    s.Entangle.Refine.egraph_classes_peak
+    s.Entangle.Refine.egraph_classes_peak s.Entangle.Refine.retries
+    s.Entangle.Refine.budget_trips
 
 let bench_egraph_json = "BENCH_egraph.json"
 let bench_trace_json = "BENCH_trace.json"
@@ -385,6 +387,33 @@ let ablation () =
      else "DISAGREEMENT — see tables above")
     ratio
     (if ratio >= 2.0 then "met" else "NOT met");
+
+  section "Resilience ablation: escalation cost under starved budgets";
+  Fmt.pr "%-18s %10s %8s %13s %s@." "configuration" "time (s)" "retries"
+    "budget trips" "verdict";
+  List.iter
+    (fun (config_name, config) ->
+      let inst = Regression.build ~microbatches:2 () in
+      let secs, result = time_check ~config inst in
+      let s = result_stats result in
+      push (json_record inst config_name secs result);
+      Fmt.pr "%-18s %10.2f %8d %13d %s@." config_name secs
+        s.Entangle.Refine.retries s.Entangle.Refine.budget_trips
+        (verdict_str result))
+    (let starved =
+       {
+         Entangle_egraph.Runner.default_limits with
+         Entangle_egraph.Runner.max_nodes = 8;
+       }
+     in
+     [
+       ("starved_no_retry",
+        Entangle.Config.default
+        |> Entangle.Config.with_limits starved
+        |> Entangle.Config.with_escalation []);
+       ("starved_escalated",
+        Entangle.Config.default |> Entangle.Config.with_limits starved);
+     ]);
 
   let oc = open_out bench_egraph_json in
   let records = List.rev !json_records in

@@ -4,6 +4,7 @@
 open Cmdliner
 open Entangle_models
 module Trace = Entangle_trace
+module Failpoint = Entangle_failpoint.Failpoint
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -21,6 +22,11 @@ module Output_opts = struct
     json : bool;
     trace : string option;
     profile : bool;
+    deadline : float option;
+    op_deadline : float option;
+    keep_going : bool;
+    no_retries : bool;
+    failpoints : string option;
   }
 
   let term =
@@ -48,15 +54,79 @@ module Output_opts = struct
       in
       Arg.(value & flag & info [ "profile" ] ~doc)
     in
-    let make verbose json trace profile = { verbose; json; trace; profile } in
-    Term.(const make $ verbose $ json $ trace $ profile)
+    let deadline =
+      let doc =
+        "Wall-clock budget for the whole check, in seconds. Checked \
+         cooperatively; exceeding it yields an inconclusive verdict (exit \
+         2), never a hang."
+      in
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+    in
+    let op_deadline =
+      let doc =
+        "Wall-clock budget per operator attempt, in seconds (each \
+         escalation retry gets a fresh allowance)."
+      in
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "op-deadline" ] ~docv:"SECONDS" ~doc)
+    in
+    let keep_going =
+      let doc =
+        "Multi-fault localization: do not stop at the first failing \
+         operator; bind its outputs to opaque placeholders, skip its \
+         dependents, and report every independent fault in one run."
+      in
+      Arg.(value & flag & info [ "k"; "keep-going" ] ~doc)
+    in
+    let no_retries =
+      let doc =
+        "Disable the escalation ladder: accept the first inconclusive \
+         verdict instead of retrying with scaled budgets."
+      in
+      Arg.(value & flag & info [ "no-retries" ] ~doc)
+    in
+    let failpoints =
+      let doc =
+        "Arm fault-injection failpoints, e.g. \
+         $(b,egraph.rebuild=nth:2,symbolic.decide=prob:0.1@7). Grammar: \
+         $(i,name=nth:N|every:K|prob:P@SEED|off), comma-separated. The \
+         ENTANGLE_FAILPOINTS environment variable is read too; this flag \
+         takes precedence per failpoint. Injected faults surface as \
+         internal-error verdicts (exit 3)."
+      in
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "failpoints" ] ~docv:"SPEC" ~doc)
+    in
+    let make verbose json trace profile deadline op_deadline keep_going
+        no_retries failpoints =
+      {
+        verbose;
+        json;
+        trace;
+        profile;
+        deadline;
+        op_deadline;
+        keep_going;
+        no_retries;
+        failpoints;
+      }
+    in
+    Term.(
+      const make $ verbose $ json $ trace $ profile $ deadline $ op_deadline
+      $ keep_going $ no_retries $ failpoints)
 
   (* Set up the sinks the options ask for, run [f] with the combined
      sink, then finish the trace file and print the profile. The
      Chrome file is closed even when [f] raises, so a crashed run
      still leaves a loadable trace. *)
-  let with_sink o f =
-    setup_logs o.verbose;
+  let with_sink_armed o f =
     let collector = if o.profile then Some (Trace.Collect.create ()) else None in
     let chrome =
       Option.map
@@ -91,11 +161,47 @@ module Output_opts = struct
           collector;
         code)
 
+  let with_sink o f =
+    setup_logs o.verbose;
+    match
+      match o.failpoints with
+      | None -> Ok ()
+      | Some spec -> Failpoint.activate_spec spec
+    with
+    | Error e ->
+        Fmt.epr "bad --failpoints spec: %s@." e;
+        124
+    | Ok () -> with_sink_armed o f
+
   (* The checker configuration the options imply, on top of [base]. *)
   let config ?(base = Entangle.Config.default) o sink =
-    ignore o;
-    base |> Entangle.Config.with_trace sink
+    base
+    |> Entangle.Config.with_trace sink
+    |> Entangle.Config.with_check_deadline o.deadline
+    |> Entangle.Config.with_op_deadline o.op_deadline
+    |> Entangle.Config.with_keep_going o.keep_going
+    |> fun c ->
+    if o.no_retries then Entangle.Config.with_escalation [] c else c
 end
+
+(* Exit-code convention shared by the checking subcommands (see
+   Refine.exit_code): success / refinement failure / inconclusive /
+   internal error must be distinguishable by scripts. *)
+let verdict_exits =
+  Cmd.Exit.info 0 ~doc:"the check succeeded (refinement holds)."
+  :: Cmd.Exit.info 1
+       ~doc:
+         "refinement failure: some operator's output provably has no clean \
+          mapping under the lemma corpus."
+  :: Cmd.Exit.info 2
+       ~doc:
+         "inconclusive: a saturation budget or --deadline was exhausted \
+          before a verdict; raise the limits or let escalation retry."
+  :: Cmd.Exit.info 3
+       ~doc:
+         "internal checker error (caught and localized; includes injected \
+          --failpoints faults and certificate-replay mismatches)."
+  :: Cmd.Exit.defaults
 
 let check_instance ?config inst =
   Fmt.pr "Checking %a@." Instance.pp inst;
@@ -111,11 +217,13 @@ let check_instance ?config inst =
           Fmt.pr "Certificate replay on concrete data: OK@.";
           0
       | Error e ->
+          (* The checker said yes but concrete replay disagrees: an
+             internal inconsistency, not a refinement verdict. *)
           Fmt.pr "Certificate replay FAILED: %s@." e;
-          2)
+          3)
   | Error failure ->
       Fmt.pr "%a@." (Entangle.Report.pp_failure inst.Instance.gs) failure;
-      1
+      Entangle.Refine.exit_code (Error failure)
 
 (* --- verify ------------------------------------------------------------ *)
 
@@ -162,10 +270,9 @@ let verify_cmd =
   let run opts model degree layers scheduler full_match =
     Output_opts.with_sink opts (fun sink ->
         let config =
-          Entangle.Config.default
+          Output_opts.config opts sink
           |> Entangle.Config.with_scheduler scheduler
           |> Entangle.Config.with_incremental_matching (not full_match)
-          |> Entangle.Config.with_trace sink
         in
         let inst =
           match String.lowercase_ascii model with
@@ -192,7 +299,8 @@ let verify_cmd =
             124)
   in
   let info =
-    Cmd.info "verify" ~doc:"Check that a distributed model refines its spec."
+    Cmd.info "verify" ~exits:verdict_exits
+      ~doc:"Check that a distributed model refines its spec."
   in
   Cmd.v info
     Term.(
@@ -264,10 +372,10 @@ let check_files_cmd =
                 0
             | Error failure ->
                 Fmt.pr "%a@." (Entangle.Report.pp_failure gs) failure;
-                1))
+                Entangle.Refine.exit_code (Error failure)))
   in
   let info =
-    Cmd.info "check-files"
+    Cmd.info "check-files" ~exits:verdict_exits
       ~doc:
         "Check refinement between graphs loaded from .ent files (see the \
          format in lib/ir/serial.mli)."

@@ -69,5 +69,5 @@ let () =
   | Ok success ->
       Fmt.pr "With the lemma:@.%a@." (Entangle.Report.pp_success gs) success
   | Error f ->
-      Fmt.pr "still failing: %s@." f.reason;
+      Fmt.pr "still failing: %s@." (Entangle.Refine.reason f);
       exit 1

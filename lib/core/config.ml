@@ -1,5 +1,17 @@
 open Entangle_egraph
 
+type rung = {
+  scale : int;
+  scheduler : Runner.scheduler_kind;
+  incremental : bool;
+}
+
+let default_escalation =
+  [
+    { scale = 2; scheduler = Runner.Backoff; incremental = true };
+    { scale = 4; scheduler = Runner.Simple; incremental = false };
+  ]
+
 type t = {
   frontier_optimization : bool;
   prune_equivalent : bool;
@@ -10,6 +22,10 @@ type t = {
   scheduler : Runner.scheduler_kind;
   incremental_matching : bool;
   trace : Entangle_trace.Sink.t;
+  op_deadline_s : float option;
+  check_deadline_s : float option;
+  escalation : rung list;
+  keep_going : bool;
 }
 
 let default =
@@ -23,6 +39,10 @@ let default =
     scheduler = Runner.Backoff;
     incremental_matching = true;
     trace = Entangle_trace.Sink.null;
+    op_deadline_s = None;
+    check_deadline_s = None;
+    escalation = default_escalation;
+    keep_going = false;
   }
 
 let no_frontier = { default with frontier_optimization = false }
@@ -39,3 +59,7 @@ let with_scheduler scheduler t = { t with scheduler }
 let with_incremental_matching incremental_matching t =
   { t with incremental_matching }
 let with_trace trace t = { t with trace }
+let with_op_deadline op_deadline_s t = { t with op_deadline_s }
+let with_check_deadline check_deadline_s t = { t with check_deadline_s }
+let with_escalation escalation t = { t with escalation }
+let with_keep_going keep_going t = { t with keep_going }

@@ -9,6 +9,27 @@
 
 open Entangle_egraph
 
+type rung = {
+  scale : int;
+      (** multiply the discrete saturation budgets
+          (iterations/nodes/classes) by this factor,
+          {!Runner.scale_limits}-style *)
+  scheduler : Runner.scheduler_kind;
+  incremental : bool;  (** incremental e-matching on this attempt *)
+}
+(** One step of the escalation ladder: how to re-run an operator whose
+    first attempt came back {e inconclusive} (a budget tripped before
+    either a mapping or saturation). Each rung also forces a
+    confirmation cool-down, and gets a fresh per-operator deadline
+    allowance (clamped by the whole-check deadline). *)
+
+val default_escalation : rung list
+(** Two rungs: double the limits (same scheduler), then quadruple them
+    under the [Simple] scheduler with full (non-incremental)
+    re-matching — the completeness-first configuration, for when the
+    scheduler heuristics themselves are suspected of starving the
+    derivation. *)
+
 type t = {
   frontier_optimization : bool;
       (** Section 4.3.1: iteratively grow the related subgraph of the
@@ -47,6 +68,29 @@ type t = {
           nothing. The checker derives its [stats] from this event
           stream whatever sink is installed, so statistics and traces
           can never disagree. *)
+  op_deadline_s : float option;
+      (** Wall-clock allowance per operator {e attempt} (each
+          escalation rung gets a fresh allowance). Checked
+          cooperatively once per saturation iteration; tripping yields
+          an [Inconclusive] verdict, never a hang. [None] = no
+          per-operator deadline. *)
+  check_deadline_s : float option;
+      (** Wall-clock allowance for the whole [Refine.check] call,
+          measured from its start. Clamps every per-operator deadline
+          and stops escalation and [keep_going] continuation once
+          exceeded. [None] = no deadline. *)
+  escalation : rung list;
+      (** The escalation ladder (see {!rung}); [[]] disables retries.
+          Retries never flip a verdict that the base attempt could
+          reach: they run only when the base attempt was inconclusive
+          (a budget tripped), and a mapping found on any rung is the
+          same certificate checked the same way. *)
+  keep_going : bool;
+      (** Multi-fault localization: instead of halting at the first
+          failing operator, bind its outputs to opaque placeholder
+          relations, skip (and taint) operators that depend on them,
+          and keep checking independent operators — every localized
+          fault is returned in [failure.faults]. Off by default. *)
 }
 
 val default : t
@@ -67,3 +111,7 @@ val with_limits : Runner.limits -> t -> t
 val with_scheduler : Runner.scheduler_kind -> t -> t
 val with_incremental_matching : bool -> t -> t
 val with_trace : Entangle_trace.Sink.t -> t -> t
+val with_op_deadline : float option -> t -> t
+val with_check_deadline : float option -> t -> t
+val with_escalation : rung list -> t -> t
+val with_keep_going : bool -> t -> t

@@ -9,6 +9,7 @@ type outcome = {
   reports : Runner.report list;
   egraph_nodes : int;
   egraph_classes : int;
+  exhausted : Runner.budget option;
 }
 
 (* Load one distributed node's defining equation into the e-graph:
@@ -21,10 +22,18 @@ let load_definition g node =
   in
   ignore (Egraph.union g out def)
 
-let compute ~config ~sink ~rules ~gs ~gd ~relation v =
+let compute ~config ?deadline ~sink ~rules ~gs ~gd ~relation v =
   let store = Graph.constraints gd in
   let g = Egraph.create ~constraints:store () in
-  let limits = config.Config.limits in
+  let limits =
+    let l = config.Config.limits in
+    (* Merge the caller's absolute deadline with any already in the
+       configured limits; the runner checks the earlier of the two. *)
+    match (l.Runner.deadline, deadline) with
+    | _, None -> l
+    | None, Some d -> { l with Runner.deadline = Some d }
+    | Some a, Some b -> { l with Runner.deadline = Some (Float.min a b) }
+  in
   let reports = ref [] in
   (* Base expression: v applied to its (sequential) input tensors. *)
   let input_ids = List.map (Egraph.add_leaf g) (Node.inputs v) in
@@ -166,38 +175,81 @@ let compute ~config ~sink ~rules ~gs ~gd ~relation v =
          work once the relation entry is derivable, and the extra
          rounds mostly manufacture alternative decompositions whose
          number can grow combinatorially. The two settling rounds let
-         simpler or output-grounded forms appear. *)
+         simpler or output-grounded forms appear.
+
+         The return value is why the loop stopped: [Some b] when budget
+         [b] ran out before a mapping or saturation (the inconclusive
+         outcome escalation retries), [None] otherwise. Per-round
+         reports trip [Iterations] by construction (round limits cap
+         each run at one iteration), so only the loop-level round count
+         maps to [Iterations]; growth, deadline and heap trips are
+         taken from the runner's report. *)
+      let deadline_passed () =
+        match limits.Runner.deadline with
+        | Some d -> Unix.gettimeofday () > d
+        | None -> false
+      in
+      let hard_trip (r : Runner.report) =
+        match r.Runner.tripped with
+        | Some (Runner.Nodes | Runner.Classes | Runner.Deadline | Runner.Heap)
+          ->
+            r.Runner.tripped
+        | Some Runner.Iterations | None -> None
+      in
       let rec saturate_rounds settling =
-        if !rounds_used >= limits.Runner.max_iterations then ()
-        else if Egraph.num_nodes g > limits.Runner.max_nodes then ()
+        if !rounds_used >= limits.Runner.max_iterations then
+          Some Runner.Iterations
+        else if Egraph.num_nodes g > limits.Runner.max_nodes then
+          Some Runner.Nodes
+        else if deadline_passed () then Some Runner.Deadline
         else begin
           let report = one_round ~confirm:false in
           let mapped = have_mapping () in
-          if report.Runner.saturated then ()
-          else if mapped && settling <= 0 then ()
-          else if report.Runner.unions = 0 then begin
-            (* Fixpoint candidate handed back unconfirmed (see
-               {!Runner.run} [confirm_saturation]). With a clean mapping
-               already in hand, the deferred constrained rules could
-               only ratify equalities between existing terms — more
-               alternative forms, not new reachability — so stop here
-               and keep the cool-down unpaid. Without a mapping, ask
-               for confirmation: the constrained rules may be exactly
-               what unblocks the derivation, and only a confirmed
-               [saturated] justifies reporting failure. *)
-            if mapped then ()
-            else begin
-              let report2 = one_round ~confirm:true in
-              if report2.Runner.saturated || report2.Runner.unions = 0
-              then ()
-              else saturate_rounds settling
-            end
-          end
-          else saturate_rounds (if mapped then settling - 1 else settling)
+          if report.Runner.saturated then None
+          else if mapped && settling <= 0 then None
+          else
+            match hard_trip report with
+            | Some b -> if mapped then None else Some b
+            | None ->
+                if report.Runner.unions = 0 then begin
+                  (* Fixpoint candidate handed back unconfirmed (see
+                     {!Runner.run} [confirm_saturation]). With a clean
+                     mapping already in hand, the deferred constrained
+                     rules could only ratify equalities between existing
+                     terms — more alternative forms, not new
+                     reachability — so stop here and keep the cool-down
+                     unpaid. Without a mapping, ask for confirmation:
+                     the constrained rules may be exactly what unblocks
+                     the derivation, and only a confirmed [saturated]
+                     justifies reporting failure. *)
+                  if mapped then None
+                  else begin
+                    let report2 = one_round ~confirm:true in
+                    if report2.Runner.saturated then None
+                    else
+                      match hard_trip report2 with
+                      | Some b ->
+                          if have_mapping () then None else Some b
+                      | None ->
+                          if report2.Runner.unions = 0 then None
+                          else saturate_rounds settling
+                  end
+                end
+                else saturate_rounds (if mapped then settling - 1 else settling)
         end
       in
       Sink.span_begin sink ~cat:"phase" "saturate";
-      saturate_rounds 2;
+      let exhausted = saturate_rounds 2 in
+      (match exhausted with
+      | Some b when Sink.enabled sink ->
+          Sink.instant sink "budget-trip" ~cat:"budget"
+            ~args:
+              [
+                ("budget", Event.Str (Runner.budget_name b));
+                ("operator", Event.Str (Op.name (Node.op v)));
+                ("rounds", Event.Int !rounds_used);
+              ]
+      | _ -> ());
       Sink.span_end sink ~cat:"phase" "saturate"
         ~args:[ ("rounds", Event.Int !rounds_used) ];
       (* A growth sample at the operator's final e-graph: num_nodes is
@@ -292,4 +344,5 @@ let compute ~config ~sink ~rules ~gs ~gd ~relation v =
           reports = List.rev !reports;
           egraph_nodes = Egraph.num_nodes g;
           egraph_classes = Egraph.num_classes g;
+          exhausted;
         }

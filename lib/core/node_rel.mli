@@ -19,10 +19,19 @@ type outcome = {
   reports : Runner.report list;  (** one per saturation round *)
   egraph_nodes : int;
   egraph_classes : int;
+  exhausted : Runner.budget option;
+      (** [Some b] when the saturation loop stopped because budget [b]
+          ran out (rounds, e-graph growth, wall clock, heap) rather
+          than because it saturated or found a mapping. Empty
+          [mappings] with [exhausted = None] means the search
+          saturated: a clean relation is provably absent under the
+          given rules. Empty [mappings] with [Some b] is merely
+          inconclusive — the caller may escalate. *)
 }
 
 val compute :
   config:Config.t ->
+  ?deadline:float ->
   sink:Entangle_trace.Sink.t ->
   rules:Rule.t list ->
   gs:Graph.t ->
@@ -33,6 +42,10 @@ val compute :
 (** [Error] signals a malformed query (an input of [v] has no mapping in
     the relation), not a refinement failure — the latter is an [Ok] with
     empty [mappings].
+
+    [deadline] is an absolute wall-clock bound ([Unix.gettimeofday]
+    scale) merged into the per-round runner limits and checked between
+    rounds; tripping it reports [exhausted = Some Deadline].
 
     [sink] receives the per-operator phase spans ([frontier]/[load],
     [saturate], [extract]), per-wave frontier-growth instants and a

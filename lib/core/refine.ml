@@ -2,6 +2,8 @@ open Entangle_ir
 module Trace = Entangle_trace
 module Sink = Trace.Sink
 module Event = Trace.Event
+module Runner = Entangle_egraph.Runner
+module Failpoint = Entangle_failpoint.Failpoint
 
 type stats = {
   operators_processed : int;
@@ -11,7 +13,34 @@ type stats = {
   matches_examined : int;
   unions_applied : int;
   rule_hits : (string * int) list;
+  retries : int;
+  budget_trips : int;
   wall_time_s : float;
+}
+
+type scope = Operator_scope | Check_scope
+
+type exhausted = {
+  budget : Runner.budget;
+  scope : scope;
+  retries_used : int;
+}
+
+type error = {
+  exn : string;
+  backtrace : string;
+  failpoint : string option;
+}
+
+type verdict =
+  | Unmapped of string
+  | Inconclusive of exhausted
+  | Internal of error
+
+type fault = {
+  fault_operator : Node.t;
+  fault_verdict : verdict;
+  fault_input_mappings : (Tensor.t * Expr.t list) list;
 }
 
 type success = {
@@ -22,11 +51,45 @@ type success = {
 
 type failure = {
   operator : Node.t;
-  reason : string;
+  verdict : verdict;
+  faults : fault list;
+  dependents_skipped : Node.t list;
   partial_relation : Relation.t;
   input_mappings : (Tensor.t * Expr.t list) list;
   stats : stats;
 }
+
+let pp_verdict ppf = function
+  | Unmapped msg -> Fmt.string ppf msg
+  | Inconclusive e ->
+      Fmt.pf ppf
+        "inconclusive: the %s budget was exhausted %s%s — the search ran out \
+         of resources before either finding a clean relation or proving one \
+         absent"
+        (Runner.budget_name e.budget)
+        (match e.scope with
+        | Operator_scope -> "on this operator"
+        | Check_scope -> "for the whole check")
+        (if e.retries_used = 0 then ""
+         else Fmt.str " (after %d escalation retr%s)" e.retries_used
+             (if e.retries_used = 1 then "y" else "ies"))
+  | Internal e ->
+      Fmt.pf ppf "internal error: %s%s"
+        e.exn
+        (match e.failpoint with
+        | Some fp -> Fmt.str " (injected at failpoint %s)" fp
+        | None -> "")
+
+let verdict_to_string v = Fmt.str "%a" pp_verdict v
+let reason f = verdict_to_string f.verdict
+
+let exit_code = function
+  | Ok _ -> 0
+  | Error f -> (
+      match f.verdict with
+      | Unmapped _ -> 1
+      | Inconclusive _ -> 2
+      | Internal _ -> 3)
 
 let stats_of_agg ~wall_time_s agg =
   {
@@ -37,6 +100,8 @@ let stats_of_agg ~wall_time_s agg =
     matches_examined = Trace.Agg.matches agg;
     unions_applied = Trace.Agg.unions agg;
     rule_hits = Trace.Agg.rule_hits agg;
+    retries = Trace.Agg.retries agg;
+    budget_trips = Trace.Agg.budget_trips agg;
     wall_time_s;
   }
 
@@ -75,17 +140,53 @@ let check ?(config = Config.default) ?rules ~gs ~gd ~input_relation () =
   let agg = Trace.Agg.create () in
   let sink = Sink.tee (Trace.Agg.sink agg) config.Config.trace in
   let t0 = Unix.gettimeofday () in
+  let check_deadline =
+    Option.map (fun s -> t0 +. s) config.Config.check_deadline_s
+  in
+  let past_check_deadline () =
+    match check_deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  in
+  (* Absolute deadline for one operator attempt: a fresh per-operator
+     allowance (each escalation rung gets its own), clamped by the
+     whole-check deadline. *)
+  let attempt_deadline () =
+    let now = Unix.gettimeofday () in
+    match (config.Config.op_deadline_s, check_deadline) with
+    | None, None -> None
+    | Some s, None -> Some (now +. s)
+    | None, Some d -> Some d
+    | Some s, Some d -> Some (Float.min (now +. s) d)
+  in
   let stats () = stats_of_agg ~wall_time_s:(Unix.gettimeofday () -. t0) agg in
-  let fail operator reason relation =
-    Error
-      {
-        operator;
-        reason;
-        partial_relation = relation;
-        input_mappings =
-          List.map (fun t -> (t, Relation.find relation t)) (Node.inputs operator);
-        stats = stats ();
-      }
+  let mappings_of v relation =
+    List.map (fun t -> (t, Relation.find relation t)) (Node.inputs v)
+  in
+  let mk_fault v verdict relation =
+    {
+      fault_operator = v;
+      fault_verdict = verdict;
+      fault_input_mappings = mappings_of v relation;
+    }
+  in
+  (* [faults] arrives earliest-first; the failure's scalar
+     [operator]/[verdict]/[input_mappings] mirror the first fault — the
+     operator that localizes the (first) bug, as before. *)
+  let finalize relation faults skipped =
+    match faults with
+    | [] -> assert false
+    | first :: _ ->
+        Error
+          {
+            operator = first.fault_operator;
+            verdict = first.fault_verdict;
+            faults;
+            dependents_skipped = List.rev skipped;
+            partial_relation = relation;
+            input_mappings = first.fault_input_mappings;
+            stats = stats ();
+          }
   in
   let op_begin index v =
     if Sink.enabled sink then
@@ -107,53 +208,219 @@ let check ?(config = Config.default) ?rules ~gs ~gd ~input_relation () =
             ("mappings", Event.Int mappings);
           ]
   in
-  (* Listing 1: process operators in topological order, accumulating R. *)
-  let rec go index relation output_relation = function
-    | [] ->
-        Ok
-          {
-            output_relation;
-            full_relation = relation;
-            stats = stats ();
-          }
-    | v :: rest -> (
-        op_begin index v;
-        match
-          Node_rel.compute ~config ~sink ~rules ~gs ~gd ~relation v
-        with
-        | Error reason ->
-            op_end ~processed:false ~mappings:0 v;
-            fail v reason relation
-        | Ok outcome -> (
-            op_end ~processed:true
-              ~mappings:(List.length outcome.mappings)
-              v;
-            match outcome.mappings with
-            | [] ->
-                fail v
-                  (Fmt.str
-                     "could not map outputs for operator %s: no clean \
-                      expression over the distributed graph reconstructs %a"
-                     (Op.name (Node.op v)) Tensor.pp_name (Node.output v))
-                  relation
-            | mappings ->
-                let out = Node.output v in
-                let relation = Relation.add_all relation out mappings in
-                if Graph.is_output gs out then
-                  match outcome.output_mappings with
+  let no_mapping_msg v =
+    Fmt.str
+      "could not map outputs for operator %s: no clean expression over the \
+       distributed graph reconstructs %a"
+      (Op.name (Node.op v))
+      Tensor.pp_name (Node.output v)
+  in
+  (* An opaque stand-in bound to a faulty operator's output under
+     [keep_going], so the partial relation stays total and the hole is
+     visible by name in reports. *)
+  let opaque t =
+    Expr.leaf
+      (Tensor.create
+         ~name:(Fmt.str "%%opaque:%a" Tensor.pp_name t)
+         (Tensor.shape t))
+  in
+  (* One operator, through the escalation ladder. This is the no-escape
+     boundary: any exception raised by the per-operator computation
+     (rewrite appliers, the symbolic decision procedure, e-graph
+     invariant hooks, injected failpoints) is caught here and reported
+     as an [Internal] verdict localized to [v]. Precondition violations
+     detected before the loop ([Invalid_argument] on unclean input) are
+     deliberately NOT routed through this: they are documented raises. *)
+  let check_operator v relation =
+    let attempt rung =
+      let cfg =
+        match rung with
+        | None -> config
+        | Some (r : Config.rung) ->
+            {
+              config with
+              Config.limits =
+                Runner.scale_limits r.Config.scale config.Config.limits;
+              Config.scheduler = r.Config.scheduler;
+              Config.incremental_matching = r.Config.incremental;
+            }
+      in
+      match
+        Node_rel.compute ~config:cfg ?deadline:(attempt_deadline ()) ~sink
+          ~rules ~gs ~gd ~relation v
+      with
+      | Ok o -> Ok o
+      | Error msg -> Error (Unmapped msg)
+      | exception e ->
+          let backtrace = Printexc.get_backtrace () in
+          let failpoint =
+            match e with Failpoint.Injected name -> Some name | _ -> None
+          in
+          Error (Internal { exn = Printexc.to_string e; backtrace; failpoint })
+    in
+    let rec go retries rung rungs =
+      match attempt rung with
+      | Error v -> Error v
+      | Ok o ->
+          if o.Node_rel.mappings <> [] then Ok (o, retries)
+          else (
+            match o.Node_rel.exhausted with
+            | None ->
+                (* Saturated with no mapping: provably absent under the
+                   given rules, however much budget we add. *)
+                Error (Unmapped (no_mapping_msg v))
+            | Some b ->
+                if past_check_deadline () then
+                  Error
+                    (Inconclusive
+                       {
+                         budget = Runner.Deadline;
+                         scope = Check_scope;
+                         retries_used = retries;
+                       })
+                else (
+                  match rungs with
                   | [] ->
-                      fail v
-                        (Fmt.str
-                           "graph output %a maps into the distributed graph \
-                            but not to its outputs: the value is computed \
-                            yet never exposed"
-                           Tensor.pp_name out)
+                      Error
+                        (Inconclusive
+                           {
+                             budget = b;
+                             scope = Operator_scope;
+                             retries_used = retries;
+                           })
+                  | (r : Config.rung) :: rest ->
+                      if Sink.enabled sink then
+                        Sink.span_begin sink ~cat:"retry" "escalation"
+                          ~args:
+                            [
+                              ("operator", Event.Str (Op.name (Node.op v)));
+                              ("rung", Event.Int (retries + 1));
+                              ("scale", Event.Int r.Config.scale);
+                              ( "exhausted",
+                                Event.Str (Runner.budget_name b) );
+                            ];
+                      let res = go (retries + 1) (Some r) rest in
+                      if Sink.enabled sink then
+                        Sink.span_end sink ~cat:"retry" "escalation"
+                          ~args:
+                            [ ("resolved", Event.Bool (Result.is_ok res)) ];
+                      res))
+    in
+    go 0 None config.Config.escalation
+  in
+  (* Listing 1: process operators in topological order, accumulating R.
+     Under [keep_going], a failing operator's output is bound to an
+     opaque placeholder and tainted; operators reachable from a tainted
+     tensor are skipped (their own verdict would only echo the upstream
+     fault), so every reported fault is an independent localization. *)
+  let taint relation output_relation tainted v =
+    let out = Node.output v in
+    let ph = opaque out in
+    let relation = Relation.add relation out ph in
+    let output_relation =
+      if Graph.is_output gs out then Relation.add output_relation out ph
+      else output_relation
+    in
+    (relation, output_relation, Tensor.Set.add out tainted)
+  in
+  let rec go index relation output_relation faults skipped tainted = function
+    | [] -> (
+        match List.rev faults with
+        | [] ->
+            Ok
+              {
+                output_relation;
+                full_relation = relation;
+                stats = stats ();
+              }
+        | ordered -> finalize relation ordered skipped)
+    | v :: rest ->
+        if
+          config.Config.keep_going
+          && List.exists (fun t -> Tensor.Set.mem t tainted) (Node.inputs v)
+        then begin
+          (* Dependent on an earlier fault: no independent verdict
+             possible. *)
+          if Sink.enabled sink then
+            Sink.instant sink "operator-skipped" ~cat:"operator"
+              ~args:
+                [
+                  ("operator", Event.Str (Op.name (Node.op v)));
+                  ("index", Event.Int index);
+                ];
+          let relation, output_relation, tainted =
+            taint relation output_relation tainted v
+          in
+          go (index + 1) relation output_relation faults (v :: skipped)
+            tainted rest
+        end
+        else if past_check_deadline () then
+          (* The whole-check deadline is fatal: stop localizing. *)
+          let fault =
+            mk_fault v
+              (Inconclusive
+                 {
+                   budget = Runner.Deadline;
+                   scope = Check_scope;
+                   retries_used = 0;
+                 })
+              relation
+          in
+          finalize relation (List.rev (fault :: List.rev faults)) skipped
+        else begin
+          op_begin index v;
+          match check_operator v relation with
+          | Error verdict -> (
+              op_end ~processed:false ~mappings:0 v;
+              let fault = mk_fault v verdict relation in
+              let fatal =
+                match verdict with
+                | Inconclusive { scope = Check_scope; _ } -> true
+                | _ -> false
+              in
+              match config.Config.keep_going && not fatal with
+              | true ->
+                  let relation, output_relation, tainted =
+                    taint relation output_relation tainted v
+                  in
+                  go (index + 1) relation output_relation (faults @ [ fault ])
+                    skipped tainted rest
+              | false -> finalize relation (faults @ [ fault ]) skipped)
+          | Ok (outcome, _retries) -> (
+              op_end ~processed:true
+                ~mappings:(List.length outcome.Node_rel.mappings)
+                v;
+              let out = Node.output v in
+              let relation =
+                Relation.add_all relation out outcome.Node_rel.mappings
+              in
+              if Graph.is_output gs out then
+                match outcome.Node_rel.output_mappings with
+                | [] ->
+                    let fault =
+                      mk_fault v
+                        (Unmapped
+                           (Fmt.str
+                              "graph output %a maps into the distributed \
+                               graph but not to its outputs: the value is \
+                               computed yet never exposed"
+                              Tensor.pp_name out))
                         relation
-                  | out_maps ->
-                      go (index + 1) relation
-                        (Relation.add_all output_relation out out_maps)
-                        rest
-                else go (index + 1) relation output_relation rest))
+                    in
+                    (* The internal mapping is real, so downstream
+                       operators can still use it: no taint. *)
+                    if config.Config.keep_going then
+                      go (index + 1) relation output_relation
+                        (faults @ [ fault ]) skipped tainted rest
+                    else finalize relation (faults @ [ fault ]) skipped
+                | out_maps ->
+                    go (index + 1) relation
+                      (Relation.add_all output_relation out out_maps)
+                      faults skipped tainted rest
+              else
+                go (index + 1) relation output_relation faults skipped tainted
+                  rest)
+        end
   in
   (* Sequential inputs that are also outputs pass through via identity. *)
   let output_relation0 =
@@ -164,6 +431,9 @@ let check ?(config = Config.default) ?rules ~gs ~gd ~input_relation () =
         else acc)
       Relation.empty (Graph.outputs gs)
   in
-  let result = go 0 input_relation output_relation0 (Graph.nodes gs) in
+  let result =
+    go 0 input_relation output_relation0 [] [] Tensor.Set.empty
+      (Graph.nodes gs)
+  in
   Sink.flush config.Config.trace;
   result

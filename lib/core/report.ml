@@ -3,9 +3,13 @@ open Entangle_ir
 let pp_stats ppf (s : Refine.stats) =
   Fmt.pf ppf
     "%d operators, %d saturation iterations, %d matches, %d unions, peak \
-     e-graph %d nodes / %d classes, %.3fs"
+     e-graph %d nodes / %d classes%s%s, %.3fs"
     s.operators_processed s.saturation_iterations s.matches_examined
-    s.unions_applied s.egraph_nodes_peak s.egraph_classes_peak s.wall_time_s
+    s.unions_applied s.egraph_nodes_peak s.egraph_classes_peak
+    (if s.retries = 0 then "" else Fmt.str ", %d retries" s.retries)
+    (if s.budget_trips = 0 then ""
+     else Fmt.str ", %d budget trips" s.budget_trips)
+    s.wall_time_s
 
 let pp_success gs ppf (s : Refine.success) =
   Fmt.pf ppf
@@ -13,26 +17,58 @@ let pp_success gs ppf (s : Refine.success) =
      Clean output relation R_o:@,%a@,@,(%a)@]"
     (Graph.name gs) Relation.pp s.output_relation pp_stats s.stats
 
-let pp_failure gs ppf (f : Refine.failure) =
+let pp_input_mappings ppf mappings =
+  Fmt.list ~sep:Fmt.cut
+    (fun ppf (t, exprs) ->
+      match exprs with
+      | [] -> Fmt.pf ppf "  %a -> (no clean mapping)" Tensor.pp_name t
+      | _ ->
+          Fmt.pf ppf "  %a -> %a" Tensor.pp_name t
+            (Fmt.list ~sep:(Fmt.any " | ") Expr.pp)
+            exprs)
+    ppf mappings
+
+let headline (v : Refine.verdict) =
+  match v with
+  | Refine.Unmapped _ -> "Could not map outputs for operator"
+  | Refine.Inconclusive _ -> "Verdict is inconclusive for operator"
+  | Refine.Internal _ -> "Checker failed internally on operator"
+
+let pp_fault gs ppf (f : Refine.fault) =
   let upstream =
-    List.filter_map (Graph.producer gs) (Node.inputs f.operator)
+    List.filter_map (Graph.producer gs) (Node.inputs f.fault_operator)
   in
   Fmt.pf ppf
-    "@[<v>Refinement FAILED for %s.@,@,\
-     Could not map outputs for operator:@,  %a@,@,Reason: %s@,@,\
+    "@[<v>%s:@,  %a@,@,Verdict: %a@,@,\
      Input relations of the operator (inspect these to localize):@,%a@,@,\
-     Upstream operators:@,%a@,@,(%a)@]"
-    (Graph.name gs) Node.pp f.operator f.reason
-    (Fmt.list ~sep:Fmt.cut (fun ppf (t, exprs) ->
-         match exprs with
-         | [] -> Fmt.pf ppf "  %a -> (no clean mapping)" Tensor.pp_name t
-         | _ ->
-             Fmt.pf ppf "  %a -> %a" Tensor.pp_name t
-               (Fmt.list ~sep:(Fmt.any " | ") Expr.pp)
-               exprs))
-    f.input_mappings
+     Upstream operators:@,%a@]"
+    (headline f.fault_verdict) Node.pp f.fault_operator Refine.pp_verdict
+    f.fault_verdict pp_input_mappings f.fault_input_mappings
     (Fmt.list ~sep:Fmt.cut (fun ppf n -> Fmt.pf ppf "  %a" Node.pp n))
-    upstream pp_stats f.stats
+    upstream
+
+let pp_failure gs ppf (f : Refine.failure) =
+  let extra =
+    match f.faults with
+    | [] | [ _ ] -> []
+    | _ :: rest -> rest
+  in
+  Fmt.pf ppf "@[<v>Refinement FAILED for %s.@,@,%a" (Graph.name gs)
+    (pp_fault gs)
+    {
+      Refine.fault_operator = f.operator;
+      fault_verdict = f.verdict;
+      fault_input_mappings = f.input_mappings;
+    };
+  List.iter
+    (fun fault -> Fmt.pf ppf "@,@,Additional fault:@,@,%a" (pp_fault gs) fault)
+    extra;
+  if f.dependents_skipped <> [] then
+    Fmt.pf ppf
+      "@,@,Skipped (depend on a faulty operator, no independent verdict):@,%a"
+      (Fmt.list ~sep:Fmt.cut (fun ppf n -> Fmt.pf ppf "  %a" Node.pp n))
+      f.dependents_skipped;
+  Fmt.pf ppf "@,@,(%a)@]" pp_stats f.stats
 
 let success_to_string gs s = Fmt.str "%a" (pp_success gs) s
 let failure_to_string gs f = Fmt.str "%a" (pp_failure gs) f

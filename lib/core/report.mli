@@ -10,7 +10,14 @@ val pp_success : Graph.t -> Refine.success Fmt.t
 
 val pp_failure : Graph.t -> Refine.failure Fmt.t
 (** [pp_failure gs] formats a failure against the sequential graph,
-    including upstream producer context for localization. *)
+    including upstream producer context for localization. The rendered
+    verdict distinguishes provably-unmapped from budget-exhausted from
+    internal checker errors; under [keep_going] every additional
+    localized fault and the skipped dependents are listed too. *)
+
+val pp_fault : Graph.t -> Refine.fault Fmt.t
+(** One localized fault, with its verdict, input relations and
+    upstream operators. *)
 
 val success_to_string : Graph.t -> Refine.success -> string
 val failure_to_string : Graph.t -> Refine.failure -> string

@@ -248,7 +248,14 @@ let propagate_dirty t roots =
   in
   drain ()
 
+(* Fault-injection site for the resilience tests: armed via
+   ENTANGLE_FAILPOINTS / --failpoints, a no-op branch otherwise. *)
+let fp_rebuild =
+  Entangle_failpoint.Failpoint.declare "egraph.rebuild"
+    ~doc:"start of Egraph.rebuild (congruence restoration)"
+
 let rebuild t =
+  Entangle_failpoint.Failpoint.hit fp_rebuild;
   let dirty_roots = ref Id.Set.empty in
   let rec go () =
     match t.pending with

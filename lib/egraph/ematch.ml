@@ -60,7 +60,13 @@ let rec match_pat g pat cls subst =
         (Egraph.nodes_of g cls)
       |> truncate
 
-let match_class g pat cls = match_pat g pat cls Subst.empty
+let fp_match =
+  Entangle_failpoint.Failpoint.declare "egraph.ematch"
+    ~doc:"per-class entry of the e-matcher (full and delta searches)"
+
+let match_class g pat cls =
+  Entangle_failpoint.Failpoint.hit fp_match;
+  match_pat g pat cls Subst.empty
 
 (* Delta (semi-naive) matching: collect only substitutions whose
    application could do something a search taken at generation [since]
@@ -94,6 +100,7 @@ let match_class g pat cls = match_pat g pat cls Subst.empty
    those through the absorbed nodes): an over-approximation that costs
    duplicates but never misses a new match. *)
 let match_class_delta g ~since ~conditional pat cls0 =
+  Entangle_failpoint.Failpoint.hit fp_match;
   let fresh cls = Egraph.structural_at g cls > since in
   let rec go pat cls subst f =
     let cls = Egraph.find g cls in

@@ -2,10 +2,15 @@ open Entangle_ir
 
 let infinity_cost = max_int / 4
 
+let fp_extract =
+  Entangle_failpoint.Failpoint.declare "egraph.extract"
+    ~doc:"entry of the cost-relaxation pass behind every extraction"
+
 (* Fixpoint cost relaxation over the (possibly cyclic) e-graph. The cost
    of a node is 1 + sum of its children's class costs; a class costs the
    minimum over its admissible nodes. *)
 let compute_costs g ~node_ok ~leaf_ok =
+  Entangle_failpoint.Failpoint.hit fp_extract;
   let cost : int Id.Tbl.t = Id.Tbl.create 64 in
   let get id =
     Option.value (Id.Tbl.find_opt cost (Egraph.find g id)) ~default:infinity_cost

@@ -1,7 +1,39 @@
-type limits = { max_iterations : int; max_nodes : int; max_classes : int }
+type budget = Iterations | Nodes | Classes | Deadline | Heap
+
+let budget_name = function
+  | Iterations -> "iterations"
+  | Nodes -> "nodes"
+  | Classes -> "classes"
+  | Deadline -> "deadline"
+  | Heap -> "heap"
+
+type limits = {
+  max_iterations : int;
+  max_nodes : int;
+  max_classes : int;
+  deadline : float option;
+  max_heap_words : int option;
+}
 
 let default_limits =
-  { max_iterations = 30; max_nodes = 20_000; max_classes = 10_000 }
+  {
+    max_iterations = 30;
+    max_nodes = 20_000;
+    max_classes = 10_000;
+    deadline = None;
+    max_heap_words = None;
+  }
+
+(* Escalation rungs scale the discrete budgets; the wall-clock deadline
+   is an absolute timestamp and is re-derived per attempt by the caller,
+   so it is left untouched here. *)
+let scale_limits k l =
+  {
+    l with
+    max_iterations = l.max_iterations * k;
+    max_nodes = l.max_nodes * k;
+    max_classes = l.max_classes * k;
+  }
 
 type report = {
   iterations : int;
@@ -10,6 +42,7 @@ type report = {
   classes : int;
   matches : int;
   unions : int;
+  tripped : budget option;
 }
 
 type scheduler_kind = Simple | Backoff
@@ -417,7 +450,7 @@ let run ?(limits = default_limits) ?(confirm_saturation = true)
   let st = match state with Some s -> s | None -> create_state () in
   let indexed = List.mapi (fun i r -> (i, root_family r, r)) rules in
   let matches_total = ref 0 and unions_total = ref 0 in
-  let finish iter saturated =
+  let finish ?tripped iter saturated =
     {
       iterations = iter;
       saturated;
@@ -425,7 +458,23 @@ let run ?(limits = default_limits) ?(confirm_saturation = true)
       classes = Egraph.num_classes g;
       matches = !matches_total;
       unions = !unions_total;
+      tripped;
     }
+  in
+  (* Cooperative budget check, once per iteration (plus once before the
+     first): discrete growth caps, then the wall clock, then the major
+     heap. [Gc.quick_stat] reads cached counters, so the heap probe does
+     not itself walk the heap. *)
+  let budget_tripped () =
+    if Egraph.num_nodes g > limits.max_nodes then Some Nodes
+    else if Egraph.num_classes g > limits.max_classes then Some Classes
+    else
+      match limits.deadline with
+      | Some d when Unix.gettimeofday () > d -> Some Deadline
+      | _ -> (
+          match limits.max_heap_words with
+          | Some h when (Gc.quick_stat ()).Gc.heap_words > h -> Some Heap
+          | _ -> None)
   in
   let settle () =
     Egraph.rebuild g;
@@ -460,12 +509,12 @@ let run ?(limits = default_limits) ?(confirm_saturation = true)
     end
   in
   let rec go iter =
-    if
-      iter >= limits.max_iterations
-      || Egraph.num_nodes g > limits.max_nodes
-      || Egraph.num_classes g > limits.max_classes
-    then finish iter false
-    else begin
+    match
+      if iter >= limits.max_iterations then Some Iterations
+      else budget_tripped ()
+    with
+    | Some b -> finish ~tripped:b iter false
+    | None -> begin
       if Sink.enabled sink then
         Sink.span_begin sink "iteration" ~cat:"iteration"
           ~args:[ ("iteration", Event.Int st.iteration) ];
@@ -477,20 +526,19 @@ let run ?(limits = default_limits) ?(confirm_saturation = true)
           m "iteration %d: %d matches, %d unions, %d nodes, %d classes"
             st.iteration p.p_matches p.p_hits (Egraph.num_nodes g)
             (Egraph.num_classes g));
-      let over_budget () =
-        Egraph.num_nodes g > limits.max_nodes
-        || Egraph.num_classes g > limits.max_classes
-      in
+      let over_budget = budget_tripped in
       st.iteration <- st.iteration + 1;
       if p.p_hits > 0 then begin
         end_iteration ~cooldown:false p 0 0;
         go (iter + 1)
       end
-      else if over_budget () then begin
+      else
+      match over_budget () with
+      | Some b ->
         end_iteration ~cooldown:false p 0 0;
-        finish (iter + 1) false
-      end
-      else if p.p_complete then begin
+        finish ~tripped:b (iter + 1) false
+      | None ->
+      if p.p_complete then begin
         (* Every rule searched every candidate class and nothing
            merged: a genuine fixpoint. *)
         end_iteration ~cooldown:false p 0 0;
@@ -526,10 +574,11 @@ let run ?(limits = default_limits) ?(confirm_saturation = true)
               st.iteration p2.p_matches p2.p_hits);
         st.iteration <- st.iteration + 1;
         end_iteration ~cooldown:true p2 p.p_matches p.p_hits;
-        if p2.p_hits = 0 then
-          finish (iter + 1) (p2.p_complete && not (over_budget ()))
-        else if over_budget () then finish (iter + 1) false
-        else go (iter + 1)
+        match over_budget () with
+        | Some b -> finish ~tripped:b (iter + 1) false
+        | None ->
+            if p2.p_hits = 0 then finish (iter + 1) p2.p_complete
+            else go (iter + 1)
       end
     end
   in

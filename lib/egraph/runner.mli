@@ -40,13 +40,34 @@
     incrementally; only an empty complete cool-down reports
     [saturated = true]. *)
 
+type budget = Iterations | Nodes | Classes | Deadline | Heap
+(** The resource budgets a run is subject to. [Deadline] and [Heap] are
+    the cooperative wall-clock / major-heap checks added for the
+    resilience layer; the first three are the classic egg-style growth
+    caps. *)
+
+val budget_name : budget -> string
+
 type limits = {
   max_iterations : int;
   max_nodes : int;
   max_classes : int;
+  deadline : float option;
+      (** absolute wall-clock deadline ([Unix.gettimeofday] scale),
+          checked once per saturation iteration *)
+  max_heap_words : int option;
+      (** major-heap word budget, checked once per iteration via
+          [Gc.quick_stat] (no heap walk) *)
 }
 
 val default_limits : limits
+(** 30 iterations, 20k nodes, 10k classes, no deadline, no heap cap. *)
+
+val scale_limits : int -> limits -> limits
+(** Multiply the discrete budgets (iterations/nodes/classes) by a
+    factor — the escalation ladder's "double the limits" rung. The
+    deadline and heap budget are left untouched; callers re-derive
+    wall-clock allowances per attempt. *)
 
 type report = {
   iterations : int;
@@ -55,6 +76,11 @@ type report = {
   classes : int;
   matches : int;  (** substitutions examined during this run *)
   unions : int;  (** applications that merged two classes *)
+  tripped : budget option;
+      (** which budget ended the run, when one did. [None] with
+          [saturated = false] is an unconfirmed fixpoint candidate
+          (see [confirm_saturation]); [None] with [saturated = true]
+          is genuine saturation. *)
 }
 
 type scheduler_kind = Simple | Backoff

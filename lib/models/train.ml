@@ -58,7 +58,8 @@ let forward_check_exn ~family ~gs ~gd ~input_relation =
   | Ok s -> s
   | Error f ->
       invalid_arg
-        (Fmt.str "Train: forward pair does not refine: %s" f.Entangle.Refine.reason)
+        (Fmt.str "Train: forward pair does not refine: %s"
+           (Entangle.Refine.reason f))
 
 let backward_exn ?tie ?name g ~wrt =
   match Autodiff.backward ?tie ?name g ~wrt with

@@ -44,10 +44,15 @@ let combine v pos neg =
 
 exception Budget_exceeded
 
+let fp_decide =
+  Entangle_failpoint.Failpoint.declare "symbolic.decide"
+    ~doc:"per-elimination step of the Fourier-Motzkin decision procedure"
+
 (* Fourier-Motzkin elimination: returns [true] when the system of rows is
    feasible over the rationals. Raises [Budget_exceeded] when the
    intermediate system grows past [row_budget]. *)
 let rec fm_feasible rows =
+  Entangle_failpoint.Failpoint.hit fp_decide;
   (* Drop variable-free rows, failing if any is violated. *)
   let ground_ok = ref true in
   let rows =

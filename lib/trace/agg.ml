@@ -5,6 +5,8 @@ type t = {
   mutable unions : int;
   mutable nodes_peak : int;
   mutable classes_peak : int;
+  mutable retries : int;
+  mutable budget_trips : int;
   hits : (string, int) Hashtbl.t;
 }
 
@@ -16,6 +18,8 @@ let create () =
     unions = 0;
     nodes_peak = 0;
     classes_peak = 0;
+    retries = 0;
+    budget_trips = 0;
     hits = Hashtbl.create 64;
   }
 
@@ -33,6 +37,9 @@ let fold t (ev : Event.t) =
   | Event.Counter, "egraph" ->
       t.nodes_peak <- max t.nodes_peak (arg ev "nodes");
       t.classes_peak <- max t.classes_peak (arg ev "classes")
+  | Event.End, "retry" -> t.retries <- t.retries + 1
+  | Event.Instant, "budget" when ev.name = "budget-trip" ->
+      t.budget_trips <- t.budget_trips + 1
   | Event.Instant, "rule" when ev.name = "rule-hit" -> (
       match Event.arg_str ev "rule" with
       | None -> ()
@@ -48,6 +55,8 @@ let matches t = t.matches
 let unions t = t.unions
 let nodes_peak t = t.nodes_peak
 let classes_peak t = t.classes_peak
+let retries t = t.retries
+let budget_trips t = t.budget_trips
 
 let rule_hits t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.hits []

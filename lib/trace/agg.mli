@@ -17,7 +17,8 @@ val sink : t -> Sink.t
     [processed=true] bump {!operators}; ["iteration"] span ends bump
     {!iterations} and accumulate their [matches]/[unions] args;
     ["egraph"] counter samples update the peaks; ["rule-hit"] instants
-    accumulate per-rule hit counts. *)
+    accumulate per-rule hit counts; ["retry"] span ends bump
+    {!retries}; ["budget-trip"] instants bump {!budget_trips}. *)
 
 val operators : t -> int
 val iterations : t -> int
@@ -25,6 +26,12 @@ val matches : t -> int
 val unions : t -> int
 val nodes_peak : t -> int
 val classes_peak : t -> int
+
+val retries : t -> int
+(** escalation retry spans completed *)
+
+val budget_trips : t -> int
+(** per-operator saturation loops stopped by an exhausted budget *)
 
 val rule_hits : t -> (string * int) list
 (** Sorted by rule name. *)

@@ -179,7 +179,7 @@ let gradient_tests =
 
 let assert_refines inst =
   match Instance.check inst with
-  | Error f -> Alcotest.failf "%s: %s" inst.Instance.name f.reason
+  | Error f -> Alcotest.failf "%s: %s" inst.Instance.name (Entangle.Refine.reason f)
   | Ok s -> (
       match
         Entangle.Certify.replay ~env:inst.Instance.env ~gs:inst.Instance.gs

@@ -131,7 +131,7 @@ let positive =
       match Entangle.Refine.check ~gs ~gd ~input_relation () with
       | Error f ->
           QCheck.Test.fail_reportf "rejected a correct lowering: %s"
-            f.Entangle.Refine.reason
+            (Entangle.Refine.reason f)
       | Ok s -> (
           match
             Entangle.Certify.replay
@@ -149,7 +149,7 @@ let positive_degree4 =
       | Ok _ -> true
       | Error f ->
           QCheck.Test.fail_reportf "rejected a correct lowering: %s"
-            f.Entangle.Refine.reason)
+            (Entangle.Refine.reason f))
 
 let negative =
   QCheck.Test.make ~name:"corrupted kernels are rejected" ~count:25
@@ -183,7 +183,7 @@ let roundtrip =
           | Ok _ -> true
           | Error f ->
               QCheck.Test.fail_reportf "reloaded pair rejected: %s"
-                f.Entangle.Refine.reason))
+                (Entangle.Refine.reason f)))
 
 (* Extraction soundness: whatever the checker extracts for an output
    evaluates to the same values as the sequential graph itself — checked
@@ -194,7 +194,7 @@ let full_relation_sound =
     ~count:10 arbitrary_steps (fun steps ->
       let gs, gd, input_relation = build_pair steps ~degree:2 in
       match Entangle.Refine.check ~gs ~gd ~input_relation () with
-      | Error f -> QCheck.Test.fail_reportf "rejected: %s" f.Entangle.Refine.reason
+      | Error f -> QCheck.Test.fail_reportf "rejected: %s" (Entangle.Refine.reason f)
       | Ok s ->
           let env = Interp.env_of_list [] in
           let st = Random.State.make [| 5 |] in
@@ -245,12 +245,112 @@ let full_relation_sound =
                     exprs)
             (Entangle.Relation.bindings s.full_relation))
 
+(* --- resilience fuzzing -------------------------------------------------- *)
+
+module Failpoint = Entangle_failpoint.Failpoint
+
+(* Fault-injection soak: random models from the zoo-like generator with
+   a randomized failpoint armed anywhere in the pipeline. Whatever
+   fires, the checker must return a structured verdict — an uncaught
+   exception fails the property (QCheck reports it), and an [Internal]
+   verdict must localize the failpoint that was armed. *)
+let soak_points =
+  [ "egraph.rebuild"; "egraph.ematch"; "egraph.extract"; "symbolic.decide" ]
+
+let soak_gen =
+  QCheck.Gen.(
+    triple steps_gen (int_range 0 (List.length soak_points - 1))
+      (int_range 1 40))
+
+let arbitrary_soak =
+  QCheck.make
+    ~print:(fun (steps, fp, n) ->
+      Fmt.str "%d steps, %s=nth:%d" (List.length steps)
+        (List.nth soak_points fp) n)
+    soak_gen
+
+let failpoint_soak =
+  QCheck.Test.make ~name:"injected faults yield structured verdicts"
+    ~count:40 arbitrary_soak (fun (steps, fp, n) ->
+      let point = List.nth soak_points fp in
+      Failpoint.clear ();
+      Failpoint.set point (Failpoint.Nth n);
+      let gs, gd, input_relation = build_pair steps ~degree:2 in
+      let result =
+        try Ok (Entangle.Refine.check ~gs ~gd ~input_relation ())
+        with e -> Error (Printexc.to_string e)
+      in
+      Failpoint.clear ();
+      match result with
+      | Error e ->
+          QCheck.Test.fail_reportf "exception escaped Refine.check: %s" e
+      | Ok (Ok _) -> true (* the failpoint never reached hit [n] *)
+      | Ok (Error f) -> (
+          match f.Entangle.Refine.verdict with
+          | Entangle.Refine.Internal { failpoint = Some p; _ } ->
+              p = point
+              || QCheck.Test.fail_reportf "localized %s, armed %s" p point
+          | Entangle.Refine.Internal { failpoint = None; exn; _ } ->
+              QCheck.Test.fail_reportf
+                "internal verdict lost the failpoint: %s" exn
+          | _ ->
+              (* Armed but never fired before a genuine verdict: the
+                 verdict must then not be Internal. *)
+              true))
+
+(* Escalation can only fill in inconclusive verdicts, never flip a
+   verdict the base configuration already reached: if the check
+   succeeds (or provably fails) with the ladder disabled, it does the
+   same with the default ladder. *)
+let escalation_monotone =
+  QCheck.Test.make ~name:"escalation never flips a reachable verdict"
+    ~count:20 arbitrary_steps (fun steps ->
+      let gs, gd, input_relation = build_pair steps ~degree:2 in
+      let run escalation =
+        let config =
+          Entangle.Config.default
+          |> Entangle.Config.with_escalation escalation
+        in
+        Entangle.Refine.check ~config ~gs ~gd ~input_relation ()
+      in
+      let relation_equal a b =
+        let norm r =
+          List.map
+            (fun (t, es) ->
+              ( Fmt.str "%a" Tensor.pp_name t,
+                List.map (Fmt.str "%a" Expr.pp) es ))
+            (Entangle.Relation.bindings r)
+        in
+        norm a = norm b
+      in
+      match (run [], run Entangle.Config.default_escalation) with
+      | Ok base, Ok esc ->
+          relation_equal base.Entangle.Refine.output_relation
+            esc.Entangle.Refine.output_relation
+          || QCheck.Test.fail_report
+               "escalation changed a successful output relation"
+      | Ok _, Error f ->
+          QCheck.Test.fail_reportf "escalation flipped success to: %s"
+            (Entangle.Refine.reason f)
+      | Error { Entangle.Refine.verdict = Entangle.Refine.Unmapped _; _ },
+        Error esc -> (
+          match esc.Entangle.Refine.verdict with
+          | Entangle.Refine.Unmapped _ -> true
+          | v ->
+              QCheck.Test.fail_reportf
+                "escalation flipped a provable failure to: %s"
+                (Entangle.Refine.verdict_to_string v))
+      | Error _, _ -> true)
+
 let suite =
   [
     ( "fuzz.differential",
       List.map QCheck_alcotest.to_alcotest
         [ positive; positive_degree4; negative; roundtrip; full_relation_sound ]
     );
+    ( "fuzz.resilience",
+      List.map QCheck_alcotest.to_alcotest
+        [ failpoint_soak; escalation_monotone ] );
   ]
 
 (* Silence unused-module warnings for shared helpers. *)

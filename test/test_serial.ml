@@ -115,7 +115,7 @@ let graph_roundtrip name inst =
           match Entangle.Refine.check ~rules ~gs ~gd ~input_relation () with
           | Ok _ -> ()
           | Error f ->
-              Alcotest.failf "reloaded check failed: %s" f.Entangle.Refine.reason))
+              Alcotest.failf "reloaded check failed: %s" (Entangle.Refine.reason f)))
 
 let graph_error_tests =
   [
