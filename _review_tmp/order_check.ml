@@ -1,0 +1,33 @@
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_dist
+module B = Graph.Builder
+
+let sd = Symdim.of_int
+
+let () =
+  let bs = B.create "branches-seq" in
+  let x = B.input bs "x" [ sd 8; sd 4 ] in
+  let y = B.input bs "y" [ sd 8; sd 4 ] in
+  let a = B.add bs ~name:"a" Op.Gelu [ x ] in
+  let b = B.add bs ~name:"b" Op.Relu [ y ] in
+  let z = B.add bs ~name:"z" Op.Add [ a; b ] in
+  B.output bs z;
+  let gs = B.finish bs in
+  let ctx = Lower.create ~name:"branches-dist" ~degree:2 () in
+  let xs = Lower.shard_input ctx x ~dim:0 in
+  let ys = Lower.shard_input ctx y ~dim:0 in
+  let as_ = List.map (fun t -> Lower.add ctx Op.Silu [ t ]) xs in
+  let bs_ = List.map (fun t -> Lower.add ctx Op.Tanh [ t ]) ys in
+  let zs = List.map2 (fun a b -> Lower.add ctx Op.Add [ a; b ]) as_ bs_ in
+  List.iter (Lower.output ctx) zs;
+  let gd, input_relation = Lower.finish ctx in
+  let config = Entangle.Config.default |> Entangle.Config.with_keep_going true in
+  match Entangle.Refine.check ~config ~gs ~gd ~input_relation () with
+  | Ok _ -> print_endline "OK (unexpected)"
+  | Error f ->
+      Printf.printf "head operator: %s\n" (Op.name (Node.op f.Entangle.Refine.operator));
+      List.iter
+        (fun (fl : Entangle.Refine.fault) ->
+          Printf.printf "fault: %s\n" (Op.name (Node.op fl.Entangle.Refine.fault_operator)))
+        f.Entangle.Refine.faults
