@@ -275,7 +275,7 @@ let json_record ?name inst config_name secs result =
     "{\"model\": %S, \"config\": %S, \"time_s\": %.4f, \"verdict\": %S, \
      \"operators\": %d, \"iterations\": %d, \"matches\": %d, \"unions\": \
      %d, \"nodes_peak\": %d, \"classes_peak\": %d, \"retries\": %d, \
-     \"budget_trips\": %d}"
+     \"budget_trips\": %d, \"cache_hits\": %d, \"cache_misses\": %d}"
     (json_escape (Option.value name ~default:inst.Instance.name))
     (json_escape config_name)
     secs (verdict_str result)
@@ -283,7 +283,8 @@ let json_record ?name inst config_name secs result =
     s.Entangle.Refine.saturation_iterations s.Entangle.Refine.matches_examined
     s.Entangle.Refine.unions_applied s.Entangle.Refine.egraph_nodes_peak
     s.Entangle.Refine.egraph_classes_peak s.Entangle.Refine.retries
-    s.Entangle.Refine.budget_trips
+    s.Entangle.Refine.budget_trips s.Entangle.Refine.cache_hits
+    s.Entangle.Refine.cache_misses
 
 let bench_egraph_json = "BENCH_egraph.json"
 let bench_trace_json = "BENCH_trace.json"
@@ -302,6 +303,31 @@ let emit_reference_trace () =
   Trace.Chrome.close ch;
   close_out oc;
   Fmt.pr "wrote %s (%d events)@." bench_trace_json (Trace.Chrome.event_count ch)
+
+(* A throwaway on-disk store for the cache rows: cold and warm numbers
+   must not depend on (or pollute) the user's real ~/.cache/entangle. *)
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_temp_cache f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "entangle-bench-cache.%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ())
+    (fun () ->
+      match Entangle_cache.Cache.create ~dir () with
+      | Error e ->
+          Fmt.epr "cannot open temp cache at %s: %s@." dir e;
+          exit 1
+      | Ok cache -> f cache)
 
 let ablation () =
   section "Ablation: the optimizations of section 4.3";
@@ -415,9 +441,36 @@ let ablation () =
         Entangle.Config.default |> Entangle.Config.with_limits starved);
      ]);
 
+  section "Cache ablation: cold vs warm certificate store";
+  Fmt.pr "%-14s %10s %12s %8s %8s %s@." "run" "time (s)" "iterations"
+    "hits" "misses" "verdict";
+  with_temp_cache (fun cache ->
+      let config =
+        Entangle.Config.default |> Entangle.Config.with_cache (Some cache)
+      in
+      let run config_name =
+        let inst = Gpt.build ~layers:1 ~degree:2 ~heads:4 () in
+        let secs, result = time_check ~config inst in
+        push (json_record inst config_name secs result);
+        let s = result_stats result in
+        Fmt.pr "%-14s %10.2f %12d %8d %8d %s@." config_name secs
+          s.Entangle.Refine.saturation_iterations s.Entangle.Refine.cache_hits
+          s.Entangle.Refine.cache_misses (verdict_str result);
+        result
+      in
+      let cold = run "cache_cold" in
+      let warm = run "cache_warm" in
+      let ws = result_stats warm in
+      Fmt.pr
+        "@.warm re-check: %d/%d operators from cache, %d saturation \
+         iterations (target 0), verdicts %s@."
+        ws.Entangle.Refine.cache_hits ws.Entangle.Refine.operators_processed
+        ws.Entangle.Refine.saturation_iterations
+        (if verdict_str cold = verdict_str warm then "agree" else "DISAGREE"));
+
   let oc = open_out bench_egraph_json in
   let records = List.rev !json_records in
-  Printf.fprintf oc "{\n  \"schema\": \"entangle-bench-egraph/1\",\n";
+  Printf.fprintf oc "{\n  \"schema\": \"entangle-bench-egraph/2\",\n";
   Printf.fprintf oc "  \"sweep_total_matches_simple\": %d,\n" !total_simple;
   Printf.fprintf oc "  \"sweep_total_matches_incremental\": %d,\n" !total_incr;
   Printf.fprintf oc "  \"sweep_match_reduction\": %.4f,\n" ratio;
@@ -541,6 +594,74 @@ let counters () =
   end;
   Fmt.pr "null sink: zero allocation@."
 
+(* --- Cache smoke: deterministic cold/warm/invalidate gate ---------------- *)
+
+(* The @cache-smoke dune alias: a fresh store must miss on every
+   operator, hit on every operator (with zero saturation work and the
+   same verdict) when re-checked, and miss again once the search
+   configuration changes. Exits non-zero on any violation. *)
+let cache_smoke () =
+  section "Cache smoke: cold / warm / invalidate";
+  let failures = ref 0 in
+  let expect what ok =
+    Fmt.pr "%-58s %s@." what (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  with_temp_cache (fun cache ->
+      let base = Entangle.Config.default in
+      let run label config =
+        let inst = Regression.build ~microbatches:2 () in
+        let _, result =
+          time_check ~config:(Entangle.Config.with_cache (Some cache) config)
+            inst
+        in
+        (label, result)
+      in
+      let stats (_, r) = result_stats r in
+      let verdict (_, r) = verdict_str r in
+
+      let cold = run "cold" base in
+      let ops = (stats cold).Entangle.Refine.operators_processed in
+      expect "cold run: no hits" ((stats cold).Entangle.Refine.cache_hits = 0);
+      expect
+        (Fmt.str "cold run: one miss per operator (%d)" ops)
+        ((stats cold).Entangle.Refine.cache_misses = ops && ops > 0);
+
+      let warm = run "warm" base in
+      expect
+        (Fmt.str "warm run: every operator served from cache (%d)" ops)
+        ((stats warm).Entangle.Refine.cache_hits
+         = (stats warm).Entangle.Refine.operators_processed
+        && (stats warm).Entangle.Refine.cache_misses = 0);
+      expect "warm run: zero saturation iterations"
+        ((stats warm).Entangle.Refine.saturation_iterations = 0);
+      expect "warm run: verdict unchanged" (verdict cold = verdict warm);
+
+      let invalidated =
+        run "invalidated"
+          (Entangle.Config.with_scheduler Entangle_egraph.Runner.Simple base
+          |> Entangle.Config.with_incremental_matching false)
+      in
+      expect "config change invalidates: no hits"
+        ((stats invalidated).Entangle.Refine.cache_hits = 0
+        && (stats invalidated).Entangle.Refine.cache_misses > 0);
+      expect "config change: verdict unchanged" (verdict cold = verdict invalidated);
+
+      let rewarm =
+        run "re-warm"
+          (Entangle.Config.with_scheduler Entangle_egraph.Runner.Simple base
+          |> Entangle.Config.with_incremental_matching false)
+      in
+      expect "both keys coexist: re-warm hits again"
+        ((stats rewarm).Entangle.Refine.cache_hits
+         = (stats rewarm).Entangle.Refine.operators_processed
+        && (stats rewarm).Entangle.Refine.cache_misses = 0));
+  if !failures > 0 then begin
+    Fmt.epr "cache smoke: %d violation(s)@." !failures;
+    exit 1
+  end;
+  Fmt.pr "cache behaves deterministically@."
+
 (* --- Extensions beyond the paper's evaluation --------------------------- *)
 
 let extensions () =
@@ -620,6 +741,7 @@ let () =
       ("ablation", ablation);
       ("extensions", extensions);
       ("smoke", smoke);
+      ("cache-smoke", cache_smoke);
       ("counters", counters);
       ("perf", perf);
     ]

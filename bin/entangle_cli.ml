@@ -27,6 +27,9 @@ module Output_opts = struct
     keep_going : bool;
     no_retries : bool;
     failpoints : string option;
+    cache_dir : string option;
+    no_cache : bool;
+    cache_verify : bool;
   }
 
   let term =
@@ -104,8 +107,29 @@ module Output_opts = struct
         & opt (some string) None
         & info [ "failpoints" ] ~docv:"SPEC" ~doc)
     in
+    let cache_dir =
+      let doc =
+        "Directory of the persistent certificate cache (default:          $(b,\\$ENTANGLE_CACHE_DIR), else $(b,~/.cache/entangle))."
+      in
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+    in
+    let no_cache =
+      let doc =
+        "Disable the certificate cache: neither look up nor store          per-operator results. Restores the pre-cache behavior exactly."
+      in
+      Arg.(value & flag & info [ "no-cache" ] ~doc)
+    in
+    let cache_verify =
+      let doc =
+        "On every cache hit, run the full search anyway and cross-check          the cached verdict (slow; for cache debugging)."
+      in
+      Arg.(value & flag & info [ "cache-verify" ] ~doc)
+    in
     let make verbose json trace profile deadline op_deadline keep_going
-        no_retries failpoints =
+        no_retries failpoints cache_dir no_cache cache_verify =
       {
         verbose;
         json;
@@ -116,11 +140,15 @@ module Output_opts = struct
         keep_going;
         no_retries;
         failpoints;
+        cache_dir;
+        no_cache;
+        cache_verify;
       }
     in
     Term.(
       const make $ verbose $ json $ trace $ profile $ deadline $ op_deadline
-      $ keep_going $ no_retries $ failpoints)
+      $ keep_going $ no_retries $ failpoints $ cache_dir $ no_cache
+      $ cache_verify)
 
   (* Set up the sinks the options ask for, run [f] with the combined
      sink, then finish the trace file and print the profile. The
@@ -173,13 +201,29 @@ module Output_opts = struct
         124
     | Ok () -> with_sink_armed o f
 
-  (* The checker configuration the options imply, on top of [base]. *)
+  (* The checker configuration the options imply, on top of [base].
+     The certificate cache is on by default for CLI runs (the library
+     default stays off) but is force-disabled when failpoints are
+     armed: a warm cache would skip the very searches the injected
+     faults are meant to hit. *)
   let config ?(base = Entangle.Config.default) o sink =
+    let cache =
+      if o.no_cache || o.failpoints <> None then None
+      else
+        match Entangle_cache.Cache.create ?dir:o.cache_dir () with
+        | Ok c -> Some c
+        | Error e ->
+            Fmt.epr "warning: cannot open certificate cache (%s); running                      uncached@."
+              e;
+            None
+    in
     base
     |> Entangle.Config.with_trace sink
     |> Entangle.Config.with_check_deadline o.deadline
     |> Entangle.Config.with_op_deadline o.op_deadline
     |> Entangle.Config.with_keep_going o.keep_going
+    |> Entangle.Config.with_cache cache
+    |> Entangle.Config.with_cache_verify o.cache_verify
     |> fun c ->
     if o.no_retries then Entangle.Config.with_escalation [] c else c
 end
@@ -202,6 +246,10 @@ let verdict_exits =
          "internal checker error (caught and localized; includes injected \
           --failpoints faults and certificate-replay mismatches)."
   :: Cmd.Exit.defaults
+
+(* Exit codes are cache-independent by construction (only definitive
+   verdicts are cached, and replay failures fall back to the search);
+   $(b,--no-cache) forces the pre-cache behavior when bisecting. *)
 
 let check_instance ?config inst =
   Fmt.pr "Checking %a@." Instance.pp inst;
@@ -540,6 +588,67 @@ let trace_check_cmd =
   in
   Cmd.v info Term.(const run $ Output_opts.term $ file)
 
+(* --- cache: inspect and maintain the certificate store ------------------ *)
+
+let cache_cmd =
+  let module C = Entangle_cache.Cache in
+  let run opts action =
+    Output_opts.with_sink opts (fun _sink ->
+        match C.create ?dir:opts.Output_opts.cache_dir () with
+        | Error e ->
+            Fmt.epr "cannot open certificate cache: %s@." e;
+            124
+        | Ok cache -> (
+            match action with
+            | `Stats ->
+                let s = C.stats cache in
+                if opts.Output_opts.json then
+                  Fmt.pr
+                    {|{"dir": %S, "entries": %d, "bytes": %d, "shards": %d, "quarantined": %d}@.|}
+                    (C.dir cache) s.Entangle_cache.Store.entries
+                    s.Entangle_cache.Store.bytes s.Entangle_cache.Store.shards
+                    s.Entangle_cache.Store.quarantined
+                else
+                  Fmt.pr
+                    "cache %s: %d entries (%d bytes, %d shards), %d \
+                     quarantined@."
+                    (C.dir cache) s.Entangle_cache.Store.entries
+                    s.Entangle_cache.Store.bytes s.Entangle_cache.Store.shards
+                    s.Entangle_cache.Store.quarantined;
+                0
+            | `Clear ->
+                let removed = C.clear cache in
+                Fmt.pr "cache %s: removed %d entries@." (C.dir cache) removed;
+                0
+            | `Verify ->
+                let v = C.verify cache in
+                Fmt.pr
+                  "cache %s: checked %d entries, %d ok, %d invalid \
+                   (quarantined)@."
+                  (C.dir cache) v.Entangle_cache.Store.checked
+                  v.Entangle_cache.Store.ok v.Entangle_cache.Store.invalid;
+                if v.Entangle_cache.Store.invalid = 0 then 0 else 1))
+  in
+  let action =
+    let actions = [ ("stats", `Stats); ("clear", `Clear); ("verify", `Verify) ] in
+    Arg.(
+      required
+      & pos 0 (some (enum actions)) None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "$(b,stats) prints entry counts and sizes; $(b,clear) removes \
+             every entry; $(b,verify) re-validates every entry's payload, \
+             quarantining damage (exits 1 if any entry was invalid).")
+  in
+  let info =
+    Cmd.info "cache"
+      ~doc:
+        "Inspect or maintain the persistent certificate cache (see \
+         --cache-dir; checking commands populate it automatically unless \
+         --no-cache is given)."
+  in
+  Cmd.v info Term.(const run $ Output_opts.term $ action)
+
 let main =
   let info =
     Cmd.info "entangle" ~version:"1.0.0"
@@ -555,6 +664,7 @@ let main =
       lemmas_cmd;
       lint_cmd;
       trace_check_cmd;
+      cache_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

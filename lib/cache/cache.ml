@@ -1,0 +1,272 @@
+open Entangle_ir
+
+let ( let* ) = Result.bind
+let err fmt = Fmt.kstr (fun s -> Error s) fmt
+
+type t = { store : Store.t }
+
+let create ?dir () = Result.map (fun store -> { store }) (Store.open_ ?dir ())
+let dir t = Store.dir t.store
+
+type provenance = Hit | Miss | Replay_failed of string
+
+let pp_provenance ppf = function
+  | Hit -> Fmt.string ppf "hit"
+  | Miss -> Fmt.string ppf "miss"
+  | Replay_failed reason -> Fmt.pf ppf "replay failed (%s)" reason
+
+type entry =
+  | Mapped of { mappings : Expr.t list; output_mappings : Expr.t list }
+  | Unmapped
+
+type ctx = {
+  store : Store.t;
+  base_fp : string;
+  gs_env : Fingerprint.env;
+  gd_env : Fingerprint.env;
+  resolve : string -> Tensor.t option;
+  gd : Graph.t;
+  whole_graph : bool;
+  gd_outputs : Tensor.Set.t;
+}
+
+let has_duplicate_names g =
+  let names = List.sort String.compare (List.map Tensor.name (Graph.tensors g)) in
+  let rec dup = function
+    | a :: b :: _ when String.equal a b -> true
+    | _ :: rest -> dup rest
+    | [] -> false
+  in
+  dup names
+
+let context (t : t) ~config_fp ~whole_graph ~rules ~gs ~gd =
+  if has_duplicate_names gd then None
+  else
+    let gd_env = Fingerprint.graph_env gd in
+    let by_name = Hashtbl.create 64 in
+    List.iter
+      (fun tensor -> Hashtbl.replace by_name (Tensor.name tensor) tensor)
+      (Graph.tensors gd);
+    (* The base covers everything the per-operator computation reads
+       besides the operator, its seeds and its cone: the
+       search-relevant configuration, the lemma corpus, the
+       distributed constraint store (lemma conditions are discharged
+       against it) and the distributed output set (output-grounded
+       extraction filters on it). Deliberately NOT the whole
+       distributed graph — that is what the per-operator cone
+       fingerprint is for, so that editing one distributed operator
+       only invalidates the sequential operators whose cone sees it. *)
+    let base_fp =
+      Fingerprint.to_hex
+        (Fingerprint.strings
+           [
+             "base/1";
+             config_fp;
+             Fingerprint.to_hex (Fingerprint.rules rules);
+             Fingerprint.to_hex
+               (Fingerprint.constraints (Graph.constraints gd));
+             Fingerprint.to_hex
+               (Fingerprint.strings
+                  (List.sort String.compare
+                     (List.map
+                        (fun tensor ->
+                          Fingerprint.to_hex (Fingerprint.tensor gd_env tensor))
+                        (Graph.outputs gd))));
+           ])
+    in
+    Some
+      {
+        store = t.store;
+        base_fp;
+        gs_env = Fingerprint.graph_env gs;
+        gd_env;
+        resolve = Hashtbl.find_opt by_name;
+        gd;
+        whole_graph;
+        gd_outputs =
+          List.fold_left
+            (fun acc tensor -> Tensor.Set.add tensor acc)
+            Tensor.Set.empty (Graph.outputs gd);
+      }
+
+(* The distributed cone: the node set the frontier loop (Listing 3)
+   would load, replayed as a pure tensor-set fixpoint — the loop's
+   membership tests never consult the e-graph, so the loaded set is a
+   function of the anchor tensors and the distributed graph alone. *)
+let cone_fp ctx ~anchors =
+  let gd_nodes = Graph.nodes ctx.gd in
+  let node_fps =
+    if ctx.whole_graph then List.map (Fingerprint.node ctx.gd_env) gd_nodes
+    else begin
+      let t_rel = ref anchors in
+      let explored = Hashtbl.create 64 in
+      let acc = ref [] in
+      let continue = ref true in
+      while !continue do
+        let frontier =
+          List.filter
+            (fun n ->
+              (not (Hashtbl.mem explored (Node.id n)))
+              && List.for_all
+                   (fun tensor -> Tensor.Set.mem tensor !t_rel)
+                   (Node.inputs n))
+            gd_nodes
+        in
+        if frontier = [] then continue := false
+        else
+          List.iter
+            (fun n ->
+              Hashtbl.replace explored (Node.id n) ();
+              acc := Fingerprint.node ctx.gd_env n :: !acc;
+              t_rel := Tensor.Set.add (Node.output n) !t_rel)
+            frontier
+      done;
+      !acc
+    end
+  in
+  Fingerprint.strings
+    (List.sort String.compare (List.map Fingerprint.to_hex node_fps))
+
+let key ctx ~seeds v =
+  let inputs = Node.inputs v in
+  let seed_fp (tensor, es) =
+    Fingerprint.to_hex (Fingerprint.tensor ctx.gs_env tensor)
+    ^ "="
+    ^ Fingerprint.to_hex (Fingerprint.exprs ctx.gd_env es)
+  in
+  let seeds_fp =
+    Fingerprint.strings (List.sort String.compare (List.map seed_fp seeds))
+  in
+  (* Cone anchors: the distributed leaves of the mappings of [v]'s
+     inputs, mirroring the frontier loop's initial T_rel. *)
+  let anchors =
+    List.fold_left
+      (fun acc (tensor, es) ->
+        if List.exists (Tensor.equal tensor) inputs then
+          List.fold_left
+            (fun acc e ->
+              List.fold_left
+                (fun acc leaf ->
+                  if Graph.mem_tensor ctx.gd leaf then Tensor.Set.add leaf acc
+                  else acc)
+                acc (Expr.leaves e))
+            acc es
+        else acc)
+      Tensor.Set.empty seeds
+  in
+  Fingerprint.to_hex
+    (Fingerprint.strings
+       [
+         "key/1";
+         ctx.base_fp;
+         Fingerprint.to_hex (Fingerprint.tensor ctx.gs_env (Node.output v));
+         Fingerprint.to_hex seeds_fp;
+         Fingerprint.to_hex (cone_fp ctx ~anchors);
+       ])
+
+(* --- payload (de)serialization ------------------------------------------ *)
+
+let entry_to_payload entry =
+  let sexp =
+    match entry with
+    | Unmapped -> Sexp.list [ Sexp.atom "entry"; Sexp.atom "unmapped" ]
+    | Mapped { mappings; output_mappings } ->
+        Sexp.list
+          [
+            Sexp.atom "entry";
+            Sexp.atom "mapped";
+            Sexp.list (List.map Serial.expr_to_sexp mappings);
+            Sexp.list (List.map Serial.expr_to_sexp output_mappings);
+          ]
+  in
+  Sexp.to_string sexp
+
+let parse_exprs ~resolve sexps =
+  List.fold_left
+    (fun acc s ->
+      let* acc = acc in
+      let* e = Serial.expr_of_sexp ~resolve s in
+      Ok (acc @ [ e ]))
+    (Ok []) sexps
+
+let parse_payload ~resolve payload =
+  let* sexp = Sexp.of_string payload in
+  match sexp with
+  | Sexp.List [ Sexp.Atom "entry"; Sexp.Atom "unmapped" ] -> Ok Unmapped
+  | Sexp.List
+      [ Sexp.Atom "entry"; Sexp.Atom "mapped"; Sexp.List maps; Sexp.List outs ]
+    ->
+      let* mappings = parse_exprs ~resolve maps in
+      let* output_mappings = parse_exprs ~resolve outs in
+      if mappings = [] then err "mapped entry with no mappings"
+      else Ok (Mapped { mappings; output_mappings })
+  | s -> err "malformed cache entry %s" (Sexp.to_string s)
+
+let validate_payload payload =
+  (* Structure-only: resolve every leaf to a placeholder so the parse
+     exercises the full grammar without a graph at hand. *)
+  let resolve name = Some (Tensor.create ~name Shape.scalar) in
+  Result.map (fun _ -> ()) (parse_payload ~resolve payload)
+
+(* --- replay validation --------------------------------------------------- *)
+
+let replay ctx v entry =
+  match entry with
+  | Unmapped -> Ok Unmapped
+  | Mapped { mappings; output_mappings } ->
+      let store = Graph.constraints ctx.gd in
+      let out_shape = Tensor.shape (Node.output v) in
+      let check_expr ~outputs_only e =
+        if not (Expr.is_clean e) then
+          err "cached expression %a is not clean" Expr.pp e
+        else if
+          outputs_only
+          && not
+               (List.for_all
+                  (fun leaf -> Tensor.Set.mem leaf ctx.gd_outputs)
+                  (Expr.leaves e))
+        then
+          err "cached output mapping %a has a non-output leaf" Expr.pp e
+        else
+          let* shape = Expr.infer_shape store e in
+          if Shape.equal store shape out_shape then Ok ()
+          else
+            err "cached expression %a has shape %a, operator output has %a"
+              Expr.pp e Shape.pp shape Shape.pp out_shape
+      in
+      let rec all ~outputs_only = function
+        | [] -> Ok ()
+        | e :: rest ->
+            let* () = check_expr ~outputs_only e in
+            all ~outputs_only rest
+      in
+      let* () = all ~outputs_only:false mappings in
+      let* () = all ~outputs_only:true output_mappings in
+      Ok entry
+
+let find ctx ~key v =
+  match Store.get ctx.store ~key with
+  | None -> `Miss
+  | Some payload -> (
+      match
+        let* entry = parse_payload ~resolve:ctx.resolve payload in
+        replay ctx v entry
+      with
+      | Ok entry -> `Hit entry
+      | Error reason -> `Replay_failed reason)
+
+let put ctx ~key entry =
+  match entry with
+  | Mapped { mappings = []; _ } -> ()
+  | _ -> (
+      match Store.put ctx.store ~key (entry_to_payload entry) with
+      | Ok () | Error _ -> ())
+
+(* --- maintenance --------------------------------------------------------- *)
+
+let stats (t : t) = Store.stats t.store
+let clear (t : t) = Store.clear t.store
+
+let verify (t : t) =
+  Store.verify t.store ~check:(fun ~key:_ payload ->
+      Result.is_ok (validate_payload payload))

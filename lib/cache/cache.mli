@@ -1,0 +1,104 @@
+(** The certificate cache: content-addressed memoization of the
+    per-operator relation search.
+
+    One entry records the outcome of [Node_rel.compute] for one
+    sequential operator: either the clean mapping expressions found for
+    its output (the replayable certificate) or the fact that saturation
+    proved no mapping exists. The key fingerprints {e every} input of
+    that computation:
+
+    - the operator's Merkle fingerprint over the sequential graph
+      (op + attributes + transitive input structure and shapes);
+    - the seeded relation entries (the operator's input mappings plus
+      every sequential-input mapping), as fingerprints over the
+      distributed graph;
+    - the distributed {e cone}: the node set the frontier loop (paper
+      Listing 3) would load for those seeds — the fixpoint is a pure
+      tensor-set computation, so it is replayed here without building
+      an e-graph. Editing one distributed operator therefore only
+      invalidates the sequential operators whose cone contains it;
+    - the base context: search-relevant configuration, the lemma
+      corpus, the distributed constraint store and output set.
+
+    A hit does not blindly trust the stored expressions: the
+    certificate is {e replayed} against the current graphs — leaves
+    resolved by name, cleanliness checked, shapes re-inferred under the
+    current constraint store and compared to the operator's output.
+    Any mismatch degrades to {!Replay_failed} and the caller falls back
+    to the normal search. Verdicts that say nothing about the model
+    ([Inconclusive], [Internal]) are never cached; [Unmapped] {e is}
+    cached, because saturation outcomes are deterministic for a fixed
+    key. *)
+
+open Entangle_ir
+
+type t
+(** A handle on an opened on-disk store. *)
+
+val create : ?dir:string -> unit -> (t, string) result
+(** Open (creating if needed) the store at [dir], defaulting to
+    {!Store.default_dir}. *)
+
+val dir : t -> string
+
+type provenance = Hit | Miss | Replay_failed of string
+(** How one operator's result was obtained: served from the cache,
+    searched because no entry existed, or searched because an entry
+    existed but failed certificate replay (payload, name-resolution or
+    shape validation). *)
+
+val pp_provenance : provenance Fmt.t
+
+type entry =
+  | Mapped of { mappings : Expr.t list; output_mappings : Expr.t list }
+      (** the clean expressions found for the operator's output, and
+          the subset over distributed outputs *)
+  | Unmapped  (** saturation proved no clean mapping exists *)
+
+type ctx
+(** Per-check context: fingerprint environments for both graphs, the
+    distributed name-resolution table and the base fingerprint. Built
+    once per [Refine.check]. *)
+
+val context :
+  t ->
+  config_fp:string ->
+  whole_graph:bool ->
+  rules:Entangle_egraph.Rule.t list ->
+  gs:Graph.t ->
+  gd:Graph.t ->
+  ctx option
+(** [None] when the distributed graph has duplicate tensor names:
+    certificates resolve leaves by name, so replay would be ambiguous —
+    the cache disables itself rather than guess. [config_fp] is the
+    caller's search-relevant configuration fingerprint
+    ([Config.search_fingerprint]); [whole_graph] mirrors a disabled
+    frontier optimization (the cone is then the whole distributed
+    graph). *)
+
+val key :
+  ctx -> seeds:(Tensor.t * Expr.t list) list -> Node.t -> string
+(** The content key for checking operator [v] with the given seeded
+    relation entries ([v]'s input mappings plus the sequential-input
+    mappings — exactly what [Node_rel.compute] loads). *)
+
+val find : ctx -> key:string -> Node.t -> [ `Hit of entry | `Miss | `Replay_failed of string ]
+(** Look up and replay-validate an entry for operator [v]. *)
+
+val put : ctx -> key:string -> entry -> unit
+(** Record an entry; best-effort (I/O errors are swallowed — the cache
+    must never fail a check). A [Mapped] entry with no mappings is not
+    stored. *)
+
+(** {1 Maintenance} (the [entangle cache] subcommand) *)
+
+val stats : t -> Store.stats
+val clear : t -> int
+
+val verify : t -> Store.verify_result
+(** Structurally validate every entry's payload (header, key and
+    s-expression shape); damaged entries are quarantined. *)
+
+val validate_payload : string -> (unit, string) result
+(** The structural payload check used by {!verify}: parses without
+    resolving leaves against any graph. *)

@@ -1,0 +1,194 @@
+let version = "entangle-cache/1"
+let version_prefix = "entangle-cache/"
+
+type t = { dir : string }
+
+let dir t = t.dir
+let objects_dir t = Filename.concat t.dir "objects"
+let tmp_dir t = Filename.concat t.dir "tmp"
+let quarantine_dir t = Filename.concat t.dir "quarantine"
+
+let default_dir () =
+  match Sys.getenv_opt "ENTANGLE_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ ->
+      let base =
+        match Sys.getenv_opt "XDG_CACHE_HOME" with
+        | Some d when d <> "" -> d
+        | _ -> (
+            match Sys.getenv_opt "HOME" with
+            | Some h when h <> "" -> Filename.concat h ".cache"
+            | _ -> Filename.concat (Filename.get_temp_dir_name ()) "cache")
+      in
+      Filename.concat base "entangle"
+
+let rec mkdir_p d =
+  if Sys.file_exists d then ()
+  else begin
+    let parent = Filename.dirname d in
+    if parent <> d then mkdir_p parent;
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let open_ ?dir () =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  let t = { dir } in
+  mkdir_p (objects_dir t);
+  mkdir_p (tmp_dir t);
+  mkdir_p (quarantine_dir t);
+  if Sys.file_exists (objects_dir t) && Sys.is_directory (objects_dir t) then
+    Ok t
+  else Error (Fmt.str "cannot create cache directory %s" dir)
+
+let shard key = if String.length key >= 2 then String.sub key 0 2 else "xx"
+
+let path t key =
+  Filename.concat (Filename.concat (objects_dir t) (shard key)) key
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let remove_quietly p = try Sys.remove p with Sys_error _ -> ()
+
+let quarantine t p =
+  let dest = Filename.concat (quarantine_dir t) (Filename.basename p) in
+  mkdir_p (quarantine_dir t);
+  try Sys.rename p dest with Sys_error _ -> remove_quietly p
+
+(* Split [contents] at the first newline. *)
+let split_line contents =
+  match String.index_opt contents '\n' with
+  | None -> None
+  | Some i ->
+      Some
+        ( String.sub contents 0 i,
+          String.sub contents (i + 1) (String.length contents - i - 1) )
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let get t ~key =
+  let p = path t key in
+  if not (Sys.file_exists p) then None
+  else
+    match read_file p with
+    | exception Sys_error _ -> None
+    | contents -> (
+        match split_line contents with
+        | None ->
+            quarantine t p;
+            None
+        | Some (header, rest) ->
+            if String.equal header version then
+              match split_line rest with
+              | Some (k, payload) when String.equal k key -> Some payload
+              | _ ->
+                  quarantine t p;
+                  None
+            else if starts_with ~prefix:version_prefix header then begin
+              (* A well-formed entry of another format version: the
+                 schema moved on, so the entry is stale, not corrupt. *)
+              remove_quietly p;
+              None
+            end
+            else begin
+              quarantine t p;
+              None
+            end)
+
+let put t ~key payload =
+  try
+    let target = path t key in
+    mkdir_p (Filename.dirname target);
+    mkdir_p (tmp_dir t);
+    let tmp = Filename.temp_file ~temp_dir:(tmp_dir t) "entry" ".tmp" in
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc version;
+       output_char oc '\n';
+       output_string oc key;
+       output_char oc '\n';
+       output_string oc payload
+     with e ->
+       close_out_noerr oc;
+       remove_quietly tmp;
+       raise e);
+    close_out oc;
+    Sys.rename tmp target;
+    Ok ()
+  with Sys_error e -> Error e
+
+let list_dir d =
+  match Sys.readdir d with
+  | exception Sys_error _ -> []
+  | entries ->
+      let l = Array.to_list entries in
+      List.sort String.compare l
+
+let iter_entries t f =
+  List.iter
+    (fun sh ->
+      let shd = Filename.concat (objects_dir t) sh in
+      if (try Sys.is_directory shd with Sys_error _ -> false) then
+        List.iter
+          (fun name -> f ~key:name ~path:(Filename.concat shd name))
+          (list_dir shd))
+    (list_dir (objects_dir t))
+
+type stats = { entries : int; bytes : int; shards : int; quarantined : int }
+
+let stats t =
+  let entries = ref 0 and bytes = ref 0 in
+  iter_entries t (fun ~key:_ ~path ->
+      incr entries;
+      match open_in_bin path with
+      | exception Sys_error _ -> ()
+      | ic ->
+          bytes := !bytes + in_channel_length ic;
+          close_in_noerr ic);
+  let shards =
+    List.length
+      (List.filter
+         (fun sh ->
+           try Sys.is_directory (Filename.concat (objects_dir t) sh)
+           with Sys_error _ -> false)
+         (list_dir (objects_dir t)))
+  in
+  {
+    entries = !entries;
+    bytes = !bytes;
+    shards;
+    quarantined = List.length (list_dir (quarantine_dir t));
+  }
+
+let clear t =
+  let removed = ref 0 in
+  iter_entries t (fun ~key:_ ~path ->
+      remove_quietly path;
+      incr removed);
+  List.iter
+    (fun name -> remove_quietly (Filename.concat (tmp_dir t) name))
+    (list_dir (tmp_dir t));
+  !removed
+
+type verify_result = { checked : int; ok : int; invalid : int }
+
+let verify t ~check =
+  let checked = ref 0 and ok = ref 0 and invalid = ref 0 in
+  iter_entries t (fun ~key ~path ->
+      incr checked;
+      match get t ~key with
+      | None ->
+          (* [get] already removed or quarantined the damaged file. *)
+          incr invalid
+      | Some payload ->
+          if check ~key payload then incr ok
+          else begin
+            incr invalid;
+            quarantine t path
+          end);
+  { checked = !checked; ok = !ok; invalid = !invalid }

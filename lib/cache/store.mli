@@ -1,0 +1,66 @@
+(** Persistent content-addressed object store.
+
+    Layout under the store directory:
+
+    {v
+    objects/<first two hex chars>/<key>   one entry per file
+    tmp/                                  staging for atomic writes
+    quarantine/                           corrupt entries, moved aside
+    v}
+
+    Each entry file is a versioned header line, the key on its own
+    line, then the payload. Writes go through a temp file in [tmp/]
+    followed by [rename], so readers never observe a torn entry and
+    concurrent writers of the same key race benignly (last rename
+    wins). A version-mismatched entry is silently removed on read (the
+    format changed: invalidate); an entry that fails header or key
+    validation is moved to [quarantine/] for post-mortem rather than
+    crashing the checker. All store operations are best-effort: I/O
+    errors degrade to misses or no-ops, never exceptions. *)
+
+type t
+
+val version : string
+(** The header line, ["entangle-cache/1"]. Bump on any format change:
+    old entries then self-invalidate on first read. *)
+
+val default_dir : unit -> string
+(** [$ENTANGLE_CACHE_DIR], else [$XDG_CACHE_HOME/entangle], else
+    [$HOME/.cache/entangle], else a directory under the system temp
+    dir. *)
+
+val open_ : ?dir:string -> unit -> (t, string) result
+(** Create (mkdir -p) and open the store; [dir] defaults to
+    {!default_dir}. [Error] when the directory cannot be created or is
+    not writable. *)
+
+val dir : t -> string
+
+val get : t -> key:string -> string option
+(** The payload for [key], or [None] on miss. Side effects on bad
+    entries: wrong version — removed; unrecognizable header or key
+    mismatch — quarantined. *)
+
+val put : t -> key:string -> string -> (unit, string) result
+(** Atomically write the payload under [key] (tmp + rename). *)
+
+type stats = {
+  entries : int;
+  bytes : int;  (** total payload+header bytes across entries *)
+  shards : int;
+  quarantined : int;
+}
+
+val stats : t -> stats
+
+val clear : t -> int
+(** Remove every entry (and stale temp files); returns the number of
+    entries removed. Quarantined files are kept. *)
+
+type verify_result = { checked : int; ok : int; invalid : int }
+
+val verify : t -> check:(key:string -> string -> bool) -> verify_result
+(** Read every entry through {!get} (which already removes or
+    quarantines version/header damage), then run [check] on the
+    payload; entries failing [check] are quarantined and counted in
+    [invalid]. *)

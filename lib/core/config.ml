@@ -26,6 +26,8 @@ type t = {
   check_deadline_s : float option;
   escalation : rung list;
   keep_going : bool;
+  cache : Entangle_cache.Cache.t option;
+  cache_verify : bool;
 }
 
 let default =
@@ -43,6 +45,8 @@ let default =
     check_deadline_s = None;
     escalation = default_escalation;
     keep_going = false;
+    cache = None;
+    cache_verify = false;
   }
 
 let no_frontier = { default with frontier_optimization = false }
@@ -63,3 +67,31 @@ let with_op_deadline op_deadline_s t = { t with op_deadline_s }
 let with_check_deadline check_deadline_s t = { t with check_deadline_s }
 let with_escalation escalation t = { t with escalation }
 let with_keep_going keep_going t = { t with keep_going }
+let with_cache cache t = { t with cache }
+let with_cache_verify cache_verify t = { t with cache_verify }
+
+(* What the certificate cache must key on: every configuration field
+   that can change which mappings the per-operator search finds or
+   whether saturation completes. Wall-clock and heap budgets are
+   excluded on purpose — exhausting them yields an [Inconclusive]
+   verdict, which is never cached, so they cannot change a cached
+   outcome. [lint_graphs], [keep_going], [trace] and
+   [check_egraph_invariants] do not influence the search either (the
+   invariant audit can only raise, which is an uncacheable [Internal]
+   verdict). *)
+let search_fingerprint t =
+  let scheduler_name = function
+    | Runner.Simple -> "simple"
+    | Runner.Backoff -> "backoff"
+  in
+  let rung (r : rung) =
+    Fmt.str "%d:%s:%b" r.scale (scheduler_name r.scheduler) r.incremental
+  in
+  Fmt.str
+    "search/1;frontier=%b;prune=%b;alts=%d;iters=%d;nodes=%d;classes=%d;sched=%s;incr=%b;esc=%s"
+    t.frontier_optimization t.prune_equivalent t.max_alternates
+    t.limits.Runner.max_iterations t.limits.Runner.max_nodes
+    t.limits.Runner.max_classes
+    (scheduler_name t.scheduler)
+    t.incremental_matching
+    (String.concat "," (List.map rung t.escalation))

@@ -91,6 +91,18 @@ type t = {
           relations, skip (and taint) operators that depend on them,
           and keep checking independent operators — every localized
           fault is returned in [failure.faults]. Off by default. *)
+  cache : Entangle_cache.Cache.t option;
+      (** The persistent certificate cache: per-operator search
+          results are looked up by content fingerprint and hits replay
+          the stored certificate instead of re-searching (see
+          {!Entangle_cache.Cache}). [None] (the default) disables
+          caching entirely — the pre-cache behavior. *)
+  cache_verify : bool;
+      (** Paranoia mode: on a cache hit, run the full search anyway
+          and cross-check the cached verdict against the fresh one; a
+          disagreement is treated as a replay failure (the fresh
+          result wins and overwrites the entry). Costs a full search
+          per operator; for cache debugging. *)
 }
 
 val default : t
@@ -115,3 +127,14 @@ val with_op_deadline : float option -> t -> t
 val with_check_deadline : float option -> t -> t
 val with_escalation : rung list -> t -> t
 val with_keep_going : bool -> t -> t
+val with_cache : Entangle_cache.Cache.t option -> t -> t
+val with_cache_verify : bool -> t -> t
+
+val search_fingerprint : t -> string
+(** A stable rendering of every field that can change what the
+    per-operator search finds (optimization toggles, discrete limits,
+    scheduler, incremental matching, escalation ladder) — part of every
+    certificate-cache key, so changing any such knob soundly
+    invalidates. Wall-clock/heap budgets and the diagnostics fields are
+    excluded: they can only produce [Inconclusive]/[Internal] verdicts,
+    which are never cached. *)

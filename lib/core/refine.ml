@@ -4,6 +4,7 @@ module Sink = Trace.Sink
 module Event = Trace.Event
 module Runner = Entangle_egraph.Runner
 module Failpoint = Entangle_failpoint.Failpoint
+module Cache = Entangle_cache.Cache
 
 type stats = {
   operators_processed : int;
@@ -15,6 +16,9 @@ type stats = {
   rule_hits : (string * int) list;
   retries : int;
   budget_trips : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_replays_failed : int;
   wall_time_s : float;
 }
 
@@ -46,6 +50,7 @@ type fault = {
 type success = {
   output_relation : Relation.t;
   full_relation : Relation.t;
+  cache_provenance : (Node.t * Cache.provenance) list;
   stats : stats;
 }
 
@@ -56,6 +61,7 @@ type failure = {
   dependents_skipped : Node.t list;
   partial_relation : Relation.t;
   input_mappings : (Tensor.t * Expr.t list) list;
+  cache_provenance : (Node.t * Cache.provenance) list;
   stats : stats;
 }
 
@@ -102,6 +108,9 @@ let stats_of_agg ~wall_time_s agg =
     rule_hits = Trace.Agg.rule_hits agg;
     retries = Trace.Agg.retries agg;
     budget_trips = Trace.Agg.budget_trips agg;
+    cache_hits = Trace.Agg.cache_hits agg;
+    cache_misses = Trace.Agg.cache_misses agg;
+    cache_replays_failed = Trace.Agg.cache_replays_failed agg;
     wall_time_s;
   }
 
@@ -133,6 +142,19 @@ let check ?(config = Config.default) ?rules ~gs ~gd ~input_relation () =
     | Some r -> r
     | None -> Entangle_lemmas.Lemma.rules Entangle_lemmas.Registry.all
   in
+  (* The certificate cache, when configured: one context per check
+     (fingerprint environments over both graphs). [context] refuses
+     graphs whose tensor names are ambiguous, in which case the check
+     silently runs uncached. *)
+  let cache_ctx =
+    match config.Config.cache with
+    | None -> None
+    | Some cache ->
+        Cache.context cache
+          ~config_fp:(Config.search_fingerprint config)
+          ~whole_graph:(not config.Config.frontier_optimization)
+          ~rules ~gs ~gd
+  in
   (* Statistics are a fold over the same event stream any configured
      trace sink receives: the aggregator is itself a sink, teed with
      [config.trace], so [stats] and a collected trace are projections
@@ -160,6 +182,18 @@ let check ?(config = Config.default) ?rules ~gs ~gd ~input_relation () =
     | Some s, Some d -> Some (Float.min (now +. s) d)
   in
   let stats () = stats_of_agg ~wall_time_s:(Unix.gettimeofday () -. t0) agg in
+  let cache_log = ref [] in
+  let note_cache v p =
+    cache_log := (v, p) :: !cache_log;
+    if Sink.enabled sink then
+      Sink.instant sink
+        (match p with
+        | Cache.Hit -> "cache-hit"
+        | Cache.Miss -> "cache-miss"
+        | Cache.Replay_failed _ -> "cache-replay-failed")
+        ~cat:"cache"
+        ~args:[ ("operator", Event.Str (Op.name (Node.op v))) ]
+  in
   let mappings_of v relation =
     List.map (fun t -> (t, Relation.find relation t)) (Node.inputs v)
   in
@@ -185,6 +219,7 @@ let check ?(config = Config.default) ?rules ~gs ~gd ~input_relation () =
             dependents_skipped = List.rev skipped;
             partial_relation = relation;
             input_mappings = first.fault_input_mappings;
+            cache_provenance = List.rev !cache_log;
             stats = stats ();
           }
   in
@@ -231,7 +266,7 @@ let check ?(config = Config.default) ?rules ~gs ~gd ~input_relation () =
      as an [Internal] verdict localized to [v]. Precondition violations
      detected before the loop ([Invalid_argument] on unclean input) are
      deliberately NOT routed through this: they are documented raises. *)
-  let check_operator v relation =
+  let search_operator v relation =
     let attempt rung =
       let cfg =
         match rung with
@@ -260,18 +295,20 @@ let check ?(config = Config.default) ?rules ~gs ~gd ~input_relation () =
     in
     let rec go retries rung rungs =
       match attempt rung with
-      | Error v -> Error v
+      | Error verdict -> `Fail verdict
       | Ok o ->
-          if o.Node_rel.mappings <> [] then Ok (o, retries)
+          if o.Node_rel.mappings <> [] then `Found (o, retries)
           else (
             match o.Node_rel.exhausted with
             | None ->
                 (* Saturated with no mapping: provably absent under the
-                   given rules, however much budget we add. *)
-                Error (Unmapped (no_mapping_msg v))
+                   given rules, however much budget we add. This is the
+                   one negative outcome worth caching: saturation is
+                   deterministic for a fixed key. *)
+                `Absent
             | Some b ->
                 if past_check_deadline () then
-                  Error
+                  `Fail
                     (Inconclusive
                        {
                          budget = Runner.Deadline;
@@ -281,7 +318,7 @@ let check ?(config = Config.default) ?rules ~gs ~gd ~input_relation () =
                 else (
                   match rungs with
                   | [] ->
-                      Error
+                      `Fail
                         (Inconclusive
                            {
                              budget = b;
@@ -303,10 +340,103 @@ let check ?(config = Config.default) ?rules ~gs ~gd ~input_relation () =
                       if Sink.enabled sink then
                         Sink.span_end sink ~cat:"retry" "escalation"
                           ~args:
-                            [ ("resolved", Event.Bool (Result.is_ok res)) ];
+                            [
+                              ( "resolved",
+                                Event.Bool
+                                  (match res with
+                                  | `Found _ -> true
+                                  | `Absent | `Fail _ -> false) );
+                            ];
                       res))
     in
     go 0 None config.Config.escalation
+  in
+  (* Cache wrapper around the search: exact-key lookup, certificate
+     replay on a hit, population on a miss. Only definitive outcomes
+     are stored: a mapping set, or provable absence at saturation.
+     [Inconclusive]/[Internal] say nothing about the model and are
+     never cached. *)
+  let store_entry ctx key = function
+    | `Found ((o : Node_rel.outcome), _) ->
+        Cache.put ctx ~key
+          (Cache.Mapped
+             {
+               mappings = o.Node_rel.mappings;
+               output_mappings = o.Node_rel.output_mappings;
+             })
+    | `Absent -> Cache.put ctx ~key Cache.Unmapped
+    | `Fail _ -> ()
+  in
+  let check_operator v relation =
+    let searched =
+      match cache_ctx with
+      | None -> search_operator v relation
+      | Some ctx -> (
+          let seeds =
+            let inputs = Node.inputs v in
+            List.filter
+              (fun (t, _) ->
+                List.exists (Tensor.equal t) inputs || Graph.is_input gs t)
+              (Relation.bindings relation)
+          in
+          let key = Cache.key ctx ~seeds v in
+          let lookup =
+            Sink.span sink ~cat:"cache" "cache-lookup" (fun () ->
+                Cache.find ctx ~key v)
+          in
+          match lookup with
+          | `Hit entry when not config.Config.cache_verify -> (
+              note_cache v Cache.Hit;
+              match entry with
+              | Cache.Mapped { mappings; output_mappings } ->
+                  `Found
+                    ( {
+                        Node_rel.mappings;
+                        output_mappings;
+                        reports = [];
+                        egraph_nodes = 0;
+                        egraph_classes = 0;
+                        exhausted = None;
+                      },
+                      0 )
+              | Cache.Unmapped -> `Absent)
+          | `Hit entry ->
+              (* [cache_verify]: run the search anyway and cross-check
+                 the cached verdict against the fresh one. *)
+              let fresh = search_operator v relation in
+              let agree =
+                match (entry, fresh) with
+                | Cache.Mapped _, `Found _ | Cache.Unmapped, `Absent -> true
+                | _, `Fail _ ->
+                    (* The fresh search proved nothing this time (a
+                       budget tripped); that is not evidence against
+                       the cached certificate. *)
+                    true
+                | _ -> false
+              in
+              if agree then note_cache v Cache.Hit
+              else begin
+                note_cache v
+                  (Cache.Replay_failed
+                     "cached verdict disagrees with fresh search");
+                store_entry ctx key fresh
+              end;
+              fresh
+          | `Miss ->
+              note_cache v Cache.Miss;
+              let fresh = search_operator v relation in
+              store_entry ctx key fresh;
+              fresh
+          | `Replay_failed reason ->
+              note_cache v (Cache.Replay_failed reason);
+              let fresh = search_operator v relation in
+              store_entry ctx key fresh;
+              fresh)
+    in
+    match searched with
+    | `Found (o, retries) -> Ok (o, retries)
+    | `Absent -> Error (Unmapped (no_mapping_msg v))
+    | `Fail verdict -> Error verdict
   in
   (* Listing 1: process operators in topological order, accumulating R.
      Under [keep_going], a failing operator's output is bound to an
@@ -331,6 +461,7 @@ let check ?(config = Config.default) ?rules ~gs ~gd ~input_relation () =
               {
                 output_relation;
                 full_relation = relation;
+                cache_provenance = List.rev !cache_log;
                 stats = stats ();
               }
         | ordered -> finalize relation ordered skipped)

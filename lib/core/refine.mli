@@ -41,6 +41,15 @@ type stats = {
   budget_trips : int;
       (** per-operator saturation loops stopped by an exhausted budget
           rather than saturation or success *)
+  cache_hits : int;
+      (** operators answered by certificate-cache replay instead of a
+          fresh search (0 unless [config.Config.cache] is set) *)
+  cache_misses : int;
+      (** cache lookups that found no entry (the search then ran and
+          populated the store) *)
+  cache_replays_failed : int;
+      (** cache entries found but rejected by replay validation — the
+          search then ran as if the lookup had missed *)
   wall_time_s : float;
 }
 
@@ -92,6 +101,10 @@ type success = {
           distributed outputs *)
   full_relation : Relation.t;
       (** maps every sequential tensor (the accumulated R) *)
+  cache_provenance : (Node.t * Entangle_cache.Cache.provenance) list;
+      (** how each operator's relation was obtained (cache hit / miss /
+          replay failure), in processing order; empty when caching is
+          disabled *)
   stats : stats;
 }
 
@@ -113,6 +126,9 @@ type failure = {
   input_mappings : (Tensor.t * Expr.t list) list;
       (** the first failing operator's input relations, for
           localization *)
+  cache_provenance : (Node.t * Entangle_cache.Cache.provenance) list;
+      (** cache provenance for the operators that were processed before
+          (and, under [keep_going], around) the failure *)
   stats : stats;
 }
 
@@ -159,6 +175,17 @@ val check :
     continues past failing operators (outputs bound to opaque
     placeholders, dependents skipped) and every independent fault is
     returned in [failure.faults].
+
+    Caching: with [config.Config.cache] set, each operator's search is
+    keyed by content fingerprint (operator cone, seed relations, rule
+    corpus, search configuration — see {!Entangle_cache.Cache}) and
+    looked up first. A hit replays the stored certificate (re-validated
+    structurally and by shape inference) with zero saturation work; a
+    miss searches and populates the store. Only definitive outcomes
+    (mappings, or provable absence at saturation) are cached —
+    {!Inconclusive} and {!Internal} never are — so verdicts are
+    unchanged, cached or not. Cache activity shows up as [cat:"cache"]
+    trace events, in [stats], and per-operator in [cache_provenance].
 
     Diagnostics flow through [config.Config.trace]
     ({!Entangle_trace.Sink}): per-operator spans with

@@ -3,36 +3,11 @@ open Entangle_ir
 let ( let* ) = Result.bind
 let err fmt = Fmt.kstr (fun s -> Error s) fmt
 
-let rec expr_to_sexp = function
-  | Expr.Leaf t -> Sexp.list [ Sexp.atom "tensor"; Sexp.atom (Tensor.name t) ]
-  | Expr.App (op, args) -> (
-      (* Render as (opname attrs... (args...)) reusing the operator
-         encoding of {!Serial}. *)
-      match Serial.op_to_sexp op with
-      | Sexp.List op_parts ->
-          Sexp.list (op_parts @ [ Sexp.list (List.map expr_to_sexp args) ])
-      | Sexp.Atom _ as a -> Sexp.list [ a; Sexp.list (List.map expr_to_sexp args) ])
-
-let rec expr_of_sexp ~resolve = function
-  | Sexp.List [ Sexp.Atom "tensor"; Sexp.Atom name ] | Sexp.Atom name -> (
-      match resolve name with
-      | Some t -> Ok (Expr.leaf t)
-      | None -> err "unknown tensor %s" name)
-  | Sexp.List parts as sexp -> (
-      match List.rev parts with
-      | Sexp.List args :: rev_op when rev_op <> [] ->
-          let op_sexp = Sexp.list (List.rev rev_op) in
-          let* op = Serial.op_of_sexp op_sexp in
-          let* args =
-            List.fold_left
-              (fun acc a ->
-                let* acc = acc in
-                let* e = expr_of_sexp ~resolve a in
-                Ok (acc @ [ e ]))
-              (Ok []) args
-          in
-          Ok (Expr.app op args)
-      | _ -> err "malformed expression %s" (Sexp.to_string sexp))
+(* Expression rendering/parsing lives in {!Serial} (the certificate
+   cache shares it); this module only wraps it in the relation entry
+   syntax. *)
+let expr_to_sexp = Serial.expr_to_sexp
+let expr_of_sexp = Serial.expr_of_sexp
 
 let to_sexp relation =
   let entry (t, exprs) =

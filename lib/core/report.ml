@@ -1,21 +1,48 @@
 open Entangle_ir
+module Cache = Entangle_cache.Cache
 
 let pp_stats ppf (s : Refine.stats) =
   Fmt.pf ppf
     "%d operators, %d saturation iterations, %d matches, %d unions, peak \
-     e-graph %d nodes / %d classes%s%s, %.3fs"
+     e-graph %d nodes / %d classes%s%s%s, %.3fs"
     s.operators_processed s.saturation_iterations s.matches_examined
     s.unions_applied s.egraph_nodes_peak s.egraph_classes_peak
     (if s.retries = 0 then "" else Fmt.str ", %d retries" s.retries)
     (if s.budget_trips = 0 then ""
      else Fmt.str ", %d budget trips" s.budget_trips)
+    (if s.cache_hits = 0 && s.cache_misses = 0 && s.cache_replays_failed = 0
+     then ""
+     else
+       Fmt.str ", cache %d hits / %d misses%s" s.cache_hits s.cache_misses
+         (if s.cache_replays_failed = 0 then ""
+          else Fmt.str " / %d replay failures" s.cache_replays_failed))
     s.wall_time_s
+
+(* Replay failures are worth a line each — they flag store damage or a
+   fingerprinting bug. Hits/misses stay aggregate-only. *)
+let pp_replay_failures ppf prov =
+  List.iter
+    (fun (v, p) ->
+      match p with
+      | Cache.Replay_failed _ ->
+          Fmt.pf ppf "@,  %a: %a" Node.pp v Cache.pp_provenance p
+      | Cache.Hit | Cache.Miss -> ())
+    prov
+
+let has_replay_failures prov =
+  List.exists
+    (fun (_, p) -> match p with Cache.Replay_failed _ -> true | _ -> false)
+    prov
 
 let pp_success gs ppf (s : Refine.success) =
   Fmt.pf ppf
     "@[<v>Refinement verification succeeded for %s.@,@,\
-     Clean output relation R_o:@,%a@,@,(%a)@]"
-    (Graph.name gs) Relation.pp s.output_relation pp_stats s.stats
+     Clean output relation R_o:@,%a"
+    (Graph.name gs) Relation.pp s.output_relation;
+  if has_replay_failures s.cache_provenance then
+    Fmt.pf ppf "@,@,Cache replay failures:%a" pp_replay_failures
+      s.cache_provenance;
+  Fmt.pf ppf "@,@,(%a)@]" pp_stats s.stats
 
 let pp_input_mappings ppf mappings =
   Fmt.list ~sep:Fmt.cut
@@ -68,6 +95,9 @@ let pp_failure gs ppf (f : Refine.failure) =
       "@,@,Skipped (depend on a faulty operator, no independent verdict):@,%a"
       (Fmt.list ~sep:Fmt.cut (fun ppf n -> Fmt.pf ppf "  %a" Node.pp n))
       f.dependents_skipped;
+  if has_replay_failures f.cache_provenance then
+    Fmt.pf ppf "@,@,Cache replay failures:%a" pp_replay_failures
+      f.cache_provenance;
   Fmt.pf ppf "@,@,(%a)@]" pp_stats f.stats
 
 let success_to_string gs s = Fmt.str "%a" (pp_success gs) s

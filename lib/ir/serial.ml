@@ -368,3 +368,37 @@ let graph_of_sexp sexp =
 let graph_of_string input =
   let* sexp = Sexp.of_string input in
   graph_of_sexp sexp
+
+(* --- expressions -------------------------------------------------------- *)
+
+let rec expr_to_sexp = function
+  | Expr.Leaf t -> Sexp.list [ Sexp.atom "tensor"; Sexp.atom (Tensor.name t) ]
+  | Expr.App (op, args) -> (
+      (* Render as (opname attrs... (args...)) reusing the operator
+         encoding above. *)
+      match op_to_sexp op with
+      | Sexp.List op_parts ->
+          Sexp.list (op_parts @ [ Sexp.list (List.map expr_to_sexp args) ])
+      | Sexp.Atom _ as a ->
+          Sexp.list [ a; Sexp.list (List.map expr_to_sexp args) ])
+
+let rec expr_of_sexp ~resolve = function
+  | Sexp.List [ Sexp.Atom "tensor"; Sexp.Atom name ] | Sexp.Atom name -> (
+      match resolve name with
+      | Some t -> Ok (Expr.leaf t)
+      | None -> err "unknown tensor %s" name)
+  | Sexp.List parts as sexp -> (
+      match List.rev parts with
+      | Sexp.List args :: rev_op when rev_op <> [] ->
+          let op_sexp = Sexp.list (List.rev rev_op) in
+          let* op = op_of_sexp op_sexp in
+          let* args =
+            List.fold_left
+              (fun acc a ->
+                let* acc = acc in
+                let* e = expr_of_sexp ~resolve a in
+                Ok (acc @ [ e ]))
+              (Ok []) args
+          in
+          Ok (Expr.app op args)
+      | _ -> err "malformed expression %s" (Sexp.to_string sexp))

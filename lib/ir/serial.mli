@@ -38,3 +38,13 @@ val tensor_by_name : Graph.t -> string -> Tensor.t option
 (** Lookup used when resolving relation files against parsed graphs;
     graph serialization fails on duplicate tensor names, so the lookup
     is unambiguous for graphs that round-tripped. *)
+
+val expr_to_sexp : Expr.t -> Sexp.t
+(** Leaves render as [(tensor name)], applications as
+    [(opname attrs... (args...))] reusing {!op_to_sexp}. Shared by the
+    relation file format and the certificate cache. *)
+
+val expr_of_sexp :
+  resolve:(string -> Tensor.t option) -> Sexp.t -> (Expr.t, string) result
+(** Inverse of {!expr_to_sexp}; leaves are resolved by name (a bare
+    atom is accepted as a leaf too). *)

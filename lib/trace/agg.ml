@@ -7,6 +7,9 @@ type t = {
   mutable classes_peak : int;
   mutable retries : int;
   mutable budget_trips : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_replays_failed : int;
   hits : (string, int) Hashtbl.t;
 }
 
@@ -20,6 +23,9 @@ let create () =
     classes_peak = 0;
     retries = 0;
     budget_trips = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_replays_failed = 0;
     hits = Hashtbl.create 64;
   }
 
@@ -40,6 +46,13 @@ let fold t (ev : Event.t) =
   | Event.End, "retry" -> t.retries <- t.retries + 1
   | Event.Instant, "budget" when ev.name = "budget-trip" ->
       t.budget_trips <- t.budget_trips + 1
+  | Event.Instant, "cache" -> (
+      match ev.name with
+      | "cache-hit" -> t.cache_hits <- t.cache_hits + 1
+      | "cache-miss" -> t.cache_misses <- t.cache_misses + 1
+      | "cache-replay-failed" ->
+          t.cache_replays_failed <- t.cache_replays_failed + 1
+      | _ -> ())
   | Event.Instant, "rule" when ev.name = "rule-hit" -> (
       match Event.arg_str ev "rule" with
       | None -> ()
@@ -57,6 +70,9 @@ let nodes_peak t = t.nodes_peak
 let classes_peak t = t.classes_peak
 let retries t = t.retries
 let budget_trips t = t.budget_trips
+let cache_hits t = t.cache_hits
+let cache_misses t = t.cache_misses
+let cache_replays_failed t = t.cache_replays_failed
 
 let rule_hits t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.hits []

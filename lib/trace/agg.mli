@@ -33,5 +33,17 @@ val retries : t -> int
 val budget_trips : t -> int
 (** per-operator saturation loops stopped by an exhausted budget *)
 
+val cache_hits : t -> int
+(** ["cache-hit"] instants: operators served from the certificate
+    cache instead of searched *)
+
+val cache_misses : t -> int
+(** ["cache-miss"] instants: operators searched because no cache entry
+    existed *)
+
+val cache_replays_failed : t -> int
+(** ["cache-replay-failed"] instants: entries found but rejected by
+    certificate replay validation (then searched afresh) *)
+
 val rule_hits : t -> (string * int) list
 (** Sorted by rule name. *)

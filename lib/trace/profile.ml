@@ -10,6 +10,9 @@ type t = {
   unions : int;
   nodes_peak : int;
   classes_peak : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_replays_failed : int;
 }
 
 let bump tbl key count total =
@@ -90,6 +93,9 @@ let of_events events =
     unions = Agg.unions agg;
     nodes_peak = Agg.nodes_peak agg;
     classes_peak = Agg.classes_peak agg;
+    cache_hits = Agg.cache_hits agg;
+    cache_misses = Agg.cache_misses agg;
+    cache_replays_failed = Agg.cache_replays_failed agg;
   }
 
 let pp_rows ppf rows =
@@ -102,6 +108,12 @@ let pp ppf t =
   Fmt.pf ppf "Profile: %d iterations, %d matches, %d unions, peak e-graph \
               %d nodes / %d classes@."
     t.iterations t.matches t.unions t.nodes_peak t.classes_peak;
+  (let lookups = t.cache_hits + t.cache_misses + t.cache_replays_failed in
+   if lookups > 0 then
+     Fmt.pf ppf
+       "Cache: %d hits / %d misses / %d replay failures (%.0f%% hit rate)@."
+       t.cache_hits t.cache_misses t.cache_replays_failed
+       (100. *. float_of_int t.cache_hits /. float_of_int lookups));
   if t.operators <> [] then begin
     Fmt.pf ppf "@.Per-operator time:@.";
     Fmt.pf ppf "  %-32s %6s %14s@." "operator" "count" "total";

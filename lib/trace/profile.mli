@@ -20,6 +20,9 @@ type t = {
   unions : int;
   nodes_peak : int;
   classes_peak : int;
+  cache_hits : int;  (** operators served from the certificate cache *)
+  cache_misses : int;
+  cache_replays_failed : int;
 }
 
 val of_events : Event.t list -> t

@@ -1,0 +1,435 @@
+(* Tests for the certificate cache (lib/cache): fingerprint canonicity
+   (stable across rebuilds, invariant under node-id renaming and
+   independent-node reordering, distinct across the bug mutants), the
+   on-disk store's durability contract (round-trip, version
+   invalidation, corruption quarantine), and the end-to-end incremental
+   re-checking guarantees — a warm re-check does zero saturation work
+   and verdicts never depend on the cache. *)
+
+open Entangle_models
+module Trace = Entangle_trace
+module Fp = Entangle_cache.Fingerprint
+module Store = Entangle_cache.Store
+module Cache = Entangle_cache.Cache
+
+open Entangle_ir
+
+let check = Alcotest.check
+
+(* --- scratch stores ----------------------------------------------------- *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let temp_counter = ref 0
+
+let with_temp_dir f =
+  incr temp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "entangle-test-cache.%d.%d" (Unix.getpid ()) !temp_counter)
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let with_temp_cache f =
+  with_temp_dir (fun dir ->
+      match Cache.create ~dir () with
+      | Error e -> Alcotest.failf "cannot open temp cache: %s" e
+      | Ok cache -> f cache)
+
+(* --- fingerprint helpers ------------------------------------------------ *)
+
+(* Rebuild a graph from scratch with entirely fresh tensor and node ids
+   but identical names, shapes, dtypes and structure. Fingerprints must
+   not see the difference — ids are process-global counters and two
+   builds of the same model never share them. *)
+let clone_graph g =
+  let tbl = Hashtbl.create 16 in
+  let fresh t =
+    match Hashtbl.find_opt tbl (Tensor.id t :> int) with
+    | Some t' -> t'
+    | None ->
+        let t' =
+          Tensor.create ~dtype:(Tensor.dtype t) ~name:(Tensor.name t)
+            (Tensor.shape t)
+        in
+        Hashtbl.add tbl (Tensor.id t :> int) t';
+        t'
+  in
+  let inputs = List.map fresh (Graph.inputs g) in
+  let nodes =
+    List.map
+      (fun n ->
+        {
+          Node.id = Node.id n + 10_000_000;
+          op = Node.op n;
+          inputs = List.map fresh (Node.inputs n);
+          output = fresh (Node.output n);
+        })
+      (Graph.nodes g)
+  in
+  let outputs = List.map fresh (Graph.outputs g) in
+  Graph.unsafe_make
+    ~constraints:(Graph.constraints g)
+    ~name:(Graph.name g) ~inputs ~outputs nodes
+
+let graph_hex g = Fp.to_hex (Fp.graph g)
+
+(* A small DAG driven by a list of choice ints: each step applies a
+   binary op to two previously-built tensors. Deterministic in the
+   choices, so QCheck shrinking stays meaningful. *)
+let build_fuzz_graph choices =
+  let b = Graph.Builder.create "fuzz" in
+  let x = Graph.Builder.input b "x" (Shape.of_ints [ 4; 4 ]) in
+  let y = Graph.Builder.input b "y" (Shape.of_ints [ 4; 4 ]) in
+  let tensors = ref [| x; y |] in
+  List.iteri
+    (fun i k ->
+      let arr = !tensors in
+      let n = Array.length arr in
+      let a = arr.(abs k mod n) and c = arr.((abs k / 7) mod n) in
+      let op =
+        match abs k mod 3 with 0 -> Op.Add | 1 -> Op.Mul | _ -> Op.Maximum
+      in
+      let t = Graph.Builder.add b ~name:(Fmt.str "t%d" i) op [ a; c ] in
+      tensors := Array.append arr [| t |])
+    choices;
+  let arr = !tensors in
+  Graph.Builder.output b arr.(Array.length arr - 1);
+  Graph.Builder.finish b
+
+let fingerprint_tests =
+  [
+    Alcotest.test_case "stable across independent builds" `Quick (fun () ->
+        let a = Gpt.build ~layers:1 ~degree:2 ~heads:4 () in
+        let b = Gpt.build ~layers:1 ~degree:2 ~heads:4 () in
+        check Alcotest.string "gs fingerprint" (graph_hex a.Instance.gs)
+          (graph_hex b.Instance.gs);
+        check Alcotest.string "gd fingerprint" (graph_hex a.Instance.gd)
+          (graph_hex b.Instance.gd));
+    Alcotest.test_case "invariant under independent-node reorder" `Quick
+      (fun () ->
+        (* A diamond: mul and max are independent, so both orders are
+           topological and must fingerprint identically. *)
+        let x = Tensor.create ~name:"x" (Shape.of_ints [ 2; 2 ]) in
+        let m = Tensor.create ~name:"m" (Shape.of_ints [ 2; 2 ]) in
+        let n = Tensor.create ~name:"n" (Shape.of_ints [ 2; 2 ]) in
+        let z = Tensor.create ~name:"z" (Shape.of_ints [ 2; 2 ]) in
+        let mul = { Node.id = -1; op = Op.Mul; inputs = [ x; x ]; output = m } in
+        let max_ =
+          { Node.id = -2; op = Op.Maximum; inputs = [ x; x ]; output = n }
+        in
+        let add = { Node.id = -3; op = Op.Add; inputs = [ m; n ]; output = z } in
+        let g order =
+          Graph.unsafe_make ~name:"diamond" ~inputs:[ x ] ~outputs:[ z ]
+            (order @ [ add ])
+        in
+        check Alcotest.string "reorder" (graph_hex (g [ mul; max_ ]))
+          (graph_hex (g [ max_; mul ])));
+    Alcotest.test_case "renaming a tensor changes the fingerprint" `Quick
+      (fun () ->
+        let g name =
+          let b = Graph.Builder.create "g" in
+          let x = Graph.Builder.input b "x" (Shape.of_ints [ 2 ]) in
+          let t = Graph.Builder.add b ~name Op.Relu [ x ] in
+          Graph.Builder.output b t;
+          Graph.Builder.finish b
+        in
+        if String.equal (graph_hex (g "a")) (graph_hex (g "b")) then
+          Alcotest.fail "rename did not change the fingerprint");
+    Alcotest.test_case "distinct across the bug-zoo mutants" `Quick (fun () ->
+        (* Every buggy distributed graph must key differently from every
+           other and from the fixed pad/slice implementation; colliding
+           keys would let one bug's verdict answer for another. *)
+        let fps =
+          ("pad_slice_fixed",
+           graph_hex (Bugs.pad_slice_model ~buggy:false).Instance.gd)
+          :: List.map
+               (fun (c : Bugs.case) ->
+                 (Fmt.str "bug-%d" c.id, graph_hex c.instance.Instance.gd))
+               (Bugs.all ())
+        in
+        List.iteri
+          (fun i (ni, fi) ->
+            List.iteri
+              (fun j (nj, fj) ->
+                if i < j && String.equal fi fj then
+                  Alcotest.failf "fingerprint collision: %s = %s" ni nj)
+              fps)
+          fps);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:50
+         ~name:"fingerprints invariant under fresh tensor/node ids"
+         QCheck.(list_of_size (QCheck.Gen.int_range 1 10) small_int)
+         (fun choices ->
+           let g = build_fuzz_graph choices in
+           let g' = clone_graph g in
+           if not (String.equal (graph_hex g) (graph_hex g')) then
+             QCheck.Test.fail_reportf "clone changed whole-graph fingerprint";
+           let env = Fp.graph_env g and env' = Fp.graph_env g' in
+           List.for_all2
+             (fun n n' ->
+               Fp.equal (Fp.node env n) (Fp.node env' n')
+               && Fp.equal
+                    (Fp.tensor env (Node.output n))
+                    (Fp.tensor env' (Node.output n')))
+             (Graph.nodes g) (Graph.nodes g')));
+  ]
+
+(* --- store durability --------------------------------------------------- *)
+
+let open_store dir =
+  match Store.open_ ~dir () with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "open_: %s" e
+
+let entry_file dir key =
+  (* objects/<2-hex-shard>/<key>, as documented in store.mli. *)
+  Filename.concat
+    (Filename.concat (Filename.concat dir "objects") (String.sub key 0 2))
+    key
+
+let store_tests =
+  [
+    Alcotest.test_case "round-trip across re-open" `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_store dir in
+            let key = String.make 32 'a' in
+            (match Store.put s ~key "payload\nwith lines" with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "put: %s" e);
+            check Alcotest.(option string) "same handle"
+              (Some "payload\nwith lines") (Store.get s ~key);
+            let s2 = open_store dir in
+            check Alcotest.(option string) "re-opened handle"
+              (Some "payload\nwith lines") (Store.get s2 ~key);
+            check Alcotest.(option string) "absent key" None
+              (Store.get s2 ~key:(String.make 32 'b'));
+            check Alcotest.int "one entry" 1 (Store.stats s2).Store.entries));
+    Alcotest.test_case "version mismatch invalidates silently" `Quick
+      (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_store dir in
+            let key = String.make 32 'c' in
+            (match Store.put s ~key "old payload" with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "put: %s" e);
+            (* Rewrite the entry under a future format version. *)
+            let path = entry_file dir key in
+            let oc = open_out path in
+            output_string oc ("entangle-cache/999\n" ^ key ^ "\npayload");
+            close_out oc;
+            check Alcotest.(option string) "stale entry is a miss" None
+              (Store.get s ~key);
+            check Alcotest.bool "stale file removed" false (Sys.file_exists path);
+            check Alcotest.int "nothing quarantined" 0
+              (Store.stats s).Store.quarantined));
+    Alcotest.test_case "corrupt entry is quarantined" `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_store dir in
+            let key = String.make 32 'd' in
+            (match Store.put s ~key "good payload" with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "put: %s" e);
+            let path = entry_file dir key in
+            let oc = open_out path in
+            output_string oc "not a cache entry at all";
+            close_out oc;
+            check Alcotest.(option string) "corrupt entry is a miss" None
+              (Store.get s ~key);
+            check Alcotest.bool "damaged file moved out" false
+              (Sys.file_exists path);
+            check Alcotest.int "quarantined" 1 (Store.stats s).Store.quarantined;
+            (* The store keeps working after quarantining damage. *)
+            let key2 = String.make 32 'e' in
+            (match Store.put s ~key:key2 "second" with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "put after quarantine: %s" e);
+            check Alcotest.(option string) "store still usable" (Some "second")
+              (Store.get s ~key:key2)));
+    Alcotest.test_case "clear removes every entry" `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_store dir in
+            List.iter
+              (fun c ->
+                match Store.put s ~key:(String.make 32 c) "x" with
+                | Ok () -> ()
+                | Error e -> Alcotest.failf "put: %s" e)
+              [ '0'; '1'; '2' ];
+            check Alcotest.int "cleared" 3 (Store.clear s);
+            check Alcotest.int "empty" 0 (Store.stats s).Store.entries));
+  ]
+
+(* --- incremental re-checking ------------------------------------------- *)
+
+let check_with ?cache ?(collect = false) inst =
+  let collector = if collect then Some (Trace.Collect.create ()) else None in
+  let config =
+    Entangle.Config.default
+    |> Entangle.Config.with_cache cache
+    |> Entangle.Config.with_trace
+         (match collector with
+         | Some c -> Trace.Collect.sink c
+         | None -> Trace.Sink.null)
+  in
+  let result = Instance.check ~config inst in
+  let events =
+    match collector with Some c -> Trace.Collect.events c | None -> []
+  in
+  (result, events)
+
+let result_stats = function
+  | Ok (s : Entangle.Refine.success) -> s.stats
+  | Error (f : Entangle.Refine.failure) -> f.stats
+
+(* The comparison the zoo/bugs agreement tests use: verdict class plus
+   the localized operator — everything a user acts on. *)
+let verdict_summary = function
+  | Ok (s : Entangle.Refine.success) ->
+      Fmt.str "refines: %a" Entangle.Relation.pp s.output_relation
+  | Error (f : Entangle.Refine.failure) ->
+      Fmt.str "FAILED at %s: %s"
+        (Op.name (Node.op f.operator))
+        (match f.verdict with
+        | Entangle.Refine.Unmapped _ -> "unmapped"
+        | Entangle.Refine.Inconclusive _ -> "inconclusive"
+        | Entangle.Refine.Internal _ -> "internal")
+
+let recheck_tests =
+  [
+    Alcotest.test_case "warm GPT re-check does zero saturation work" `Quick
+      (fun () ->
+        with_temp_cache (fun cache ->
+            let build () = Gpt.build ~layers:1 ~degree:2 ~heads:4 () in
+            let cold, _ = check_with ~cache (build ()) in
+            let cs = result_stats cold in
+            check Alcotest.int "cold run misses every operator"
+              cs.Entangle.Refine.operators_processed
+              cs.Entangle.Refine.cache_misses;
+            let warm, events = check_with ~cache ~collect:true (build ()) in
+            let ws = result_stats warm in
+            (* The acceptance bar: asserted on the trace event stream,
+               not just the derived stats — a warm run must emit no
+               saturation activity at all. *)
+            List.iter
+              (fun (ev : Trace.Event.t) ->
+                if
+                  List.mem ev.Trace.Event.cat
+                    [ "iteration"; "rule"; "egraph" ]
+                then
+                  Alcotest.failf "warm run emitted %s event %s"
+                    ev.Trace.Event.cat ev.Trace.Event.name)
+              events;
+            check Alcotest.int "zero saturation iterations" 0
+              ws.Entangle.Refine.saturation_iterations;
+            check Alcotest.int "every operator a hit"
+              ws.Entangle.Refine.operators_processed
+              ws.Entangle.Refine.cache_hits;
+            check Alcotest.int "no replay failures" 0
+              ws.Entangle.Refine.cache_replays_failed;
+            check Alcotest.string "same verdict and relation"
+              (verdict_summary cold) (verdict_summary warm);
+            match warm with
+            | Error _ -> Alcotest.fail "warm GPT check failed"
+            | Ok s ->
+                check Alcotest.int "provenance covers every operator"
+                  s.Entangle.Refine.stats.Entangle.Refine.operators_processed
+                  (List.length s.Entangle.Refine.cache_provenance)));
+    Alcotest.test_case "cached and uncached verdicts agree across the zoo"
+      `Slow (fun () ->
+        with_temp_cache (fun cache ->
+            List.iter
+              (fun name ->
+                let inst () = Option.get (Zoo.by_name name) in
+                let uncached, _ = check_with (inst ()) in
+                let cold, _ = check_with ~cache (inst ()) in
+                let warm, _ = check_with ~cache (inst ()) in
+                check Alcotest.string
+                  (Fmt.str "%s: cold agrees with uncached" name)
+                  (verdict_summary uncached) (verdict_summary cold);
+                check Alcotest.string
+                  (Fmt.str "%s: warm agrees with uncached" name)
+                  (verdict_summary uncached) (verdict_summary warm))
+              Zoo.names));
+    Alcotest.test_case "cached and uncached outcomes agree on every bug"
+      `Slow (fun () ->
+        with_temp_cache (fun cache ->
+            let outcome o =
+              match o with Bugs.Detected _ -> "detected" | Bugs.Missed -> "missed"
+            in
+            let cached_config =
+              Entangle.Config.default |> Entangle.Config.with_cache (Some cache)
+            in
+            List.iter
+              (fun (c : Bugs.case) ->
+                let uncached = outcome (Bugs.run c) in
+                let cold = outcome (Bugs.run ~config:cached_config c) in
+                let warm = outcome (Bugs.run ~config:cached_config c) in
+                check Alcotest.string (Fmt.str "bug %d cold" c.id) uncached cold;
+                check Alcotest.string (Fmt.str "bug %d warm" c.id) uncached warm)
+              (Bugs.all ())));
+    Alcotest.test_case "negative result is cached and replayed" `Quick
+      (fun () ->
+        (* Bug 3's Unmapped verdict saturates: provable absence must be
+           served from the cache on the second run. *)
+        with_temp_cache (fun cache ->
+            let inst () = (Bugs.case 3).Bugs.instance in
+            let cold, _ = check_with ~cache (inst ()) in
+            let warm, _ = check_with ~cache (inst ()) in
+            let ws = result_stats warm in
+            check Alcotest.string "verdict stable" (verdict_summary cold)
+              (verdict_summary warm);
+            check Alcotest.bool "warm negative lookup hits" true
+              (ws.Entangle.Refine.cache_hits > 0);
+            check Alcotest.int "no saturation on warm negative" 0
+              ws.Entangle.Refine.saturation_iterations));
+    Alcotest.test_case "store damage degrades to a re-search" `Quick
+      (fun () ->
+        with_temp_cache (fun cache ->
+            let inst () = Regression.build ~microbatches:2 () in
+            let cold, _ = check_with ~cache (inst ()) in
+            (* Garble every stored payload (keep valid headers/keys so
+               the store layer accepts them and the failure lands in
+               certificate replay). *)
+            let store = open_store (Cache.dir cache) in
+            let objects = Filename.concat (Cache.dir cache) "objects" in
+            Array.iter
+              (fun shard ->
+                let sdir = Filename.concat objects shard in
+                Array.iter
+                  (fun key ->
+                    let oc = open_out (Filename.concat sdir key) in
+                    output_string oc
+                      (Store.version ^ "\n" ^ key ^ "\n(entry (garbage))");
+                    close_out oc)
+                  (Sys.readdir sdir))
+              (Sys.readdir objects);
+            ignore store;
+            let damaged, _ = check_with ~cache (inst ()) in
+            let ds = result_stats damaged in
+            check Alcotest.string "verdict survives damage"
+              (verdict_summary cold) (verdict_summary damaged);
+            check Alcotest.bool "replay failures recorded" true
+              (ds.Entangle.Refine.cache_replays_failed > 0);
+            check Alcotest.int "no hits from damaged store" 0
+              ds.Entangle.Refine.cache_hits;
+            (* The re-search repopulates: a further run hits again. *)
+            let healed, _ = check_with ~cache (inst ()) in
+            let hs = result_stats healed in
+            check Alcotest.int "repopulated"
+              hs.Entangle.Refine.operators_processed
+              hs.Entangle.Refine.cache_hits));
+  ]
+
+let suite =
+  [
+    ("cache.fingerprint", fingerprint_tests);
+    ("cache.store", store_tests);
+    ("cache.recheck", recheck_tests);
+  ]
