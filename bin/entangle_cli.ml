@@ -513,8 +513,8 @@ let lemmas_cmd =
 
 let lint_cmd =
   let module A = Entangle_analysis in
-  let run opts seed =
-    Output_opts.with_sink opts (fun _sink ->
+  let run opts seed verify_lemmas rank_bound waivers_file =
+    Output_opts.with_sink opts (fun sink ->
         let named =
           List.concat_map
             (fun name ->
@@ -527,38 +527,118 @@ let lint_cmd =
                   ])
             Zoo.names
         in
-        let graph_diags = A.Lint.graphs named in
-        let corpus_diags, stats = A.Lint.corpus ~seed () in
-        let diags = graph_diags @ corpus_diags in
-        if opts.Output_opts.json then
-          print_endline (A.Diagnostic.report_to_json diags)
-        else begin
-          Fmt.pr "Linted %d graphs; audited %d lemmas (%d exercised, %d \
-                  differential comparisons).@."
-            (List.length named) stats.A.Lemma_check.lemmas_audited
-            stats.A.Lemma_check.lemmas_exercised stats.A.Lemma_check.comparisons;
-          if stats.A.Lemma_check.unexercised <> [] then
-            Fmt.pr "Unexercised lemmas: %a@."
-              Fmt.(list ~sep:comma string)
-              stats.A.Lemma_check.unexercised;
-          Fmt.pr "%a@." A.Diagnostic.pp_report diags
-        end;
-        A.Lint.exit_code diags)
+        match
+          match waivers_file with
+          | None -> Ok []
+          | Some path -> A.Lint.parse_waivers (read_file path)
+        with
+        | Error e ->
+            Fmt.epr "bad --waivers file: %s@." e;
+            124
+        | Ok waivers ->
+            let graph_diags = A.Lint.graphs named in
+            let corpus_diags, stats = A.Lint.corpus ~seed () in
+            let verify =
+              if not verify_lemmas then None
+              else
+                let config =
+                  {
+                    A.Lemma_verify.default_config with
+                    rank_bound =
+                      Option.value rank_bound
+                        ~default:A.Lemma_verify.default_config.rank_bound;
+                  }
+                in
+                let span name f =
+                  Trace.Sink.span sink ~cat:"lemma-verify" name f
+                in
+                let verify_diags, report =
+                  Trace.Sink.span sink ~cat:"lemma-verify" "corpus" (fun () ->
+                      A.Lint.verify_corpus ~config ~span ())
+                in
+                let cover_diags, cover =
+                  A.Lint.coverage ~report ~stats ~waivers
+                in
+                Some (verify_diags @ cover_diags, report, cover)
+            in
+            let diags =
+              graph_diags @ corpus_diags
+              @ match verify with Some (ds, _, _) -> ds | None -> []
+            in
+            if opts.Output_opts.json then begin
+              match verify with
+              | Some (_, report, cover) ->
+                  Printf.printf
+                    "{\"diagnostics\": %s, \"coverage\": %s}\n"
+                    (A.Diagnostic.report_to_json diags)
+                    (A.Lint.coverage_to_json
+                       (report.A.Lemma_verify.rank_bound, cover))
+              | None -> print_endline (A.Diagnostic.report_to_json diags)
+            end
+            else begin
+              Fmt.pr "Linted %d graphs; audited %d lemmas (%d exercised, %d \
+                      differential comparisons).@."
+                (List.length named) stats.A.Lemma_check.lemmas_audited
+                stats.A.Lemma_check.lemmas_exercised
+                stats.A.Lemma_check.comparisons;
+              if stats.A.Lemma_check.unexercised <> [] then
+                Fmt.pr "Unexercised lemmas: %a@."
+                  Fmt.(list ~sep:comma string)
+                  stats.A.Lemma_check.unexercised;
+              Option.iter
+                (fun (_, report, cover) ->
+                  Fmt.pr "%a" A.Lint.pp_coverage
+                    (report.A.Lemma_verify.rank_bound, cover))
+                verify;
+              Fmt.pr "%a@." A.Diagnostic.pp_report diags
+            end;
+            A.Lint.exit_code diags)
   in
   let seed =
     Arg.(
       value & opt int 42
       & info [ "seed" ] ~doc:"Random seed for the differential lemma audit.")
   in
+  let verify_lemmas =
+    Arg.(
+      value & flag
+      & info [ "verify-lemmas" ]
+          ~doc:
+            "Run the symbolic bounded verifier over the lemma corpus and \
+             gate on coverage: every lemma must be symbolically verified, \
+             numerically exercised, or waived (LEMMA203 otherwise).")
+  in
+  let rank_bound =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rank-bound" ] ~docv:"N"
+          ~doc:
+            "Maximum tensor rank the symbolic verifier enumerates (with \
+             $(b,--verify-lemmas)).")
+  in
+  let waivers =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "waivers" ] ~docv:"FILE"
+          ~doc:
+            "Waiver list for the coverage gate: one \"lemma-name: reason\" \
+             per line, '#' comments.")
+  in
   let info =
     Cmd.info "lint"
       ~doc:
         "Statically analyze the built-in model graphs and the lemma corpus: \
-         graph well-formedness, lemma structural checks and a differential \
-         soundness audit. Exits non-zero when any error-severity diagnostic \
-         is found."
+         graph well-formedness, lemma structural checks, a differential \
+         soundness audit, and (with $(b,--verify-lemmas)) symbolic bounded \
+         verification of every rewrite rule. Exits non-zero when any \
+         error-severity diagnostic is found."
   in
-  Cmd.v info Term.(const run $ Output_opts.term $ seed)
+  Cmd.v info
+    Term.(
+      const run $ Output_opts.term $ seed $ verify_lemmas $ rank_bound
+      $ waivers)
 
 (* --- trace-check: validate an emitted trace ------------------------------ *)
 

@@ -1,6 +1,7 @@
 open Entangle_symbolic
 open Entangle_ir
 open Entangle_egraph
+open Entangle_lemmas
 
 type assignment = {
   ops : (string * Op.t) list;
@@ -139,8 +140,18 @@ let mentions_integer_op pat =
   in
   go pat
 
-let sample st pat =
+let has_prefix p x =
+  String.length x >= String.length p && String.sub x 0 (String.length p) = p
+
+(* Index suffix of an enumerated chunk variable ("x3" -> 3). *)
+let var_index x =
+  match int_of_string_opt (String.sub x 1 (String.length x - 1)) with
+  | Some i -> i
+  | None | (exception Invalid_argument _) -> 0
+
+let sample ?(hints = []) st pat =
   let ( let* ) = Option.bind in
+  let has p = List.exists p hints in
   let* ops =
     List.fold_left
       (fun acc (bind, family) ->
@@ -158,9 +169,25 @@ let sample st pat =
      like rope-concat-rows and cross_entropy-concat expect; and one
      shared tensor, which puts every variable in the same e-class — the
      only way rules conditioned on replicated arguments
-     (sum-of-replicas) ever fire. *)
-  let mode = Random.State.int st 6 in
-  let shared_shape = Shape.of_ints (sample_shape st) in
+     (sum-of-replicas) ever fire. Hints pin the mode instead of leaving
+     it to chance, so lemmas whose guards a blind draw almost never
+     satisfies still get exercised. *)
+  let mode =
+    if has (function Lemma.Replicated -> true | _ -> false) then 0
+    else if has (function Lemma.Rows -> true | _ -> false) then 3
+    else if has (function Lemma.Uniform_chunks -> true | _ -> false) then 1
+    else Random.State.int st 6
+  in
+  let concrete_last =
+    List.find_map (function Lemma.Concrete_last k -> Some k | _ -> None) hints
+  in
+  let with_last s =
+    match concrete_last with
+    | None -> s
+    | Some k -> ( match List.rev s with [] -> s | _ :: r -> List.rev (k :: r))
+  in
+  let shared_dims = with_last (sample_shape st) in
+  let shared_shape = Shape.of_ints shared_dims in
   let shared_tensor =
     Tensor.create ~dtype:Dtype.F32 ~name:"$shared" shared_shape
   in
@@ -173,29 +200,110 @@ let sample st pat =
   let total_rows =
     4 * List.length (List.filter (fun v -> v.[0] = 'x') (Pattern.vars pat))
   in
+  let concat_dim =
+    List.find_map
+      (function
+        | _, (Op.Concat { dim } | Op.Hlo_concatenate { dim }) -> Some dim
+        | _ -> None)
+      ops
+  in
+  let contraction = has (function Lemma.Contraction -> true | _ -> false) in
+  let hinted_shape x base =
+    let pick_hint =
+      List.find_map
+        (function
+          | Lemma.Vector_aux vs when List.mem x vs ->
+              Some [ List.nth base (List.length base - 1) ]
+          | Lemma.Matrix_aux vs when List.mem x vs -> Some [ 4; 4 ]
+          | Lemma.Table_aux vs when List.mem x vs -> Some [ total_rows; 4 ]
+          | Lemma.Broadcast_vars vs when List.mem x vs -> (
+              match concat_dim with
+              | Some d when d < List.length base ->
+                  Some (List.mapi (fun i n -> if i = d then 1 else n) base)
+              | _ -> Some base)
+          | _ -> None)
+        hints
+    in
+    match pick_hint with
+    | Some s -> s
+    | None ->
+        if contraction && (x.[0] = 'x' || x.[0] = 'y') then
+          (* Pairwise-matching contraction dims: x_i : [4; k_i] columns
+             against y_i : [k_i; 4] rows. *)
+          let k = if var_index x mod 2 = 0 then 2 else 4 in
+          if x.[0] = 'x' then [ 4; k ] else [ k; 4 ]
+        else base
+  in
+  let hinted_dtype x base =
+    if
+      has (function
+        | Lemma.Integer_vars ps -> List.exists (fun p -> has_prefix p x) ps
+        | _ -> false)
+    then Dtype.I64
+    else base
+  in
   let tensors =
     List.map
       (fun x ->
         if mode = 0 then (x, shared_tensor)
         else
           let dtype =
-            if not allow_integers then Dtype.F32
-            else
-              let threshold = if integer_leaning x then 2 else 1 in
-              if Random.State.int st 4 < threshold then Dtype.I64
-              else Dtype.F32
+            hinted_dtype x
+              (if not allow_integers then Dtype.F32
+               else
+                 let threshold = if integer_leaning x then 2 else 1 in
+                 if Random.State.int st 4 < threshold then Dtype.I64
+                 else Dtype.F32)
           in
-          let shape =
-            if mode <= 2 then shared_shape
+          let base =
+            if mode <= 2 then shared_dims
             else if mode = 3 then
-              Shape.of_ints
+              with_last
                 (if x.[0] = 'x' then [ 4; 4 ]
                  else if Random.State.bool st then [ 4 ]
                  else [ total_rows; 4 ])
-            else Shape.of_ints (sample_shape st)
+            else with_last (sample_shape st)
           in
-          (x, Tensor.create ~dtype ~name:("$" ^ x) shape))
+          (x, Tensor.create ~dtype ~name:("$" ^ x) (Shape.of_ints (hinted_shape x base))))
       (Pattern.vars pat)
+  in
+  (* Equal-shape hints: a paired variable reuses its leader's freshly
+     sampled shape (not the same tensor — the values must stay
+     independent). *)
+  let tensors =
+    let reshape x like =
+      match (List.assoc_opt x tensors, List.assoc_opt like tensors) with
+      | Some t, Some leader when mode <> 0 ->
+          Some
+            ( x,
+              Tensor.create ~dtype:(Tensor.dtype t) ~name:("$" ^ x)
+                (Tensor.shape leader) )
+      | _ -> None
+    in
+    let overrides =
+      List.concat_map
+        (function
+          | Lemma.Paired ->
+              List.filter_map
+                (fun (x, _) ->
+                  if x.[0] = 'y' then
+                    reshape x ("x" ^ String.sub x 1 (String.length x - 1))
+                  else None)
+                tensors
+          | Lemma.Same_shape groups ->
+              List.concat_map
+                (function
+                  | leader :: rest ->
+                      List.filter_map (fun x -> reshape x leader) rest
+                  | [] -> [])
+                groups
+          | _ -> [])
+        hints
+    in
+    List.map
+      (fun (x, t) ->
+        match List.assoc_opt x overrides with Some t' -> (x, t') | None -> (x, t))
+      tensors
   in
   let rec build = function
     | Pattern.V x -> Some (Expr.leaf (List.assoc x tensors))
@@ -222,8 +330,8 @@ let sample st pat =
   | Ok _ -> Some (expr, { ops; tensors })
   | Error _ -> None
 
-let sample_retry ?(attempts = 40) st pat =
+let sample_retry ?(attempts = 40) ?hints st pat =
   let rec go n = if n = 0 then None
-    else match sample st pat with Some r -> Some r | None -> go (n - 1)
+    else match sample ?hints st pat with Some r -> Some r | None -> go (n - 1)
   in
   go attempts

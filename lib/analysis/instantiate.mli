@@ -8,6 +8,7 @@
 
 open Entangle_ir
 open Entangle_egraph
+open Entangle_lemmas
 
 type assignment = {
   ops : (string * Op.t) list;  (** binder name -> sampled operator *)
@@ -15,15 +16,26 @@ type assignment = {
 }
 
 val sample :
-  Random.State.t -> Pattern.t -> (Expr.t * assignment) option
+  ?hints:Lemma.hint list ->
+  Random.State.t ->
+  Pattern.t ->
+  (Expr.t * assignment) option
 (** One attempt: sample an assignment for the pattern's binders and
     variables, build the expression, and type-check it (shape and dtype
     inference under an empty constraint store, so every dimension is
     concrete). [None] when a family is unknown, the pattern contains a
-    class reference, or inference rejects the sampled term. *)
+    class reference, or inference rejects the sampled term.
+
+    [hints] bias the draw towards the shapes a lemma's guards require —
+    replicated arguments, pairwise-equal chunks, row partitions,
+    broadcast operands, matching contraction dims — so that guarded
+    lemmas the blind sampler almost never fires are still exercised by
+    the differential audit (and the numeric gate overlaps the symbolic
+    one). *)
 
 val sample_retry :
   ?attempts:int ->
+  ?hints:Lemma.hint list ->
   Random.State.t ->
   Pattern.t ->
   (Expr.t * assignment) option

@@ -180,15 +180,25 @@ let eval_pair data_seed ea eb =
 
 let take n l = List.filteri (fun i _ -> i < n) l
 
-let audit_lemma ?(config = default_config) st (l : Lemma.t) =
+(* Deterministic per-(lemma, rule, try) sampling state. Deriving every
+   instantiation from the audit seed and the diagnostic's own
+   coordinates — rather than threading one mutable state through the
+   whole corpus — means a LEMMA100 report reproduces by re-auditing
+   just the named lemma with the same seed: the samples no longer
+   depend on how many random draws every other lemma consumed. *)
+let inst_state ~seed (l : Lemma.t) ri try_idx =
+  Random.State.make [| 0xa0d17; seed; Hashtbl.hash l.name; ri; try_idx |]
+
+let audit_lemma ?(config = default_config) ~seed (l : Lemma.t) =
   let diags = ref [] and compares = ref 0 in
   (* One shot per rule is not enough: most appliers are guarded on
      attributes (matching dims, zero starts, equal chunk shapes) that a
      random instantiation only sometimes satisfies, and produce no
      equation otherwise. Retry the whole sample-match-apply-evaluate
      pipeline until the lemma has been compared often enough. *)
-  let one_try ri (r : Rule.t) =
-    match Instantiate.sample_retry ~attempts:5 st r.lhs with
+  let one_try try_idx ri (r : Rule.t) =
+    let st = inst_state ~seed l ri try_idx in
+    match Instantiate.sample_retry ~attempts:5 ~hints:l.hints st r.lhs with
     | None -> ()
     | Some (lhs_expr, _) ->
         let g = Egraph.create () in
@@ -238,7 +248,8 @@ let audit_lemma ?(config = default_config) st (l : Lemma.t) =
   while !compares < config.per_lemma_target && !tries < config.attempts do
     incr tries;
     List.iteri
-      (fun ri r -> if !compares < config.per_lemma_target then one_try ri r)
+      (fun ri r ->
+        if !compares < config.per_lemma_target then one_try !tries ri r)
       l.rules
   done;
   if !compares = 0 then
@@ -251,14 +262,13 @@ let audit_lemma ?(config = default_config) st (l : Lemma.t) =
   (List.rev !diags, !compares)
 
 let audit ?(config = default_config) ~seed lemmas =
-  let st = Random.State.make [| 0xa0d17; seed |] in
   let structural_diags = structural lemmas in
   let diags = ref [] in
   let lemmas_exercised = ref 0 and comparisons = ref 0 in
   let unexercised = ref [] in
   List.iter
     (fun (l : Lemma.t) ->
-      let ds, n = audit_lemma ~config st l in
+      let ds, n = audit_lemma ~config ~seed l in
       diags := ds :: !diags;
       comparisons := !comparisons + n;
       if n > 0 then incr lemmas_exercised

@@ -23,7 +23,16 @@
     - [LEMMA101] (warning) a lemma that no sampled instantiation managed
       to exercise — i.e. the audit proved nothing about it. *)
 
+open Entangle_ir
+open Entangle_egraph
 open Entangle_lemmas
+
+val expr_of : Egraph.t -> Subst.t -> Pattern.t -> Expr.t option
+(** Turn a (possibly rewritten) pattern back into a ground expression
+    under an e-matching substitution, extracting the best representative
+    per bound class. Shared with the symbolic verifier
+    ({!Lemma_verify}), which instantiates left-hand sides the same way
+    before evaluating both sides. *)
 
 type config = {
   eval_seeds : int list;  (** data seeds per instantiated equation *)
@@ -46,9 +55,12 @@ type stats = {
 val structural : Lemma.t list -> Diagnostic.t list
 
 val audit_lemma :
-  ?config:config -> Random.State.t -> Lemma.t -> Diagnostic.t list * int
+  ?config:config -> seed:int -> Lemma.t -> Diagnostic.t list * int
 (** Differential audit of one lemma; also returns the number of
-    comparisons performed. *)
+    comparisons performed. Every instantiation is derived from [seed]
+    and the (lemma, rule, try) coordinates alone, so re-auditing one
+    lemma reproduces exactly the samples the full corpus audit drew for
+    it — a LEMMA100 report replays from its printed coordinates. *)
 
 val audit :
   ?config:config -> seed:int -> Lemma.t list -> Diagnostic.t list * stats

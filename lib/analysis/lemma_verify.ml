@@ -1,0 +1,1210 @@
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_egraph
+open Entangle_lemmas
+
+type config = {
+  rank_bound : int;
+  max_rule_vars : int;
+  max_scenarios : int;
+  max_matches : int;
+  max_equations : int;
+  probe_envs : int;
+  probe_seeds : int list;
+  tol : float;
+}
+
+let default_config =
+  {
+    rank_bound = 2;
+    max_rule_vars = 4;
+    max_scenarios = 48;
+    max_matches = 2;
+    max_equations = 4;
+    probe_envs = 4;
+    probe_seeds = [ 1; 2; 3 ];
+    tol = 1e-4;
+  }
+
+type rule_status =
+  | Verified of string
+  | Refuted of string
+  | Unsupported of string
+  | Undecided of string
+  | Vacuous
+  | Unapplied
+  | Skipped of string
+
+type verdict =
+  | V_verified
+  | V_refuted
+  | V_vacuous
+  | V_unsupported
+  | V_undecided
+  | V_unattempted
+
+type lemma_report = {
+  lemma : string;
+  klass : Lemma.klass;
+  verdict : verdict;
+  rules : rule_status list;
+  scenarios : int;
+  proved : int;
+}
+
+type report = { rank_bound : int; lemmas : lemma_report list }
+
+let verdict_name = function
+  | V_verified -> "verified"
+  | V_refuted -> "refuted"
+  | V_vacuous -> "vacuous"
+  | V_unsupported -> "unsupported"
+  | V_undecided -> "undecided"
+  | V_unattempted -> "unattempted"
+
+let take n l = List.filteri (fun i _ -> i < n) l
+let has_hint p hints = List.exists p hints
+
+(* --- scenario knobs ---------------------------------------------------- *)
+
+type slice_variant = Generic | Prefix | Full
+
+type knob =
+  | K_unit
+  | K_axis of int
+  | K_slice of int * slice_variant
+  | K_transpose of int * int
+  | K_reduce of int * bool
+  | K_scale of Rat.t
+  | K_rs of int * int
+
+exception Skip_scenario of string
+exception Unsupported_family of string
+
+(* Static scan of a left-hand pattern: operator binders in first-occurrence
+   order and every operator family mentioned (fixed selectors included). *)
+let scan_pattern pat =
+  let binders = ref [] and families = ref [] in
+  let rec go = function
+    | Pattern.V _ | Pattern.C _ -> ()
+    | Pattern.P (sel, args) ->
+        (match sel with
+        | Pattern.Fixed op -> families := Op.name op :: !families
+        | Pattern.Family { family; bind } ->
+            families := family :: !families;
+            if not (List.mem_assoc bind !binders) then
+              binders := (bind, family) :: !binders
+        | Pattern.Bound _ -> ());
+        List.iter go args
+  in
+  go pat;
+  (List.rev !binders, List.sort_uniq String.compare !families)
+
+let slice_family f = String.equal f "slice" || String.equal f "hlo_slice"
+
+let choices_for hints rank family =
+  let axes = List.init rank Fun.id in
+  let rows = has_hint (function Lemma.Rows -> true | _ -> false) hints in
+  match family with
+  | "concat" | "hlo_concatenate" ->
+      List.map (fun d -> K_axis d) (if rows then [ 0 ] else axes)
+  | "all_gather" | "softmax" | "pad" -> List.map (fun d -> K_axis d) axes
+  | "slice" | "hlo_slice" ->
+      List.concat_map
+        (fun d -> [ K_slice (d, Generic); K_slice (d, Prefix); K_slice (d, Full) ])
+        axes
+  | "transpose" ->
+      let pairs =
+        if rank >= 2 then
+          (0, 1) :: (if rank > 2 then [ (0, rank - 1) ] else [])
+        else [ (0, 0) ]
+      in
+      List.map (fun (a, b) -> K_transpose (a, b)) pairs
+  | "reduce_sum" | "reduce_mean" | "reduce_max" ->
+      List.concat_map (fun d -> [ K_reduce (d, false); K_reduce (d, true) ]) axes
+  | "scale" -> [ K_scale (Rat.make 2 3); K_scale Rat.one ]
+  | "reduce_scatter" ->
+      List.concat_map (fun d -> [ K_rs (d, 0); K_rs (d, 1) ]) axes
+  | _ -> [ K_unit ]
+
+let ranks_for (config : config) hints families =
+  if
+    has_hint
+      (function Lemma.Rows | Lemma.Contraction -> true | _ -> false)
+      hints
+  then [ 2 ]
+  else
+    let base = List.init config.rank_bound (fun i -> config.rank_bound - i) in
+    if
+      List.exists
+        (fun f -> List.mem f [ "matmul"; "hlo_dot"; "embedding"; "rope" ])
+        families
+    then List.filter (fun r -> r >= 2) base
+    else base
+
+let rec product = function
+  | [] -> [ [] ]
+  | options :: rest ->
+      let tails = product rest in
+      List.concat_map (fun o -> List.map (fun t -> o :: t) tails) options
+
+let variant_name = function
+  | Generic -> "generic"
+  | Prefix -> "prefix"
+  | Full -> "full"
+
+let describe rank share knobs =
+  let one (b, k) =
+    match k with
+    | K_unit -> None
+    | K_axis d -> Some (Printf.sprintf "%s.dim=%d" b d)
+    | K_slice (d, v) -> Some (Printf.sprintf "%s=%s@%d" b (variant_name v) d)
+    | K_transpose (a, b') -> Some (Printf.sprintf "%s=(%d,%d)" b a b')
+    | K_reduce (d, kd) ->
+        Some (Printf.sprintf "%s.dim=%d%s" b d (if kd then "+keepdim" else ""))
+    | K_scale r -> Some (Fmt.str "%s=%a" b Rat.pp r)
+    | K_rs (d, i) -> Some (Printf.sprintf "%s.dim=%d.index=%d" b d i)
+  in
+  String.concat ", "
+    ((Printf.sprintf "rank %d" rank :: List.filter_map one knobs)
+    @ if share then [ "shared slice attrs" ] else [])
+
+(* --- scenario construction --------------------------------------------- *)
+
+type sc = {
+  mutable store : Constraint_store.t;
+  mutable fresh : int;
+  binder_ops : (string, Op.t) Hashtbl.t;
+  var_shapes : (string, Shape.t) Hashtbl.t;
+  var_dtypes : (string, Dtype.t) Hashtbl.t;
+  var_bounds : (string, Symdim.t) Hashtbl.t;
+      (* exclusive upper bound for integer index tensors (vocab size) *)
+  mutable offset_syms : string list;
+  mutable concat_axis : int option;
+  mutable slice_proto : (int * Symdim.t * Symdim.t) option;
+  mutable uniform_chunk : Symdim.t option;
+  mutable int_bound : Symdim.t option;
+      (* set while walking an integer-index subtree *)
+  rank : int;
+  share_slice : bool;
+  knobs : (string * knob) list;
+  hints : Lemma.hint list;
+  even_dims : bool;
+  concrete_last : int option;
+  uniform : bool;
+}
+
+let fresh_name sc base =
+  let n = Printf.sprintf "%s%d" base sc.fresh in
+  sc.fresh <- sc.fresh + 1;
+  n
+
+(* A strictly positive size symbol (doubled when a reduce-scatter needs
+   every dimension divisible by its chunk count). *)
+let fresh_size sc base =
+  let n = fresh_name sc base in
+  sc.store <- Constraint_store.add_positive sc.store n;
+  let s = Symdim.sym n in
+  if sc.even_dims then Symdim.mul_int 2 s else s
+
+let fresh_offset sc base =
+  let n = fresh_name sc base in
+  sc.offset_syms <- n :: sc.offset_syms;
+  let s = Symdim.sym n in
+  sc.store <- Constraint_store.add_ge sc.store s;
+  s
+
+let fresh_template sc =
+  List.init sc.rank (fun i ->
+      if i = sc.rank - 1 then
+        match sc.concrete_last with
+        | Some k -> Symdim.of_int k
+        | None -> fresh_size sc "n"
+      else fresh_size sc "n")
+
+let materialize sc = function Some s -> s | None -> fresh_template sc
+
+let chunk_dim sc =
+  if sc.uniform then (
+    match sc.uniform_chunk with
+    | Some c -> c
+    | None ->
+        let c = fresh_size sc "c" in
+        sc.uniform_chunk <- Some c;
+        c)
+  else fresh_size sc "c"
+
+let knob_of sc bind =
+  match List.assoc_opt bind sc.knobs with Some k -> k | None -> K_unit
+
+(* Resolve the operator of a pattern node: fixed selectors carry it,
+   family binders build it once from the scenario's knob and reuse it on
+   repeated occurrences (e-matching requires one binding per name). *)
+let resolve sc sel build =
+  match sel with
+  | Pattern.Fixed op -> op
+  | Pattern.Family { bind; _ } -> (
+      match Hashtbl.find_opt sc.binder_ops bind with
+      | Some op -> op
+      | None ->
+          let op = build (knob_of sc bind) in
+          Hashtbl.replace sc.binder_ops bind op;
+          op)
+  | Pattern.Bound _ -> raise (Skip_scenario "bound selector on a left-hand side")
+
+let check_axis _sc d s =
+  if d < 0 || d >= Shape.rank s then
+    raise (Skip_scenario (Printf.sprintf "axis %d out of rank %d" d (Shape.rank s)))
+
+let swap_dims s d0 d1 =
+  Shape.set_dim (Shape.set_dim s d0 (Shape.dim s d1)) d1 (Shape.dim s d0)
+
+let insert_at i x l =
+  let rec go i = function
+    | rest when i = 0 -> x :: rest
+    | hd :: tl -> hd :: go (i - 1) tl
+    | [] -> raise (Skip_scenario "reduce axis out of range")
+  in
+  go i l
+
+let attrless_op = function
+  | "add" -> Op.Add
+  | "sub" -> Op.Sub
+  | "mul" -> Op.Mul
+  | "div" -> Op.Div
+  | "maximum" -> Op.Maximum
+  | "pow" -> Op.Pow
+  | "neg" -> Op.Neg
+  | "exp" -> Op.Exp
+  | "log" -> Op.Log
+  | "sqrt" -> Op.Sqrt
+  | "rsqrt" -> Op.Rsqrt
+  | "relu" -> Op.Relu
+  | "gelu" -> Op.Gelu
+  | "silu" -> Op.Silu
+  | "tanh" -> Op.Tanh
+  | "sigmoid" -> Op.Sigmoid
+  | "square" -> Op.Square
+  | "matmul" -> Op.Matmul
+  | "identity" -> Op.Identity
+  | "sum" -> Op.Sum_n
+  | "embedding" -> Op.Embedding
+  | "rope" -> Op.Rope
+  | "mse_loss" -> Op.Mse_loss
+  | "cross_entropy" -> Op.Cross_entropy
+  | "all_reduce" -> Op.All_reduce
+  | "swiglu_fused" -> Op.Swiglu_fused
+  | "hlo_dot" -> Op.Hlo_dot
+  | f -> raise (Unsupported_family f)
+
+let sel_family = function
+  | Pattern.Fixed op -> Op.name op
+  | Pattern.Family { family; _ } -> family
+  | Pattern.Bound _ -> raise (Skip_scenario "bound selector on a left-hand side")
+
+let with_int_bound sc b f =
+  let saved = sc.int_bound in
+  sc.int_bound <- Some b;
+  Fun.protect ~finally:(fun () -> sc.int_bound <- saved) f
+
+let is_concat_of_vars = function
+  | Pattern.P (sel, args) -> (
+      (match sel_family sel with
+      | "concat" | "hlo_concatenate" ->
+          List.for_all (function Pattern.V _ -> true | _ -> false) args
+      | _ -> false)
+      |> fun ok -> if ok then Some (sel, args) else None)
+  | _ -> None
+
+(* Walk the left-hand pattern, assigning a symbolic shape to every
+   pattern variable and a concrete operator to every family binder. The
+   context is the expected shape of the current subtree (None at a rank-
+   changing boundary, where a fresh rank-[sc.rank] template is
+   materialized). The walk only fixes leaf shapes; any residual
+   consistency conditions between an operator's actual output shape and
+   the context it was handed are discharged by the Assume-mode symbolic
+   evaluation of the instantiated left-hand side. *)
+let rec walk sc pat (ctx : Shape.t option) =
+  match pat with
+  | Pattern.V x ->
+      if not (Hashtbl.mem sc.var_shapes x) then (
+        Hashtbl.replace sc.var_shapes x (materialize sc ctx);
+        match sc.int_bound with
+        | Some b ->
+            Hashtbl.replace sc.var_dtypes x Dtype.I64;
+            Hashtbl.replace sc.var_bounds x b
+        | None -> ())
+  | Pattern.C _ -> raise (Skip_scenario "class reference on a left-hand side")
+  | Pattern.P (sel, args) -> walk_node sc sel args ctx
+
+and walk_node sc sel args ctx =
+  let family = sel_family sel in
+  match (family, args) with
+  | "reshape", _ -> raise (Unsupported_family "reshape")
+  | ("concat" | "hlo_concatenate"), _ ->
+      let s = materialize sc ctx in
+      let op =
+        resolve sc sel (function
+          | K_axis d ->
+              if family = "concat" then Op.Concat { dim = d }
+              else Op.Hlo_concatenate { dim = d }
+          | _ -> Op.Concat { dim = 0 })
+      in
+      let d =
+        match op with
+        | Op.Concat { dim } | Op.Hlo_concatenate { dim } -> dim
+        | _ -> 0
+      in
+      check_axis sc d s;
+      if sc.concat_axis = None then sc.concat_axis <- Some d;
+      List.iter
+        (fun a -> walk sc a (Some (Shape.set_dim s d (chunk_dim sc))))
+        args
+  | ("sum" | "all_reduce"), _ ->
+      let s = materialize sc ctx in
+      ignore
+        (resolve sc sel (fun _ ->
+             if family = "sum" then Op.Sum_n else Op.All_reduce));
+      List.iter (fun a -> walk sc a (Some s)) args
+  | "reduce_scatter", _ ->
+      let s = fresh_template sc in
+      let op =
+        resolve sc sel (function
+          | K_rs (d, i) -> Op.Reduce_scatter { dim = d; index = i; count = 2 }
+          | _ -> Op.Reduce_scatter { dim = 0; index = 0; count = 2 })
+      in
+      (match op with
+      | Op.Reduce_scatter { dim; _ } -> check_axis sc dim s
+      | _ -> ());
+      List.iter (fun a -> walk sc a (Some s)) args
+  | "all_gather", _ ->
+      let s = fresh_template sc in
+      let op =
+        resolve sc sel (function
+          | K_axis d -> Op.All_gather { dim = d }
+          | _ -> Op.All_gather { dim = 0 })
+      in
+      (match op with
+      | Op.All_gather { dim } -> check_axis sc dim s
+      | _ -> ());
+      List.iter (fun a -> walk sc a (Some s)) args
+  | ("matmul" | "hlo_dot"), [ l; r ] -> (
+      let contraction =
+        has_hint (function Lemma.Contraction -> true | _ -> false) sc.hints
+      in
+      match
+        if contraction then (is_concat_of_vars l, is_concat_of_vars r)
+        else (None, None)
+      with
+      | Some (sl, xs), Some (sr, ys) when List.length xs = List.length ys ->
+          (* Block contraction: x_i : [m; k_i], y_i : [k_i; p], the x
+             concat splits columns and the y concat splits rows. *)
+          let m = fresh_size sc "n" and pdim = fresh_size sc "n" in
+          ignore (resolve sc sl (fun _ -> Op.Concat { dim = 1 }));
+          ignore (resolve sc sr (fun _ -> Op.Concat { dim = 0 }));
+          List.iter2
+            (fun x y ->
+              let k = fresh_size sc "k" in
+              walk sc x (Some [ m; k ]);
+              walk sc y (Some [ k; pdim ]))
+            xs ys
+      | _ ->
+          let s = materialize sc ctx in
+          if Shape.rank s < 2 then raise (Skip_scenario "matmul needs rank >= 2");
+          ignore
+            (resolve sc sel (fun _ ->
+                 if family = "matmul" then Op.Matmul else Op.Hlo_dot));
+          let k = fresh_size sc "k" in
+          let last = Shape.rank s - 1 in
+          walk sc l (Some (Shape.set_dim s last k));
+          walk sc r (Some [ k; Shape.dim s last ]))
+  | "embedding", [ w; ids ] ->
+      let s = materialize sc ctx in
+      let rk = Shape.rank s in
+      if rk < 2 then raise (Skip_scenario "embedding needs rank >= 2");
+      let voc = fresh_size sc "v" in
+      walk sc w (Some [ voc; Shape.dim s (rk - 1) ]);
+      with_int_bound sc voc (fun () ->
+          walk sc ids (Some (take (rk - 1) s)))
+  | "cross_entropy", [ logits; targets ] ->
+      let rows = fresh_size sc "s" and voc = fresh_size sc "v" in
+      walk sc logits (Some [ rows; voc ]);
+      with_int_bound sc voc (fun () -> walk sc targets (Some [ rows ]))
+  | "mse_loss", [ a; b ] ->
+      let s = fresh_template sc in
+      walk sc a (Some s);
+      walk sc b (Some s)
+  | "rope", [ x; cos; sin ] ->
+      let s = materialize sc ctx in
+      if Shape.rank s < 2 then raise (Skip_scenario "rope needs rank >= 2");
+      walk sc x (Some s);
+      walk sc cos (Some s);
+      walk sc sin (Some s)
+  | "layernorm", x :: extras ->
+      let s = materialize sc ctx in
+      ignore (resolve sc sel (fun _ -> Op.Layernorm { eps = 1e-5 }));
+      walk sc x (Some s);
+      List.iter
+        (fun e -> walk sc e (Some [ Shape.dim s (Shape.rank s - 1) ]))
+        extras
+  | "rmsnorm", x :: extras ->
+      let s = materialize sc ctx in
+      ignore (resolve sc sel (fun _ -> Op.Rmsnorm { eps = 1e-5 }));
+      walk sc x (Some s);
+      List.iter
+        (fun e -> walk sc e (Some [ Shape.dim s (Shape.rank s - 1) ]))
+        extras
+  | "softmax", [ a ] ->
+      let s = materialize sc ctx in
+      let op =
+        resolve sc sel (function
+          | K_axis d -> Op.Softmax { dim = d }
+          | _ -> Op.Softmax { dim = 0 })
+      in
+      (match op with Op.Softmax { dim } -> check_axis sc dim s | _ -> ());
+      walk sc a (Some s)
+  | ("slice" | "hlo_slice"), [ a ] ->
+      let s = materialize sc ctx in
+      let m = ref None in
+      let build_slice d variant =
+        check_axis sc d s;
+        let operand = fresh_size sc "m" in
+        m := Some (d, operand);
+        let start, stop =
+          match variant with
+          | Generic ->
+              let st = fresh_offset sc "st" and sp = fresh_offset sc "sp" in
+              (* nonempty, in bounds: st >= 0, sp - st >= 1, m - sp >= 0 *)
+              sc.store <-
+                Constraint_store.add_gt sc.store (Symdim.sub sp st);
+              sc.store <-
+                Constraint_store.add_ge sc.store (Symdim.sub operand sp);
+              (st, sp)
+          | Prefix ->
+              let sp = fresh_offset sc "sp" in
+              sc.store <- Constraint_store.add_gt sc.store sp;
+              sc.store <-
+                Constraint_store.add_ge sc.store (Symdim.sub operand sp);
+              (Symdim.zero, sp)
+          | Full -> (Symdim.zero, operand)
+        in
+        if family = "slice" then Op.Slice { dim = d; start; stop }
+        else Op.Hlo_slice { dim = d; start; stop }
+      in
+      let op =
+        resolve sc sel (fun k ->
+            match (sc.share_slice, sc.slice_proto, k) with
+            | true, Some (d, start, stop), _ ->
+                check_axis sc d s;
+                m := Some (d, fresh_size sc "m");
+                if family = "slice" then Op.Slice { dim = d; start; stop }
+                else Op.Hlo_slice { dim = d; start; stop }
+            | _, _, K_slice (d, variant) -> build_slice d variant
+            | _ -> build_slice 0 Generic)
+      in
+      let d, operand =
+        match (op, !m) with
+        | _, Some dm -> dm
+        | (Op.Slice { dim; _ } | Op.Hlo_slice { dim; _ }), None ->
+            (* binder reused from an earlier occurrence: fresh operand *)
+            check_axis sc dim s;
+            (dim, fresh_size sc "m")
+        | _ -> raise (Skip_scenario "slice without attributes")
+      in
+      (match (op, sc.slice_proto) with
+      | (Op.Slice { dim; start; stop } | Op.Hlo_slice { dim; start; stop }), None
+        ->
+          sc.slice_proto <- Some (dim, start, stop)
+      | _ -> ());
+      walk sc a (Some (Shape.set_dim s d operand))
+  | "pad", [ a ] ->
+      let s = materialize sc ctx in
+      let op =
+        resolve sc sel (fun k ->
+            let d = match k with K_axis d -> d | _ -> 0 in
+            check_axis sc d s;
+            Op.Pad
+              { dim = d; before = fresh_offset sc "pb"; after = fresh_offset sc "pa" })
+      in
+      let d = match op with Op.Pad { dim; _ } -> dim | _ -> 0 in
+      check_axis sc d s;
+      walk sc a (Some (Shape.set_dim s d (fresh_size sc "m")))
+  | ("reduce_sum" | "reduce_mean" | "reduce_max"), [ a ] ->
+      let op =
+        resolve sc sel (fun k ->
+            let d, keep = match k with K_reduce (d, kd) -> (d, kd) | _ -> (0, false) in
+            match family with
+            | "reduce_sum" -> Op.Reduce_sum { dim = d; keepdim = keep }
+            | "reduce_mean" -> Op.Reduce_mean { dim = d; keepdim = keep }
+            | _ -> Op.Reduce_max { dim = d; keepdim = keep })
+      in
+      let d, keep =
+        match op with
+        | Op.Reduce_sum { dim; keepdim }
+        | Op.Reduce_mean { dim; keepdim }
+        | Op.Reduce_max { dim; keepdim } ->
+            (dim, keepdim)
+        | _ -> (0, false)
+      in
+      let s_in =
+        match ctx with
+        | None ->
+            let t = fresh_template sc in
+            check_axis sc d t;
+            t
+        | Some s ->
+            if keep then (
+              check_axis sc d s;
+              Shape.set_dim s d (fresh_size sc "m"))
+            else (
+              if d > Shape.rank s then
+                raise (Skip_scenario "reduce axis out of range");
+              insert_at d (fresh_size sc "m") s)
+      in
+      walk sc a (Some s_in)
+  | "scale", [ a ] ->
+      let s = materialize sc ctx in
+      ignore
+        (resolve sc sel (function
+          | K_scale r -> Op.Scale r
+          | _ -> Op.Scale Rat.one));
+      walk sc a (Some s)
+  | "transpose", [ a ] ->
+      let s = materialize sc ctx in
+      let op =
+        resolve sc sel (function
+          | K_transpose (d0, d1) -> Op.Transpose { dim0 = d0; dim1 = d1 }
+          | _ -> Op.Transpose { dim0 = 0; dim1 = 0 })
+      in
+      let d0, d1 =
+        match op with Op.Transpose { dim0; dim1 } -> (dim0, dim1) | _ -> (0, 0)
+      in
+      check_axis sc d0 s;
+      check_axis sc d1 s;
+      walk sc a (Some (swap_dims s d0 d1))
+  | _, _ ->
+      (* elementwise and other shape-preserving operators *)
+      let s = materialize sc ctx in
+      ignore (resolve sc sel (fun _ -> attrless_op family));
+      List.iter (fun a -> walk sc a (Some s)) args
+
+(* --- hint application --------------------------------------------------- *)
+
+let var_suffix_pair name =
+  if String.length name >= 1 && name.[0] = 'y' then
+    Some ("x" ^ String.sub name 1 (String.length name - 1))
+  else None
+
+let apply_hints sc =
+  let copy_shape src dst =
+    match Hashtbl.find_opt sc.var_shapes src with
+    | Some s when Hashtbl.mem sc.var_shapes dst ->
+        Hashtbl.replace sc.var_shapes dst s
+    | _ -> ()
+  in
+  List.iter
+    (function
+      | Lemma.Paired ->
+          let names =
+            Hashtbl.fold (fun k _ acc -> k :: acc) sc.var_shapes []
+          in
+          List.iter
+            (fun y ->
+              match var_suffix_pair y with
+              | Some x -> copy_shape x y
+              | None -> ())
+            names
+      | Lemma.Same_shape groups ->
+          List.iter
+            (function
+              | leader :: followers ->
+                  List.iter (fun f -> copy_shape leader f) followers
+              | [] -> ())
+            groups
+      | Lemma.Broadcast_vars vars -> (
+          match sc.concat_axis with
+          | None -> ()
+          | Some axis ->
+              List.iter
+                (fun v ->
+                  match Hashtbl.find_opt sc.var_shapes v with
+                  | Some s when axis < Shape.rank s ->
+                      Hashtbl.replace sc.var_shapes v
+                        (Shape.set_dim s axis Symdim.one)
+                  | _ -> ())
+                vars)
+      | Lemma.Integer_vars prefixes ->
+          Hashtbl.iter
+            (fun name _ ->
+              if
+                List.exists
+                  (fun p ->
+                    String.length name >= String.length p
+                    && String.sub name 0 (String.length p) = p)
+                  prefixes
+              then Hashtbl.replace sc.var_dtypes name Dtype.I64)
+            (Hashtbl.copy sc.var_shapes)
+      | Lemma.Refine f ->
+          let ctx =
+            {
+              Lemma.op_of = Hashtbl.find_opt sc.binder_ops;
+              shape_of = Hashtbl.find_opt sc.var_shapes;
+            }
+          in
+          sc.store <- f ctx sc.store
+      | Lemma.Vector_aux _ | Lemma.Matrix_aux _ | Lemma.Table_aux _ ->
+          (* numeric-sampler hints; the walk derives these shapes from
+             the operator signatures directly *)
+          ()
+      | Lemma.Uniform_chunks | Lemma.Replicated | Lemma.Contraction
+      | Lemma.Rows | Lemma.Concrete_last _ ->
+          (* consumed during enumeration / the walk *)
+          ())
+    sc.hints
+
+(* --- instantiation ------------------------------------------------------ *)
+
+let expr_of_lhs sc lhs =
+  let vnames = Pattern.vars lhs in
+  let vmap = Hashtbl.create 8 in
+  let replicated =
+    has_hint (function Lemma.Replicated -> true | _ -> false) sc.hints
+  in
+  (if replicated then (
+     match vnames with
+     | [] -> ()
+     | first :: _ ->
+         let t =
+           Tensor.create ~name:"xshared" (Hashtbl.find sc.var_shapes first)
+         in
+         List.iter (fun x -> Hashtbl.replace vmap x t) vnames)
+   else
+     List.iter
+       (fun x ->
+         let dtype =
+           Option.value (Hashtbl.find_opt sc.var_dtypes x) ~default:Dtype.F32
+         in
+         Hashtbl.replace vmap x
+           (Tensor.create ~dtype ~name:x (Hashtbl.find sc.var_shapes x)))
+       vnames);
+  let rec go = function
+    | Pattern.V x -> Expr.leaf (Hashtbl.find vmap x)
+    | Pattern.C _ -> raise (Skip_scenario "class reference on a left-hand side")
+    | Pattern.P (sel, args) ->
+        let op =
+          match sel with
+          | Pattern.Fixed op -> op
+          | Pattern.Family { bind; _ } | Pattern.Bound bind ->
+              Hashtbl.find sc.binder_ops bind
+        in
+        Expr.app op (List.map go args)
+  in
+  go lhs
+
+(* Seed the context terms conditioned lemmas scan for (the symbolic
+   sibling of {!Lemma_check.seed_context}): contiguous sub-concats and
+   sub-sums, and the complementary slice of a structurally-zero-based
+   slice, whose size comes from symbolic shape inference. *)
+let seed_context_sym g store expr =
+  match expr with
+  | Expr.App (((Op.Concat _ | Op.Sum_n) as op), args) when List.length args >= 3
+    ->
+      let n = List.length args in
+      let arr = Array.of_list args in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if j - i + 1 < n then
+            ignore
+              (Egraph.add_expr g
+                 (Expr.app op (Array.to_list (Array.sub arr i (j - i + 1)))))
+        done
+      done
+  | Expr.App
+      (((Op.Slice { dim; start; stop } | Op.Hlo_slice { dim; start; stop }) as
+        sl),
+       [ child ])
+    when Symdim.equal start Symdim.zero -> (
+      match Expr.infer_shape store child with
+      | Ok s when dim < Shape.rank s ->
+          let size = Shape.dim s dim in
+          if not (Symdim.equal stop size) then
+            let comp =
+              match sl with
+              | Op.Hlo_slice _ -> Op.Hlo_slice { dim; start = stop; stop = size }
+              | _ -> Op.Slice { dim; start = stop; stop = size }
+            in
+            ignore (Egraph.add_expr g (Expr.app comp [ child ]))
+      | _ -> ())
+  | _ -> ()
+
+let feasible store = Decide.feasible (Constraint_store.inequalities store)
+
+let build_scenario (l : Lemma.t) (r : Rule.t) rank share knobs =
+  let uniform =
+    has_hint (function Lemma.Uniform_chunks -> true | _ -> false) l.hints
+  in
+  let concrete_last =
+    List.find_map
+      (function Lemma.Concrete_last k -> Some k | _ -> None)
+      l.hints
+  in
+  let _, families = scan_pattern r.lhs in
+  let sc =
+    {
+      store = Constraint_store.empty;
+      fresh = 0;
+      binder_ops = Hashtbl.create 8;
+      var_shapes = Hashtbl.create 8;
+      var_dtypes = Hashtbl.create 8;
+      var_bounds = Hashtbl.create 8;
+      offset_syms = [];
+      concat_axis = None;
+      slice_proto = None;
+      uniform_chunk = None;
+      int_bound = None;
+      rank;
+      share_slice = share;
+      knobs;
+      hints = l.hints;
+      even_dims = List.mem "reduce_scatter" families;
+      concrete_last;
+      uniform;
+    }
+  in
+  walk sc r.lhs None;
+  apply_hints sc;
+  let expr = expr_of_lhs sc r.lhs in
+  if not (feasible sc.store) then None
+  else begin
+    let g = Egraph.create ~constraints:sc.store () in
+    let root = Egraph.add_expr g expr in
+    seed_context_sym g sc.store expr;
+    Some (sc, g, root, describe rank share knobs)
+  end
+
+(* --- numeric probing ---------------------------------------------------- *)
+
+let scenario_syms sc store =
+  let from_store =
+    List.concat_map Symdim.symbols (Constraint_store.inequalities store)
+  in
+  let from_shapes =
+    Hashtbl.fold
+      (fun _ s acc -> List.concat_map Symdim.symbols s @ acc)
+      sc.var_shapes []
+  in
+  List.sort_uniq String.compare (from_store @ from_shapes)
+
+(* Rejection-sample a small concrete assignment satisfying every
+   inequality of the final constraint store. Size symbols draw from
+   [1, 4], offsets (slice starts, pad amounts) from [0, 3]. *)
+let sample_env sc store env_idx =
+  let syms = scenario_syms sc store in
+  let ineqs = Constraint_store.inequalities store in
+  let is_offset s = List.mem s sc.offset_syms in
+  let rst = Random.State.make [| 0x7e57; env_idx |] in
+  let rec go attempt =
+    if attempt >= 300 then None
+    else
+      let assign =
+        List.map
+          (fun s ->
+            ( s,
+              if is_offset s then Random.State.int rst 4
+              else 1 + Random.State.int rst 4 ))
+          syms
+      in
+      let lookup s =
+        match List.assoc_opt s assign with Some v -> v | None -> 1
+      in
+      if List.for_all (fun e -> Symdim.eval lookup e >= 0) ineqs then
+        Some (assign, lookup)
+      else go (attempt + 1)
+  in
+  go 0
+
+let is_finite v = List.for_all Float.is_finite (Ndarray.to_flat_list v)
+
+let conc_dim env d = Symdim.of_int (Symdim.eval env d)
+
+let conc_op env = function
+  | Op.Slice { dim; start; stop } ->
+      Op.Slice { dim; start = conc_dim env start; stop = conc_dim env stop }
+  | Op.Hlo_slice { dim; start; stop } ->
+      Op.Hlo_slice { dim; start = conc_dim env start; stop = conc_dim env stop }
+  | Op.Pad { dim; before; after } ->
+      Op.Pad { dim; before = conc_dim env before; after = conc_dim env after }
+  | Op.Reshape { shape } ->
+      Op.Reshape { shape = Shape.of_ints (Shape.concrete env shape) }
+  | op -> op
+
+(* Evaluate both sides on shared random leaves under a concrete
+   dimension assignment. Mirrors {!Lemma_check.eval_pair}, plus integer
+   leaves bounded by their recorded vocabulary. *)
+let eval_concrete sc env seed el er =
+  let ctensors = Hashtbl.create 8 in
+  let rec conc e =
+    match e with
+    | Expr.Leaf t ->
+        let key = (Tensor.id t :> int) in
+        let t' =
+          match Hashtbl.find_opt ctensors key with
+          | Some t' -> t'
+          | None ->
+              let dims = Shape.concrete env (Tensor.shape t) in
+              let t' =
+                Tensor.create ~dtype:(Tensor.dtype t) ~name:(Tensor.name t)
+                  (Shape.of_ints dims)
+              in
+              Hashtbl.replace ctensors key t';
+              t'
+        in
+        Expr.leaf t'
+    | Expr.App (op, args) -> Expr.app (conc_op env op) (List.map conc args)
+  in
+  let cl = conc el and cr = conc er in
+  let st = Random.State.make [| 0x5eed; seed |] in
+  let values = Hashtbl.create 8 in
+  let lookup tensor =
+    let key = (Tensor.id tensor :> int) in
+    match Hashtbl.find_opt values key with
+    | Some v -> v
+    | None ->
+        let dims = Shape.concrete (fun _ -> 0) (Tensor.shape tensor) in
+        let v =
+          if Dtype.is_integer (Tensor.dtype tensor) then
+            let hi =
+              match Hashtbl.find_opt sc.var_bounds (Tensor.name tensor) with
+              | Some b -> max 1 (Symdim.eval env b)
+              | None -> 4
+            in
+            Ndarray.random_ints st ~hi dims
+          else
+            Ndarray.map (fun x -> Float.abs x +. 0.125) (Ndarray.random st dims)
+        in
+        Hashtbl.replace values key v;
+        v
+  in
+  let ienv = Interp.env_of_list [] in
+  let side e =
+    try Some (Interp.eval_expr ienv lookup e)
+    with Invalid_argument _ | Not_found | Failure _ -> None
+  in
+  (side cl, side cr)
+
+type probe_result =
+  | P_value_cex of string
+  | P_shape_cex of string
+  | P_agree
+  | P_inconclusive
+
+let env_desc assign =
+  String.concat ", "
+    (List.map (fun (s, v) -> Printf.sprintf "%s=%d" s v) assign)
+
+let dims_str v =
+  String.concat "x" (List.map string_of_int (Ndarray.dims v))
+
+let probe (config : config) sc store el er =
+  let compared = ref false and result = ref None in
+  (try
+     for env_idx = 0 to config.probe_envs - 1 do
+       match sample_env sc store env_idx with
+       | None -> ()
+       | Some (assign, lookup) ->
+           List.iter
+             (fun seed ->
+               match eval_concrete sc lookup seed el er with
+               | Some va, Some vb when is_finite va && is_finite vb ->
+                   if Ndarray.dims va <> Ndarray.dims vb then (
+                     result :=
+                       Some
+                         (P_shape_cex
+                            (Printf.sprintf
+                               "under %s: %s has dims [%s] but %s has dims [%s]"
+                               (env_desc assign) (Expr.to_string el)
+                               (dims_str va) (Expr.to_string er) (dims_str vb)));
+                     raise Exit)
+                   else (
+                     compared := true;
+                     if not (Ndarray.approx_equal ~tol:config.tol va vb) then (
+                       result :=
+                         Some
+                           (P_value_cex
+                              (Printf.sprintf
+                                 "under %s, data seed %d (max deviation %g): %s \
+                                  =/=  %s"
+                                 (env_desc assign) seed
+                                 (Ndarray.max_abs_diff va vb)
+                                 (Expr.to_string el) (Expr.to_string er)));
+                       raise Exit))
+               | _ -> ())
+             config.probe_seeds
+     done
+   with Exit -> ());
+  match !result with
+  | Some r -> r
+  | None -> if !compared then P_agree else P_inconclusive
+
+(* --- equation discharge ------------------------------------------------- *)
+
+type eq_outcome =
+  | O_proved
+  | O_infeasible
+  | O_unsupported of string
+  | O_undecided of string
+  | O_refuted of [ `Shape | `Value ] * string
+  | O_skip
+
+(* Universal output indices [?i_k] with their range constraints. *)
+let index_env store shape =
+  let store = ref store in
+  let idx =
+    List.mapi
+      (fun i d ->
+        let s = Symdim.sym (Printf.sprintf "?i%d" i) in
+        store := Constraint_store.add_ge !store s;
+        store :=
+          Constraint_store.add_ge !store
+            (Symdim.sub (Symdim.sub d Symdim.one) s);
+        Sterm.I s)
+      shape
+  in
+  (!store, idx)
+
+let eval_equation (config : config) sc (r : Rule.t) g subst (lp, rp) =
+  match (Lemma_check.expr_of g subst lp, Lemma_check.expr_of g subst rp) with
+  | Some el, Some er -> (
+      let ctxl = Symeval.create ~mode:Symeval.Assume (Egraph.constraints g) in
+      match Symeval.eval ctxl el with
+      | Error (Symeval.Unsupported m) -> O_unsupported m
+      | Error (Symeval.Ill_typed _) -> O_skip
+      | Ok vl -> (
+          let store1 = Symeval.store ctxl in
+          if not (feasible store1) then O_infeasible
+          else
+            let rhs_mode =
+              if r.Rule.constrained || r.Rule.nonlocal then Symeval.Assume
+              else Symeval.Check
+            in
+            let ctxr = Symeval.create ~mode:rhs_mode store1 in
+            match Symeval.eval ctxr er with
+            | Error (Symeval.Unsupported m) -> O_unsupported m
+            | Error (Symeval.Ill_typed m) -> (
+                match probe config sc store1 el er with
+                | P_shape_cex msg -> O_refuted (`Shape, msg)
+                | P_value_cex msg -> O_refuted (`Value, msg)
+                | P_agree | P_inconclusive ->
+                    O_undecided
+                      ("right-hand side not provably well-typed: " ^ m))
+            | Ok vr ->
+                let store2 = Symeval.store ctxr in
+                if not (feasible store2) then O_infeasible
+                else
+                  let shapes_proved =
+                    Shape.rank vl.Symeval.shape = Shape.rank vr.Symeval.shape
+                    && List.for_all2
+                         (Decide.prove_eq store2)
+                         vl.Symeval.shape vr.Symeval.shape
+                  in
+                  if not shapes_proved then
+                    match probe config sc store2 el er with
+                    | P_shape_cex msg -> O_refuted (`Shape, msg)
+                    | P_value_cex msg -> O_refuted (`Value, msg)
+                    | P_agree ->
+                        O_undecided
+                          "output shapes not provably equal (probes agree)"
+                    | P_inconclusive ->
+                        O_undecided
+                          "output shapes not provably equal; numeric probe \
+                           inconclusive"
+                  else
+                    let store3, idx = index_env store2 vl.Symeval.shape in
+                    if
+                      Sterm.prove_equal store3 (vl.Symeval.at idx)
+                        (vr.Symeval.at idx)
+                    then O_proved
+                    else
+                      match probe config sc store2 el er with
+                      | P_value_cex msg -> O_refuted (`Value, msg)
+                      | P_shape_cex msg -> O_refuted (`Shape, msg)
+                      | P_agree ->
+                          O_undecided "value equality not proved (probes agree)"
+                      | P_inconclusive ->
+                          O_undecided
+                            "value equality not proved; numeric probe \
+                             inconclusive"))
+  | _ -> O_skip
+
+(* --- per-rule verification ---------------------------------------------- *)
+
+let enumerate (config : config) (l : Lemma.t) (r : Rule.t) =
+  let binders, families = scan_pattern r.lhs in
+  let ranks = ranks_for config l.hints families in
+  let slice_binders =
+    List.length (List.filter (fun (_, f) -> slice_family f) binders)
+  in
+  let shares = if slice_binders >= 2 then [ false; true ] else [ false ] in
+  let scens =
+    List.concat_map
+      (fun rank ->
+        List.concat_map
+          (fun share ->
+            let spaces =
+              List.map
+                (fun (b, f) ->
+                  List.map (fun k -> (b, k)) (choices_for l.hints rank f))
+                binders
+            in
+            List.map (fun knobs -> (rank, share, knobs)) (product spaces))
+          shares)
+      ranks
+  in
+  take config.max_scenarios scens
+
+let verify_rule (config : config) (l : Lemma.t) ri (r : Rule.t) =
+  let loc = Diagnostic.Lemma { lemma = l.name; rule = Some ri; seed = None } in
+  let nvars = List.length (Pattern.vars r.lhs) in
+  if nvars > config.max_rule_vars then
+    ( Skipped
+        (Printf.sprintf "binds %d pattern variables (cap %d)" nvars
+           config.max_rule_vars),
+      0,
+      0,
+      [] )
+  else begin
+    let scen_count = ref 0 and proved = ref 0 and infeasible = ref 0 in
+    let refuted = ref None
+    and verified = ref None
+    and unsupported = ref None
+    and undecided = ref None in
+    (try
+       List.iter
+         (fun (rank, share, knobs) ->
+           match build_scenario l r rank share knobs with
+           | exception Skip_scenario _ -> ()
+           | exception Unsupported_family f ->
+               if !unsupported = None then
+                 unsupported :=
+                   Some ("operator family outside the symbolic fragment: " ^ f);
+               raise Exit
+           | None -> ()
+           | Some (sc, g, root, desc) ->
+               incr scen_count;
+               let matches = take config.max_matches (Ematch.match_class g r.lhs root) in
+               List.iter
+                 (fun subst ->
+                   let eqs =
+                     match r.Rule.applier with
+                     | Rule.Syntactic rhs -> [ (Pattern.c root, rhs) ]
+                     | Rule.Conditional f -> (
+                         try f g root subst
+                         with Invalid_argument _ | Not_found | Failure _ -> [])
+                   in
+                   List.iter
+                     (fun eq ->
+                       match eval_equation config sc r g subst eq with
+                       | O_proved ->
+                           incr proved;
+                           if !verified = None then verified := Some desc
+                       | O_refuted (kind, msg) ->
+                           refuted := Some (kind, msg);
+                           raise Exit
+                       | O_infeasible -> incr infeasible
+                       | O_unsupported m ->
+                           if !unsupported = None then unsupported := Some m
+                       | O_undecided m ->
+                           if !undecided = None then undecided := Some m
+                       | O_skip -> ())
+                     (take config.max_equations eqs))
+                 matches)
+         (enumerate config l r)
+     with Exit -> ());
+    let status, diags =
+      match (!refuted, !verified) with
+      | Some (kind, msg), _ ->
+          let code = match kind with `Shape -> "LEMMA200" | `Value -> "LEMMA202" in
+          let what =
+            match kind with
+            | `Shape -> "shape-unsound rewrite"
+            | `Value -> "unsound rewrite"
+          in
+          ( Refuted msg,
+            [ Diagnostic.error ~code loc "%s: %s" what msg ] )
+      | None, Some desc -> (Verified desc, [])
+      | None, None -> (
+          match (!unsupported, !undecided) with
+          | Some m, _ -> (Unsupported m, [])
+          | None, Some m -> (Undecided m, [])
+          | None, None ->
+              if !infeasible > 0 then (Vacuous, []) else (Unapplied, []))
+    in
+    (status, !scen_count, !proved, diags)
+  end
+
+(* --- lemma and corpus verification -------------------------------------- *)
+
+let verdict_of statuses =
+  let exists p = List.exists p statuses in
+  if exists (function Refuted _ -> true | _ -> false) then V_refuted
+  else if exists (function Verified _ -> true | _ -> false) then V_verified
+  else if
+    exists (function Vacuous -> true | _ -> false)
+    && List.for_all
+         (function Vacuous | Unapplied | Skipped _ -> true | _ -> false)
+         statuses
+  then V_vacuous
+  else if exists (function Unsupported _ -> true | _ -> false) then
+    V_unsupported
+  else if exists (function Undecided _ -> true | _ -> false) then V_undecided
+  else V_unattempted
+
+let verify_lemma ?(config = default_config) (l : Lemma.t) =
+  let results = List.mapi (fun ri r -> verify_rule config l ri r) l.rules in
+  let statuses = List.map (fun (s, _, _, _) -> s) results in
+  let scenarios = List.fold_left (fun a (_, s, _, _) -> a + s) 0 results in
+  let proved = List.fold_left (fun a (_, _, p, _) -> a + p) 0 results in
+  let rule_diags = List.concat_map (fun (_, _, _, d) -> d) results in
+  let verdict = verdict_of statuses in
+  let loc = Diagnostic.Lemma { lemma = l.name; rule = None; seed = None } in
+  let first_msg pick =
+    List.find_map pick statuses |> Option.value ~default:""
+  in
+  let diags =
+    match verdict with
+    | V_vacuous ->
+        rule_diags
+        @ [
+            Diagnostic.error ~code:"LEMMA201" loc
+              "side conditions are unsatisfiable: every scenario that made \
+               this lemma produce equations assumed an infeasible constraint \
+               store";
+          ]
+    | V_unsupported ->
+        rule_diags
+        @ [
+            Diagnostic.warning ~code:"LEMMA210" loc
+              "not symbolically verifiable: %s"
+              (first_msg (function Unsupported m -> Some m | _ -> None));
+          ]
+    | V_undecided ->
+        rule_diags
+        @ [
+            Diagnostic.warning ~code:"LEMMA211" loc
+              "symbolically exercised but not proved: %s"
+              (first_msg (function Undecided m -> Some m | _ -> None));
+          ]
+    | V_verified | V_refuted | V_unattempted -> rule_diags
+  in
+  (diags, { lemma = l.name; klass = l.klass; verdict; rules = statuses; scenarios; proved })
+
+let verify ?(config = default_config) ?span lemmas =
+  let results =
+    List.map
+      (fun (l : Lemma.t) ->
+        let run () = verify_lemma ~config l in
+        match span with None -> run () | Some s -> s l.name run)
+      lemmas
+  in
+  ( List.concat_map fst results,
+    { rank_bound = config.rank_bound; lemmas = List.map snd results } )

@@ -1,0 +1,97 @@
+(** Symbolic bounded verification of the rewrite-lemma corpus.
+
+    The numeric audit ({!Lemma_check}) spot-checks lemmas on random
+    concrete tensors; this pass proves them. For every rule of every
+    lemma it enumerates {e scenarios} — symbolic instantiations of the
+    left-hand pattern with fresh dimension variables, for every rank up
+    to a configurable bound and every choice of the attribute knobs the
+    rule's guards look at (concatenation axis, slice variant, transpose
+    pair, reduction axis, ...). Each scenario is pushed through the real
+    e-matching machinery, the rule's applier produces its equations, and
+    both sides are evaluated to symbolic index functions ({!Symeval})
+    whose shapes and values are discharged through the
+    {!Entangle_symbolic.Decide} Fourier–Motzkin engine under the
+    scenario's side-condition store ({!Entangle_symbolic.Sterm}).
+
+    The verdict vocabulary is deliberately explicit — coverage is never
+    silently partial:
+
+    - [LEMMA200] (error) a rule is {e shape}-unsound: the two sides have
+      provably different shapes, confirmed on a concrete counterexample.
+    - [LEMMA201] (error) a rule's side conditions are unsatisfiable:
+      every scenario that produced equations assumed an infeasible
+      constraint store, so the rule can never soundly fire.
+    - [LEMMA202] (error) a rule is {e value}-unsound, confirmed by a
+      concrete counterexample (dimension assignment plus data seed).
+    - [LEMMA210] (warning) the rule uses operators outside the symbolic
+      fragment (e.g. [reshape]) and cannot be verified by this pass.
+    - [LEMMA211] (warning) the rule was symbolically exercised but
+      neither proved nor refuted (the prover is incomplete; concrete
+      probes agreed).
+
+    Refutations are {e always} confirmed numerically before being
+    reported as errors: a failed symbolic proof alone is never treated
+    as unsoundness. *)
+
+open Entangle_lemmas
+
+type config = {
+  rank_bound : int;  (** tensor ranks enumerated per scenario: 1..bound *)
+  max_rule_vars : int;
+      (** rules whose left-hand side binds more pattern variables are
+          skipped (variadic lemmas are verified at their small arities) *)
+  max_scenarios : int;  (** cap on enumerated scenarios per rule *)
+  max_matches : int;  (** e-matching substitutions tried per scenario *)
+  max_equations : int;  (** applier equations evaluated per match *)
+  probe_envs : int;
+      (** concrete dimension assignments sampled when confirming or
+          rejecting a candidate counterexample *)
+  probe_seeds : int list;  (** data seeds per probed assignment *)
+  tol : float;  (** max elementwise deviation for the numeric probe *)
+}
+
+val default_config : config
+
+type rule_status =
+  | Verified of string  (** proved in the named scenario *)
+  | Refuted of string  (** confirmed counterexample (detail in message) *)
+  | Unsupported of string  (** outside the fragment *)
+  | Undecided of string  (** exercised, neither proved nor refuted *)
+  | Vacuous  (** equations only under infeasible side conditions *)
+  | Unapplied  (** no scenario made the rule fire *)
+  | Skipped of string  (** above the arity cap *)
+
+type verdict =
+  | V_verified
+  | V_refuted
+  | V_vacuous
+  | V_unsupported
+  | V_undecided
+  | V_unattempted
+      (** no rule fired in any scenario — the pass proved nothing; the
+          lint gate requires such a lemma to be numerically exercised or
+          waived *)
+
+type lemma_report = {
+  lemma : string;
+  klass : Lemma.klass;
+  verdict : verdict;
+  rules : rule_status list;  (** indexed like [Lemma.rules] *)
+  scenarios : int;  (** scenarios attempted across all rules *)
+  proved : int;  (** equations discharged symbolically *)
+}
+
+type report = { rank_bound : int; lemmas : lemma_report list }
+
+val verdict_name : verdict -> string
+
+val verify_lemma :
+  ?config:config -> Lemma.t -> Diagnostic.t list * lemma_report
+
+val verify :
+  ?config:config ->
+  ?span:(string -> (unit -> Diagnostic.t list * lemma_report) -> Diagnostic.t list * lemma_report) ->
+  Lemma.t list ->
+  Diagnostic.t list * report
+(** Verify a corpus. [span] wraps each lemma's verification (the CLI
+    passes a tracing span named after the lemma). *)

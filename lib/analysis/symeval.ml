@@ -1,0 +1,506 @@
+open Entangle_symbolic
+open Entangle_ir
+
+type mode = Check | Assume
+
+type value = { shape : Shape.t; at : Sterm.index list -> Sterm.t }
+type failure = Unsupported of string | Ill_typed of string
+
+exception Fail of failure
+
+type ctx = {
+  mode : mode;
+  mutable store : Constraint_store.t;
+  mutable fresh : int;
+}
+
+let create ~mode store = { mode; store; fresh = 0 }
+let store ctx = ctx.store
+let unsupported fmt = Fmt.kstr (fun s -> raise (Fail (Unsupported s))) fmt
+let ill_typed fmt = Fmt.kstr (fun s -> raise (Fail (Ill_typed s))) fmt
+
+(* Binders are reserved-prefix symbols; [Sterm.norm] renames them
+   canonically, so they only need to be distinct within one term. *)
+let binder ctx =
+  let n = ctx.fresh in
+  ctx.fresh <- n + 1;
+  Printf.sprintf "%sv%d" Sterm.binder_prefix n
+
+(* Side conditions: prove, or record (Assume), or fail (Check). All
+   conditions are required eagerly during evaluation — [at] closures
+   never touch the store, so reading {!store} after {!eval} sees every
+   assumption. *)
+let require_eq ctx a b =
+  if Symdim.equal a b || Decide.prove_eq ctx.store a b then ()
+  else
+    match ctx.mode with
+    | Assume -> ctx.store <- Constraint_store.add_eq ctx.store a b
+    | Check ->
+        ill_typed "cannot prove %a = %a" Symdim.pp a Symdim.pp b
+
+(* [e >= 0] *)
+let require_ge ctx e =
+  if Decide.prove_le ctx.store Symdim.zero e then ()
+  else
+    match ctx.mode with
+    | Assume -> ctx.store <- Constraint_store.add_ge ctx.store e
+    | Check -> ill_typed "cannot prove %a >= 0" Symdim.pp e
+
+let axis ~rank d =
+  let a = if d < 0 then rank + d else d in
+  if a < 0 || a >= rank then ill_typed "axis %d out of range for rank %d" d rank
+  else a
+
+let aff = function
+  | Sterm.I d -> d
+  | Sterm.S _ ->
+      unsupported "data-dependent index into a position-sensitive operator"
+
+let shift off = function
+  | Sterm.I d -> Sterm.I (Symdim.add off d)
+  | Sterm.S t -> Sterm.S (Sterm.add t (Sterm.DimV off))
+
+let nth = List.nth
+let set_nth l n x = List.mapi (fun i y -> if i = n then x else y) l
+let remove_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let insert_nth l n x =
+  let rec go i = function
+    | rest when i = n -> x :: rest
+    | y :: rest -> y :: go (i + 1) rest
+    | [] -> [ x ]
+  in
+  go 0 l
+
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+let take n l = List.filteri (fun i _ -> i < n) l
+let is_one d = match Symdim.to_int d with Some 1 -> true | _ -> false
+
+let leaf t = { shape = Tensor.shape t; at = Sterm.access (Tensor.name t) }
+
+(* {1 Broadcasting} *)
+
+let broadcast2 ctx sa sb =
+  let ra = List.length sa and rb = List.length sb in
+  let r = max ra rb in
+  let padded s k = List.init (r - k) (fun _ -> None) @ List.map Option.some s in
+  List.map2
+    (fun a b ->
+      match (a, b) with
+      | None, Some d | Some d, None -> d
+      | Some a, Some b ->
+          if Symdim.equal a b then a
+          else if is_one a then b
+          else if is_one b then a
+          else (
+            require_eq ctx a b;
+            a)
+      | None, None -> assert false)
+    (padded sa ra) (padded sb rb)
+
+(* Project an output index onto a (possibly broadcast) operand: drop the
+   leading extra axes and zero the operand's size-1 axes. *)
+let proj v idx =
+  let r = Shape.rank v.shape in
+  let dropped = drop (List.length idx - r) idx in
+  List.mapi
+    (fun i ix ->
+      if is_one (Shape.dim v.shape i) then Sterm.I Symdim.zero else ix)
+    dropped
+
+let ew1 f a = { shape = a.shape; at = (fun idx -> f (a.at idx)) }
+
+let ew2 ctx f a b =
+  let shape = broadcast2 ctx a.shape b.shape in
+  { shape; at = (fun idx -> f (a.at (proj a idx)) (b.at (proj b idx))) }
+
+(* {1 Rearrangement} *)
+
+let concat_value ctx ~dim = function
+  | [] -> ill_typed "concat: no operands"
+  | v0 :: rest as vs ->
+      let r = Shape.rank v0.shape in
+      let d = axis ~rank:r dim in
+      List.iter
+        (fun v ->
+          if Shape.rank v.shape <> r then ill_typed "concat: rank mismatch";
+          List.iteri
+            (fun i dv -> if i <> d then require_eq ctx dv (Shape.dim v0.shape i))
+            v.shape)
+        rest;
+      let total =
+        List.fold_left
+          (fun acc v -> Symdim.add acc (Shape.dim v.shape d))
+          Symdim.zero vs
+      in
+      let at idx =
+        let i = aff (nth idx d) in
+        let rec pick off = function
+          | [] -> assert false
+          | [ v ] -> v.at (set_nth idx d (Sterm.I (Symdim.sub i off)))
+          | v :: tail ->
+              let sz = Shape.dim v.shape d in
+              let here = v.at (set_nth idx d (Sterm.I (Symdim.sub i off))) in
+              (* inside this chunk iff [off + sz - 1 - i >= 0] *)
+              Sterm.sel
+                ~cond:(Symdim.sub (Symdim.add off (Symdim.sub sz Symdim.one)) i)
+                here
+                (pick (Symdim.add off sz) tail)
+        in
+        pick Symdim.zero vs
+      in
+      { shape = Shape.set_dim v0.shape d total; at }
+
+let slice_value ctx ~dim ~start ~stop v =
+  let r = Shape.rank v.shape in
+  let d = axis ~rank:r dim in
+  let size = Shape.dim v.shape d in
+  require_ge ctx start;
+  require_ge ctx (Symdim.sub stop start);
+  require_ge ctx (Symdim.sub size stop);
+  {
+    shape = Shape.set_dim v.shape d (Symdim.sub stop start);
+    at = (fun idx -> v.at (set_nth idx d (shift start (nth idx d))));
+  }
+
+let transpose_value ~dim0 ~dim1 v =
+  let r = Shape.rank v.shape in
+  let d0 = axis ~rank:r dim0 and d1 = axis ~rank:r dim1 in
+  let swap l =
+    List.mapi
+      (fun i x -> if i = d0 then nth l d1 else if i = d1 then nth l d0 else x)
+      l
+  in
+  { shape = swap v.shape; at = (fun idx -> v.at (swap idx)) }
+
+let pad_value ctx ~dim ~before ~after v =
+  let r = Shape.rank v.shape in
+  let d = axis ~rank:r dim in
+  let size = Shape.dim v.shape d in
+  require_ge ctx before;
+  require_ge ctx after;
+  let shape =
+    Shape.set_dim v.shape d (Symdim.add before (Symdim.add size after))
+  in
+  let zero = Sterm.cst_int 0 in
+  let at idx =
+    let j = Symdim.sub (aff (nth idx d)) before in
+    let inner = v.at (set_nth idx d (Sterm.I j)) in
+    (* [j >= 0] and [size - 1 - j >= 0], else the zero padding *)
+    Sterm.sel ~cond:j
+      (Sterm.sel ~cond:(Symdim.sub (Symdim.sub size Symdim.one) j) inner zero)
+      zero
+  in
+  { shape; at }
+
+(* {1 Reductions} *)
+
+let reduce_value ctx kind ~dim ~keepdim v =
+  let r = Shape.rank v.shape in
+  let d = axis ~rank:r dim in
+  let n = Shape.dim v.shape d in
+  let shape =
+    if keepdim then Shape.set_dim v.shape d Symdim.one
+    else remove_nth v.shape d
+  in
+  let at idx =
+    let b = binder ctx in
+    let bi = Sterm.I (Symdim.sym b) in
+    let body = v.at (if keepdim then set_nth idx d bi else insert_nth idx d bi) in
+    match kind with
+    | `Sum -> Sterm.sum_over b n body
+    | `Mean -> Sterm.div_dims (Sterm.sum_over b n body) [ n ]
+    | `Max -> Sterm.max_over b n body
+  in
+  { shape; at }
+
+let sum_value ctx = function
+  | [] -> ill_typed "sum: no operands"
+  | v0 :: rest as vs ->
+      List.iter
+        (fun v ->
+          if Shape.rank v.shape <> Shape.rank v0.shape then
+            ill_typed "sum: rank mismatch";
+          List.iteri (fun i dv -> require_eq ctx dv (Shape.dim v0.shape i)) v.shape)
+        rest;
+      {
+        shape = v0.shape;
+        at =
+          (fun idx ->
+            List.fold_left
+              (fun acc v -> Sterm.add acc (v.at idx))
+              ((List.hd vs).at idx)
+              (List.tl vs));
+      }
+
+let reduce_scatter_value ctx ~dim ~index ~count vs =
+  if count <= 0 || index < 0 || index >= count then
+    ill_typed "reduce_scatter: index %d not in [0, %d)" index count;
+  let summed = sum_value ctx vs in
+  let r = Shape.rank summed.shape in
+  let d = axis ~rank:r dim in
+  let size = Shape.dim summed.shape d in
+  match Symdim.div_int size count with
+  | None ->
+      unsupported "reduce_scatter: %a not divisible by %d in affine arithmetic"
+        Symdim.pp size count
+  | Some chunk ->
+      let start = Symdim.mul_int index chunk in
+      {
+        shape = Shape.set_dim summed.shape d chunk;
+        at = (fun idx -> summed.at (set_nth idx d (shift start (nth idx d))));
+      }
+
+let all_gather_value ctx ~dim = function
+  | [] -> ill_typed "all_gather: no operands"
+  | v0 :: rest as vs ->
+      List.iter
+        (fun v ->
+          if Shape.rank v.shape <> Shape.rank v0.shape then
+            ill_typed "all_gather: rank mismatch";
+          List.iteri (fun i dv -> require_eq ctx dv (Shape.dim v0.shape i)) v.shape)
+        rest;
+      concat_value ctx ~dim vs
+
+(* {1 Neural-network kernels} *)
+
+let softmax_value ctx ~dim v =
+  let r = Shape.rank v.shape in
+  let d = axis ~rank:r dim in
+  let n = Shape.dim v.shape d in
+  let at idx =
+    let num = Sterm.app "exp" [ v.at idx ] in
+    let b = binder ctx in
+    let den =
+      Sterm.sum_over b n
+        (Sterm.app "exp" [ v.at (set_nth idx d (Sterm.I (Symdim.sym b))) ])
+    in
+    Sterm.app "div" [ num; den ]
+  in
+  { shape = v.shape; at }
+
+let inv_sqrt_eps ~eps t =
+  Sterm.app "div"
+    [ Sterm.cst_int 1; Sterm.app "sqrt" [ Sterm.add t (Sterm.CstF eps) ] ]
+
+let vector_aux ctx name v d =
+  if Shape.rank v.shape <> 1 then ill_typed "%s: auxiliary operand rank" name;
+  require_eq ctx (Shape.dim v.shape 0) d
+
+let layernorm_value ctx ~eps x w b =
+  let r = Shape.rank x.shape in
+  if r < 1 then ill_typed "layernorm: rank";
+  let d = Shape.dim x.shape (r - 1) in
+  vector_aux ctx "layernorm" w d;
+  vector_aux ctx "layernorm" b d;
+  let at idx =
+    let x_at i = x.at (set_nth idx (r - 1) i) in
+    let bm = binder ctx in
+    let mean =
+      Sterm.div_dims (Sterm.sum_over bm d (x_at (Sterm.I (Symdim.sym bm)))) [ d ]
+    in
+    let centered t = Sterm.sub t mean in
+    let bv = binder ctx in
+    let cv = centered (x_at (Sterm.I (Symdim.sym bv))) in
+    let var = Sterm.div_dims (Sterm.sum_over bv d (Sterm.mul cv cv)) [ d ] in
+    let last = nth idx (r - 1) in
+    Sterm.add
+      (Sterm.mul
+         (Sterm.mul (centered (x.at idx)) (inv_sqrt_eps ~eps var))
+         (w.at [ last ]))
+      (b.at [ last ])
+  in
+  { shape = x.shape; at }
+
+let rmsnorm_value ctx ~eps x w =
+  let r = Shape.rank x.shape in
+  if r < 1 then ill_typed "rmsnorm: rank";
+  let d = Shape.dim x.shape (r - 1) in
+  vector_aux ctx "rmsnorm" w d;
+  let at idx =
+    let b = binder ctx in
+    let xb = x.at (set_nth idx (r - 1) (Sterm.I (Symdim.sym b))) in
+    let ms = Sterm.div_dims (Sterm.sum_over b d (Sterm.mul xb xb)) [ d ] in
+    Sterm.mul
+      (Sterm.mul (x.at idx) (inv_sqrt_eps ~eps ms))
+      (w.at [ nth idx (r - 1) ])
+  in
+  { shape = x.shape; at }
+
+let embedding_value w ids =
+  if Shape.rank w.shape <> 2 then ill_typed "embedding: weight rank";
+  let d = Shape.dim w.shape 1 in
+  let r = Shape.rank ids.shape in
+  {
+    shape = ids.shape @ [ d ];
+    at =
+      (fun idx -> w.at [ Sterm.S (ids.at (take r idx)); nth idx r ]);
+  }
+
+let rope_value ctx x cos sin =
+  let r = Shape.rank x.shape in
+  if r < 2 then ill_typed "rope: rank";
+  let d = Shape.dim x.shape (r - 1) in
+  let h =
+    match Symdim.to_int d with
+    | Some dc when dc > 0 && dc mod 2 = 0 -> dc / 2
+    | Some _ -> ill_typed "rope: odd last dim"
+    | None -> unsupported "rope: symbolic last dim (no concrete half-point)"
+  in
+  let rot =
+    {
+      shape = x.shape;
+      at =
+        (fun idx ->
+          let i = aff (nth idx (r - 1)) in
+          let at_last j = x.at (set_nth idx (r - 1) (Sterm.I j)) in
+          (* rotate-half: [-x[i+h]] for [i < h], [x[i-h]] above *)
+          Sterm.sel
+            ~cond:(Symdim.sub (Symdim.of_int (h - 1)) i)
+            (Sterm.neg (at_last (Symdim.add i (Symdim.of_int h))))
+            (at_last (Symdim.sub i (Symdim.of_int h))))
+    }
+  in
+  ew2 ctx Sterm.add (ew2 ctx Sterm.mul x cos) (ew2 ctx Sterm.mul rot sin)
+
+let mse_value ctx p t =
+  if Shape.rank p.shape <> Shape.rank t.shape then
+    ill_typed "mse_loss: rank mismatch";
+  List.iteri (fun i dv -> require_eq ctx dv (Shape.dim t.shape i)) p.shape;
+  let r = Shape.rank p.shape in
+  let at _ =
+    let rec go i rev_idx =
+      if i = r then begin
+        let idx = List.rev rev_idx in
+        let d = Sterm.sub (p.at idx) (t.at idx) in
+        Sterm.mul d d
+      end
+      else
+        let b = binder ctx in
+        Sterm.sum_over b (Shape.dim p.shape i)
+          (go (i + 1) (Sterm.I (Symdim.sym b) :: rev_idx))
+    in
+    let total = go 0 [] in
+    if r = 0 then total else Sterm.div_dims total p.shape
+  in
+  { shape = Shape.scalar; at }
+
+let cross_entropy_value ctx logits targets =
+  if Shape.rank logits.shape <> 2 then ill_typed "cross_entropy: logits rank";
+  if Shape.rank targets.shape <> 1 then
+    ill_typed "cross_entropy: targets rank";
+  let s = Shape.dim logits.shape 0 and v = Shape.dim logits.shape 1 in
+  require_eq ctx (Shape.dim targets.shape 0) s;
+  let at _ =
+    let bi = binder ctx in
+    let i = Sterm.I (Symdim.sym bi) in
+    let bj = binder ctx in
+    let z =
+      Sterm.sum_over bj v
+        (Sterm.app "exp" [ logits.at [ i; Sterm.I (Symdim.sym bj) ] ])
+    in
+    let lse = Sterm.app "log" [ z ] in
+    let picked = logits.at [ i; Sterm.S (targets.at [ i ]) ] in
+    Sterm.div_dims (Sterm.sum_over bi s (Sterm.sub lse picked)) [ s ]
+  in
+  { shape = Shape.scalar; at }
+
+(* {1 The operator dispatch} *)
+
+let unary_sym = function
+  | Op.Exp -> Some "exp"
+  | Op.Log -> Some "log"
+  | Op.Sqrt -> Some "sqrt"
+  | Op.Rsqrt -> Some "rsqrt"
+  | Op.Relu -> Some "relu"
+  | Op.Gelu -> Some "gelu"
+  | Op.Silu -> Some "silu"
+  | Op.Tanh -> Some "tanh"
+  | Op.Sigmoid -> Some "sigmoid"
+  | _ -> None
+
+let apply ctx op vs =
+  match (op, vs) with
+  | Op.Add, [ a; b ] -> ew2 ctx Sterm.add a b
+  | Op.Sub, [ a; b ] -> ew2 ctx Sterm.sub a b
+  | Op.Mul, [ a; b ] -> ew2 ctx Sterm.mul a b
+  | Op.Div, [ a; b ] -> ew2 ctx (fun x y -> Sterm.app "div" [ x; y ]) a b
+  | Op.Maximum, [ a; b ] -> ew2 ctx Sterm.max2 a b
+  | Op.Pow, [ a; b ] -> ew2 ctx (fun x y -> Sterm.app "pow" [ x; y ]) a b
+  | Op.Neg, [ a ] -> ew1 Sterm.neg a
+  | op, [ a ] when unary_sym op <> None ->
+      ew1 (fun t -> Sterm.app (Option.get (unary_sym op)) [ t ]) a
+  | Op.Square, [ a ] -> ew1 (fun t -> Sterm.mul t t) a
+  | Op.Scale r, [ a ] -> ew1 (Sterm.scale r) a
+  | Op.Identity, [ a ] -> a
+  | (Op.Matmul | Op.Hlo_dot), [ a; b ] -> (
+      let ra = Shape.rank a.shape and rb = Shape.rank b.shape in
+      if ra < 2 || rb < 2 then ill_typed "matmul: rank"
+      else begin
+        let m = Shape.dim a.shape (ra - 2) and k = Shape.dim a.shape (ra - 1) in
+        let kb = Shape.dim b.shape (rb - 2) and n = Shape.dim b.shape (rb - 1) in
+        require_eq ctx k kb;
+        let batched =
+          if rb = 2 then Some (take (ra - 2) a.shape)
+          else if ra = rb then begin
+            List.iteri
+              (fun i da ->
+                if i < ra - 2 then require_eq ctx da (Shape.dim b.shape i))
+              a.shape;
+            Some (take (ra - 2) a.shape)
+          end
+          else None
+        in
+        match batched with
+        | None -> ill_typed "matmul: batch ranks"
+        | Some batch ->
+            let nb = List.length batch in
+            let at idx =
+              let bidx = take nb idx in
+              let i = nth idx nb and j = nth idx (nb + 1) in
+              let bk = binder ctx in
+              let kv = Sterm.I (Symdim.sym bk) in
+              Sterm.sum_over bk k
+                (Sterm.mul
+                   (a.at (bidx @ [ i; kv ]))
+                   (b.at ((if rb = 2 then [] else bidx) @ [ kv; j ])))
+            in
+            { shape = batch @ [ m; n ]; at }
+      end)
+  | (Op.Concat { dim } | Op.Hlo_concatenate { dim }), vs ->
+      concat_value ctx ~dim vs
+  | (Op.Slice { dim; start; stop } | Op.Hlo_slice { dim; start; stop }), [ a ]
+    ->
+      slice_value ctx ~dim ~start ~stop a
+  | Op.Transpose { dim0; dim1 }, [ a ] -> transpose_value ~dim0 ~dim1 a
+  | Op.Reshape _, _ ->
+      unsupported "reshape is outside the index-function fragment"
+  | Op.Pad { dim; before; after }, [ a ] -> pad_value ctx ~dim ~before ~after a
+  | (Op.Sum_n | Op.All_reduce), vs -> sum_value ctx vs
+  | Op.Reduce_sum { dim; keepdim }, [ a ] ->
+      reduce_value ctx `Sum ~dim ~keepdim a
+  | Op.Reduce_mean { dim; keepdim }, [ a ] ->
+      reduce_value ctx `Mean ~dim ~keepdim a
+  | Op.Reduce_max { dim; keepdim }, [ a ] ->
+      reduce_value ctx `Max ~dim ~keepdim a
+  | Op.Softmax { dim }, [ a ] -> softmax_value ctx ~dim a
+  | Op.Layernorm { eps }, [ x; w; b ] -> layernorm_value ctx ~eps x w b
+  | Op.Rmsnorm { eps }, [ x; w ] -> rmsnorm_value ctx ~eps x w
+  | Op.Embedding, [ w; ids ] -> embedding_value w ids
+  | Op.Rope, [ x; cos; sin ] -> rope_value ctx x cos sin
+  | Op.Mse_loss, [ p; t ] -> mse_value ctx p t
+  | Op.Cross_entropy, [ l; t ] -> cross_entropy_value ctx l t
+  | Op.Reduce_scatter { dim; index; count }, vs ->
+      reduce_scatter_value ctx ~dim ~index ~count vs
+  | Op.All_gather { dim }, vs -> all_gather_value ctx ~dim vs
+  | Op.Swiglu_fused, [ g; u ] ->
+      ew2 ctx Sterm.mul (ew1 (fun t -> Sterm.app "silu" [ t ]) g) u
+  | op, vs -> ill_typed "%s applied to %d operands" (Op.name op) (List.length vs)
+
+let rec eval_exn ctx = function
+  | Expr.Leaf t -> leaf t
+  | Expr.App (op, args) -> apply ctx op (List.map (eval_exn ctx) args)
+
+let eval ctx e = match eval_exn ctx e with
+  | v -> Ok v
+  | exception Fail f -> Error f

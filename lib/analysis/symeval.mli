@@ -1,0 +1,64 @@
+(** Symbolic evaluation of tensor expressions into scalar index functions.
+
+    The lemma verifier needs, for each side of a rewrite, a closed-form
+    answer to "what scalar does this expression compute at output index
+    [i0, ..., ik]?" — for {e arbitrary} symbolic dimensions. This module
+    evaluates an {!Entangle_ir.Expr.t} into such an index function over
+    {!Entangle_symbolic.Sterm} terms, together with a symbolic output
+    shape, mirroring the reference interpreter's semantics
+    ({!Entangle_ir.Ndarray}) operator by operator: concatenation becomes
+    a selection chain, reduction becomes a bounded [Red], matmul becomes
+    a summation over the contraction dimension, means divide by their
+    dimension, and the nonlinear elementwise kernels stay uninterpreted
+    function symbols (equal inputs give equal outputs, which is all the
+    corpus's rewrites ever rely on).
+
+    Side conditions met along the way — aligned concatenation operands,
+    matching contraction dims, in-bounds slices — are treated according
+    to the evaluation {!mode}:
+
+    - [Assume]: the condition is added to the context's constraint
+      store. Used for the left-hand side (a rule only ever fires where
+      its LHS is well-typed, so those conditions may be assumed) and for
+      the right-hand side of constrained rules (whose soundness is
+      conditional on the rewrite target existing).
+    - [Check]: the condition must be provable from the store via
+      {!Entangle_symbolic.Decide}; otherwise evaluation fails with
+      {!Ill_typed}. Used for the right-hand side of universal rules: the
+      RHS must be well-typed whenever the LHS is.
+
+    Operator families outside the fragment (currently [Reshape], and
+    data-dependent selections the scalar language cannot express) fail
+    with {!Unsupported}; the verifier surfaces these as the explicit
+    LEMMA210 bucket rather than silently skipping. *)
+
+open Entangle_symbolic
+open Entangle_ir
+
+type mode = Check | Assume
+
+type value = {
+  shape : Shape.t;
+  at : Sterm.index list -> Sterm.t;
+      (** scalar at an output index; the list has length [rank shape] *)
+}
+
+type failure =
+  | Unsupported of string  (** operator family outside the fragment *)
+  | Ill_typed of string  (** a [Check]-mode side condition failed *)
+
+type ctx
+
+val create : mode:mode -> Constraint_store.t -> ctx
+
+val store : ctx -> Constraint_store.t
+(** The store after evaluation: the input store plus, in [Assume] mode,
+    every side condition the evaluated expressions required. *)
+
+val leaf : Tensor.t -> value
+(** The symbolic value of an input tensor: an opaque access into a cell
+    named after the tensor. Two leaves with the same name denote the
+    same tensor. *)
+
+val eval : ctx -> Expr.t -> (value, failure) result
+(** Evaluate an expression whose leaves become {!leaf} values. *)

@@ -182,6 +182,7 @@ let binary_concat_broadcast (name, op) =
              (List.map (fun x -> p op [ v "y"; x ]) (vars n))))
   in
   Lemma.make ~complexity:3
+    ~hints:[ Lemma.Broadcast_vars [ "y" ] ]
     (name ^ "-concat-broadcast")
     (for_arities lo hi gen_left @ for_arities lo hi gen_right)
 

@@ -94,7 +94,8 @@ let matmul_contraction_split =
         let* () = chunks_ok 0 in
         Some (p Op.Sum_n (List.map2 (fun x y -> p Op.Matmul [ x; y ]) xs ys)))
   in
-  Lemma.make ~complexity:5 "matmul-contraction-split" (for_arities lo hi gen)
+  Lemma.make ~complexity:5 ~hints:[ Lemma.Contraction ] "matmul-contraction-split"
+    (for_arities lo hi gen)
 
 (* transpose(matmul(x, y)) = matmul(transpose(y), transpose(x)), rank 2. *)
 let matmul_transpose =
@@ -297,7 +298,8 @@ let sum_of_replicas =
           [ (Pattern.c root, p (Op.Scale (Rat.of_int n)) [ v "x0" ]) ]
         else [])
   in
-  Lemma.make ~complexity:2 "sum-of-replicas" (for_arities lo hi gen)
+  Lemma.make ~complexity:2 ~hints:[ Lemma.Replicated ] "sum-of-replicas"
+    (for_arities lo hi gen)
 
 let lemmas =
   [

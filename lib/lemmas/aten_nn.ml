@@ -127,7 +127,9 @@ let rope_concat_rows =
         in
         Some (p (Op.Concat { dim = 0 }) (List.map2 chunk (vars n) offs)))
   in
-  Lemma.make ~complexity:6 "rope-concat-rows" (for_arities lo hi gen)
+  Lemma.make ~complexity:6
+    ~hints:[ Lemma.Rows; Lemma.Concrete_last 8 ]
+    "rope-concat-rows" (for_arities lo hi gen)
 
 (* Loss over a row-partitioned batch with equal chunks is the average of
    the per-chunk losses: the gradient-accumulation lemma (paper bug 6). *)
@@ -155,7 +157,12 @@ let loss_concat op_name op =
              (Op.Scale (Rat.make 1 n))
              [ p Op.Sum_n (List.map2 (fun x y -> p op [ x; y ]) xs ys) ]))
   in
-  Lemma.make ~complexity:5 (op_name ^ "-concat") (for_arities lo hi gen)
+  (* mse compares equal-shape chunk pairs; cross-entropy pairs a row
+     block with a rank-1 target vector, which is what Rows samples. *)
+  let pairing = if op = Op.Mse_loss then Lemma.Paired else Lemma.Rows in
+  Lemma.make ~complexity:5
+    ~hints:[ Lemma.Uniform_chunks; pairing ]
+    (op_name ^ "-concat") (for_arities lo hi gen)
 
 let lemmas =
   [

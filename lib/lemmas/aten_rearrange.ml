@@ -401,8 +401,27 @@ let pad_of_pad =
 
 (* --- pad -------------------------------------------------------------- *)
 
+(* Verifier refinement: constrain the sampled slice window to lie inside
+   the unpadded region, so the rule's guards hold in some scenario. *)
+let slice_of_pad_refine ctx store =
+  match (ctx.Lemma.op_of "sl", ctx.Lemma.op_of "pd") with
+  | ( Some (Op.Slice { start; stop; _ }),
+      Some (Op.Pad { dim; before; _ }) ) -> (
+      match ctx.Lemma.shape_of "x" with
+      | Some sx when dim < Shape.rank sx ->
+          let size = Shape.dim sx dim in
+          let store =
+            Constraint_store.add_ge store (Symdim.sub start before)
+          in
+          Constraint_store.add_ge store
+            (Symdim.sub (Symdim.add before size) stop)
+      | _ -> store)
+  | _ -> store
+
 let slice_of_pad =
-  Lemma.make ~klass:Lemma.Clean "slice-of-pad"
+  Lemma.make ~klass:Lemma.Clean
+    ~hints:[ Lemma.Refine slice_of_pad_refine ]
+    "slice-of-pad"
     [
       Rule.rewrite_to "slice-of-pad"
         (fam "slice" ~bind:"sl" [ fam "pad" ~bind:"pd" [ v "x" ] ])

@@ -94,7 +94,8 @@ let reduce_mean_concat_onaxis =
              (Op.Scale (Rat.make 1 n))
              [ p Op.Sum_n (List.map (fun x -> p op [ x ]) (vars n)) ]))
   in
-  Lemma.make ~complexity:4 "reduce-mean-concat-onaxis" (for_arities lo hi gen)
+  Lemma.make ~complexity:4 ~hints:[ Lemma.Uniform_chunks ]
+    "reduce-mean-concat-onaxis" (for_arities lo hi gen)
 
 (* slice(reduce(x, rd), d) = reduce(slice(x, d'), rd) when the sliced
    axis is not the reduced one. *)

@@ -1,6 +1,28 @@
+open Entangle_symbolic
+open Entangle_ir
 open Entangle_egraph
 
 type klass = Clean | Aten | Vllm | Hlo
+
+type refine_ctx = {
+  op_of : string -> Op.t option;
+  shape_of : string -> Shape.t option;
+}
+
+type hint =
+  | Paired
+  | Uniform_chunks
+  | Replicated
+  | Contraction
+  | Same_shape of string list list
+  | Vector_aux of string list
+  | Matrix_aux of string list
+  | Table_aux of string list
+  | Integer_vars of string list
+  | Broadcast_vars of string list
+  | Rows
+  | Concrete_last of int
+  | Refine of (refine_ctx -> Constraint_store.t -> Constraint_store.t)
 
 type t = {
   name : string;
@@ -8,6 +30,7 @@ type t = {
   loc : int;
   complexity : int;
   conditioned : bool;
+  hints : hint list;
   rules : Rule.t list;
 }
 
@@ -33,7 +56,8 @@ let derived_loc rules =
       + match r.applier with Rule.Syntactic _ -> 2 | Rule.Conditional _ -> 12)
     0 rules
 
-let make ?(klass = Aten) ?loc ?complexity ?conditioned name rules =
+let make ?(klass = Aten) ?loc ?complexity ?conditioned ?(hints = []) name rules
+    =
   let rules = List.map (fun (r : Rule.t) -> { r with Rule.name }) rules in
   let conditioned =
     match conditioned with
@@ -55,6 +79,7 @@ let make ?(klass = Aten) ?loc ?complexity ?conditioned name rules =
       | Some c -> c
       | None -> derived_complexity rules);
     conditioned;
+    hints;
     rules;
   }
 

@@ -8,6 +8,8 @@
     Figure 6 heatmap, the operator-count complexity of Figure 5a, and
     the lines of code of Figure 5b. *)
 
+open Entangle_symbolic
+open Entangle_ir
 open Entangle_egraph
 
 type klass =
@@ -16,12 +18,44 @@ type klass =
   | Vllm  (** lemmas for vLLM fused kernels *)
   | Hlo  (** lemmas for HLO / XLA operators *)
 
+type refine_ctx = {
+  op_of : string -> Op.t option;  (** binder name to chosen operator *)
+  shape_of : string -> Shape.t option;  (** variable name to chosen shape *)
+}
+
+(** Instantiation hints: a lemma's declared side-condition signature.
+
+    A hint tells both validators how the lemma author intends the rule to
+    be instantiated — which variables must share shapes, which are
+    integer index tensors, which auxiliary operands are weight vectors.
+    The numeric sampler ({!Lemma_check}) uses them to aim random draws at
+    configurations that actually fire the guards; the symbolic verifier
+    ({!Lemma_verify}) uses them to build scenarios whose side conditions
+    make the rule applicable for arbitrary symbolic dimensions. *)
+type hint =
+  | Paired  (** each [y<i>] mirrors the shape of [x<i>] *)
+  | Uniform_chunks  (** all enumerated chunk variables share one shape *)
+  | Replicated  (** every variable is the same tensor *)
+  | Contraction  (** matmul blocks: [x<i> : [m; k<i>]], [y<i> : [k<i>; n]] *)
+  | Same_shape of string list list  (** each group shares a shape *)
+  | Vector_aux of string list  (** rank-1, sized to the chunk's last dim *)
+  | Matrix_aux of string list  (** rank-2 with fresh dims (e.g. a table) *)
+  | Table_aux of string list
+      (** [[total chunk rows; chunk last dim]] (rope's cos/sin caches) *)
+  | Integer_vars of string list  (** integer dtype (ids, class targets) *)
+  | Broadcast_vars of string list  (** size 1 along the scenario axis *)
+  | Rows  (** chunk variables are rank-2 and split along dim 0 *)
+  | Concrete_last of int  (** pin the chunk's last dim to a constant *)
+  | Refine of (refine_ctx -> Constraint_store.t -> Constraint_store.t)
+      (** extra side-condition constraints over the scenario's store *)
+
 type t = {
   name : string;
   klass : klass;
   loc : int;  (** lines of code of the lemma's definition *)
   complexity : int;  (** operators appearing on both sides (Figure 5a) *)
   conditioned : bool;
+  hints : hint list;
   rules : Rule.t list;
 }
 
@@ -30,6 +64,7 @@ val make :
   ?loc:int ->
   ?complexity:int ->
   ?conditioned:bool ->
+  ?hints:hint list ->
   string ->
   Rule.t list ->
   t

@@ -40,8 +40,8 @@ let swiglu_concat =
           (p (Op.Concat { dim = dx })
              (List.map2 (fun x y -> p Op.Swiglu_fused [ x; y ]) xs ys)))
   in
-  Lemma.make ~klass:Lemma.Vllm ~complexity:4 "swiglu-concat"
-    (for_arities lo hi gen)
+  Lemma.make ~klass:Lemma.Vllm ~complexity:4 ~hints:[ Lemma.Paired ]
+    "swiglu-concat" (for_arities lo hi gen)
 
 (* swiglu over a fused gate-up projection: the gate and up halves are
    adjacent slices of one matmul output, as vLLM materializes them. *)

@@ -211,6 +211,49 @@ let lemma_tests =
         in
         let diags, _ = Lemma_check.audit ~seed:7 [ unsound ] in
         check Alcotest.bool "LEMMA100" true (has_code "LEMMA100" diags));
+    Alcotest.test_case "audit reseeds per rule: findings replay in isolation"
+      `Quick (fun () ->
+        (* A LEMMA100 report must reproduce from its printed coordinates
+           alone: the instantiations a lemma sees are a function of the
+           audit seed and the (lemma, rule, try) indices, never of how
+           many random draws other lemmas consumed. Auditing the lemma
+           inside a large corpus and auditing it alone must therefore
+           produce byte-identical diagnostics. *)
+        let unsound =
+          Entangle_lemmas.Lemma.make "bogus-sub-flip"
+            [
+              Rule.make "bogus-sub-flip"
+                (p Op.Sub [ v "x"; v "y" ])
+                (p Op.Sub [ v "y"; v "x" ]);
+            ]
+        in
+        let corpus =
+          List.filteri (fun i _ -> i < 10) Entangle_lemmas.Registry.all
+          @ [ unsound ]
+        in
+        let in_corpus, _ = Lemma_check.audit ~seed:7 corpus in
+        let alone, n = Lemma_check.audit_lemma ~seed:7 unsound in
+        check Alcotest.bool "exercised alone" true (n > 0);
+        let msgs ds =
+          List.filter_map
+            (fun d ->
+              if d.Diagnostic.code = "LEMMA100" then
+                Some (d.Diagnostic.loc, d.Diagnostic.message)
+              else None)
+            ds
+        in
+        let findings_alone = msgs alone in
+        check Alcotest.bool "found unsound" true (findings_alone <> []);
+        let in_corpus_for_lemma =
+          List.filter
+            (fun (loc, _) ->
+              match loc with
+              | Diagnostic.Lemma { lemma = "bogus-sub-flip"; _ } -> true
+              | _ -> false)
+            (msgs in_corpus)
+        in
+        check Alcotest.bool "identical findings" true
+          (findings_alone = in_corpus_for_lemma));
     Alcotest.test_case "sound lemmas pass the differential audit" `Quick
       (fun () ->
         let sound =

@@ -237,10 +237,109 @@ let model_arithmetic_tests =
         check Alcotest.bool "24sc/7" true (Symdim.div_int seq 7 = None));
   ]
 
+(* --- Decide soundness properties ---------------------------------------- *)
+
+(* Randomized soundness: build a store whose constraints hold at a
+   hidden witness assignment by construction, then check that anything
+   the engine claims to prove also holds at the witness. This can never
+   catch incompleteness (Unknown is always allowed) — only unsoundness,
+   which is the property the lemma verifier's refutation logic leans
+   on. *)
+let decide_property_tests =
+  let nsyms = 4 in
+  let sym_name i = Printf.sprintf "q%d" i in
+  let affine_gen =
+    QCheck.Gen.(
+      pair
+        (array_repeat nsyms (int_range (-3) 3))
+        (int_range (-5) 5))
+  in
+  let to_symdim (coeffs, c) =
+    Array.to_list coeffs
+    |> List.mapi (fun i k -> Symdim.mul_int k (Symdim.sym (sym_name i)))
+    |> List.fold_left Symdim.add (Symdim.of_int c)
+  in
+  let eval_affine witness (coeffs, c) =
+    c + Array.fold_left ( + ) 0 (Array.mapi (fun i k -> k * witness.(i)) coeffs)
+  in
+  let scenario_gen =
+    QCheck.Gen.(
+      triple
+        (array_repeat nsyms (int_range 0 5)) (* hidden witness *)
+        (list_size (int_range 0 6) affine_gen) (* store seeds *)
+        (pair affine_gen affine_gen)) (* queries *)
+  in
+  let scenario = QCheck.make scenario_gen in
+  (* every seed expression is anchored so it holds (tightly) at the
+     witness: e - e(witness) >= 0, occasionally strengthened to an
+     equality via add_eq *)
+  let build_store witness seeds =
+    List.fold_left
+      (fun (store, flip) e ->
+        let anchored =
+          Symdim.sub (to_symdim e) (Symdim.of_int (eval_affine witness e))
+        in
+        ( (if flip then Constraint_store.add_eq store anchored Symdim.zero
+           else Constraint_store.add_ge store anchored),
+          not flip ))
+      (Constraint_store.empty, false)
+      seeds
+    |> fst
+  in
+  [
+    qtest
+      (QCheck.Test.make ~name:"implies_ge Proved holds at the witness"
+         ~count:500 scenario (fun (witness, seeds, (qa, _)) ->
+           let store = build_store witness seeds in
+           match Decide.implies_ge store (to_symdim qa) with
+           | Decide.Unknown -> true
+           | Decide.Proved -> eval_affine witness qa >= 0));
+    qtest
+      (QCheck.Test.make ~name:"prove_eq holds at the witness" ~count:500
+         scenario (fun (witness, seeds, (qa, qb)) ->
+           let store = build_store witness seeds in
+           (not (Decide.prove_eq store (to_symdim qa) (to_symdim qb)))
+           || eval_affine witness qa = eval_affine witness qb));
+    qtest
+      (QCheck.Test.make ~name:"prove_lt never holds at a refuting witness"
+         ~count:500 scenario (fun (witness, seeds, (qa, qb)) ->
+           let store = build_store witness seeds in
+           (not (Decide.prove_lt store (to_symdim qa) (to_symdim qb)))
+           || eval_affine witness qa < eval_affine witness qb));
+    Alcotest.test_case "row budget degrades to Unknown, not a crash" `Quick
+      (fun () ->
+        (* A dense pairwise-difference system over 14 positive symbols:
+           Fourier-Motzkin elimination squares its row count past the
+           internal budget. The query IS entailed (each s_i >= 1, so
+           their sum exceeds 13), but the engine must give up with
+           Unknown instead of raising Budget_exceeded or diverging. *)
+        let n = 14 in
+        let s i = Symdim.sym (Printf.sprintf "b%d" i) in
+        let store = ref Constraint_store.empty in
+        for i = 0 to n - 1 do
+          store := Constraint_store.add_positive !store (Printf.sprintf "b%d" i)
+        done;
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if i <> j then
+              store :=
+                Constraint_store.add_ge !store
+                  (Symdim.add (Symdim.sub (s i) (s j)) (Symdim.of_int 5))
+          done
+        done;
+        let total =
+          List.fold_left Symdim.add Symdim.zero (List.init n s)
+        in
+        let query = Symdim.sub total (Symdim.of_int n) in
+        check Alcotest.bool "budget fallback" true
+          (Decide.implies_ge !store query = Decide.Unknown));
+  ]
+
 let suite =
   [
     ("symbolic.rat", rat_tests);
     ("symbolic.symdim", symdim_tests);
     ("symbolic.decide", decide_tests);
+    ("symbolic.decide-properties", decide_property_tests);
     ("symbolic.model-arithmetic", model_arithmetic_tests);
   ]

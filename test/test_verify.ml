@@ -1,0 +1,238 @@
+(* Tests for the symbolic bounded lemma verifier and the coverage gate:
+   the shipped corpus must verify with no refutations, deliberately
+   unsound rules must be rejected with concrete counterexamples, and the
+   waiver plumbing must catch gaps and stale entries. *)
+
+open Entangle_symbolic
+open Entangle_ir
+open Entangle_egraph
+open Entangle_lemmas
+open Entangle_analysis
+
+let check = Alcotest.check
+let codes ds = List.map (fun d -> d.Diagnostic.code) ds
+let has_code c ds = List.mem c (codes ds)
+let v x = Pattern.V x
+let p op args = Pattern.P (Pattern.Fixed op, args)
+
+(* The corpus verification is the expensive fixture; run it once. *)
+let corpus_result = lazy (Lemma_verify.verify Registry.all)
+
+let count_verdict vd (report : Lemma_verify.report) =
+  List.length
+    (List.filter
+       (fun (lr : Lemma_verify.lemma_report) -> lr.verdict = vd)
+       report.lemmas)
+
+let corpus_tests =
+  [
+    Alcotest.test_case "corpus has no refuted or vacuous lemma" `Quick
+      (fun () ->
+        let diags, report = Lazy.force corpus_result in
+        check Alcotest.int "refuted" 0
+          (count_verdict Lemma_verify.V_refuted report);
+        check Alcotest.int "vacuous" 0
+          (count_verdict Lemma_verify.V_vacuous report);
+        check Alcotest.int "errors" 0 (Diagnostic.count_errors diags));
+    Alcotest.test_case "at least 60 lemmas verify symbolically" `Quick
+      (fun () ->
+        let _, report = Lazy.force corpus_result in
+        let verified = count_verdict Lemma_verify.V_verified report in
+        check Alcotest.bool
+          (Printf.sprintf "%d verified" verified)
+          true (verified >= 60));
+    Alcotest.test_case "every lemma is classified" `Quick (fun () ->
+        let _, report = Lazy.force corpus_result in
+        check Alcotest.int "one report per lemma"
+          (List.length Registry.all)
+          (List.length report.lemmas);
+        (* every rule of every lemma got an explicit status *)
+        List.iter2
+          (fun (l : Lemma.t) (lr : Lemma_verify.lemma_report) ->
+            check Alcotest.string "order" l.name lr.lemma;
+            check Alcotest.int "one status per rule" (List.length l.rules)
+              (List.length lr.rules))
+          Registry.all report.lemmas);
+    Alcotest.test_case "unsupported lemmas are exactly the reshape ones"
+      `Quick (fun () ->
+        let diags, report = Lazy.force corpus_result in
+        let unsupported =
+          List.filter_map
+            (fun (lr : Lemma_verify.lemma_report) ->
+              if lr.verdict = Lemma_verify.V_unsupported then Some lr.lemma
+              else None)
+            report.lemmas
+        in
+        check
+          Alcotest.(list string)
+          "unsupported"
+          [ "reshape-of-reshape"; "reshape-identity" ]
+          unsupported;
+        check Alcotest.bool "LEMMA210 emitted" true (has_code "LEMMA210" diags));
+  ]
+
+(* --- injected unsound lemmas ------------------------------------------- *)
+
+(* add(x, y) -> sub(x, y): well-typed and shape-sound everywhere, but
+   wrong on values whenever y <> 0. *)
+let bogus_value_lemma =
+  Lemma.make "bogus-add-is-sub"
+    [ Rule.make "bogus-add-is-sub" (p Op.Add [ v "x"; v "y" ]) (p Op.Sub [ v "x"; v "y" ]) ]
+
+(* identity(x) -> pad(x, +1): always well-typed, never the same shape. *)
+let bogus_shape_lemma =
+  Lemma.make "bogus-identity-grows"
+    [
+      Rule.make "bogus-identity-grows"
+        (p Op.Identity [ v "x" ])
+        (p (Op.Pad { dim = 0; before = Symdim.zero; after = Symdim.one })
+           [ v "x" ]);
+    ]
+
+let find_msg code diags =
+  List.find_map
+    (fun d ->
+      if d.Diagnostic.code = code then Some d.Diagnostic.message else None)
+    diags
+
+let injected_tests =
+  [
+    Alcotest.test_case "value-unsound rule refuted with counterexample"
+      `Quick (fun () ->
+        let diags, lr = Lemma_verify.verify_lemma bogus_value_lemma in
+        check Alcotest.bool "verdict refuted" true
+          (lr.Lemma_verify.verdict = Lemma_verify.V_refuted);
+        match find_msg "LEMMA202" diags with
+        | None -> Alcotest.fail "expected a LEMMA202 error"
+        | Some msg ->
+            (* the report must reproduce: concrete dims, a data seed and
+               the two expressions *)
+            let contains affix =
+              let n = String.length affix and m = String.length msg in
+              let rec go i =
+                i + n <= m && (String.sub msg i n = affix || go (i + 1))
+              in
+              go 0
+            in
+            check Alcotest.bool "names a data seed" true (contains "seed");
+            check Alcotest.bool "shows a dimension assignment" true
+              (contains "=");
+            check Alcotest.bool "shows both sides" true (contains "=/="));
+    Alcotest.test_case "shape-unsound rule refuted as LEMMA200" `Quick
+      (fun () ->
+        let diags, lr = Lemma_verify.verify_lemma bogus_shape_lemma in
+        check Alcotest.bool "verdict refuted" true
+          (lr.Lemma_verify.verdict = Lemma_verify.V_refuted);
+        check Alcotest.bool "LEMMA200 emitted" true (has_code "LEMMA200" diags));
+    Alcotest.test_case "sound universal rule still verifies" `Quick (fun () ->
+        (* control: the same harness proves a correct rule *)
+        let ok =
+          Lemma.make "ctl-add-comm"
+            [ Rule.make "ctl-add-comm" (p Op.Add [ v "x"; v "y" ]) (p Op.Add [ v "y"; v "x" ]) ]
+        in
+        let diags, lr = Lemma_verify.verify_lemma ok in
+        check Alcotest.int "no diagnostics" 0 (List.length diags);
+        check Alcotest.bool "verified" true
+          (lr.Lemma_verify.verdict = Lemma_verify.V_verified));
+  ]
+
+(* --- waivers and the coverage gate -------------------------------------- *)
+
+let mk_report verdicts =
+  {
+    Lemma_verify.rank_bound = 2;
+    lemmas =
+      List.map
+        (fun (name, verdict) ->
+          {
+            Lemma_verify.lemma = name;
+            klass = Lemma.Aten;
+            verdict;
+            rules = [];
+            scenarios = 0;
+            proved = 0;
+          })
+        verdicts;
+  }
+
+let mk_stats ~unexercised names =
+  {
+    Lemma_check.lemmas_audited = List.length names;
+    lemmas_exercised = List.length names - List.length unexercised;
+    comparisons = 0;
+    unexercised;
+  }
+
+let waiver_tests =
+  [
+    Alcotest.test_case "waiver file parses with comments" `Quick (fun () ->
+        match
+          Lint.parse_waivers
+            "# header\n\nfoo-lemma: some reason # trailing\nbar: why not\n"
+        with
+        | Ok [ ("foo-lemma", "some reason"); ("bar", "why not") ] -> ()
+        | Ok other ->
+            Alcotest.failf "unexpected entries: %d" (List.length other)
+        | Error e -> Alcotest.failf "parse failed: %s" e);
+    Alcotest.test_case "malformed waiver line is rejected" `Quick (fun () ->
+        match Lint.parse_waivers "not a waiver line\n" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected a parse error");
+    Alcotest.test_case "uncovered lemma is a LEMMA203 gap" `Quick (fun () ->
+        let report = mk_report [ ("gap", Lemma_verify.V_unattempted) ] in
+        let stats = mk_stats ~unexercised:[ "gap" ] [ "gap" ] in
+        let diags, cover = Lint.coverage ~report ~stats ~waivers:[] in
+        check Alcotest.bool "LEMMA203" true (has_code "LEMMA203" diags);
+        check Alcotest.int "gap counted" 1 cover.Lint.gaps;
+        check Alcotest.int "exit 1" 1 (Lint.exit_code diags));
+    Alcotest.test_case "waiver closes the gap" `Quick (fun () ->
+        let report = mk_report [ ("gap", Lemma_verify.V_unattempted) ] in
+        let stats = mk_stats ~unexercised:[ "gap" ] [ "gap" ] in
+        let diags, cover =
+          Lint.coverage ~report ~stats ~waivers:[ ("gap", "known hole") ]
+        in
+        check Alcotest.bool "no LEMMA203" false (has_code "LEMMA203" diags);
+        check Alcotest.int "no gaps" 0 cover.Lint.gaps;
+        check Alcotest.int "exit 0" 0 (Lint.exit_code diags));
+    Alcotest.test_case "numeric exercise alone covers a lemma" `Quick
+      (fun () ->
+        let report = mk_report [ ("numonly", Lemma_verify.V_undecided) ] in
+        let stats = mk_stats ~unexercised:[] [ "numonly" ] in
+        let diags, _ = Lint.coverage ~report ~stats ~waivers:[] in
+        check Alcotest.bool "no LEMMA203" false (has_code "LEMMA203" diags));
+    Alcotest.test_case "stale and unknown waivers warn as LEMMA204" `Quick
+      (fun () ->
+        let report = mk_report [ ("proved", Lemma_verify.V_verified) ] in
+        let stats = mk_stats ~unexercised:[] [ "proved" ] in
+        let diags, _ =
+          Lint.coverage ~report ~stats
+            ~waivers:[ ("proved", "stale"); ("no-such-lemma", "ghost") ]
+        in
+        let lemma204 =
+          List.filter (fun d -> d.Diagnostic.code = "LEMMA204") diags
+        in
+        check Alcotest.int "two warnings" 2 (List.length lemma204);
+        check Alcotest.int "warnings don't fail lint" 0 (Lint.exit_code diags));
+    Alcotest.test_case "shipped waiver file covers the shipped corpus" `Quick
+      (fun () ->
+        (* the end-to-end @lint contract: corpus + audit + checked-in
+           waivers = zero gaps *)
+        let _, report = Lazy.force corpus_result in
+        let _, stats = Lemma_check.audit ~seed:42 Registry.all in
+        let waivers =
+          [
+            ("reshape-of-reshape", "outside the symbolic fragment");
+            ("reshape-identity", "outside the symbolic fragment");
+          ]
+        in
+        let diags, cover = Lint.coverage ~report ~stats ~waivers in
+        check Alcotest.int "no gaps" 0 cover.Lint.gaps;
+        check Alcotest.int "no errors" 0 (Diagnostic.count_errors diags));
+  ]
+
+let suite =
+  [
+    ("verify:corpus", corpus_tests);
+    ("verify:injected", injected_tests);
+    ("verify:waivers", waiver_tests);
+  ]
