@@ -30,6 +30,7 @@ module Output_opts = struct
     cache_dir : string option;
     no_cache : bool;
     cache_verify : bool;
+    jobs : int;
   }
 
   let term =
@@ -128,8 +129,18 @@ module Output_opts = struct
       in
       Arg.(value & flag & info [ "cache-verify" ] ~doc)
     in
+    let jobs =
+      let doc =
+        "Check operators on $(docv) OCaml domains. Only operators with \
+         no dependency between them and disjoint distributed cones run \
+         concurrently, and results merge in topological order, so \
+         verdicts, statistics and cache contents are identical to \
+         $(b,-j 1) (the default, which runs the exact sequential loop)."
+      in
+      Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+    in
     let make verbose json trace profile deadline op_deadline keep_going
-        no_retries failpoints cache_dir no_cache cache_verify =
+        no_retries failpoints cache_dir no_cache cache_verify jobs =
       {
         verbose;
         json;
@@ -143,12 +154,13 @@ module Output_opts = struct
         cache_dir;
         no_cache;
         cache_verify;
+        jobs;
       }
     in
     Term.(
       const make $ verbose $ json $ trace $ profile $ deadline $ op_deadline
       $ keep_going $ no_retries $ failpoints $ cache_dir $ no_cache
-      $ cache_verify)
+      $ cache_verify $ jobs)
 
   (* Set up the sinks the options ask for, run [f] with the combined
      sink, then finish the trace file and print the profile. The
@@ -224,6 +236,7 @@ module Output_opts = struct
     |> Entangle.Config.with_keep_going o.keep_going
     |> Entangle.Config.with_cache cache
     |> Entangle.Config.with_cache_verify o.cache_verify
+    |> Entangle.Config.with_jobs o.jobs
     |> fun c ->
     if o.no_retries then Entangle.Config.with_escalation [] c else c
 end

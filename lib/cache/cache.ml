@@ -92,37 +92,44 @@ let context (t : t) ~config_fp ~whole_graph ~rules ~gs ~gd =
 (* The distributed cone: the node set the frontier loop (Listing 3)
    would load, replayed as a pure tensor-set fixpoint — the loop's
    membership tests never consult the e-graph, so the loaded set is a
-   function of the anchor tensors and the distributed graph alone. *)
+   function of the anchor tensors and the distributed graph alone.
+   Exposed on its own because the parallel wavefront scheduler reuses
+   it: two sequential operators whose cones are disjoint load no common
+   distributed node and may be checked concurrently. *)
+let cone ~gd ~whole_graph ~anchors =
+  let gd_nodes = Graph.nodes gd in
+  if whole_graph then gd_nodes
+  else begin
+    let t_rel = ref anchors in
+    let explored = Hashtbl.create 64 in
+    let acc = ref [] in
+    let continue = ref true in
+    while !continue do
+      let frontier =
+        List.filter
+          (fun n ->
+            (not (Hashtbl.mem explored (Node.id n)))
+            && List.for_all
+                 (fun tensor -> Tensor.Set.mem tensor !t_rel)
+                 (Node.inputs n))
+          gd_nodes
+      in
+      if frontier = [] then continue := false
+      else
+        List.iter
+          (fun n ->
+            Hashtbl.replace explored (Node.id n) ();
+            acc := n :: !acc;
+            t_rel := Tensor.Set.add (Node.output n) !t_rel)
+          frontier
+    done;
+    !acc
+  end
+
 let cone_fp ctx ~anchors =
-  let gd_nodes = Graph.nodes ctx.gd in
   let node_fps =
-    if ctx.whole_graph then List.map (Fingerprint.node ctx.gd_env) gd_nodes
-    else begin
-      let t_rel = ref anchors in
-      let explored = Hashtbl.create 64 in
-      let acc = ref [] in
-      let continue = ref true in
-      while !continue do
-        let frontier =
-          List.filter
-            (fun n ->
-              (not (Hashtbl.mem explored (Node.id n)))
-              && List.for_all
-                   (fun tensor -> Tensor.Set.mem tensor !t_rel)
-                   (Node.inputs n))
-            gd_nodes
-        in
-        if frontier = [] then continue := false
-        else
-          List.iter
-            (fun n ->
-              Hashtbl.replace explored (Node.id n) ();
-              acc := Fingerprint.node ctx.gd_env n :: !acc;
-              t_rel := Tensor.Set.add (Node.output n) !t_rel)
-            frontier
-      done;
-      !acc
-    end
+    List.map (Fingerprint.node ctx.gd_env)
+      (cone ~gd:ctx.gd ~whole_graph:ctx.whole_graph ~anchors)
   in
   Fingerprint.strings
     (List.sort String.compare (List.map Fingerprint.to_hex node_fps))

@@ -1,7 +1,13 @@
 let version = "entangle-cache/1"
 let version_prefix = "entangle-cache/"
 
-type t = { dir : string }
+(* [lock] serializes get/put: entries are one file each and writes are
+   atomic renames, so concurrent access would not corrupt the store,
+   but the parallel checker's domains share one handle and the lock
+   keeps the read-then-quarantine/stale-removal paths free of
+   same-file races. Maintenance walks (stats/clear/verify) stay
+   unguarded — they are CLI-only and never run during a check. *)
+type t = { dir : string; lock : Mutex.t }
 
 let dir t = t.dir
 let objects_dir t = Filename.concat t.dir "objects"
@@ -32,7 +38,7 @@ let rec mkdir_p d =
 
 let open_ ?dir () =
   let dir = match dir with Some d -> d | None -> default_dir () in
-  let t = { dir } in
+  let t = { dir; lock = Mutex.create () } in
   mkdir_p (objects_dir t);
   mkdir_p (tmp_dir t);
   mkdir_p (quarantine_dir t);
@@ -71,7 +77,12 @@ let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let get t ~key =
+  locked t @@ fun () ->
   let p = path t key in
   if not (Sys.file_exists p) then None
   else
@@ -101,6 +112,7 @@ let get t ~key =
             end)
 
 let put t ~key payload =
+  locked t @@ fun () ->
   try
     let target = path t key in
     mkdir_p (Filename.dirname target);

@@ -28,6 +28,7 @@ type t = {
   keep_going : bool;
   cache : Entangle_cache.Cache.t option;
   cache_verify : bool;
+  jobs : int;
 }
 
 let default =
@@ -47,6 +48,7 @@ let default =
     keep_going = false;
     cache = None;
     cache_verify = false;
+    jobs = 1;
   }
 
 let no_frontier = { default with frontier_optimization = false }
@@ -69,6 +71,7 @@ let with_escalation escalation t = { t with escalation }
 let with_keep_going keep_going t = { t with keep_going }
 let with_cache cache t = { t with cache }
 let with_cache_verify cache_verify t = { t with cache_verify }
+let with_jobs jobs t = { t with jobs = max 1 jobs }
 
 (* What the certificate cache must key on: every configuration field
    that can change which mappings the per-operator search finds or
@@ -78,7 +81,10 @@ let with_cache_verify cache_verify t = { t with cache_verify }
    outcome. [lint_graphs], [keep_going], [trace] and
    [check_egraph_invariants] do not influence the search either (the
    invariant audit can only raise, which is an uncacheable [Internal]
-   verdict). *)
+   verdict). [jobs] is likewise excluded: parallel scheduling changes
+   only execution order, and every per-operator search sees the same
+   seeds and cone regardless of job count — cache keys must not churn
+   when users flip [-j]. *)
 let search_fingerprint t =
   let scheduler_name = function
     | Runner.Simple -> "simple"

@@ -187,6 +187,17 @@ val check :
     unchanged, cached or not. Cache activity shows up as [cat:"cache"]
     trace events, in [stats], and per-operator in [cache_provenance].
 
+    Parallelism: with [config.Config.jobs = n > 1], operators are
+    checked by a pool of [n] domains, scheduled by {!Wavefront} —
+    concurrently only when they have no sequential-graph dependency and
+    their distributed cones are disjoint. Results (relation updates,
+    verdicts, stats, cache reads/writes, provenance) commit at wavefront
+    joins in topological order, so everything observable except wall
+    time and trace-event timestamps/interleaving is identical to
+    [jobs = 1]; a fatal fault discards all speculative work past it.
+    [jobs = 1] (the default) runs the original sequential loop
+    unchanged — byte-identical traces.
+
     Diagnostics flow through [config.Config.trace]
     ({!Entangle_trace.Sink}): per-operator spans with
     frontier/saturate/extract phases, per-iteration saturation

@@ -1,0 +1,96 @@
+open Entangle_ir
+module Cache = Entangle_cache.Cache
+module Int_set = Set.Make (Int)
+
+type t = {
+  ops : Node.t array;
+  producer : int Tensor.Map.t;  (* output tensor -> producing index *)
+  gd : Graph.t;
+  whole_graph : bool;
+}
+
+let create ~gs ~gd ~whole_graph =
+  let ops = Array.of_list (Graph.nodes gs) in
+  let producer =
+    Array.to_seq ops
+    |> Seq.mapi (fun i v -> (Node.output v, i))
+    |> Tensor.Map.of_seq
+  in
+  { ops; producer; gd; whole_graph }
+
+let ops t = t.ops
+
+type cone = Int_set.t
+
+let cone t ~relation i =
+  let v = t.ops.(i) in
+  let anchors =
+    List.fold_left
+      (fun acc tensor ->
+        List.fold_left
+          (fun acc expr ->
+            List.fold_left
+              (fun acc leaf ->
+                if Graph.mem_tensor t.gd leaf then Tensor.Set.add leaf acc
+                else acc)
+              acc (Expr.leaves expr))
+          acc
+          (Relation.find relation tensor))
+      Tensor.Set.empty (Node.inputs v)
+  in
+  List.fold_left
+    (fun acc n -> Int_set.add (Node.id n) acc)
+    Int_set.empty
+    (Cache.cone ~gd:t.gd ~whole_graph:t.whole_graph ~anchors)
+
+let disjoint = Int_set.disjoint
+let cone_ids = Int_set.elements
+
+let ready t ~committed ~started =
+  let ready_one i v =
+    (not started.(i))
+    && List.for_all
+         (fun tensor ->
+           match Tensor.Map.find_opt tensor t.producer with
+           | Some p -> committed.(p)
+           | None -> true)
+         (Node.inputs v)
+  in
+  let acc = ref [] in
+  for i = Array.length t.ops - 1 downto 0 do
+    if ready_one i t.ops.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let depends t j i =
+  (* DFS up the producer edges from [j]; graphs are acyclic and small
+     (this is test support, not the scheduler hot path). *)
+  let seen = Hashtbl.create 16 in
+  let rec up k =
+    k = i
+    || (not (Hashtbl.mem seen k))
+       && begin
+            Hashtbl.replace seen k ();
+            List.exists
+              (fun tensor ->
+                match Tensor.Map.find_opt tensor t.producer with
+                | Some p -> up p
+                | None -> false)
+              (Node.inputs t.ops.(k))
+          end
+  in
+  j <> i && up j
+
+let batch candidates =
+  let taken = ref Int_set.empty in
+  let selected, deferred =
+    List.partition
+      (fun (_, c) ->
+        if Int_set.disjoint c !taken then begin
+          taken := Int_set.union c !taken;
+          true
+        end
+        else false)
+      candidates
+  in
+  (List.map fst selected, List.map fst deferred)

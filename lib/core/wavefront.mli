@@ -1,0 +1,70 @@
+(** Cone-disjoint wavefront scheduling for the parallel checker.
+
+    [Refine.check] with [jobs > 1] repeatedly asks this module which
+    operators may run concurrently. The answer combines two
+    independence conditions:
+
+    - {b no sequential-graph dependency}: an operator is {!ready} only
+      once the producer of each of its inputs has had its result
+      committed, so every scheduled set is an antichain of the
+      sequential graph's dependency order;
+    - {b disjoint distributed cones}: within the ready antichain,
+      {!batch} greedily (in topological-index order) selects operators
+      whose frontier cones ({!Cache.cone} — the distributed node set
+      each per-operator e-graph will load) are pairwise disjoint.
+      Operators whose cones intersect share distributed state and are
+      deferred to a later wave.
+
+    Everything here is pure bookkeeping over immutable graphs and the
+    committed relation — the property tests re-derive both conditions
+    independently and check every batch against them.
+
+    With the frontier optimization off ([whole_graph]), every cone is
+    the entire distributed graph, so batches degrade to singletons and
+    [jobs > 1] executes sequentially through the pool. *)
+
+open Entangle_ir
+module Cache = Entangle_cache.Cache
+
+type t
+
+val create : gs:Graph.t -> gd:Graph.t -> whole_graph:bool -> t
+(** Snapshot the scheduling inputs. Operator indices throughout are
+    positions in [Graph.nodes gs] — the same topological order (and
+    the same [index] trace argument) the sequential loop uses. *)
+
+val ops : t -> Node.t array
+(** The sequential operators, in topological order. *)
+
+type cone
+(** One operator's distributed cone, as a set of [gd] node ids. *)
+
+val cone : t -> relation:Relation.t -> int -> cone
+(** The cone of operator [i] given the committed relation: anchors are
+    the distributed leaves of the relation's mappings for [i]'s inputs
+    (exactly the frontier loop's initial T_rel), grown to the
+    {!Cache.cone} fixpoint. *)
+
+val disjoint : cone -> cone -> bool
+
+val cone_ids : cone -> int list
+(** The distributed node ids of the cone, ascending (for tests). *)
+
+val ready : t -> committed:bool array -> started:bool array -> int list
+(** Indices, ascending, of operators not yet started whose every
+    produced input has a committed producer. Inputs no operator
+    produces (graph inputs, or tensors missing from the relation
+    entirely) never block readiness — a missing mapping surfaces as
+    the same per-operator error the sequential loop reports. *)
+
+val depends : t -> int -> int -> bool
+(** [depends t j i]: operator [j] transitively consumes (directly or
+    through intermediate operators) the output of operator [i] in the
+    sequential graph. Used by the property tests to assert batches are
+    antichains; [ready] never schedules a dependent pair. *)
+
+val batch : (int * cone) list -> int list * int list
+(** Greedy cone-disjoint selection, preserving the given order: an
+    operator joins the batch iff its cone is disjoint from every cone
+    already in it. Returns (batch, deferred); [batch] is nonempty when
+    the input is. *)

@@ -10,43 +10,66 @@ let () =
     | Injected name -> Some ("injected fault (failpoint " ^ name ^ ")")
     | _ -> None)
 
+(* [rng] is a DLS key, not a shared [Random.State.t]: each domain draws
+   from its own stream, seeded [seed lxor domain-id], so a [Prob]
+   failpoint is deterministic per (seed, domain) and free of data races.
+   The initial domain has id 0 — [seed lxor 0 = seed] — so single-domain
+   runs reproduce the pre-parallelism sequences exactly. Arming mints a
+   fresh key, which resets every domain's stream at once. *)
 type state = {
   trigger : trigger;
-  rng : Random.State.t option;  (* [Prob] only *)
+  rng : Random.State.t Domain.DLS.key option;  (* [Prob] only *)
 }
 
 type t = {
   name : string;
   doc : string;
-  mutable hits : int;
-  mutable fired : int;
-  mutable armed : state option;
+  hits : int Atomic.t;
+  fired : int Atomic.t;
+  armed : state option Atomic.t;
 }
 
 (* Failpoints declare themselves at library-initialization time, so a
    spec can name a point that has not been declared yet (the CLI parses
    [--failpoints] before any checker library initializes nothing — but
    test harnesses activate specs between runs). Pending triggers are
-   handed over on declaration. *)
+   handed over on declaration. The registry mutex covers declaration and
+   (re)arming only; [hit] never takes it. *)
 let registry : (string, t) Hashtbl.t = Hashtbl.create 16
 let pending : (string, trigger) Hashtbl.t = Hashtbl.create 16
+let registry_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
 let state_of name = function
   | Prob (_, seed) ->
-      ignore name;
-      Some (Random.State.make [| seed; Hashtbl.hash name |])
+      Some
+        (Domain.DLS.new_key (fun () ->
+             let d = (Domain.self () :> int) in
+             Random.State.make [| seed lxor d; Hashtbl.hash name |]))
   | Nth _ | Every _ -> None
 
 let arm fp trigger =
-  fp.hits <- 0;
-  fp.fired <- 0;
-  fp.armed <- Some { trigger; rng = state_of fp.name trigger }
+  Atomic.set fp.hits 0;
+  Atomic.set fp.fired 0;
+  Atomic.set fp.armed (Some { trigger; rng = state_of fp.name trigger })
 
 let declare ?(doc = "") name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some fp -> fp
   | None ->
-      let fp = { name; doc; hits = 0; fired = 0; armed = None } in
+      let fp =
+        {
+          name;
+          doc;
+          hits = Atomic.make 0;
+          fired = Atomic.make 0;
+          armed = Atomic.make None;
+        }
+      in
       Hashtbl.replace registry name fp;
       (match Hashtbl.find_opt pending name with
       | Some trigger ->
@@ -56,22 +79,23 @@ let declare ?(doc = "") name =
       fp
 
 let fire fp =
-  fp.fired <- fp.fired + 1;
+  Atomic.incr fp.fired;
   raise (Injected fp.name)
 
 (* The hot-path guard: one load and one branch when the failpoint is
    disarmed, which is the production state. *)
 let hit fp =
-  match fp.armed with
+  match Atomic.get fp.armed with
   | None -> ()
   | Some st -> (
-      fp.hits <- fp.hits + 1;
+      let hits = Atomic.fetch_and_add fp.hits 1 + 1 in
       match st.trigger with
-      | Nth n -> if fp.hits = n then fire fp
-      | Every k -> if k > 0 && fp.hits mod k = 0 then fire fp
+      | Nth n -> if hits = n then fire fp
+      | Every k -> if k > 0 && hits mod k = 0 then fire fp
       | Prob (p, _) -> (
           match st.rng with
-          | Some rng -> if Random.State.float rng 1.0 < p then fire fp
+          | Some key ->
+              if Random.State.float (Domain.DLS.get key) 1.0 < p then fire fp
           | None -> ()))
 
 let guard fp f = hit fp; f ()
@@ -79,27 +103,27 @@ let guard fp f = hit fp; f ()
 (* --- activation ------------------------------------------------------- *)
 
 let set name trigger =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some fp -> arm fp trigger
   | None -> Hashtbl.replace pending name trigger
 
+let disarm fp =
+  Atomic.set fp.armed None;
+  Atomic.set fp.hits 0;
+  Atomic.set fp.fired 0
+
 let clear_one name =
+  locked @@ fun () ->
   Hashtbl.remove pending name;
   match Hashtbl.find_opt registry name with
-  | Some fp ->
-      fp.armed <- None;
-      fp.hits <- 0;
-      fp.fired <- 0
+  | Some fp -> disarm fp
   | None -> ()
 
 let clear () =
+  locked @@ fun () ->
   Hashtbl.reset pending;
-  Hashtbl.iter
-    (fun _ fp ->
-      fp.armed <- None;
-      fp.hits <- 0;
-      fp.fired <- 0)
-    registry
+  Hashtbl.iter (fun _ fp -> disarm fp) registry
 
 (* Spec grammar (documented in the interface):
      spec    ::= entry ("," entry)*
@@ -177,12 +201,12 @@ let () = ignore (activate_from_env ())
 (* --- introspection ----------------------------------------------------- *)
 
 let name fp = fp.name
-let hits fp = fp.hits
-let fired fp = fp.fired
-let armed fp = fp.armed <> None
+let hits fp = Atomic.get fp.hits
+let fired fp = Atomic.get fp.fired
+let armed fp = Atomic.get fp.armed <> None
 
 let catalog () =
-  Hashtbl.fold (fun _ fp acc -> fp :: acc) registry []
+  locked (fun () -> Hashtbl.fold (fun _ fp acc -> fp :: acc) registry [])
   |> List.sort (fun a b -> String.compare a.name b.name)
 
 let names () = List.map (fun fp -> fp.name) (catalog ())

@@ -23,7 +23,15 @@ trigger ::= "nth:" N        fire exactly on the Nth hit (1-based)
           | "prob:" P["@"S] fire with probability P (seeded by S)
           | "off"           disarm v}
 
-    Example: [egraph.rebuild=nth:3,symbolic.decide=prob:0.01@42]. *)
+    Example: [egraph.rebuild=nth:3,symbolic.decide=prob:0.01@42].
+
+    {b Domain safety}: counters are atomic and [prob] triggers draw
+    from a per-domain stream seeded [S lxor domain-id] (the initial
+    domain has id 0, so single-domain runs reproduce the exact
+    pre-parallelism sequences). Under [-j N] the {e aggregate} hit
+    count is exact, but which hit index a given domain observes
+    depends on scheduling — so [nth]/[every] fire deterministically
+    only in single-domain runs. *)
 
 type trigger =
   | Nth of int  (** fire exactly on the nth hit, counting from 1 *)

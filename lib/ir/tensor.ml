@@ -2,11 +2,12 @@ type id = int
 
 type t = { id : id; name : string; shape : Shape.t; dtype : Dtype.t }
 
-let counter = ref 0
+(* Atomic so parallel checking domains can allocate tensors without
+   racing on ids (ids need only be unique, not dense). *)
+let counter = Atomic.make 0
 
 let create ?(dtype = Dtype.F32) ~name shape =
-  incr counter;
-  { id = !counter; name; shape; dtype }
+  { id = Atomic.fetch_and_add counter 1 + 1; name; shape; dtype }
 
 let id t = t.id
 let name t = t.name

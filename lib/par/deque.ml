@@ -1,0 +1,94 @@
+(* Chase–Lev dynamic circular work-stealing deque on OCaml 5 atomics.
+
+   [top] only ever increases (steals and the owner's last-element pop
+   advance it); [bottom] is owner-written. Both are Atomic.t — OCaml's
+   sequentially-consistent atomics are stronger than the fences of the
+   original paper, which keeps the invariants easy to state:
+
+     - elements live at indices [top, bottom);
+     - a slot is never overwritten while any thief may still read it:
+       [push] writes at [bottom] which no thief reads (steals read
+       below [bottom]), and growth copies to a fresh buffer, so a
+       thief racing a grow reads a stale-but-correct element and its
+       CAS on [top] decides ownership;
+     - exactly one party wins each element: thieves and the
+       last-element [pop] race through CAS on [top]. *)
+
+type 'a buffer = { mask : int; slots : 'a Option.t array }
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  mutable buf : 'a buffer;  (* owner-written; racy reads are safe *)
+}
+
+let buffer capacity =
+  (* power of two so index wrap is a mask *)
+  let rec pow2 n = if n >= capacity then n else pow2 (n * 2) in
+  let cap = pow2 16 in
+  { mask = cap - 1; slots = Array.make cap None }
+
+let create ?(capacity = 16) () =
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = buffer capacity }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+let get buf i = buf.slots.(i land buf.mask)
+let set buf i v = buf.slots.(i land buf.mask) <- v
+
+let grow t ~top ~bottom =
+  let old = t.buf in
+  let fresh = buffer ((old.mask + 1) * 2) in
+  for i = top to bottom - 1 do
+    set fresh i (get old i)
+  done;
+  t.buf <- fresh
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  if b - tp > t.buf.mask then grow t ~top:tp ~bottom:b;
+  set t.buf b (Some v);
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  (* Publish the claim on slot [b] before re-reading [top]: a thief
+     that reads the lowered bottom backs off this slot. *)
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if tp > b then begin
+    (* Empty: undo the claim. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else
+    let v = get t.buf b in
+    if tp < b then begin
+      (* More than one element: the slot is unambiguously ours. *)
+      set t.buf b None;
+      v
+    end
+    else begin
+      (* Last element: race any thief for it via [top]. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        set t.buf b None;
+        v
+      end
+      else None
+    end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then `Empty
+  else
+    (* Read the element before the CAS: a successful CAS on [top]
+       makes the read retroactively ours (the owner cannot have
+       overwritten it — pushes only touch [bottom]-side slots, and
+       growth copies, never reuses, live slots). *)
+    match get t.buf tp with
+    | None -> `Retry (* racing a concurrent claim; slot already cleared *)
+    | Some v -> if Atomic.compare_and_set t.top tp (tp + 1) then `Stolen v else `Retry

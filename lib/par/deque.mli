@@ -1,0 +1,42 @@
+(** Chase–Lev work-stealing deques.
+
+    One deque per domain: the owning domain pushes and pops at the
+    bottom (LIFO, cache-friendly for nested work), thieves steal from
+    the top (FIFO, so the oldest — typically largest — task migrates).
+    The implementation is the classic Chase–Lev dynamic circular
+    deque [Dynamic Circular Work-Stealing Deque, SPAA'05] on OCaml 5
+    [Atomic]s: {!push} and {!pop} are owner-only and almost always
+    uncontended; {!steal} is linearizable against both the owner's
+    {!pop} of the last element and competing thieves via a single
+    compare-and-set on [top].
+
+    The checker's tasks are coarse (one operator search each, typically
+    milliseconds), so the deque is nowhere near its throughput limits —
+    it exists so that a wavefront whose operators have very uneven
+    saturation costs still load-balances: a domain that drains its own
+    run queue steals the oldest pending operator from a loaded peer
+    instead of idling at the join. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** An empty deque. [capacity] (default 16, rounded up to a power of
+    two) is only a hint: the circular buffer grows when the owner
+    outruns it. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add at the bottom. Amortized O(1); grows the buffer
+    when full. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed element, or [None] when
+    the deque is empty (including when a thief won the race for the
+    last element). *)
+
+val steal : 'a t -> [ `Stolen of 'a | `Empty | `Retry ]
+(** Any domain: take the {e oldest} element. [`Retry] means another
+    thief (or the owner, on the last element) won a race and the caller
+    should try again or move on to another victim. *)
+
+val size : 'a t -> int
+(** A racy snapshot of the number of elements; exact when quiescent. *)

@@ -1,0 +1,140 @@
+type task = unit -> unit
+
+type t = {
+  size : int;
+  deques : task Deque.t array;  (* participant i's run queue; 0 = caller *)
+  remaining : int Atomic.t;  (* uncompleted tasks of the current batch *)
+  lock : Mutex.t;
+  wake : Condition.t;
+  mutable generation : int;  (* batch counter; guarded by [lock] *)
+  mutable stop : bool;  (* guarded by [lock] *)
+  mutable workers : unit Domain.t list;
+}
+
+(* One scheduling round for participant [i]: drain the own deque
+   (LIFO), then sweep the other deques for steals (FIFO), until the
+   batch's completion counter hits zero. Tasks are coarse — one
+   operator search each — so the idle path backs off quickly from
+   spinning to a short sleep instead of burning a core next to the
+   last running task. *)
+let participate t i =
+  let run_task task =
+    task ();
+    Atomic.decr t.remaining
+  in
+  let rec own () =
+    match Deque.pop t.deques.(i) with
+    | Some task ->
+        run_task task;
+        own ()
+    | None -> idle 0
+  and sweep j =
+    if j >= t.size then false
+    else
+      match Deque.steal t.deques.((i + 1 + j) mod t.size) with
+      | `Stolen task ->
+          run_task task;
+          true
+      | `Retry | `Empty -> sweep (j + 1)
+  and idle tries =
+    if Atomic.get t.remaining = 0 then ()
+    else if sweep 0 then own ()
+    else begin
+      if tries < 64 then Domain.cpu_relax () else Unix.sleepf 100e-6;
+      idle (tries + 1)
+    end
+  in
+  own ()
+
+let create ~size =
+  let cap = 8 * Domain.recommended_domain_count () in
+  let size = max 1 (min size cap) in
+  let t =
+    {
+      size;
+      deques = Array.init size (fun _ -> Deque.create ());
+      remaining = Atomic.make 0;
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      generation = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (size - 1) (fun i ->
+        let slot = i + 1 in
+        Domain.spawn (fun () ->
+            let rec loop last_gen =
+              Mutex.lock t.lock;
+              while t.generation = last_gen && not t.stop do
+                Condition.wait t.wake t.lock
+              done;
+              let gen = t.generation and stop = t.stop in
+              Mutex.unlock t.lock;
+              if not stop then begin
+                participate t slot;
+                loop gen
+              end
+            in
+            loop 0));
+  t
+
+let size t = t.size
+
+type 'a slot = Pending | Done of 'a | Raised of exn * Printexc.raw_backtrace
+
+let run t f n =
+  if n = 0 then [||]
+  else if n = 1 then
+    (* Nothing to distribute: run on the calling domain without waking
+       the pool. A raise propagates directly — identical to the batch
+       path, whose lowest-indexed (only) exception would be re-raised. *)
+    [| f 0 |]
+  else begin
+    let results = Array.make n Pending in
+    let wrap i () =
+      match f i with
+      | v -> results.(i) <- Done v
+      | exception e -> results.(i) <- Raised (e, Printexc.get_raw_backtrace ())
+    in
+    Atomic.set t.remaining n;
+    (* Round-robin distribution before the wake-up: workers that race
+       ahead (a straggler from the previous batch still sweeping) can
+       only ever steal real tasks. *)
+    for i = 0 to n - 1 do
+      Deque.push t.deques.(i mod t.size) (wrap i)
+    done;
+    Mutex.lock t.lock;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock;
+    participate t 0;
+    (* Workers may still be executing stolen tasks; completion is the
+       counter, not our own idleness. *)
+    while Atomic.get t.remaining > 0 do
+      Domain.cpu_relax ()
+    done;
+    (* The lowest-indexed exception of the batch wins, as documented. *)
+    Array.iter
+      (function
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Done _ -> ()
+        | Pending -> assert false)
+      results;
+    Array.map
+      (function Done v -> v | Pending | Raised _ -> assert false)
+      results
+  end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~size f =
+  let t = create ~size in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

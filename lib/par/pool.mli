@@ -1,0 +1,50 @@
+(** A fixed-size pool of OCaml 5 domains with per-domain work-stealing.
+
+    The pool is created once per [Refine.check] (domains are ~50 µs to
+    spawn but a check schedules many wavefront batches, so workers
+    persist across batches and park on a condition variable between
+    them). A pool of size [n] spawns [n - 1] worker domains; the
+    calling domain is the [n]-th participant — it distributes a
+    batch's tasks round-robin over every participant's {!Deque},
+    wakes the workers, then works its own deque and steals alongside
+    them until the batch drains.
+
+    {b Determinism contract}: [run] returns results positionally — the
+    caller learns nothing about which domain executed which task or in
+    what order. Any scheduling nondeterminism is confined to the
+    execution interleaving; callers that need deterministic {e output}
+    (the checker does) must make each task a pure function of its
+    inputs and merge results by index, which is exactly what
+    [Refine]'s wavefront join does.
+
+    Exceptions raised by a task are caught on the executing domain and
+    re-raised (with the original backtrace) from {!run} on the calling
+    domain, after every other task of the batch has finished — a batch
+    is never abandoned half-executed. If several tasks raise, the
+    lowest-indexed exception wins. *)
+
+type t
+
+val create : size:int -> t
+(** A pool of [size] total participants ([size - 1] spawned domains;
+    values below 2 spawn nothing and make {!run} purely sequential).
+    Sizes beyond [8 * Domain.recommended_domain_count ()] are clamped —
+    oversubscribing domains (which are OS threads with their own minor
+    heaps) that far only adds scheduling noise. *)
+
+val size : t -> int
+(** The number of participants, after clamping; at least 1. *)
+
+val run : t -> (int -> 'a) -> int -> 'a array
+(** [run pool f n] evaluates [f 0 .. f (n-1)], in parallel across the
+    pool's participants, and returns the results in index order.
+    Must be called from the domain that created the pool, and never
+    reentrantly (the checker's wavefront loop is the only caller). *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains. Idempotent. The pool must
+    not be used afterwards. *)
+
+val with_pool : size:int -> (t -> 'a) -> 'a
+(** [with_pool ~size f] runs [f] over a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)

@@ -457,11 +457,12 @@ let norm store t = rename_binders 0 (go store t)
 
 (* --- equality ----------------------------------------------------------- *)
 
-let fresh_counter = ref 0
+(* Atomic: freshness is the only requirement, and parallel operator
+   checks mint binders concurrently. *)
+let fresh_counter = Atomic.make 0
 
 let fresh_binder () =
-  incr fresh_counter;
-  Printf.sprintf "%sq%d" binder_prefix !fresh_counter
+  Printf.sprintf "%sq%d" binder_prefix (Atomic.fetch_and_add fresh_counter 1 + 1)
 
 let rec equal_t store a b =
   compare a b = 0

@@ -1,79 +1,92 @@
+(* Counters are atomic and the rule-hit table mutex-guarded so one
+   aggregator can be teed behind sinks on several domains at once (the
+   parallel checker folds per-worker event chunks through the shared
+   aggregator at commit time). *)
 type t = {
-  mutable operators : int;
-  mutable iterations : int;
-  mutable matches : int;
-  mutable unions : int;
-  mutable nodes_peak : int;
-  mutable classes_peak : int;
-  mutable retries : int;
-  mutable budget_trips : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable cache_replays_failed : int;
+  operators : int Atomic.t;
+  iterations : int Atomic.t;
+  matches : int Atomic.t;
+  unions : int Atomic.t;
+  nodes_peak : int Atomic.t;
+  classes_peak : int Atomic.t;
+  retries : int Atomic.t;
+  budget_trips : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
+  cache_replays_failed : int Atomic.t;
   hits : (string, int) Hashtbl.t;
+  hits_lock : Mutex.t;
 }
 
 let create () =
   {
-    operators = 0;
-    iterations = 0;
-    matches = 0;
-    unions = 0;
-    nodes_peak = 0;
-    classes_peak = 0;
-    retries = 0;
-    budget_trips = 0;
-    cache_hits = 0;
-    cache_misses = 0;
-    cache_replays_failed = 0;
+    operators = Atomic.make 0;
+    iterations = Atomic.make 0;
+    matches = Atomic.make 0;
+    unions = Atomic.make 0;
+    nodes_peak = Atomic.make 0;
+    classes_peak = Atomic.make 0;
+    retries = Atomic.make 0;
+    budget_trips = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
+    cache_replays_failed = Atomic.make 0;
     hits = Hashtbl.create 64;
+    hits_lock = Mutex.create ();
   }
 
 let arg ev key = Option.value (Event.arg_int ev key) ~default:0
+let add a n = ignore (Atomic.fetch_and_add a n)
+
+let rec update_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then update_max a v
 
 let fold t (ev : Event.t) =
   match (ev.phase, ev.cat) with
   | Event.End, "operator" ->
-      if Event.arg_bool ev "processed" = Some true then
-        t.operators <- t.operators + 1
+      if Event.arg_bool ev "processed" = Some true then Atomic.incr t.operators
   | Event.End, "iteration" ->
-      t.iterations <- t.iterations + 1;
-      t.matches <- t.matches + arg ev "matches";
-      t.unions <- t.unions + arg ev "unions"
+      Atomic.incr t.iterations;
+      add t.matches (arg ev "matches");
+      add t.unions (arg ev "unions")
   | Event.Counter, "egraph" ->
-      t.nodes_peak <- max t.nodes_peak (arg ev "nodes");
-      t.classes_peak <- max t.classes_peak (arg ev "classes")
-  | Event.End, "retry" -> t.retries <- t.retries + 1
+      update_max t.nodes_peak (arg ev "nodes");
+      update_max t.classes_peak (arg ev "classes")
+  | Event.End, "retry" -> Atomic.incr t.retries
   | Event.Instant, "budget" when ev.name = "budget-trip" ->
-      t.budget_trips <- t.budget_trips + 1
+      Atomic.incr t.budget_trips
   | Event.Instant, "cache" -> (
       match ev.name with
-      | "cache-hit" -> t.cache_hits <- t.cache_hits + 1
-      | "cache-miss" -> t.cache_misses <- t.cache_misses + 1
-      | "cache-replay-failed" ->
-          t.cache_replays_failed <- t.cache_replays_failed + 1
+      | "cache-hit" -> Atomic.incr t.cache_hits
+      | "cache-miss" -> Atomic.incr t.cache_misses
+      | "cache-replay-failed" -> Atomic.incr t.cache_replays_failed
       | _ -> ())
   | Event.Instant, "rule" when ev.name = "rule-hit" -> (
       match Event.arg_str ev "rule" with
       | None -> ()
       | Some rule ->
+          Mutex.lock t.hits_lock;
           let prev = Option.value (Hashtbl.find_opt t.hits rule) ~default:0 in
-          Hashtbl.replace t.hits rule (prev + arg ev "hits"))
+          Hashtbl.replace t.hits rule (prev + arg ev "hits");
+          Mutex.unlock t.hits_lock)
   | _ -> ()
 
 let sink t = Sink.make (fold t)
-let operators t = t.operators
-let iterations t = t.iterations
-let matches t = t.matches
-let unions t = t.unions
-let nodes_peak t = t.nodes_peak
-let classes_peak t = t.classes_peak
-let retries t = t.retries
-let budget_trips t = t.budget_trips
-let cache_hits t = t.cache_hits
-let cache_misses t = t.cache_misses
-let cache_replays_failed t = t.cache_replays_failed
+let operators t = Atomic.get t.operators
+let iterations t = Atomic.get t.iterations
+let matches t = Atomic.get t.matches
+let unions t = Atomic.get t.unions
+let nodes_peak t = Atomic.get t.nodes_peak
+let classes_peak t = Atomic.get t.classes_peak
+let retries t = Atomic.get t.retries
+let budget_trips t = Atomic.get t.budget_trips
+let cache_hits t = Atomic.get t.cache_hits
+let cache_misses t = Atomic.get t.cache_misses
+let cache_replays_failed t = Atomic.get t.cache_replays_failed
 
 let rule_hits t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.hits []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  Mutex.lock t.hits_lock;
+  let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.hits [] in
+  Mutex.unlock t.hits_lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) items

@@ -44,10 +44,10 @@ let event_to_json ~t0 (ev : Event.t) =
   in
   Printf.sprintf
     "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\", \"ts\": %d, \
-     \"pid\": 1, \"tid\": 1%s%s}"
+     \"pid\": 1, \"tid\": %d%s%s}"
     (escape ev.name) (escape ev.cat)
     (Event.phase_letter ev.phase)
-    ts scope (args_to_json ev.args)
+    ts ev.tid scope (args_to_json ev.args)
 
 let create oc =
   output_string oc "[";

@@ -6,8 +6,14 @@ type t = {
   cat : string;
   phase : phase;
   ts : float;
+  tid : int;
   args : (string * value) list;
 }
+
+(* Domain ids start at 0 for the initial domain; Chrome viewers (and
+   the pre-parallelism golden traces) expect track 1, so shift by one.
+   Worker domains get 2, 3, ... — distinct tracks per domain. *)
+let current_tid () = (Domain.self () :> int) + 1
 
 let phase_letter = function
   | Begin -> "B"

@@ -49,8 +49,16 @@ type t = {
   cat : string;
   phase : phase;
   ts : float;  (** seconds since the epoch ([Unix.gettimeofday]) *)
+  tid : int;
+      (** emitting track: [1] on the initial domain (so single-domain
+          streams are unchanged), [domain id + 1] on worker domains —
+          parallel per-operator spans land on separate Perfetto tracks *)
   args : (string * value) list;
 }
+
+val current_tid : unit -> int
+(** The track id {!Sink} stamps on events emitted from the calling
+    domain: the domain id shifted so the initial domain is [1]. *)
 
 val phase_letter : phase -> string
 (** The Chrome trace-event [ph] field: ["B"], ["E"], ["C"] or ["i"]. *)

@@ -10,7 +10,8 @@ let enabled t = t.enabled
 let emit t ev = if t.enabled then t.send ev
 let now () = Unix.gettimeofday ()
 
-let event name cat phase args = { Event.name; cat; phase; ts = now (); args }
+let event name cat phase args =
+  { Event.name; cat; phase; ts = now (); tid = Event.current_tid (); args }
 
 let span_begin t ?(args = []) ~cat name =
   if t.enabled then t.send (event name cat Event.Begin args)

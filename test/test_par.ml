@@ -1,0 +1,500 @@
+(* Tests for the parallel checker: the work-stealing deque and domain
+   pool primitives, the cone-disjoint wavefront scheduling properties,
+   and end-to-end [-j 1] vs [-j N] agreement on the model zoo and the
+   nine case-study bugs. *)
+
+open Entangle_ir
+open Entangle_models
+module Deque = Entangle_par.Deque
+module Pool = Entangle_par.Pool
+module Wavefront = Entangle.Wavefront
+module Refine = Entangle.Refine
+
+let check = Alcotest.check
+let op_name n = Op.name (Node.op n)
+
+(* --- deque --------------------------------------------------------------- *)
+
+let deque_tests =
+  [
+    Alcotest.test_case "owner pops LIFO" `Quick (fun () ->
+        let d = Deque.create () in
+        List.iter (Deque.push d) [ 1; 2; 3; 4; 5 ];
+        let popped = List.init 5 (fun _ -> Option.get (Deque.pop d)) in
+        check (Alcotest.list Alcotest.int) "LIFO" [ 5; 4; 3; 2; 1 ] popped;
+        check Alcotest.bool "then empty" true (Deque.pop d = None));
+    Alcotest.test_case "thieves steal FIFO" `Quick (fun () ->
+        let d = Deque.create () in
+        List.iter (Deque.push d) [ 1; 2; 3 ];
+        let stolen () =
+          match Deque.steal d with
+          | `Stolen x -> x
+          | `Empty | `Retry -> Alcotest.fail "steal came back empty"
+        in
+        check Alcotest.int "oldest first" 1 (stolen ());
+        check Alcotest.int "then next" 2 (stolen ());
+        check Alcotest.int "owner gets the rest" 3
+          (Option.get (Deque.pop d));
+        check Alcotest.bool "steal on empty" true (Deque.steal d = `Empty));
+    Alcotest.test_case "growth past initial capacity" `Quick (fun () ->
+        let d = Deque.create ~capacity:2 () in
+        let n = 1000 in
+        for i = 1 to n do
+          Deque.push d i
+        done;
+        check Alcotest.int "size" n (Deque.size d);
+        let sum = ref 0 in
+        let rec drain () =
+          match Deque.pop d with
+          | Some x ->
+              sum := !sum + x;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        check Alcotest.int "conserved" (n * (n + 1) / 2) !sum);
+    Alcotest.test_case "concurrent steal conserves elements" `Quick
+      (fun () ->
+        (* One owner pushing and popping, two thief domains stealing
+           throughout: every pushed element must be taken exactly once,
+           by exactly one participant. *)
+        let d = Deque.create () in
+        let n = 20_000 in
+        let stop = Atomic.make false in
+        let thief () =
+          Domain.spawn (fun () ->
+              let acc = ref [] in
+              let rec drain () =
+                match Deque.steal d with
+                | `Stolen x ->
+                    acc := x :: !acc;
+                    drain ()
+                | `Retry -> drain ()
+                | `Empty -> ()
+              in
+              while not (Atomic.get stop) do
+                (match Deque.steal d with
+                | `Stolen x -> acc := x :: !acc
+                | `Empty | `Retry -> Domain.cpu_relax ());
+                ()
+              done;
+              drain ();
+              !acc)
+        in
+        let t1 = thief () and t2 = thief () in
+        let popped = ref [] in
+        for i = 1 to n do
+          Deque.push d i;
+          if i mod 3 = 0 then
+            match Deque.pop d with
+            | Some x -> popped := x :: !popped
+            | None -> ()
+        done;
+        Atomic.set stop true;
+        let stolen = Domain.join t1 @ Domain.join t2 in
+        let rec drain () =
+          match Deque.pop d with
+          | Some x ->
+              popped := x :: !popped;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        let all = List.sort compare (stolen @ !popped) in
+        check Alcotest.int "count" n (List.length all);
+        check Alcotest.bool "each element exactly once" true
+          (List.for_all2 ( = ) all (List.init n (fun i -> i + 1))));
+  ]
+
+(* --- pool ---------------------------------------------------------------- *)
+
+let pool_tests =
+  [
+    Alcotest.test_case "results are positional" `Quick (fun () ->
+        Pool.with_pool ~size:4 (fun pool ->
+            let r = Pool.run pool (fun i -> i * i) 20 in
+            check
+              (Alcotest.array Alcotest.int)
+              "squares"
+              (Array.init 20 (fun i -> i * i))
+              r));
+    Alcotest.test_case "batch larger than the pool" `Quick (fun () ->
+        Pool.with_pool ~size:2 (fun pool ->
+            let r = Pool.run pool (fun i -> i + 1) 100 in
+            check Alcotest.int "all ran"
+              (100 * 101 / 2)
+              (Array.fold_left ( + ) 0 r)));
+    Alcotest.test_case "pool is reusable across batches" `Quick (fun () ->
+        Pool.with_pool ~size:3 (fun pool ->
+            let a = Pool.run pool (fun i -> i) 7 in
+            let b = Pool.run pool (fun i -> -i) 11 in
+            let c = Pool.run pool (fun _ -> 0) 0 in
+            check Alcotest.int "first" 21 (Array.fold_left ( + ) 0 a);
+            check Alcotest.int "second" (-55) (Array.fold_left ( + ) 0 b);
+            check Alcotest.int "empty batch" 0 (Array.length c)));
+    Alcotest.test_case "lowest-indexed exception wins" `Quick (fun () ->
+        Pool.with_pool ~size:4 (fun pool ->
+            match
+              Pool.run pool
+                (fun i ->
+                  if i mod 4 = 3 then failwith (string_of_int i) else i)
+                16
+            with
+            | _ -> Alcotest.fail "expected a raise"
+            | exception Failure msg ->
+                check Alcotest.string "first failing index" "3" msg));
+    Alcotest.test_case "size clamps below at 1" `Quick (fun () ->
+        Pool.with_pool ~size:0 (fun pool ->
+            check Alcotest.int "size" 1 (Pool.size pool);
+            let r = Pool.run pool (fun i -> i * 2) 5 in
+            check Alcotest.int "still runs" 20 (Array.fold_left ( + ) 0 r)));
+  ]
+
+(* --- wavefront scheduling properties ------------------------------------- *)
+
+(* A committed relation that covers every sequential tensor, so cones
+   can be computed for any operator regardless of schedule position:
+   the full relation of a successful sequential check. *)
+let gpt_instance =
+  lazy
+    (match Zoo.by_name "gpt" with
+    | Some i -> i
+    | None -> Alcotest.fail "zoo lost the gpt instance")
+
+let gpt_full_relation =
+  lazy
+    (match Instance.check (Lazy.force gpt_instance) with
+    | Ok s -> s.Refine.full_relation
+    | Error f -> Alcotest.failf "gpt check failed: %s" (Refine.reason f))
+
+let gpt_wavefront =
+  lazy
+    (let inst = Lazy.force gpt_instance in
+     Wavefront.create ~gs:inst.Instance.gs ~gd:inst.Instance.gd
+       ~whole_graph:false)
+
+(* Re-derive both independence conditions without trusting the
+   scheduler's own predicates: cones as sorted id lists intersected
+   manually, ordering via [depends] (itself a plain DFS over the
+   sequential graph). *)
+let assert_batch_independent wf cones batch =
+  let ids i = Wavefront.cone_ids (List.assoc i cones) in
+  let intersects a b = List.exists (fun x -> List.mem x b) a in
+  List.iteri
+    (fun k i ->
+      List.iteri
+        (fun k' j ->
+          if k < k' then begin
+            if Wavefront.depends wf i j || Wavefront.depends wf j i then
+              Alcotest.failf
+                "batch co-scheduled dependent operators %d and %d" i j;
+            if intersects (ids i) (ids j) then
+              Alcotest.failf
+                "batch co-scheduled intersecting cones of %d and %d" i j
+          end)
+        batch)
+    batch
+
+let wavefront_tests =
+  [
+    Alcotest.test_case "full schedule: batches are cone-disjoint antichains"
+      `Quick (fun () ->
+        let wf = Lazy.force gpt_wavefront in
+        let rel = Lazy.force gpt_full_relation in
+        let ops = Wavefront.ops wf in
+        let n = Array.length ops in
+        let committed = Array.make n false in
+        let started = Array.make n false in
+        let waves = ref 0 and widest = ref 0 in
+        while Array.exists not committed do
+          let ready = Wavefront.ready wf ~committed ~started in
+          check Alcotest.bool "ready set nonempty while work remains" true
+            (ready <> []);
+          let cones =
+            List.map (fun i -> (i, Wavefront.cone wf ~relation:rel i)) ready
+          in
+          let batch, deferred = Wavefront.batch cones in
+          check Alcotest.bool "batch nonempty" true (batch <> []);
+          check Alcotest.int "batch + deferred = ready" (List.length ready)
+            (List.length batch + List.length deferred);
+          assert_batch_independent wf cones batch;
+          List.iter
+            (fun i ->
+              started.(i) <- true;
+              committed.(i) <- true)
+            batch;
+          incr waves;
+          widest := max !widest (List.length batch)
+        done;
+        check Alcotest.bool "some wave actually ran operators in parallel"
+          true (!widest >= 2);
+        check Alcotest.bool "scheduling beat fully sequential" true
+          (!waves < n));
+    Alcotest.test_case "whole-graph cones degrade to singleton batches"
+      `Quick (fun () ->
+        let inst = Lazy.force gpt_instance in
+        let wf =
+          Wavefront.create ~gs:inst.Instance.gs ~gd:inst.Instance.gd
+            ~whole_graph:true
+        in
+        let rel = Lazy.force gpt_full_relation in
+        let n = Array.length (Wavefront.ops wf) in
+        let committed = Array.make n false in
+        let started = Array.make n false in
+        let ready = Wavefront.ready wf ~committed ~started in
+        let cones =
+          List.map (fun i -> (i, Wavefront.cone wf ~relation:rel i)) ready
+        in
+        let batch, _ = Wavefront.batch cones in
+        check Alcotest.int "one operator per wave" 1 (List.length batch));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:
+           "random dependency-closed prefixes never batch intersecting or \
+            ordered operators"
+         ~count:40
+         QCheck.(pair small_int small_int)
+         (fun (prefix_seed, shuffle_seed) ->
+           let wf = Lazy.force gpt_wavefront in
+           let rel = Lazy.force gpt_full_relation in
+           let ops = Wavefront.ops wf in
+           let n = Array.length ops in
+           (* A random dependency-closed committed set: walking in
+              topological order, an operator may commit only once every
+              producer of its inputs has. *)
+           let rng = Random.State.make [| prefix_seed |] in
+           let committed = Array.make n false in
+           let by_output = Hashtbl.create 64 in
+           Array.iteri
+             (fun i v -> Hashtbl.replace by_output (Node.output v) i)
+             ops;
+           Array.iteri
+             (fun i v ->
+               let producers_done =
+                 List.for_all
+                   (fun t ->
+                     match Hashtbl.find_opt by_output t with
+                     | Some p -> committed.(p)
+                     | None -> true)
+                   (Node.inputs v)
+               in
+               if producers_done && Random.State.bool rng then
+                 committed.(i) <- true)
+             ops;
+           let started = Array.copy committed in
+           let ready = Wavefront.ready wf ~committed ~started in
+           (* [batch] must be safe whatever order candidates arrive in. *)
+           let shuffled =
+             let rng = Random.State.make [| shuffle_seed |] in
+             List.map (fun i -> (Random.State.bits rng, i)) ready
+             |> List.sort compare |> List.map snd
+           in
+           let cones =
+             List.map
+               (fun i -> (i, Wavefront.cone wf ~relation:rel i))
+               shuffled
+           in
+           let batch, deferred = Wavefront.batch cones in
+           assert_batch_independent wf cones batch;
+           if ready <> [] && batch = [] then
+             QCheck.Test.fail_report "batch empty on nonempty ready set";
+           List.length batch + List.length deferred = List.length ready));
+  ]
+
+(* --- end-to-end -j 1 / -j N agreement ------------------------------------ *)
+
+let render_relation r = Fmt.str "%a" Entangle.Relation.pp r
+let strip_time (s : Refine.stats) = { s with wall_time_s = 0. }
+
+let config jobs extra =
+  extra (Entangle.Config.default |> Entangle.Config.with_jobs jobs)
+
+let check_success_equal name (a : Refine.success) (b : Refine.success) =
+  check Alcotest.string
+    (name ^ ": output relation")
+    (render_relation a.output_relation)
+    (render_relation b.output_relation);
+  check Alcotest.string
+    (name ^ ": full relation")
+    (render_relation a.full_relation)
+    (render_relation b.full_relation);
+  check Alcotest.bool
+    (name ^ ": stats identical modulo wall time")
+    true
+    (strip_time a.stats = strip_time b.stats)
+
+let check_failure_equal name (a : Refine.failure) (b : Refine.failure) =
+  check Alcotest.string (name ^ ": operator") (op_name a.operator)
+    (op_name b.operator);
+  check Alcotest.string (name ^ ": verdict")
+    (Refine.verdict_to_string a.verdict)
+    (Refine.verdict_to_string b.verdict);
+  check
+    (Alcotest.list Alcotest.string)
+    (name ^ ": fault operators")
+    (List.map (fun f -> op_name f.Refine.fault_operator) a.faults)
+    (List.map (fun f -> op_name f.Refine.fault_operator) b.faults);
+  check
+    (Alcotest.list Alcotest.string)
+    (name ^ ": fault verdicts")
+    (List.map (fun f -> Refine.verdict_to_string f.Refine.fault_verdict) a.faults)
+    (List.map (fun f -> Refine.verdict_to_string f.Refine.fault_verdict) b.faults);
+  check
+    (Alcotest.list Alcotest.string)
+    (name ^ ": dependents skipped")
+    (List.map op_name a.dependents_skipped)
+    (List.map op_name b.dependents_skipped);
+  check Alcotest.string
+    (name ^ ": partial relation")
+    (render_relation a.partial_relation)
+    (render_relation b.partial_relation);
+  check Alcotest.bool
+    (name ^ ": stats identical modulo wall time")
+    true
+    (strip_time a.stats = strip_time b.stats)
+
+let agreement_tests =
+  [
+    Alcotest.test_case "zoo verdicts and relations agree across -j" `Slow
+      (fun () ->
+        List.iter
+          (fun inst ->
+            let run jobs =
+              Instance.check ~config:(config jobs Fun.id) inst
+            in
+            match (run 1, run 4) with
+            | Ok a, Ok b -> check_success_equal inst.Instance.name a b
+            | Error a, Error b -> check_failure_equal inst.Instance.name a b
+            | Ok _, Error f ->
+                Alcotest.failf "%s: -j 4 failed where -j 1 succeeded: %s"
+                  inst.Instance.name (Refine.reason f)
+            | Error f, Ok _ ->
+                Alcotest.failf "%s: -j 1 failed where -j 4 succeeded: %s"
+                  inst.Instance.name (Refine.reason f))
+          (Zoo.fig3_instances ()));
+    Alcotest.test_case "all nine bug verdicts agree across -j" `Slow
+      (fun () ->
+        List.iter
+          (fun (case : Bugs.case) ->
+            let name = Fmt.str "bug %d" case.id in
+            let mask_time s =
+              (* Reports end with a stats suffix whose only wall-clock
+                 text is a float directly followed by 's'. *)
+              let b = Buffer.create (String.length s) in
+              let n = String.length s in
+              let i = ref 0 in
+              while !i < n do
+                let j = ref !i in
+                while
+                  !j < n
+                  && (match s.[!j] with '0' .. '9' | '.' -> true | _ -> false)
+                do
+                  incr j
+                done;
+                if !j > !i && !j < n && s.[!j] = 's' then begin
+                  Buffer.add_string b "#s";
+                  i := !j + 1
+                end
+                else begin
+                  Buffer.add_char b s.[!i];
+                  incr i
+                end
+              done;
+              Buffer.contents b
+            in
+            match
+              ( Bugs.run ~config:(config 1 Fun.id) case,
+                Bugs.run ~config:(config 4 Fun.id) case )
+            with
+            | Bugs.Detected a, Bugs.Detected b ->
+                check Alcotest.string
+                  (name ^ ": report")
+                  (mask_time a) (mask_time b)
+            | Bugs.Missed, Bugs.Missed -> ()
+            | Bugs.Detected _, Bugs.Missed ->
+                Alcotest.failf "%s: missed at -j 4 only" name
+            | Bugs.Missed, Bugs.Detected _ ->
+                Alcotest.failf "%s: missed at -j 1 only" name)
+          (Bugs.all ()));
+    Alcotest.test_case "cache stores identical entries across -j" `Slow
+      (fun () ->
+        (* Cold-populate one fresh store per job count; the stores are
+           content-addressed, so identical entry-file sets mean the
+           parallel run looked up and wrote exactly the keys the
+           sequential run did. *)
+        let rec rm_rf path =
+          match Sys.is_directory path with
+          | true ->
+              Array.iter
+                (fun e -> rm_rf (Filename.concat path e))
+                (Sys.readdir path);
+              Sys.rmdir path
+          | false -> Sys.remove path
+          | exception Sys_error _ -> ()
+        in
+        let rec entries acc rel path =
+          if Sys.is_directory path then
+            Array.fold_left
+              (fun acc e ->
+                entries acc
+                  (if rel = "" then e else Filename.concat rel e)
+                  (Filename.concat path e))
+              acc (Sys.readdir path)
+          else rel :: acc
+        in
+        let inst = Lazy.force gpt_instance in
+        let populate jobs =
+          let dir =
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Fmt.str "entangle-par-cache.%d.%d" (Unix.getpid ()) jobs)
+          in
+          rm_rf dir;
+          Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+          match Entangle_cache.Cache.create ~dir () with
+          | Error e -> Alcotest.failf "cannot open temp cache: %s" e
+          | Ok cache -> (
+              let cfg =
+                config jobs (Entangle.Config.with_cache (Some cache))
+              in
+              match Instance.check ~config:cfg inst with
+              | Error f -> Alcotest.failf "check failed: %s" (Refine.reason f)
+              | Ok s ->
+                  ( List.sort compare (entries [] "" dir),
+                    List.map
+                      (fun (v, p) ->
+                        ( op_name v,
+                          match p with
+                          | Entangle_cache.Cache.Hit -> "hit"
+                          | Entangle_cache.Cache.Miss -> "miss"
+                          | Entangle_cache.Cache.Replay_failed _ -> "replay" ))
+                      s.Refine.cache_provenance ))
+        in
+        let files1, prov1 = populate 1 in
+        let files4, prov4 = populate 4 in
+        check
+          (Alcotest.list Alcotest.string)
+          "store entry files" files1 files4;
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+          "provenance sequence" prov1 prov4);
+    Alcotest.test_case "keep-going fault sets agree across -j" `Slow
+      (fun () ->
+        let inst = (Bugs.case 3).Bugs.instance in
+        let run jobs =
+          Instance.check
+            ~config:(config jobs (Entangle.Config.with_keep_going true))
+            inst
+        in
+        match (run 1, run 4) with
+        | Error a, Error b -> check_failure_equal "bug 3 keep-going" a b
+        | _ -> Alcotest.fail "expected a failure on the buggy lowering");
+  ]
+
+let suite =
+  [
+    ("par.deque", deque_tests);
+    ("par.pool", pool_tests);
+    ("par.wavefront", wavefront_tests);
+    ("par.agreement", agreement_tests);
+  ]
