@@ -772,6 +772,252 @@ let par_smoke () =
   end;
   Fmt.pr "parallel checking is observationally sequential@."
 
+(* --- Serve smoke: daemon fidelity / warm cache / version negotiation ----- *)
+
+(* The @serve-smoke dune alias. Three daemons on one temp socket, in
+   sequence:
+   1. uncached: remote verdicts, exit codes and statistics (modulo
+      wall time) must be identical to local runs for a zoo subset and
+      three bug-injected lowerings; a future protocol version must be
+      rejected with a structured frame that names both versions; a
+      cache request against an uncached daemon is a structured
+      bad-request, and neither wedges the daemon.
+   2. cached, traced: a GPT re-check on the warm daemon must be served
+      entirely from cache with zero saturation — asserted on the
+      daemon's own trace stream, not just the reply statistics — and
+      namespaces must isolate clients sharing the store.
+   3. byte-budgeted: after checking, the store must respect the LRU
+      byte budget with evictions visible in the wire stats. *)
+let serve_smoke () =
+  let module Srv = Entangle_serve.Server in
+  let module Cl = Entangle_serve.Client in
+  let module P = Entangle_serve.Protocol in
+  let module Trace = Entangle_trace in
+  section "Serve smoke: remote fidelity / warm daemon / version negotiation";
+  let failures = ref 0 in
+  let expect what ok =
+    Fmt.pr "%-58s %s@." what (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "entangle-serve-smoke.%d.sock" (Unix.getpid ()))
+  in
+  let strip (s : Entangle.Refine.stats) =
+    { s with Entangle.Refine.wall_time_s = 0. }
+  in
+  let local_tag = function
+    | Ok _ -> "refines"
+    | Error (f : Entangle.Refine.failure) -> (
+        match f.verdict with
+        | Entangle.Refine.Unmapped _ -> "unmapped"
+        | Entangle.Refine.Inconclusive _ -> "inconclusive"
+        | Entangle.Refine.Internal _ -> "internal")
+  in
+  let with_server ?cache config f =
+    match Srv.create ~config ?cache ~socket:sock () with
+    | Error e ->
+        Fmt.epr "cannot start server: %s@." e;
+        exit 1
+    | Ok server ->
+        let d = Domain.spawn (fun () -> Srv.run server) in
+        Fun.protect
+          ~finally:(fun () ->
+            (match Cl.connect ~socket:sock () with
+            | Ok c -> ignore (Cl.shutdown c)
+            | Error _ -> ());
+            Domain.join d)
+          (fun () -> f server)
+  in
+  let with_client f =
+    match Cl.connect ~socket:sock () with
+    | Error e ->
+        Fmt.epr "cannot connect: %s@." e;
+        exit 1
+    | Ok client -> Fun.protect ~finally:(fun () -> Cl.close client) (fun () -> f client)
+  in
+  let remote_check client ?namespace (inst : Instance.t) =
+    let options =
+      {
+        P.default_options with
+        P.family =
+          Some (Entangle_lemmas.Registry.family_name inst.Instance.family);
+        namespace;
+      }
+    in
+    match
+      Cl.check client ~options
+        ~gs:(Entangle_ir.Serial.graph_to_sexp inst.Instance.gs)
+        ~gd:(Entangle_ir.Serial.graph_to_sexp inst.Instance.gd)
+        ~relation:(Entangle.Relation_io.to_sexp inst.Instance.input_relation)
+        ()
+    with
+    | Ok (P.Checked r) -> r
+    | Ok (P.Error_reply { message; _ }) ->
+        Fmt.epr "daemon error: %s@." message;
+        exit 1
+    | Ok _ ->
+        Fmt.epr "unexpected daemon reply@.";
+        exit 1
+    | Error e ->
+        Fmt.epr "transport error: %s@." e;
+        exit 1
+  in
+
+  (* 1. Fidelity against local runs, on an uncached daemon. *)
+  let fidelity_insts =
+    [ Regression.build ~microbatches:2 (); Gpt.build ~layers:1 ~degree:2 () ]
+    @ List.map (fun id -> (Bugs.case id).Bugs.instance) [ 1; 6; 7 ]
+  in
+  with_server Entangle.Config.default (fun _server ->
+      with_client (fun client ->
+          expect "ping answers pong" (Cl.ping client = Ok ());
+          (match Cl.describe client with
+          | Ok json ->
+              let schema = {|"schema": "entangle/serve/1"|} in
+              let contains hay needle =
+                let nh = String.length hay and nn = String.length needle in
+                let rec at i =
+                  i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+                in
+                at 0
+              in
+              expect "describe carries the entangle/serve/1 envelope"
+                (contains json schema)
+          | Error _ -> expect "describe carries the entangle/serve/1 envelope" false);
+          List.iter
+            (fun (inst : Instance.t) ->
+              let local = Instance.check inst in
+              let r = remote_check client inst in
+              expect
+                (Fmt.str "%s: remote verdict = local" inst.Instance.name)
+                (r.P.verdict = local_tag local);
+              expect
+                (Fmt.str "%s: remote exit code = local" inst.Instance.name)
+                (r.P.exit_code = Entangle.Refine.exit_code local);
+              expect
+                (Fmt.str "%s: remote stats = local modulo wall time"
+                   inst.Instance.name)
+                (strip r.P.stats = strip (result_stats local)))
+            fidelity_insts;
+          match Cl.cache_stats client with
+          | Ok (P.Error_reply { code = P.Bad_request; _ }) ->
+              expect "uncached daemon: cache-stats is a structured bad-request"
+                true
+          | _ ->
+              expect "uncached daemon: cache-stats is a structured bad-request"
+                false);
+      (* A client from the future is rejected with a frame naming both
+         versions — and the daemon keeps serving afterwards. *)
+      (match Cl.raw_hello ~socket:sock ~protocol:(P.protocol_version + 1) with
+      | Ok (P.Rejected { expected; got; _ }) ->
+          expect "future protocol: structured rejection names versions"
+            (expected = P.protocol_version && got = P.protocol_version + 1)
+      | _ -> expect "future protocol: structured rejection names versions" false);
+      with_client (fun client ->
+          expect "daemon survives the rejected client" (Cl.ping client = Ok ())));
+
+  (* 2. Warm daemon: cached re-check with zero saturation, asserted on
+     the daemon's own trace stream; namespace isolation. *)
+  with_temp_cache (fun cache ->
+      let collector = Trace.Collect.create () in
+      let config =
+        Entangle.Config.default
+        |> Entangle.Config.with_trace (Trace.Collect.sink collector)
+      in
+      with_server ~cache config (fun _server ->
+          with_client (fun client ->
+              let gpt () = Gpt.build ~layers:1 ~degree:2 () in
+              let iteration_events () =
+                List.length
+                  (List.filter
+                     (fun (e : Trace.Event.t) -> e.cat = "iteration")
+                     (Trace.Collect.events collector))
+              in
+              let cold = remote_check client (gpt ()) in
+              let ops = cold.P.stats.Entangle.Refine.operators_processed in
+              expect "cold daemon check: one miss per operator"
+                (cold.P.stats.Entangle.Refine.cache_misses = ops
+                && cold.P.stats.Entangle.Refine.cache_hits = 0
+                && ops > 0);
+              let iterations_cold = iteration_events () in
+              expect "cold daemon check: saturation ran" (iterations_cold > 0);
+              let warm = remote_check client (gpt ()) in
+              expect "warm GPT re-check: every operator served from cache"
+                (warm.P.stats.Entangle.Refine.cache_hits = ops
+                && warm.P.stats.Entangle.Refine.cache_misses = 0);
+              expect "warm GPT re-check: zero saturation in reply stats"
+                (warm.P.stats.Entangle.Refine.saturation_iterations = 0);
+              expect "warm GPT re-check: no saturation events on the trace"
+                (iteration_events () = iterations_cold);
+              expect "warm GPT re-check: verdict unchanged"
+                (warm.P.verdict = cold.P.verdict && warm.P.exit_code = 0);
+              expect "trace stream carries cat:serve request spans"
+                (List.exists
+                   (fun (e : Trace.Event.t) -> e.cat = "serve")
+                   (Trace.Collect.events collector));
+              let tenant = remote_check client ~namespace:"tenant-b" (gpt ()) in
+              expect "fresh namespace: blind to the shared namespace"
+                (tenant.P.stats.Entangle.Refine.cache_hits = 0
+                && tenant.P.stats.Entangle.Refine.cache_misses = ops);
+              let tenant2 = remote_check client ~namespace:"tenant-b" (gpt ()) in
+              expect "namespace re-check: warm within its own namespace"
+                (tenant2.P.stats.Entangle.Refine.cache_hits = ops);
+              (match Cl.cache_stats client with
+              | Ok (P.Cache_stats_reply r) ->
+                  expect "daemon cache-stats sees both namespaces' entries"
+                    (r.P.entries > ops)
+              | _ ->
+                  expect "daemon cache-stats sees both namespaces' entries"
+                    false);
+              match Cl.cache_clear client with
+              | Ok (P.Cache_cleared n) ->
+                  expect "cache-clear over the wire removes entries" (n > 0)
+              | _ -> expect "cache-clear over the wire removes entries" false)));
+
+  (* 3. A byte-budgeted daemon store: the LRU sweep keeps the store
+     within budget, visible in the wire statistics. *)
+  let lru_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "entangle-serve-smoke-lru.%d" (Unix.getpid ()))
+  in
+  let lru_budget = 200 in
+  Fun.protect
+    ~finally:(fun () -> try rm_rf lru_dir with Sys_error _ -> ())
+    (fun () ->
+      let budget =
+        { Entangle_cache.Store.max_bytes = Some lru_budget; max_age_s = None }
+      in
+      match Entangle_cache.Cache.create ~dir:lru_dir ~budget () with
+      | Error e ->
+          Fmt.epr "cannot open budgeted cache: %s@." e;
+          exit 1
+      | Ok cache ->
+          with_server ~cache Entangle.Config.default (fun _server ->
+              with_client (fun client ->
+                  let r = remote_check client (Regression.build ()) in
+                  expect "budgeted daemon: check still succeeds"
+                    (r.P.exit_code = 0);
+                  match Cl.cache_stats client with
+                  | Ok (P.Cache_stats_reply s) ->
+                      expect
+                        (Fmt.str "store respects the %d-byte LRU budget"
+                           lru_budget)
+                        (s.P.bytes <= lru_budget
+                        && s.P.max_bytes = Some lru_budget);
+                      expect "sweep evicted least-recently-used entries"
+                        (s.P.evicted_entries > 0)
+                  | _ ->
+                      expect "budgeted daemon reports stats over the wire"
+                        false)));
+  if !failures > 0 then begin
+    Fmt.epr "serve smoke: %d violation(s)@." !failures;
+    exit 1
+  end;
+  Fmt.pr "the resident service is faithful, warm and budgeted@."
+
 (* --- Extensions beyond the paper's evaluation --------------------------- *)
 
 let extensions () =
@@ -853,6 +1099,7 @@ let () =
       ("smoke", smoke);
       ("cache-smoke", cache_smoke);
       ("par-smoke", par_smoke);
+      ("serve-smoke", serve_smoke);
       ("counters", counters);
       ("perf", perf);
     ]

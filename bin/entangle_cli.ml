@@ -30,7 +30,11 @@ module Output_opts = struct
     cache_dir : string option;
     no_cache : bool;
     cache_verify : bool;
+    cache_max_bytes : int option;
+    cache_max_age_s : float option;
     jobs : int;
+    remote : string option;
+    namespace : string option;
   }
 
   let term =
@@ -129,6 +133,30 @@ module Output_opts = struct
       in
       Arg.(value & flag & info [ "cache-verify" ] ~doc)
     in
+    let cache_max_bytes =
+      let doc =
+        "Byte budget for the certificate cache: when the store grows \
+         past $(docv), least-recently-used entries are evicted until it \
+         fits (inclusive ceiling). Overrides \
+         $(b,\\$ENTANGLE_CACHE_MAX_BYTES). Unset = unbounded."
+      in
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "cache-max-bytes" ] ~docv:"BYTES" ~doc)
+    in
+    let cache_max_age_s =
+      let doc =
+        "Age bound for certificate-cache entries, in seconds since last \
+         use: older entries are expired on lookup and at sweeps. \
+         Overrides $(b,\\$ENTANGLE_CACHE_MAX_AGE_S). Unset = no age \
+         bound."
+      in
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "cache-max-age-s" ] ~docv:"SECONDS" ~doc)
+    in
     let jobs =
       let doc =
         "Check operators on $(docv) OCaml domains. Only operators with \
@@ -139,8 +167,34 @@ module Output_opts = struct
       in
       Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
     in
+    let remote =
+      let doc =
+        "Run the check on the resident $(b,entangle serve) daemon \
+         listening on the Unix-domain socket $(docv) instead of in this \
+         process. Verdicts, reports, exit codes and statistics are \
+         identical to a local run; the daemon keeps the lemma corpus \
+         and certificate cache warm across invocations."
+      in
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "remote" ] ~docv:"SOCKET" ~doc)
+    in
+    let namespace =
+      let doc =
+        "Certificate-cache namespace: checks under different namespaces \
+         share a store (and its retention budget) but never observe \
+         each other's entries. The empty default is the shared \
+         namespace."
+      in
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "namespace" ] ~docv:"NAME" ~doc)
+    in
     let make verbose json trace profile deadline op_deadline keep_going
-        no_retries failpoints cache_dir no_cache cache_verify jobs =
+        no_retries failpoints cache_dir no_cache cache_verify cache_max_bytes
+        cache_max_age_s jobs remote namespace =
       {
         verbose;
         json;
@@ -154,13 +208,18 @@ module Output_opts = struct
         cache_dir;
         no_cache;
         cache_verify;
+        cache_max_bytes;
+        cache_max_age_s;
         jobs;
+        remote;
+        namespace;
       }
     in
     Term.(
       const make $ verbose $ json $ trace $ profile $ deadline $ op_deadline
       $ keep_going $ no_retries $ failpoints $ cache_dir $ no_cache
-      $ cache_verify $ jobs)
+      $ cache_verify $ cache_max_bytes $ cache_max_age_s $ jobs $ remote
+      $ namespace)
 
   (* Set up the sinks the options ask for, run [f] with the combined
      sink, then finish the trace file and print the profile. The
@@ -213,6 +272,21 @@ module Output_opts = struct
         124
     | Ok () -> with_sink_armed o f
 
+  (* The store retention budget the options imply: flags override the
+     ENTANGLE_CACHE_MAX_BYTES / ENTANGLE_CACHE_MAX_AGE_S environment. *)
+  let budget o =
+    let base = Entangle_cache.Store.env_budget () in
+    {
+      Entangle_cache.Store.max_bytes =
+        (match o.cache_max_bytes with
+        | Some _ as b -> b
+        | None -> base.Entangle_cache.Store.max_bytes);
+      max_age_s =
+        (match o.cache_max_age_s with
+        | Some _ as a -> a
+        | None -> base.Entangle_cache.Store.max_age_s);
+    }
+
   (* The checker configuration the options imply, on top of [base].
      The certificate cache is on by default for CLI runs (the library
      default stays off) but is force-disabled when failpoints are
@@ -222,7 +296,9 @@ module Output_opts = struct
     let cache =
       if o.no_cache || o.failpoints <> None then None
       else
-        match Entangle_cache.Cache.create ?dir:o.cache_dir () with
+        match
+          Entangle_cache.Cache.create ?dir:o.cache_dir ~budget:(budget o) ()
+        with
         | Ok c -> Some c
         | Error e ->
             Fmt.epr "warning: cannot open certificate cache (%s); running                      uncached@."
@@ -236,6 +312,8 @@ module Output_opts = struct
     |> Entangle.Config.with_keep_going o.keep_going
     |> Entangle.Config.with_cache cache
     |> Entangle.Config.with_cache_verify o.cache_verify
+    |> Entangle.Config.with_cache_namespace
+         (Option.value o.namespace ~default:"")
     |> Entangle.Config.with_jobs o.jobs
     |> fun c ->
     if o.no_retries then Entangle.Config.with_escalation [] c else c
@@ -285,6 +363,83 @@ let check_instance ?config inst =
   | Error failure ->
       Fmt.pr "%a@." (Entangle.Report.pp_failure inst.Instance.gs) failure;
       Entangle.Refine.exit_code (Error failure)
+
+(* --- remote checking ----------------------------------------------------- *)
+
+module Serve = Entangle_serve
+
+(* Ship one check to the resident daemon: graphs and relation travel
+   structurally, the verbatim report comes back with the verdict, exit
+   code and statistics a local run would have produced. *)
+let remote_reply ~socket ~options ~gs ~gd ~input_relation =
+  match Serve.Client.connect ~socket () with
+  | Error e -> Error (Fmt.str "cannot reach daemon on %s: %s" socket e)
+  | Ok client ->
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close client)
+        (fun () ->
+          Serve.Client.check client ~options
+            ~gs:(Entangle_ir.Serial.graph_to_sexp gs)
+            ~gd:(Entangle_ir.Serial.graph_to_sexp gd)
+            ~relation:(Entangle.Relation_io.to_sexp input_relation)
+            ())
+
+let remote_options (opts : Output_opts.t) ~family =
+  {
+    Serve.Protocol.family;
+    namespace = opts.Output_opts.namespace;
+    jobs = (if opts.Output_opts.jobs > 1 then Some opts.Output_opts.jobs else None);
+    keep_going = opts.Output_opts.keep_going;
+  }
+
+(* [handle_success] maps a successful remote verdict to the exit code;
+   [verify] replays the returned certificate locally (same as the local
+   path), [check-files] just accepts it. *)
+let remote_check ~socket ~options ~gs ~gd ~input_relation ~handle_success =
+  match remote_reply ~socket ~options ~gs ~gd ~input_relation with
+  | Error e ->
+      Fmt.epr "%s@." e;
+      124
+  | Ok (Serve.Protocol.Error_reply { code; message }) ->
+      Fmt.epr "daemon error: %s@." message;
+      Serve.Protocol.error_exit_code code
+  | Ok (Serve.Protocol.Checked r) ->
+      Fmt.pr "%s@." r.Serve.Protocol.report;
+      if r.Serve.Protocol.exit_code = 0 then
+        handle_success r.Serve.Protocol.output_relation
+      else r.Serve.Protocol.exit_code
+  | Ok _ ->
+      Fmt.epr "unexpected daemon reply@.";
+      3
+
+let remote_check_instance opts socket (inst : Instance.t) =
+  Fmt.pr "Checking %a@." Instance.pp inst;
+  let options =
+    remote_options opts
+      ~family:
+        (Some (Entangle_lemmas.Registry.family_name inst.Instance.family))
+  in
+  let gs = inst.Instance.gs and gd = inst.Instance.gd in
+  let input_relation = inst.Instance.input_relation in
+  remote_check ~socket ~options ~gs ~gd ~input_relation
+    ~handle_success:(fun output_relation ->
+      let replayed =
+        match output_relation with
+        | None -> Error "daemon reply carried no certificate"
+        | Some rel_sexp -> (
+            match Entangle.Relation_io.of_sexp ~gs ~gd rel_sexp with
+            | Error e -> Error ("unreadable certificate: " ^ e)
+            | Ok output_relation ->
+                Entangle.Certify.replay ~env:inst.Instance.env ~gs ~gd
+                  ~input_relation ~output_relation ())
+      in
+      match replayed with
+      | Ok () ->
+          Fmt.pr "Certificate replay on concrete data: OK@.";
+          0
+      | Error e ->
+          Fmt.pr "Certificate replay FAILED: %s@." e;
+          3)
 
 (* --- verify ------------------------------------------------------------ *)
 
@@ -352,7 +507,10 @@ let verify_cmd =
           | _ -> None
         in
         match inst with
-        | Some inst -> check_instance ~config inst
+        | Some inst -> (
+            match opts.Output_opts.remote with
+            | Some socket -> remote_check_instance opts socket inst
+            | None -> check_instance ~config inst)
         | None ->
             Fmt.epr "unknown model %s; try: %a@." model
               Fmt.(list ~sep:comma string)
@@ -427,13 +585,23 @@ let check_files_cmd =
             Fmt.epr "error loading inputs: %s@." e;
             124
         | Ok (gs, gd, input_relation) -> (
-            match Entangle.Refine.check ~config ~gs ~gd ~input_relation () with
-            | Ok success ->
-                Fmt.pr "%a@." (Entangle.Report.pp_success gs) success;
-                0
-            | Error failure ->
-                Fmt.pr "%a@." (Entangle.Report.pp_failure gs) failure;
-                Entangle.Refine.exit_code (Error failure)))
+            match opts.Output_opts.remote with
+            | Some socket ->
+                (* No family: the full corpus, same as the local path. *)
+                remote_check ~socket
+                  ~options:(remote_options opts ~family:None)
+                  ~gs ~gd ~input_relation
+                  ~handle_success:(fun _ -> 0)
+            | None -> (
+                match
+                  Entangle.Refine.check ~config ~gs ~gd ~input_relation ()
+                with
+                | Ok success ->
+                    Fmt.pr "%a@." (Entangle.Report.pp_success gs) success;
+                    0
+                | Error failure ->
+                    Fmt.pr "%a@." (Entangle.Report.pp_failure gs) failure;
+                    Entangle.Refine.exit_code (Error failure))))
   in
   let info =
     Cmd.info "check-files" ~exits:verdict_exits
@@ -579,14 +747,19 @@ let lint_cmd =
               @ match verify with Some (ds, _, _) -> ds | None -> []
             in
             if opts.Output_opts.json then begin
-              match verify with
-              | Some (_, report, cover) ->
-                  Printf.printf
-                    "{\"diagnostics\": %s, \"coverage\": %s}\n"
-                    (A.Diagnostic.report_to_json diags)
-                    (A.Lint.coverage_to_json
-                       (report.A.Lemma_verify.rank_bound, cover))
-              | None -> print_endline (A.Diagnostic.report_to_json diags)
+              let module J = Trace.Jsonw in
+              print_endline
+                (J.envelope ~name:"lint" ~version:1
+                   [
+                     ("diagnostics", J.Raw (A.Diagnostic.report_to_json diags));
+                     ( "coverage",
+                       match verify with
+                       | Some (_, report, cover) ->
+                           J.Raw
+                             (A.Lint.coverage_to_json
+                                (report.A.Lemma_verify.rank_bound, cover))
+                       | None -> J.Null );
+                   ])
             end
             else begin
               Fmt.pr "Linted %d graphs; audited %d lemmas (%d exercised, %d \
@@ -683,44 +856,91 @@ let trace_check_cmd =
 
 (* --- cache: inspect and maintain the certificate store ------------------ *)
 
+(* Shared by [cache stats --json] and [remote stats --json]: local and
+   daemon-side stores must render identically. *)
+let cache_stats_json ~dir ~entries ~bytes ~shards ~quarantined ~max_bytes
+    ~max_age_s ~evicted_entries ~evicted_bytes ~expired_entries =
+  let module J = Trace.Jsonw in
+  J.envelope ~name:"cache-stats" ~version:1
+    [
+      ("dir", J.Str dir);
+      ("entries", J.Int entries);
+      ("bytes", J.Int bytes);
+      ("shards", J.Int shards);
+      ("quarantined", J.Int quarantined);
+      ("max_bytes", match max_bytes with Some b -> J.Int b | None -> J.Null);
+      ("max_age_s", match max_age_s with Some a -> J.Float a | None -> J.Null);
+      ("evicted_entries", J.Int evicted_entries);
+      ("evicted_bytes", J.Int evicted_bytes);
+      ("expired_entries", J.Int expired_entries);
+    ]
+
+let print_cache_stats ~json ~dir ~entries ~bytes ~shards ~quarantined
+    ~max_bytes ~max_age_s ~evicted_entries ~evicted_bytes ~expired_entries =
+  if json then
+    print_endline
+      (cache_stats_json ~dir ~entries ~bytes ~shards ~quarantined ~max_bytes
+         ~max_age_s ~evicted_entries ~evicted_bytes ~expired_entries)
+  else begin
+    Fmt.pr "cache %s: %d entries (%d bytes, %d shards), %d quarantined@." dir
+      entries bytes shards quarantined;
+    Fmt.pr "  budget: %s, age bound %s@."
+      (match max_bytes with
+      | Some b -> Fmt.str "%d bytes" b
+      | None -> "unbounded")
+      (match max_age_s with
+      | Some a -> Fmt.str "%gs" a
+      | None -> "none");
+    Fmt.pr "  retention: %d evicted (%d bytes), %d expired@." evicted_entries
+      evicted_bytes expired_entries
+  end
+
 let cache_cmd =
   let module C = Entangle_cache.Cache in
-  let run opts action =
+  let module S = Entangle_cache.Store in
+  let run opts action gc =
     Output_opts.with_sink opts (fun _sink ->
-        match C.create ?dir:opts.Output_opts.cache_dir () with
+        match
+          C.create ?dir:opts.Output_opts.cache_dir
+            ~budget:(Output_opts.budget opts) ()
+        with
         | Error e ->
             Fmt.epr "cannot open certificate cache: %s@." e;
             124
-        | Ok cache -> (
-            match action with
-            | `Stats ->
-                let s = C.stats cache in
-                if opts.Output_opts.json then
+        | Ok cache ->
+            let code =
+              match action with
+              | `Stats ->
+                  let s = C.stats cache in
+                  print_cache_stats ~json:opts.Output_opts.json
+                    ~dir:(C.dir cache) ~entries:s.S.entries ~bytes:s.S.bytes
+                    ~shards:s.S.shards ~quarantined:s.S.quarantined
+                    ~max_bytes:s.S.max_bytes ~max_age_s:s.S.max_age_s
+                    ~evicted_entries:s.S.evicted_entries
+                    ~evicted_bytes:s.S.evicted_bytes
+                    ~expired_entries:s.S.expired_entries;
+                  0
+              | `Clear ->
+                  let removed = C.clear cache in
+                  Fmt.pr "cache %s: removed %d entries@." (C.dir cache) removed;
+                  0
+              | `Verify ->
+                  let v = C.verify cache in
                   Fmt.pr
-                    {|{"dir": %S, "entries": %d, "bytes": %d, "shards": %d, "quarantined": %d}@.|}
-                    (C.dir cache) s.Entangle_cache.Store.entries
-                    s.Entangle_cache.Store.bytes s.Entangle_cache.Store.shards
-                    s.Entangle_cache.Store.quarantined
-                else
-                  Fmt.pr
-                    "cache %s: %d entries (%d bytes, %d shards), %d \
-                     quarantined@."
-                    (C.dir cache) s.Entangle_cache.Store.entries
-                    s.Entangle_cache.Store.bytes s.Entangle_cache.Store.shards
-                    s.Entangle_cache.Store.quarantined;
-                0
-            | `Clear ->
-                let removed = C.clear cache in
-                Fmt.pr "cache %s: removed %d entries@." (C.dir cache) removed;
-                0
-            | `Verify ->
-                let v = C.verify cache in
-                Fmt.pr
-                  "cache %s: checked %d entries, %d ok, %d invalid \
-                   (quarantined)@."
-                  (C.dir cache) v.Entangle_cache.Store.checked
-                  v.Entangle_cache.Store.ok v.Entangle_cache.Store.invalid;
-                if v.Entangle_cache.Store.invalid = 0 then 0 else 1))
+                    "cache %s: checked %d entries, %d ok, %d invalid \
+                     (quarantined)@."
+                    (C.dir cache) v.S.checked v.S.ok v.S.invalid;
+                  if v.S.invalid = 0 then 0 else 1
+            in
+            if gc then begin
+              let r = C.gc cache in
+              Fmt.pr
+                "gc %s: expired %d, evicted %d (%d bytes freed); %d entries \
+                 (%d bytes) remain@."
+                (C.dir cache) r.S.expired r.S.evicted r.S.freed_bytes
+                r.S.remaining_entries r.S.remaining_bytes
+            end;
+            code)
   in
   let action =
     let actions = [ ("stats", `Stats); ("clear", `Clear); ("verify", `Verify) ] in
@@ -729,18 +949,188 @@ let cache_cmd =
       & pos 0 (some (enum actions)) None
       & info [] ~docv:"ACTION"
           ~doc:
-            "$(b,stats) prints entry counts and sizes; $(b,clear) removes \
-             every entry; $(b,verify) re-validates every entry's payload, \
-             quarantining damage (exits 1 if any entry was invalid).")
+            "$(b,stats) prints entry counts, sizes and retention activity; \
+             $(b,clear) removes every entry; $(b,verify) re-validates every \
+             entry's payload, quarantining damage (exits 1 if any entry was \
+             invalid).")
+  in
+  let gc =
+    Arg.(
+      value & flag
+      & info [ "gc" ]
+          ~doc:
+            "After the action, compact the store in one shot: drop entries \
+             older than the age bound, then evict least-recently-used \
+             entries until the byte budget (--cache-max-bytes or \
+             $(b,\\$ENTANGLE_CACHE_MAX_BYTES)) is met, and clean up stale \
+             temporary files. With no budget configured only the cleanup \
+             runs. Typically $(b,entangle cache verify --gc).")
   in
   let info =
     Cmd.info "cache"
       ~doc:
         "Inspect or maintain the persistent certificate cache (see \
          --cache-dir; checking commands populate it automatically unless \
-         --no-cache is given)."
+         --no-cache is given). Retention defaults: no byte budget and no \
+         age bound — entries live until $(b,clear), $(b,--gc), or a budget \
+         set via flags or environment evicts them, least-recently-used \
+         first."
   in
-  Cmd.v info Term.(const run $ Output_opts.term $ action)
+  Cmd.v info Term.(const run $ Output_opts.term $ action $ gc)
+
+(* --- serve / remote: the resident checker service ------------------------ *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"SOCKET"
+        ~doc:"Path of the daemon's Unix-domain socket.")
+
+let serve_cmd =
+  let run opts socket name max_connections =
+    Output_opts.with_sink opts (fun sink ->
+        let config = Output_opts.config opts sink in
+        match
+          Serve.Server.create ~name ~config ?max_connections ~socket ()
+        with
+        | Error e ->
+            Fmt.epr "%s@." e;
+            124
+        | Ok server ->
+            Fmt.pr "entangle serve: listening on %s (protocol %d)@." socket
+              Serve.Protocol.protocol_version;
+            Serve.Server.run server;
+            Fmt.pr "entangle serve: done after %d requests@."
+              (Serve.Server.requests_served server);
+            0)
+  in
+  let name_arg =
+    Arg.(
+      value
+      & opt string "entangle-serve"
+      & info [ "name" ] ~docv:"NAME"
+          ~doc:"Server identity echoed in the handshake and $(b,describe).")
+  in
+  let max_connections =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Exit after serving $(docv) connections (mainly for tests; \
+             default: serve until $(b,remote shutdown)).")
+  in
+  let info =
+    Cmd.info "serve" ~exits:Cmd.Exit.defaults
+      ~doc:
+        "Run the resident checker daemon: keep the lemma corpus, \
+         configuration and certificate cache warm in one process and answer \
+         checks over a Unix-domain socket (see $(b,--remote) on $(b,verify) \
+         and $(b,check-files), and the $(b,remote) command). Remote checks \
+         return the same verdicts, reports, exit codes and statistics as \
+         local runs. Cache retention flags (--cache-max-bytes, \
+         --cache-max-age-s) apply to the daemon's store."
+  in
+  Cmd.v info
+    Term.(const run $ Output_opts.term $ socket_arg $ name_arg $ max_connections)
+
+let remote_cmd =
+  let module Cl = Serve.Client in
+  let module P = Serve.Protocol in
+  let run opts socket action =
+    Output_opts.with_sink opts (fun _sink ->
+        match Cl.connect ~socket () with
+        | Error e ->
+            Fmt.epr "cannot reach daemon on %s: %s@." socket e;
+            124
+        | Ok client ->
+            Fun.protect
+              ~finally:(fun () -> Cl.close client)
+              (fun () ->
+                let transport e =
+                  Fmt.epr "%s@." e;
+                  124
+                in
+                let daemon_error code message =
+                  Fmt.epr "daemon error: %s@." message;
+                  P.error_exit_code code
+                in
+                match action with
+                | `Ping -> (
+                    match Cl.ping client with
+                    | Ok () ->
+                        Fmt.pr "pong@.";
+                        0
+                    | Error e -> transport e)
+                | `Describe -> (
+                    match Cl.describe client with
+                    | Ok json ->
+                        print_endline json;
+                        0
+                    | Error e -> transport e)
+                | `Shutdown -> (
+                    match Cl.shutdown client with
+                    | Ok () ->
+                        Fmt.pr "daemon shut down@.";
+                        0
+                    | Error e -> transport e)
+                | `Stats -> (
+                    match Cl.cache_stats client with
+                    | Ok (P.Cache_stats_reply r) ->
+                        print_cache_stats ~json:opts.Output_opts.json
+                          ~dir:r.P.dir ~entries:r.P.entries ~bytes:r.P.bytes
+                          ~shards:r.P.shards ~quarantined:r.P.quarantined
+                          ~max_bytes:r.P.max_bytes ~max_age_s:r.P.max_age_s
+                          ~evicted_entries:r.P.evicted_entries
+                          ~evicted_bytes:r.P.evicted_bytes
+                          ~expired_entries:r.P.expired_entries;
+                        0
+                    | Ok (P.Error_reply { code; message }) ->
+                        daemon_error code message
+                    | Ok _ ->
+                        Fmt.epr "unexpected daemon reply@.";
+                        3
+                    | Error e -> transport e)
+                | `Clear -> (
+                    match Cl.cache_clear client with
+                    | Ok (P.Cache_cleared n) ->
+                        Fmt.pr "daemon cache: removed %d entries@." n;
+                        0
+                    | Ok (P.Error_reply { code; message }) ->
+                        daemon_error code message
+                    | Ok _ ->
+                        Fmt.epr "unexpected daemon reply@.";
+                        3
+                    | Error e -> transport e)))
+  in
+  let action =
+    let actions =
+      [
+        ("ping", `Ping);
+        ("stats", `Stats);
+        ("clear", `Clear);
+        ("describe", `Describe);
+        ("shutdown", `Shutdown);
+      ]
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum actions)) None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "$(b,ping) checks liveness; $(b,stats) prints the daemon's \
+             cache statistics (same shape as $(b,cache stats)); $(b,clear) \
+             empties the daemon's cache; $(b,describe) prints the protocol \
+             introspection document; $(b,shutdown) asks the daemon to exit.")
+  in
+  let info =
+    Cmd.info "remote"
+      ~doc:
+        "Talk to a running $(b,entangle serve) daemon: liveness, cache \
+         inspection and maintenance, protocol introspection, shutdown."
+  in
+  Cmd.v info Term.(const run $ Output_opts.term $ socket_arg $ action)
 
 let main =
   let info =
@@ -758,6 +1148,8 @@ let main =
       lint_cmd;
       trace_check_cmd;
       cache_cmd;
+      serve_cmd;
+      remote_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

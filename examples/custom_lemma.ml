@@ -69,5 +69,5 @@ let () =
   | Ok success ->
       Fmt.pr "With the lemma:@.%a@." (Entangle.Report.pp_success gs) success
   | Error f ->
-      Fmt.pr "still failing: %s@." (Entangle.Refine.reason f);
+      Fmt.pr "still failing: %s@." (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict);
       exit 1

@@ -5,7 +5,9 @@ let err fmt = Fmt.kstr (fun s -> Error s) fmt
 
 type t = { store : Store.t }
 
-let create ?dir () = Result.map (fun store -> { store }) (Store.open_ ?dir ())
+let create ?dir ?budget () =
+  Result.map (fun store -> { store }) (Store.open_ ?dir ?budget ())
+
 let dir t = Store.dir t.store
 
 type provenance = Hit | Miss | Replay_failed of string
@@ -273,6 +275,7 @@ let put ctx ~key entry =
 
 let stats (t : t) = Store.stats t.store
 let clear (t : t) = Store.clear t.store
+let gc ?budget (t : t) = Store.gc ?budget t.store
 
 let verify (t : t) =
   Store.verify t.store ~check:(fun ~key:_ payload ->

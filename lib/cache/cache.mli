@@ -35,9 +35,10 @@ open Entangle_ir
 type t
 (** A handle on an opened on-disk store. *)
 
-val create : ?dir:string -> unit -> (t, string) result
+val create : ?dir:string -> ?budget:Store.budget -> unit -> (t, string) result
 (** Open (creating if needed) the store at [dir], defaulting to
-    {!Store.default_dir}. *)
+    {!Store.default_dir}; [budget] (default {!Store.env_budget})
+    bounds the store's size and entry age — see {!Store}. *)
 
 val dir : t -> string
 
@@ -104,6 +105,9 @@ val put : ctx -> key:string -> entry -> unit
 
 val stats : t -> Store.stats
 val clear : t -> int
+
+val gc : ?budget:Store.budget -> t -> Store.gc_result
+(** One-shot retention sweep — see {!Store.gc}. *)
 
 val verify : t -> Store.verify_result
 (** Structurally validate every entry's payload (header, key and

@@ -1,15 +1,61 @@
 let version = "entangle-cache/1"
 let version_prefix = "entangle-cache/"
 
-(* [lock] serializes get/put: entries are one file each and writes are
-   atomic renames, so concurrent access would not corrupt the store,
-   but the parallel checker's domains share one handle and the lock
-   keeps the read-then-quarantine/stale-removal paths free of
-   same-file races. Maintenance walks (stats/clear/verify) stay
-   unguarded — they are CLI-only and never run during a check. *)
-type t = { dir : string; lock : Mutex.t }
+(* --- retention budget ---------------------------------------------------- *)
+
+type budget = { max_bytes : int option; max_age_s : float option }
+
+let no_budget = { max_bytes = None; max_age_s = None }
+
+let env_budget () =
+  let pos_int name =
+    match Sys.getenv_opt name with
+    | Some s when s <> "" -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n > 0 -> Some n
+        | _ -> None)
+    | _ -> None
+  in
+  let pos_float name =
+    match Sys.getenv_opt name with
+    | Some s when s <> "" -> (
+        match float_of_string_opt (String.trim s) with
+        | Some f when f > 0. -> Some f
+        | _ -> None)
+    | _ -> None
+  in
+  {
+    max_bytes = pos_int "ENTANGLE_CACHE_MAX_BYTES";
+    max_age_s = pos_float "ENTANGLE_CACHE_MAX_AGE_S";
+  }
+
+(* [lock] serializes get/put and the eviction sweeps: entries are one
+   file each and writes are atomic renames, so concurrent access would
+   not corrupt the store, but the parallel checker's domains share one
+   handle and the lock keeps the read-then-quarantine/stale-removal
+   and accounting paths free of same-file races. A {e second process}
+   (a resident daemon and a CLI run sharing one directory) is safe by
+   construction rather than by the lock: writes land by rename, reads
+   of a concurrently evicted entry degrade to misses, and the eviction
+   sweep re-walks the directory instead of trusting this handle's
+   running byte estimate, so cross-process accounting drift can cost
+   at most one extra walk, never a wrong deletion of a fresh entry.
+   Maintenance walks (stats/clear/verify/gc) take the lock too now
+   that a resident server may run them concurrently with checks. *)
+type t = {
+  dir : string;
+  lock : Mutex.t;
+  budget : budget;
+  mutable approx_bytes : int;
+      (* running estimate of total object bytes; only ever used to
+         decide when to sweep — the sweep itself re-measures *)
+  mutable evicted_entries : int;
+  mutable evicted_bytes : int;
+  mutable expired_entries : int;
+}
 
 let dir t = t.dir
+let budget t = t.budget
 let objects_dir t = Filename.concat t.dir "objects"
 let tmp_dir t = Filename.concat t.dir "tmp"
 let quarantine_dir t = Filename.concat t.dir "quarantine"
@@ -35,16 +81,6 @@ let rec mkdir_p d =
     if parent <> d then mkdir_p parent;
     try Sys.mkdir d 0o755 with Sys_error _ -> ()
   end
-
-let open_ ?dir () =
-  let dir = match dir with Some d -> d | None -> default_dir () in
-  let t = { dir; lock = Mutex.create () } in
-  mkdir_p (objects_dir t);
-  mkdir_p (tmp_dir t);
-  mkdir_p (quarantine_dir t);
-  if Sys.file_exists (objects_dir t) && Sys.is_directory (objects_dir t) then
-    Ok t
-  else Error (Fmt.str "cannot create cache directory %s" dir)
 
 let shard key = if String.length key >= 2 then String.sub key 0 2 else "xx"
 
@@ -81,10 +117,124 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+let list_dir d =
+  match Sys.readdir d with
+  | exception Sys_error _ -> []
+  | entries ->
+      let l = Array.to_list entries in
+      List.sort String.compare l
+
+let iter_entries t f =
+  List.iter
+    (fun sh ->
+      let shd = Filename.concat (objects_dir t) sh in
+      if (try Sys.is_directory shd with Sys_error _ -> false) then
+        List.iter
+          (fun name -> f ~key:name ~path:(Filename.concat shd name))
+          (list_dir shd))
+    (list_dir (objects_dir t))
+
+(* One (path, bytes, mtime) row per object file — the ground truth the
+   sweep and the statistics walk measure, deliberately never the
+   in-memory estimate (another process may have written or evicted
+   entries since). Quarantined and tmp files are outside [objects/]
+   and therefore never counted against the budget. *)
+let measure t =
+  let rows = ref [] in
+  iter_entries t (fun ~key:_ ~path ->
+      match Unix.stat path with
+      | exception Unix.Unix_error _ -> ()
+      | st ->
+          rows := (path, st.Unix.st_size, st.Unix.st_mtime) :: !rows);
+  !rows
+
+(* The retention sweep: drop age-expired entries, then evict in
+   least-recently-used order (oldest mtime first; [get] touches
+   entries on every hit) until total bytes fit the budget. An entry
+   exactly at the budget boundary is kept — the budget is an
+   inclusive ceiling. Returns (expired, evicted, evicted_bytes,
+   remaining_entries, remaining_bytes). Caller holds the lock. *)
+let sweep_locked t ~budget =
+  let now = Unix.gettimeofday () in
+  let rows = measure t in
+  let expired, live =
+    match budget.max_age_s with
+    | None -> ([], rows)
+    | Some age ->
+        List.partition (fun (_, _, mtime) -> now -. mtime > age) rows
+  in
+  List.iter (fun (p, _, _) -> remove_quietly p) expired;
+  let live = List.sort (fun (_, _, a) (_, _, b) -> compare a b) live in
+  let total = List.fold_left (fun acc (_, sz, _) -> acc + sz) 0 live in
+  let evicted = ref 0 and evicted_bytes = ref 0 in
+  let remaining = ref total and kept = ref (List.length live) in
+  (match budget.max_bytes with
+  | None -> ()
+  | Some cap ->
+      List.iter
+        (fun (p, sz, _) ->
+          if !remaining > cap then begin
+            remove_quietly p;
+            incr evicted;
+            evicted_bytes := !evicted_bytes + sz;
+            remaining := !remaining - sz;
+            decr kept
+          end)
+        live);
+  t.approx_bytes <- !remaining;
+  t.expired_entries <- t.expired_entries + List.length expired;
+  t.evicted_entries <- t.evicted_entries + !evicted;
+  t.evicted_bytes <- t.evicted_bytes + !evicted_bytes;
+  (List.length expired, !evicted, !evicted_bytes, !kept, !remaining)
+
+let open_ ?dir ?budget () =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  let budget = match budget with Some b -> b | None -> env_budget () in
+  let t =
+    {
+      dir;
+      lock = Mutex.create ();
+      budget;
+      approx_bytes = 0;
+      evicted_entries = 0;
+      evicted_bytes = 0;
+      expired_entries = 0;
+    }
+  in
+  mkdir_p (objects_dir t);
+  mkdir_p (tmp_dir t);
+  mkdir_p (quarantine_dir t);
+  if Sys.file_exists (objects_dir t) && Sys.is_directory (objects_dir t) then begin
+    if budget.max_bytes <> None then
+      t.approx_bytes <-
+        List.fold_left (fun acc (_, sz, _) -> acc + sz) 0 (measure t);
+    Ok t
+  end
+  else Error (Fmt.str "cannot create cache directory %s" dir)
+
+let touch p = try Unix.utimes p 0. 0. with Unix.Unix_error _ -> ()
+
+let expired t p =
+  match t.budget.max_age_s with
+  | None -> false
+  | Some age -> (
+      match Unix.stat p with
+      | exception Unix.Unix_error _ -> false
+      | st -> Unix.gettimeofday () -. st.Unix.st_mtime > age)
+
 let get t ~key =
   locked t @@ fun () ->
   let p = path t key in
   if not (Sys.file_exists p) then None
+  else if expired t p then begin
+    (* Age bound beats the hit: an entry past its maximum age is a
+       miss even when its bytes are still readable, so a daemon and a
+       CLI sharing the directory agree on liveness without
+       coordinating sweeps. *)
+    remove_quietly p;
+    t.expired_entries <- t.expired_entries + 1;
+    None
+  end
   else
     match read_file p with
     | exception Sys_error _ -> None
@@ -96,7 +246,11 @@ let get t ~key =
         | Some (header, rest) ->
             if String.equal header version then
               match split_line rest with
-              | Some (k, payload) when String.equal k key -> Some payload
+              | Some (k, payload) when String.equal k key ->
+                  (* LRU recency: a hit refreshes the entry's mtime,
+                     which is the eviction order of the sweep. *)
+                  touch p;
+                  Some payload
               | _ ->
                   quarantine t p;
                   None
@@ -131,37 +285,33 @@ let put t ~key payload =
        raise e);
     close_out oc;
     Sys.rename tmp target;
+    (match t.budget.max_bytes with
+    | None -> ()
+    | Some cap ->
+        t.approx_bytes <-
+          t.approx_bytes + String.length version + String.length key
+          + String.length payload + 2;
+        (* The estimate only triggers the sweep; the sweep re-measures
+           the directory, so drift against other writers is harmless. *)
+        if t.approx_bytes > cap then ignore (sweep_locked t ~budget:t.budget));
     Ok ()
   with Sys_error e -> Error e
 
-let list_dir d =
-  match Sys.readdir d with
-  | exception Sys_error _ -> []
-  | entries ->
-      let l = Array.to_list entries in
-      List.sort String.compare l
-
-let iter_entries t f =
-  List.iter
-    (fun sh ->
-      let shd = Filename.concat (objects_dir t) sh in
-      if (try Sys.is_directory shd with Sys_error _ -> false) then
-        List.iter
-          (fun name -> f ~key:name ~path:(Filename.concat shd name))
-          (list_dir shd))
-    (list_dir (objects_dir t))
-
-type stats = { entries : int; bytes : int; shards : int; quarantined : int }
+type stats = {
+  entries : int;
+  bytes : int;
+  shards : int;
+  quarantined : int;
+  max_bytes : int option;
+  max_age_s : float option;
+  evicted_entries : int;
+  evicted_bytes : int;
+  expired_entries : int;
+}
 
 let stats t =
-  let entries = ref 0 and bytes = ref 0 in
-  iter_entries t (fun ~key:_ ~path ->
-      incr entries;
-      match open_in_bin path with
-      | exception Sys_error _ -> ()
-      | ic ->
-          bytes := !bytes + in_channel_length ic;
-          close_in_noerr ic);
+  locked t @@ fun () ->
+  let rows = measure t in
   let shards =
     List.length
       (List.filter
@@ -171,13 +321,19 @@ let stats t =
          (list_dir (objects_dir t)))
   in
   {
-    entries = !entries;
-    bytes = !bytes;
+    entries = List.length rows;
+    bytes = List.fold_left (fun acc (_, sz, _) -> acc + sz) 0 rows;
     shards;
     quarantined = List.length (list_dir (quarantine_dir t));
+    max_bytes = t.budget.max_bytes;
+    max_age_s = t.budget.max_age_s;
+    evicted_entries = t.evicted_entries;
+    evicted_bytes = t.evicted_bytes;
+    expired_entries = t.expired_entries;
   }
 
 let clear t =
+  locked t @@ fun () ->
   let removed = ref 0 in
   iter_entries t (fun ~key:_ ~path ->
       remove_quietly path;
@@ -185,13 +341,42 @@ let clear t =
   List.iter
     (fun name -> remove_quietly (Filename.concat (tmp_dir t) name))
     (list_dir (tmp_dir t));
+  t.approx_bytes <- 0;
   !removed
+
+type gc_result = {
+  expired : int;
+  evicted : int;
+  freed_bytes : int;
+  remaining_entries : int;
+  remaining_bytes : int;
+}
+
+let gc ?budget:b t =
+  locked t @@ fun () ->
+  let budget = match b with Some b -> b | None -> t.budget in
+  let expired, evicted, evicted_bytes, remaining_entries, remaining_bytes =
+    sweep_locked t ~budget
+  in
+  List.iter
+    (fun name -> remove_quietly (Filename.concat (tmp_dir t) name))
+    (list_dir (tmp_dir t));
+  {
+    expired;
+    evicted;
+    freed_bytes = evicted_bytes;
+    remaining_entries;
+    remaining_bytes;
+  }
 
 type verify_result = { checked : int; ok : int; invalid : int }
 
 let verify t ~check =
+  let keys = ref [] in
+  locked t (fun () -> iter_entries t (fun ~key ~path -> keys := (key, path) :: !keys));
   let checked = ref 0 and ok = ref 0 and invalid = ref 0 in
-  iter_entries t (fun ~key ~path ->
+  List.iter
+    (fun (key, path) ->
       incr checked;
       match get t ~key with
       | None ->
@@ -201,6 +386,8 @@ let verify t ~check =
           if check ~key payload then incr ok
           else begin
             incr invalid;
-            quarantine t path
-          end);
+            locked t (fun () -> quarantine t path)
+          end)
+    (List.rev !keys)
+  ;
   { checked = !checked; ok = !ok; invalid = !invalid }

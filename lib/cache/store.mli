@@ -16,7 +16,29 @@
     format changed: invalidate); an entry that fails header or key
     validation is moved to [quarantine/] for post-mortem rather than
     crashing the checker. All store operations are best-effort: I/O
-    errors degrade to misses or no-ops, never exceptions. *)
+    errors degrade to misses or no-ops, never exceptions.
+
+    {2 Retention}
+
+    A store opened with a {!budget} stays bounded: entries older than
+    [max_age_s] are dropped (an expired entry reads as a miss even
+    before any sweep runs), and when total object bytes exceed
+    [max_bytes] the least-recently-used entries are evicted until the
+    store fits ([get] refreshes an entry's mtime, which is the
+    eviction order). The budget is an inclusive ceiling: an entry set
+    exactly at [max_bytes] is kept. Quarantined and staging files are
+    never counted against the budget.
+
+    {2 Concurrent writers}
+
+    One handle is domain-safe (an internal mutex serializes access).
+    Two {e processes} sharing a directory — the resident [entangle
+    serve] daemon and a CLI run — are safe by construction: writes
+    land by atomic rename, a read of a concurrently evicted entry
+    degrades to a miss, and eviction sweeps re-walk the directory
+    rather than trusting any handle's running byte estimate, so stale
+    accounting can cost an extra walk but never deletes a fresh entry
+    it should have kept. *)
 
 type t
 
@@ -24,31 +46,55 @@ val version : string
 (** The header line, ["entangle-cache/1"]. Bump on any format change:
     old entries then self-invalidate on first read. *)
 
+type budget = { max_bytes : int option; max_age_s : float option }
+(** Retention policy: maximum total object bytes (inclusive), and
+    maximum entry age in seconds since last use. [None] = unbounded. *)
+
+val no_budget : budget
+
+val env_budget : unit -> budget
+(** The budget the environment requests:
+    [$ENTANGLE_CACHE_MAX_BYTES] and [$ENTANGLE_CACHE_MAX_AGE_S]
+    (non-positive or unparsable values are ignored). The default of
+    {!open_}. *)
+
 val default_dir : unit -> string
 (** [$ENTANGLE_CACHE_DIR], else [$XDG_CACHE_HOME/entangle], else
     [$HOME/.cache/entangle], else a directory under the system temp
     dir. *)
 
-val open_ : ?dir:string -> unit -> (t, string) result
+val open_ : ?dir:string -> ?budget:budget -> unit -> (t, string) result
 (** Create (mkdir -p) and open the store; [dir] defaults to
-    {!default_dir}. [Error] when the directory cannot be created or is
-    not writable. *)
+    {!default_dir}, [budget] to {!env_budget} (which is unbounded when
+    neither variable is set — the pre-budget behavior). [Error] when
+    the directory cannot be created or is not writable. *)
 
 val dir : t -> string
+val budget : t -> budget
 
 val get : t -> key:string -> string option
-(** The payload for [key], or [None] on miss. Side effects on bad
-    entries: wrong version — removed; unrecognizable header or key
-    mismatch — quarantined. *)
+(** The payload for [key], or [None] on miss. A hit refreshes the
+    entry's recency. Side effects on bad entries: wrong version —
+    removed; unrecognizable header or key mismatch — quarantined;
+    older than the budget's age bound — removed (counted expired). *)
 
 val put : t -> key:string -> string -> (unit, string) result
-(** Atomically write the payload under [key] (tmp + rename). *)
+(** Atomically write the payload under [key] (tmp + rename). When the
+    write pushes the store past its byte budget, a retention sweep
+    runs before returning. *)
 
 type stats = {
   entries : int;
   bytes : int;  (** total payload+header bytes across entries *)
   shards : int;
   quarantined : int;
+  max_bytes : int option;  (** the handle's byte budget *)
+  max_age_s : float option;  (** the handle's age bound *)
+  evicted_entries : int;
+      (** LRU evictions performed through this handle *)
+  evicted_bytes : int;
+  expired_entries : int;
+      (** age-bound removals performed through this handle *)
 }
 
 val stats : t -> stats
@@ -56,6 +102,19 @@ val stats : t -> stats
 val clear : t -> int
 (** Remove every entry (and stale temp files); returns the number of
     entries removed. Quarantined files are kept. *)
+
+type gc_result = {
+  expired : int;  (** entries dropped by the age bound *)
+  evicted : int;  (** entries evicted (LRU) to fit the byte budget *)
+  freed_bytes : int;  (** bytes reclaimed by eviction *)
+  remaining_entries : int;
+  remaining_bytes : int;
+}
+
+val gc : ?budget:budget -> t -> gc_result
+(** One-shot retention sweep (the [entangle cache verify --gc] path
+    for non-resident users): apply [budget] (default: the handle's)
+    and clean stale temp files. A no-op on an unbounded budget. *)
 
 type verify_result = { checked : int; ok : int; invalid : int }
 

@@ -28,6 +28,7 @@ type t = {
   keep_going : bool;
   cache : Entangle_cache.Cache.t option;
   cache_verify : bool;
+  cache_namespace : string;
   jobs : int;
 }
 
@@ -48,6 +49,7 @@ let default =
     keep_going = false;
     cache = None;
     cache_verify = false;
+    cache_namespace = "";
     jobs = 1;
   }
 
@@ -71,6 +73,7 @@ let with_escalation escalation t = { t with escalation }
 let with_keep_going keep_going t = { t with keep_going }
 let with_cache cache t = { t with cache }
 let with_cache_verify cache_verify t = { t with cache_verify }
+let with_cache_namespace cache_namespace t = { t with cache_namespace }
 let with_jobs jobs t = { t with jobs = max 1 jobs }
 
 (* What the certificate cache must key on: every configuration field

@@ -103,6 +103,16 @@ type t = {
           disagreement is treated as a replay failure (the fresh
           result wins and overwrites the entry). Costs a full search
           per operator; for cache debugging. *)
+  cache_namespace : string;
+      (** Partition of the certificate-cache key space. A non-empty
+          namespace is mixed into every cache key's base fingerprint,
+          so checks under different namespaces never observe each
+          other's entries while sharing one store (and its retention
+          budget) — the isolation [entangle serve] gives each remote
+          client. [""] (the default) is the shared namespace every
+          pre-namespace entry lives in. Not a search knob: it is
+          deliberately excluded from {!search_fingerprint} and keyed
+          in by [Refine.check] itself. *)
   jobs : int;
       (** Domains checking operators concurrently. [1] (the default)
           runs the exact sequential loop — bit-identical traces, stats
@@ -141,6 +151,9 @@ val with_escalation : rung list -> t -> t
 val with_keep_going : bool -> t -> t
 val with_cache : Entangle_cache.Cache.t option -> t -> t
 val with_cache_verify : bool -> t -> t
+
+val with_cache_namespace : string -> t -> t
+(** See {!t.cache_namespace}; [""] restores the shared namespace. *)
 
 val with_jobs : int -> t -> t
 (** Clamped below at 1. *)

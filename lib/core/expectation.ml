@@ -33,7 +33,7 @@ let check ?config ?rules ~gs ~gd ~input_relation ~fs ~fd () =
             Fmt.str
               "user expectation violated: refinement of the expectation \
                value failed at operator %a (%s)"
-              Node.pp failure.operator (Refine.reason failure);
+              Node.pp failure.operator (Refine.verdict_to_string failure.Refine.verdict);
           refinement = Error failure;
         }
   | Ok success ->

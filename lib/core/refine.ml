@@ -163,8 +163,16 @@ let check ?(config = Config.default) ?rules ~gs ~gd ~input_relation () =
     match config.Config.cache with
     | None -> None
     | Some cache ->
-        Cache.context cache
-          ~config_fp:(Config.search_fingerprint config)
+        (* The client namespace partitions the key space without being
+           a search knob: suffix it onto the configuration fingerprint
+           rather than into [search_fingerprint] itself, so the empty
+           namespace keys exactly as every pre-namespace release. *)
+        let config_fp =
+          match config.Config.cache_namespace with
+          | "" -> Config.search_fingerprint config
+          | ns -> Config.search_fingerprint config ^ ";namespace=" ^ ns
+        in
+        Cache.context cache ~config_fp
           ~whole_graph:(not config.Config.frontier_optimization)
           ~rules ~gs ~gd
   in

@@ -136,8 +136,13 @@ val pp_verdict : Format.formatter -> verdict -> unit
 val verdict_to_string : verdict -> string
 
 val reason : failure -> string
-(** [verdict_to_string f.verdict] — the one-line reason string that
-    used to be stored in the failure record. *)
+  [@@deprecated
+    "use verdict_to_string f.verdict: the structured verdict is the sole \
+     failure surface (the legacy reason string is never serialized)"]
+(** @deprecated [verdict_to_string f.verdict] — the one-line reason
+    string that used to be stored in the failure record. Kept as a
+    thin alias for out-of-tree callers; everything in-tree (including
+    the serve wire protocol) reads [failure.verdict]. *)
 
 val exit_code : (success, failure) result -> int
 (** The process exit code convention shared by the CLI: 0 success,

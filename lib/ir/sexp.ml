@@ -6,7 +6,9 @@ let list l = List l
 let needs_quotes s =
   s = ""
   || String.exists
-       (fun c -> c = ' ' || c = '(' || c = ')' || c = '"' || c = '\n' || c = ';')
+       (fun c ->
+         c = ' ' || c = '(' || c = ')' || c = '"' || c = '\n' || c = '\t'
+         || c = '\r' || c = ';')
        s
 
 let rec pp ppf = function
@@ -47,7 +49,25 @@ let tokenize input =
       while !i < n && not !closed do
         if input.[!i] = '"' then closed := true
         else if input.[!i] = '\\' && !i + 1 < n then begin
-          Buffer.add_char buf input.[!i + 1];
+          (* Quoted atoms are printed with [%S]; invert the OCaml
+             lexical escapes so strings with newlines/tabs round-trip
+             (the wire protocol ships rendered reports this way). *)
+          (match input.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | '0' .. '9' when !i + 3 < n ->
+              let code =
+                try int_of_string (String.sub input (!i + 1) 3)
+                with Failure _ -> -1
+              in
+              if code >= 0 && code <= 255 then begin
+                Buffer.add_char buf (Char.chr code);
+                i := !i + 2
+              end
+              else Buffer.add_char buf input.[!i + 1]
+          | c -> Buffer.add_char buf c);
           incr i
         end
         else Buffer.add_char buf input.[!i];

@@ -59,7 +59,7 @@ let forward_check_exn ~family ~gs ~gd ~input_relation =
   | Error f ->
       invalid_arg
         (Fmt.str "Train: forward pair does not refine: %s"
-           (Entangle.Refine.reason f))
+           (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict))
 
 let backward_exn ?tie ?name g ~wrt =
   match Autodiff.backward ?tie ?name g ~wrt with

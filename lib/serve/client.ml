@@ -1,0 +1,121 @@
+module P = Protocol
+
+let ( let* ) = Result.bind
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let dial path =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Fmt.error "socket: %s" (Unix.error_message e)
+  | fd -> (
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Fmt.error "connect %s: %s" path (Unix.error_message e))
+
+let handshake ~client ic oc =
+  P.write_frame oc (P.hello_to_string { P.protocol = P.protocol_version; client });
+  let* payload = P.read_frame ic in
+  let* welcome = P.welcome_of_string payload in
+  match welcome with
+  | P.Welcome _ -> Ok ()
+  | P.Rejected { message; _ } -> Error message
+
+let connect ?(client = "entangle") ~socket () =
+  let* fd = dial socket in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let t = { fd; ic; oc; next_id = 1; closed = false } in
+  match handshake ~client ic oc with
+  | Ok () -> Ok t
+  | Error e ->
+      close t;
+      Error e
+  | exception (Sys_error m | Failure m) ->
+      close t;
+      Error m
+
+let request t req =
+  if t.closed then Error "connection closed"
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    match
+      P.write_frame t.oc (P.request_to_string ~id req);
+      P.read_frame t.ic
+    with
+    | exception (Sys_error m | Failure m) ->
+        close t;
+        Error m
+    | exception Unix.Unix_error (e, _, _) ->
+        close t;
+        Error (Unix.error_message e)
+    | Error e ->
+        close t;
+        Error e
+    | Ok payload -> (
+        let* got_id, resp = P.response_of_string payload in
+        if got_id <> id then
+          Fmt.error "response id mismatch: sent %d, got %d" id got_id
+        else Ok resp)
+  end
+
+let ping t =
+  let* resp = request t P.Ping in
+  match resp with
+  | P.Pong -> Ok ()
+  | P.Error_reply { message; _ } -> Error message
+  | _ -> Error "unexpected reply to ping"
+
+let describe t =
+  let* resp = request t P.Describe in
+  match resp with
+  | P.Described json -> Ok json
+  | P.Error_reply { message; _ } -> Error message
+  | _ -> Error "unexpected reply to describe"
+
+let check t ?(options = P.default_options) ~gs ~gd ~relation () =
+  request t (P.Check { options; gs; gd; relation })
+
+let cache_stats t = request t P.Cache_stats
+let cache_clear t = request t P.Cache_clear
+
+let shutdown t =
+  let outcome =
+    let* resp = request t P.Shutdown in
+    match resp with
+    | P.Bye -> Ok ()
+    | P.Error_reply { message; _ } -> Error message
+    | _ -> Error "unexpected reply to shutdown"
+  in
+  close t;
+  outcome
+
+let raw_hello ~socket ~protocol =
+  let* fd = dial socket in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+  Fun.protect ~finally (fun () ->
+      match
+        P.write_frame oc
+          (P.hello_to_string { P.protocol; client = "entangle-test" });
+        P.read_frame ic
+      with
+      | exception (Sys_error m | Failure m) -> Error m
+      | Error e -> Error e
+      | Ok payload -> P.welcome_of_string payload)

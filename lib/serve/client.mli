@@ -1,0 +1,50 @@
+(** Client side of the resident checker service.
+
+    [connect] dials the daemon's Unix-domain socket and performs the
+    version handshake; a protocol rejection comes back as a readable
+    [Error] carrying the server's message. The per-request helpers
+    return the typed {!Protocol.response}; [Error _] throughout means a
+    {e transport or protocol} failure (the daemon unreachable, a
+    malformed frame, a response id mismatch) — application-level
+    failures arrive as {!Protocol.Error_reply} values so callers can
+    map them onto the CLI exit-code convention. *)
+
+type t
+
+val connect :
+  ?client:string -> socket:string -> unit -> (t, string) result
+(** Dial and handshake. [client] is the identity sent in the hello
+    (default ["entangle"]). *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and read its response; ids are assigned and
+    checked internally. *)
+
+val ping : t -> (unit, string) result
+val describe : t -> (string, string) result
+
+val check :
+  t ->
+  ?options:Protocol.check_options ->
+  gs:Entangle_ir.Sexp.t ->
+  gd:Entangle_ir.Sexp.t ->
+  relation:Entangle_ir.Sexp.t ->
+  unit ->
+  (Protocol.response, string) result
+(** [Ok (Checked _)] or [Ok (Error_reply _)] in the usual case. *)
+
+val cache_stats : t -> (Protocol.response, string) result
+val cache_clear : t -> (Protocol.response, string) result
+
+val shutdown : t -> (unit, string) result
+(** Asks the daemon to exit; [Ok ()] once the [Bye] acknowledgement
+    arrives. The connection is closed either way. *)
+
+val raw_hello :
+  socket:string -> protocol:int -> (Protocol.welcome, string) result
+(** Send a hello claiming an arbitrary protocol version and return the
+    server's verbatim answer — the version-negotiation test hook. The
+    connection is closed before returning. *)

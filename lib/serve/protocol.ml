@@ -1,0 +1,538 @@
+module Sexp = Entangle_ir.Sexp
+module Refine = Entangle.Refine
+
+let ( let* ) = Result.bind
+let err fmt = Fmt.kstr (fun s -> Error s) fmt
+
+let protocol_version = 1
+let max_frame_bytes = 64 * 1024 * 1024
+
+(* --- framing ----------------------------------------------------------- *)
+
+let write_frame oc payload =
+  output_string oc (string_of_int (String.length payload));
+  output_char oc '\n';
+  output_string oc payload;
+  flush oc
+
+let read_frame ic =
+  (* The length prefix is short and all-digit; read it byte-wise so a
+     non-protocol peer cannot make us buffer garbage. *)
+  let rec len acc digits =
+    if digits > 10 then err "frame length prefix too long"
+    else
+      match input_char ic with
+      | exception End_of_file ->
+          if digits = 0 then err "connection closed"
+          else err "connection closed inside frame length"
+      | '\n' -> if digits = 0 then err "empty frame length" else Ok acc
+      | '0' .. '9' as c -> len ((acc * 10) + (Char.code c - 48)) (digits + 1)
+      | c -> err "invalid byte %C in frame length" c
+  in
+  let* n = len 0 0 in
+  if n > max_frame_bytes then err "frame of %d bytes exceeds limit" n
+  else
+    match really_input_string ic n with
+    | payload -> Ok payload
+    | exception End_of_file -> err "connection closed inside frame payload"
+
+(* --- sexp helpers ------------------------------------------------------ *)
+
+let field name body = Sexp.list (Sexp.atom name :: body)
+let int_field name i = field name [ Sexp.atom (string_of_int i) ]
+let str_field name s = field name [ Sexp.atom s ]
+
+let assoc name = function
+  | Sexp.List items ->
+      List.find_map
+        (function
+          | Sexp.List (Sexp.Atom tag :: body) when String.equal tag name ->
+              Some body
+          | _ -> None)
+        items
+  | Sexp.Atom _ -> None
+
+let get_int name sexp =
+  match assoc name sexp with
+  | Some [ Sexp.Atom v ] -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> err "field %s: not an integer (%s)" name v)
+  | Some _ -> err "field %s: malformed" name
+  | None -> err "missing field %s" name
+
+let get_str name sexp =
+  match assoc name sexp with
+  | Some [ Sexp.Atom v ] -> Ok v
+  | Some _ -> err "field %s: malformed" name
+  | None -> err "missing field %s" name
+
+let get_str_opt name sexp =
+  match assoc name sexp with
+  | Some [ Sexp.Atom v ] -> Ok (Some v)
+  | Some _ -> err "field %s: malformed" name
+  | None -> Ok None
+
+let get_one name sexp =
+  match assoc name sexp with
+  | Some [ v ] -> Ok v
+  | Some _ -> err "field %s: expected one value" name
+  | None -> err "missing field %s" name
+
+(* --- handshake --------------------------------------------------------- *)
+
+type hello = { protocol : int; client : string }
+
+type welcome =
+  | Welcome of { protocol : int; server : string }
+  | Rejected of { expected : int; got : int; message : string }
+
+let hello_to_string h =
+  Sexp.to_string
+    (Sexp.list
+       [
+         Sexp.atom "hello";
+         int_field "protocol" h.protocol;
+         str_field "client" h.client;
+       ])
+
+let hello_of_string s =
+  let* sexp = Sexp.of_string s in
+  match sexp with
+  | Sexp.List (Sexp.Atom "hello" :: _) ->
+      let* protocol = get_int "protocol" sexp in
+      let* client = get_str "client" sexp in
+      Ok { protocol; client }
+  | _ -> err "expected (hello ...), got %s" (Sexp.to_string sexp)
+
+let welcome_to_string = function
+  | Welcome w ->
+      Sexp.to_string
+        (Sexp.list
+           [
+             Sexp.atom "welcome";
+             int_field "protocol" w.protocol;
+             str_field "server" w.server;
+           ])
+  | Rejected r ->
+      Sexp.to_string
+        (Sexp.list
+           [
+             Sexp.atom "reject";
+             int_field "expected" r.expected;
+             int_field "got" r.got;
+             str_field "message" r.message;
+           ])
+
+let welcome_of_string s =
+  let* sexp = Sexp.of_string s in
+  match sexp with
+  | Sexp.List (Sexp.Atom "welcome" :: _) ->
+      let* protocol = get_int "protocol" sexp in
+      let* server = get_str "server" sexp in
+      Ok (Welcome { protocol; server })
+  | Sexp.List (Sexp.Atom "reject" :: _) ->
+      let* expected = get_int "expected" sexp in
+      let* got = get_int "got" sexp in
+      let* message = get_str "message" sexp in
+      Ok (Rejected { expected; got; message })
+  | _ -> err "expected (welcome ...) or (reject ...), got %s" (Sexp.to_string sexp)
+
+(* --- requests ---------------------------------------------------------- *)
+
+type check_options = {
+  family : string option;
+  namespace : string option;
+  jobs : int option;
+  keep_going : bool;
+}
+
+let default_options =
+  { family = None; namespace = None; jobs = None; keep_going = false }
+
+type request =
+  | Ping
+  | Describe
+  | Check of {
+      options : check_options;
+      gs : Sexp.t;
+      gd : Sexp.t;
+      relation : Sexp.t;
+    }
+  | Cache_stats
+  | Cache_clear
+  | Shutdown
+
+let options_to_sexp o =
+  field "options"
+    (List.concat
+       [
+         (match o.family with Some f -> [ str_field "family" f ] | None -> []);
+         (match o.namespace with
+         | Some ns -> [ str_field "namespace" ns ]
+         | None -> []);
+         (match o.jobs with Some j -> [ int_field "jobs" j ] | None -> []);
+         (if o.keep_going then [ Sexp.atom "keep-going" ] else []);
+       ])
+
+let options_of_sexp sexp =
+  match assoc "options" sexp with
+  | None -> Ok default_options
+  | Some body ->
+      let o = Sexp.list body in
+      let* family = get_str_opt "family" o in
+      let* namespace = get_str_opt "namespace" o in
+      let* jobs =
+        match assoc "jobs" o with
+        | None -> Ok None
+        | Some [ Sexp.Atom v ] -> (
+            match int_of_string_opt v with
+            | Some j -> Ok (Some j)
+            | None -> err "field jobs: not an integer (%s)" v)
+        | Some _ -> Error "field jobs: malformed"
+      in
+      let keep_going =
+        List.exists (function Sexp.Atom "keep-going" -> true | _ -> false) body
+      in
+      Ok { family; namespace; jobs; keep_going }
+
+let request_body_to_sexp = function
+  | Ping -> Sexp.list [ Sexp.atom "ping" ]
+  | Describe -> Sexp.list [ Sexp.atom "describe" ]
+  | Cache_stats -> Sexp.list [ Sexp.atom "cache-stats" ]
+  | Cache_clear -> Sexp.list [ Sexp.atom "cache-clear" ]
+  | Shutdown -> Sexp.list [ Sexp.atom "shutdown" ]
+  | Check { options; gs; gd; relation } ->
+      Sexp.list
+        [
+          Sexp.atom "check";
+          options_to_sexp options;
+          field "gs" [ gs ];
+          field "gd" [ gd ];
+          field "relation" [ relation ];
+        ]
+
+let request_to_string ~id req =
+  Sexp.to_string
+    (Sexp.list
+       [ Sexp.atom "request"; int_field "id" id; request_body_to_sexp req ])
+
+let request_body_of_sexp sexp =
+  match sexp with
+  | Sexp.List (Sexp.Atom "ping" :: _) -> Ok Ping
+  | Sexp.List (Sexp.Atom "describe" :: _) -> Ok Describe
+  | Sexp.List (Sexp.Atom "cache-stats" :: _) -> Ok Cache_stats
+  | Sexp.List (Sexp.Atom "cache-clear" :: _) -> Ok Cache_clear
+  | Sexp.List (Sexp.Atom "shutdown" :: _) -> Ok Shutdown
+  | Sexp.List (Sexp.Atom "check" :: _) ->
+      let* options = options_of_sexp sexp in
+      let* gs = get_one "gs" sexp in
+      let* gd = get_one "gd" sexp in
+      let* relation = get_one "relation" sexp in
+      Ok (Check { options; gs; gd; relation })
+  | s -> err "unknown request %s" (Sexp.to_string s)
+
+let request_of_string s =
+  let* sexp = Sexp.of_string s in
+  match sexp with
+  | Sexp.List [ Sexp.Atom "request"; _; body ] ->
+      let* id = get_int "id" sexp in
+      let* req = request_body_of_sexp body in
+      Ok (id, req)
+  | _ -> err "expected (request (id n) body), got %s" (Sexp.to_string sexp)
+
+(* --- responses --------------------------------------------------------- *)
+
+type error_code = Bad_request | Server_internal
+
+let error_exit_code = function Bad_request -> 124 | Server_internal -> 3
+
+let error_code_to_string = function
+  | Bad_request -> "bad-request"
+  | Server_internal -> "internal"
+
+let error_code_of_string = function
+  | "bad-request" -> Ok Bad_request
+  | "internal" -> Ok Server_internal
+  | s -> err "unknown error code %s" s
+
+type check_reply = {
+  exit_code : int;
+  verdict : string;
+  report : string;
+  output_relation : Sexp.t option;
+  stats : Refine.stats;
+}
+
+type cache_stats_reply = {
+  dir : string;
+  entries : int;
+  bytes : int;
+  shards : int;
+  quarantined : int;
+  max_bytes : int option;
+  max_age_s : float option;
+  evicted_entries : int;
+  evicted_bytes : int;
+  expired_entries : int;
+}
+
+type response =
+  | Pong
+  | Described of string
+  | Checked of check_reply
+  | Cache_stats_reply of cache_stats_reply
+  | Cache_cleared of int
+  | Bye
+  | Error_reply of { code : error_code; message : string }
+
+(* Statistics cross the wire losslessly: integers verbatim, the wall
+   clock as a hex float (read back bit-exact by [float_of_string]). *)
+let stats_to_sexp (s : Refine.stats) =
+  Sexp.list
+    [
+      Sexp.atom "stats";
+      int_field "operators" s.Refine.operators_processed;
+      int_field "iterations" s.Refine.saturation_iterations;
+      int_field "nodes-peak" s.Refine.egraph_nodes_peak;
+      int_field "classes-peak" s.Refine.egraph_classes_peak;
+      int_field "matches" s.Refine.matches_examined;
+      int_field "unions" s.Refine.unions_applied;
+      int_field "retries" s.Refine.retries;
+      int_field "budget-trips" s.Refine.budget_trips;
+      int_field "cache-hits" s.Refine.cache_hits;
+      int_field "cache-misses" s.Refine.cache_misses;
+      int_field "cache-replays-failed" s.Refine.cache_replays_failed;
+      str_field "wall" (Printf.sprintf "%h" s.Refine.wall_time_s);
+      field "rule-hits"
+        (List.map
+           (fun (rule, hits) ->
+             Sexp.list [ Sexp.atom rule; Sexp.atom (string_of_int hits) ])
+           s.Refine.rule_hits);
+    ]
+
+let stats_of_sexp sexp =
+  match sexp with
+  | Sexp.List (Sexp.Atom "stats" :: _) ->
+      let* operators_processed = get_int "operators" sexp in
+      let* saturation_iterations = get_int "iterations" sexp in
+      let* egraph_nodes_peak = get_int "nodes-peak" sexp in
+      let* egraph_classes_peak = get_int "classes-peak" sexp in
+      let* matches_examined = get_int "matches" sexp in
+      let* unions_applied = get_int "unions" sexp in
+      let* retries = get_int "retries" sexp in
+      let* budget_trips = get_int "budget-trips" sexp in
+      let* cache_hits = get_int "cache-hits" sexp in
+      let* cache_misses = get_int "cache-misses" sexp in
+      let* cache_replays_failed = get_int "cache-replays-failed" sexp in
+      let* wall = get_str "wall" sexp in
+      let* wall_time_s =
+        match float_of_string_opt wall with
+        | Some f -> Ok f
+        | None -> err "field wall: not a float (%s)" wall
+      in
+      let* rule_hits =
+        match assoc "rule-hits" sexp with
+        | None -> Error "missing field rule-hits"
+        | Some body ->
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                match item with
+                | Sexp.List [ Sexp.Atom rule; Sexp.Atom hits ] -> (
+                    match int_of_string_opt hits with
+                    | Some h -> Ok ((rule, h) :: acc)
+                    | None -> err "rule-hits: bad count %s" hits)
+                | s -> err "rule-hits: malformed %s" (Sexp.to_string s))
+              (Ok []) body
+            |> Result.map List.rev
+      in
+      Ok
+        {
+          Refine.operators_processed;
+          saturation_iterations;
+          egraph_nodes_peak;
+          egraph_classes_peak;
+          matches_examined;
+          unions_applied;
+          rule_hits;
+          retries;
+          budget_trips;
+          cache_hits;
+          cache_misses;
+          cache_replays_failed;
+          wall_time_s;
+        }
+  | s -> err "expected (stats ...), got %s" (Sexp.to_string s)
+
+let opt_int_field name = function
+  | Some i -> [ int_field name i ]
+  | None -> []
+
+let get_int_opt name sexp =
+  match assoc name sexp with
+  | None -> Ok None
+  | Some [ Sexp.Atom v ] -> (
+      match int_of_string_opt v with
+      | Some i -> Ok (Some i)
+      | None -> err "field %s: not an integer (%s)" name v)
+  | Some _ -> err "field %s: malformed" name
+
+let response_body_to_sexp = function
+  | Pong -> Sexp.list [ Sexp.atom "pong" ]
+  | Bye -> Sexp.list [ Sexp.atom "bye" ]
+  | Described json -> Sexp.list [ Sexp.atom "described"; Sexp.atom json ]
+  | Cache_cleared n ->
+      Sexp.list [ Sexp.atom "cleared"; Sexp.atom (string_of_int n) ]
+  | Error_reply { code; message } ->
+      Sexp.list
+        [
+          Sexp.atom "error";
+          str_field "code" (error_code_to_string code);
+          str_field "message" message;
+        ]
+  | Cache_stats_reply r ->
+      Sexp.list
+        (List.concat
+           [
+             [
+               Sexp.atom "cache-stats";
+               str_field "dir" r.dir;
+               int_field "entries" r.entries;
+               int_field "bytes" r.bytes;
+               int_field "shards" r.shards;
+               int_field "quarantined" r.quarantined;
+             ];
+             opt_int_field "max-bytes" r.max_bytes;
+             (match r.max_age_s with
+             | Some a -> [ str_field "max-age-s" (Printf.sprintf "%h" a) ]
+             | None -> []);
+             [
+               int_field "evicted-entries" r.evicted_entries;
+               int_field "evicted-bytes" r.evicted_bytes;
+               int_field "expired-entries" r.expired_entries;
+             ];
+           ])
+  | Checked r ->
+      Sexp.list
+        (List.concat
+           [
+             [
+               Sexp.atom "result";
+               int_field "exit" r.exit_code;
+               str_field "verdict" r.verdict;
+               str_field "report" r.report;
+               stats_to_sexp r.stats;
+             ];
+             (match r.output_relation with
+             | Some rel -> [ field "output-relation" [ rel ] ]
+             | None -> []);
+           ])
+
+let response_to_string ~id resp =
+  Sexp.to_string
+    (Sexp.list
+       [ Sexp.atom "response"; int_field "id" id; response_body_to_sexp resp ])
+
+let response_body_of_sexp sexp =
+  match sexp with
+  | Sexp.List (Sexp.Atom "pong" :: _) -> Ok Pong
+  | Sexp.List (Sexp.Atom "bye" :: _) -> Ok Bye
+  | Sexp.List [ Sexp.Atom "described"; Sexp.Atom json ] -> Ok (Described json)
+  | Sexp.List [ Sexp.Atom "cleared"; Sexp.Atom n ] -> (
+      match int_of_string_opt n with
+      | Some n -> Ok (Cache_cleared n)
+      | None -> err "cleared: bad count %s" n)
+  | Sexp.List (Sexp.Atom "error" :: _) ->
+      let* code = get_str "code" sexp in
+      let* code = error_code_of_string code in
+      let* message = get_str "message" sexp in
+      Ok (Error_reply { code; message })
+  | Sexp.List (Sexp.Atom "cache-stats" :: _) ->
+      let* dir = get_str "dir" sexp in
+      let* entries = get_int "entries" sexp in
+      let* bytes = get_int "bytes" sexp in
+      let* shards = get_int "shards" sexp in
+      let* quarantined = get_int "quarantined" sexp in
+      let* max_bytes = get_int_opt "max-bytes" sexp in
+      let* max_age_s =
+        match assoc "max-age-s" sexp with
+        | None -> Ok None
+        | Some [ Sexp.Atom v ] -> (
+            match float_of_string_opt v with
+            | Some f -> Ok (Some f)
+            | None -> err "field max-age-s: not a float (%s)" v)
+        | Some _ -> Error "field max-age-s: malformed"
+      in
+      let* evicted_entries = get_int "evicted-entries" sexp in
+      let* evicted_bytes = get_int "evicted-bytes" sexp in
+      let* expired_entries = get_int "expired-entries" sexp in
+      Ok
+        (Cache_stats_reply
+           {
+             dir;
+             entries;
+             bytes;
+             shards;
+             quarantined;
+             max_bytes;
+             max_age_s;
+             evicted_entries;
+             evicted_bytes;
+             expired_entries;
+           })
+  | Sexp.List (Sexp.Atom "result" :: _) ->
+      let* exit_code = get_int "exit" sexp in
+      let* verdict = get_str "verdict" sexp in
+      let* report = get_str "report" sexp in
+      (* [stats_to_sexp] tags the list with a leading atom, so the
+         field lookup strips (stats ...) down to its body; rewrap. *)
+      let* stats =
+        match assoc "stats" sexp with
+        | Some body -> stats_of_sexp (Sexp.list (Sexp.atom "stats" :: body))
+        | None -> Error "missing field stats"
+      in
+      let* output_relation =
+        match assoc "output-relation" sexp with
+        | None -> Ok None
+        | Some [ rel ] -> Ok (Some rel)
+        | Some _ -> Error "field output-relation: malformed"
+      in
+      Ok (Checked { exit_code; verdict; report; output_relation; stats })
+  | s -> err "unknown response %s" (Sexp.to_string s)
+
+let response_of_string s =
+  let* sexp = Sexp.of_string s in
+  match sexp with
+  | Sexp.List [ Sexp.Atom "response"; _; body ] ->
+      let* id = get_int "id" sexp in
+      let* resp = response_body_of_sexp body in
+      Ok (id, resp)
+  | _ -> err "expected (response (id n) body), got %s" (Sexp.to_string sexp)
+
+(* --- introspection ----------------------------------------------------- *)
+
+let describe_json ~server =
+  let module J = Entangle_trace.Jsonw in
+  J.envelope ~name:"serve" ~version:1
+    [
+      ("protocol", J.Int protocol_version);
+      ("server", J.Str server);
+      ( "requests",
+        J.Arr
+          (List.map
+             (fun s -> J.Str s)
+             [
+               "ping";
+               "describe";
+               "check";
+               "cache-stats";
+               "cache-clear";
+               "shutdown";
+             ]) );
+      ( "check_options",
+        J.Arr
+          (List.map
+             (fun s -> J.Str s)
+             [ "family"; "namespace"; "jobs"; "keep-going" ]) );
+    ]

@@ -1,0 +1,177 @@
+(** The resident checker service's wire protocol — the first public,
+    versioned API of the system.
+
+    {2 Transport}
+
+    Length-prefixed frames over a Unix-domain stream socket. One frame
+    is the decimal byte length of the payload in ASCII, a newline,
+    then exactly that many payload bytes:
+
+    {v
+    <len>\n<payload bytes>
+    v}
+
+    Every payload is a single S-expression ({!Entangle_ir.Sexp});
+    graphs and relations are embedded {e structurally} (the
+    {!Entangle_ir.Serial} grammar), not as quoted strings, so there is
+    no escaping tower. Frames above {!max_frame_bytes} are rejected
+    without reading the payload — a garbage prefix cannot make the
+    server allocate unboundedly.
+
+    {2 Version negotiation}
+
+    The first frame on a connection is the client's hello:
+
+    {v
+    (hello (protocol <n>) (client <name>))
+    v}
+
+    The server answers [(welcome (protocol <n>) (server <name>))] and
+    the session proceeds, or — when the client's protocol number is
+    not exactly {!protocol_version} — a structured
+    [(reject (expected <n>) (got <m>) (message <why>))] and closes the
+    connection. Rejection is a frame, never a hang or a slammed
+    socket, so a future client can always print {e why} it was turned
+    away. The protocol number covers the whole grammar: any
+    incompatible change to request or response shapes bumps it.
+
+    {2 Requests}
+
+    After the handshake the client sends any number of
+    [(request (id <n>) <body>)] frames; the server answers each with
+    [(response (id <n>) <body>)], echoing the id (ids let traces
+    correlate per-request spans; the server answers in order). Request
+    bodies:
+
+    {v
+    (ping)
+    (describe)
+    (check (options ...) (gs <graph>) (gd <graph>) (relation <rel>))
+    (cache-stats)
+    (cache-clear)
+    (shutdown)
+    v}
+
+    Error replies reuse the checker's verdict taxonomy exit codes: a
+    check that runs to a verdict is a [result] carrying the same exit
+    code (0-3) the local CLI would have returned; a request the server
+    could not run at all is an [(error (code <c>) (message ...))] with
+    [bad-request] (the CLI usage-error exit, 124) or [internal] (the
+    internal-verdict exit, 3). *)
+
+val protocol_version : int
+(** [1]. *)
+
+val max_frame_bytes : int
+(** Frames larger than this are refused (64 MiB). *)
+
+(* --- framing ----------------------------------------------------------- *)
+
+val write_frame : out_channel -> string -> unit
+(** Write one frame and flush. *)
+
+val read_frame : in_channel -> (string, string) result
+(** Read one frame; [Error] on malformed or oversized length prefixes
+    and on EOF mid-frame. *)
+
+(* --- handshake --------------------------------------------------------- *)
+
+type hello = { protocol : int; client : string }
+
+type welcome =
+  | Welcome of { protocol : int; server : string }
+  | Rejected of { expected : int; got : int; message : string }
+
+val hello_to_string : hello -> string
+val hello_of_string : string -> (hello, string) result
+val welcome_to_string : welcome -> string
+val welcome_of_string : string -> (welcome, string) result
+
+(* --- requests ---------------------------------------------------------- *)
+
+type check_options = {
+  family : string option;
+      (** lemma-corpus selection by model family name
+          ({!Entangle_lemmas.Registry.family_of_string}); [None] = the
+          full corpus, matching a local [check-files] run *)
+  namespace : string option;
+      (** per-client certificate-cache namespace
+          ({!Entangle.Config.cache_namespace}) *)
+  jobs : int option;  (** override the server's domain-pool width *)
+  keep_going : bool;  (** multi-fault localization *)
+}
+
+val default_options : check_options
+
+type request =
+  | Ping
+  | Describe
+      (** protocol introspection: the reply carries the shared
+          schema-versioned JSON envelope ([entangle/serve/1]) *)
+  | Check of {
+      options : check_options;
+      gs : Entangle_ir.Sexp.t;  (** {!Entangle_ir.Serial} graph *)
+      gd : Entangle_ir.Sexp.t;
+      relation : Entangle_ir.Sexp.t;  (** {!Entangle.Relation_io} *)
+    }
+  | Cache_stats
+  | Cache_clear
+  | Shutdown
+
+val request_to_string : id:int -> request -> string
+val request_of_string : string -> (int * request, string) result
+
+(* --- responses --------------------------------------------------------- *)
+
+type error_code = Bad_request | Server_internal
+
+val error_exit_code : error_code -> int
+(** The CLI exit the error maps to: [Bad_request] → 124 (usage),
+    [Server_internal] → 3 (the [Internal] verdict's exit). *)
+
+type check_reply = {
+  exit_code : int;  (** the {!Entangle.Refine.exit_code} convention *)
+  verdict : string;
+      (** ["refines"], ["unmapped"], ["inconclusive"] or ["internal"]
+          — the verdict taxonomy constructor that produced
+          [exit_code] *)
+  report : string;  (** the rendered {!Entangle.Report}, verbatim *)
+  output_relation : Entangle_ir.Sexp.t option;
+      (** on success: the certificate, for local concrete replay *)
+  stats : Entangle.Refine.stats;
+}
+
+type cache_stats_reply = {
+  dir : string;
+  entries : int;
+  bytes : int;
+  shards : int;
+  quarantined : int;
+  max_bytes : int option;
+  max_age_s : float option;
+  evicted_entries : int;
+  evicted_bytes : int;
+  expired_entries : int;
+}
+
+type response =
+  | Pong
+  | Described of string  (** the JSON envelope document *)
+  | Checked of check_reply
+  | Cache_stats_reply of cache_stats_reply
+  | Cache_cleared of int
+  | Bye  (** acknowledges [Shutdown]; the server then closes *)
+  | Error_reply of { code : error_code; message : string }
+
+val response_to_string : id:int -> response -> string
+val response_of_string : string -> (int * response, string) result
+
+val stats_to_sexp : Entangle.Refine.stats -> Entangle_ir.Sexp.t
+val stats_of_sexp : Entangle_ir.Sexp.t -> (Entangle.Refine.stats, string) result
+(** Lossless, [wall_time_s] included (hex float rendering), so a
+    remote reply's statistics are byte-comparable with a local run's
+    after the usual wall-time strip. *)
+
+val describe_json : server:string -> string
+(** The [Describe] reply body: the shared [entangle/serve/1] JSON
+    envelope listing the protocol version and request vocabulary. *)

@@ -1,0 +1,290 @@
+module Sexp = Entangle_ir.Sexp
+module Serial = Entangle_ir.Serial
+module Refine = Entangle.Refine
+module Config = Entangle.Config
+module P = Protocol
+
+type t = {
+  name : string;
+  config : Config.t;
+  cache : Entangle_cache.Cache.t option;
+  max_connections : int option;
+  path : string;
+  listener : Unix.file_descr;
+  mutable served : int;
+  mutable connections : int;
+  mutable shutting_down : bool;
+}
+
+let socket t = t.path
+let requests_served t = t.served
+
+(* A socket file can be live (another daemon) or stale (a crash left
+   it behind). Connecting tells them apart without races worth caring
+   about on a development box: refused/absent means stale. *)
+let socket_in_use path =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> false
+  | probe -> (
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () ->
+          Unix.close probe;
+          true
+      | exception Unix.Unix_error _ ->
+          Unix.close probe;
+          false)
+
+let create ?(name = "entangle-serve") ?(config = Config.default) ?cache
+    ?max_connections ~socket:path () =
+  let config =
+    match cache with None -> config | Some c -> Config.with_cache (Some c) config
+  in
+  let cache = match cache with Some _ as c -> c | None -> config.Config.cache in
+  if Sys.file_exists path && socket_in_use path then
+    Fmt.error "socket %s: another server is already serving" path
+  else begin
+    if Sys.file_exists path then Sys.remove path;
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error (e, _, _) ->
+        Fmt.error "socket: %s" (Unix.error_message e)
+    | listener -> (
+        match
+          Unix.bind listener (Unix.ADDR_UNIX path);
+          Unix.listen listener 16
+        with
+        | () ->
+            Ok
+              {
+                name;
+                config;
+                cache;
+                max_connections;
+                path;
+                listener;
+                served = 0;
+                connections = 0;
+                shutting_down = false;
+              }
+        | exception Unix.Unix_error (e, _, _) ->
+            Unix.close listener;
+            Fmt.error "bind %s: %s" path (Unix.error_message e))
+  end
+
+(* --- request handlers --------------------------------------------------- *)
+
+let verdict_tag = function
+  | Refine.Unmapped _ -> "unmapped"
+  | Refine.Inconclusive _ -> "inconclusive"
+  | Refine.Internal _ -> "internal"
+
+let bad_request fmt = Fmt.kstr (fun m -> Error (P.Bad_request, m)) fmt
+
+let rules_for_family = function
+  | None -> Ok None
+  | Some f -> (
+      match Entangle_lemmas.Registry.family_of_string f with
+      | Some fam -> Ok (Some (Entangle_lemmas.Registry.rules_for_model fam))
+      | None -> bad_request "unknown model family %S" f)
+
+let check_config t (o : P.check_options) =
+  t.config
+  |> Config.with_cache_namespace (Option.value o.P.namespace ~default:"")
+  |> Config.with_keep_going o.P.keep_going
+  |> fun c ->
+  match o.P.jobs with None -> c | Some j -> Config.with_jobs j c
+
+let handle_check t (o : P.check_options) gs_sexp gd_sexp rel_sexp =
+  let ( let* ) = Result.bind in
+  let parsed =
+    let parse what = function
+      | Ok v -> Ok v
+      | Error e -> bad_request "%s: %s" what e
+    in
+    let* rules = rules_for_family o.P.family in
+    let* gs = parse "gs" (Serial.graph_of_sexp gs_sexp) in
+    let* gd = parse "gd" (Serial.graph_of_sexp gd_sexp) in
+    let* input_relation =
+      parse "relation" (Entangle.Relation_io.of_sexp ~gs ~gd rel_sexp)
+    in
+    Ok (rules, gs, gd, input_relation)
+  in
+  match parsed with
+  | Error (code, message) -> P.Error_reply { code; message }
+  | Ok (rules, gs, gd, input_relation) -> (
+      let config = check_config t o in
+      match Refine.check ~config ?rules ~gs ~gd ~input_relation () with
+      | Ok success ->
+          P.Checked
+            {
+              P.exit_code = 0;
+              verdict = "refines";
+              report = Entangle.Report.success_to_string gs success;
+              output_relation =
+                Some (Entangle.Relation_io.to_sexp success.Refine.output_relation);
+              stats = success.Refine.stats;
+            }
+      | Error failure ->
+          P.Checked
+            {
+              P.exit_code = Refine.exit_code (Error failure);
+              verdict = verdict_tag failure.Refine.verdict;
+              report = Entangle.Report.failure_to_string gs failure;
+              output_relation = None;
+              stats = failure.Refine.stats;
+            }
+      | exception Invalid_argument m ->
+          P.Error_reply { code = P.Bad_request; message = m })
+
+let handle_cache t f =
+  match t.cache with
+  | None ->
+      P.Error_reply
+        { code = P.Bad_request; message = "server is running without a cache" }
+  | Some cache -> f cache
+
+let handle_request t = function
+  | P.Ping -> P.Pong
+  | P.Describe -> P.Described (P.describe_json ~server:t.name)
+  | P.Shutdown ->
+      t.shutting_down <- true;
+      P.Bye
+  | P.Cache_clear ->
+      handle_cache t (fun c -> P.Cache_cleared (Entangle_cache.Cache.clear c))
+  | P.Cache_stats ->
+      handle_cache t (fun c ->
+          let s = Entangle_cache.Cache.stats c in
+          P.Cache_stats_reply
+            {
+              P.dir = Entangle_cache.Cache.dir c;
+              entries = s.Entangle_cache.Store.entries;
+              bytes = s.Entangle_cache.Store.bytes;
+              shards = s.Entangle_cache.Store.shards;
+              quarantined = s.Entangle_cache.Store.quarantined;
+              max_bytes = s.Entangle_cache.Store.max_bytes;
+              max_age_s = s.Entangle_cache.Store.max_age_s;
+              evicted_entries = s.Entangle_cache.Store.evicted_entries;
+              evicted_bytes = s.Entangle_cache.Store.evicted_bytes;
+              expired_entries = s.Entangle_cache.Store.expired_entries;
+            })
+  | P.Check { options; gs; gd; relation } -> handle_check t options gs gd relation
+
+let request_name = function
+  | P.Ping -> "ping"
+  | P.Describe -> "describe"
+  | P.Check _ -> "check"
+  | P.Cache_stats -> "cache-stats"
+  | P.Cache_clear -> "cache-clear"
+  | P.Shutdown -> "shutdown"
+
+(* --- the connection loop ------------------------------------------------ *)
+
+let handshake ic oc =
+  match P.read_frame ic with
+  | Error e -> Error e
+  | Ok payload -> (
+      match P.hello_of_string payload with
+      | Error e ->
+          (* Not even a hello: answer with a rejection so the peer
+             learns why, then drop the connection. *)
+          P.write_frame oc
+            (P.welcome_to_string
+               (P.Rejected
+                  {
+                    expected = P.protocol_version;
+                    got = -1;
+                    message = "malformed hello: " ^ e;
+                  }));
+          Error ("malformed hello: " ^ e)
+      | Ok h when h.P.protocol <> P.protocol_version ->
+          P.write_frame oc
+            (P.welcome_to_string
+               (P.Rejected
+                  {
+                    expected = P.protocol_version;
+                    got = h.P.protocol;
+                    message =
+                      Fmt.str
+                        "protocol version mismatch: server speaks %d, client \
+                         sent %d; upgrade the older side"
+                        P.protocol_version h.P.protocol;
+                  }));
+          Error "protocol version mismatch"
+      | Ok _ -> Ok ())
+
+let serve_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let sink = t.config.Config.trace in
+  match handshake ic oc with
+  | Error _ -> ()
+  | Ok () ->
+      P.write_frame oc
+        (P.welcome_to_string
+           (P.Welcome { protocol = P.protocol_version; server = t.name }));
+      let rec loop () =
+        if t.shutting_down then ()
+        else
+          match P.read_frame ic with
+          | Error _ -> () (* client hung up *)
+          | Ok payload ->
+              let id, reply =
+                match P.request_of_string payload with
+                | Error e ->
+                    (0, P.Error_reply { code = P.Bad_request; message = e })
+                | Ok (id, req) ->
+                    let args =
+                      [ ("id", Entangle_trace.Event.Int id) ]
+                    in
+                    Entangle_trace.Sink.span_begin sink ~args ~cat:"serve"
+                      (request_name req);
+                    let reply =
+                      match handle_request t req with
+                      | reply -> reply
+                      | exception exn ->
+                          P.Error_reply
+                            {
+                              code = P.Server_internal;
+                              message = Printexc.to_string exn;
+                            }
+                    in
+                    Entangle_trace.Sink.span_end sink ~args ~cat:"serve"
+                      (request_name req);
+                    (id, reply)
+              in
+              t.served <- t.served + 1;
+              (match P.write_frame oc (P.response_to_string ~id reply) with
+              | () -> loop ()
+              | exception (Sys_error _ | Unix.Unix_error _) ->
+                  (* the client hung up mid-reply; only this
+                     connection dies *)
+                  ())
+      in
+      loop ()
+
+let run t =
+  let previous = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let finally () =
+    Sys.set_signal Sys.sigpipe previous;
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    try Sys.remove t.path with Sys_error _ -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      let rec accept_loop () =
+        let budget_left =
+          match t.max_connections with
+          | Some n -> t.connections < n
+          | None -> true
+        in
+        if t.shutting_down || not budget_left then ()
+        else
+          match Unix.accept t.listener with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | fd, _ ->
+              t.connections <- t.connections + 1;
+              Fun.protect
+                ~finally:(fun () ->
+                  try Unix.close fd with Unix.Unix_error _ -> ())
+                (fun () -> serve_connection t fd);
+              accept_loop ()
+      in
+      accept_loop ())

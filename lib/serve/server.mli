@@ -1,0 +1,68 @@
+(** The resident checker service.
+
+    One [entangle serve] process keeps everything expensive resident —
+    the lemma corpus (compiled rules), the checker configuration, the
+    warm certificate cache and (via {!Entangle.Config.jobs}) the domain
+    pool — and answers {!Protocol} requests over a Unix-domain socket,
+    so repeated checks from editors, CI shards or scripts skip cold
+    start entirely.
+
+    Connections are served sequentially (one accept loop, one client at
+    a time); parallelism lives {e inside} each check, on the
+    configuration's domain pool, where it is deterministic. Every
+    request is bracketed by a [cat:"serve"] trace span on the server's
+    sink, so a collected trace shows exactly which requests saturated
+    and which replayed from cache.
+
+    {2 Fidelity}
+
+    A remote check is the same computation as a local one: the server
+    parses the structurally-embedded graphs and relation, resolves the
+    same per-family lemma rules, runs the same {!Entangle.Refine.check},
+    and replies with the same rendered report, the same verdict and
+    exit code, and the lossless statistics. Only wall time can differ.
+
+    {2 Failure containment}
+
+    A malformed request, an unparsable graph, or a precondition
+    violation ([Invalid_argument] from [Refine.check]) is answered with
+    a [bad-request] error reply; any other exception during a request
+    is caught and answered with an [internal] error reply. The
+    connection — and the server — survive both. Version-mismatched
+    clients get a structured rejection frame, never a hang. *)
+
+type t
+
+val create :
+  ?name:string ->
+  ?config:Entangle.Config.t ->
+  ?cache:Entangle_cache.Cache.t ->
+  ?max_connections:int ->
+  socket:string ->
+  unit ->
+  (t, string) result
+(** Bind the listening socket. A stale socket file (left by a crashed
+    server) is detected by attempting a connection: refused → unlink
+    and rebind; accepted → [Error "... already serving"], so two
+    daemons never fight over one path.
+
+    [config] is the base configuration for every check (default
+    {!Entangle.Config.default}); its [trace] sink receives the
+    [cat:"serve"] spans. [cache], when given, is installed into that
+    configuration and additionally answers [Cache_stats]/[Cache_clear].
+    [max_connections] bounds how many connections the accept loop
+    serves before returning (for tests); default unbounded.
+    [name] is the server identity echoed in the handshake and
+    [describe] (default ["entangle-serve"]). *)
+
+val run : t -> unit
+(** The accept loop. Returns after a [Shutdown] request has been
+    acknowledged (or [max_connections] connections have been served),
+    with the listening socket closed and the socket file removed.
+    SIGPIPE is ignored for the duration (a client hanging up mid-reply
+    must not kill the daemon). *)
+
+val socket : t -> string
+
+val requests_served : t -> int
+(** Total requests answered so far (including error replies). *)

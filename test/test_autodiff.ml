@@ -179,7 +179,7 @@ let gradient_tests =
 
 let assert_refines inst =
   match Instance.check inst with
-  | Error f -> Alcotest.failf "%s: %s" inst.Instance.name (Entangle.Refine.reason f)
+  | Error f -> Alcotest.failf "%s: %s" inst.Instance.name (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
   | Ok s -> (
       match
         Entangle.Certify.replay ~env:inst.Instance.env ~gs:inst.Instance.gs

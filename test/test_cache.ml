@@ -427,9 +427,175 @@ let recheck_tests =
               hs.Entangle.Refine.cache_hits));
   ]
 
+(* --- retention: budgets, eviction, expiry -------------------------------- *)
+
+let put_exn s ~key payload =
+  match Store.put s ~key payload with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "put: %s" e
+
+let backdate dir key seconds_ago =
+  let t = Unix.gettimeofday () -. seconds_ago in
+  Unix.utimes (entry_file dir key) t t
+
+let open_budgeted dir budget =
+  match Store.open_ ~dir ~budget () with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "open_: %s" e
+
+let retention_tests =
+  [
+    Alcotest.test_case "entry exactly at the byte budget is kept" `Quick
+      (fun () ->
+        with_temp_dir (fun dir ->
+            let s0 = open_store dir in
+            let key = String.make 32 'a' in
+            put_exn s0 ~key "fits exactly";
+            let size = (Unix.stat (entry_file dir key)).Unix.st_size in
+            (* The ceiling is inclusive: a store holding exactly
+               [max_bytes] evicts nothing. *)
+            let s =
+              open_budgeted dir
+                { Store.max_bytes = Some size; max_age_s = None }
+            in
+            let r = Store.gc s in
+            check Alcotest.int "no eviction at the ceiling" 0 r.Store.evicted;
+            check Alcotest.int "entry kept" 1 r.Store.remaining_entries;
+            check
+              Alcotest.(option string)
+              "still readable" (Some "fits exactly") (Store.get s ~key);
+            (* Any growth past the ceiling sweeps the oldest out. *)
+            backdate dir key 100.;
+            put_exn s ~key:(String.make 32 'b') "fits";
+            let st = Store.stats s in
+            check Alcotest.int "sweep kept the newer entry" 1 st.Store.entries;
+            check Alcotest.bool "back within budget" true
+              (st.Store.bytes <= size);
+            check
+              Alcotest.(option string)
+              "older entry evicted" None (Store.get s ~key)));
+    Alcotest.test_case "age bound beats a racing hit" `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let s =
+              open_budgeted dir
+                { Store.max_bytes = None; max_age_s = Some 60. }
+            in
+            let old_key = String.make 32 'a'
+            and fresh_key = String.make 32 'b' in
+            put_exn s ~key:old_key "stale";
+            put_exn s ~key:fresh_key "fresh";
+            backdate dir old_key 3600.;
+            (* The file is still on disk when the lookup arrives; the
+               age bound must win over the would-be hit. *)
+            check
+              Alcotest.(option string)
+              "expired entry misses despite the file existing" None
+              (Store.get s ~key:old_key);
+            check Alcotest.bool "expired file removed" false
+              (Sys.file_exists (entry_file dir old_key));
+            check Alcotest.int "counted expired" 1
+              (Store.stats s).Store.expired_entries;
+            check
+              Alcotest.(option string)
+              "fresh entry still hits" (Some "fresh")
+              (Store.get s ~key:fresh_key)));
+    Alcotest.test_case "a hit refreshes the eviction order" `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_store dir in
+            let ka = String.make 32 'a' and kb = String.make 32 'b' in
+            put_exn s ~key:ka "payload a";
+            put_exn s ~key:kb "payload b";
+            backdate dir ka 100.;
+            backdate dir kb 50.;
+            (* ka is nominally older; reading it must flip the LRU
+               order so kb becomes the victim. *)
+            ignore (Store.get s ~key:ka);
+            let size = (Unix.stat (entry_file dir ka)).Unix.st_size in
+            let r =
+              Store.gc
+                ~budget:{ Store.max_bytes = Some size; max_age_s = None }
+                s
+            in
+            check Alcotest.int "one eviction" 1 r.Store.evicted;
+            check
+              Alcotest.(option string)
+              "touched entry survives" (Some "payload a") (Store.get s ~key:ka);
+            check
+              Alcotest.(option string)
+              "untouched entry evicted" None (Store.get s ~key:kb)));
+    Alcotest.test_case "quarantine is outside the budget accounting" `Quick
+      (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_store dir in
+            let bad = String.make 32 'f' in
+            put_exn s ~key:bad (String.make 4096 'x');
+            let oc = open_out (entry_file dir bad) in
+            output_string oc (String.make 4096 '?');
+            close_out oc;
+            check
+              Alcotest.(option string)
+              "quarantined on read" None (Store.get s ~key:bad);
+            check Alcotest.int "one quarantined" 1
+              (Store.stats s).Store.quarantined;
+            let keep = String.make 32 '0' in
+            put_exn s ~key:keep "small";
+            let size = (Unix.stat (entry_file dir keep)).Unix.st_size in
+            (* Budget = exactly the live entry: if the 4 KiB in
+               quarantine/ were counted, this would evict. *)
+            let r =
+              Store.gc
+                ~budget:{ Store.max_bytes = Some size; max_age_s = None }
+                s
+            in
+            check Alcotest.int "quarantined bytes do not force eviction" 0
+              r.Store.evicted;
+            check Alcotest.int "live entry kept" 1 r.Store.remaining_entries;
+            check Alcotest.bool "quarantine preserved" true
+              ((Store.stats s).Store.quarantined >= 1)));
+    Alcotest.test_case "daemon and CLI handles interleave safely" `Quick
+      (fun () ->
+        with_temp_dir (fun dir ->
+            (* One budgeted handle (the daemon, sweeping as it writes)
+               and one unbudgeted handle (a CLI run) share the
+               directory. Every read must be a miss or the exact
+               payload — never a torn or foreign value — and a final
+               sweep must land the store within budget. *)
+            let daemon =
+              open_budgeted dir
+                { Store.max_bytes = Some 2048; max_age_s = None }
+            in
+            let cli = open_store dir in
+            let n = 200 in
+            let key i = Fmt.str "%032x" i in
+            let payload k = "payload:" ^ k in
+            let churn handle step =
+              let bad = ref 0 in
+              for i = 0 to n - 1 do
+                let k = key i in
+                (match Store.put handle ~key:k (payload k) with
+                | Ok () | Error _ -> ());
+                let k' = key (i * step mod n) in
+                match Store.get handle ~key:k' with
+                | None -> ()
+                | Some p -> if p <> payload k' then incr bad
+              done;
+              !bad
+            in
+            let worker = Domain.spawn (fun () -> churn daemon 7) in
+            let cli_bad = churn cli 13 in
+            let daemon_bad = Domain.join worker in
+            check Alcotest.int "no torn reads through the CLI handle" 0 cli_bad;
+            check Alcotest.int "no torn reads through the daemon handle" 0
+              daemon_bad;
+            ignore (Store.gc daemon);
+            check Alcotest.bool "post-gc store is within budget" true
+              ((Store.stats daemon).Store.bytes <= 2048)));
+  ]
+
 let suite =
   [
     ("cache.fingerprint", fingerprint_tests);
     ("cache.store", store_tests);
     ("cache.recheck", recheck_tests);
+    ("cache.retention", retention_tests);
   ]

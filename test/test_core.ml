@@ -113,7 +113,7 @@ let refine_tests =
           Entangle.Refine.check ~gs:fx.gs ~gd:fx.gd
             ~input_relation:fx.input_relation ()
         with
-        | Error f -> Alcotest.failf "unexpected failure: %s" (Entangle.Refine.reason f)
+        | Error f -> Alcotest.failf "unexpected failure: %s" (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
         | Ok s ->
             check Alcotest.bool "F mapped" true
               (Entangle.Relation.mem s.output_relation fx.f);
@@ -139,7 +139,7 @@ let refine_tests =
           Entangle.Refine.check ~gs:fx.gs ~gd:fx.gd
             ~input_relation:fx.input_relation ()
         with
-        | Error f -> Alcotest.failf "unexpected failure: %s" (Entangle.Refine.reason f)
+        | Error f -> Alcotest.failf "unexpected failure: %s" (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
         | Ok s -> (
             match
               Entangle.Certify.replay ~env:(Interp.env_of_list []) ~gs:fx.gs
@@ -173,7 +173,7 @@ let refine_tests =
         | Ok _ -> Alcotest.fail "accepted incomplete input relation"
         | Error f ->
             check Alcotest.bool "mentions mapping" true
-              (contains (Entangle.Refine.reason f) "no mapping"));
+              (contains (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict) "no mapping"));
     Alcotest.test_case "non-clean input relation rejected" `Quick (fun () ->
         let fx = figure1 () in
         let dirty =
@@ -196,7 +196,7 @@ let refine_tests =
                 ~input_relation:fx.input_relation ()
             with
             | Ok _ -> ()
-            | Error f -> Alcotest.failf "config failed: %s" (Entangle.Refine.reason f))
+            | Error f -> Alcotest.failf "config failed: %s" (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict))
           [ Entangle.Config.default; Entangle.Config.no_frontier;
             Entangle.Config.no_pruning ]);
     Alcotest.test_case "stats populated" `Quick (fun () ->
@@ -291,7 +291,7 @@ let certify_tests =
         match
           Entangle.Refine.check ~gs ~gd ~input_relation ()
         with
-        | Error f -> Alcotest.fail (Entangle.Refine.reason f)
+        | Error f -> Alcotest.fail (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
         | Ok s -> (
             match
               Entangle.Certify.replay ~env:(Interp.env_of_list []) ~gs ~gd

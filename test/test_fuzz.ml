@@ -131,7 +131,7 @@ let positive =
       match Entangle.Refine.check ~gs ~gd ~input_relation () with
       | Error f ->
           QCheck.Test.fail_reportf "rejected a correct lowering: %s"
-            (Entangle.Refine.reason f)
+            (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
       | Ok s -> (
           match
             Entangle.Certify.replay
@@ -149,7 +149,7 @@ let positive_degree4 =
       | Ok _ -> true
       | Error f ->
           QCheck.Test.fail_reportf "rejected a correct lowering: %s"
-            (Entangle.Refine.reason f))
+            (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict))
 
 let negative =
   QCheck.Test.make ~name:"corrupted kernels are rejected" ~count:25
@@ -183,7 +183,7 @@ let roundtrip =
           | Ok _ -> true
           | Error f ->
               QCheck.Test.fail_reportf "reloaded pair rejected: %s"
-                (Entangle.Refine.reason f)))
+                (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)))
 
 (* Extraction soundness: whatever the checker extracts for an output
    evaluates to the same values as the sequential graph itself — checked
@@ -194,7 +194,7 @@ let full_relation_sound =
     ~count:10 arbitrary_steps (fun steps ->
       let gs, gd, input_relation = build_pair steps ~degree:2 in
       match Entangle.Refine.check ~gs ~gd ~input_relation () with
-      | Error f -> QCheck.Test.fail_reportf "rejected: %s" (Entangle.Refine.reason f)
+      | Error f -> QCheck.Test.fail_reportf "rejected: %s" (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
       | Ok s ->
           let env = Interp.env_of_list [] in
           let st = Random.State.make [| 5 |] in
@@ -331,7 +331,7 @@ let escalation_monotone =
                "escalation changed a successful output relation"
       | Ok _, Error f ->
           QCheck.Test.fail_reportf "escalation flipped success to: %s"
-            (Entangle.Refine.reason f)
+            (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
       | Error { Entangle.Refine.verdict = Entangle.Refine.Unmapped _; _ },
         Error esc -> (
           match esc.Entangle.Refine.verdict with

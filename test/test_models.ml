@@ -19,7 +19,7 @@ let assert_refines ?(certify = true) inst =
     (Entangle.Relation.is_clean inst.Instance.input_relation);
   match Instance.check inst with
   | Error f ->
-      Alcotest.failf "%s did not refine: %s" inst.Instance.name (Entangle.Refine.reason f)
+      Alcotest.failf "%s did not refine: %s" inst.Instance.name (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
   | Ok s ->
       check Alcotest.bool "output relation clean" true
         (Entangle.Relation.is_clean s.output_relation);
@@ -116,7 +116,7 @@ let bug_catalog =
             with
             | Ok _ -> ()
             | Error f ->
-                Alcotest.failf "bug %d: plain refinement failed: %s" id (Entangle.Refine.reason f))
+                Alcotest.failf "bug %d: plain refinement failed: %s" id (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict))
           [ 5; 8; 9 ]);
     Alcotest.test_case "bug-free pad/slice round trip refines" `Quick (fun () ->
         assert_refines (Bugs.pad_slice_model ~buggy:false));

@@ -165,7 +165,7 @@ let gpt_full_relation =
   lazy
     (match Instance.check (Lazy.force gpt_instance) with
     | Ok s -> s.Refine.full_relation
-    | Error f -> Alcotest.failf "gpt check failed: %s" (Refine.reason f))
+    | Error f -> Alcotest.failf "gpt check failed: %s" (Refine.verdict_to_string f.Refine.verdict))
 
 let gpt_wavefront =
   lazy
@@ -367,10 +367,10 @@ let agreement_tests =
             | Error a, Error b -> check_failure_equal inst.Instance.name a b
             | Ok _, Error f ->
                 Alcotest.failf "%s: -j 4 failed where -j 1 succeeded: %s"
-                  inst.Instance.name (Refine.reason f)
+                  inst.Instance.name (Refine.verdict_to_string f.Refine.verdict)
             | Error f, Ok _ ->
                 Alcotest.failf "%s: -j 1 failed where -j 4 succeeded: %s"
-                  inst.Instance.name (Refine.reason f))
+                  inst.Instance.name (Refine.verdict_to_string f.Refine.verdict))
           (Zoo.fig3_instances ()));
     Alcotest.test_case "all nine bug verdicts agree across -j" `Slow
       (fun () ->
@@ -458,7 +458,7 @@ let agreement_tests =
                 config jobs (Entangle.Config.with_cache (Some cache))
               in
               match Instance.check ~config:cfg inst with
-              | Error f -> Alcotest.failf "check failed: %s" (Refine.reason f)
+              | Error f -> Alcotest.failf "check failed: %s" (Refine.verdict_to_string f.Refine.verdict)
               | Ok s ->
                   ( List.sort compare (entries [] "" dir),
                     List.map

@@ -32,7 +32,7 @@ let report_tests =
       (fun () ->
         let inst = Regression.build () in
         match Instance.check inst with
-        | Error f -> Alcotest.fail (Entangle.Refine.reason f)
+        | Error f -> Alcotest.fail (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
         | Ok s ->
             let text = Entangle.Report.success_to_string inst.Instance.gs s in
             check Alcotest.bool "mentions R_o" true
@@ -44,7 +44,7 @@ let report_tests =
         let hits =
           match Instance.check inst with
           | Ok s -> s.Entangle.Refine.stats.rule_hits
-          | Error f -> Alcotest.fail (Entangle.Refine.reason f)
+          | Error f -> Alcotest.fail (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
         in
         let count name = Option.value (List.assoc_opt name hits) ~default:0 in
         check Alcotest.bool "collective lemma used" true
@@ -60,7 +60,7 @@ let report_tests =
     Alcotest.test_case "stats in the result reflect the run" `Quick (fun () ->
         let inst = Regression.build () in
         match Instance.check inst with
-        | Error f -> Alcotest.fail (Entangle.Refine.reason f)
+        | Error f -> Alcotest.fail (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
         | Ok s ->
             check Alcotest.int "operators" 2 s.stats.operators_processed;
             check Alcotest.bool "wall time recorded" true
@@ -96,7 +96,7 @@ let config_tests =
             let inst = Gpt.build ~sp:false ~vp:false () in
             match Instance.check ~config inst with
             | Ok _ -> ()
-            | Error f -> Alcotest.failf "config failed: %s" (Entangle.Refine.reason f))
+            | Error f -> Alcotest.failf "config failed: %s" (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict))
           [ Entangle.Config.default; Entangle.Config.no_frontier;
             Entangle.Config.no_pruning ]);
     Alcotest.test_case "no_frontier explores more of the graph" `Quick
@@ -105,7 +105,7 @@ let config_tests =
           let inst = Regression.build ~microbatches:4 () in
           match Instance.check ~config inst with
           | Ok s -> s.stats.egraph_nodes_peak
-          | Error f -> Alcotest.failf "failed: %s" (Entangle.Refine.reason f)
+          | Error f -> Alcotest.failf "failed: %s" (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
         in
         check Alcotest.bool "frontier shrinks e-graphs" true
           (peak Entangle.Config.default <= peak Entangle.Config.no_frontier));
@@ -124,7 +124,7 @@ let gqa_tests =
         in
         match Instance.check inst with
         | Ok _ -> ()
-        | Error f -> Alcotest.fail (Entangle.Refine.reason f));
+        | Error f -> Alcotest.fail (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict));
     Alcotest.test_case "kv_heads must divide heads" `Quick (fun () ->
         let arch =
           { (Transformer.gpt_arch ~heads:4 ~vocab:None ()) with

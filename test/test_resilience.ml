@@ -162,7 +162,7 @@ let test_escalation_recovers () =
   match check ~config:escalated (branches_pair ()) with
   | Error f ->
       Alcotest.failf "escalation did not recover: %s"
-        (Entangle.Refine.reason f)
+        (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
   | Ok s ->
       Alcotest.(check bool) "retried at least once" true
         (s.Entangle.Refine.stats.Entangle.Refine.retries > 0)
@@ -241,7 +241,7 @@ let test_keep_going_clean_model_unchanged () =
   | Ok _ -> ()
   | Error f ->
       Alcotest.failf "keep_going broke a clean model: %s"
-        (Entangle.Refine.reason f)
+        (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
 
 let test_keep_going_bugs_zoo_unchanged () =
   (* Every case-study bug must still be detected with multi-fault

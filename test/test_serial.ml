@@ -30,6 +30,27 @@ let sexp_tests =
         | Ok (Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b c"; Sexp.Atom "d" ]) -> ()
         | Ok s -> Alcotest.failf "unexpected parse: %s" (Sexp.to_string s)
         | Error e -> Alcotest.fail e);
+    Alcotest.test_case "quoted-atom escapes round trip" `Quick (fun () ->
+        (* Atoms that force quoting — embedded quotes, backslashes,
+           newlines, parens — must print and reparse to the same
+           value, not just to something that parses. *)
+        List.iter
+          (fun atom ->
+            let s = Sexp.list [ Sexp.atom "k"; Sexp.atom atom ] in
+            match Sexp.of_string (Sexp.to_string s) with
+            | Ok (Sexp.List [ Sexp.Atom "k"; Sexp.Atom atom' ]) ->
+                check Alcotest.string "atom" atom atom'
+            | Ok s' -> Alcotest.failf "reparsed shape: %s" (Sexp.to_string s')
+            | Error e -> Alcotest.failf "reparse %S: %s" atom e)
+          [
+            "has \"quotes\" inside";
+            "back\\slash";
+            "\\\"both\\\"";
+            "line\nbreak";
+            "(parens)";
+            "; not a comment";
+            "";
+          ]);
     Alcotest.test_case "parse errors" `Quick (fun () ->
         List.iter
           (fun bad ->
@@ -115,7 +136,7 @@ let graph_roundtrip name inst =
           match Entangle.Refine.check ~rules ~gs ~gd ~input_relation () with
           | Ok _ -> ()
           | Error f ->
-              Alcotest.failf "reloaded check failed: %s" (Entangle.Refine.reason f)))
+              Alcotest.failf "reloaded check failed: %s" (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)))
 
 let graph_error_tests =
   [

@@ -1,0 +1,332 @@
+(* Wire-protocol units for the resident checker service: framing edge
+   cases, handshake negotiation, lossless request/response round-trips
+   (including the hex-float statistics encoding), and a small
+   end-to-end session against a server running in its own domain. The
+   heavyweight fidelity and warm-cache acceptance runs live in the
+   @serve-smoke bench alias; these tests pin the grammar itself. *)
+
+module Sexp = Entangle_ir.Sexp
+module P = Entangle_serve.Protocol
+module Srv = Entangle_serve.Server
+module Cl = Entangle_serve.Client
+
+let check = Alcotest.check
+
+(* --- framing ------------------------------------------------------------ *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "entangle-test-serve" ".frame" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_frames_of_raw raw k =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      output_string oc raw;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> k ic))
+
+let framing_tests =
+  [
+    Alcotest.test_case "frames round-trip, including empty payloads" `Quick
+      (fun () ->
+        with_temp_file (fun path ->
+            let payloads = [ "(ping)"; ""; String.make 4096 'x'; "a\nb\nc" ] in
+            let oc = open_out_bin path in
+            List.iter (P.write_frame oc) payloads;
+            close_out oc;
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () ->
+                List.iter
+                  (fun expected ->
+                    match P.read_frame ic with
+                    | Ok got -> check Alcotest.string "payload" expected got
+                    | Error e -> Alcotest.failf "read_frame: %s" e)
+                  payloads;
+                (* Clean EOF after the last frame is an error, not a
+                   hang or an empty frame. *)
+                check Alcotest.bool "EOF is an error" true
+                  (Result.is_error (P.read_frame ic)))));
+    Alcotest.test_case "garbage length prefixes are rejected" `Quick (fun () ->
+        let rejected raw =
+          read_frames_of_raw raw (fun ic -> Result.is_error (P.read_frame ic))
+        in
+        check Alcotest.bool "non-digit prefix" true (rejected "abc\n(ping)");
+        check Alcotest.bool "negative length" true (rejected "-5\nhello");
+        check Alcotest.bool "missing newline" true (rejected "12");
+        check Alcotest.bool "empty stream" true (rejected ""));
+    Alcotest.test_case "oversized lengths are refused without reading" `Quick
+      (fun () ->
+        (* Both an 11-digit prefix and a valid number above the cap
+           must be refused before any payload is consumed. *)
+        let refused raw =
+          read_frames_of_raw raw (fun ic -> Result.is_error (P.read_frame ic))
+        in
+        check Alcotest.bool "too many digits" true (refused "99999999999\nx");
+        check Alcotest.bool "above max_frame_bytes" true
+          (refused (string_of_int (P.max_frame_bytes + 1) ^ "\nx")));
+    Alcotest.test_case "EOF mid-payload is an error" `Quick (fun () ->
+        read_frames_of_raw "10\nabc" (fun ic ->
+            check Alcotest.bool "truncated payload" true
+              (Result.is_error (P.read_frame ic))));
+  ]
+
+(* --- handshake ---------------------------------------------------------- *)
+
+let handshake_tests =
+  [
+    Alcotest.test_case "hello round-trips" `Quick (fun () ->
+        let h = { P.protocol = P.protocol_version; client = "test client" } in
+        match P.hello_of_string (P.hello_to_string h) with
+        | Ok h' ->
+            check Alcotest.int "protocol" h.P.protocol h'.P.protocol;
+            check Alcotest.string "client" h.P.client h'.P.client
+        | Error e -> Alcotest.failf "hello_of_string: %s" e);
+    Alcotest.test_case "welcome and reject round-trip" `Quick (fun () ->
+        let cases =
+          [
+            P.Welcome { protocol = 1; server = "entangle-serve" };
+            P.Rejected
+              { expected = 1; got = 2; message = "upgrade the older side" };
+          ]
+        in
+        List.iter
+          (fun w ->
+            match P.welcome_of_string (P.welcome_to_string w) with
+            | Ok w' -> check Alcotest.bool "welcome" true (w = w')
+            | Error e -> Alcotest.failf "welcome_of_string: %s" e)
+          cases);
+    Alcotest.test_case "malformed hello is an error" `Quick (fun () ->
+        check Alcotest.bool "not a hello" true
+          (Result.is_error (P.hello_of_string "(pang)"));
+        check Alcotest.bool "not an sexp" true
+          (Result.is_error (P.hello_of_string "((")));
+  ]
+
+(* --- request / response grammar ---------------------------------------- *)
+
+let roundtrip_request ~id req =
+  match P.request_of_string (P.request_to_string ~id req) with
+  | Ok (id', req') ->
+      check Alcotest.int "request id" id id';
+      check Alcotest.bool "request body" true (req = req')
+  | Error e -> Alcotest.failf "request_of_string: %s" e
+
+let roundtrip_response ~id resp =
+  match P.response_of_string (P.response_to_string ~id resp) with
+  | Ok (id', resp') ->
+      check Alcotest.int "response id" id id';
+      check Alcotest.bool "response body" true (resp = resp')
+  | Error e -> Alcotest.failf "response_of_string: %s" e
+
+let sample_stats =
+  {
+    Entangle.Refine.operators_processed = 7;
+    saturation_iterations = 12;
+    egraph_nodes_peak = 345;
+    egraph_classes_peak = 123;
+    matches_examined = 9001;
+    unions_applied = 42;
+    rule_hits = [ ("matmul-assoc", 3); ("sum of slices", 1) ];
+    retries = 2;
+    budget_trips = 1;
+    cache_hits = 4;
+    cache_misses = 3;
+    cache_replays_failed = 1;
+    (* Not representable in decimal: the hex-float rendering must
+       carry it across the wire bit-for-bit. *)
+    wall_time_s = 0.1 +. 0.2;
+  }
+
+let grammar_tests =
+  [
+    Alcotest.test_case "simple requests round-trip" `Quick (fun () ->
+        List.iteri
+          (fun i req -> roundtrip_request ~id:i req)
+          [ P.Ping; P.Describe; P.Cache_stats; P.Cache_clear; P.Shutdown ]);
+    Alcotest.test_case "check requests round-trip structurally" `Quick
+      (fun () ->
+        let graph name =
+          Sexp.list [ Sexp.atom "graph"; Sexp.atom name ]
+        in
+        let reqs =
+          [
+            P.Check
+              {
+                options = P.default_options;
+                gs = graph "gs";
+                gd = graph "gd";
+                relation = Sexp.list [ Sexp.atom "relation" ];
+              };
+            P.Check
+              {
+                options =
+                  {
+                    P.family = Some "regression";
+                    namespace = Some "tenant a";
+                    jobs = Some 4;
+                    keep_going = true;
+                  };
+                gs = graph "gs";
+                gd = graph "gd";
+                relation = Sexp.list [ Sexp.atom "relation" ];
+              };
+          ]
+        in
+        List.iteri (fun i req -> roundtrip_request ~id:(100 + i) req) reqs);
+    Alcotest.test_case "statistics round-trip losslessly" `Quick (fun () ->
+        match P.stats_of_sexp (P.stats_to_sexp sample_stats) with
+        | Ok s ->
+            check Alcotest.bool "bit-for-bit, wall time included" true
+              (s = sample_stats)
+        | Error e -> Alcotest.failf "stats_of_sexp: %s" e);
+    Alcotest.test_case "responses round-trip" `Quick (fun () ->
+        let responses =
+          [
+            P.Pong;
+            P.Bye;
+            P.Described (P.describe_json ~server:"test");
+            P.Cache_cleared 17;
+            P.Error_reply { code = P.Bad_request; message = "no such family" };
+            P.Error_reply { code = P.Server_internal; message = "boom" };
+            P.Cache_stats_reply
+              {
+                dir = "/tmp/cache";
+                entries = 3;
+                bytes = 1234;
+                shards = 2;
+                quarantined = 1;
+                max_bytes = Some 4096;
+                max_age_s = Some 60.;
+                evicted_entries = 5;
+                evicted_bytes = 678;
+                expired_entries = 2;
+              };
+            P.Cache_stats_reply
+              {
+                dir = "/tmp/cache";
+                entries = 0;
+                bytes = 0;
+                shards = 0;
+                quarantined = 0;
+                max_bytes = None;
+                max_age_s = None;
+                evicted_entries = 0;
+                evicted_bytes = 0;
+                expired_entries = 0;
+              };
+            P.Checked
+              {
+                exit_code = 0;
+                verdict = "refines";
+                report = "refines: 7 operators\nwith a second line";
+                output_relation =
+                  Some (Sexp.list [ Sexp.atom "relation" ]);
+                stats = sample_stats;
+              };
+            P.Checked
+              {
+                exit_code = 1;
+                verdict = "unmapped";
+                report = "operator 3 has no counterpart";
+                output_relation = None;
+                stats = sample_stats;
+              };
+          ]
+        in
+        List.iteri (fun i resp -> roundtrip_response ~id:i resp) responses);
+    Alcotest.test_case "error codes map onto the CLI exits" `Quick (fun () ->
+        check Alcotest.int "bad-request is the usage exit" 124
+          (P.error_exit_code P.Bad_request);
+        check Alcotest.int "internal is the internal-verdict exit" 3
+          (P.error_exit_code P.Server_internal));
+    Alcotest.test_case "describe carries the versioned envelope" `Quick
+      (fun () ->
+        let json = P.describe_json ~server:"unit" in
+        let contains hay needle =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i =
+            i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        check Alcotest.bool "schema tag" true
+          (contains json "\"schema\": \"entangle/serve/1\""));
+  ]
+
+(* --- end-to-end: a server in its own domain ----------------------------- *)
+
+let with_server f =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "entangle-test-serve-%d.sock" (Unix.getpid ()))
+  in
+  (try Sys.remove socket with Sys_error _ -> ());
+  match Srv.create ~name:"test-daemon" ~socket () with
+  | Error e -> Alcotest.failf "Server.create: %s" e
+  | Ok server ->
+      let d = Domain.spawn (fun () -> Srv.run server) in
+      Fun.protect
+        ~finally:(fun () ->
+          (match Cl.connect ~socket () with
+          | Ok c -> ignore (Cl.shutdown c)
+          | Error _ -> ());
+          Domain.join d)
+        (fun () -> f socket)
+
+let end_to_end_tests =
+  [
+    Alcotest.test_case "session: reject, ping, bad request, shutdown" `Slow
+      (fun () ->
+        with_server (fun socket ->
+            (* A future client is turned away with a structured frame
+               naming both versions — and the daemon survives it. *)
+            (match
+               Cl.raw_hello ~socket ~protocol:(P.protocol_version + 1)
+             with
+            | Ok (P.Rejected { expected; got; message }) ->
+                check Alcotest.int "expected" P.protocol_version expected;
+                check Alcotest.int "got" (P.protocol_version + 1) got;
+                check Alcotest.bool "reason is human-readable" true
+                  (String.length message > 0)
+            | Ok (P.Welcome _) ->
+                Alcotest.fail "future protocol was welcomed"
+            | Error e -> Alcotest.failf "raw_hello: %s" e);
+            match Cl.connect ~client:"unit-test" ~socket () with
+            | Error e -> Alcotest.failf "connect: %s" e
+            | Ok c ->
+                Fun.protect
+                  ~finally:(fun () -> Cl.close c)
+                  (fun () ->
+                    (match Cl.ping c with
+                    | Ok () -> ()
+                    | Error e -> Alcotest.failf "ping: %s" e);
+                    (* A check the server cannot even start — garbage
+                       graphs — must come back as a structured
+                       bad-request, not a dropped connection. *)
+                    (match
+                       Cl.check c ~gs:(Sexp.atom "garbage")
+                         ~gd:(Sexp.atom "garbage")
+                         ~relation:(Sexp.atom "garbage") ()
+                     with
+                    | Ok (P.Error_reply { code = P.Bad_request; _ }) -> ()
+                    | Ok _ -> Alcotest.fail "garbage graphs were accepted"
+                    | Error e -> Alcotest.failf "check transport: %s" e);
+                    (* The connection is still usable afterwards. *)
+                    match Cl.ping c with
+                    | Ok () -> ()
+                    | Error e ->
+                        Alcotest.failf "ping after bad request: %s" e)));
+  ]
+
+let suite =
+  [
+    ("serve.framing", framing_tests);
+    ("serve.handshake", handshake_tests);
+    ("serve.grammar", grammar_tests);
+    ("serve.end_to_end", end_to_end_tests);
+  ]

@@ -37,7 +37,7 @@ let golden_tests =
         let result, events = check_collecting (Regression.build ()) in
         (match result with
         | Ok _ -> ()
-        | Error f -> Alcotest.fail (Entangle.Refine.reason f));
+        | Error f -> Alcotest.fail (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict));
         (* One span per operator; inside each: frontier loading with
            per-wave instants, the saturation iterations with rule hits
            and e-graph growth samples, a final e-graph sample, and the
@@ -115,7 +115,7 @@ let stats_tests =
         let stats =
           match result with
           | Ok s -> s.Entangle.Refine.stats
-          | Error f -> Alcotest.fail (Entangle.Refine.reason f)
+          | Error f -> Alcotest.fail (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
         in
         let replayed = Entangle.Refine.stats_of_events events in
         check Alcotest.bool "identical modulo wall time" true
@@ -125,7 +125,7 @@ let stats_tests =
         let stats =
           match result with
           | Ok s -> s.Entangle.Refine.stats
-          | Error f -> Alcotest.fail (Entangle.Refine.reason f)
+          | Error f -> Alcotest.fail (Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict)
         in
         let p = Trace.Profile.of_events events in
         check Alcotest.int "iterations" stats.saturation_iterations
@@ -223,7 +223,7 @@ let property_tests =
     | Ok (s : Entangle.Refine.success) ->
         ("ok", { s.stats with Entangle.Refine.wall_time_s = 0. })
     | Error (f : Entangle.Refine.failure) ->
-        ((Entangle.Refine.reason f), { f.stats with Entangle.Refine.wall_time_s = 0. })
+        ((Entangle.Refine.verdict_to_string f.Entangle.Refine.verdict), { f.stats with Entangle.Refine.wall_time_s = 0. })
   in
   let sink_transparent =
     QCheck2.Test.make ~count:12 ~name:"sinks never change verdict or stats"
