@@ -818,7 +818,7 @@ let serve_smoke () =
   let with_server ?cache config f =
     match Srv.create ~config ?cache ~socket:sock () with
     | Error e ->
-        Fmt.epr "cannot start server: %s@." e;
+        Fmt.epr "cannot start server: %s@." (Srv.error_message e);
         exit 1
     | Ok server ->
         let d = Domain.spawn (fun () -> Srv.run server) in
@@ -833,7 +833,7 @@ let serve_smoke () =
   let with_client f =
     match Cl.connect ~socket:sock () with
     | Error e ->
-        Fmt.epr "cannot connect: %s@." e;
+        Fmt.epr "cannot connect: %s@." (Cl.error_message e);
         exit 1
     | Ok client -> Fun.protect ~finally:(fun () -> Cl.close client) (fun () -> f client)
   in
@@ -861,7 +861,7 @@ let serve_smoke () =
         Fmt.epr "unexpected daemon reply@.";
         exit 1
     | Error e ->
-        Fmt.epr "transport error: %s@." e;
+        Fmt.epr "transport error: %s@." (Cl.error_message e);
         exit 1
   in
 
@@ -1018,6 +1018,339 @@ let serve_smoke () =
   end;
   Fmt.pr "the resident service is faithful, warm and budgeted@."
 
+(* Chaos gate for the daemon (`dune build @chaos-smoke`): byzantine
+   clients and injected faults against one live server, deterministic
+   end to end.
+
+   1. Failpoint scenarios, one at a time (scoped with
+      [Failpoint.with_armed] so no trigger leaks): a torn reply frame
+      (serve.frame.write) that the retry ladder must absorb, and an
+      accept(2) failure (serve.accept) the loop must survive and count.
+   2. The soak: six concurrent clients — two well-behaved (repeated
+      checks riding the retry ladder, and a streamed check-batch), a
+      slow-loris writer that stalls inside a frame, a mid-request
+      disconnector, a garbage sender, and a handler-crash client
+      (serve.dispatch.describe armed for the whole soak). Well-behaved
+      clients must get verdicts identical to local runs; the byzantine
+      ones must cost exactly their structured rejection or timeout.
+   3. Counters: accepted / timed-out / rejected-busy / accept-failures
+      must reflect exactly what the soak did.
+   4. SIGTERM drain: a held-open idle connection, then a real SIGTERM
+      against [run ~signals:true] — the loop must return, wake and
+      close the idle client, unlink the socket and count the drain.
+   5. Admission: a max-clients=1 daemon rejects the second client with
+      a structured busy frame, and the retry ladder turns the rejection
+      into a success once the slot frees. *)
+let chaos_smoke () =
+  let module Srv = Entangle_serve.Server in
+  let module Cl = Entangle_serve.Client in
+  let module P = Entangle_serve.Protocol in
+  let module F = Entangle_failpoint.Failpoint in
+  section "Chaos smoke: byzantine clients, failpoints, graceful drain";
+  (* The byzantine clients write into dead sockets on purpose; that
+     must surface as EPIPE results, not a fatal SIGPIPE. (The daemon
+     ignores SIGPIPE only while [run] is live.) *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let failures = ref 0 in
+  let expect what ok =
+    Fmt.pr "%-58s %s@." what (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "entangle-chaos-smoke.%d.sock" (Unix.getpid ()))
+  in
+  let strip (s : Entangle.Refine.stats) =
+    { s with Entangle.Refine.wall_time_s = 0. }
+  in
+  let family inst =
+    Some (Entangle_lemmas.Registry.family_name inst.Instance.family)
+  in
+  let check_req (inst : Instance.t) =
+    P.Check
+      {
+        options = { P.default_options with P.family = family inst };
+        gs = Entangle_ir.Serial.graph_to_sexp inst.Instance.gs;
+        gd = Entangle_ir.Serial.graph_to_sexp inst.Instance.gd;
+        relation = Entangle.Relation_io.to_sexp inst.Instance.input_relation;
+      }
+  in
+  let batch_instance (inst : Instance.t) =
+    {
+      P.gs = Entangle_ir.Serial.graph_to_sexp inst.Instance.gs;
+      gd = Entangle_ir.Serial.graph_to_sexp inst.Instance.gd;
+      relation = Entangle.Relation_io.to_sexp inst.Instance.input_relation;
+    }
+  in
+  (* One deterministic baseline: remote verdicts must match this. *)
+  let reg = Regression.build ~microbatches:2 () in
+  let baseline = Instance.check reg in
+  let base_exit = Entangle.Refine.exit_code baseline in
+  let base_stats = strip (result_stats baseline) in
+  let matches (r : P.check_reply) =
+    r.P.exit_code = base_exit && strip r.P.stats = base_stats
+  in
+  let ladder =
+    {
+      Cl.default_retry with
+      Cl.retries = 8;
+      timeout_s = Some 10.;
+      jitter_seed = 0x5eed;
+    }
+  in
+  let raw_dial () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    fd
+  in
+  let raw_handshake fd =
+    let io = P.Io.of_fd fd in
+    let dl = Some (Unix.gettimeofday () +. 10.) in
+    ignore
+      (P.Io.write_frame ?deadline:dl io
+         (P.hello_to_string
+            { P.protocol = P.protocol_version; client = "byzantine" }));
+    ignore (P.Io.read_frame ?deadline:dl io);
+    io
+  in
+  let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> () in
+
+  (* --- one server for the failpoint scenarios, the soak and the drain --- *)
+  (match
+     Srv.create ~name:"chaos" ~max_clients:8 ~io_timeout_s:1.0
+       ~drain_timeout_s:10. ~socket:sock ()
+   with
+  | Error e ->
+      Fmt.epr "cannot start server: %s@." (Srv.error_message e);
+      exit 1
+  | Ok server ->
+      let d = Domain.spawn (fun () -> Srv.run ~signals:true server) in
+
+      (* 1a. Torn reply frame: the daemon emits half the encoded frame
+         and drops the connection; the retry ladder redials and the
+         second attempt answers. *)
+      F.with_armed "serve.frame.write" (F.Nth 1) (fun () ->
+          match Cl.call ~retry:ladder ~socket:sock P.Ping with
+          | Ok P.Pong ->
+              expect "torn reply frame: retry ladder absorbs it" true
+          | _ -> expect "torn reply frame: retry ladder absorbs it" false);
+
+      (* 1b. Accept failure: the loop counts it and accepts the same
+         pending connection on the next pass — the client just waits. *)
+      F.with_armed "serve.accept" (F.Nth 1) (fun () ->
+          match Cl.connect ~timeout_s:10. ~socket:sock () with
+          | Ok c ->
+              expect "accept failure: connection survives the hiccup"
+                (Cl.ping c = Ok ());
+              Cl.close c
+          | Error _ ->
+              expect "accept failure: connection survives the hiccup" false);
+
+      (* 2. The soak: six concurrent clients against the armed daemon. *)
+      let w1_replies = ref [] in
+      let w2_items = ref None in
+      let garbage_reply = ref None in
+      let crash_kinds = ref [] in
+      F.with_armed "serve.dispatch.describe" (F.Every 1) (fun () ->
+          let threads =
+            [
+              (* well-behaved: three checks, each riding the ladder *)
+              Thread.create
+                (fun () ->
+                  for _ = 1 to 3 do
+                    match Cl.call ~retry:ladder ~socket:sock (check_req reg) with
+                    | Ok (P.Checked r) -> w1_replies := r :: !w1_replies
+                    | Ok _ | Error _ -> ()
+                  done)
+                ();
+              (* well-behaved: one streamed batch, retried whole *)
+              Thread.create
+                (fun () ->
+                  let instances =
+                    [
+                      batch_instance (Regression.build ~microbatches:2 ());
+                      batch_instance (Regression.build ());
+                    ]
+                  in
+                  let options =
+                    { P.default_options with P.family = family reg }
+                  in
+                  let rec attempt n =
+                    match Cl.connect ~timeout_s:10. ~socket:sock () with
+                    | Error _ when n > 0 ->
+                        Thread.delay 0.1;
+                        attempt (n - 1)
+                    | Error _ -> ()
+                    | Ok c -> (
+                        let r = Cl.check_batch c ~options ~instances () in
+                        Cl.close c;
+                        match r with
+                        | Ok items -> w2_items := Some items
+                        | Error _ when n > 0 ->
+                            Thread.delay 0.1;
+                            attempt (n - 1)
+                        | Error _ -> ())
+                  in
+                  attempt 5)
+                ();
+              (* slow loris: stalls inside a frame's length prefix *)
+              Thread.create
+                (fun () ->
+                  let fd = raw_dial () in
+                  let io = raw_handshake fd in
+                  ignore (P.Io.write_raw io "12");
+                  Thread.delay 2.2;
+                  (* the daemon timed the read out and hung up *)
+                  ignore (P.Io.write_raw io "3");
+                  close_fd fd)
+                ();
+              (* mid-request disconnect: half a frame, then gone *)
+              Thread.create
+                (fun () ->
+                  let fd = raw_dial () in
+                  let io = raw_handshake fd in
+                  let enc = P.encode_frame (P.request_to_string ~id:7 P.Ping) in
+                  ignore
+                    (P.Io.write_raw io
+                       (String.sub enc 0 (String.length enc / 2)));
+                  close_fd fd)
+                ();
+              (* garbage: a well-framed payload that is not a request *)
+              Thread.create
+                (fun () ->
+                  let fd = raw_dial () in
+                  let io = raw_handshake fd in
+                  let dl = Some (Unix.gettimeofday () +. 10.) in
+                  ignore
+                    (P.Io.write_frame ?deadline:dl io "(no such request)");
+                  (match P.Io.read_frame ?deadline:dl io with
+                  | Ok payload -> garbage_reply := Some payload
+                  | Error _ -> ());
+                  close_fd fd)
+                ();
+              (* handler crash: every describe dispatch is armed *)
+              Thread.create
+                (fun () ->
+                  match Cl.connect ~timeout_s:10. ~socket:sock () with
+                  | Error _ -> ()
+                  | Ok c ->
+                      for _ = 1 to 2 do
+                        match Cl.describe c with
+                        | Error e -> crash_kinds := e.Cl.kind :: !crash_kinds
+                        | Ok _ -> ()
+                      done;
+                      Cl.close c)
+                ();
+            ]
+          in
+          List.iter Thread.join threads);
+      expect "soak: both well-behaved clients got all verdicts"
+        (List.length !w1_replies = 3 && !w2_items <> None);
+      expect "soak: repeated checks byte-identical to the local run"
+        (List.for_all matches !w1_replies);
+      (match !w2_items with
+      | Some [ P.Checked a; P.Checked b ] ->
+          expect "soak: batch items stream in order, verdicts = local"
+            (matches a && b.P.exit_code = 0)
+      | _ -> expect "soak: batch items stream in order, verdicts = local" false);
+      (match !garbage_reply with
+      | Some payload -> (
+          match P.response_of_string payload with
+          | Ok (0, P.Error_reply { code = P.Bad_request; _ }) ->
+              expect "soak: garbage gets a structured bad-request" true
+          | _ -> expect "soak: garbage gets a structured bad-request" false)
+      | None -> expect "soak: garbage gets a structured bad-request" false);
+      expect "soak: handler crash surfaces as a structured internal error"
+        (!crash_kinds <> []
+        && List.for_all (fun k -> k = Cl.App) !crash_kinds);
+
+      (* 3. The counters must reflect exactly what the soak did. *)
+      (match Cl.call ~retry:ladder ~socket:sock P.Server_stats with
+      | Ok (P.Server_stats_reply s) ->
+          expect "counters: accepted covers every client"
+            (s.P.accepted >= 9);
+          expect "counters: the slow loris cost one timeout"
+            (s.P.timed_out >= 1);
+          expect "counters: one injected accept failure"
+            (s.P.accept_failures = 1);
+          expect "counters: nobody was rejected busy" (s.P.rejected_busy = 0)
+      | _ ->
+          expect "counters: accepted covers every client" false;
+          expect "counters: the slow loris cost one timeout" false;
+          expect "counters: one injected accept failure" false;
+          expect "counters: nobody was rejected busy" false);
+
+      (* 4. SIGTERM drain: a held-open idle connection must be woken
+         and closed, the loop must return, the socket must vanish. *)
+      let idle =
+        match Cl.connect ~timeout_s:10. ~socket:sock () with
+        | Ok c -> Some c
+        | Error _ -> None
+      in
+      expect "drain: an idle client is connected" (idle <> None);
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      Domain.join d;
+      expect "drain: SIGTERM returns the accept loop" true;
+      expect "drain: the socket file is unlinked" (not (Sys.file_exists sock));
+      expect "drain: the daemon knew it was draining" (Srv.draining server);
+      let s = Srv.stats server in
+      expect "drain: the idle connection was woken and counted"
+        (s.P.drained >= 1 && s.P.active = 0);
+      (match idle with
+      | Some c ->
+          expect "drain: the idle client sees a dead connection"
+            (match Cl.ping c with Error _ -> true | Ok () -> false);
+          Cl.close c
+      | None -> ()));
+
+  (* 5. Admission: max-clients=1, a structured busy rejection, and the
+     ladder turning it into a success once the slot frees. *)
+  (match Srv.create ~name:"chaos-busy" ~max_clients:1 ~socket:sock () with
+  | Error e ->
+      Fmt.epr "cannot start busy server: %s@." (Srv.error_message e);
+      exit 1
+  | Ok server ->
+      let d = Domain.spawn (fun () -> Srv.run server) in
+      (match Cl.connect ~timeout_s:10. ~socket:sock () with
+      | Error _ -> expect "admission: first client is admitted" false
+      | Ok first ->
+          expect "admission: first client is admitted" true;
+          (match Cl.connect ~timeout_s:10. ~socket:sock () with
+          | Error e ->
+              expect "admission: second client gets a structured busy"
+                (e.Cl.kind = Cl.Busy)
+          | Ok c ->
+              expect "admission: second client gets a structured busy" false;
+              Cl.close c);
+          let closer =
+            Thread.create
+              (fun () ->
+                Thread.delay 0.3;
+                Cl.close first)
+              ()
+          in
+          (match Cl.call ~retry:ladder ~socket:sock P.Ping with
+          | Ok P.Pong ->
+              expect "admission: retry ladder wins once the slot frees" true
+          | _ ->
+              expect "admission: retry ladder wins once the slot frees" false);
+          Thread.join closer);
+      (match Cl.call ~retry:ladder ~socket:sock P.Shutdown with
+      | Ok P.Bye -> expect "admission: shutdown acknowledged" true
+      | _ -> expect "admission: shutdown acknowledged" false);
+      Domain.join d;
+      let s = Srv.stats server in
+      expect "admission: the rejection was counted" (s.P.rejected_busy >= 1);
+      expect "admission: socket unlinked after drain"
+        (not (Sys.file_exists sock)));
+
+  if !failures > 0 then begin
+    Fmt.epr "chaos smoke: %d violation(s)@." !failures;
+    exit 1
+  end;
+  Fmt.pr "the daemon survived every byzantine client and drained cleanly@."
+
 (* --- Extensions beyond the paper's evaluation --------------------------- *)
 
 let extensions () =
@@ -1100,6 +1433,7 @@ let () =
       ("cache-smoke", cache_smoke);
       ("par-smoke", par_smoke);
       ("serve-smoke", serve_smoke);
+      ("chaos-smoke", chaos_smoke);
       ("counters", counters);
       ("perf", perf);
     ]

@@ -34,6 +34,8 @@ module Output_opts = struct
     cache_max_age_s : float option;
     jobs : int;
     remote : string option;
+    remote_retries : int;
+    remote_timeout_s : float option;
     namespace : string option;
   }
 
@@ -180,6 +182,28 @@ module Output_opts = struct
         & opt (some string) None
         & info [ "remote" ] ~docv:"SOCKET" ~doc)
     in
+    let remote_retries =
+      let doc =
+        "How many times a $(b,--remote) request is retried after a \
+         transient failure (connection refused, daemon busy, I/O \
+         timeout), with capped exponential backoff and deterministic \
+         jitter between attempts. Non-idempotent requests ($(b,remote \
+         clear), $(b,remote shutdown)) are never retried once sent."
+      in
+      Arg.(value & opt int 2 & info [ "remote-retries" ] ~docv:"N" ~doc)
+    in
+    let remote_timeout_s =
+      let doc =
+        "Per-attempt I/O deadline for $(b,--remote) requests, in \
+         seconds: bounds the connect, the handshake and every frame \
+         read/write. An expired deadline counts as a transient failure \
+         for the retry ladder. Unset = wait indefinitely."
+      in
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "remote-timeout-s" ] ~docv:"SECONDS" ~doc)
+    in
     let namespace =
       let doc =
         "Certificate-cache namespace: checks under different namespaces \
@@ -194,7 +218,7 @@ module Output_opts = struct
     in
     let make verbose json trace profile deadline op_deadline keep_going
         no_retries failpoints cache_dir no_cache cache_verify cache_max_bytes
-        cache_max_age_s jobs remote namespace =
+        cache_max_age_s jobs remote remote_retries remote_timeout_s namespace =
       {
         verbose;
         json;
@@ -212,6 +236,8 @@ module Output_opts = struct
         cache_max_age_s;
         jobs;
         remote;
+        remote_retries;
+        remote_timeout_s;
         namespace;
       }
     in
@@ -219,7 +245,7 @@ module Output_opts = struct
       const make $ verbose $ json $ trace $ profile $ deadline $ op_deadline
       $ keep_going $ no_retries $ failpoints $ cache_dir $ no_cache
       $ cache_verify $ cache_max_bytes $ cache_max_age_s $ jobs $ remote
-      $ namespace)
+      $ remote_retries $ remote_timeout_s $ namespace)
 
   (* Set up the sinks the options ask for, run [f] with the combined
      sink, then finish the trace file and print the profile. The
@@ -368,21 +394,31 @@ let check_instance ?config inst =
 
 module Serve = Entangle_serve
 
+(* The retry policy the shared --remote-retries / --remote-timeout-s
+   flags imply; backoff shape and jitter seed stay at the library
+   defaults. *)
+let retry_of_opts (opts : Output_opts.t) =
+  {
+    Serve.Client.default_retry with
+    Serve.Client.retries = opts.Output_opts.remote_retries;
+    timeout_s = opts.Output_opts.remote_timeout_s;
+  }
+
 (* Ship one check to the resident daemon: graphs and relation travel
    structurally, the verbatim report comes back with the verdict, exit
-   code and statistics a local run would have produced. *)
-let remote_reply ~socket ~options ~gs ~gd ~input_relation =
-  match Serve.Client.connect ~socket () with
-  | Error e -> Error (Fmt.str "cannot reach daemon on %s: %s" socket e)
-  | Ok client ->
-      Fun.protect
-        ~finally:(fun () -> Serve.Client.close client)
-        (fun () ->
-          Serve.Client.check client ~options
-            ~gs:(Entangle_ir.Serial.graph_to_sexp gs)
-            ~gd:(Entangle_ir.Serial.graph_to_sexp gd)
-            ~relation:(Entangle.Relation_io.to_sexp input_relation)
-            ())
+   code and statistics a local run would have produced. The call rides
+   the retry ladder: transient failures (refused, busy, timeout) redial
+   with backoff; checks are idempotent so retrying after a sent request
+   is safe too. *)
+let remote_reply ~retry ~socket ~options ~gs ~gd ~input_relation =
+  Serve.Client.call ~retry ~socket
+    (Serve.Protocol.Check
+       {
+         options;
+         gs = Entangle_ir.Serial.graph_to_sexp gs;
+         gd = Entangle_ir.Serial.graph_to_sexp gd;
+         relation = Entangle.Relation_io.to_sexp input_relation;
+       })
 
 let remote_options (opts : Output_opts.t) ~family =
   {
@@ -395,10 +431,13 @@ let remote_options (opts : Output_opts.t) ~family =
 (* [handle_success] maps a successful remote verdict to the exit code;
    [verify] replays the returned certificate locally (same as the local
    path), [check-files] just accepts it. *)
-let remote_check ~socket ~options ~gs ~gd ~input_relation ~handle_success =
-  match remote_reply ~socket ~options ~gs ~gd ~input_relation with
+let remote_check ~retry ~socket ~options ~gs ~gd ~input_relation
+    ~handle_success =
+  match remote_reply ~retry ~socket ~options ~gs ~gd ~input_relation with
   | Error e ->
-      Fmt.epr "%s@." e;
+      Fmt.epr "cannot reach daemon on %s: %s (%d attempt%s)@." socket
+        (Serve.Client.error_message e) e.Serve.Client.attempts
+        (if e.Serve.Client.attempts = 1 then "" else "s");
       124
   | Ok (Serve.Protocol.Error_reply { code; message }) ->
       Fmt.epr "daemon error: %s@." message;
@@ -421,7 +460,8 @@ let remote_check_instance opts socket (inst : Instance.t) =
   in
   let gs = inst.Instance.gs and gd = inst.Instance.gd in
   let input_relation = inst.Instance.input_relation in
-  remote_check ~socket ~options ~gs ~gd ~input_relation
+  remote_check ~retry:(retry_of_opts opts) ~socket ~options ~gs ~gd
+    ~input_relation
     ~handle_success:(fun output_relation ->
       let replayed =
         match output_relation with
@@ -588,7 +628,7 @@ let check_files_cmd =
             match opts.Output_opts.remote with
             | Some socket ->
                 (* No family: the full corpus, same as the local path. *)
-                remote_check ~socket
+                remote_check ~retry:(retry_of_opts opts) ~socket
                   ~options:(remote_options opts ~family:None)
                   ~gs ~gd ~input_relation
                   ~handle_success:(fun _ -> 0)
@@ -988,21 +1028,28 @@ let socket_arg =
         ~doc:"Path of the daemon's Unix-domain socket.")
 
 let serve_cmd =
-  let run opts socket name max_connections =
+  let run opts socket name max_connections max_clients io_timeout_s
+      idle_timeout_s request_deadline_s drain_timeout_s =
     Output_opts.with_sink opts (fun sink ->
         let config = Output_opts.config opts sink in
         match
-          Serve.Server.create ~name ~config ?max_connections ~socket ()
+          Serve.Server.create ~name ~config ?max_connections ~max_clients
+            ~io_timeout_s ?idle_timeout_s ?request_deadline_s ~drain_timeout_s
+            ~socket ()
         with
         | Error e ->
-            Fmt.epr "%s@." e;
+            Fmt.epr "%s@." (Serve.Server.error_message e);
             124
         | Ok server ->
             Fmt.pr "entangle serve: listening on %s (protocol %d)@." socket
               Serve.Protocol.protocol_version;
-            Serve.Server.run server;
-            Fmt.pr "entangle serve: done after %d requests@."
-              (Serve.Server.requests_served server);
+            Serve.Server.run ~signals:true server;
+            let s = Serve.Server.stats server in
+            Fmt.pr
+              "entangle serve: done after %d requests (%d connections, %d \
+               rejected busy, %d timed out)@."
+              s.Serve.Protocol.served s.Serve.Protocol.accepted
+              s.Serve.Protocol.rejected_busy s.Serve.Protocol.timed_out;
             0)
   in
   let name_arg =
@@ -1021,88 +1068,196 @@ let serve_cmd =
             "Exit after serving $(docv) connections (mainly for tests; \
              default: serve until $(b,remote shutdown)).")
   in
+  let max_clients =
+    Arg.(
+      value & opt int 64
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:
+            "Concurrent-connection admission limit: a client beyond the \
+             $(docv)th is answered with a structured, retryable $(b,busy) \
+             frame and disconnected.")
+  in
+  let io_timeout_s =
+    Arg.(
+      value & opt float 30.
+      & info [ "io-timeout-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-frame I/O deadline: bounds reading one request frame once \
+             its first byte arrived, and writing one reply. Slow or stalled \
+             peers cost one timeout, never a wedged handler.")
+  in
+  let idle_timeout_s =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "idle-timeout-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Disconnect a client that sends no request for $(docv) seconds \
+             (default: keep idle connections open indefinitely).")
+  in
+  let request_deadline_s =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "request-deadline-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget per request, folded into the checker's \
+             cooperative deadline: an over-budget check returns an \
+             inconclusive verdict (a client-supplied deadline can only \
+             tighten this).")
+  in
+  let drain_timeout_s =
+    Arg.(
+      value & opt float 5.
+      & info [ "drain-timeout-s" ] ~docv:"SECONDS"
+          ~doc:
+            "On shutdown (SIGTERM, SIGINT or $(b,remote shutdown)), how \
+             long in-flight requests get to finish before the daemon stops \
+             waiting for their threads.")
+  in
   let info =
     Cmd.info "serve" ~exits:Cmd.Exit.defaults
       ~doc:
         "Run the resident checker daemon: keep the lemma corpus, \
          configuration and certificate cache warm in one process and answer \
          checks over a Unix-domain socket (see $(b,--remote) on $(b,verify) \
-         and $(b,check-files), and the $(b,remote) command). Remote checks \
-         return the same verdicts, reports, exit codes and statistics as \
-         local runs. Cache retention flags (--cache-max-bytes, \
-         --cache-max-age-s) apply to the daemon's store."
+         and $(b,check-files), and the $(b,remote) command). Each connection \
+         gets its own handler thread up to $(b,--max-clients); SIGTERM and \
+         SIGINT drain gracefully. Remote checks return the same verdicts, \
+         reports, exit codes and statistics as local runs. Cache retention \
+         flags (--cache-max-bytes, --cache-max-age-s) apply to the daemon's \
+         store."
   in
   Cmd.v info
-    Term.(const run $ Output_opts.term $ socket_arg $ name_arg $ max_connections)
+    Term.(
+      const run $ Output_opts.term $ socket_arg $ name_arg $ max_connections
+      $ max_clients $ io_timeout_s $ idle_timeout_s $ request_deadline_s
+      $ drain_timeout_s)
+
+(* [remote stats]: the daemon's live connection counters, plus — when
+   it runs cached — the cache statistics in the exact shape of
+   [cache stats --json], nested under ["cache"]. *)
+let remote_stats_json ~(server : Serve.Protocol.server_stats) ~cache =
+  let module J = Trace.Jsonw in
+  let module P = Serve.Protocol in
+  J.envelope ~name:"remote-stats" ~version:1
+    [
+      ( "server",
+        J.Obj
+          [
+            ("accepted", J.Int server.P.accepted);
+            ("active", J.Int server.P.active);
+            ("served", J.Int server.P.served);
+            ("rejected_busy", J.Int server.P.rejected_busy);
+            ("timed_out", J.Int server.P.timed_out);
+            ("drained", J.Int server.P.drained);
+            ("accept_failures", J.Int server.P.accept_failures);
+            ("max_clients", J.Int server.P.max_clients);
+          ] );
+      ( "cache",
+        match cache with
+        | None -> J.Null
+        | Some (r : P.cache_stats_reply) ->
+            J.Raw
+              (cache_stats_json ~dir:r.P.dir ~entries:r.P.entries
+                 ~bytes:r.P.bytes ~shards:r.P.shards
+                 ~quarantined:r.P.quarantined ~max_bytes:r.P.max_bytes
+                 ~max_age_s:r.P.max_age_s ~evicted_entries:r.P.evicted_entries
+                 ~evicted_bytes:r.P.evicted_bytes
+                 ~expired_entries:r.P.expired_entries) );
+    ]
 
 let remote_cmd =
   let module Cl = Serve.Client in
   let module P = Serve.Protocol in
   let run opts socket action =
     Output_opts.with_sink opts (fun _sink ->
-        match Cl.connect ~socket () with
-        | Error e ->
-            Fmt.epr "cannot reach daemon on %s: %s@." socket e;
-            124
-        | Ok client ->
-            Fun.protect
-              ~finally:(fun () -> Cl.close client)
-              (fun () ->
-                let transport e =
-                  Fmt.epr "%s@." e;
-                  124
+        (* Every action is one dialed request riding the retry ladder;
+           the ladder itself refuses to resend the non-idempotent ones
+           (clear, shutdown) once the request frame is out. *)
+        let call req = Cl.call ~retry:(retry_of_opts opts) ~socket req in
+        let transport (e : Cl.error) =
+          Fmt.epr "cannot reach daemon on %s: %s (%d attempt%s)@." socket
+            (Cl.error_message e) e.Cl.attempts
+            (if e.Cl.attempts = 1 then "" else "s");
+          124
+        in
+        let daemon_error code message =
+          Fmt.epr "daemon error: %s@." message;
+          P.error_exit_code code
+        in
+        let unexpected () =
+          Fmt.epr "unexpected daemon reply@.";
+          3
+        in
+        match action with
+        | `Ping -> (
+            match call P.Ping with
+            | Ok P.Pong ->
+                Fmt.pr "pong@.";
+                0
+            | Ok (P.Error_reply { code; message }) -> daemon_error code message
+            | Ok _ -> unexpected ()
+            | Error e -> transport e)
+        | `Describe -> (
+            match call P.Describe with
+            | Ok (P.Described json) ->
+                print_endline json;
+                0
+            | Ok (P.Error_reply { code; message }) -> daemon_error code message
+            | Ok _ -> unexpected ()
+            | Error e -> transport e)
+        | `Shutdown -> (
+            match call P.Shutdown with
+            | Ok P.Bye ->
+                Fmt.pr "daemon shut down@.";
+                0
+            | Ok (P.Error_reply { code; message }) -> daemon_error code message
+            | Ok _ -> unexpected ()
+            | Error e -> transport e)
+        | `Stats -> (
+            match call P.Server_stats with
+            | Error e -> transport e
+            | Ok (P.Error_reply { code; message }) -> daemon_error code message
+            | Ok (P.Server_stats_reply s) ->
+                let cache =
+                  match call P.Cache_stats with
+                  | Ok (P.Cache_stats_reply r) -> Some r
+                  | Ok _ | Error _ -> None
                 in
-                let daemon_error code message =
-                  Fmt.epr "daemon error: %s@." message;
-                  P.error_exit_code code
-                in
-                match action with
-                | `Ping -> (
-                    match Cl.ping client with
-                    | Ok () ->
-                        Fmt.pr "pong@.";
-                        0
-                    | Error e -> transport e)
-                | `Describe -> (
-                    match Cl.describe client with
-                    | Ok json ->
-                        print_endline json;
-                        0
-                    | Error e -> transport e)
-                | `Shutdown -> (
-                    match Cl.shutdown client with
-                    | Ok () ->
-                        Fmt.pr "daemon shut down@.";
-                        0
-                    | Error e -> transport e)
-                | `Stats -> (
-                    match Cl.cache_stats client with
-                    | Ok (P.Cache_stats_reply r) ->
-                        print_cache_stats ~json:opts.Output_opts.json
-                          ~dir:r.P.dir ~entries:r.P.entries ~bytes:r.P.bytes
-                          ~shards:r.P.shards ~quarantined:r.P.quarantined
-                          ~max_bytes:r.P.max_bytes ~max_age_s:r.P.max_age_s
-                          ~evicted_entries:r.P.evicted_entries
-                          ~evicted_bytes:r.P.evicted_bytes
-                          ~expired_entries:r.P.expired_entries;
-                        0
-                    | Ok (P.Error_reply { code; message }) ->
-                        daemon_error code message
-                    | Ok _ ->
-                        Fmt.epr "unexpected daemon reply@.";
-                        3
-                    | Error e -> transport e)
-                | `Clear -> (
-                    match Cl.cache_clear client with
-                    | Ok (P.Cache_cleared n) ->
-                        Fmt.pr "daemon cache: removed %d entries@." n;
-                        0
-                    | Ok (P.Error_reply { code; message }) ->
-                        daemon_error code message
-                    | Ok _ ->
-                        Fmt.epr "unexpected daemon reply@.";
-                        3
-                    | Error e -> transport e)))
+                if opts.Output_opts.json then
+                  print_endline (remote_stats_json ~server:s ~cache)
+                else begin
+                  Fmt.pr
+                    "server: %d connections accepted (%d active), %d requests \
+                     served@."
+                    s.P.accepted s.P.active s.P.served;
+                  Fmt.pr
+                    "  %d rejected busy (limit %d), %d timed out, %d drained, \
+                     %d accept failures@."
+                    s.P.rejected_busy s.P.max_clients s.P.timed_out s.P.drained
+                    s.P.accept_failures;
+                  match cache with
+                  | Some r ->
+                      print_cache_stats ~json:false ~dir:r.P.dir
+                        ~entries:r.P.entries ~bytes:r.P.bytes ~shards:r.P.shards
+                        ~quarantined:r.P.quarantined ~max_bytes:r.P.max_bytes
+                        ~max_age_s:r.P.max_age_s
+                        ~evicted_entries:r.P.evicted_entries
+                        ~evicted_bytes:r.P.evicted_bytes
+                        ~expired_entries:r.P.expired_entries
+                  | None -> Fmt.pr "cache: none (daemon runs uncached)@."
+                end;
+                0
+            | Ok _ -> unexpected ())
+        | `Clear -> (
+            match call P.Cache_clear with
+            | Ok (P.Cache_cleared n) ->
+                Fmt.pr "daemon cache: removed %d entries@." n;
+                0
+            | Ok (P.Error_reply { code; message }) -> daemon_error code message
+            | Ok _ -> unexpected ()
+            | Error e -> transport e))
   in
   let action =
     let actions =
@@ -1120,9 +1275,11 @@ let remote_cmd =
       & info [] ~docv:"ACTION"
           ~doc:
             "$(b,ping) checks liveness; $(b,stats) prints the daemon's \
-             cache statistics (same shape as $(b,cache stats)); $(b,clear) \
-             empties the daemon's cache; $(b,describe) prints the protocol \
-             introspection document; $(b,shutdown) asks the daemon to exit.")
+             connection counters (accepted, rejected-busy, timed-out, \
+             drained) and its cache statistics (same shape as $(b,cache \
+             stats)); $(b,clear) empties the daemon's cache; $(b,describe) \
+             prints the protocol introspection document; $(b,shutdown) asks \
+             the daemon to exit.")
   in
   let info =
     Cmd.info "remote"

@@ -125,6 +125,10 @@ let clear () =
   Hashtbl.reset pending;
   Hashtbl.iter (fun _ fp -> disarm fp) registry
 
+let with_armed name trigger f =
+  set name trigger;
+  Fun.protect ~finally:(fun () -> clear_one name) f
+
 (* Spec grammar (documented in the interface):
      spec    ::= entry ("," entry)*
      entry   ::= name "=" trigger

@@ -77,6 +77,12 @@ val clear : unit -> unit
 
 val clear_one : string -> unit
 
+val with_armed : string -> trigger -> (unit -> 'a) -> 'a
+(** [with_armed name trigger f] arms [name], runs [f], and disarms
+    [name] (resetting its counters) even when [f] raises — the scoped
+    form chaos tests use so one scenario's trigger cannot leak into
+    the next. *)
+
 (** {1 Introspection} *)
 
 val name : t -> string

@@ -4,10 +4,15 @@ module Refine = Entangle.Refine
 let ( let* ) = Result.bind
 let err fmt = Fmt.kstr (fun s -> Error s) fmt
 
-let protocol_version = 1
+(* Version 2 added busy rejections at admission, batched checks with
+   streamed per-instance responses, and server-side counters. *)
+let protocol_version = 2
 let max_frame_bytes = 64 * 1024 * 1024
 
 (* --- framing ----------------------------------------------------------- *)
+
+let encode_frame payload =
+  string_of_int (String.length payload) ^ "\n" ^ payload
 
 let write_frame oc payload =
   output_string oc (string_of_int (String.length payload));
@@ -35,6 +40,153 @@ let read_frame ic =
     match really_input_string ic n with
     | payload -> Ok payload
     | exception End_of_file -> err "connection closed inside frame payload"
+
+(* --- deadline-aware framed I/O ----------------------------------------- *)
+
+(* The channel framing above blocks for as long as the peer cares to
+   stall; [Io] is the same frame grammar over a non-blocking
+   descriptor, every wait bounded by an absolute deadline and
+   (optionally) interruptible through a cancel descriptor — the
+   server's drain pipe. A slow-loris peer costs one timeout, never a
+   wedged thread. *)
+module Io = struct
+  type error = Timeout | Closed | Cancelled | Failed of string
+
+  let error_message = function
+    | Timeout -> "i/o timeout"
+    | Closed -> "connection closed"
+    | Cancelled -> "cancelled"
+    | Failed m -> m
+
+  type t = {
+    fd : Unix.file_descr;
+    cancel : Unix.file_descr option;
+    buf : Bytes.t;
+    mutable pos : int;
+    mutable len : int;
+  }
+
+  let of_fd ?cancel fd =
+    Unix.set_nonblock fd;
+    { fd; cancel; buf = Bytes.create 65536; pos = 0; len = 0 }
+
+  let fd t = t.fd
+
+  let ( let* ) = Result.bind
+
+  (* Reads also watch the cancel descriptor: a readable cancel pipe
+     means the server is draining and blocked readers must give up.
+     Writes ignore it — an in-flight reply is allowed to finish during
+     a drain (its deadline still bounds it). When both the descriptor
+     and the cancel pipe are ready, the descriptor wins, so buffered
+     requests finish cleanly. *)
+  let rec wait ~read t deadline =
+    let timeout =
+      match deadline with None -> -1. | Some d -> d -. Unix.gettimeofday ()
+    in
+    if Option.is_some deadline && timeout < 0. then Error Timeout
+    else
+      let cancels = if read then Option.to_list t.cancel else [] in
+      let rds = if read then t.fd :: cancels else cancels in
+      let wrs = if read then [] else [ t.fd ] in
+      match Unix.select rds wrs [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ~read t deadline
+      | r, w, _ ->
+          if (if read then List.mem t.fd r else List.mem t.fd w) then Ok ()
+          else if List.exists (fun c -> List.mem c r) cancels then
+            Error Cancelled
+          else Error Timeout
+
+  let wait_input ?deadline t =
+    if t.pos < t.len then Ok () else wait ~read:true t deadline
+
+  let refill t deadline =
+    let rec go () =
+      let* () = wait ~read:true t deadline in
+      match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+      | 0 -> Error Closed
+      | n ->
+          t.pos <- 0;
+          t.len <- n;
+          Ok ()
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          go ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          Error Closed
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Failed (Unix.error_message e))
+    in
+    go ()
+
+  let read_byte t deadline =
+    let* () = if t.pos < t.len then Ok () else refill t deadline in
+    let c = Bytes.get t.buf t.pos in
+    t.pos <- t.pos + 1;
+    Ok c
+
+  let read_exact t n deadline =
+    let out = Bytes.create n in
+    let rec go filled =
+      if filled = n then Ok (Bytes.unsafe_to_string out)
+      else if t.pos < t.len then begin
+        let take = min (n - filled) (t.len - t.pos) in
+        Bytes.blit t.buf t.pos out filled take;
+        t.pos <- t.pos + take;
+        go (filled + take)
+      end
+      else
+        let* () = refill t deadline in
+        go filled
+    in
+    go 0
+
+  let read_frame ?deadline t =
+    let rec len acc digits =
+      if digits > 10 then Error (Failed "frame length prefix too long")
+      else
+        match read_byte t deadline with
+        | Error Closed when digits > 0 ->
+            Error (Failed "connection closed inside frame length")
+        | Error _ as e -> e
+        | Ok '\n' ->
+            if digits = 0 then Error (Failed "empty frame length") else Ok acc
+        | Ok ('0' .. '9' as c) ->
+            len ((acc * 10) + (Char.code c - 48)) (digits + 1)
+        | Ok c -> Error (Failed (Fmt.str "invalid byte %C in frame length" c))
+    in
+    let* n = len 0 0 in
+    if n > max_frame_bytes then
+      Error (Failed (Fmt.str "frame of %d bytes exceeds limit" n))
+    else
+      match read_exact t n deadline with
+      | Error Closed -> Error (Failed "connection closed inside frame payload")
+      | r -> r
+
+  let write_raw ?deadline t s =
+    let n = String.length s in
+    let rec go off =
+      if off = n then Ok ()
+      else
+        let* () = wait ~read:false t deadline in
+        match Unix.write_substring t.fd s off (n - off) with
+        | written -> go (off + written)
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            go off
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            Error Closed
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Failed (Unix.error_message e))
+    in
+    go 0
+
+  let write_frame ?deadline t payload =
+    write_raw ?deadline t (encode_frame payload)
+end
 
 (* --- sexp helpers ------------------------------------------------------ *)
 
@@ -86,6 +238,7 @@ type hello = { protocol : int; client : string }
 type welcome =
   | Welcome of { protocol : int; server : string }
   | Rejected of { expected : int; got : int; message : string }
+  | Busy of { max_clients : int; message : string }
 
 let hello_to_string h =
   Sexp.to_string
@@ -123,6 +276,14 @@ let welcome_to_string = function
              int_field "got" r.got;
              str_field "message" r.message;
            ])
+  | Busy b ->
+      Sexp.to_string
+        (Sexp.list
+           [
+             Sexp.atom "busy";
+             int_field "max-clients" b.max_clients;
+             str_field "message" b.message;
+           ])
 
 let welcome_of_string s =
   let* sexp = Sexp.of_string s in
@@ -136,7 +297,13 @@ let welcome_of_string s =
       let* got = get_int "got" sexp in
       let* message = get_str "message" sexp in
       Ok (Rejected { expected; got; message })
-  | _ -> err "expected (welcome ...) or (reject ...), got %s" (Sexp.to_string sexp)
+  | Sexp.List (Sexp.Atom "busy" :: _) ->
+      let* max_clients = get_int "max-clients" sexp in
+      let* message = get_str "message" sexp in
+      Ok (Busy { max_clients; message })
+  | _ ->
+      err "expected (welcome ...), (reject ...) or (busy ...), got %s"
+        (Sexp.to_string sexp)
 
 (* --- requests ---------------------------------------------------------- *)
 
@@ -150,6 +317,8 @@ type check_options = {
 let default_options =
   { family = None; namespace = None; jobs = None; keep_going = false }
 
+type batch_instance = { gs : Sexp.t; gd : Sexp.t; relation : Sexp.t }
+
 type request =
   | Ping
   | Describe
@@ -159,8 +328,10 @@ type request =
       gd : Sexp.t;
       relation : Sexp.t;
     }
+  | Check_batch of { options : check_options; instances : batch_instance list }
   | Cache_stats
   | Cache_clear
+  | Server_stats
   | Shutdown
 
 let options_to_sexp o =
@@ -201,6 +372,7 @@ let request_body_to_sexp = function
   | Describe -> Sexp.list [ Sexp.atom "describe" ]
   | Cache_stats -> Sexp.list [ Sexp.atom "cache-stats" ]
   | Cache_clear -> Sexp.list [ Sexp.atom "cache-clear" ]
+  | Server_stats -> Sexp.list [ Sexp.atom "server-stats" ]
   | Shutdown -> Sexp.list [ Sexp.atom "shutdown" ]
   | Check { options; gs; gd; relation } ->
       Sexp.list
@@ -210,6 +382,23 @@ let request_body_to_sexp = function
           field "gs" [ gs ];
           field "gd" [ gd ];
           field "relation" [ relation ];
+        ]
+  | Check_batch { options; instances } ->
+      Sexp.list
+        [
+          Sexp.atom "check-batch";
+          options_to_sexp options;
+          field "instances"
+            (List.map
+               (fun i ->
+                 Sexp.list
+                   [
+                     Sexp.atom "instance";
+                     field "gs" [ i.gs ];
+                     field "gd" [ i.gd ];
+                     field "relation" [ i.relation ];
+                   ])
+               instances);
         ]
 
 let request_to_string ~id req =
@@ -223,6 +412,7 @@ let request_body_of_sexp sexp =
   | Sexp.List (Sexp.Atom "describe" :: _) -> Ok Describe
   | Sexp.List (Sexp.Atom "cache-stats" :: _) -> Ok Cache_stats
   | Sexp.List (Sexp.Atom "cache-clear" :: _) -> Ok Cache_clear
+  | Sexp.List (Sexp.Atom "server-stats" :: _) -> Ok Server_stats
   | Sexp.List (Sexp.Atom "shutdown" :: _) -> Ok Shutdown
   | Sexp.List (Sexp.Atom "check" :: _) ->
       let* options = options_of_sexp sexp in
@@ -230,6 +420,26 @@ let request_body_of_sexp sexp =
       let* gd = get_one "gd" sexp in
       let* relation = get_one "relation" sexp in
       Ok (Check { options; gs; gd; relation })
+  | Sexp.List (Sexp.Atom "check-batch" :: _) ->
+      let* options = options_of_sexp sexp in
+      let* instances =
+        match assoc "instances" sexp with
+        | None -> Error "missing field instances"
+        | Some body ->
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                match item with
+                | Sexp.List (Sexp.Atom "instance" :: _) ->
+                    let* gs = get_one "gs" item in
+                    let* gd = get_one "gd" item in
+                    let* relation = get_one "relation" item in
+                    Ok ({ gs; gd; relation } :: acc)
+                | s -> err "instances: malformed %s" (Sexp.to_string s))
+              (Ok []) body
+            |> Result.map List.rev
+      in
+      Ok (Check_batch { options; instances })
   | s -> err "unknown request %s" (Sexp.to_string s)
 
 let request_of_string s =
@@ -277,12 +487,26 @@ type cache_stats_reply = {
   expired_entries : int;
 }
 
+type server_stats = {
+  accepted : int;
+  active : int;
+  served : int;
+  rejected_busy : int;
+  timed_out : int;
+  drained : int;
+  accept_failures : int;
+  max_clients : int;
+}
+
 type response =
   | Pong
   | Described of string
   | Checked of check_reply
   | Cache_stats_reply of cache_stats_reply
   | Cache_cleared of int
+  | Server_stats_reply of server_stats
+  | Batch_item of { index : int; body : response }
+  | Batch_done of { count : int }
   | Bye
   | Error_reply of { code : error_code; message : string }
 
@@ -378,7 +602,7 @@ let get_int_opt name sexp =
       | None -> err "field %s: not an integer (%s)" name v)
   | Some _ -> err "field %s: malformed" name
 
-let response_body_to_sexp = function
+let rec response_body_to_sexp = function
   | Pong -> Sexp.list [ Sexp.atom "pong" ]
   | Bye -> Sexp.list [ Sexp.atom "bye" ]
   | Described json -> Sexp.list [ Sexp.atom "described"; Sexp.atom json ]
@@ -428,13 +652,35 @@ let response_body_to_sexp = function
              | Some rel -> [ field "output-relation" [ rel ] ]
              | None -> []);
            ])
+  | Server_stats_reply s ->
+      Sexp.list
+        [
+          Sexp.atom "server-stats";
+          int_field "accepted" s.accepted;
+          int_field "active" s.active;
+          int_field "served" s.served;
+          int_field "rejected-busy" s.rejected_busy;
+          int_field "timed-out" s.timed_out;
+          int_field "drained" s.drained;
+          int_field "accept-failures" s.accept_failures;
+          int_field "max-clients" s.max_clients;
+        ]
+  | Batch_item { index; body } ->
+      Sexp.list
+        [
+          Sexp.atom "batch-item";
+          int_field "index" index;
+          response_body_to_sexp body;
+        ]
+  | Batch_done { count } ->
+      Sexp.list [ Sexp.atom "batch-done"; int_field "count" count ]
 
 let response_to_string ~id resp =
   Sexp.to_string
     (Sexp.list
        [ Sexp.atom "response"; int_field "id" id; response_body_to_sexp resp ])
 
-let response_body_of_sexp sexp =
+let rec response_body_of_sexp sexp =
   match sexp with
   | Sexp.List (Sexp.Atom "pong" :: _) -> Ok Pong
   | Sexp.List (Sexp.Atom "bye" :: _) -> Ok Bye
@@ -499,6 +745,34 @@ let response_body_of_sexp sexp =
         | Some _ -> Error "field output-relation: malformed"
       in
       Ok (Checked { exit_code; verdict; report; output_relation; stats })
+  | Sexp.List (Sexp.Atom "server-stats" :: _) ->
+      let* accepted = get_int "accepted" sexp in
+      let* active = get_int "active" sexp in
+      let* served = get_int "served" sexp in
+      let* rejected_busy = get_int "rejected-busy" sexp in
+      let* timed_out = get_int "timed-out" sexp in
+      let* drained = get_int "drained" sexp in
+      let* accept_failures = get_int "accept-failures" sexp in
+      let* max_clients = get_int "max-clients" sexp in
+      Ok
+        (Server_stats_reply
+           {
+             accepted;
+             active;
+             served;
+             rejected_busy;
+             timed_out;
+             drained;
+             accept_failures;
+             max_clients;
+           })
+  | Sexp.List [ Sexp.Atom "batch-item"; _; body ] ->
+      let* index = get_int "index" sexp in
+      let* body = response_body_of_sexp body in
+      Ok (Batch_item { index; body })
+  | Sexp.List (Sexp.Atom "batch-done" :: _) ->
+      let* count = get_int "count" sexp in
+      Ok (Batch_done { count })
   | s -> err "unknown response %s" (Sexp.to_string s)
 
 let response_of_string s =
@@ -526,8 +800,10 @@ let describe_json ~server =
                "ping";
                "describe";
                "check";
+               "check-batch";
                "cache-stats";
                "cache-clear";
+               "server-stats";
                "shutdown";
              ]) );
       ( "check_options",

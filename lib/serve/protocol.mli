@@ -30,10 +30,14 @@
     the session proceeds, or — when the client's protocol number is
     not exactly {!protocol_version} — a structured
     [(reject (expected <n>) (got <m>) (message <why>))] and closes the
-    connection. Rejection is a frame, never a hang or a slammed
-    socket, so a future client can always print {e why} it was turned
-    away. The protocol number covers the whole grammar: any
-    incompatible change to request or response shapes bumps it.
+    connection. A server at its [--max-clients] admission limit
+    answers [(busy (max-clients <n>) (message <why>))] {e without}
+    waiting for the hello, then closes; busy is the retryable
+    rejection (the client backs off and redials), reject is the
+    permanent one. Every rejection is a frame, never a hang or a
+    slammed socket, so a turned-away client can always print {e why}.
+    The protocol number covers the whole grammar: any incompatible
+    change to request or response shapes bumps it.
 
     {2 Requests}
 
@@ -47,10 +51,19 @@
     (ping)
     (describe)
     (check (options ...) (gs <graph>) (gd <graph>) (relation <rel>))
+    (check-batch (options ...) (instances (instance (gs ..) (gd ..) (relation ..)) ...))
     (cache-stats)
     (cache-clear)
+    (server-stats)
     (shutdown)
     v}
+
+    [check-batch] is the one request with more than one response
+    frame: the server streams [(batch-item (index <i>) <body>)] per
+    instance, in index order, each body a full per-check response
+    ([result] or [error]), terminated by [(batch-done (count <k>))] —
+    all echoing the request id. One slow instance never buffers the
+    others' verdicts.
 
     Error replies reuse the checker's verdict taxonomy exit codes: a
     check that runs to a verdict is a [result] carrying the same exit
@@ -60,19 +73,58 @@
     internal-verdict exit, 3). *)
 
 val protocol_version : int
-(** [1]. *)
+(** [2]. Version 2 added [busy] admission rejections, [check-batch]
+    with streamed per-instance responses, and [server-stats]. *)
 
 val max_frame_bytes : int
 (** Frames larger than this are refused (64 MiB). *)
 
 (* --- framing ----------------------------------------------------------- *)
 
+val encode_frame : string -> string
+(** The wire bytes of one frame: length prefix, newline, payload. *)
+
 val write_frame : out_channel -> string -> unit
 (** Write one frame and flush. *)
 
 val read_frame : in_channel -> (string, string) result
 (** Read one frame; [Error] on malformed or oversized length prefixes
-    and on EOF mid-frame. *)
+    and on EOF mid-frame. Blocking — tests and tools only; the server
+    and client speak through {!Io}. *)
+
+(** Deadline-aware framed I/O over a non-blocking descriptor: the same
+    frame grammar as {!read_frame}/{!write_frame}, but every wait is
+    bounded by an absolute deadline ([Unix.gettimeofday] seconds) and
+    reads additionally abort when the optional [cancel] descriptor
+    becomes readable (the server's drain pipe). A stalled peer costs
+    one [Timeout], never a wedged thread; writes ignore [cancel] so an
+    in-flight reply can finish during a drain. *)
+module Io : sig
+  type error = Timeout | Closed | Cancelled | Failed of string
+
+  val error_message : error -> string
+
+  type t
+
+  val of_fd : ?cancel:Unix.file_descr -> Unix.file_descr -> t
+  (** Switches [fd] to non-blocking mode. *)
+
+  val fd : t -> Unix.file_descr
+
+  val wait_input : ?deadline:float -> t -> (unit, error) result
+  (** Block until a byte is available (buffered or on the wire), the
+      deadline passes, or [cancel] fires — the idle wait between
+      requests, distinct from the per-frame deadline. *)
+
+  val read_frame : ?deadline:float -> t -> (string, error) result
+  (** [Closed] only at a clean frame boundary; a connection dropped
+      mid-frame is a [Failed _] torn frame. *)
+
+  val write_frame : ?deadline:float -> t -> string -> (unit, error) result
+
+  val write_raw : ?deadline:float -> t -> string -> (unit, error) result
+  (** Raw bytes, no framing — the torn-frame fault-injection hook. *)
+end
 
 (* --- handshake --------------------------------------------------------- *)
 
@@ -81,6 +133,9 @@ type hello = { protocol : int; client : string }
 type welcome =
   | Welcome of { protocol : int; server : string }
   | Rejected of { expected : int; got : int; message : string }
+  | Busy of { max_clients : int; message : string }
+      (** admission-limit rejection: retryable, sent without reading
+          the hello *)
 
 val hello_to_string : hello -> string
 val hello_of_string : string -> (hello, string) result
@@ -103,6 +158,12 @@ type check_options = {
 
 val default_options : check_options
 
+type batch_instance = {
+  gs : Entangle_ir.Sexp.t;
+  gd : Entangle_ir.Sexp.t;
+  relation : Entangle_ir.Sexp.t;
+}
+
 type request =
   | Ping
   | Describe
@@ -114,8 +175,13 @@ type request =
       gd : Entangle_ir.Sexp.t;
       relation : Entangle_ir.Sexp.t;  (** {!Entangle.Relation_io} *)
     }
+  | Check_batch of { options : check_options; instances : batch_instance list }
+      (** several instances in one frame, one [options] for all;
+          answered by streamed {!Batch_item}s in index order and a
+          final {!Batch_done} *)
   | Cache_stats
   | Cache_clear
+  | Server_stats
   | Shutdown
 
 val request_to_string : id:int -> request -> string
@@ -154,12 +220,28 @@ type cache_stats_reply = {
   expired_entries : int;
 }
 
+type server_stats = {
+  accepted : int;  (** connections accepted since the daemon started *)
+  active : int;  (** connections currently being handled *)
+  served : int;  (** requests answered, including error replies *)
+  rejected_busy : int;  (** connections turned away at the admission limit *)
+  timed_out : int;  (** I/O deadlines tripped (slow reads or writes) *)
+  drained : int;  (** connections closed while the daemon was draining *)
+  accept_failures : int;  (** accept(2) failures survived (e.g. EMFILE) *)
+  max_clients : int;  (** the admission limit in force *)
+}
+
 type response =
   | Pong
   | Described of string  (** the JSON envelope document *)
   | Checked of check_reply
   | Cache_stats_reply of cache_stats_reply
   | Cache_cleared of int
+  | Server_stats_reply of server_stats
+  | Batch_item of { index : int; body : response }
+      (** one streamed [check-batch] result; [body] is a full
+          per-check response *)
+  | Batch_done of { count : int }  (** terminates a [check-batch] stream *)
   | Bye  (** acknowledges [Shutdown]; the server then closes *)
   | Error_reply of { code : error_code; message : string }
 

@@ -85,12 +85,13 @@ let handshake_tests =
             check Alcotest.int "protocol" h.P.protocol h'.P.protocol;
             check Alcotest.string "client" h.P.client h'.P.client
         | Error e -> Alcotest.failf "hello_of_string: %s" e);
-    Alcotest.test_case "welcome and reject round-trip" `Quick (fun () ->
+    Alcotest.test_case "welcome, reject and busy round-trip" `Quick (fun () ->
         let cases =
           [
             P.Welcome { protocol = 1; server = "entangle-serve" };
             P.Rejected
               { expected = 1; got = 2; message = "upgrade the older side" };
+            P.Busy { max_clients = 64; message = "admission limit reached" };
           ]
         in
         List.iter
@@ -177,6 +178,24 @@ let grammar_tests =
           ]
         in
         List.iteri (fun i req -> roundtrip_request ~id:(100 + i) req) reqs);
+    Alcotest.test_case "batch and stats requests round-trip" `Quick (fun () ->
+        let graph name = Sexp.list [ Sexp.atom "graph"; Sexp.atom name ] in
+        let instance name =
+          {
+            P.gs = graph (name ^ "-gs");
+            gd = graph (name ^ "-gd");
+            relation = Sexp.list [ Sexp.atom "relation"; Sexp.atom name ];
+          }
+        in
+        roundtrip_request ~id:9 P.Server_stats;
+        roundtrip_request ~id:10
+          (P.Check_batch { options = P.default_options; instances = [] });
+        roundtrip_request ~id:11
+          (P.Check_batch
+             {
+               options = { P.default_options with P.family = Some "regression" };
+               instances = [ instance "a"; instance "b"; instance "c" ];
+             }));
     Alcotest.test_case "statistics round-trip losslessly" `Quick (fun () ->
         match P.stats_of_sexp (P.stats_to_sexp sample_stats) with
         | Ok s ->
@@ -235,6 +254,40 @@ let grammar_tests =
                 output_relation = None;
                 stats = sample_stats;
               };
+            P.Server_stats_reply
+              {
+                accepted = 12;
+                active = 3;
+                served = 40;
+                rejected_busy = 2;
+                timed_out = 1;
+                drained = 0;
+                accept_failures = 1;
+                max_clients = 64;
+              };
+            P.Batch_done { count = 0 };
+            P.Batch_done { count = 7 };
+            (* Batch items carry a full nested response. *)
+            P.Batch_item
+              {
+                index = 0;
+                body =
+                  P.Checked
+                    {
+                      exit_code = 0;
+                      verdict = "refines";
+                      report = "refines";
+                      output_relation = None;
+                      stats = sample_stats;
+                    };
+              };
+            P.Batch_item
+              {
+                index = 3;
+                body =
+                  P.Error_reply
+                    { code = P.Bad_request; message = "unreadable graph" };
+              };
           ]
         in
         List.iteri (fun i resp -> roundtrip_response ~id:i resp) responses);
@@ -257,17 +310,162 @@ let grammar_tests =
           (contains json "\"schema\": \"entangle/serve/1\""));
   ]
 
-(* --- end-to-end: a server in its own domain ----------------------------- *)
+(* --- the retry ladder --------------------------------------------------- *)
 
-let with_server f =
+(* A policy whose sleeps are recorded instead of slept: the ladder's
+   behavior (how many redials, with which delays) becomes assertable
+   without wall-clock time. *)
+let recording_retry ?(retries = 3) ?timeout_s ?(jitter_seed = 41) () =
+  let slept = ref [] in
+  let r =
+    {
+      Cl.default_retry with
+      Cl.retries;
+      timeout_s;
+      backoff_base_s = 0.01;
+      jitter_seed;
+      sleep = (fun d -> slept := d :: !slept);
+    }
+  in
+  (r, fun () -> List.rev !slept)
+
+(* A minimal in-domain daemon stand-in that accepts [conns]
+   connections, answers the handshake, reads one request frame and
+   drops the connection without replying — the shape that forces the
+   ladder's request-phase (post-send) decision. *)
+let with_half_open_server ~conns f =
   let socket =
     Filename.concat
       (Filename.get_temp_dir_name ())
-      (Fmt.str "entangle-test-serve-%d.sock" (Unix.getpid ()))
+      (Fmt.str "entangle-test-halfopen-%d.sock" (Unix.getpid ()))
   in
   (try Sys.remove socket with Sys_error _ -> ());
-  match Srv.create ~name:"test-daemon" ~socket () with
-  | Error e -> Alcotest.failf "Server.create: %s" e
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX socket);
+  Unix.listen listener 16;
+  let d =
+    Domain.spawn (fun () ->
+        for _ = 1 to conns do
+          let fd, _ = Unix.accept listener in
+          let io = P.Io.of_fd fd in
+          let dl = Some (Unix.gettimeofday () +. 10.) in
+          ignore (P.Io.read_frame ?deadline:dl io);
+          ignore
+            (P.Io.write_frame ?deadline:dl io
+               (P.welcome_to_string
+                  (P.Welcome
+                     { protocol = P.protocol_version; server = "half-open" })));
+          ignore (P.Io.read_frame ?deadline:dl io);
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        done)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.join d;
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      try Sys.remove socket with Sys_error _ -> ())
+    (fun () -> f socket)
+
+let retry_tests =
+  [
+    Alcotest.test_case "backoff schedule is deterministic per seed" `Quick
+      (fun () ->
+        let policy seed =
+          { Cl.default_retry with Cl.retries = 6; jitter_seed = seed }
+        in
+        check
+          Alcotest.(list (float 0.))
+          "same seed, same delays"
+          (Cl.backoff_schedule (policy 7))
+          (Cl.backoff_schedule (policy 7));
+        check Alcotest.bool "different seeds decorrelate" true
+          (Cl.backoff_schedule (policy 7) <> Cl.backoff_schedule (policy 8));
+        check Alcotest.int "one delay per retry" 6
+          (List.length (Cl.backoff_schedule (policy 7))));
+    Alcotest.test_case "backoff is capped and jitter stays in band" `Quick
+      (fun () ->
+        let r =
+          {
+            Cl.default_retry with
+            Cl.retries = 10;
+            backoff_base_s = 0.05;
+            backoff_cap_s = 0.4;
+            jitter_seed = 3;
+          }
+        in
+        List.iteri
+          (fun k d ->
+            let base = Float.min 0.4 (0.05 *. (2. ** float_of_int k)) in
+            check Alcotest.bool
+              (Fmt.str "delay %d within [base/2, 1.5*base)" k)
+              true
+              (d >= 0.5 *. base && d < 1.5 *. base))
+          (Cl.backoff_schedule r));
+    Alcotest.test_case "gives up after N retries, keeping the last error"
+      `Quick (fun () ->
+        let retry, slept = recording_retry ~retries:3 () in
+        let socket = "/nonexistent/entangle-test.sock" in
+        match Cl.call ~retry ~socket P.Ping with
+        | Ok _ -> Alcotest.fail "a dead socket answered"
+        | Error e ->
+            check Alcotest.int "attempts = 1 + retries" 4 e.Cl.attempts;
+            check Alcotest.string "last error kind survives" "refused"
+              (Cl.kind_name e.Cl.kind);
+            check Alcotest.bool "message is preserved" true
+              (String.length e.Cl.message > 0);
+            check
+              Alcotest.(list (float 0.))
+              "slept exactly the schedule"
+              (Cl.backoff_schedule retry) (slept ()));
+    Alcotest.test_case "idempotent requests retry after a dropped reply" `Quick
+      (fun () ->
+        (* Every attempt reaches the request phase and dies there; a
+           ping is idempotent, so the ladder uses all its attempts. *)
+        let retry, slept = recording_retry ~retries:2 ~timeout_s:10. () in
+        with_half_open_server ~conns:3 (fun socket ->
+            match Cl.call ~retry ~socket P.Ping with
+            | Ok _ -> Alcotest.fail "half-open server answered"
+            | Error e ->
+                check Alcotest.int "all attempts used" 3 e.Cl.attempts;
+                check Alcotest.int "slept between each" 2
+                  (List.length (slept ()))));
+    Alcotest.test_case "non-idempotent requests are never resent" `Quick
+      (fun () ->
+        (* Same failure shape, but cache-clear must not be retried
+           once the request frame is out: one attempt, zero sleeps. *)
+        let retry, slept = recording_retry ~retries:3 ~timeout_s:10. () in
+        with_half_open_server ~conns:1 (fun socket ->
+            match Cl.call ~retry ~socket P.Cache_clear with
+            | Ok _ -> Alcotest.fail "half-open server answered"
+            | Error e ->
+                check Alcotest.int "exactly one attempt" 1 e.Cl.attempts;
+                check Alcotest.int "no backoff sleeps" 0
+                  (List.length (slept ()))));
+    Alcotest.test_case "shutdown is never resent either" `Quick (fun () ->
+        let retry, slept = recording_retry ~retries:3 ~timeout_s:10. () in
+        with_half_open_server ~conns:1 (fun socket ->
+            match Cl.call ~retry ~socket P.Shutdown with
+            | Ok _ -> Alcotest.fail "half-open server answered"
+            | Error e ->
+                check Alcotest.int "exactly one attempt" 1 e.Cl.attempts;
+                check Alcotest.int "no backoff sleeps" 0
+                  (List.length (slept ()))));
+  ]
+
+(* --- end-to-end: a server in its own domain ----------------------------- *)
+
+let temp_socket tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Fmt.str "entangle-test-%s-%d.sock" tag (Unix.getpid ()))
+
+let with_server ?(tag = "serve") ?max_clients ?io_timeout_s f =
+  let socket = temp_socket tag in
+  (try Sys.remove socket with Sys_error _ -> ());
+  match
+    Srv.create ~name:"test-daemon" ?max_clients ?io_timeout_s ~socket ()
+  with
+  | Error e -> Alcotest.failf "Server.create: %s" (Srv.error_message e)
   | Ok server ->
       let d = Domain.spawn (fun () -> Srv.run server) in
       Fun.protect
@@ -276,13 +474,13 @@ let with_server f =
           | Ok c -> ignore (Cl.shutdown c)
           | Error _ -> ());
           Domain.join d)
-        (fun () -> f socket)
+        (fun () -> f server socket)
 
 let end_to_end_tests =
   [
     Alcotest.test_case "session: reject, ping, bad request, shutdown" `Slow
       (fun () ->
-        with_server (fun socket ->
+        with_server (fun _server socket ->
             (* A future client is turned away with a structured frame
                naming both versions — and the daemon survives it. *)
             (match
@@ -295,16 +493,17 @@ let end_to_end_tests =
                   (String.length message > 0)
             | Ok (P.Welcome _) ->
                 Alcotest.fail "future protocol was welcomed"
+            | Ok (P.Busy _) -> Alcotest.fail "future protocol got busy"
             | Error e -> Alcotest.failf "raw_hello: %s" e);
             match Cl.connect ~client:"unit-test" ~socket () with
-            | Error e -> Alcotest.failf "connect: %s" e
+            | Error e -> Alcotest.failf "connect: %s" (Cl.error_message e)
             | Ok c ->
                 Fun.protect
                   ~finally:(fun () -> Cl.close c)
                   (fun () ->
                     (match Cl.ping c with
                     | Ok () -> ()
-                    | Error e -> Alcotest.failf "ping: %s" e);
+                    | Error e -> Alcotest.failf "ping: %s" (Cl.error_message e));
                     (* A check the server cannot even start — garbage
                        graphs — must come back as a structured
                        bad-request, not a dropped connection. *)
@@ -315,12 +514,184 @@ let end_to_end_tests =
                      with
                     | Ok (P.Error_reply { code = P.Bad_request; _ }) -> ()
                     | Ok _ -> Alcotest.fail "garbage graphs were accepted"
-                    | Error e -> Alcotest.failf "check transport: %s" e);
+                    | Error e ->
+                        Alcotest.failf "check transport: %s"
+                          (Cl.error_message e));
                     (* The connection is still usable afterwards. *)
                     match Cl.ping c with
                     | Ok () -> ()
                     | Error e ->
-                        Alcotest.failf "ping after bad request: %s" e)));
+                        Alcotest.failf "ping after bad request: %s"
+                          (Cl.error_message e))));
+    Alcotest.test_case "batch: items stream in order with contained faults"
+      `Slow (fun () ->
+        with_server ~tag:"batch" (fun _server socket ->
+            match Cl.connect ~socket () with
+            | Error e -> Alcotest.failf "connect: %s" (Cl.error_message e)
+            | Ok c ->
+                Fun.protect
+                  ~finally:(fun () -> Cl.close c)
+                  (fun () ->
+                    (* Unreadable instances: each must come back as its
+                       own per-item bad-request, in order, with the
+                       stream terminated by the full count. *)
+                    let bad name =
+                      {
+                        P.gs = Sexp.atom name;
+                        gd = Sexp.atom name;
+                        relation = Sexp.atom name;
+                      }
+                    in
+                    match
+                      Cl.check_batch c
+                        ~instances:[ bad "alpha"; bad "beta"; bad "gamma" ]
+                        ()
+                    with
+                    | Error e ->
+                        Alcotest.failf "check_batch: %s" (Cl.error_message e)
+                    | Ok items ->
+                        check Alcotest.int "one item per instance" 3
+                          (List.length items);
+                        List.iter
+                          (fun item ->
+                            match item with
+                            | P.Error_reply { code = P.Bad_request; _ } -> ()
+                            | _ ->
+                                Alcotest.fail
+                                  "expected a per-item bad-request")
+                          items)));
+    Alcotest.test_case "server-stats: counters served over the wire" `Slow
+      (fun () ->
+        with_server ~tag:"stats" (fun server socket ->
+            match Cl.connect ~socket () with
+            | Error e -> Alcotest.failf "connect: %s" (Cl.error_message e)
+            | Ok c ->
+                Fun.protect
+                  ~finally:(fun () -> Cl.close c)
+                  (fun () ->
+                    (match Cl.ping c with
+                    | Ok () -> ()
+                    | Error e -> Alcotest.failf "ping: %s" (Cl.error_message e));
+                    match Cl.server_stats c with
+                    | Ok (P.Server_stats_reply s) ->
+                        check Alcotest.bool "accepted at least this client"
+                          true (s.P.accepted >= 1);
+                        check Alcotest.bool "served at least the ping" true
+                          (s.P.served >= 1);
+                        check Alcotest.int "wire counters match in-process"
+                          (Srv.stats server).P.accepted s.P.accepted
+                    | Ok _ -> Alcotest.fail "unexpected reply to server-stats"
+                    | Error e ->
+                        Alcotest.failf "server_stats: %s" (Cl.error_message e))));
+    Alcotest.test_case "admission: over-limit clients get a busy frame" `Slow
+      (fun () ->
+        with_server ~tag:"busy" ~max_clients:1 (fun _server socket ->
+            match Cl.connect ~socket () with
+            | Error e -> Alcotest.failf "connect: %s" (Cl.error_message e)
+            | Ok first ->
+                (match Cl.connect ~timeout_s:10. ~socket () with
+                | Ok second ->
+                    Cl.close second;
+                    Cl.close first;
+                    Alcotest.fail "second client was admitted over the limit"
+                | Error e ->
+                    check Alcotest.string "structured busy rejection" "busy"
+                      (Cl.kind_name e.Cl.kind));
+                Cl.close first;
+                (* Once the slot frees the daemon admits again; the
+                   release is asynchronous, so poll briefly. *)
+                let rec readmitted n =
+                  match Cl.connect ~timeout_s:10. ~socket () with
+                  | Ok c ->
+                      Cl.close c;
+                      true
+                  | Error _ when n > 0 ->
+                      Unix.sleepf 0.02;
+                      readmitted (n - 1)
+                  | Error _ -> false
+                in
+                check Alcotest.bool "slot frees after disconnect" true
+                  (readmitted 100)));
+    Alcotest.test_case "slow loris: a stalled frame costs one timeout" `Slow
+      (fun () ->
+        with_server ~tag:"loris" ~io_timeout_s:0.2 (fun server socket ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX socket);
+            let io = P.Io.of_fd fd in
+            let dl = Some (Unix.gettimeofday () +. 10.) in
+            ignore
+              (P.Io.write_frame ?deadline:dl io
+                 (P.hello_to_string
+                    { P.protocol = P.protocol_version; client = "loris" }));
+            ignore (P.Io.read_frame ?deadline:dl io);
+            (* Two digits of a length prefix, then silence: the server
+               must cut the connection at its I/O deadline, not hold a
+               handler thread hostage. *)
+            ignore (P.Io.write_raw ?deadline:dl io "12");
+            let rec wait_timeout n =
+              if (Srv.stats server).P.timed_out >= 1 then true
+              else if n = 0 then false
+              else begin
+                Unix.sleepf 0.05;
+                wait_timeout (n - 1)
+              end
+            in
+            check Alcotest.bool "timeout counted" true (wait_timeout 100);
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            (* And the daemon still answers well-behaved clients. *)
+            match Cl.connect ~timeout_s:10. ~socket () with
+            | Ok c ->
+                check Alcotest.bool "daemon survives the loris" true
+                  (Cl.ping c = Ok ());
+                Cl.close c
+            | Error e -> Alcotest.failf "connect: %s" (Cl.error_message e)));
+  ]
+
+(* --- socket ownership --------------------------------------------------- *)
+
+let race_tests =
+  [
+    Alcotest.test_case "a second daemon on a live socket is refused" `Slow
+      (fun () ->
+        with_server ~tag:"race1" (fun _server socket ->
+            match Srv.create ~name:"loser" ~socket () with
+            | Ok _ -> Alcotest.fail "two daemons own one socket"
+            | Error (Srv.In_use { socket = s }) ->
+                check Alcotest.string "error names the socket" socket s
+            | Error (Srv.Failed m) ->
+                Alcotest.failf "expected In_use, got: %s" m));
+    Alcotest.test_case "concurrent creates resolve to exactly one listener"
+      `Slow (fun () ->
+        let socket = temp_socket "race2" in
+        (try Sys.remove socket with Sys_error _ -> ());
+        (* Two would-be daemons race through probe-and-rebind on the
+           same path; the lock serializes them, so exactly one may
+           win. *)
+        let contender () =
+          Domain.spawn (fun () -> Srv.create ~name:"contender" ~socket ())
+        in
+        let a = contender () and b = contender () in
+        let results = [ Domain.join a; Domain.join b ] in
+        let winners = List.filter Result.is_ok results in
+        check Alcotest.int "exactly one winner" 1 (List.length winners);
+        (match
+           List.find_opt
+             (function Error (Srv.In_use _) -> true | _ -> false)
+             results
+         with
+        | Some _ -> ()
+        | None -> Alcotest.fail "loser's error was not In_use");
+        (* Drain the winner so nothing leaks into later tests. *)
+        match winners with
+        | [ Ok server ] ->
+            let d = Domain.spawn (fun () -> Srv.run server) in
+            (match Cl.connect ~socket () with
+            | Ok c -> ignore (Cl.shutdown c)
+            | Error _ -> ());
+            Domain.join d;
+            check Alcotest.bool "socket removed after drain" false
+              (Sys.file_exists socket)
+        | _ -> ());
   ]
 
 let suite =
@@ -328,5 +699,7 @@ let suite =
     ("serve.framing", framing_tests);
     ("serve.handshake", handshake_tests);
     ("serve.grammar", grammar_tests);
+    ("serve.retry", retry_tests);
     ("serve.end_to_end", end_to_end_tests);
+    ("serve.race", race_tests);
   ]
