@@ -524,9 +524,54 @@ let ablation () =
      statistics agreement is checked regardless.)@."
     (Domain.recommended_domain_count ());
 
+  section "Certificate exchange: portable bundle vs re-check";
+  (* How much cheaper is accepting a bundle with the minimal verifier
+     than re-running the full saturation check it certifies? *)
+  let cert_recheck_s, cert_export_s, cert_verify_s, cert_bytes =
+    let inst = Gpt.build ~layers:1 ~degree:2 ~heads:4 () in
+    let recheck_s, result = time_check ~config:Entangle.Config.default inst in
+    match result with
+    | Error _ ->
+        Fmt.pr "gpt did not refine; certificate row skipped@.";
+        (recheck_s, 0., 0., 0)
+    | Ok success -> (
+        let t0 = Unix.gettimeofday () in
+        match
+          Entangle.Cert_export.bundle ~producer:"entangle-bench"
+            ~gs:inst.Instance.gs ~gd:inst.Instance.gd ~env:inst.Instance.env
+            ~input_relation:inst.Instance.input_relation success
+        with
+        | Error e ->
+            Fmt.epr "certificate export failed: %s@." e;
+            exit 1
+        | Ok bundle -> (
+            let text = Entangle_certexport.Bundle.to_string bundle in
+            let export_s = Unix.gettimeofday () -. t0 in
+            let t1 = Unix.gettimeofday () in
+            match Entangle_certexport.Verify.check_string text with
+            | Error e ->
+                Fmt.epr "exported bundle failed verification: %a@."
+                  Entangle_certexport.Cert_error.pp e;
+                exit 1
+            | Ok _ ->
+                let verify_s = Unix.gettimeofday () -. t1 in
+                (recheck_s, export_s, verify_s, String.length text)))
+  in
+  let cert_speedup = cert_recheck_s /. Float.max 1e-9 cert_verify_s in
+  Fmt.pr "%-22s %10s %12s %10s@." "step" "time (s)" "bundle (B)" "speedup";
+  Fmt.pr "%-22s %10.3f %12s %10s@." "full re-check" cert_recheck_s "-" "-";
+  Fmt.pr "%-22s %10.3f %12d %10s@." "cert_export" cert_export_s cert_bytes "-";
+  Fmt.pr "%-22s %10.3f %12d %9.0fx@." "cert_verify" cert_verify_s cert_bytes
+    cert_speedup;
+
   let oc = open_out bench_egraph_json in
   let records = List.rev !json_records in
   Printf.fprintf oc "{\n  \"schema\": \"entangle-bench-egraph/3\",\n";
+  Printf.fprintf oc "  \"cert_recheck_s\": %.6f,\n" cert_recheck_s;
+  Printf.fprintf oc "  \"cert_export_s\": %.6f,\n" cert_export_s;
+  Printf.fprintf oc "  \"cert_verify_s\": %.6f,\n" cert_verify_s;
+  Printf.fprintf oc "  \"cert_bundle_bytes\": %d,\n" cert_bytes;
+  Printf.fprintf oc "  \"cert_verify_speedup\": %.2f,\n" cert_speedup;
   Printf.fprintf oc "  \"sweep_total_matches_simple\": %d,\n" !total_simple;
   Printf.fprintf oc "  \"sweep_total_matches_incremental\": %d,\n" !total_incr;
   Printf.fprintf oc "  \"sweep_match_reduction\": %.4f,\n" ratio;
@@ -1018,6 +1063,213 @@ let serve_smoke () =
   end;
   Fmt.pr "the resident service is faithful, warm and budgeted@."
 
+(* --- Cert smoke: tamper-evident exchange as a build gate ----------------- *)
+
+(* The @cert-smoke dune alias: export -> verify must round-trip on the
+   whole zoo; each row of the tamper matrix must be rejected with its
+   own structured CERT code; and the daemon must speak cert-fetch and
+   cert-push in both directions over a real socket, with the client
+   re-verifying fetched bundles through the independent minimal
+   verifier. *)
+let cert_smoke () =
+  let module CE = Entangle_certexport in
+  let module Srv = Entangle_serve.Server in
+  let module Cl = Entangle_serve.Client in
+  let module P = Entangle_serve.Protocol in
+  section "Cert smoke: round-trip / tamper matrix / daemon exchange";
+  let failures = ref 0 in
+  let expect what ok =
+    Fmt.pr "%-58s %s@." what (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  let export (inst : Instance.t) =
+    match Instance.check inst with
+    | Error _ -> None
+    | Ok success -> (
+        match
+          Entangle.Cert_export.bundle ~producer:"entangle-bench"
+            ~gs:inst.Instance.gs ~gd:inst.Instance.gd ~env:inst.Instance.env
+            ~input_relation:inst.Instance.input_relation success
+        with
+        | Error e ->
+            Fmt.epr "%s: export failed: %s@." inst.Instance.name e;
+            exit 1
+        | Ok b -> Some (CE.Bundle.to_string b))
+  in
+
+  (* 1. Export -> verify round-trips on the zoo. *)
+  List.iter
+    (fun name ->
+      match Zoo.by_name name with
+      | None -> ()
+      | Some inst -> (
+          match export inst with
+          | None -> Fmt.pr "%-58s (does not refine; skipped)@." name
+          | Some text -> (
+              match CE.Verify.check_string text with
+              | Ok r ->
+                  expect
+                    (Fmt.str "%s: exported bundle verifies (%d ops)" name
+                       r.CE.Verify.operators)
+                    (r.CE.Verify.operators > 0)
+              | Error e ->
+                  Fmt.epr "%s: %a@." name CE.Cert_error.pp e;
+                  expect (Fmt.str "%s: exported bundle verifies" name) false)))
+    Zoo.names;
+
+  (* 2. The tamper matrix: one deterministic mutation per defense
+     layer, each rejected with its own CERT code. *)
+  let reference =
+    match export (Regression.build ~microbatches:2 ()) with
+    | Some text -> text
+    | None ->
+        Fmt.epr "regression did not refine; cannot build tamper matrix@.";
+        exit 1
+  in
+  let code_of text =
+    match CE.Verify.check_string text with
+    | Ok _ -> "accepted"
+    | Error e -> CE.Cert_error.code_string e.CE.Cert_error.code
+  in
+  let find_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = if i + nn > nh then None
+      else if String.sub hay i nn = needle then Some i
+      else at (i + 1)
+    in
+    at 0
+  in
+  let mutate_at pos f text =
+    let b = Bytes.of_string text in
+    Bytes.set b pos (f (Bytes.get b pos));
+    Bytes.to_string b
+  in
+  expect "pristine bundle accepted" (code_of reference = "accepted");
+  expect "truncation rejected as CERT001 parse-error"
+    (code_of (String.sub reference 0 (String.length reference / 2))
+    = "CERT001");
+  (let skew =
+     match find_sub reference "(schema 1)" with
+     | Some i ->
+         String.sub reference 0 i
+         ^ "(schema 99)"
+         ^ String.sub reference
+             (i + String.length "(schema 1)")
+             (String.length reference - i - String.length "(schema 1)")
+     | None -> reference
+   in
+   expect "version skew rejected as CERT002" (code_of skew = "CERT002"));
+  (let flipped =
+     (* flip one digit of an env binding: a single-byte payload change
+        the per-section content digest must catch *)
+     match find_sub reference "(section env" with
+     | None -> reference
+     | Some i ->
+         let rec digit j =
+           if j >= String.length reference then None
+           else
+             match reference.[j] with
+             | '0' .. '9' -> Some j
+             | _ -> digit (j + 1)
+         in
+         (match digit (i + String.length "(section env") with
+         | None -> reference
+         | Some j ->
+             mutate_at j (fun c -> if c = '9' then '8' else Char.chr (Char.code c + 1)) reference)
+   in
+   expect "section bit-flip rejected as CERT004" (code_of flipped = "CERT004"));
+  (let rebound =
+     (* swap one hex digit of the manifest's gs statement fingerprint:
+        sections still digest clean, but the bundle now claims to
+        certify a different statement *)
+     match find_sub reference "(statement" with
+     | None -> reference
+     | Some i -> (
+         match find_sub (String.sub reference i (String.length reference - i)) "(gs " with
+         | None -> reference
+         | Some off ->
+             mutate_at (i + off + 4) (fun c -> if c = '0' then '1' else '0') reference)
+   in
+   expect "statement rebinding rejected as CERT005"
+     (code_of rebound = "CERT005"));
+
+  (* 3. The daemon, both directions, over a real socket. *)
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "entangle-cert-smoke.%d.sock" (Unix.getpid ()))
+  in
+  (match Srv.create ~config:Entangle.Config.default ~socket:sock () with
+  | Error e ->
+      Fmt.epr "cannot start server: %s@." (Srv.error_message e);
+      exit 1
+  | Ok server ->
+      let d = Domain.spawn (fun () -> Srv.run server) in
+      Fun.protect
+        ~finally:(fun () ->
+          (match Cl.connect ~socket:sock () with
+          | Ok c -> ignore (Cl.shutdown c)
+          | Error _ -> ());
+          Domain.join d)
+        (fun () ->
+          match Cl.connect ~socket:sock () with
+          | Error e ->
+              Fmt.epr "cannot connect: %s@." (Cl.error_message e);
+              exit 1
+          | Ok client ->
+              Fun.protect
+                ~finally:(fun () -> Cl.close client)
+                (fun () ->
+                  let inst = Regression.build ~microbatches:2 () in
+                  (* fetch: the daemon checks and exports; the client
+                     re-verifies with the minimal verifier *)
+                  (match
+                     Cl.cert_fetch client
+                       ~options:
+                         {
+                           P.default_options with
+                           P.family =
+                             Some
+                               (Entangle_lemmas.Registry.family_name
+                                  inst.Instance.family);
+                         }
+                       ~gs:(Entangle_ir.Serial.graph_to_sexp inst.Instance.gs)
+                       ~gd:(Entangle_ir.Serial.graph_to_sexp inst.Instance.gd)
+                       ~relation:
+                         (Entangle.Relation_io.to_sexp
+                            inst.Instance.input_relation)
+                       ~env:
+                         (Entangle.Cert_export.env_bindings inst.Instance.env)
+                       ()
+                   with
+                  | Ok (P.Cert_bundle { bundle }) ->
+                      expect "cert-fetch: client re-verification accepts"
+                        (code_of bundle = "accepted")
+                  | _ -> expect "cert-fetch: daemon returns a bundle" false);
+                  (* push: the daemon verifies a client-produced bundle *)
+                  (match Cl.cert_push client ~bundle:reference with
+                  | Ok v ->
+                      expect "cert-push: daemon accepts a sound bundle"
+                        (v.P.accepted && v.P.cert_id <> None)
+                  | Error _ ->
+                      expect "cert-push: daemon accepts a sound bundle" false);
+                  match
+                    Cl.cert_push client
+                      ~bundle:
+                        (String.sub reference 0 (String.length reference / 2))
+                  with
+                  | Ok v ->
+                      expect "cert-push: daemon rejects truncation as CERT001"
+                        ((not v.P.accepted) && v.P.cert_code = Some "CERT001")
+                  | Error _ ->
+                      expect "cert-push: daemon rejects truncation as CERT001"
+                        false)));
+  if !failures > 0 then begin
+    Fmt.epr "cert smoke: %d violation(s)@." !failures;
+    exit 1
+  end;
+  Fmt.pr "certificates round-trip, tampering is caught, the daemon concurs@."
+
 (* Chaos gate for the daemon (`dune build @chaos-smoke`): byzantine
    clients and injected faults against one live server, deterministic
    end to end.
@@ -1433,6 +1685,7 @@ let () =
       ("cache-smoke", cache_smoke);
       ("par-smoke", par_smoke);
       ("serve-smoke", serve_smoke);
+      ("cert-smoke", cert_smoke);
       ("chaos-smoke", chaos_smoke);
       ("counters", counters);
       ("perf", perf);

@@ -938,7 +938,7 @@ let print_cache_stats ~json ~dir ~entries ~bytes ~shards ~quarantined
 let cache_cmd =
   let module C = Entangle_cache.Cache in
   let module S = Entangle_cache.Store in
-  let run opts action gc =
+  let run opts action file out gc =
     Output_opts.with_sink opts (fun _sink ->
         match
           C.create ?dir:opts.Output_opts.cache_dir
@@ -950,6 +950,32 @@ let cache_cmd =
         | Ok cache ->
             let code =
               match action with
+              | `Export ->
+                  let text, count = C.export_archive cache in
+                  (match out with
+                  | None -> print_string text
+                  | Some path ->
+                      let oc = open_out_bin path in
+                      output_string oc text;
+                      close_out oc;
+                      Fmt.pr "wrote %s@." path);
+                  Fmt.epr "cache %s: exported %d entries@." (C.dir cache) count;
+                  0
+              | `Import -> (
+                  match file with
+                  | None ->
+                      Fmt.epr "cache import: missing archive FILE argument@.";
+                      124
+                  | Some path -> (
+                      match C.import_archive cache (read_file path) with
+                      | Ok (imported, rejected) ->
+                          Fmt.pr
+                            "cache %s: imported %d entries, rejected %d@."
+                            (C.dir cache) imported rejected;
+                          if rejected = 0 then 0 else 1
+                      | Error e ->
+                          Fmt.epr "cache import: %s@." e;
+                          124))
               | `Stats ->
                   let s = C.stats cache in
                   print_cache_stats ~json:opts.Output_opts.json
@@ -983,7 +1009,15 @@ let cache_cmd =
             code)
   in
   let action =
-    let actions = [ ("stats", `Stats); ("clear", `Clear); ("verify", `Verify) ] in
+    let actions =
+      [
+        ("stats", `Stats);
+        ("clear", `Clear);
+        ("verify", `Verify);
+        ("export", `Export);
+        ("import", `Import);
+      ]
+    in
     Arg.(
       required
       & pos 0 (some (enum actions)) None
@@ -992,7 +1026,24 @@ let cache_cmd =
             "$(b,stats) prints entry counts, sizes and retention activity; \
              $(b,clear) removes every entry; $(b,verify) re-validates every \
              entry's payload, quarantining damage (exits 1 if any entry was \
-             invalid).")
+             invalid); $(b,export) dumps every valid entry as a portable \
+             archive (to --out or stdout) — quarantined, version-skewed and \
+             corrupt entries never export; $(b,import) $(i,FILE) loads an \
+             archive, structurally validating each payload (exits 1 if any \
+             entry was rejected).")
+  in
+  let file =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Archive file for $(b,import).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where $(b,export) writes the archive (default stdout).")
   in
   let gc =
     Arg.(
@@ -1016,7 +1067,298 @@ let cache_cmd =
          set via flags or environment evicts them, least-recently-used \
          first."
   in
-  Cmd.v info Term.(const run $ Output_opts.term $ action $ gc)
+  Cmd.v info Term.(const run $ Output_opts.term $ action $ file $ out $ gc)
+
+(* --- cert: portable tamper-evident certificate bundles ------------------- *)
+
+module CE = Entangle_certexport
+
+let write_text ~out text =
+  match out with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc;
+      Fmt.pr "wrote %s@." path
+
+let cert_error_json (e : CE.Cert_error.t) =
+  let module J = Trace.Jsonw in
+  J.envelope ~name:"cert-verify" ~version:1
+    [
+      ("accepted", J.Bool false);
+      ("code", J.Str (CE.Cert_error.code_string e.CE.Cert_error.code));
+      ("mnemonic", J.Str (CE.Cert_error.mnemonic e.CE.Cert_error.code));
+      ("detail", J.Str e.CE.Cert_error.detail);
+    ]
+
+let cert_report_json (r : CE.Verify.report) =
+  let module J = Trace.Jsonw in
+  J.envelope ~name:"cert-verify" ~version:1
+    [
+      ("accepted", J.Bool true);
+      ("id", J.Str r.CE.Verify.id);
+      ("operators", J.Int r.CE.Verify.operators);
+      ("outputs_checked", J.Int r.CE.Verify.outputs_checked);
+      ("exprs_replayed", J.Int r.CE.Verify.exprs_replayed);
+      ("tol", J.Float r.CE.Verify.tol);
+      ("seed", J.Int r.CE.Verify.seed);
+    ]
+
+let print_cert_report ~json (r : CE.Verify.report) =
+  if json then print_endline (cert_report_json r)
+  else
+    Fmt.pr
+      "certificate %s: VERIFIED (%d operators, %d outputs, %d expressions \
+       replayed, tol %g, seed %d)@."
+      r.CE.Verify.id r.CE.Verify.operators r.CE.Verify.outputs_checked
+      r.CE.Verify.exprs_replayed r.CE.Verify.tol r.CE.Verify.seed
+
+let print_cert_error ~json (e : CE.Cert_error.t) =
+  if json then print_endline (cert_error_json e)
+  else Fmt.pr "certificate REJECTED: %a@." CE.Cert_error.pp e
+
+(* [cert export]: run the check (locally or on the daemon via
+   cert-fetch) and write the portable bundle. Either way the bundle on
+   disk has passed the minimal verifier once: the local path re-verifies
+   its own export as a self-check, the remote path re-verifies because
+   the daemon is outside the trust boundary. *)
+let cert_export_cmd =
+  let run opts model out =
+    Output_opts.with_sink opts (fun sink ->
+        match Zoo.by_name model with
+        | None ->
+            Fmt.epr "unknown model %s; try: %a@." model
+              Fmt.(list ~sep:comma string)
+              Zoo.names;
+            124
+        | Some inst -> (
+            let finish bundle_text =
+              match CE.Verify.check_string bundle_text with
+              | Error e ->
+                  Fmt.epr "exported bundle failed re-verification: %a@."
+                    CE.Cert_error.pp e;
+                  3
+              | Ok report ->
+                  write_text ~out bundle_text;
+                  Fmt.epr "certificate %s: verified before writing@."
+                    report.CE.Verify.id;
+                  0
+            in
+            match opts.Output_opts.remote with
+            | Some socket -> (
+                let module Cl = Serve.Client in
+                let module P = Serve.Protocol in
+                let req =
+                  P.Cert_fetch
+                    {
+                      options =
+                        remote_options opts
+                          ~family:
+                            (Some
+                               (Entangle_lemmas.Registry.family_name
+                                  inst.Instance.family));
+                      gs = Entangle_ir.Serial.graph_to_sexp inst.Instance.gs;
+                      gd = Entangle_ir.Serial.graph_to_sexp inst.Instance.gd;
+                      relation =
+                        Entangle.Relation_io.to_sexp
+                          inst.Instance.input_relation;
+                      env =
+                        Entangle.Cert_export.env_bindings inst.Instance.env;
+                    }
+                in
+                match Cl.call ~retry:(retry_of_opts opts) ~socket req with
+                | Error e ->
+                    Fmt.epr "cannot reach daemon on %s: %s@." socket
+                      (Cl.error_message e);
+                    124
+                | Ok (P.Error_reply { code; message }) ->
+                    Fmt.epr "daemon error: %s@." message;
+                    P.error_exit_code code
+                | Ok (P.Checked r) ->
+                    (* the check ran but did not refine: no bundle *)
+                    Fmt.pr "%s@." r.P.report;
+                    r.P.exit_code
+                | Ok (P.Cert_bundle { bundle }) -> finish bundle
+                | Ok _ ->
+                    Fmt.epr "unexpected daemon reply@.";
+                    3)
+            | None -> (
+                let config = Output_opts.config opts sink in
+                match Instance.check ~config inst with
+                | Error failure ->
+                    Fmt.pr "%a@."
+                      (Entangle.Report.pp_failure inst.Instance.gs)
+                      failure;
+                    Entangle.Refine.exit_code (Error failure)
+                | Ok success -> (
+                    match
+                      Entangle.Cert_export.bundle ~producer:"entangle-cli"
+                        ~gs:inst.Instance.gs ~gd:inst.Instance.gd
+                        ~env:inst.Instance.env
+                        ~input_relation:inst.Instance.input_relation success
+                    with
+                    | Error e ->
+                        Fmt.epr "cannot export certificate: %s@." e;
+                        3
+                    | Ok b -> finish (CE.Bundle.to_string b)))))
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the bundle (default stdout).")
+  in
+  let info =
+    Cmd.info "export" ~exits:verdict_exits
+      ~doc:
+        "Check a built-in model and write its portable certificate bundle. \
+         With $(b,--remote) the daemon runs the check ($(b,cert-fetch)) and \
+         the bundle is re-verified locally with the minimal verifier before \
+         it is written — the daemon is outside the trust boundary."
+  in
+  Cmd.v info Term.(const run $ Output_opts.term $ model_arg $ out)
+
+let cert_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"BUNDLE" ~doc:"Certificate bundle file.")
+
+let cert_verify_cmd =
+  let run opts file =
+    Output_opts.with_sink opts (fun _sink ->
+        let text = read_file file in
+        match opts.Output_opts.remote with
+        | None -> (
+            match CE.Verify.check_string text with
+            | Ok report ->
+                print_cert_report ~json:opts.Output_opts.json report;
+                0
+            | Error e ->
+                print_cert_error ~json:opts.Output_opts.json e;
+                1)
+        | Some socket -> (
+            let module Cl = Serve.Client in
+            let module P = Serve.Protocol in
+            match
+              Cl.call ~retry:(retry_of_opts opts) ~socket
+                (P.Cert_push { bundle = text })
+            with
+            | Error e ->
+                Fmt.epr "cannot reach daemon on %s: %s@." socket
+                  (Cl.error_message e);
+                124
+            | Ok (P.Error_reply { code; message }) ->
+                Fmt.epr "daemon error: %s@." message;
+                P.error_exit_code code
+            | Ok (P.Cert_verdict_reply v) ->
+                let module J = Trace.Jsonw in
+                if opts.Output_opts.json then
+                  print_endline
+                    (J.envelope ~name:"cert-verify" ~version:1
+                       [
+                         ("accepted", J.Bool v.P.accepted);
+                         ( "id",
+                           match v.P.cert_id with
+                           | Some i -> J.Str i
+                           | None -> J.Null );
+                         ( "code",
+                           match v.P.cert_code with
+                           | Some c -> J.Str c
+                           | None -> J.Null );
+                         ("detail", J.Str v.P.cert_detail);
+                       ])
+                else if v.P.accepted then
+                  Fmt.pr "daemon accepted certificate%a: %s@."
+                    Fmt.(option (fmt " %s"))
+                    v.P.cert_id v.P.cert_detail
+                else
+                  Fmt.pr "daemon REJECTED certificate (%s): %s@."
+                    (Option.value v.P.cert_code ~default:"?")
+                    v.P.cert_detail;
+                if v.P.accepted then 0 else 1
+            | Ok _ ->
+                Fmt.epr "unexpected daemon reply@.";
+                3))
+  in
+  let info =
+    Cmd.info "verify"
+      ~doc:
+        "Verify a certificate bundle with the independent minimal verifier \
+         (replay, cleanliness and shape inference only — no e-graph). With \
+         $(b,--remote) the bundle is pushed to the daemon ($(b,cert-push)) \
+         and its verdict reported. Exits 0 when accepted, 1 with the \
+         structured $(b,CERT)$(i,nnn) code when rejected."
+  in
+  Cmd.v info Term.(const run $ Output_opts.term $ cert_file_arg)
+
+let cert_inspect_cmd =
+  let run opts file =
+    Output_opts.with_sink opts (fun _sink ->
+        match CE.Bundle.of_string (read_file file) with
+        | Error e ->
+            print_cert_error ~json:opts.Output_opts.json e;
+            1
+        | Ok b ->
+            let stmt = CE.Bundle.statement b in
+            if opts.Output_opts.json then begin
+              let module J = Trace.Jsonw in
+              print_endline
+                (J.envelope ~name:"cert-inspect" ~version:1
+                   [
+                     ("id", J.Str (CE.Bundle.id b));
+                     ("schema", J.Int CE.Bundle.schema);
+                     ("producer", J.Str b.CE.Bundle.producer);
+                     ( "statement",
+                       J.Obj
+                         (List.map
+                            (fun (k, v) -> (k, J.Str v))
+                            (CE.Bundle.statement_fields stmt)) );
+                     ("env", J.Int (List.length b.CE.Bundle.env));
+                     ("inputs", J.Int (List.length b.CE.Bundle.inputs));
+                     ("outputs", J.Int (List.length b.CE.Bundle.outputs));
+                     ("operators", J.Int (List.length b.CE.Bundle.operators));
+                   ])
+            end
+            else begin
+              Fmt.pr "bundle %s (schema %d, producer %s)@." (CE.Bundle.id b)
+                CE.Bundle.schema b.CE.Bundle.producer;
+              Fmt.pr "  statement:@.";
+              List.iter
+                (fun (k, v) -> Fmt.pr "    %-9s %s@." k v)
+                (CE.Bundle.statement_fields stmt);
+              Fmt.pr
+                "  payload: %d env bindings, %d inputs, %d outputs, %d \
+                 operator entries@."
+                (List.length b.CE.Bundle.env)
+                (List.length b.CE.Bundle.inputs)
+                (List.length b.CE.Bundle.outputs)
+                (List.length b.CE.Bundle.operators)
+            end;
+            0)
+  in
+  let info =
+    Cmd.info "inspect"
+      ~doc:
+        "Parse and integrity-check a bundle (framing, version, section \
+         digests, statement binding) and print its manifest without \
+         semantic verification. Exits 1 with the $(b,CERT)$(i,nnn) code on \
+         a damaged bundle."
+  in
+  Cmd.v info Term.(const run $ Output_opts.term $ cert_file_arg)
+
+let cert_cmd =
+  let info =
+    Cmd.info "cert"
+      ~doc:
+        "Portable tamper-evident certificate bundles: export a checked \
+         model's certificate, verify a bundle with the independent minimal \
+         verifier, inspect a bundle's manifest. See DESIGN.md for the \
+         bundle grammar and the $(b,CERT) error taxonomy."
+  in
+  Cmd.group info [ cert_export_cmd; cert_verify_cmd; cert_inspect_cmd ]
 
 (* --- serve / remote: the resident checker service ------------------------ *)
 
@@ -1305,6 +1647,7 @@ let main =
       lint_cmd;
       trace_check_cmd;
       cache_cmd;
+      cert_cmd;
       serve_cmd;
       remote_cmd;
     ]

@@ -276,6 +276,12 @@ let put ctx ~key entry =
 let stats (t : t) = Store.stats t.store
 let clear (t : t) = Store.clear t.store
 let gc ?budget (t : t) = Store.gc ?budget t.store
+let export_archive (t : t) = Store.export_all t.store
+
+let import_archive (t : t) text =
+  Store.import_all
+    ~check:(fun ~key:_ payload -> Result.is_ok (validate_payload payload))
+    t.store text
 
 let verify (t : t) =
   Store.verify t.store ~check:(fun ~key:_ payload ->

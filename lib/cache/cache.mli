@@ -109,6 +109,15 @@ val clear : t -> int
 val gc : ?budget:Store.budget -> t -> Store.gc_result
 (** One-shot retention sweep — see {!Store.gc}. *)
 
+val export_archive : t -> string * int
+(** Dump every valid entry as a portable archive ({!Store.export_all}):
+    quarantined, version-skewed and corrupt entries can never export
+    because reads go through the validating [get] path. *)
+
+val import_archive : t -> string -> (int * int, string) result
+(** Import an archive, structurally validating each payload with
+    {!validate_payload}; [(imported, rejected)]. *)
+
 val verify : t -> Store.verify_result
 (** Structurally validate every entry's payload (header, key and
     s-expression shape); damaged entries are quarantined. *)

@@ -1,65 +1,15 @@
 (** Canonical content fingerprints over IR graphs.
 
-    A fingerprint is a Merkle-style hash: a tensor produced by a node
-    hashes the operator (with its attributes, via {!Op.key}), the
-    fingerprints of the node's input tensors, and the output's name,
-    symbolic shape and dtype. Graph-input tensors hash their name,
-    shape and dtype. Node and tensor {e identifiers} never enter a
-    fingerprint — ids are process-global counters, so fingerprints are
-    stable across builds and invariant under node-id renaming, which is
-    what makes them usable as persistent cache keys.
+    This module is {!Entangle_fingerprint.Fingerprint} (see its
+    documentation for the hashing discipline) re-exported under the
+    cache library, plus the rule-corpus fingerprint — the only hash
+    that must inspect e-graph patterns and therefore cannot live in the
+    egraph-free fingerprint library. *)
 
-    Two tensors with equal fingerprints compute equal values from
-    equally-named graph inputs; renaming an intermediate changes its
-    fingerprint (conservative: a rename invalidates rather than
-    aliases, since cached certificates resolve leaves by name). *)
-
-open Entangle_symbolic
-open Entangle_ir
-
-type t
-(** A fingerprint: a fixed-width hex digest. *)
-
-val equal : t -> t -> bool
-val compare : t -> t -> int
-val to_hex : t -> string
-val pp : t Fmt.t
-
-val strings : string list -> t
-(** Hash an ordered list of strings (with unambiguous framing). *)
-
-type env
-(** Per-graph memo mapping each tensor of the graph to its Merkle
-    fingerprint. *)
-
-val graph_env : Graph.t -> env
-(** Fingerprint every tensor of the graph: inputs as leaves, node
-    outputs from their defining node. Nodes are visited in list order,
-    which {!Graph.Builder} guarantees is topological. *)
-
-val tensor : env -> Tensor.t -> t
-(** The memoized fingerprint; a tensor outside the environment's graph
-    (e.g. an opaque placeholder) gets a leaf-style fingerprint from its
-    name, shape and dtype. *)
-
-val node : env -> Node.t -> t
-(** [H(Op.key, input fingerprints, output name/shape/dtype)] — equals
-    [tensor env (Node.output n)] when [n] belongs to the environment's
-    graph. *)
-
-val expr : env -> Expr.t -> t
-(** Structural hash of an expression; leaves via {!tensor}. *)
-
-val exprs : env -> Expr.t list -> t
-(** Order-independent (sorted) hash of a mapping set. *)
-
-val graph : Graph.t -> t
-(** Whole-graph fingerprint: constraints plus the sorted input, output
-    and node fingerprints — invariant under node-id renaming and node
-    reordering. *)
-
-val constraints : Constraint_store.t -> t
-(** Order-independent hash of the symbolic constraint store. *)
+include
+  module type of Entangle_fingerprint.Fingerprint
+    with type t = Entangle_fingerprint.Fingerprint.t
+     and type env = Entangle_fingerprint.Fingerprint.env
 
 val rules : Entangle_egraph.Rule.t list -> t
 (** Corpus fingerprint: per rule, its name, left-hand pattern, applier

@@ -369,6 +369,73 @@ let gc ?budget:b t =
     remaining_bytes;
   }
 
+(* --- portable archives --------------------------------------------- *)
+
+let archive_header = "entangle-cache-archive/1"
+
+let export_all t =
+  let keys = ref [] in
+  locked t (fun () ->
+      iter_entries t (fun ~key ~path:_ -> keys := key :: !keys));
+  let b = Buffer.create 4096 in
+  Buffer.add_string b archive_header;
+  Buffer.add_char b '\n';
+  let n = ref 0 in
+  List.iter
+    (fun key ->
+      (* Reading through [get] applies the full validation path:
+         version-skewed entries self-invalidate, damaged entries are
+         quarantined, expired entries miss — none of them can reach an
+         archive. *)
+      match get t ~key with
+      | None -> ()
+      | Some payload ->
+          incr n;
+          Buffer.add_string b key;
+          Buffer.add_char b '\n';
+          Buffer.add_string b (string_of_int (String.length payload));
+          Buffer.add_char b '\n';
+          Buffer.add_string b payload;
+          Buffer.add_char b '\n')
+    (List.sort String.compare !keys);
+  (Buffer.contents b, !n)
+
+let import_all ?(check = fun ~key:_ _ -> true) t text =
+  match split_line text with
+  | None -> Error "empty archive"
+  | Some (header, _) when not (String.equal header archive_header) ->
+      Error (Fmt.str "unrecognized archive header %S" header)
+  | Some (_, rest) ->
+      let rec loop rest imported rejected =
+        if String.equal rest "" then Ok (imported, rejected)
+        else
+          match split_line rest with
+          | None -> Error "truncated archive: dangling key"
+          | Some (key, rest) -> (
+              match split_line rest with
+              | None -> Error "truncated archive: missing payload length"
+              | Some (len_s, rest) -> (
+                  match int_of_string_opt len_s with
+                  | None ->
+                      Error (Fmt.str "bad payload length %S for %s" len_s key)
+                  | Some len ->
+                      if String.length rest < len + 1 then
+                        Error (Fmt.str "truncated archive: payload of %s" key)
+                      else
+                        let payload = String.sub rest 0 len in
+                        let rest =
+                          String.sub rest (len + 1)
+                            (String.length rest - len - 1)
+                        in
+                        if not (check ~key payload) then
+                          loop rest imported (rejected + 1)
+                        else
+                          (match put t ~key payload with
+                          | Ok () -> loop rest (imported + 1) rejected
+                          | Error e -> Error e)))
+      in
+      loop rest 0 0
+
 type verify_result = { checked : int; ok : int; invalid : int }
 
 let verify t ~check =

@@ -116,6 +116,29 @@ val gc : ?budget:budget -> t -> gc_result
     for non-resident users): apply [budget] (default: the handle's)
     and clean stale temp files. A no-op on an unbounded budget. *)
 
+(** {2 Portable archives}
+
+    A plain-text, length-prefixed dump of every {e valid} entry:
+    reading goes through {!get}, so version-skewed entries
+    self-invalidate, damaged entries quarantine and expired entries
+    miss — none of them can reach an archive. Importing re-[put]s each
+    entry (atomic writes, budget sweeps apply). *)
+
+val archive_header : string
+(** First line of an archive, ["entangle-cache-archive/1"]. *)
+
+val export_all : t -> string * int
+(** The archive text and the number of entries it carries. *)
+
+val import_all :
+  ?check:(key:string -> string -> bool) ->
+  t ->
+  string ->
+  (int * int, string) result
+(** [(imported, rejected)]: entries failing [check] (default: accept
+    all) are skipped and counted in [rejected]; a malformed or
+    truncated archive is an [Error] (entries already imported stay). *)
+
 type verify_result = { checked : int; ok : int; invalid : int }
 
 val verify : t -> check:(key:string -> string -> bool) -> verify_result

@@ -1,0 +1,289 @@
+open Entangle_symbolic
+open Entangle_ir
+module E = Cert_error
+
+let ( let* ) = Result.bind
+let err code fmt = Fmt.kstr (fun d -> Error (E.make code d)) fmt
+
+type report = {
+  id : string;
+  operators : int;
+  outputs_checked : int;
+  exprs_replayed : int;
+  tol : float;
+  seed : int;
+}
+
+(* ---------------- static checks (CERT006..CERT009) ---------------- *)
+
+let symbols_of_graph g =
+  let add acc d = List.fold_left (fun acc s -> s :: acc) acc (Symdim.symbols d) in
+  let of_shape acc sh = List.fold_left add acc sh in
+  let acc = List.fold_left (fun acc t -> of_shape acc (Tensor.shape t)) [] (Graph.tensors g) in
+  let acc =
+    List.fold_left
+      (fun acc c ->
+        match c with
+        | Constraint_store.Ge d | Constraint_store.Eq d -> add acc d)
+      acc
+      (Constraint_store.constraints (Graph.constraints g))
+  in
+  List.sort_uniq String.compare acc
+
+let check_env (b : Bundle.t) =
+  let bound = List.map fst b.env in
+  let missing =
+    List.filter
+      (fun s -> not (List.mem s bound))
+      (List.sort_uniq String.compare (symbols_of_graph b.gs @ symbols_of_graph b.gd))
+  in
+  match missing with
+  | [] -> Ok ()
+  | ss -> err E.Incomplete "env leaves shape symbols unbound: %s" (String.concat ", " ss)
+
+let check_coverage what covered required =
+  let missing =
+    List.filter (fun t -> not (List.exists (Tensor.equal t) covered)) required
+  in
+  match missing with
+  | [] -> Ok ()
+  | ts ->
+      err E.Incomplete "%s misses %s" what
+        (String.concat ", " (List.map Tensor.name ts))
+
+let in_set set t = List.exists (Tensor.equal t) set
+
+let check_exprs ~what ~target ~scope ~scope_name ~constraints es =
+  List.fold_left
+    (fun acc e ->
+      let* () = acc in
+      let* () =
+        if Expr.is_clean e then Ok ()
+        else err E.Unclean "%s: %a is not clean" what Expr.pp e
+      in
+      let* () =
+        match List.filter (fun l -> not (in_set scope l)) (Expr.leaves e) with
+        | [] -> Ok ()
+        | ls ->
+            err E.Leaf_out_of_scope "%s: leaves %s are not %s" what
+              (String.concat ", " (List.map Tensor.name ls))
+              scope_name
+      in
+      match Expr.infer_shape constraints e with
+      | Error m -> err E.Shape_mismatch "%s: shape inference failed: %s" what m
+      | Ok sh ->
+          if Shape.equal constraints sh (Tensor.shape target) then Ok ()
+          else
+            err E.Shape_mismatch "%s: %a has shape %a, expected %a" what Expr.pp
+              e Shape.pp sh Shape.pp (Tensor.shape target))
+    (Ok ()) es
+
+let check_static (b : Bundle.t) =
+  let* () = check_env b in
+  let* () =
+    check_coverage "input relation" (List.map fst b.inputs) (Graph.inputs b.gs)
+  in
+  let* () =
+    check_coverage "output relation" (List.map fst b.outputs) (Graph.outputs b.gs)
+  in
+  let node_outputs = List.map Node.output (Graph.nodes b.gs) in
+  let covered_ops =
+    List.filter_map
+      (fun (e : Bundle.operator_entry) -> Serial.tensor_by_name b.gs e.op_output)
+      b.operators
+  in
+  let* () = check_coverage "operator entries" covered_ops node_outputs in
+  let* () =
+    List.fold_left
+      (fun acc (e : Bundle.operator_entry) ->
+        let* () = acc in
+        if e.op_mappings = [] then
+          err E.Incomplete "operator entry %s carries no mapping" e.op_output
+        else Ok ())
+      (Ok ()) b.operators
+  in
+  let constraints = Graph.constraints b.gd in
+  let gd_inputs = Graph.inputs b.gd
+  and gd_outputs = Graph.outputs b.gd
+  and gd_tensors = Graph.tensors b.gd in
+  let* () =
+    List.fold_left
+      (fun acc (t, es) ->
+        let* () = acc in
+        check_exprs
+          ~what:(Fmt.str "input relation for %s" (Tensor.name t))
+          ~target:t ~scope:gd_inputs ~scope_name:"distributed inputs"
+          ~constraints es)
+      (Ok ()) b.inputs
+  in
+  let* () =
+    List.fold_left
+      (fun acc (t, es) ->
+        let* () = acc in
+        check_exprs
+          ~what:(Fmt.str "output relation for %s" (Tensor.name t))
+          ~target:t ~scope:gd_outputs ~scope_name:"distributed outputs"
+          ~constraints es)
+      (Ok ()) b.outputs
+  in
+  List.fold_left
+    (fun acc (e : Bundle.operator_entry) ->
+      let* () = acc in
+      match Serial.tensor_by_name b.gs e.op_output with
+      | None ->
+          err E.Leaf_out_of_scope
+            "operator entry %s is not a sequential tensor" e.op_output
+      | Some t ->
+          check_exprs
+            ~what:(Fmt.str "operator entry %s" e.op_output)
+            ~target:t ~scope:gd_tensors ~scope_name:"distributed tensors"
+            ~constraints e.op_mappings)
+    (Ok ()) b.operators
+
+(* ---------------- concrete replay (CERT010) ----------------------- *)
+
+(* Re-implementation of the certification replay over raw bindings:
+   union-find over distributed inputs forced equal by replication in
+   the input relation, random inputs per group, sequential inputs
+   derived by evaluating the input relation, both graphs interpreted,
+   every output-relation expression replayed and compared. Kept free of
+   lib/core so the verifier stays independent. *)
+
+let replication_groups bindings =
+  let parent : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let rec find i =
+    match Hashtbl.find_opt parent i with
+    | Some p when p <> i ->
+        let r = find p in
+        Hashtbl.replace parent i r;
+        r
+    | _ -> i
+  in
+  let union a b =
+    Hashtbl.replace parent (max (find a) (find b)) (min (find a) (find b))
+  in
+  List.iter
+    (fun (_, exprs) ->
+      let leaf_only =
+        List.filter_map
+          (function Expr.Leaf t -> Some (Tensor.id t :> int) | _ -> None)
+          exprs
+      in
+      match leaf_only with
+      | first :: rest -> List.iter (union first) rest
+      | [] -> ())
+    bindings;
+  find
+
+let replay ?(tol = 1e-3) ?(seed = 42) ?(max_mismatches = 8) (b : Bundle.t) =
+  let env = Interp.env_of_list b.env in
+  let st = Random.State.make [| seed |] in
+  let canon = replication_groups b.inputs in
+  let by_group : (int, Ndarray.t) Hashtbl.t = Hashtbl.create 16 in
+  let gd_inputs =
+    List.map
+      (fun t ->
+        let key = canon (Tensor.id t :> int) in
+        match Hashtbl.find_opt by_group key with
+        | Some v -> (t, v)
+        | None ->
+            let dims = Shape.concrete (Interp.lookup env) (Tensor.shape t) in
+            let v =
+              if Dtype.is_integer (Tensor.dtype t) then
+                Ndarray.random_ints st ~hi:8 dims
+              else Ndarray.random st dims
+            in
+            Hashtbl.replace by_group key v;
+            (t, v))
+      (Graph.inputs b.gd)
+  in
+  let lookup_gd_input t =
+    match List.find_opt (fun (u, _) -> Tensor.equal t u) gd_inputs with
+    | Some (_, v) -> v
+    | None -> invalid_arg (Fmt.str "%a is not a gd input" Tensor.pp t)
+  in
+  let* gs_inputs =
+    List.fold_left
+      (fun acc t ->
+        let* acc = acc in
+        match List.find_opt (fun (u, _) -> Tensor.equal t u) b.inputs with
+        | None | Some (_, []) ->
+            err E.Incomplete "input relation misses gs input %s" (Tensor.name t)
+        | Some (_, expr :: rest) ->
+            let value = Interp.eval_expr env lookup_gd_input expr in
+            let consistent =
+              List.for_all
+                (fun e ->
+                  Ndarray.approx_equal ~tol value
+                    (Interp.eval_expr env lookup_gd_input e))
+                rest
+            in
+            if not consistent then
+              err E.Replay_mismatch
+                "input relation mappings for %s are inconsistent"
+                (Tensor.name t)
+            else Ok ((t, value) :: acc))
+      (Ok []) (Graph.inputs b.gs)
+  in
+  let vs = Interp.run env b.gs ~inputs:gs_inputs in
+  let vd = Interp.run env b.gd ~inputs:gd_inputs in
+  let lookup_gd t =
+    match Tensor.Map.find_opt t vd with
+    | Some v -> v
+    | None -> invalid_arg (Fmt.str "%a not computed in gd" Tensor.pp t)
+  in
+  (* Accumulate every failing output expression (bounded), rather than
+     stopping at the first. *)
+  let mismatches = ref [] in
+  let replayed = ref 0 in
+  let* () =
+    List.fold_left
+      (fun acc output ->
+        let* () = acc in
+        match List.find_opt (fun (u, _) -> Tensor.equal output u) b.outputs with
+        | None | Some (_, []) ->
+            err E.Incomplete "output relation misses %s" (Tensor.name output)
+        | Some (_, exprs) ->
+            let expected = Tensor.Map.find output vs in
+            List.iter
+              (fun expr ->
+                if List.length !mismatches < max_mismatches then begin
+                  incr replayed;
+                  let got = Interp.eval_expr env lookup_gd expr in
+                  if not (Ndarray.approx_equal ~tol expected got) then
+                    mismatches :=
+                      Fmt.str "output %s: replaying %a differs by %g"
+                        (Tensor.name output) Expr.pp expr
+                        (Ndarray.max_abs_diff expected got)
+                      :: !mismatches
+                end)
+              exprs;
+            Ok ())
+      (Ok ()) (Graph.outputs b.gs)
+  in
+  match List.rev !mismatches with
+  | [] -> Ok !replayed
+  | ms ->
+      err E.Replay_mismatch "%d mismatching output expression(s): %s"
+        (List.length ms) (String.concat "; " ms)
+
+let check ?(tol = 1e-3) ?(seed = 42) ?(max_mismatches = 8) (b : Bundle.t) =
+  let* () = check_static b in
+  let* exprs_replayed =
+    try replay ~tol ~seed ~max_mismatches b
+    with exn ->
+      err E.Replay_mismatch "replay raised: %s" (Printexc.to_string exn)
+  in
+  Ok
+    {
+      id = Bundle.id b;
+      operators = List.length b.operators;
+      outputs_checked = List.length (Graph.outputs b.gs);
+      exprs_replayed;
+      tol;
+      seed;
+    }
+
+let check_string ?tol ?seed ?max_mismatches text =
+  let* b = Bundle.of_string text in
+  check ?tol ?seed ?max_mismatches b

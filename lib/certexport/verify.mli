@@ -1,0 +1,46 @@
+(** The independent minimal verifier.
+
+    Checks a certificate bundle using only {e replay, cleanliness and
+    shape inference} — no e-graph, no saturation, no rewrite corpus.
+    Its trust boundary is deliberately small: accepting a bundle means
+    "under the carried concrete shape assignment, the distributed
+    graph's outputs reconstruct the sequential graph's outputs via the
+    carried clean expressions, whose symbolic shapes also agree" — it
+    does not re-establish the producer's saturation proof, and it
+    trusts its own interpreter and the statement fingerprints the
+    caller compares against an expected statement.
+
+    Check order (first failure wins, one structured code each):
+    [CERT006] completeness (env symbols, inputs, outputs, operators),
+    [CERT007] cleanliness, [CERT008] leaf scope, [CERT009] symbolic
+    shape agreement, [CERT010] concrete replay. Framing and integrity
+    ([CERT001]–[CERT005]) are {!Bundle.of_string}'s job. *)
+
+type report = {
+  id : string;  (** the bundle's content address *)
+  operators : int;  (** operator entries checked *)
+  outputs_checked : int;  (** sequential outputs replayed *)
+  exprs_replayed : int;  (** output-relation expressions evaluated *)
+  tol : float;
+  seed : int;
+}
+
+val check :
+  ?tol:float ->
+  ?seed:int ->
+  ?max_mismatches:int ->
+  Bundle.t ->
+  (report, Cert_error.t) result
+(** Verify an already-parsed (hence integrity-checked) bundle. Replay
+    accumulates up to [max_mismatches] (default 8) failing output
+    expressions into one [CERT010] error instead of stopping at the
+    first. *)
+
+val check_string :
+  ?tol:float ->
+  ?seed:int ->
+  ?max_mismatches:int ->
+  string ->
+  (report, Cert_error.t) result
+(** {!Bundle.of_string} followed by {!check}: the one-call path a
+    consumer should use on untrusted bytes. *)

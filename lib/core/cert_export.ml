@@ -1,0 +1,31 @@
+open Entangle_ir
+module Bundle = Entangle_certexport.Bundle
+
+module SM = Map.Make (String)
+
+let env_bindings (env : Interp.env) = SM.bindings env
+
+let bundle ~producer ~gs ~gd ~env ~input_relation (success : Refine.success) =
+  let ( let* ) = Result.bind in
+  let* operators =
+    List.fold_left
+      (fun acc n ->
+        let* acc = acc in
+        let out = Node.output n in
+        match Relation.find success.Refine.full_relation out with
+        | [] ->
+            Error
+              (Fmt.str
+                 "operator %s has no relation entry to export (partial result?)"
+                 (Tensor.name out))
+        | mappings ->
+            Ok
+              ({ Bundle.op_output = Tensor.name out; op_mappings = mappings }
+              :: acc))
+      (Ok []) (Graph.nodes gs)
+  in
+  Ok
+    (Bundle.make ~producer ~gs ~gd ~env:(env_bindings env)
+       ~inputs:(Relation.bindings input_relation)
+       ~outputs:(Relation.bindings success.Refine.output_relation)
+       ~operators:(List.rev operators) ())

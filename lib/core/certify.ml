@@ -28,8 +28,8 @@ let replication_groups input_relation =
     (Relation.bindings input_relation);
   find
 
-let replay ?(tol = 1e-3) ?(seed = 42) ~env ~gs ~gd ~input_relation
-    ~output_relation () =
+let replay ?(tol = 1e-3) ?(seed = 42) ?(max_mismatches = 1) ~env ~gs ~gd
+    ~input_relation ~output_relation () =
   let ( let* ) = Result.bind in
   let st = Random.State.make [| seed |] in
   let canon = replication_groups input_relation in
@@ -89,25 +89,36 @@ let replay ?(tol = 1e-3) ?(seed = 42) ~env ~gs ~gd ~input_relation
     | Some v -> v
     | None -> invalid_arg (Fmt.str "certify: %a not computed in gd" Tensor.pp t)
   in
-  List.fold_left
-    (fun acc output ->
-      let* () = acc in
-      match Relation.find output_relation output with
-      | [] ->
-          Error (Fmt.str "output relation misses %a" Tensor.pp_name output)
-      | exprs ->
-          let expected = Tensor.Map.find output vs in
-          List.fold_left
-            (fun acc expr ->
-              let* () = acc in
-              let got = Interp.eval_expr env lookup_gd expr in
-              if Ndarray.approx_equal ~tol expected got then Ok ()
-              else
-                Error
-                  (Fmt.str
-                     "output %a: replaying %a differs from the sequential \
-                      value by %g"
-                     Tensor.pp_name output Expr.pp expr
-                     (Ndarray.max_abs_diff expected got)))
-            (Ok ()) exprs)
-    (Ok ()) (Graph.outputs gs)
+  (* Mismatches accumulate (bounded by [max_mismatches], default 1 —
+     the historical first-mismatch behavior) so certificate
+     verification can report every failing output expression in one
+     pass; structural gaps in the relation still fail immediately. *)
+  let mismatches = ref [] in
+  let* () =
+    List.fold_left
+      (fun acc output ->
+        let* () = acc in
+        match Relation.find output_relation output with
+        | [] ->
+            Error (Fmt.str "output relation misses %a" Tensor.pp_name output)
+        | exprs ->
+            let expected = Tensor.Map.find output vs in
+            List.iter
+              (fun expr ->
+                if List.length !mismatches < max_mismatches then
+                  let got = Interp.eval_expr env lookup_gd expr in
+                  if not (Ndarray.approx_equal ~tol expected got) then
+                    mismatches :=
+                      Fmt.str
+                        "output %a: replaying %a differs from the sequential \
+                         value by %g"
+                        Tensor.pp_name output Expr.pp expr
+                        (Ndarray.max_abs_diff expected got)
+                      :: !mismatches)
+              exprs;
+            Ok ())
+      (Ok ()) (Graph.outputs gs)
+  in
+  match List.rev !mismatches with
+  | [] -> Ok ()
+  | ms -> Error (String.concat "; " ms)

@@ -14,6 +14,7 @@ open Entangle_ir
 val replay :
   ?tol:float ->
   ?seed:int ->
+  ?max_mismatches:int ->
   env:Interp.env ->
   gs:Graph.t ->
   gd:Graph.t ->
@@ -22,4 +23,7 @@ val replay :
   unit ->
   (unit, string) result
 (** [Ok ()] when every mapped sequential output is reconstructed within
-    [tol] (default 1e-3); [Error] describes the first mismatch. *)
+    [tol] (default 1e-3). On disagreement the [Error] accumulates up to
+    [max_mismatches] failing output expressions (default 1 — the
+    historical first-mismatch behavior), joined with ["; "], so callers
+    like [cert verify] can surface every broken output in one run. *)

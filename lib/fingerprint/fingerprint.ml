@@ -1,0 +1,90 @@
+open Entangle_symbolic
+open Entangle_ir
+
+type t = string
+
+let equal = String.equal
+let compare = String.compare
+let to_hex fp = fp
+let of_hex fp = if String.length fp = 32 then Some fp else None
+let pp = Fmt.string
+
+(* Length-prefixed framing so ["ab";"c"] and ["a";"bc"] cannot
+   collide, then one MD5 over the frame. MD5 is not cryptographic, but
+   fingerprints are an integrity aid, not a security boundary: a
+   collision costs a wrong replay candidate, which certificate
+   validation rejects. *)
+let digest tag parts =
+  let b = Buffer.create 64 in
+  Buffer.add_string b tag;
+  List.iter
+    (fun p ->
+      Buffer.add_char b '/';
+      Buffer.add_string b (string_of_int (String.length p));
+      Buffer.add_char b ':';
+      Buffer.add_string b p)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let strings parts = digest "s" parts
+
+type env = (int, string) Hashtbl.t
+
+let leaf_fp t =
+  digest "t"
+    [
+      Tensor.name t;
+      Shape.to_string (Tensor.shape t);
+      Dtype.to_string (Tensor.dtype t);
+    ]
+
+let tensor env t =
+  match Hashtbl.find_opt env (Tensor.id t :> int) with
+  | Some fp -> fp
+  | None -> leaf_fp t
+
+let node env n =
+  let out = Node.output n in
+  digest "n"
+    (Op.key (Node.op n)
+    :: (List.map (tensor env) (Node.inputs n)
+       @ [
+           Tensor.name out;
+           Shape.to_string (Tensor.shape out);
+           Dtype.to_string (Tensor.dtype out);
+         ]))
+
+let graph_env g =
+  let env = Hashtbl.create 64 in
+  List.iter
+    (fun t -> Hashtbl.replace env (Tensor.id t :> int) (leaf_fp t))
+    (Graph.inputs g);
+  List.iter
+    (fun n ->
+      Hashtbl.replace env (Tensor.id (Node.output n) :> int) (node env n))
+    (Graph.nodes g);
+  env
+
+let rec expr env = function
+  | Expr.Leaf t -> tensor env t
+  | Expr.App (op, args) -> digest "e" (Op.key op :: List.map (expr env) args)
+
+let exprs env es = digest "es" (List.sort String.compare (List.map (expr env) es))
+
+let constraints store =
+  let render = function
+    | Constraint_store.Ge d -> "ge " ^ Symdim.to_string d
+    | Constraint_store.Eq d -> "eq " ^ Symdim.to_string d
+  in
+  digest "c"
+    (List.sort String.compare
+       (List.map render (Constraint_store.constraints store)))
+
+let graph g =
+  let env = graph_env g in
+  let sorted fps = List.sort String.compare fps in
+  digest "g"
+    (constraints (Graph.constraints g)
+    :: (sorted (List.map (tensor env) (Graph.inputs g))
+       @ ("|" :: sorted (List.map (tensor env) (Graph.outputs g)))
+       @ ("|" :: sorted (List.map (node env) (Graph.nodes g)))))

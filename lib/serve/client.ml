@@ -153,6 +153,31 @@ let request t req =
   let* id = send t req in
   read_response t ~id
 
+(* Pipelining: write every request frame before reading any response.
+   The server answers strictly in request order, so matching the i-th
+   response to the i-th sent id is exact, not heuristic. Check_batch is
+   excluded — its response is a multi-frame stream, which would
+   desynchronize the one-frame-per-request accounting here. *)
+let pipeline t reqs =
+  if
+    List.exists (function P.Check_batch _ -> true | _ -> false) reqs
+  then fail "pipeline: check-batch streams multiple frames; send it alone"
+  else
+    let rec send_all acc = function
+      | [] -> Ok (List.rev acc)
+      | req :: rest ->
+          let* id = send t req in
+          send_all (id :: acc) rest
+    in
+    let* ids = send_all [] reqs in
+    let rec read_all acc = function
+      | [] -> Ok (List.rev acc)
+      | id :: rest ->
+          let* resp = read_response t ~id in
+          read_all (resp :: acc) rest
+    in
+    read_all [] ids
+
 (* --- typed helpers ------------------------------------------------------ *)
 
 let app message = Error (err_of ~kind:App message)
@@ -199,6 +224,16 @@ let check_batch t ?(options = P.default_options) ~instances () =
     | _ -> app "unexpected reply in batch stream"
   in
   collect []
+
+let cert_fetch t ?(options = P.default_options) ~gs ~gd ~relation ~env () =
+  request t (P.Cert_fetch { options; gs; gd; relation; env })
+
+let cert_push t ~bundle =
+  let* resp = request t (P.Cert_push { bundle }) in
+  match resp with
+  | P.Cert_verdict_reply v -> Ok v
+  | P.Error_reply { message; _ } -> app message
+  | _ -> app "unexpected reply to cert-push"
 
 let cache_stats t = request t P.Cache_stats
 let cache_clear t = request t P.Cache_clear
@@ -254,8 +289,8 @@ let backoff_schedule r =
    once sent. *)
 let idempotent = function
   | P.Cache_clear | P.Shutdown -> false
-  | P.Ping | P.Describe | P.Check _ | P.Check_batch _ | P.Cache_stats
-  | P.Server_stats ->
+  | P.Ping | P.Describe | P.Check _ | P.Check_batch _ | P.Cert_fetch _
+  | P.Cert_push _ | P.Cache_stats | P.Server_stats ->
       true
 
 let retryable_connect = function Rejected -> false | _ -> true

@@ -56,6 +56,24 @@ val request : t -> Protocol.request -> (Protocol.response, error) result
     checked internally. Not for [Check_batch] — use {!check_batch},
     which consumes the whole response stream. *)
 
+val send : t -> Protocol.request -> (int, error) result
+(** Write one request frame without waiting for the response; returns
+    the assigned request id. The pipelining primitive — pair with
+    {!read_response}. *)
+
+val read_response : t -> id:int -> (Protocol.response, error) result
+(** Read the next response frame and check it answers [id]. The server
+    answers strictly in request order, so responses to pipelined
+    requests must be read in the order the requests were sent. *)
+
+val pipeline :
+  t -> Protocol.request list -> (Protocol.response list, error) result
+(** Write {e every} request frame, then read the responses, in order —
+    one round trip's latency for the whole batch instead of one per
+    request. Rejects [Check_batch] (its multi-frame response stream
+    would desynchronize the one-frame-per-request accounting); use
+    {!check_batch} for that. *)
+
 val ping : t -> (unit, error) result
 val describe : t -> (string, error) result
 
@@ -79,6 +97,24 @@ val check_batch :
     responses, verifying index order and the final count. The returned
     list is in instance order; each element is a full per-check
     response ([Checked _] or [Error_reply _]). *)
+
+val cert_fetch :
+  t ->
+  ?options:Protocol.check_options ->
+  gs:Entangle_ir.Sexp.t ->
+  gd:Entangle_ir.Sexp.t ->
+  relation:Entangle_ir.Sexp.t ->
+  env:(string * int) list ->
+  unit ->
+  (Protocol.response, error) result
+(** Run a remote check and fetch its certificate bundle: [Ok
+    (Cert_bundle _)] when the check refines, [Ok (Checked _)] with the
+    ordinary verdict when it does not. The caller must re-verify the
+    bundle with {!Entangle_certexport.Verify} before trusting it — the
+    daemon is outside the trust boundary. *)
+
+val cert_push : t -> bundle:string -> (Protocol.cert_verdict, error) result
+(** Submit a serialized bundle for server-side minimal verification. *)
 
 val cache_stats : t -> (Protocol.response, error) result
 val cache_clear : t -> (Protocol.response, error) result

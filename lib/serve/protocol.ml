@@ -5,8 +5,11 @@ let ( let* ) = Result.bind
 let err fmt = Fmt.kstr (fun s -> Error s) fmt
 
 (* Version 2 added busy rejections at admission, batched checks with
-   streamed per-instance responses, and server-side counters. *)
-let protocol_version = 2
+   streamed per-instance responses, and server-side counters.
+   Version 3 added certificate exchange: cert-fetch (run a check, hand
+   back a portable tamper-evident bundle) and cert-push (submit a
+   bundle for independent minimal verification). *)
+let protocol_version = 3
 let max_frame_bytes = 64 * 1024 * 1024
 
 (* --- framing ----------------------------------------------------------- *)
@@ -329,6 +332,14 @@ type request =
       relation : Sexp.t;
     }
   | Check_batch of { options : check_options; instances : batch_instance list }
+  | Cert_fetch of {
+      options : check_options;
+      gs : Sexp.t;
+      gd : Sexp.t;
+      relation : Sexp.t;
+      env : (string * int) list;
+    }
+  | Cert_push of { bundle : string }
   | Cache_stats
   | Cache_clear
   | Server_stats
@@ -400,6 +411,22 @@ let request_body_to_sexp = function
                    ])
                instances);
         ]
+  | Cert_fetch { options; gs; gd; relation; env } ->
+      Sexp.list
+        [
+          Sexp.atom "cert-fetch";
+          options_to_sexp options;
+          field "gs" [ gs ];
+          field "gd" [ gd ];
+          field "relation" [ relation ];
+          field "env"
+            (List.map
+               (fun (s, v) ->
+                 Sexp.list [ Sexp.atom s; Sexp.atom (string_of_int v) ])
+               env);
+        ]
+  | Cert_push { bundle } ->
+      Sexp.list [ Sexp.atom "cert-push"; str_field "bundle" bundle ]
 
 let request_to_string ~id req =
   Sexp.to_string
@@ -440,6 +467,31 @@ let request_body_of_sexp sexp =
             |> Result.map List.rev
       in
       Ok (Check_batch { options; instances })
+  | Sexp.List (Sexp.Atom "cert-fetch" :: _) ->
+      let* options = options_of_sexp sexp in
+      let* gs = get_one "gs" sexp in
+      let* gd = get_one "gd" sexp in
+      let* relation = get_one "relation" sexp in
+      let* env =
+        match assoc "env" sexp with
+        | None -> Error "missing field env"
+        | Some body ->
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                match item with
+                | Sexp.List [ Sexp.Atom s; Sexp.Atom v ] -> (
+                    match int_of_string_opt v with
+                    | Some n -> Ok ((s, n) :: acc)
+                    | None -> err "env: bad value %s for %s" v s)
+                | s -> err "env: malformed %s" (Sexp.to_string s))
+              (Ok []) body
+            |> Result.map List.rev
+      in
+      Ok (Cert_fetch { options; gs; gd; relation; env })
+  | Sexp.List (Sexp.Atom "cert-push" :: _) ->
+      let* bundle = get_str "bundle" sexp in
+      Ok (Cert_push { bundle })
   | s -> err "unknown request %s" (Sexp.to_string s)
 
 let request_of_string s =
@@ -498,6 +550,13 @@ type server_stats = {
   max_clients : int;
 }
 
+type cert_verdict = {
+  accepted : bool;
+  cert_id : string option;
+  cert_code : string option;
+  cert_detail : string;
+}
+
 type response =
   | Pong
   | Described of string
@@ -507,6 +566,8 @@ type response =
   | Server_stats_reply of server_stats
   | Batch_item of { index : int; body : response }
   | Batch_done of { count : int }
+  | Cert_bundle of { bundle : string }
+  | Cert_verdict_reply of cert_verdict
   | Bye
   | Error_reply of { code : error_code; message : string }
 
@@ -674,6 +735,22 @@ let rec response_body_to_sexp = function
         ]
   | Batch_done { count } ->
       Sexp.list [ Sexp.atom "batch-done"; int_field "count" count ]
+  | Cert_bundle { bundle } ->
+      Sexp.list [ Sexp.atom "cert-bundle"; str_field "bundle" bundle ]
+  | Cert_verdict_reply v ->
+      Sexp.list
+        (List.concat
+           [
+             [
+               Sexp.atom "cert-verdict";
+               str_field "accepted" (string_of_bool v.accepted);
+             ];
+             (match v.cert_id with Some i -> [ str_field "id" i ] | None -> []);
+             (match v.cert_code with
+             | Some c -> [ str_field "code" c ]
+             | None -> []);
+             [ str_field "detail" v.cert_detail ];
+           ])
 
 let response_to_string ~id resp =
   Sexp.to_string
@@ -773,6 +850,20 @@ let rec response_body_of_sexp sexp =
   | Sexp.List (Sexp.Atom "batch-done" :: _) ->
       let* count = get_int "count" sexp in
       Ok (Batch_done { count })
+  | Sexp.List (Sexp.Atom "cert-bundle" :: _) ->
+      let* bundle = get_str "bundle" sexp in
+      Ok (Cert_bundle { bundle })
+  | Sexp.List (Sexp.Atom "cert-verdict" :: _) ->
+      let* accepted = get_str "accepted" sexp in
+      let* accepted =
+        match bool_of_string_opt accepted with
+        | Some b -> Ok b
+        | None -> err "field accepted: not a bool (%s)" accepted
+      in
+      let* cert_id = get_str_opt "id" sexp in
+      let* cert_code = get_str_opt "code" sexp in
+      let* cert_detail = get_str "detail" sexp in
+      Ok (Cert_verdict_reply { accepted; cert_id; cert_code; cert_detail })
   | s -> err "unknown response %s" (Sexp.to_string s)
 
 let response_of_string s =
@@ -801,6 +892,8 @@ let describe_json ~server =
                "describe";
                "check";
                "check-batch";
+               "cert-fetch";
+               "cert-push";
                "cache-stats";
                "cache-clear";
                "server-stats";

@@ -52,11 +52,24 @@
     (describe)
     (check (options ...) (gs <graph>) (gd <graph>) (relation <rel>))
     (check-batch (options ...) (instances (instance (gs ..) (gd ..) (relation ..)) ...))
+    (cert-fetch (options ...) (gs <graph>) (gd <graph>) (relation <rel>) (env (SYM INT) ...))
+    (cert-push (bundle <text>))
     (cache-stats)
     (cache-clear)
     (server-stats)
     (shutdown)
     v}
+
+    [cert-fetch] runs a check like [check] but, on a [refines] verdict,
+    answers [(cert-bundle (bundle <text>))] — a portable,
+    tamper-evident certificate bundle ({!Entangle_certexport.Bundle})
+    the client should re-verify with the independent minimal verifier
+    before trusting; a check that does not refine answers the ordinary
+    [result] body so the caller still gets the verdict. [cert-push]
+    submits a bundle the {e server} verifies with the minimal verifier,
+    answering [(cert-verdict (accepted <bool>) (id <hex>) (code CERTnnn)
+    (detail ...))] (id/code optional) — the structured [CERTnnn] code
+    names which defense rejected a bad bundle.
 
     [check-batch] is the one request with more than one response
     frame: the server streams [(batch-item (index <i>) <body>)] per
@@ -73,8 +86,9 @@
     internal-verdict exit, 3). *)
 
 val protocol_version : int
-(** [2]. Version 2 added [busy] admission rejections, [check-batch]
-    with streamed per-instance responses, and [server-stats]. *)
+(** [3]. Version 2 added [busy] admission rejections, [check-batch]
+    with streamed per-instance responses, and [server-stats]; version 3
+    added certificate exchange ([cert-fetch]/[cert-push]). *)
 
 val max_frame_bytes : int
 (** Frames larger than this are refused (64 MiB). *)
@@ -179,6 +193,20 @@ type request =
       (** several instances in one frame, one [options] for all;
           answered by streamed {!Batch_item}s in index order and a
           final {!Batch_done} *)
+  | Cert_fetch of {
+      options : check_options;
+      gs : Entangle_ir.Sexp.t;
+      gd : Entangle_ir.Sexp.t;
+      relation : Entangle_ir.Sexp.t;
+      env : (string * int) list;
+          (** concrete shape-symbol assignment baked into the bundle
+              (the minimal verifier replays concretely) *)
+    }
+      (** run the check and, when it refines, answer {!Cert_bundle};
+          otherwise the ordinary {!Checked} verdict *)
+  | Cert_push of { bundle : string }
+      (** submit a bundle for server-side minimal verification;
+          answered by {!Cert_verdict_reply} *)
   | Cache_stats
   | Cache_clear
   | Server_stats
@@ -231,6 +259,18 @@ type server_stats = {
   max_clients : int;  (** the admission limit in force *)
 }
 
+type cert_verdict = {
+  accepted : bool;
+  cert_id : string option;
+      (** the bundle's content address, when it parsed far enough to
+          have one *)
+  cert_code : string option;
+      (** the structured [CERT*] rejection code
+          ({!Entangle_certexport.Cert_error.code_string}) when
+          [accepted] is false *)
+  cert_detail : string;  (** human-readable elaboration *)
+}
+
 type response =
   | Pong
   | Described of string  (** the JSON envelope document *)
@@ -242,6 +282,11 @@ type response =
       (** one streamed [check-batch] result; [body] is a full
           per-check response *)
   | Batch_done of { count : int }  (** terminates a [check-batch] stream *)
+  | Cert_bundle of { bundle : string }
+      (** a [cert-fetch] success: the serialized bundle text — the
+          client must re-verify it with the minimal verifier before
+          trusting the verdict it carries *)
+  | Cert_verdict_reply of cert_verdict  (** answers [cert-push] *)
   | Bye  (** acknowledges [Shutdown]; the server then closes *)
   | Error_reply of { code : error_code; message : string }
 

@@ -38,6 +38,8 @@ let request_name = function
   | P.Describe -> "describe"
   | P.Check _ -> "check"
   | P.Check_batch _ -> "check-batch"
+  | P.Cert_fetch _ -> "cert-fetch"
+  | P.Cert_push _ -> "cert-push"
   | P.Cache_stats -> "cache-stats"
   | P.Cache_clear -> "cache-clear"
   | P.Server_stats -> "server-stats"
@@ -59,6 +61,8 @@ let fp_dispatch_of =
       "describe";
       "check";
       "check-batch";
+      "cert-fetch";
+      "cert-push";
       "cache-stats";
       "cache-clear";
       "server-stats";
@@ -343,6 +347,88 @@ let handle_cache t f =
         { code = P.Bad_request; message = "server is running without a cache" }
   | Some cache -> f cache
 
+(* cert-fetch: run the check like [handle_check]; when it refines,
+   package the result as a portable bundle the client re-verifies with
+   the minimal verifier. A check that does not refine still answers
+   the ordinary result body, so the caller gets the verdict either
+   way. *)
+let handle_cert_fetch t (o : P.check_options) gs_sexp gd_sexp rel_sexp env =
+  let ( let* ) = Result.bind in
+  let parsed =
+    let parse what = function
+      | Ok v -> Ok v
+      | Error e -> bad_request "%s: %s" what e
+    in
+    let* rules = rules_for_family o.P.family in
+    let* gs = parse "gs" (Serial.graph_of_sexp gs_sexp) in
+    let* gd = parse "gd" (Serial.graph_of_sexp gd_sexp) in
+    let* input_relation =
+      parse "relation" (Entangle.Relation_io.of_sexp ~gs ~gd rel_sexp)
+    in
+    Ok (rules, gs, gd, input_relation)
+  in
+  match parsed with
+  | Error (code, message) -> P.Error_reply { code; message }
+  | Ok (rules, gs, gd, input_relation) -> (
+      let config = check_config t o in
+      match Refine.check ~config ?rules ~gs ~gd ~input_relation () with
+      | Ok success -> (
+          match
+            Entangle.Cert_export.bundle ~producer:("entangle-serve/" ^ t.name)
+              ~gs ~gd
+              ~env:(Entangle_ir.Interp.env_of_list env)
+              ~input_relation success
+          with
+          | Ok b ->
+              P.Cert_bundle { bundle = Entangle_certexport.Bundle.to_string b }
+          | Error m ->
+              P.Error_reply
+                {
+                  code = P.Server_internal;
+                  message = "certificate export failed: " ^ m;
+                })
+      | Error failure ->
+          P.Checked
+            {
+              P.exit_code = Refine.exit_code (Error failure);
+              verdict = verdict_tag failure.Refine.verdict;
+              report = Entangle.Report.failure_to_string gs failure;
+              output_relation = None;
+              stats = failure.Refine.stats;
+            }
+      | exception Invalid_argument m ->
+          P.Error_reply { code = P.Bad_request; message = m })
+
+(* cert-push: the server is the independent verifier — replay,
+   cleanliness and shape inference only; no e-graph is consulted and
+   the daemon's warm cache is never trusted for someone else's
+   bundle. *)
+let handle_cert_push bundle =
+  match Entangle_certexport.Verify.check_string bundle with
+  | Ok report ->
+      P.Cert_verdict_reply
+        {
+          P.accepted = true;
+          cert_id = Some report.Entangle_certexport.Verify.id;
+          cert_code = None;
+          cert_detail =
+            Fmt.str "verified: %d operators, %d outputs, %d expressions replayed"
+              report.Entangle_certexport.Verify.operators
+              report.Entangle_certexport.Verify.outputs_checked
+              report.Entangle_certexport.Verify.exprs_replayed;
+        }
+  | Error e ->
+      P.Cert_verdict_reply
+        {
+          P.accepted = false;
+          cert_id = None;
+          cert_code =
+            Some
+              (Entangle_certexport.Cert_error.code_string
+                 e.Entangle_certexport.Cert_error.code);
+          cert_detail = e.Entangle_certexport.Cert_error.detail;
+        }
+
 let handle_request t = function
   | P.Ping -> P.Pong
   | P.Describe -> P.Described (P.describe_json ~server:t.name)
@@ -369,6 +455,9 @@ let handle_request t = function
               expired_entries = s.Entangle_cache.Store.expired_entries;
             })
   | P.Check { options; gs; gd; relation } -> handle_check t options gs gd relation
+  | P.Cert_fetch { options; gs; gd; relation; env } ->
+      handle_cert_fetch t options gs gd relation env
+  | P.Cert_push { bundle } -> handle_cert_push bundle
   | P.Check_batch _ ->
       (* handled by the streaming path in [serve_connection] *)
       P.Error_reply

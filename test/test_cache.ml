@@ -592,10 +592,182 @@ let retention_tests =
               ((Store.stats daemon).Store.bytes <= 2048)));
   ]
 
+(* --- portable archives -------------------------------------------------- *)
+
+let rewrite path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let archive_tests =
+  [
+    Alcotest.test_case
+      "export excludes skewed, corrupt and quarantined entries" `Quick
+      (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_store dir in
+            let ka = String.make 32 'a'
+            and kb = String.make 32 'b'
+            and kc = String.make 32 'c' in
+            put_exn s ~key:ka "alpha";
+            put_exn s ~key:kb "beta";
+            put_exn s ~key:kc "gamma";
+            (* kb: rewritten under a future format version; kc: raw
+               damage. Export reads through the validating [get] path,
+               so neither may appear in the archive. *)
+            rewrite (entry_file dir kb)
+              ("entangle-cache/999\n" ^ kb ^ "\nbeta");
+            rewrite (entry_file dir kc) "not a cache entry";
+            let text, count = Store.export_all s in
+            check Alcotest.int "only the valid entry exports" 1 count;
+            check Alcotest.int "damage went to quarantine" 1
+              (Store.stats s).Store.quarantined;
+            with_temp_dir (fun dir2 ->
+                let s2 = open_store dir2 in
+                match Store.import_all s2 text with
+                | Error e -> Alcotest.failf "import: %s" e
+                | Ok (imported, rejected) ->
+                    check Alcotest.int "imported" 1 imported;
+                    check Alcotest.int "rejected" 0 rejected;
+                    check
+                      Alcotest.(option string)
+                      "payload survives the round trip" (Some "alpha")
+                      (Store.get s2 ~key:ka);
+                    check
+                      Alcotest.(option string)
+                      "skewed entry never crossed" None
+                      (Store.get s2 ~key:kb))));
+    Alcotest.test_case "multi-line payloads round-trip byte-exactly" `Quick
+      (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_store dir in
+            let key = String.make 32 '1' in
+            let payload = "line one\nline two\n\nbinary-ish \000 tail" in
+            put_exn s ~key payload;
+            let text, _ = Store.export_all s in
+            with_temp_dir (fun dir2 ->
+                let s2 = open_store dir2 in
+                (match Store.import_all s2 text with
+                | Ok _ -> ()
+                | Error e -> Alcotest.failf "import: %s" e);
+                check
+                  Alcotest.(option string)
+                  "byte-exact" (Some payload) (Store.get s2 ~key))));
+    Alcotest.test_case "import check callback rejects entries" `Quick
+      (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_store dir in
+            put_exn s ~key:(String.make 32 'a') "keep";
+            put_exn s ~key:(String.make 32 'b') "drop";
+            let text, _ = Store.export_all s in
+            with_temp_dir (fun dir2 ->
+                let s2 = open_store dir2 in
+                match
+                  Store.import_all
+                    ~check:(fun ~key:_ payload -> payload = "keep")
+                    s2 text
+                with
+                | Error e -> Alcotest.failf "import: %s" e
+                | Ok (imported, rejected) ->
+                    check Alcotest.int "imported" 1 imported;
+                    check Alcotest.int "rejected" 1 rejected;
+                    check Alcotest.int "store holds only the accepted entry"
+                      1
+                      (Store.stats s2).Store.entries)));
+    Alcotest.test_case "truncated or foreign archives are structured errors"
+      `Quick (fun () ->
+        with_temp_dir (fun dir ->
+            let s = open_store dir in
+            put_exn s ~key:(String.make 32 'a') "payload";
+            let text, _ = Store.export_all s in
+            with_temp_dir (fun dir2 ->
+                let s2 = open_store dir2 in
+                (match
+                   Store.import_all s2
+                     (String.sub text 0 (String.length text - 3))
+                 with
+                | Error _ -> ()
+                | Ok _ -> Alcotest.fail "truncated archive must not import");
+                match Store.import_all s2 "some other file format\n" with
+                | Error _ -> ()
+                | Ok _ -> Alcotest.fail "foreign file must not import")));
+    Alcotest.test_case
+      "cache archive warms a fresh store; junk payloads are rejected" `Quick
+      (fun () ->
+        with_temp_cache (fun cache ->
+            let inst () = Regression.build ~microbatches:2 () in
+            let cold, _ = check_with ~cache (inst ()) in
+            let ops = (result_stats cold).Entangle.Refine.operators_processed in
+            check Alcotest.bool "cold run refines" true (Result.is_ok cold);
+            let text, count = Cache.export_archive cache in
+            check Alcotest.bool "archive carries the run's entries" true
+              (count > 0);
+            (* A payload that is valid archive framing but not a valid
+               certificate: [import_archive]'s structural validation
+               must reject it without poisoning the import. *)
+            let junk =
+              Fmt.str "%s\n%s\n%d\n%s\n" Store.archive_header
+                (String.make 32 'f') (String.length "junk") "junk"
+            in
+            let tail =
+              (* splice the junk entry after the header line *)
+              let nl = String.index text '\n' in
+              String.sub text (nl + 1) (String.length text - nl - 1)
+            in
+            with_temp_dir (fun dir2 ->
+                match Cache.create ~dir:dir2 () with
+                | Error e -> Alcotest.failf "cannot open cache: %s" e
+                | Ok cache2 -> (
+                    match Cache.import_archive cache2 (junk ^ tail) with
+                    | Error e -> Alcotest.failf "import: %s" e
+                    | Ok (imported, rejected) ->
+                        check Alcotest.int "real entries imported" count
+                          imported;
+                        check Alcotest.int "junk payload rejected" 1 rejected;
+                        (* The imported store warms a re-check of the
+                           same instance: every operator a hit, zero
+                           saturation... *)
+                        let i = inst () in
+                        let warm, _ = check_with ~cache:cache2 i in
+                        let ws = result_stats warm in
+                        check Alcotest.int "warm: every operator from cache"
+                          ops ws.Entangle.Refine.cache_hits;
+                        check Alcotest.int "warm: zero saturation" 0
+                          ws.Entangle.Refine.saturation_iterations;
+                        (* ... and the warmed verdict exports a bundle
+                           the certexport reader accepts: the archive
+                           path feeds the bundle path. *)
+                        match warm with
+                        | Error _ -> Alcotest.fail "warm run must refine"
+                        | Ok success -> (
+                            match
+                              Entangle.Cert_export.bundle
+                                ~producer:"test-archive" ~gs:i.Instance.gs
+                                ~gd:i.Instance.gd ~env:i.Instance.env
+                                ~input_relation:i.Instance.input_relation
+                                success
+                            with
+                            | Error e -> Alcotest.failf "bundle export: %s" e
+                            | Ok b -> (
+                                match
+                                  Entangle_certexport.Bundle.of_string
+                                    (Entangle_certexport.Bundle.to_string b)
+                                with
+                                | Ok b' ->
+                                    check Alcotest.string
+                                      "bundle reader agrees on the id"
+                                      (Entangle_certexport.Bundle.id b)
+                                      (Entangle_certexport.Bundle.id b')
+                                | Error e ->
+                                    Alcotest.failf "bundle reader rejects: %a"
+                                      Entangle_certexport.Cert_error.pp e))))));
+  ]
+
 let suite =
   [
     ("cache.fingerprint", fingerprint_tests);
     ("cache.store", store_tests);
     ("cache.recheck", recheck_tests);
     ("cache.retention", retention_tests);
+    ("cache.archive", archive_tests);
   ]

@@ -1,0 +1,384 @@
+(* Tests for the portable certificate bundle (lib/certexport): the
+   export -> parse round trip, the tamper matrix (every defense layer
+   rejects its mutation with its own structured CERT code), the minimal
+   verifier's semantic checks (completeness, cleanliness, scope, shape,
+   concrete replay), and the [Certify.replay] mismatch accumulator the
+   verifier shares its bounded-reporting discipline with. *)
+
+open Entangle_models
+open Entangle_ir
+module CE = Entangle_certexport
+module Bundle = CE.Bundle
+module Verify = CE.Verify
+module Cert_error = CE.Cert_error
+
+let check = Alcotest.check
+
+(* --- fixtures ----------------------------------------------------------- *)
+
+(* One checked zoo instance, exported once: the reference bundle the
+   round-trip and tamper tests mutate. *)
+let reference =
+  lazy
+    (let inst = Option.get (Zoo.by_name "regression") in
+     match Instance.check inst with
+     | Error _ -> Alcotest.fail "regression must refine"
+     | Ok success -> (
+         match
+           Entangle.Cert_export.bundle ~producer:"test-certexport"
+             ~gs:inst.Instance.gs ~gd:inst.Instance.gd ~env:inst.Instance.env
+             ~input_relation:inst.Instance.input_relation success
+         with
+         | Error e -> Alcotest.failf "export failed: %s" e
+         | Ok b -> b))
+
+let reference_text = lazy (Bundle.to_string (Lazy.force reference))
+let code_of_error (e : Cert_error.t) = Cert_error.code_string e.Cert_error.code
+
+let code_of text =
+  match Verify.check_string text with
+  | Ok _ -> "accepted"
+  | Error e -> code_of_error e
+
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else at (i + 1)
+  in
+  at 0
+
+let contains hay needle = find_sub hay needle <> None
+
+let replace_first hay needle replacement =
+  match find_sub hay needle with
+  | None -> Alcotest.failf "fixture: %S not found in bundle text" needle
+  | Some i ->
+      String.sub hay 0 i ^ replacement
+      ^ String.sub hay
+          (i + String.length needle)
+          (String.length hay - i - String.length needle)
+
+let mutate_at pos f text =
+  let b = Bytes.of_string text in
+  Bytes.set b pos (f (Bytes.get b pos));
+  Bytes.to_string b
+
+(* A hand-built pair small enough to aim each semantic check: gs is
+   [y = add x x] over a concrete [4] vector; gd computes the same sum
+   as [yd] and a shape-[8] concat as [wd] (both outputs), plus a
+   sabotage variant where [yd] is [sub xd xd] — structurally identical,
+   numerically zero. *)
+type tiny = {
+  t_gs : Graph.t;
+  t_gd : Graph.t;
+  t_x : Tensor.t;
+  t_y : Tensor.t;
+  t_xd : Tensor.t;
+  t_yd : Tensor.t;
+  t_wd : Tensor.t;
+}
+
+let tiny ?(sound = true) ?(dim = Entangle_symbolic.Symdim.of_int 4) () =
+  let b = Graph.Builder.create "tiny-seq" in
+  let x = Graph.Builder.input b "x" [ dim ] in
+  let y = Graph.Builder.add b ~name:"y" Op.Add [ x; x ] in
+  Graph.Builder.output b y;
+  let gs = Graph.Builder.finish b in
+  let d = Graph.Builder.create "tiny-dist" in
+  let xd = Graph.Builder.input d "xd" [ dim ] in
+  let yd =
+    Graph.Builder.add d ~name:"yd" (if sound then Op.Add else Op.Sub) [ xd; xd ]
+  in
+  let wd = Graph.Builder.add d ~name:"wd" (Op.Concat { dim = 0 }) [ xd; xd ] in
+  Graph.Builder.output d yd;
+  Graph.Builder.output d wd;
+  let gd = Graph.Builder.finish d in
+  { t_gs = gs; t_gd = gd; t_x = x; t_y = y; t_xd = xd; t_yd = yd; t_wd = wd }
+
+let tiny_bundle ?(env = []) ?outputs ?operators (t : tiny) =
+  let outputs =
+    match outputs with None -> [ (t.t_y, [ Expr.leaf t.t_yd ]) ] | Some o -> o
+  in
+  let operators =
+    match operators with
+    | None -> [ { Bundle.op_output = "y"; op_mappings = [ Expr.leaf t.t_yd ] } ]
+    | Some ops -> ops
+  in
+  Bundle.make ~producer:"test-tiny" ~gs:t.t_gs ~gd:t.t_gd ~env
+    ~inputs:[ (t.t_x, [ Expr.leaf t.t_xd ]) ]
+    ~outputs ~operators ()
+
+let expect_code what expected result =
+  match result with
+  | Ok _ -> Alcotest.failf "%s: expected %s, got acceptance" what expected
+  | Error e -> check Alcotest.string (what ^ " code") expected (code_of_error e)
+
+(* --- round trip --------------------------------------------------------- *)
+
+let roundtrip_tests =
+  [
+    Alcotest.test_case "export -> parse preserves id and statement" `Quick
+      (fun () ->
+        let b = Lazy.force reference in
+        match Bundle.of_string (Lazy.force reference_text) with
+        | Error e -> Alcotest.failf "re-parse: %a" Cert_error.pp e
+        | Ok b' ->
+            check Alcotest.string "id" (Bundle.id b) (Bundle.id b');
+            check
+              Alcotest.(list (pair string string))
+              "statement fingerprints"
+              (Bundle.statement_fields (Bundle.statement b))
+              (Bundle.statement_fields (Bundle.statement b'));
+            check Alcotest.string "producer" b.Bundle.producer
+              b'.Bundle.producer;
+            check Alcotest.int "operator entries"
+              (List.length b.Bundle.operators)
+              (List.length b'.Bundle.operators));
+    Alcotest.test_case "exported bundle passes the minimal verifier" `Quick
+      (fun () ->
+        match Verify.check_string (Lazy.force reference_text) with
+        | Error e -> Alcotest.failf "verify: %a" Cert_error.pp e
+        | Ok r ->
+            check Alcotest.string "report id"
+              (Bundle.id (Lazy.force reference))
+              r.Verify.id;
+            check Alcotest.bool "operators checked" true (r.Verify.operators > 0);
+            check Alcotest.bool "outputs replayed" true
+              (r.Verify.outputs_checked > 0);
+            check Alcotest.bool "expressions evaluated" true
+              (r.Verify.exprs_replayed > 0));
+    Alcotest.test_case "serialization is deterministic" `Quick (fun () ->
+        let b = Lazy.force reference in
+        check Alcotest.string "same bytes" (Bundle.to_string b)
+          (Bundle.to_string b));
+    Alcotest.test_case "sound hand-built bundle verifies" `Quick (fun () ->
+        match Verify.check (tiny_bundle (tiny ())) with
+        | Ok r -> check Alcotest.int "one output" 1 r.Verify.outputs_checked
+        | Error e -> Alcotest.failf "tiny bundle rejected: %a" Cert_error.pp e);
+  ]
+
+(* --- the tamper matrix -------------------------------------------------- *)
+
+let tamper_tests =
+  [
+    Alcotest.test_case "truncation is CERT001" `Quick (fun () ->
+        let text = Lazy.force reference_text in
+        check Alcotest.string "half the bytes" "CERT001"
+          (code_of (String.sub text 0 (String.length text / 2)));
+        check Alcotest.string "empty" "CERT001" (code_of "");
+        check Alcotest.string "unbalanced" "CERT001" (code_of "(entangle-cert"));
+    Alcotest.test_case "foreign document is CERT001" `Quick (fun () ->
+        check Alcotest.string "wrong header" "CERT001"
+          (code_of "(something-else (schema 1))"));
+    Alcotest.test_case "version skew is CERT002" `Quick (fun () ->
+        let text = Lazy.force reference_text in
+        check Alcotest.string "future schema" "CERT002"
+          (code_of (replace_first text "(schema 1)" "(schema 99)")));
+    Alcotest.test_case "structural damage is CERT003" `Quick (fun () ->
+        check Alcotest.string "manifest without statement" "CERT003"
+          (code_of "(entangle-cert (schema 1) (producer x) (manifest (id h)))"));
+    Alcotest.test_case "section bit-flip is CERT004" `Quick (fun () ->
+        (* flip one digit inside a section payload: the per-section
+           content digest must notice a single byte *)
+        let text = Lazy.force reference_text in
+        match find_sub text "(section relations" with
+        | None -> Alcotest.fail "no relations section in reference bundle"
+        | Some i ->
+            let rec digit j =
+              if j >= String.length text then
+                Alcotest.fail "no digit in relations section"
+              else
+                match text.[j] with '0' .. '9' -> j | _ -> digit (j + 1)
+            in
+            let j = digit (i + String.length "(section relations") in
+            let flipped =
+              mutate_at j
+                (fun c -> if c = '9' then '8' else Char.chr (Char.code c + 1))
+                text
+            in
+            check Alcotest.string "payload digit flipped" "CERT004"
+              (code_of flipped));
+    Alcotest.test_case "statement rebinding is CERT005" `Quick (fun () ->
+        (* alter one hex digit of the manifest's gs fingerprint: every
+           section still digests clean, but the bundle now claims to
+           certify a different statement *)
+        let text = Lazy.force reference_text in
+        match find_sub text "(statement" with
+        | None -> Alcotest.fail "no statement in reference bundle"
+        | Some i -> (
+            let rest = String.sub text i (String.length text - i) in
+            match find_sub rest "(gs " with
+            | None -> Alcotest.fail "no gs fingerprint"
+            | Some off ->
+                let rebound =
+                  mutate_at
+                    (i + off + 4)
+                    (fun c -> if c = '0' then '1' else '0')
+                    text
+                in
+                check Alcotest.string "gs fingerprint altered" "CERT005"
+                  (code_of rebound)));
+    Alcotest.test_case "single-byte corruption never aliases to acceptance"
+      `Quick (fun () ->
+        (* a sweep of single-byte mutations across the bundle: whatever
+           the byte hits — framing, a digest, a section payload, even
+           inter-token whitespace — the result must be rejected with
+           some CERT code, never accepted *)
+        let text = Lazy.force reference_text in
+        let n = String.length text in
+        List.iter
+          (fun percent ->
+            let pos = n * percent / 100 in
+            let mutated =
+              mutate_at pos (fun c -> if c = 'x' then 'y' else 'x') text
+            in
+            if mutated <> text then
+              check Alcotest.bool
+                (Fmt.str "byte %d/%d rejected" pos n)
+                true
+                (code_of mutated <> "accepted"))
+          [ 5; 15; 25; 35; 45; 55; 65; 75; 85; 95 ]);
+  ]
+
+(* --- the minimal verifier's semantic checks ------------------------------ *)
+
+let verifier_tests =
+  [
+    Alcotest.test_case "missing operator entry is CERT006" `Quick (fun () ->
+        expect_code "no operator entries" "CERT006"
+          (Verify.check (tiny_bundle ~operators:[] (tiny ()))));
+    Alcotest.test_case "operator entry with no mappings is CERT006" `Quick
+      (fun () ->
+        expect_code "empty mapping list" "CERT006"
+          (Verify.check
+             (tiny_bundle
+                ~operators:[ { Bundle.op_output = "y"; op_mappings = [] } ]
+                (tiny ()))));
+    Alcotest.test_case "unbound env symbol is CERT006" `Quick (fun () ->
+        (* the same pair over a symbolic dimension: sound with n bound,
+           incomplete with the env stripped *)
+        let t = tiny ~dim:(Entangle_symbolic.Symdim.sym "n") () in
+        (match Verify.check (tiny_bundle ~env:[ ("n", 4) ] t) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "bound env rejected: %a" Cert_error.pp e);
+        expect_code "env stripped" "CERT006"
+          (Verify.check (tiny_bundle ~env:[] t)));
+    Alcotest.test_case "unclean mapping expression is CERT007" `Quick
+      (fun () ->
+        let t = tiny () in
+        expect_code "add in an output mapping" "CERT007"
+          (Verify.check
+             (tiny_bundle
+                ~outputs:
+                  [
+                    ( t.t_y,
+                      [ Expr.app Op.Add [ Expr.leaf t.t_yd; Expr.leaf t.t_yd ] ]
+                    );
+                  ]
+                t)));
+    Alcotest.test_case "out-of-scope leaf is CERT008" `Quick (fun () ->
+        let t = tiny () in
+        let ghost =
+          Tensor.create ~name:"ghost" [ Entangle_symbolic.Symdim.of_int 4 ]
+        in
+        expect_code "fabricated tensor in an output mapping" "CERT008"
+          (Verify.check
+             (tiny_bundle ~outputs:[ (t.t_y, [ Expr.leaf ghost ]) ] t)));
+    Alcotest.test_case "shape disagreement is CERT009" `Quick (fun () ->
+        let t = tiny () in
+        expect_code "output mapped to the shape-[8] concat" "CERT009"
+          (Verify.check
+             (tiny_bundle ~outputs:[ (t.t_y, [ Expr.leaf t.t_wd ]) ] t)));
+    Alcotest.test_case "numerically wrong certificate is CERT010" `Quick
+      (fun () ->
+        (* gd's yd is sub xd xd: same names, shapes and wiring as the
+           sound variant, but replay values are zero where gs computes
+           2x — only concrete replay can catch this *)
+        let result = Verify.check (tiny_bundle (tiny ~sound:false ())) in
+        expect_code "sub-for-add sabotage" "CERT010" result;
+        match result with
+        | Ok _ -> assert false
+        | Error e ->
+            check Alcotest.bool "detail names the failing output" true
+              (contains e.Cert_error.detail "output y"));
+  ]
+
+(* --- Certify.replay's mismatch accumulator ------------------------------- *)
+
+(* Two independently wrong outputs: with the historical default
+   (max_mismatches = 1) only the first is reported; raising the bound
+   accumulates both into one message. *)
+let certify_tests =
+  let sd = Entangle_symbolic.Symdim.of_int in
+  let build_pair ~sabotage () =
+    let b = Graph.Builder.create "seq" in
+    let x = Graph.Builder.input b "x" [ sd 4 ] in
+    let y = Graph.Builder.add b ~name:"y" Op.Add [ x; x ] in
+    let z = Graph.Builder.add b ~name:"z" Op.Mul [ x; x ] in
+    Graph.Builder.output b y;
+    Graph.Builder.output b z;
+    let gs = Graph.Builder.finish b in
+    let d = Graph.Builder.create "dist" in
+    let xd = Graph.Builder.input d "xd" [ sd 4 ] in
+    let op_y = if sabotage then Op.Sub else Op.Add in
+    let op_z = if sabotage then Op.Sub else Op.Mul in
+    let yd = Graph.Builder.add d ~name:"yd" op_y [ xd; xd ] in
+    let zd = Graph.Builder.add d ~name:"zd" op_z [ xd; xd ] in
+    Graph.Builder.output d yd;
+    Graph.Builder.output d zd;
+    let gd = Graph.Builder.finish d in
+    let input_relation = Entangle.Relation.of_list [ (x, Expr.leaf xd) ] in
+    let output_relation =
+      Entangle.Relation.of_list [ (y, Expr.leaf yd); (z, Expr.leaf zd) ]
+    in
+    (gs, gd, input_relation, output_relation)
+  in
+  let count_mismatches message =
+    (* each mismatch renders one "differs from the sequential value" *)
+    let needle = "differs from the sequential value" in
+    let rec go acc from =
+      match
+        find_sub (String.sub message from (String.length message - from)) needle
+      with
+      | None -> acc
+      | Some i -> go (acc + 1) (from + i + String.length needle)
+    in
+    go 0 0
+  in
+  let replay ?max_mismatches (gs, gd, input_relation, output_relation) =
+    Entangle.Certify.replay ?max_mismatches
+      ~env:(Interp.env_of_list [])
+      ~gs ~gd ~input_relation ~output_relation ()
+  in
+  [
+    Alcotest.test_case "default replay stops at the first mismatch" `Quick
+      (fun () ->
+        match replay (build_pair ~sabotage:true ()) with
+        | Ok () -> Alcotest.fail "sabotaged relation replayed clean"
+        | Error message ->
+            check Alcotest.int "one mismatch reported" 1
+              (count_mismatches message));
+    Alcotest.test_case "raised bound accumulates every mismatch" `Quick
+      (fun () ->
+        match replay ~max_mismatches:8 (build_pair ~sabotage:true ()) with
+        | Ok () -> Alcotest.fail "sabotaged relation replayed clean"
+        | Error message ->
+            check Alcotest.int "both mismatches reported" 2
+              (count_mismatches message);
+            check Alcotest.bool "messages joined with a separator" true
+              (contains message "; "));
+    Alcotest.test_case "sound relation still replays clean" `Quick (fun () ->
+        match replay ~max_mismatches:8 (build_pair ~sabotage:false ()) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "clean replay failed: %s" e);
+  ]
+
+let suite =
+  [
+    ("certexport.roundtrip", roundtrip_tests);
+    ("certexport.tamper", tamper_tests);
+    ("certexport.verifier", verifier_tests);
+    ("certexport.certify", certify_tests);
+  ]

@@ -470,9 +470,19 @@ let with_server ?(tag = "serve") ?max_clients ?io_timeout_s f =
       let d = Domain.spawn (fun () -> Srv.run server) in
       Fun.protect
         ~finally:(fun () ->
-          (match Cl.connect ~socket () with
-          | Ok c -> ignore (Cl.shutdown c)
-          | Error _ -> ());
+          (* The shutdown connect can transiently lose an admission
+             race (e.g. against a just-closed client's handler still
+             holding its slot), so retry briefly — a single ignored
+             failure here would leave Domain.join waiting forever. *)
+          let rec stop n =
+            match Cl.connect ~timeout_s:10. ~socket () with
+            | Ok c -> ignore (Cl.shutdown c)
+            | Error _ when n > 0 ->
+                Unix.sleepf 0.05;
+                stop (n - 1)
+            | Error _ -> ()
+          in
+          stop 100;
           Domain.join d)
         (fun () -> f server socket)
 
@@ -560,6 +570,71 @@ let end_to_end_tests =
                                 Alcotest.fail
                                   "expected a per-item bad-request")
                           items)));
+    Alcotest.test_case "pipeline: responses arrive in request order" `Slow
+      (fun () ->
+        with_server ~tag:"pipeline" (fun _server socket ->
+            match Cl.connect ~socket () with
+            | Error e -> Alcotest.failf "connect: %s" (Cl.error_message e)
+            | Ok c ->
+                Fun.protect
+                  ~finally:(fun () -> Cl.close c)
+                  (fun () ->
+                    (* Five requests written back-to-back before any
+                       reply is read; the heavy/faulty one in the
+                       middle must not reorder the stream. *)
+                    let garbage_check =
+                      P.Check
+                        {
+                          options = P.default_options;
+                          gs = Sexp.atom "garbage";
+                          gd = Sexp.atom "garbage";
+                          relation = Sexp.atom "garbage";
+                        }
+                    in
+                    (match
+                       Cl.pipeline c
+                         [
+                           P.Ping;
+                           P.Describe;
+                           garbage_check;
+                           P.Server_stats;
+                           P.Ping;
+                         ]
+                     with
+                    | Error e ->
+                        Alcotest.failf "pipeline: %s" (Cl.error_message e)
+                    | Ok responses -> (
+                        match responses with
+                        | [
+                         P.Pong;
+                         P.Described _;
+                         P.Error_reply { code = P.Bad_request; _ };
+                         P.Server_stats_reply _;
+                         P.Pong;
+                        ] ->
+                            ()
+                        | other ->
+                            Alcotest.failf
+                              "responses out of order or wrong arity (%d)"
+                              (List.length other)));
+                    (* A multi-frame streamer cannot ride a pipeline:
+                       its reply accounting would desynchronize. *)
+                    (match
+                       Cl.pipeline c
+                         [
+                           P.Ping;
+                           P.Check_batch
+                             { options = P.default_options; instances = [] };
+                         ]
+                     with
+                    | Ok _ -> Alcotest.fail "check-batch pipelined"
+                    | Error _ -> ());
+                    (* The connection is still usable afterwards. *)
+                    match Cl.ping c with
+                    | Ok () -> ()
+                    | Error e ->
+                        Alcotest.failf "ping after pipeline: %s"
+                          (Cl.error_message e))));
     Alcotest.test_case "server-stats: counters served over the wire" `Slow
       (fun () ->
         with_server ~tag:"stats" (fun server socket ->
