@@ -400,6 +400,16 @@ let export_all t =
     (List.sort String.compare !keys);
   (Buffer.contents b, !n)
 
+(* Archive keys become file names under objects/<shard>/, and archives
+   are exchanged between machines — untrusted input. A hostile key
+   containing '/' or '..' would make [put] write outside the store
+   directory, so only fingerprint-shaped keys (lowercase hex) may
+   import; anything else counts as a rejected entry. *)
+let importable_key key =
+  let n = String.length key in
+  n >= 2 && n <= 128
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) key
+
 let import_all ?(check = fun ~key:_ _ -> true) t text =
   match split_line text with
   | None -> Error "empty archive"
@@ -419,15 +429,21 @@ let import_all ?(check = fun ~key:_ _ -> true) t text =
                   | None ->
                       Error (Fmt.str "bad payload length %S for %s" len_s key)
                   | Some len ->
-                      if String.length rest < len + 1 then
+                      if len < 0 || String.length rest < len + 1 then
                         Error (Fmt.str "truncated archive: payload of %s" key)
+                      else if rest.[len] <> '\n' then
+                        (* An in-range but wrong length would silently
+                           shift the framing for every later entry;
+                           fail at the faulty one instead. *)
+                        Error
+                          (Fmt.str "malformed entry terminator for %s" key)
                       else
                         let payload = String.sub rest 0 len in
                         let rest =
                           String.sub rest (len + 1)
                             (String.length rest - len - 1)
                         in
-                        if not (check ~key payload) then
+                        if not (importable_key key && check ~key payload) then
                           loop rest imported (rejected + 1)
                         else
                           (match put t ~key payload with

@@ -137,7 +137,11 @@ val import_all :
   (int * int, string) result
 (** [(imported, rejected)]: entries failing [check] (default: accept
     all) are skipped and counted in [rejected]; a malformed or
-    truncated archive is an [Error] (entries already imported stay). *)
+    truncated archive is an [Error] (entries already imported stay).
+    Archives are untrusted input: a key that is not lowercase hex of a
+    sane width (2–128 chars) is rejected before it can name a file, so
+    a hostile archive cannot steer {!put} outside the store directory
+    with ['/'] or [".."] in a key. *)
 
 type verify_result = { checked : int; ok : int; invalid : int }
 

@@ -94,7 +94,9 @@ let statement b =
 let section_names = [ "graphs"; "env"; "relations"; "operators" ]
 
 let section name payload = Sexp.list (Sexp.atom "section" :: Sexp.atom name :: payload)
-let section_digest sx = Digest.to_hex (Digest.string (Sexp.to_string sx))
+
+let section_digest sx =
+  Entangle_fingerprint.Sha256.hex (Sexp.to_string sx)
 
 let relation_entries bindings =
   List.map

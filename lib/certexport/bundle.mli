@@ -23,15 +23,16 @@
       (section operators (TENSOR <expr>...) ...))
     v}
 
-    Section digests are MD5 over the canonical rendering of each
-    [(section ...)] form — any semantic byte of a section is covered;
-    re-indenting the file is harmless. Statement fingerprints reuse the
-    Merkle discipline of {!Entangle_fingerprint.Fingerprint}, so they
-    are invariant under tensor-id renaming but pin names, shapes,
-    dtypes, operator attributes and symbolic constraints. The bundle
-    [id] hashes the schema, producer, statement fingerprints and
-    section digests: equal ids mean equal certified statements and
-    equal certificate content. *)
+    Section digests are SHA-256 ({!Entangle_fingerprint.Sha256}) over
+    the canonical rendering of each [(section ...)] form — any semantic
+    byte of a section is covered; re-indenting the file is harmless.
+    Statement fingerprints reuse the Merkle discipline of
+    {!Entangle_fingerprint.Fingerprint} (also SHA-256), so they are
+    invariant under tensor-id renaming but pin names, shapes, dtypes,
+    operator attributes and symbolic constraints, and cannot be aliased
+    by hash collision. The bundle [id] hashes the schema, producer,
+    statement fingerprints and section digests: equal ids mean equal
+    certified statements and equal certificate content. *)
 
 open Entangle_ir
 

@@ -179,24 +179,48 @@ let replay ?(tol = 1e-3) ?(seed = 42) ?(max_mismatches = 8) (b : Bundle.t) =
   let env = Interp.env_of_list b.env in
   let st = Random.State.make [| seed |] in
   let canon = replication_groups b.inputs in
-  let by_group : (int, Ndarray.t) Hashtbl.t = Hashtbl.create 16 in
-  let gd_inputs =
-    List.map
-      (fun t ->
+  let by_group : (int, Tensor.t * Ndarray.t) Hashtbl.t = Hashtbl.create 16 in
+  let* gd_inputs =
+    List.fold_left
+      (fun acc t ->
+        let* acc = acc in
         let key = canon (Tensor.id t :> int) in
+        let dims = Shape.concrete (Interp.lookup env) (Tensor.shape t) in
         match Hashtbl.find_opt by_group key with
-        | Some v -> (t, v)
+        | Some (rep, v) ->
+            (* [t] and [rep] are forced equal by replication in the
+               input relation (possibly transitively, through a chain
+               of shared bare leaves); reusing [rep]'s value is only
+               sound if they agree on dtype and concrete shape —
+               otherwise the bundle's relation equates incompatible
+               tensors and must be rejected precisely, not via a
+               downstream interpreter crash. *)
+            if not (Dtype.equal (Tensor.dtype t) (Tensor.dtype rep)) then
+              err E.Shape_mismatch
+                "input relation replicates %s and %s, but their dtypes \
+                 differ (%a vs %a)"
+                (Tensor.name rep) (Tensor.name t) Dtype.pp (Tensor.dtype rep)
+                Dtype.pp (Tensor.dtype t)
+            else if
+              dims <> Shape.concrete (Interp.lookup env) (Tensor.shape rep)
+            then
+              err E.Shape_mismatch
+                "input relation replicates %s and %s, but their shapes \
+                 differ (%a vs %a)"
+                (Tensor.name rep) (Tensor.name t) Shape.pp (Tensor.shape rep)
+                Shape.pp (Tensor.shape t)
+            else Ok ((t, v) :: acc)
         | None ->
-            let dims = Shape.concrete (Interp.lookup env) (Tensor.shape t) in
             let v =
               if Dtype.is_integer (Tensor.dtype t) then
                 Ndarray.random_ints st ~hi:8 dims
               else Ndarray.random st dims
             in
-            Hashtbl.replace by_group key v;
-            (t, v))
-      (Graph.inputs b.gd)
+            Hashtbl.replace by_group key (t, v);
+            Ok ((t, v) :: acc))
+      (Ok []) (Graph.inputs b.gd)
   in
+  let gd_inputs = List.rev gd_inputs in
   let lookup_gd_input t =
     match List.find_opt (fun (u, _) -> Tensor.equal t u) gd_inputs with
     | Some (_, v) -> v

@@ -6,14 +6,15 @@ type t = string
 let equal = String.equal
 let compare = String.compare
 let to_hex fp = fp
-let of_hex fp = if String.length fp = 32 then Some fp else None
+let of_hex fp = if String.length fp = 64 then Some fp else None
 let pp = Fmt.string
 
 (* Length-prefixed framing so ["ab";"c"] and ["a";"bc"] cannot
-   collide, then one MD5 over the frame. MD5 is not cryptographic, but
-   fingerprints are an integrity aid, not a security boundary: a
-   collision costs a wrong replay candidate, which certificate
-   validation rejects. *)
+   collide, then one SHA-256 over the frame. Fingerprints are the
+   content-addressing scheme of exported certificate bundles — ids
+   that cross a trust boundary — so the digest must be
+   collision-resistant, not merely a checksum (MD5 would let two
+   crafted statements share a fingerprint and a bundle id). *)
 let digest tag parts =
   let b = Buffer.create 64 in
   Buffer.add_string b tag;
@@ -24,7 +25,7 @@ let digest tag parts =
       Buffer.add_char b ':';
       Buffer.add_string b p)
     parts;
-  Digest.to_hex (Digest.string (Buffer.contents b))
+  Sha256.hex (Buffer.contents b)
 
 let strings parts = digest "s" parts
 

@@ -26,7 +26,8 @@ open Entangle_symbolic
 open Entangle_ir
 
 type t
-(** A fingerprint: a fixed-width hex digest. *)
+(** A fingerprint: a fixed-width hex digest (SHA-256, via {!Sha256},
+    so equal fingerprints cannot be forged by hash collision). *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int

@@ -135,48 +135,74 @@ let read_response t ~id =
       end
       else Ok resp
 
-let send t req =
+let send_sized t req =
   if t.closed then Error (err_of ~kind:Closed "connection closed")
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;
-    match
-      P.Io.write_frame ?deadline:(deadline t) t.io (P.request_to_string ~id req)
-    with
+    let frame = P.request_to_string ~id req in
+    match P.Io.write_frame ?deadline:(deadline t) t.io frame with
     | Error e ->
         close t;
         Error (io_error e)
-    | Ok () -> Ok id
+    | Ok () -> Ok (id, String.length frame)
   end
+
+let send t req = Result.map fst (send_sized t req)
 
 let request t req =
   let* id = send t req in
   read_response t ~id
 
-(* Pipelining: write every request frame before reading any response.
-   The server answers strictly in request order, so matching the i-th
-   response to the i-th sent id is exact, not heuristic. Check_batch is
-   excluded — its response is a multi-frame stream, which would
-   desynchronize the one-frame-per-request accounting here. *)
+(* Pipelining: requests are written back-to-back and responses read in
+   request order — the server answers strictly in order, so matching
+   the i-th response to the i-th sent id is exact, not heuristic.
+
+   Writes and reads interleave under an in-flight bound. Both peers
+   write before they read, so a client that blindly wrote every frame
+   of a large batch while the server is mid-write on a response could
+   fill the kernel socket buffers in both directions and wedge the two
+   sides in [write] until a deadline breaks the connection. Once the
+   pending requests exceed the bound (frames or bytes), the oldest
+   response is drained before the next frame is written, keeping the
+   unread backlog small. Check_batch is excluded — its response is a
+   multi-frame stream, which would desynchronize the
+   one-frame-per-request accounting here. *)
+let max_pipeline_frames = 16
+let max_pipeline_bytes = 256 * 1024
+
 let pipeline t reqs =
   if
     List.exists (function P.Check_batch _ -> true | _ -> false) reqs
   then fail "pipeline: check-batch streams multiple frames; send it alone"
   else
-    let rec send_all acc = function
-      | [] -> Ok (List.rev acc)
-      | req :: rest ->
-          let* id = send t req in
-          send_all (id :: acc) rest
+    (* Pending = ids written but not yet answered, oldest first, each
+       with the frame bytes it contributed to [inflight]; a two-list
+       queue so both ends are O(1). *)
+    let pop front back =
+      match front with
+      | p :: front -> Some (p, front, back)
+      | [] -> (
+          match List.rev back with
+          | p :: front -> Some (p, front, [])
+          | [] -> None)
     in
-    let* ids = send_all [] reqs in
-    let rec read_all acc = function
-      | [] -> Ok (List.rev acc)
-      | id :: rest ->
-          let* resp = read_response t ~id in
-          read_all (resp :: acc) rest
+    let rec go acc front back count inflight reqs =
+      match reqs with
+      | req :: rest
+        when (count < max_pipeline_frames && inflight < max_pipeline_bytes)
+             || (front = [] && back = []) ->
+          let* id, bytes = send_sized t req in
+          go acc front ((id, bytes) :: back) (count + 1) (inflight + bytes)
+            rest
+      | _ -> (
+          match pop front back with
+          | None -> Ok (List.rev acc)
+          | Some ((id, bytes), front, back) ->
+              let* resp = read_response t ~id in
+              go (resp :: acc) front back (count - 1) (inflight - bytes) reqs)
     in
-    read_all [] ids
+    go [] [] [] 0 0 reqs
 
 (* --- typed helpers ------------------------------------------------------ *)
 

@@ -68,9 +68,14 @@ val read_response : t -> id:int -> (Protocol.response, error) result
 
 val pipeline :
   t -> Protocol.request list -> (Protocol.response list, error) result
-(** Write {e every} request frame, then read the responses, in order —
-    one round trip's latency for the whole batch instead of one per
-    request. Rejects [Check_batch] (its multi-frame response stream
+(** Write the request frames back-to-back and read the responses in
+    request order — one round trip's latency for the whole batch
+    instead of one per request. The number of unanswered requests in
+    flight is bounded (16 frames / 256 KiB of request bytes): past the
+    bound the oldest response is drained before the next frame is
+    written, so a large batch cannot fill the kernel socket buffers in
+    both directions and wedge client and server in [write] against
+    each other. Rejects [Check_batch] (its multi-frame response stream
     would desynchronize the one-frame-per-request accounting); use
     {!check_batch} for that. *)
 

@@ -106,6 +106,29 @@ let build_fuzz_graph choices =
 
 let fingerprint_tests =
   [
+    Alcotest.test_case "sha256 matches the FIPS 180-4 vectors" `Quick
+      (fun () ->
+        (* The digest backing every fingerprint, cache key, section
+           digest and bundle id is home-grown (the toolchain only ships
+           MD5), so pin it to the published test vectors. *)
+        let hex = Entangle_fingerprint.Sha256.hex in
+        check Alcotest.string "empty"
+          "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+          (hex "");
+        check Alcotest.string "abc"
+          "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+          (hex "abc");
+        check Alcotest.string "two blocks"
+          "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+          (hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+        (* exactly one byte short of the padding boundary, and exactly
+           on it: the two framing edge cases *)
+        check Alcotest.string "55 bytes"
+          "85528b5baff5639cb8e7daca79d085ac29ac0978e873ed7527158616b2b6c379"
+          (hex (String.make 55 'q'));
+        check Alcotest.string "64 bytes"
+          "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+          (hex (String.make 64 'a')));
     Alcotest.test_case "stable across independent builds" `Quick (fun () ->
         let a = Gpt.build ~layers:1 ~degree:2 ~heads:4 () in
         let b = Gpt.build ~layers:1 ~degree:2 ~heads:4 () in
@@ -674,6 +697,56 @@ let archive_tests =
                     check Alcotest.int "store holds only the accepted entry"
                       1
                       (Store.stats s2).Store.entries)));
+    Alcotest.test_case "hostile keys cannot escape the store directory"
+      `Quick (fun () ->
+        (* Archives cross machines, so a crafted key is untrusted input
+           aimed at [put]'s objects/<shard>/<key> path. Every non-hex
+           key must be rejected before it can name a file. *)
+        with_temp_dir (fun dir ->
+            let s = open_store dir in
+            let entry key payload =
+              Fmt.str "%s\n%d\n%s\n" key (String.length payload) payload
+            in
+            let text =
+              Store.archive_header ^ "\n"
+              ^ entry "../../../../tmp/entangle-pwned" "evil"
+              ^ entry "aa/../escape" "evil"
+              ^ entry (String.make 32 'A') "uppercase is not a fingerprint"
+              ^ entry (String.make 32 'a') "fine"
+            in
+            (match Store.import_all s text with
+            | Error e -> Alcotest.failf "import: %s" e
+            | Ok (imported, rejected) ->
+                check Alcotest.int "only the hex key imports" 1 imported;
+                check Alcotest.int "hostile keys rejected" 3 rejected);
+            check
+              Alcotest.(option string)
+              "the honest entry landed" (Some "fine")
+              (Store.get s ~key:(String.make 32 'a'));
+            check Alcotest.bool "no traversal target was written" false
+              (Sys.file_exists "/tmp/entangle-pwned")));
+    Alcotest.test_case "wrong payload length is caught at the faulty entry"
+      `Quick (fun () ->
+        (* A declared length that is in range but wrong would silently
+           shift the framing of every later entry; the terminator check
+           must fail loudly at the entry itself. *)
+        with_temp_dir (fun dir ->
+            let s = open_store dir in
+            let key = String.make 32 'a' in
+            let text =
+              Fmt.str "%s\n%s\n3\nabcd\n" Store.archive_header key
+            in
+            match Store.import_all s text with
+            | Ok _ -> Alcotest.fail "misframed archive must not import"
+            | Error e ->
+                check Alcotest.bool "error names the terminator" true
+                  (let needle = "terminator" in
+                   let n = String.length e and m = String.length needle in
+                   let rec at i =
+                     i + m <= n
+                     && (String.sub e i m = needle || at (i + 1))
+                   in
+                   at 0)));
     Alcotest.test_case "truncated or foreign archives are structured errors"
       `Quick (fun () ->
         with_temp_dir (fun dir ->

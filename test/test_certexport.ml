@@ -291,6 +291,44 @@ let verifier_tests =
         expect_code "output mapped to the shape-[8] concat" "CERT009"
           (Verify.check
              (tiny_bundle ~outputs:[ (t.t_y, [ Expr.leaf t.t_wd ]) ] t)));
+    Alcotest.test_case "replicating incompatible inputs is CERT009" `Quick
+      (fun () ->
+        (* The input relation unions distributed inputs that appear as
+           bare leaves of one mapping list into a replication group
+           (transitively across bindings). If grouped tensors disagree
+           on dtype, replay must reject the bundle with a precise code
+           instead of reusing one member's generated value for a
+           differently-typed tensor and crashing downstream. Shapes
+           agree here, so the static per-target checks all pass; only
+           the group-compatibility check can catch the mix. *)
+        let sd = Entangle_symbolic.Symdim.of_int in
+        let b = Graph.Builder.create "seq" in
+        let x = Graph.Builder.input b "x" [ sd 4 ] in
+        let y = Graph.Builder.add b ~name:"y" Op.Add [ x; x ] in
+        Graph.Builder.output b y;
+        let gs = Graph.Builder.finish b in
+        let d = Graph.Builder.create "dist" in
+        let xd = Graph.Builder.input d "xd" [ sd 4 ] in
+        let zd = Graph.Builder.input d ~dtype:Dtype.I64 "zd" [ sd 4 ] in
+        let yd = Graph.Builder.add d ~name:"yd" Op.Add [ xd; xd ] in
+        Graph.Builder.output d yd;
+        let gd = Graph.Builder.finish d in
+        ignore zd;
+        let bundle =
+          Bundle.make ~producer:"test-replication" ~gs ~gd ~env:[]
+            ~inputs:[ (x, [ Expr.leaf xd; Expr.leaf zd ]) ]
+            ~outputs:[ (y, [ Expr.leaf yd ]) ]
+            ~operators:
+              [ { Bundle.op_output = "y"; op_mappings = [ Expr.leaf yd ] } ]
+            ()
+        in
+        let result = Verify.check bundle in
+        expect_code "float/int replication group" "CERT009" result;
+        match result with
+        | Ok _ -> assert false
+        | Error e ->
+            check Alcotest.bool "detail names the dtype disagreement" true
+              (contains e.Cert_error.detail "dtypes differ"));
     Alcotest.test_case "numerically wrong certificate is CERT010" `Quick
       (fun () ->
         (* gd's yd is sub xd xd: same names, shapes and wiring as the

@@ -629,6 +629,24 @@ let end_to_end_tests =
                      with
                     | Ok _ -> Alcotest.fail "check-batch pipelined"
                     | Error _ -> ());
+                    (* A batch far past the in-flight bound (16
+                       frames): the client must interleave drains with
+                       sends and still hand back every response in
+                       order. *)
+                    (match
+                       Cl.pipeline c (List.init 50 (fun _ -> P.Ping))
+                     with
+                    | Error e ->
+                        Alcotest.failf "long pipeline: %s"
+                          (Cl.error_message e)
+                    | Ok responses ->
+                        check Alcotest.int "every ping answered" 50
+                          (List.length responses);
+                        List.iter
+                          (function
+                            | P.Pong -> ()
+                            | _ -> Alcotest.fail "non-pong in ping pipeline")
+                          responses);
                     (* The connection is still usable afterwards. *)
                     match Cl.ping c with
                     | Ok () -> ()
